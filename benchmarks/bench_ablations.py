@@ -1,0 +1,37 @@
+"""A1–A3 — ablations of the design decisions DESIGN.md calls out."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.transport import serde
+
+from conftest import run_experiment
+
+
+def test_serde_buffer_path_encode(benchmark):
+    payload = np.arange(1 << 18, dtype=np.float64)
+    header, buffers = benchmark(serde.dumps, payload, 5)
+    assert buffers  # went out of band
+
+
+def test_serde_inline_encode(benchmark):
+    payload = np.arange(1 << 18, dtype=np.float64)
+    header, buffers = benchmark(serde.dumps, payload, 4)
+    assert not buffers  # stayed inline
+
+
+def test_a1_buffer_path_shape(benchmark):
+    run_experiment(benchmark, "A1")
+
+
+def test_a2_cpu_overhead_shape(benchmark):
+    run_experiment(benchmark, "A2")
+
+
+def test_a3_isolation_cost_shape(benchmark):
+    run_experiment(benchmark, "A3")
+
+
+def test_a4_cache_effect_shape(benchmark):
+    run_experiment(benchmark, "A4")

@@ -1,0 +1,57 @@
+"""E1 — RPC overhead (paper §2).
+
+Micro-benchmarks of a trivial remote method on each backend plus the
+full experiment table (local vs inline vs mp vs sim vs analytic floor).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.runtime.remotedata import Block
+
+from conftest import run_experiment
+
+
+@pytest.fixture(scope="module")
+def inline_block():
+    with oopp.Cluster(n_machines=2, backend="inline") as cluster:
+        yield cluster.new_block(8, machine=1)
+
+
+@pytest.fixture(scope="module")
+def mp_block():
+    with oopp.Cluster(n_machines=2, backend="mp",
+                      call_timeout_s=60.0) as cluster:
+        blk = cluster.new_block(8, machine=1)
+        blk.sum()  # warm the connection
+        yield blk
+
+
+def test_local_call_baseline(benchmark):
+    blk = Block(8)
+    assert benchmark(blk.sum) == 0.0
+
+
+def test_inline_remote_call(benchmark, inline_block):
+    assert benchmark(inline_block.sum) == 0.0
+
+
+def test_mp_remote_call(benchmark, mp_block):
+    assert benchmark(mp_block.sum) == 0.0
+
+
+def test_mp_pipelined_pair(benchmark, mp_block):
+    """Two overlapped calls: the futures amortize one round trip."""
+
+    def pipelined():
+        f1 = mp_block.sum.future()
+        f2 = mp_block.sum.future()
+        return f1.result(30) + f2.result(30)
+
+    assert benchmark(pipelined) == 0.0
+
+
+def test_e1_experiment_shape(benchmark):
+    run_experiment(benchmark, "E1")

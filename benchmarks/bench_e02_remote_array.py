@@ -1,0 +1,46 @@
+"""E2 — remote primitive data access granularity (paper §2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+
+from conftest import run_experiment
+
+
+@pytest.fixture(scope="module")
+def mp_data():
+    with oopp.Cluster(n_machines=2, backend="mp",
+                      call_timeout_s=60.0) as cluster:
+        data = cluster.new_block(1 << 16, machine=1)
+        data.sum()  # warm
+        yield data
+
+
+def test_element_get(benchmark, mp_data):
+    benchmark(lambda: mp_data[7])
+
+
+def test_element_set(benchmark, mp_data):
+    benchmark(lambda: mp_data.__setitem__(7, 3.1415))
+
+
+def test_bulk_read_64(benchmark, mp_data):
+    out = benchmark(mp_data.read, 0, 64)
+    assert len(out) == 64
+
+
+def test_bulk_read_64k(benchmark, mp_data):
+    out = benchmark(mp_data.read)
+    assert len(out) == 1 << 16
+
+
+def test_bulk_write_64k(benchmark, mp_data):
+    payload = np.zeros(1 << 16)
+    assert benchmark(mp_data.write, 0, payload) == 1 << 16
+
+
+def test_e2_experiment_shape(benchmark):
+    run_experiment(benchmark, "E2")

@@ -1,0 +1,51 @@
+"""E3 — move the data vs move the computation (paper §3)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+
+from conftest import run_experiment
+
+BLOCK = (16, 16, 16)  # 32 KiB pages of real bytes for the mp micro-bench
+
+
+@pytest.fixture(scope="module")
+def mp_blocks():
+    with oopp.Cluster(n_machines=2, backend="mp",
+                      call_timeout_s=60.0) as cluster:
+        dev = cluster.new(oopp.ArrayPageDevice, "e03-bench.dat", 4,
+                          *BLOCK, machine=1)
+        page = oopp.ArrayPage(*BLOCK,
+                              np.random.default_rng(0).random(BLOCK))
+        dev.write_page(page, 0)
+        yield dev
+
+
+def test_move_data_read_then_sum(benchmark, mp_blocks):
+    def strategy():
+        return mp_blocks.read_page(0).sum()
+
+    result = benchmark(strategy)
+    assert result > 0
+
+
+def test_move_compute_remote_sum(benchmark, mp_blocks):
+    result = benchmark(mp_blocks.sum, 0)
+    assert result > 0
+
+
+def test_move_data_vs_compute_agree(benchmark, mp_blocks):
+    def both():
+        a = mp_blocks.read_page(0).sum()
+        b = mp_blocks.sum(0)
+        assert abs(a - b) < 1e-9
+        return a
+
+    benchmark.pedantic(both, rounds=3, iterations=1)
+
+
+def test_e3_experiment_shape(benchmark):
+    run_experiment(benchmark, "E3")

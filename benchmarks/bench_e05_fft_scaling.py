@@ -1,0 +1,50 @@
+"""E5 — distributed FFT strong scaling (paper §4)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+from repro.fft.distributed import DistributedFFT3D
+from repro.fft.kernels import fft_kernel
+from repro.fft.serial import fftn
+
+from conftest import run_experiment
+
+SHAPE = (16, 16, 16)
+
+
+@pytest.fixture(scope="module")
+def volume():
+    g = np.random.default_rng(5)
+    return g.random(SHAPE) + 1j * g.random(SHAPE)
+
+
+@pytest.fixture(scope="module")
+def mp_plan():
+    with oopp.Cluster(n_machines=3, backend="mp",
+                      call_timeout_s=120.0) as cluster:
+        yield DistributedFFT3D(cluster, SHAPE, n_workers=3)
+
+
+def test_serial_kernel_1d_batch(benchmark, volume):
+    """Baseline: our radix-2 kernel on the whole volume's last axis."""
+    out = benchmark(fft_kernel, volume, -1)
+    assert out.shape == SHAPE
+
+
+def test_serial_fftn_baseline(benchmark, volume):
+    """The single-machine transform the distributed one competes with."""
+    out = benchmark(fftn, volume)
+    assert np.allclose(out, np.fft.fftn(volume), atol=1e-7)
+
+
+def test_distributed_forward_mp(benchmark, mp_plan, volume):
+    out = benchmark.pedantic(mp_plan.forward, args=(volume,),
+                             rounds=3, iterations=1)
+    assert np.allclose(out, np.fft.fftn(volume), atol=1e-7)
+
+
+def test_e5_experiment_shape(benchmark):
+    run_experiment(benchmark, "E5")

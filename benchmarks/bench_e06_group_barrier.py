@@ -1,0 +1,36 @@
+"""E6 — group operations: barrier and SetGroup broadcast (paper §4)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.fft.distributed import FFT
+
+from conftest import run_experiment
+
+
+@pytest.fixture(scope="module")
+def mp_group():
+    with oopp.Cluster(n_machines=3, backend="mp",
+                      call_timeout_s=60.0) as cluster:
+        group = cluster.new_group(FFT, 6, argfn=lambda i: (i,))
+        yield group
+
+
+def test_barrier_idle_group(benchmark, mp_group):
+    benchmark(mp_group.barrier)
+
+
+def test_setgroup_broadcast(benchmark, mp_group):
+    proxies = mp_group.proxies
+    benchmark(mp_group.invoke, "SetGroup", len(proxies), proxies)
+
+
+def test_cluster_wide_barrier(benchmark, mp_group):
+    cluster = oopp.current_cluster()
+    benchmark(cluster.barrier)
+
+
+def test_e6_experiment_shape(benchmark):
+    run_experiment(benchmark, "E6")

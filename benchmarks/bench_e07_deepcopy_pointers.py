@@ -1,0 +1,38 @@
+"""E7 — deep copy vs remote dereference of pointer arrays (paper §4)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.bench.e07_deepcopy_pointers import GroupMember, PointerTable
+
+from conftest import run_experiment
+
+N = 6
+
+
+@pytest.fixture(scope="module")
+def mp_setup():
+    with oopp.Cluster(n_machines=3, backend="mp",
+                      call_timeout_s=60.0) as cluster:
+        group = cluster.new_group(GroupMember, N, argfn=lambda i: (i,))
+        table = cluster.new(PointerTable, machine=0)
+        table.set_items(group.proxies)
+        yield group, table
+
+
+def test_deep_copy_setgroup(benchmark, mp_setup):
+    group, _ = mp_setup
+    counts = benchmark(group.invoke, "set_group_deep", N, group.proxies)
+    assert counts == [N] * N
+
+
+def test_by_reference_setgroup(benchmark, mp_setup):
+    group, table = mp_setup
+    counts = benchmark(group.invoke, "set_group_by_reference", N, table)
+    assert counts == [N] * N
+
+
+def test_e7_experiment_shape(benchmark):
+    run_experiment(benchmark, "E7")

@@ -1,0 +1,43 @@
+"""E8 — PageMap layouts vs access patterns (paper §5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.pagemap import (
+    BlockedPageMap,
+    PencilPageMap,
+    RoundRobinPageMap,
+)
+
+from conftest import run_experiment
+
+GRID = (16, 8, 8)
+DEVICES = 13
+
+
+@pytest.mark.parametrize("MapCls", [RoundRobinPageMap, BlockedPageMap,
+                                    PencilPageMap],
+                         ids=["round-robin", "blocked", "pencil"])
+def test_physical_address_throughput(benchmark, MapCls):
+    """Address translation is on the Array's per-tile hot path."""
+    pmap = MapCls(grid=GRID, n_devices=DEVICES)
+
+    def sweep():
+        total = 0
+        for i1 in range(GRID[0]):
+            for i2 in range(GRID[1]):
+                for i3 in range(GRID[2]):
+                    total += pmap.physical(i1, i2, i3).device_id
+        return total
+
+    assert benchmark(sweep) >= 0
+
+
+def test_layout_validation_cost(benchmark):
+    pmap = RoundRobinPageMap(grid=GRID, n_devices=DEVICES)
+    benchmark.pedantic(pmap.validate, rounds=3, iterations=1)
+
+
+def test_e8_experiment_shape(benchmark):
+    run_experiment(benchmark, "E8")

@@ -1,0 +1,61 @@
+"""E9 — Array reductions at the data; parallel Array clients (paper §5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+from repro.array.array3d import Array
+from repro.storage.blockstore import create_block_storage
+from repro.storage.pagemap import RoundRobinPageMap
+
+from conftest import run_experiment
+
+N = (16, 16, 16)
+PAGE = (8, 8, 8)
+GRID = (2, 2, 2)
+
+
+@pytest.fixture(scope="module")
+def mp_array():
+    with oopp.Cluster(n_machines=3, backend="mp",
+                      call_timeout_s=60.0) as cluster:
+        store = create_block_storage(cluster, 3, NumberOfPages=4,
+                                     n1=PAGE[0], n2=PAGE[1], n3=PAGE[2],
+                                     filename_prefix="e09-bench")
+        pmap = RoundRobinPageMap(grid=GRID, n_devices=3)
+        array = Array(*N, *PAGE, store, pmap)
+        array.write(np.random.default_rng(9).random(N))
+        yield array
+
+
+def test_sum_at_the_data(benchmark, mp_array):
+    total = benchmark(mp_array.sum)
+    assert total > 0
+
+
+def test_read_then_sum_locally(benchmark, mp_array):
+    def move_data():
+        return float(mp_array.read().sum())
+
+    total = benchmark(move_data)
+    assert total > 0
+
+
+def test_strategies_agree(benchmark, mp_array):
+    def both():
+        a = mp_array.sum()
+        b = float(mp_array.read().sum())
+        assert abs(a - b) < 1e-9
+        return a
+
+    benchmark.pedantic(both, rounds=3, iterations=1)
+
+
+def test_norm_at_the_data(benchmark, mp_array):
+    assert benchmark(mp_array.norm2) > 0
+
+
+def test_e9_experiment_shape(benchmark):
+    run_experiment(benchmark, "E9")

@@ -1,0 +1,61 @@
+"""E10 — persistent process lifecycle (paper §5)."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+import pytest
+
+import repro as oopp
+
+from conftest import run_experiment
+
+_counter = itertools.count()
+
+
+@pytest.fixture(scope="module")
+def mp_cluster_for_persistence(tmp_path_factory):
+    root = tmp_path_factory.mktemp("persist-root")
+    with oopp.Cluster(n_machines=2, backend="mp", call_timeout_s=60.0,
+                      storage_root=str(root)) as cluster:
+        yield cluster
+
+
+def test_persist_snapshot_cost(benchmark, mp_cluster_for_persistence):
+    cluster = mp_cluster_for_persistence
+    blk = cluster.new_block(1 << 14, machine=0)
+    blk.write(0, np.arange(1 << 14, dtype=np.float64))
+
+    def persist():
+        return cluster.persist(blk, f"bench-{next(_counter)}")
+
+    addr = benchmark(persist)
+    assert cluster.store("data").exists(addr)
+
+
+def test_deactivate_activate_cycle(benchmark, mp_cluster_for_persistence):
+    cluster = mp_cluster_for_persistence
+    store = cluster.store("data")
+
+    def cycle():
+        blk = cluster.new_block(1 << 12, machine=0, fill=1.0)
+        addr = store.persist(blk, f"cycle-{next(_counter)}")
+        store.deactivate(addr)
+        revived = store.activate(addr, machine=1)
+        assert revived.sum() == float(1 << 12)
+        store.delete(addr)
+
+    benchmark.pedantic(cycle, rounds=5, iterations=1)
+
+
+def test_lookup_while_active(benchmark, mp_cluster_for_persistence):
+    cluster = mp_cluster_for_persistence
+    blk = cluster.new_block(64, machine=0)
+    addr = cluster.persist(blk, f"hot-{next(_counter)}")
+    found = benchmark(cluster.lookup, addr)
+    assert found == blk
+
+
+def test_e10_experiment_shape(benchmark):
+    run_experiment(benchmark, "E10")

@@ -1,0 +1,32 @@
+"""Benchmark-suite fixtures.
+
+Every test here uses the ``benchmark`` fixture so that
+``pytest benchmarks/ --benchmark-only`` runs the full suite.  Experiment
+tables are printed to stdout (visible with ``-s`` or in benchmark mode)
+and their shape assertions run on every invocation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def isolated_storage(tmp_path, monkeypatch):
+    monkeypatch.setenv("OOPP_STORAGE_DIR", str(tmp_path / "devstore"))
+    yield tmp_path
+
+
+def run_experiment(benchmark, experiment_id: str):
+    """Run one registered experiment under the benchmark timer, print its
+    table, and apply its shape check."""
+    from repro.bench.registry import get_experiment
+
+    exp = get_experiment(experiment_id)
+    table = benchmark.pedantic(exp.run, kwargs={"fast": True},
+                               rounds=1, iterations=1)
+    print()
+    print(table.render())
+    if exp.check is not None:
+        exp.check(table)
+    return table

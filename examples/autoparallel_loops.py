@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Automatic loop parallelization — the paper's compiler, at runtime.
+
+Paper §4 argues programs "should be automatically parallelized by the
+compiler, without the use of OpenMP-style directives", and shows the
+compiler splitting a loop of device reads into a send-loop and a
+receive-loop.  The library performs that transformation on unmodified
+call sites inside ``with oopp.autoparallel():``.
+
+This example runs the *same loop body* three ways on the simulated
+cluster and prints the simulated cost of each:
+
+1. plain sequential calls (the untransformed program);
+2. the same loop inside ``autoparallel()`` (the compiler's output);
+3. a loop with a genuine data dependency, where reading ``.value``
+   degrades exactly one call to sequential — the "subtle bugs" the
+   paper warns about, handled by forcing instead of breaking.
+
+Run:  python examples/autoparallel_loops.py
+"""
+
+import repro as oopp
+from repro.util.timing import format_seconds
+
+N = 16
+NOMINAL = 16 << 20  # pretend pages of 16 MiB
+
+
+def main() -> None:
+    with oopp.Cluster(n_machines=N, backend="sim") as cluster:
+        engine = cluster.fabric.engine
+        storage = oopp.create_block_storage(
+            cluster, N, NumberOfPages=4, n1=8, n2=8, n3=8,
+            nominal_page_size=NOMINAL, filename_prefix="autopar")
+        device = storage.devices
+        page_address = [i % 4 for i in range(N)]
+
+        # --- 1: the paper's sequential loop --------------------------------
+        t0 = engine.now
+        buffer = [device[i].read_page(page_address[i]) for i in range(N)]
+        t_seq = engine.now - t0
+        print(f"sequential loop          : {format_seconds(t_seq)} simulated")
+
+        # --- 2: the same statements, automatically parallelized -------------
+        t0 = engine.now
+        with oopp.autoparallel():
+            buffer = [device[i].read_page(page_address[i]) for i in range(N)]
+        t_par = engine.now - t0
+        pages = [b.value for b in buffer]
+        assert all(p.nbytes == 4096 for p in pages)
+        print(f"with oopp.autoparallel() : {format_seconds(t_par)} simulated "
+              f"({t_seq / t_par:.1f}x)")
+
+        # --- 3: a loop-carried dependency forces one call -------------------
+        counter = cluster.new_block(N, machine=0)
+        t0 = engine.now
+        with oopp.autoparallel():
+            first = device[0].sum(0)        # needed by the next statement
+            pivot = first.value             # forces THIS call only
+            rest = [device[i].sum(0) for i in range(1, N)]
+            counter.write(1, [pivot])       # dependent call, still batched
+        t_dep = engine.now - t0
+        total = pivot + sum(r.value for r in rest)
+        print(f"with one dependency      : {format_seconds(t_dep)} simulated "
+              f"(sum of all pages = {total})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Distributed Jacobi heat equation: a stencil computation as objects.
+
+Each worker owns a slab of the grid; every iteration it deposits its
+boundary rows into its neighbours by remote method execution, then
+applies the Jacobi update locally.  Verified against a serial numpy
+reference.
+
+Run:  python examples/heat_equation.py
+"""
+
+import numpy as np
+
+import repro as oopp
+from repro.apps.stencil import HeatSolver, solve_serial
+
+
+def initial_grid(rows=48, cols=32) -> np.ndarray:
+    u = np.zeros((rows, cols))
+    u[0, :] = 100.0       # hot top edge
+    u[-1, :] = 0.0        # cold bottom edge
+    u[:, 0] = 50.0        # warm left edge
+    return u
+
+
+def render(u: np.ndarray) -> str:
+    """Coarse ASCII heat map."""
+    shades = " .:-=+*#%@"
+    sub = u[::6, ::4]
+    lines = []
+    for row in sub:
+        lines.append("".join(
+            shades[min(int(v / 100.0 * (len(shades) - 1)), len(shades) - 1)]
+            for v in row))
+    return "\n".join(lines)
+
+
+def main() -> None:
+    u0 = initial_grid()
+    alpha_dt_h2, steps = 0.2, 400
+
+    with oopp.Cluster(n_machines=4, backend="mp",
+                      call_timeout_s=120.0) as cluster:
+        solver = HeatSolver(cluster, u0.shape, n_workers=4)
+        solver.load(u0)
+        print("initial plate:")
+        print(render(u0))
+        done = 0
+        for target in (50, 150, 400):
+            while done < target:
+                delta = solver.step(alpha_dt_h2)
+                done += 1
+            print(f"\nafter {done} steps (last max|du| = {delta:.4f}):")
+            print(render(solver.gather()))
+
+        got = solver.gather()
+        want = solve_serial(u0, alpha_dt_h2, 400)
+        err = np.abs(got - want).max()
+        print(f"\nmax deviation from serial reference: {err:.2e}")
+        assert err < 1e-10
+        print("distributed solution matches the serial solver exactly")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""The paper's motivating computation: a distributed 3-D FFT (§4).
+
+Reproduces the §4 listing exactly — FFT objects created one per
+machine, introduced to each other with ``SetGroup`` (the deep-copied
+array of remote pointers), cooperating purely through remote method
+execution — and verifies the result against numpy.
+
+Two drive modes are shown:
+
+* the *collective* mode: one ``transform`` call per worker does the
+  whole pipeline, workers blocking on each other's deposits (the
+  paper's literal ``fft[id]->transform(sign, a)``);
+* the *out-of-core* mode: the array ``a`` is a distributed Array on
+  block storage, and workers pull/push their slabs directly from the
+  storage devices.
+
+Run:  python examples/parallel_fft.py
+"""
+
+import numpy as np
+
+import repro as oopp
+from repro.array.ops import offset_map
+
+
+def collective_mode(cluster, a: np.ndarray) -> None:
+    print("\n--- collective mode (the paper's one-call transform) ---")
+    plan = oopp.DistributedFFT3D(cluster, a.shape,
+                                 n_workers=cluster.n_machines,
+                                 collective=True)
+    spectrum = plan.forward(a)
+    assert np.allclose(spectrum, np.fft.fftn(a), atol=1e-8)
+    print(f"forward FFT of {a.shape}: matches numpy "
+          f"(max |err| = {np.abs(spectrum - np.fft.fftn(a)).max():.2e})")
+    back = plan.inverse(spectrum)
+    assert np.allclose(back, a, atol=1e-8)
+    print("inverse round trip: ok")
+    plan.destroy()
+
+
+def out_of_core_mode(cluster, a: np.ndarray) -> None:
+    print("\n--- out-of-core mode (array lives on block storage) ---")
+    N = a.shape
+    page = tuple(n // 2 for n in N)
+    grid = (2, 2, 2)
+    base = oopp.RoundRobinPageMap(grid=grid, n_devices=cluster.n_machines)
+    cap = base.pages_per_device
+    storage = oopp.create_block_storage(
+        cluster, cluster.n_machines, NumberOfPages=3 * cap,
+        n1=page[0], n2=page[1], n3=page[2], filename_prefix="fft-ooc")
+
+    def make_array(k):
+        return oopp.Array(*N, *page, storage,
+                          offset_map(grid=grid,
+                                     n_devices=cluster.n_machines,
+                                     base=base, offset=k * cap))
+
+    src = make_array(0)
+    dst_re, dst_im = make_array(1), make_array(2)
+    src.write(a.real)
+    print(f"source array written to {len(storage)} devices")
+
+    plan = oopp.DistributedFFT3D(cluster, N, n_workers=cluster.n_machines)
+    plan.forward_arrays(src, None, dst_re, dst_im)
+    got = dst_re.read() + 1j * dst_im.read()
+    assert np.allclose(got, np.fft.fftn(a.real), atol=1e-8)
+    print("workers read slabs from the Array, transformed, wrote back: ok")
+    # The spectrum now lives on the storage devices; reduce it there:
+    print(f"spectral power (computed at the data): "
+          f"{dst_re.norm2()**2 + dst_im.norm2()**2:.4f}")
+    plan.destroy()
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    a = rng.random((16, 16, 16)) + 1j * rng.random((16, 16, 16))
+    with oopp.Cluster(n_machines=4, backend="mp",
+                      call_timeout_s=120.0) as cluster:
+        print(f"cluster up: machines {cluster.ping_all()}")
+        collective_mode(cluster, a)
+        out_of_core_mode(cluster, a)
+
+
+if __name__ == "__main__":
+    main()

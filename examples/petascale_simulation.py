@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Petascale-shaped experiments on the simulated cluster.
+
+The paper envisions half-petabyte arrays on hundreds of hard drives.
+This example runs that configuration on a laptop: the ``sim`` backend
+executes the same library code under a simulated clock, charging
+modeled NICs and disks, with *nominal* page sizes standing in for the
+real ones.
+
+It reproduces the paper's §4 claim live: splitting the request loop
+into a send-loop and a receive-loop turns N sequential device reads
+into parallel disk I/O.
+
+Run:  python examples/petascale_simulation.py
+"""
+
+import repro as oopp
+from repro.runtime.group import ObjectGroup
+from repro.util.timing import format_bytes, format_seconds
+
+#: pretend pages of 256 MiB; the real backing blocks are 4 KiB
+NOMINAL_PAGE = 256 << 20
+N_DEVICES = 64
+
+
+def main() -> None:
+    with oopp.Cluster(n_machines=N_DEVICES, backend="sim") as cluster:
+        engine = cluster.fabric.engine
+        print(f"simulated cluster: {N_DEVICES} machines, "
+              f"disks {cluster.config.disk.bandwidth_Bps / 1e6:.0f} MB/s, "
+              f"network {cluster.config.network.bandwidth_Bps * 8 / 1e9:.0f} "
+              f"Gb/s")
+
+        # One ArrayPageDevice per machine, each with its own disk; pages
+        # are nominally 256 MiB.
+        storage = oopp.create_block_storage(
+            cluster, N_DEVICES, NumberOfPages=4, n1=8, n2=8, n3=8,
+            nominal_page_size=NOMINAL_PAGE, filename_prefix="peta")
+        devices = ObjectGroup(storage.devices)
+        total = N_DEVICES * 4 * NOMINAL_PAGE
+        print(f"deployed {N_DEVICES} devices holding nominally "
+              f"{format_bytes(total)}\n")
+
+        # --- the paper's sequential loop ----------------------------------
+        t0 = engine.now
+        devices.invoke_sequential("read_page", 0)
+        t_seq = engine.now - t0
+        print(f"sequential loop : one page from each device in "
+              f"{format_seconds(t_seq)} (simulated)")
+
+        # --- the compiler-split loop ----------------------------------------
+        t0 = engine.now
+        devices.invoke("read_page", 0)   # send-loop + receive-loop
+        t_par = engine.now - t0
+        print(f"split loop      : same reads in {format_seconds(t_par)} "
+              f"(simulated)")
+        print(f"speedup         : {t_seq / t_par:.1f}x across {N_DEVICES} "
+              f"disks")
+
+        # Where did the time go?  The client NIC is the ceiling:
+        report = cluster.fabric.utilization_report()
+        driver_ingress = report[-1]["ingress_util"]
+        disk_utils = [v for node, entry in report.items() if node >= 0
+                      for k, v in entry.items() if k.endswith("_util")
+                      and "disk" in k]
+        print(f"\ndriver ingress utilization : {driver_ingress:.0%}")
+        if disk_utils:
+            print(f"mean device disk utilization: "
+                  f"{sum(disk_utils) / len(disk_utils):.0%}")
+        print("\n(the NIC ceiling is experiment E4's plateau — "
+              "see EXPERIMENTS.md)")
+
+
+if __name__ == "__main__":
+    main()

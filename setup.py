@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip then uses the classic ``setup.py develop`` path).
+All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "oopp: object-oriented parallel programming (objects as processes), "
+        "reproducing Givelberg's 'Object-Oriented Parallel Programming'"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.23"],
+)

@@ -1,0 +1,163 @@
+"""oopp — Object-Oriented Parallel Programming for Python.
+
+A reproduction of Givelberg's *Object-Oriented Parallel Programming*:
+programming objects interpreted as processes.  A parallel program is a
+collection of persistent processes that communicate by executing methods
+on remote objects::
+
+    import repro as oopp
+
+    with oopp.Cluster(n_machines=4, backend="mp") as cluster:
+        # new(machine 1) PageDevice("pagefile", 10, 1024)
+        store = cluster.new(oopp.PageDevice, "pagefile", 10, 1024, machine=1)
+        page = oopp.Page(1024, bytes(1024))
+        store.write(page, 17)            # remote method execution
+        copy = store.read(17)            # result crosses the network
+
+Public surface:
+
+* **runtime** — :class:`Cluster`, :class:`Proxy` remote pointers,
+  :class:`ObjectGroup` with pipelined ``invoke`` and ``barrier()``,
+  :class:`RemoteFuture` + :func:`wait_all`/:func:`gather`,
+  :func:`destroy`, remote primitive data (:class:`Block`,
+  ``cluster.new_block``), persistence with ``oop://`` addresses;
+* **storage substrate** — :class:`Page`, :class:`PageDevice`,
+  :class:`ArrayPage`, :class:`ArrayPageDevice`, :class:`BlockStorage`,
+  page-map layouts and 3-D :class:`Domain` algebra;
+* **distributed array** — :class:`Array` over block storage, with
+  at-the-data reductions and sibling operations (:mod:`repro.array.ops`);
+* **FFT** — from-scratch serial kernels (:func:`serial_fft`) and the
+  distributed 3-D transform (:class:`FFT` workers,
+  :class:`DistributedFFT3D` facade);
+* **backends** — ``inline`` (in-process virtual machines), ``mp`` (one
+  OS process per machine, socket RPC), ``sim`` (discrete-event cluster
+  simulator; see :mod:`repro.sim`).
+
+The paper's claims are reproduced as experiments E1–E10 under
+:mod:`repro.bench` (``python -m repro.bench all``); results are
+recorded in EXPERIMENTS.md.
+"""
+
+from .config import Config, DiskModel, NetworkModel
+from . import errors
+from .errors import (
+    OoppError,
+    NoSuchObjectError,
+    ObjectDestroyedError,
+    RemoteExecutionError,
+    MachineDownError,
+)
+from .runtime import (
+    Cluster,
+    current_cluster,
+    Proxy,
+    RemoteMethod,
+    RemoteFuture,
+    wait_all,
+    gather,
+    as_completed,
+    ObjectGroup,
+    ObjectRef,
+    Block,
+    destroy,
+    is_proxy,
+    ref_of,
+    remote_getattr,
+    remote_setattr,
+    ObjectAddress,
+    parse_address,
+    format_address,
+    autoparallel,
+    Deferred,
+    CallBatch,
+    DeferredError,
+    Protocol,
+    describe_protocol,
+    protocol_of,
+    validate_remote_class,
+)
+from .runtime.sync import Rendezvous, Latch, Mailbox
+from .storage import (
+    Page,
+    ArrayPage,
+    PageDevice,
+    ArrayPageDevice,
+    BlockStorage,
+    create_block_storage,
+    CachingPageDevice,
+    PageAddress,
+    PageMap,
+    RoundRobinPageMap,
+    BlockedPageMap,
+    PencilPageMap,
+    Domain,
+)
+from .array import Array
+from .fft import FFT, DistributedFFT3D
+from .fft.serial import fft as serial_fft, ifft as serial_ifft
+from .fft.serial import fftn as serial_fftn, ifftn as serial_ifftn
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Config",
+    "DiskModel",
+    "NetworkModel",
+    "errors",
+    "OoppError",
+    "NoSuchObjectError",
+    "ObjectDestroyedError",
+    "RemoteExecutionError",
+    "MachineDownError",
+    "Cluster",
+    "current_cluster",
+    "Proxy",
+    "RemoteMethod",
+    "RemoteFuture",
+    "wait_all",
+    "gather",
+    "as_completed",
+    "ObjectGroup",
+    "ObjectRef",
+    "Block",
+    "destroy",
+    "is_proxy",
+    "ref_of",
+    "remote_getattr",
+    "remote_setattr",
+    "ObjectAddress",
+    "parse_address",
+    "format_address",
+    "autoparallel",
+    "Deferred",
+    "CallBatch",
+    "DeferredError",
+    "Protocol",
+    "describe_protocol",
+    "protocol_of",
+    "validate_remote_class",
+    "CachingPageDevice",
+    "Rendezvous",
+    "Latch",
+    "Mailbox",
+    "Page",
+    "ArrayPage",
+    "PageDevice",
+    "ArrayPageDevice",
+    "BlockStorage",
+    "create_block_storage",
+    "PageAddress",
+    "PageMap",
+    "RoundRobinPageMap",
+    "BlockedPageMap",
+    "PencilPageMap",
+    "Domain",
+    "Array",
+    "FFT",
+    "DistributedFFT3D",
+    "serial_fft",
+    "serial_ifft",
+    "serial_fftn",
+    "serial_ifftn",
+    "__version__",
+]

@@ -1,0 +1,59 @@
+"""Shipping *functions* to object processes.
+
+User-defined map/reduce/stencil kernels must execute on remote
+machines.  Closures don't pickle; module-level functions do — but a
+spec of ``(module, qualname)`` is cheaper on the wire and resolves
+through :data:`sys.modules` first, so functions defined in test files
+work under the fork start method exactly like classes do
+(:func:`repro.runtime.oid.resolve_class`).
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from typing import Callable
+
+from ..errors import RuntimeLayerError
+
+
+def func_spec(fn: Callable) -> tuple[str, str]:
+    """The (module, qualname) pair identifying *fn* across processes.
+
+    Rejects lambdas and local functions up front — they could never be
+    resolved on the remote side, and the error is clearer here than
+    there.
+    """
+    if not callable(fn):
+        raise RuntimeLayerError(f"expected a callable, got {type(fn).__name__}")
+    qualname = getattr(fn, "__qualname__", "")
+    if "<lambda>" in qualname or "<locals>" in qualname:
+        raise RuntimeLayerError(
+            f"cannot ship {qualname!r}: map/reduce functions must be "
+            "module-level (lambdas and local defs don't resolve remotely)")
+    return (fn.__module__, qualname)
+
+
+def resolve_func(spec: tuple[str, str]) -> Callable:
+    """Resolve a function spec on the executing machine."""
+    module_name, qualname = spec
+    module = sys.modules.get(module_name)
+    if module is None:
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise RuntimeLayerError(
+                f"cannot resolve function {module_name}:{qualname}: {exc}"
+            ) from exc
+    obj: object = module
+    for part in qualname.split("."):
+        try:
+            obj = getattr(obj, part)
+        except AttributeError as exc:
+            raise RuntimeLayerError(
+                f"cannot resolve function {module_name}:{qualname}: "
+                f"no attribute {part!r}") from exc
+    if not callable(obj):
+        raise RuntimeLayerError(
+            f"{module_name}:{qualname} resolved to a non-callable")
+    return obj

@@ -1,0 +1,224 @@
+"""A sharded key-value store — the client-server model as objects.
+
+:class:`KVShard` is an ordinary class hosted on a machine; it *is* the
+server, with no server code written (the framework's dispatcher serves
+it).  :class:`KVStore` is the client: a hash router over the shard
+proxies, with pipelined bulk operations and the §5 persistence
+machinery attached to the shards themselves (`persist()` registers
+every shard under a derived symbolic name, `KVStore.attach` rebuilds a
+client from those names in a fresh cluster).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Hashable, Iterable, Optional, Sequence
+
+from ..errors import OoppError
+from ..runtime.futures import wait_all
+from ..runtime.group import ObjectGroup
+
+_MISSING = "__kv_missing__"
+
+
+class KVShard:
+    """One shard: a dict with versioned writes.
+
+    Methods are executed by the machine's thread pool; a lock keeps
+    the map and the version counter consistent under concurrency.
+    """
+
+    def __init__(self, shard_id: int) -> None:
+        self.shard_id = shard_id
+        self._data: dict[Hashable, Any] = {}
+        self._lock = threading.Lock()
+        self.version = 0
+
+    def put(self, key: Hashable, value: Any) -> int:
+        with self._lock:
+            self._data[key] = value
+            self.version += 1
+            return self.version
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        with self._lock:
+            return self._data.get(key, default)
+
+    def get_strict(self, key: Hashable) -> Any:
+        with self._lock:
+            if key not in self._data:
+                raise KeyError(key)
+            return self._data[key]
+
+    def delete(self, key: Hashable) -> bool:
+        with self._lock:
+            existed = self._data.pop(key, _MISSING) is not _MISSING
+            if existed:
+                self.version += 1
+            return existed
+
+    def contains(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def put_many(self, pairs: list[tuple[Hashable, Any]]) -> int:
+        with self._lock:
+            self._data.update(pairs)
+            self.version += 1
+            return len(self._data)
+
+    def get_many(self, keys: list) -> list:
+        with self._lock:
+            return [self._data.get(k, _MISSING) for k in keys]
+
+    def size(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def keys(self) -> list:
+        with self._lock:
+            return list(self._data.keys())
+
+    def items(self) -> list:
+        with self._lock:
+            return list(self._data.items())
+
+    def clear(self) -> int:
+        with self._lock:
+            n = len(self._data)
+            self._data.clear()
+            self.version += 1
+            return n
+
+    # -- persistence (§5: snapshot the dict, not the lock) --------------------
+
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"shard_id": self.shard_id, "data": dict(self._data),
+                    "version": self.version}
+
+    def __setstate__(self, state: dict) -> None:
+        self.shard_id = state["shard_id"]
+        self._data = dict(state["data"])
+        self.version = state["version"]
+        self._lock = threading.Lock()
+
+
+class KVStore:
+    """The client: hash-routes keys over shard objects."""
+
+    def __init__(self, shards: Sequence) -> None:
+        if not shards:
+            raise OoppError("a KV store needs at least one shard")
+        self.shards = ObjectGroup(list(shards))
+
+    # -- deployment ------------------------------------------------------------
+
+    @classmethod
+    def deploy(cls, cluster, n_shards: Optional[int] = None,
+               machines: Optional[Sequence[int]] = None) -> "KVStore":
+        """One shard object per machine (round-robin by default)."""
+        n = n_shards or cluster.n_machines
+        group = cluster.new_group(KVShard, n, machines=machines,
+                                  argfn=lambda i: (i,))
+        return cls(group.proxies)
+
+    def _shard(self, key: Hashable):
+        return self.shards[hash(key) % len(self.shards)]
+
+    # -- single-key operations (one round trip each) ---------------------------
+
+    def put(self, key: Hashable, value: Any) -> None:
+        self._shard(key).put(key, value)
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        return self._shard(key).get(key, default)
+
+    def __setitem__(self, key: Hashable, value: Any) -> None:
+        self.put(key, value)
+
+    def __getitem__(self, key: Hashable) -> Any:
+        return self._shard(key).get_strict(key)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return self._shard(key).contains(key)
+
+    def delete(self, key: Hashable) -> bool:
+        return self._shard(key).delete(key)
+
+    # -- bulk operations (pipelined; one message per touched shard) -----------
+
+    def put_many(self, pairs: Iterable[tuple[Hashable, Any]]) -> None:
+        per_shard: dict[int, list] = {}
+        for key, value in pairs:
+            per_shard.setdefault(hash(key) % len(self.shards), []).append(
+                (key, value))
+        futures = [self.shards[s].put_many.future(chunk)
+                   for s, chunk in per_shard.items()]
+        wait_all(futures)
+
+    def get_many(self, keys: Sequence[Hashable],
+                 default: Any = None) -> list:
+        per_shard: dict[int, list[int]] = {}
+        for i, key in enumerate(keys):
+            per_shard.setdefault(hash(key) % len(self.shards), []).append(i)
+        futures = {
+            s: self.shards[s].get_many.future([keys[i] for i in idxs])
+            for s, idxs in per_shard.items()
+        }
+        out: list = [default] * len(keys)
+        for s, idxs in per_shard.items():
+            values = futures[s].result()
+            for i, v in zip(idxs, values):
+                out[i] = default if v == _MISSING else v
+        return out
+
+    # -- whole-store operations --------------------------------------------------
+
+    def size(self) -> int:
+        return sum(self.shards.invoke("size"))
+
+    def keys(self) -> list:
+        out: list = []
+        for chunk in self.shards.invoke("keys"):
+            out.extend(chunk)
+        return out
+
+    def items(self) -> dict:
+        merged: dict = {}
+        for chunk in self.shards.invoke("items"):
+            merged.update(chunk)
+        return merged
+
+    def clear(self) -> int:
+        return sum(self.shards.invoke("clear"))
+
+    def shard_sizes(self) -> list[int]:
+        """Per-shard entry counts — load-balance diagnostics."""
+        return self.shards.invoke("size")
+
+    # -- persistence over §5 --------------------------------------------------------
+
+    def persist(self, cluster, name: str, store: str = "data") -> list[str]:
+        """Register every shard as a persistent process.
+
+        Returns the shards' symbolic addresses; feed them (in order) to
+        :meth:`attach` in a later session.
+        """
+        return [str(cluster.persist(p, f"{name}-shard{i}", store=store))
+                for i, p in enumerate(self.shards)]
+
+    @classmethod
+    def attach(cls, cluster, addresses: Sequence[str]) -> "KVStore":
+        """Rebuild a client from persisted shard addresses.
+
+        Shards reactivate round-robin over the new cluster's machines.
+        The address list must be complete and in shard order — the
+        router's hash space depends on the count and order.
+        """
+        shards = [cluster.lookup(a, machine=i % cluster.n_machines)
+                  for i, a in enumerate(addresses)]
+        return cls(shards)
+
+    def destroy(self) -> None:
+        self.shards.destroy()

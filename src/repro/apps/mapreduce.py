@@ -1,0 +1,195 @@
+"""MapReduce as object processes.
+
+The dataflow is the classic one, but every edge is a remote method
+execution:
+
+1. the driver hands each :class:`Mapper` a chunk of input records
+   (pipelined — the §4 loop split);
+2. each mapper applies the user's map function, partitions the emitted
+   ``(key, value)`` pairs by key hash, and pushes each partition
+   **directly to its reducer object** with ``reducer.accept(...)`` —
+   the shuffle is mapper-to-reducer traffic, never relayed through the
+   driver;
+3. once every mapper has finished (the natural barrier: the driver has
+   collected all ``run_chunk`` replies, and each of those replies only
+   after its pushes were acknowledged), the driver asks each
+   :class:`Reducer` to fold its groups with the user's reduce function.
+
+The user supplies ordinary module-level functions::
+
+    def map_words(record):            # record -> iterable of (k, v)
+        for word in record.split():
+            yield word, 1
+
+    def reduce_counts(key, values):   # key, [v] -> result
+        return sum(values)
+
+    counts = run_mapreduce(cluster, map_words, reduce_counts, lines)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from ..errors import OoppError
+from ..runtime.futures import wait_all
+from ..runtime.group import ObjectGroup
+from .funcspec import func_spec, resolve_func
+
+
+class Mapper:
+    """A map worker: applies the map function and shuffles to reducers."""
+
+    def __init__(self, mapper_id: int, map_spec: tuple[str, str]) -> None:
+        self.mapper_id = mapper_id
+        self._map_fn = resolve_func(map_spec)
+        self._reducers: Optional[list] = None
+        self.records_mapped = 0
+        self.pairs_emitted = 0
+
+    def set_reducers(self, reducers: Sequence) -> int:
+        """Deep-copied remote pointers to the reducer group (§4 style)."""
+        self._reducers = list(reducers)
+        return len(self._reducers)
+
+    def run_chunk(self, records: Iterable[Any]) -> dict:
+        """Map a chunk and push every partition to its reducer.
+
+        Returns per-mapper statistics; the reply doubles as the
+        completion signal the driver's barrier relies on.
+        """
+        if not self._reducers:
+            raise OoppError("mapper has no reducers; call set_reducers first")
+        n_reducers = len(self._reducers)
+        partitions: dict[int, list[tuple[Any, Any]]] = defaultdict(list)
+        for record in records:
+            self.records_mapped += 1
+            for key, value in self._map_fn(record):
+                self.pairs_emitted += 1
+                partitions[hash(key) % n_reducers].append((key, value))
+        # the shuffle: pipelined pushes straight to the reducer objects
+        futures = []
+        for r, pairs in partitions.items():
+            futures.append(
+                self._reducers[r].accept.future(self.mapper_id, pairs))
+        wait_all(futures)
+        return {
+            "mapper": self.mapper_id,
+            "records": self.records_mapped,
+            "pairs": self.pairs_emitted,
+            "partitions": len(partitions),
+        }
+
+
+class Reducer:
+    """A reduce worker: accumulates groups, folds them on demand."""
+
+    def __init__(self, reducer_id: int, reduce_spec: tuple[str, str]) -> None:
+        self.reducer_id = reducer_id
+        self._reduce_fn = resolve_func(reduce_spec)
+        self._groups: dict[Any, list] = defaultdict(list)
+        self._lock = threading.Lock()
+        self.accepted_from: set[int] = set()
+
+    def accept(self, mapper_id: int, pairs: list[tuple[Any, Any]]) -> int:
+        """Receive one mapper's partition (runs concurrently per mapper)."""
+        with self._lock:
+            for key, value in pairs:
+                self._groups[key].append(value)
+            self.accepted_from.add(mapper_id)
+            return len(self._groups)
+
+    def reduce_all(self) -> dict:
+        """Fold every key group with the reduce function."""
+        with self._lock:
+            groups = dict(self._groups)
+        return {key: self._reduce_fn(key, values)
+                for key, values in groups.items()}
+
+    def reset(self) -> None:
+        """Drop accumulated groups (reusing the deployment across jobs)."""
+        with self._lock:
+            self._groups.clear()
+            self.accepted_from.clear()
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "reducer": self.reducer_id,
+                "keys": len(self._groups),
+                "mappers_seen": sorted(self.accepted_from),
+            }
+
+
+def _chunk(items: Sequence[Any], parts: int) -> list[list[Any]]:
+    """Split *items* into *parts* balanced chunks (some possibly empty)."""
+    base, extra = divmod(len(items), parts)
+    out, cursor = [], 0
+    for i in range(parts):
+        width = base + (1 if i < extra else 0)
+        out.append(list(items[cursor:cursor + width]))
+        cursor += width
+    return out
+
+
+class MapReduce:
+    """A reusable MapReduce deployment over a cluster."""
+
+    def __init__(self, cluster, map_fn: Callable, reduce_fn: Callable,
+                 n_mappers: Optional[int] = None,
+                 n_reducers: Optional[int] = None) -> None:
+        self.cluster = cluster
+        self.n_mappers = n_mappers or cluster.n_machines
+        self.n_reducers = n_reducers or cluster.n_machines
+        map_s, reduce_s = func_spec(map_fn), func_spec(reduce_fn)
+        self.mappers: ObjectGroup = cluster.new_group(
+            Mapper, self.n_mappers, argfn=lambda i: (i, map_s))
+        self.reducers: ObjectGroup = cluster.new_group(
+            Reducer, self.n_reducers, argfn=lambda i: (i, reduce_s))
+        # hand every mapper the deep-copied reducer pointer array
+        self.mappers.invoke("set_reducers", self.reducers.proxies)
+        self.last_map_stats: list[dict] = []
+
+    def run(self, records: Sequence[Any]) -> dict:
+        """Execute one job; returns the merged key → result mapping.
+
+        Key partitioning uses ``hash(key)``, which the forked machines
+        share with the driver (same hash seed); the overlap check below
+        turns any inconsistency into a loud error rather than silent
+        double counting.
+        """
+        self.reducers.invoke("reset")
+        chunks = _chunk(records, self.n_mappers)
+        # map phase (pipelined); replies arrive only after each mapper's
+        # shuffle pushes completed, so collecting them is the barrier.
+        self.last_map_stats = self.mappers.invoke_each(
+            "run_chunk", [(c,) for c in chunks])
+        # reduce phase (pipelined)
+        partials = self.reducers.invoke("reduce_all")
+        merged: dict = {}
+        for part in partials:
+            overlap = merged.keys() & part.keys()
+            if overlap:
+                raise OoppError(
+                    f"keys reduced on two reducers: {sorted(overlap)[:5]} "
+                    "(non-deterministic key hash?)")
+            merged.update(part)
+        return merged
+
+    def destroy(self) -> None:
+        self.mappers.destroy()
+        self.reducers.destroy()
+
+
+def run_mapreduce(cluster, map_fn: Callable, reduce_fn: Callable,
+                  records: Sequence[Any],
+                  n_mappers: Optional[int] = None,
+                  n_reducers: Optional[int] = None) -> dict:
+    """One-shot MapReduce job (deploys, runs, tears down)."""
+    job = MapReduce(cluster, map_fn, reduce_fn, n_mappers, n_reducers)
+    try:
+        return job.run(records)
+    finally:
+        job.destroy()

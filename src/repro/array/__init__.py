@@ -1,0 +1,13 @@
+"""The distributed 3-D array of paper §5.
+
+:class:`Array` implements computation with an array object "that
+requires a large number of hardware devices for its storage": domain
+reads/writes assembled from page-device region transfers, and
+reductions executed *at the data servers* with only partial results
+moving to the client.
+"""
+
+from .array3d import Array
+from .partition import slab_bounds, slab_domains
+
+__all__ = ["Array", "slab_bounds", "slab_domains"]

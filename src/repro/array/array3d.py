@@ -1,0 +1,236 @@
+"""The paper's Array class: a huge 3-D array over block storage.
+
+An :class:`Array` is a *client* for computing with an ``N1 × N2 × N3``
+array of doubles whose pages live on many (usually remote) devices.
+Its methods mirror the paper's listing:
+
+* :meth:`read` / :meth:`write` move a sub-domain between the devices
+  and a local numpy array small enough for one machine's memory;
+* :meth:`sum` (and the other reductions) execute page-local reductions
+  *on the data servers* and combine only scalars at the client;
+* the :class:`~repro.storage.pagemap.PageMap` chosen at construction
+  "determines the degree of parallelism of these I/O operations".
+
+Every device operation is issued through
+:func:`~repro.storage.blockstore.call_on_device`: all page transfers
+for a request are in flight simultaneously (the compiler-split loop of
+§4), with per-device FIFO order preserved by the connection layer.
+
+Array instances are picklable (storage proxies and page maps are
+values), so applications can deploy *multiple Array clients in
+parallel*, each hosted on its own machine — the paper's closing remark
+of §5 and our experiment E9.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import DomainError, StorageError
+from ..runtime.futures import RemoteFuture
+from ..storage.blockstore import BlockStorage, call_on_device
+from ..storage.domain import Domain, full_domain
+from ..storage.pagemap import PageMap
+
+
+_REDUCE_COMBINE = {
+    "sum": lambda parts: float(np.sum(parts)),
+    "sumsq": lambda parts: float(np.sum(parts)),
+    "min": lambda parts: float(np.min(parts)),
+    "max": lambda parts: float(np.max(parts)),
+}
+
+
+class Array:
+    """A distributed 3-D array of doubles (paper §5).
+
+    Parameters
+    ----------
+    N1, N2, N3:
+        Global array extents.
+    n1, n2, n3:
+        Page (block) extents; pages tile the array, the last page along
+        an axis possibly padding past the edge.
+    data:
+        The :class:`~repro.storage.blockstore.BlockStorage` holding the
+        pages (devices may be local objects or remote proxies).
+    map:
+        The :class:`~repro.storage.pagemap.PageMap` placing logical
+        pages on devices.
+    """
+
+    def __init__(self, N1: int, N2: int, N3: int, n1: int, n2: int, n3: int,
+                 data: BlockStorage, map: PageMap) -> None:
+        if min(N1, N2, N3) <= 0:
+            raise DomainError(f"array shape must be positive ({N1},{N2},{N3})")
+        if min(n1, n2, n3) <= 0:
+            raise DomainError(f"page shape must be positive ({n1},{n2},{n3})")
+        self.N1, self.N2, self.N3 = N1, N2, N3
+        self.n1, self.n2, self.n3 = n1, n2, n3
+        if not isinstance(data, BlockStorage):
+            data = BlockStorage(list(data))
+        self.data = data
+        grid = (-(-N1 // n1), -(-N2 // n2), -(-N3 // n3))
+        if map.grid != grid:
+            raise StorageError(
+                f"page map grid {map.grid} does not match array page grid "
+                f"{grid}")
+        if map.n_devices != len(data):
+            raise StorageError(
+                f"page map expects {map.n_devices} devices, storage has "
+                f"{len(data)}")
+        if map.pages_per_device > self._device_capacity():
+            raise StorageError(
+                f"layout needs {map.pages_per_device} pages per device; "
+                f"devices hold only {self._device_capacity()}")
+        self.map = map
+
+    def _device_capacity(self) -> int:
+        futures = [call_on_device(d, "describe") for d in self.data]
+        return min(int(f.result()["NumberOfPages"]) for f in futures)
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.N1, self.N2, self.N3)
+
+    @property
+    def page_shape(self) -> tuple[int, int, int]:
+        return (self.n1, self.n2, self.n3)
+
+    @property
+    def domain(self) -> Domain:
+        return full_domain(self.N1, self.N2, self.N3)
+
+    @property
+    def size(self) -> int:
+        return self.N1 * self.N2 * self.N3
+
+    def _check_domain(self, domain: Optional[Domain]) -> Domain:
+        if domain is None:
+            return self.domain
+        if not self.domain.contains(domain):
+            raise DomainError(f"{domain!r} outside array {self.shape}")
+        return domain
+
+    def _tiles(self, domain: Domain):
+        """Per-page pieces of *domain* with their physical addresses.
+
+        Yields ``(address, piece, local_lo, local_hi)``.
+        """
+        for (pi, pj, pk), piece in domain.tiles(self.page_shape):
+            addr = self.map.physical(pi, pj, pk)
+            origin = (pi * self.n1, pj * self.n2, pk * self.n3)
+            local = piece.relative_to(origin)
+            yield addr, piece, local.lo, local.hi
+
+    # -- data movement ("move the data to the computation") ---------------------
+
+    def read(self, domain: Optional[Domain] = None) -> np.ndarray:
+        """Assemble the sub-array covering *domain* (default: all).
+
+        All page-region transfers are issued before any is awaited; the
+        page map decides how many devices serve them concurrently.
+        """
+        domain = self._check_domain(domain)
+        out = np.empty(domain.shape, dtype=np.float64)
+        pending: list[tuple[RemoteFuture, Domain]] = []
+        for addr, piece, lo, hi in self._tiles(domain):
+            future = call_on_device(self.data.device(addr.device_id),
+                                    "read_region", addr.index, lo, hi)
+            pending.append((future, piece))
+        for future, piece in pending:
+            local = piece.relative_to(domain.lo)
+            out[local.slices] = future.result()
+        return out
+
+    def write(self, subarray: np.ndarray, domain: Optional[Domain] = None) -> None:
+        """Scatter *subarray* over *domain* (default: the whole array)."""
+        domain = self._check_domain(domain)
+        subarray = np.asarray(subarray, dtype=np.float64)
+        if subarray.shape != domain.shape:
+            raise DomainError(
+                f"subarray shape {subarray.shape} != domain shape "
+                f"{domain.shape}")
+        pending: list[RemoteFuture] = []
+        for addr, piece, lo, hi in self._tiles(domain):
+            local = piece.relative_to(domain.lo)
+            values = np.ascontiguousarray(subarray[local.slices])
+            pending.append(call_on_device(self.data.device(addr.device_id),
+                                          "write_region", addr.index, lo, hi,
+                                          values))
+        for future in pending:
+            future.result()
+
+    def fill(self, value: float, domain: Optional[Domain] = None) -> None:
+        """Set every element of *domain* to *value*, at the data."""
+        domain = self._check_domain(domain)
+        pending = [
+            call_on_device(self.data.device(addr.device_id), "fill_region",
+                           addr.index, lo, hi, float(value))
+            for addr, _piece, lo, hi in self._tiles(domain)
+        ]
+        for future in pending:
+            future.result()
+
+    # -- reductions ("move the computation to the data") --------------------------
+
+    def _reduce(self, op: str, domain: Optional[Domain]) -> float:
+        domain = self._check_domain(domain)
+        if domain.empty:
+            raise DomainError(f"cannot reduce an empty domain with {op!r}")
+        pending = [
+            call_on_device(self.data.device(addr.device_id), "reduce_region",
+                           addr.index, lo, hi, op)
+            for addr, _piece, lo, hi in self._tiles(domain)
+        ]
+        parts = [f.result() for f in pending]
+        return _REDUCE_COMBINE[op](parts)
+
+    def sum(self, domain: Optional[Domain] = None) -> float:
+        """Paper §5: partial sums computed by the data servers and
+        combined by this client."""
+        domain = self._check_domain(domain)
+        if domain.empty:
+            return 0.0
+        return self._reduce("sum", domain)
+
+    def min(self, domain: Optional[Domain] = None) -> float:
+        return self._reduce("min", domain)
+
+    def max(self, domain: Optional[Domain] = None) -> float:
+        return self._reduce("max", domain)
+
+    def norm2(self, domain: Optional[Domain] = None) -> float:
+        """Euclidean norm via at-the-data sums of squares."""
+        domain = self._check_domain(domain)
+        if domain.empty:
+            return 0.0
+        return float(np.sqrt(self._reduce("sumsq", domain)))
+
+    def mean(self, domain: Optional[Domain] = None) -> float:
+        domain = self._check_domain(domain)
+        return self.sum(domain) / domain.size
+
+    # -- pickling (multiple Array clients in parallel, §5) -------------------------
+
+    def __getstate__(self) -> dict:
+        return {
+            "shape": self.shape,
+            "page_shape": self.page_shape,
+            "devices": self.data.devices,
+            "map": self.map,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.N1, self.N2, self.N3 = state["shape"]
+        self.n1, self.n2, self.n3 = state["page_shape"]
+        self.data = BlockStorage(state["devices"])
+        self.map = state["map"]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<Array {self.N1}x{self.N2}x{self.N3} pages "
+                f"{self.n1}x{self.n2}x{self.n3} on {len(self.data)} devices>")

@@ -1,0 +1,160 @@
+"""At-the-data operations between distributed arrays.
+
+When two :class:`~repro.array.array3d.Array` objects share the same
+geometry, page map *and* block storage, elementwise operations between
+them never need to move array data at all: every page pair is
+co-located on one device, so the work ships to the data as page-local
+method executions and only scalars (if anything) come back — the
+"move the computation to the data" side of paper §3 at full-array
+scale.
+
+To allocate siblings, give each array a disjoint page-index region of
+the same devices via :func:`offset_map`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import StorageError
+from ..storage.blockstore import call_on_device
+from ..storage.pagemap import PageAddress, PageMap
+from .array3d import Array
+
+
+@dataclass(frozen=True)
+class offset_map(PageMap):
+    """A page map shifted by a fixed per-device index offset.
+
+    Lets several arrays of identical geometry share one
+    :class:`~repro.storage.blockstore.BlockStorage`: array *k* uses
+    ``base`` shifted by ``k * base.pages_per_device`` slots.
+    """
+
+    base: PageMap = None  # type: ignore[assignment]
+    offset: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.base is None:
+            raise StorageError("offset_map needs a base map")
+        if self.offset < 0:
+            raise StorageError(f"negative offset {self.offset}")
+        if self.base.grid != self.grid or self.base.n_devices != self.n_devices:
+            raise StorageError("offset_map must match its base's geometry")
+
+    def physical(self, i1: int, i2: int, i3: int) -> PageAddress:
+        addr = self.base.physical(i1, i2, i3)
+        return PageAddress(addr.device_id, addr.index + self.offset)
+
+    @property
+    def pages_per_device(self) -> int:
+        return self.base.pages_per_device + self.offset
+
+
+def _paired_pages(x: Array, y: Array):
+    """Iterate co-located page pairs of two sibling arrays.
+
+    Yields ``(device, x_index, y_index)``; raises if the arrays do not
+    share geometry and devices.
+    """
+    if x.shape != y.shape or x.page_shape != y.page_shape:
+        raise StorageError(
+            f"arrays differ in geometry: {x.shape}/{x.page_shape} vs "
+            f"{y.shape}/{y.page_shape}")
+    if x.data.devices != y.data.devices:
+        raise StorageError("arrays must share the same block storage")
+    g1, g2, g3 = x.map.grid
+    for i1 in range(g1):
+        for i2 in range(g2):
+            for i3 in range(g3):
+                xa = x.map.physical(i1, i2, i3)
+                ya = y.map.physical(i1, i2, i3)
+                if xa.device_id != ya.device_id:
+                    raise StorageError(
+                        f"page ({i1},{i2},{i3}) not co-located: device "
+                        f"{xa.device_id} vs {ya.device_id}")
+                yield x.data.device(xa.device_id), xa.index, ya.index
+
+
+def scale(x: Array, alpha: float) -> None:
+    """``x *= alpha`` with zero array-data movement."""
+    pending = []
+    g1, g2, g3 = x.map.grid
+    for i1 in range(g1):
+        for i2 in range(g2):
+            for i3 in range(g3):
+                addr = x.map.physical(i1, i2, i3)
+                pending.append(call_on_device(
+                    x.data.device(addr.device_id), "scale_page",
+                    float(alpha), addr.index))
+    for f in pending:
+        f.result()
+
+
+def axpy(alpha: float, x: Array, y: Array) -> None:
+    """``y += alpha * x`` page-locally (sibling arrays only)."""
+    pending = [
+        call_on_device(dev, "axpy_page", float(alpha), xi, yi)
+        for dev, xi, yi in _paired_pages(x, y)
+    ]
+    for f in pending:
+        f.result()
+
+
+def copy(src: Array, dst: Array) -> None:
+    """``dst[:] = src`` page-locally (sibling arrays only)."""
+    pending = [
+        call_on_device(dev, "copy_page", si, di)
+        for dev, si, di in _paired_pages(src, dst)
+    ]
+    for f in pending:
+        f.result()
+
+
+def apply(x: Array, fn, *extra_args) -> None:
+    """Transform every element of *x* in place with a shipped function.
+
+    *fn* must be module-level (see :mod:`repro.apps.funcspec`); it
+    receives each page's ``(n1, n2, n3)`` array plus *extra_args* and
+    returns the transformed array.  Execution happens entirely on the
+    devices — no array data crosses the network.
+
+    Pages padding past the array edge are transformed too; that is
+    harmless for elementwise functions (the padding stays invisible)
+    but means *fn* must tolerate the pad values (zeros unless written).
+    """
+    from ..apps.funcspec import func_spec
+
+    spec = func_spec(fn)
+    pending = []
+    g1, g2, g3 = x.map.grid
+    for i1 in range(g1):
+        for i2 in range(g2):
+            for i3 in range(g3):
+                addr = x.map.physical(i1, i2, i3)
+                pending.append(call_on_device(
+                    x.data.device(addr.device_id), "apply_page", spec,
+                    addr.index, *extra_args))
+    for f in pending:
+        f.result()
+
+
+def dot(x: Array, y: Array) -> float:
+    """Inner product; only one scalar per page crosses the network.
+
+    Note: pages padding past the array edge contribute — exact only
+    when the page shape divides the array shape (checked).
+    """
+    for N, n in zip(x.shape, x.page_shape):
+        if N % n != 0:
+            raise StorageError(
+                "dot requires page shape dividing array shape "
+                f"({x.shape} vs {x.page_shape}); pad pages hold garbage")
+    futures = [
+        call_on_device(dev, "dot_pages", xi, yi)
+        for dev, xi, yi in _paired_pages(x, y)
+    ]
+    return float(np.sum([f.result() for f in futures]))

@@ -1,0 +1,28 @@
+"""Domain decomposition helpers shared by the Array and the FFT."""
+
+from __future__ import annotations
+
+from ..errors import DomainError
+from ..storage.domain import Domain, full_domain
+
+
+def slab_bounds(extent: int, parts: int, index: int) -> tuple[int, int]:
+    """Bounds of slab *index* when ``[0, extent)`` splits into *parts*.
+
+    The first ``extent % parts`` slabs are one plane taller, matching
+    :meth:`repro.storage.domain.Domain.split_axis`.
+    """
+    if parts < 1:
+        raise DomainError(f"parts must be >= 1, got {parts}")
+    if not (0 <= index < parts):
+        raise DomainError(f"slab index {index} outside [0, {parts})")
+    base, extra = divmod(extent, parts)
+    lo = index * base + min(index, extra)
+    hi = lo + base + (1 if index < extra else 0)
+    return lo, hi
+
+
+def slab_domains(N1: int, N2: int, N3: int, parts: int,
+                 axis: int = 0) -> list[Domain]:
+    """The whole array split into *parts* slabs along *axis*."""
+    return full_domain(N1, N2, N3).split_axis(axis, parts)

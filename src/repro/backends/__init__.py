@@ -1,0 +1,23 @@
+"""Backend fabrics: how remote calls actually travel.
+
+``inline``
+    Objects live in the driver process, one virtual machine per object
+    table.  Arguments and results round-trip through the serializer so
+    semantics match a real process boundary.  Use for tests and debug.
+
+``mp``
+    One OS process per machine.  Each machine runs a socket object
+    server; the driver and all machines dial each other directly, so
+    object-to-object calls between machines never relay through the
+    driver.  This is the real implementation of the paper's model.
+
+``sim``
+    Objects live in the driver process but every call is costed on a
+    discrete-event cluster simulator (latency, bandwidth, disks), which
+    provides the petascale-shaped measurements of EXPERIMENTS.md.
+"""
+
+from .base import Fabric, make_fabric
+from .inline import InlineFabric
+
+__all__ = ["Fabric", "make_fabric", "InlineFabric"]

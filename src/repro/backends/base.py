@@ -1,0 +1,135 @@
+"""Abstract fabric: the transport-independent calling convention.
+
+A fabric knows how to deliver a method execution request to an object
+reference and complete a future with the outcome.  Everything else in
+the runtime (proxies, groups, persistence, the Cluster facade) is written
+against this interface and therefore works identically on all backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..config import Config
+from ..errors import NoSuchMachineError, RemoteExecutionError
+from ..runtime.futures import RemoteFuture
+from ..runtime.oid import ObjectRef, class_spec
+from ..runtime.proxy import Proxy
+from ..transport.message import KERNEL_OID, ErrorResponse
+
+
+def exception_from_error(err: ErrorResponse) -> BaseException:
+    """Materialize the caller-side exception for a remote failure.
+
+    When the original exception survived pickling we re-raise *it* so
+    application code can catch the natural type (the paper's transparent
+    semantics); the remote traceback rides along in
+    ``__oopp_remote_traceback__``.  Otherwise a
+    :class:`RemoteExecutionError` carries the details.
+    """
+    if err.exception is not None:
+        exc = err.exception
+        try:
+            exc.__oopp_remote_traceback__ = err.remote_traceback
+        except AttributeError:  # exceptions with __slots__
+            pass
+        return exc
+    return RemoteExecutionError(
+        f"remote method raised {err.type_name}: {err.message}",
+        remote_type_name=err.type_name,
+        remote_traceback=err.remote_traceback,
+    )
+
+
+class Fabric:
+    """Base class for all backends."""
+
+    def __init__(self, config: Config) -> None:
+        config.validate()
+        self.config = config
+        self._closed = False
+
+    # -- topology ---------------------------------------------------------
+
+    @property
+    def machine_count(self) -> int:
+        return self.config.n_machines
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def check_machine(self, machine: int) -> int:
+        if not (0 <= machine < self.machine_count):
+            raise NoSuchMachineError(
+                f"machine {machine} does not exist "
+                f"(cluster has machines 0..{self.machine_count - 1})")
+        return machine
+
+    # -- core calling convention (backends implement call_async) -----------
+
+    def call_async(self, ref: ObjectRef, method: str, args: tuple,
+                   kwargs: dict) -> RemoteFuture:
+        raise NotImplementedError
+
+    def call_oneway(self, ref: ObjectRef, method: str, args: tuple,
+                    kwargs: dict) -> None:
+        raise NotImplementedError
+
+    def call(self, ref: ObjectRef, method: str, args: tuple,
+             kwargs: dict, timeout: Optional[float] = None) -> Any:
+        """Synchronous remote execution — the paper's default semantics."""
+        future = self.call_async(ref, method, args, kwargs)
+        return future.result(timeout if timeout is not None
+                             else self.config.call_timeout_s)
+
+    # -- conveniences built on the calling convention -------------------------
+
+    def kernel_ref(self, machine: int) -> ObjectRef:
+        self.check_machine(machine)
+        return ObjectRef(machine=machine, oid=KERNEL_OID, spec=None)
+
+    def kernel_call(self, machine: int, method: str, *args: Any) -> Any:
+        return self.call(self.kernel_ref(machine), method, args, {})
+
+    def create(self, cls: type, args: tuple = (), kwargs: dict | None = None,
+               *, machine: int = 0) -> Proxy:
+        """The paper's ``new(machine k) Cls(args)``."""
+        ref = self.kernel_call(machine, "create", class_spec(cls), args,
+                               kwargs or {})
+        return Proxy(ref, self)
+
+    def destroy(self, ref: ObjectRef) -> None:
+        self.kernel_call(ref.machine, "destroy", ref.oid)
+
+    def ping(self, machine: int) -> int:
+        return self.kernel_call(machine, "ping")
+
+    def stats(self, machine: int) -> dict:
+        return self.kernel_call(machine, "stats")
+
+    def quiesce(self, machine: int, oids: Optional[list[int]] = None) -> bool:
+        return self.kernel_call(machine, "quiesce", oids)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+
+
+def make_fabric(config: Config) -> Fabric:
+    """Instantiate the backend named by ``config.backend``."""
+    config.validate()
+    if config.backend == "inline":
+        from .inline import InlineFabric
+
+        return InlineFabric(config)
+    if config.backend == "mp":
+        from .mp import MpFabric
+
+        return MpFabric(config)
+    if config.backend == "sim":
+        from .sim import SimFabric
+
+        return SimFabric(config)
+    raise AssertionError(f"unreachable backend {config.backend!r}")

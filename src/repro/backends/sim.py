@@ -1,0 +1,304 @@
+"""Simulated backend: the runtime over the discrete-event cluster.
+
+Objects live in the driver process (one table per simulated machine,
+as in the inline backend), but every remote call is costed on the
+simulated hardware of :mod:`repro.sim`:
+
+* the caller charges a per-message CPU overhead;
+* the request serializes on the caller's egress NIC, crosses the wire,
+  and serializes on the target's ingress NIC — *nominal* byte counts
+  (``__oopp_nominal_bytes__``) let experiments pretend pages are
+  gigabytes while actually moving kilobytes;
+* the method body runs on a freshly spawned simulation process, where
+  the context's cost hooks charge simulated disk and CPU time;
+* the response travels back the same way and fires the caller's future.
+
+Measurements read ``fabric.engine.now`` (simulated seconds); wall-clock
+time is irrelevant.  Blocking thread primitives
+(:class:`~repro.runtime.sync.Mailbox` etc.) must not be hosted on this
+backend — they would stall the simulated clock; coordinate phases from
+the driver instead (the kernel's ``quiesce`` is sim-aware).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..config import Config
+from ..errors import MachineDownError, SimulationError
+from ..runtime.context import CostHooks, RuntimeContext, context_scope, current_context
+from ..runtime.futures import RemoteFuture, completed_future, failed_future
+from ..runtime.oid import ObjectRef
+from ..runtime.server import Dispatcher, Kernel, ObjectTable
+from ..sim.engine import Engine, Trigger
+from ..sim.network import SimNetwork
+from ..sim.trace import TraceLog
+from ..transport import serde
+from ..transport.message import ErrorResponse, Request
+from ..util.ids import IdAllocator
+from .base import Fabric, exception_from_error
+
+#: fixed protocol overhead charged per message on the simulated wire
+MESSAGE_OVERHEAD_BYTES = 64
+
+#: polling quantum of the sim-aware quiesce (simulated seconds)
+QUIESCE_POLL_S = 1e-6
+
+
+class SimCostHooks(CostHooks):
+    """Cost hooks charging one simulated machine's hardware."""
+
+    def __init__(self, fabric: "SimFabric", node_id: int) -> None:
+        self._fabric = fabric
+        self._node_id = node_id
+
+    def charge_compute(self, seconds: float) -> None:
+        if seconds > 0:
+            self._fabric.engine.sleep(seconds)
+
+    def charge_disk_read(self, device_key: str, nbytes: int) -> None:
+        node = self._fabric.network.node(self._node_id)
+        trigger = node.disk(device_key).read(nbytes)
+        self._fabric.trace.record(self._fabric.engine.now, "disk",
+                                  self._node_id, op="read", nbytes=nbytes,
+                                  device=device_key)
+        self._fabric.engine.wait(trigger)
+
+    def charge_disk_write(self, device_key: str, nbytes: int) -> None:
+        node = self._fabric.network.node(self._node_id)
+        trigger = node.disk(device_key).write(nbytes)
+        self._fabric.trace.record(self._fabric.engine.now, "disk",
+                                  self._node_id, op="write", nbytes=nbytes,
+                                  device=device_key)
+        self._fabric.engine.wait(trigger)
+
+
+class SimRemoteFuture(RemoteFuture):
+    """A future whose wait advances the simulated clock."""
+
+    def __init__(self, engine: Engine, *, label: str = "") -> None:
+        super().__init__(label=label)
+        self._engine = engine
+        self.trigger = Trigger(label=label)
+
+    def _wait(self, timeout: Optional[float]) -> bool:
+        # Simulated calls cannot time out in wall-clock terms: waiting
+        # *is* what advances the clock.
+        if not self.done():
+            self._engine.wait(self.trigger)
+        return True
+
+
+class SimKernel(Kernel):
+    """Kernel whose quiesce polls under simulated time.
+
+    The base implementation blocks on a real condition variable, which
+    would freeze the simulated clock (the blocked thread still counts
+    as runnable).  Polling with tiny simulated sleeps lets the engine
+    keep driving in-flight work to completion.
+    """
+
+    def __init__(self, machine_id: int, table: ObjectTable,
+                 engine: Engine) -> None:
+        super().__init__(machine_id, table)
+        self._engine = engine
+
+    def quiesce(self, oids: Optional[list[int]] = None,
+                timeout: Optional[float] = None) -> bool:
+        deadline = None if timeout is None else self._engine.now + timeout
+        while not self.table.quiesce(oids, timeout=0):
+            if deadline is not None and self._engine.now >= deadline:
+                return False
+            self._engine.sleep(QUIESCE_POLL_S)
+        return True
+
+
+class _SimMachine:
+    def __init__(self, machine_id: int, fabric: "SimFabric") -> None:
+        self.machine_id = machine_id
+        self.table = ObjectTable()
+        self.kernel = SimKernel(machine_id, self.table, fabric.engine)
+        self.hooks = SimCostHooks(fabric, machine_id)
+        self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
+                                     fabric, hooks=self.hooks)
+
+
+class SimFabric(Fabric):
+    """The runtime fabric over the simulated cluster."""
+
+    def __init__(self, config: Config) -> None:
+        super().__init__(config)
+        self.trace = TraceLog(enabled=True)
+        self.engine = Engine(trace=None)
+        self.network = SimNetwork(self.engine, config.n_machines,
+                                  config.network, config.disk)
+        self._machines = [_SimMachine(i, self) for i in range(config.n_machines)]
+        self._request_ids = IdAllocator()
+        # The driver thread is a simulation process for the whole session.
+        self.engine.adopt_current_thread()
+        self.driver_hooks = SimCostHooks(self, -1)
+
+    # -- helpers ------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.engine.now
+
+    def _caller_node(self) -> int:
+        ctx = current_context()
+        if ctx is not None and ctx.fabric is self:
+            return ctx.machine_id
+        return -1
+
+    def _copy(self, value: Any, machine_id: int) -> tuple[Any, int]:
+        """Snapshot *value* across the simulated boundary.
+
+        Returns ``(copy, true_encoded_bytes)``; the copy is decoded
+        under the destination machine's context.
+        """
+        header, buffers = serde.dumps(value, self.config.pickle_protocol)
+        frozen = [bytes(b) for b in buffers]
+        nbytes = len(header) + sum(len(b) for b in frozen)
+        machine_ctx = (self._machines[machine_id].dispatcher.context
+                       if machine_id >= 0
+                       else RuntimeContext(fabric=self, machine_id=-1,
+                                           hooks=self.driver_hooks))
+        with context_scope(machine_ctx):
+            return serde.loads(header, frozen), nbytes
+
+    def _wire_bytes(self, value: Any) -> int:
+        return serde.nominal_size_of(value, self.config.pickle_protocol) \
+            + MESSAGE_OVERHEAD_BYTES
+
+    # -- calling convention ----------------------------------------------------
+
+    def call_async(self, ref: ObjectRef, method: str, args: tuple,
+                   kwargs: dict) -> RemoteFuture:
+        return self._send(ref, method, args, kwargs, oneway=False)
+
+    def call_oneway(self, ref: ObjectRef, method: str, args: tuple,
+                    kwargs: dict) -> None:
+        self._send(ref, method, args, kwargs, oneway=True)
+
+    def _send(self, ref: ObjectRef, method: str, args: tuple, kwargs: dict,
+              *, oneway: bool) -> Optional[RemoteFuture]:
+        if self._closed:
+            raise MachineDownError("simulated cluster is shut down")
+        dst = self.check_machine(ref.machine)
+        src = self._caller_node()
+        label = f"sim m{src}->m{dst}#{ref.oid}.{method}"
+        cpu = self.config.network.per_message_cpu_s
+
+        # Sender-side CPU: the caller's instruction stream is busy
+        # marshalling; this is what serializes the paper's send-loop.
+        # It shares the node's protocol CPU with response unmarshalling
+        # (one core does both), so a flood of sends and arrivals queues.
+        if cpu > 0:
+            self._cpu_wait(src, cpu)
+
+        req_wire = self._wire_bytes(args) + self._wire_bytes(kwargs)
+        (copied_args, copied_kwargs), _ = self._copy((args, kwargs), dst)
+        request = Request(request_id=self._request_ids.next(),
+                          object_id=ref.oid, method=method,
+                          args=copied_args, kwargs=copied_kwargs,
+                          oneway=oneway, caller=src)
+        self.trace.record(self.engine.now, "call", src, dst=dst,
+                          method=method, oid=ref.oid, nbytes=req_wire)
+
+        future = None if oneway else SimRemoteFuture(self.engine, label=label)
+
+        if src == dst:
+            # Loopback: no network, immediate dispatch on this thread.
+            self._execute(src, dst, request, future)
+            return future
+
+        arrival = self.network.message_arrival(src, dst, req_wire)
+        self.engine.schedule_at(
+            arrival,
+            lambda: self.engine.spawn(self._execute, src, dst, request,
+                                      future, name=f"sim-handler-m{dst}"))
+        return future
+
+    def _cpu_wait(self, node_id: int, seconds: float) -> None:
+        """Occupy *node_id*'s protocol CPU and wait for our slot.
+
+        Unlike a plain sleep, concurrent messages on one machine
+        serialize here — per-message CPU is a per-node resource.
+        """
+        if seconds <= 0:
+            return
+        from ..sim.engine import Trigger
+
+        end = self.network.node(node_id).cpu.occupy(seconds)
+        trigger = Trigger(label=f"cpu m{node_id}")
+        self.engine.fire_at(end, trigger)
+        self.engine.wait(trigger)
+
+    def _execute(self, src: int, dst: int, request: Request,
+                 future: Optional[SimRemoteFuture]) -> None:
+        """Runs on a simulation process of machine *dst*."""
+        machine = self._machines[dst]
+        cpu = self.config.network.per_message_cpu_s
+        if cpu > 0:
+            self._cpu_wait(dst, cpu)  # request unmarshalling
+        if self.config.sim_default_compute_s > 0:
+            self.engine.sleep(self.config.sim_default_compute_s)
+        reply = machine.dispatcher.execute(request)
+        if future is None:
+            return
+        if isinstance(reply, ErrorResponse):
+            exc = exception_from_error(reply)
+            value, resp_wire = None, MESSAGE_OVERHEAD_BYTES
+        else:
+            assert reply is not None
+            exc = None
+            resp_wire = self._wire_bytes(reply.value)
+            # Decode under the caller's context so returned proxies bind
+            # correctly (one fabric, but contexts carry machine identity).
+            value, _ = self._copy(reply.value, src)
+
+        def deliver() -> None:
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(value)
+            self.engine._fire_locked(future.trigger, None, None)
+
+        if src == dst:
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(value)
+            self.engine.fire(future.trigger)
+            return
+        if cpu > 0:
+            self._cpu_wait(dst, cpu)  # response marshalling
+        arrival = self.network.message_arrival(dst, src, resp_wire)
+        # response unmarshalling serializes on the *caller's* CPU —
+        # the receive-loop's per-message cost.
+        done = (self.network.node(src).cpu.occupy_from(arrival, cpu)
+                if cpu > 0 else arrival)
+        self.engine.schedule_at(done, deliver)
+
+    # -- experiment helpers -----------------------------------------------------
+
+    def drain(self) -> float:
+        """Let all in-flight simulated work finish; returns final time."""
+        return self.engine.run_until_idle()
+
+    def utilization_report(self) -> dict:
+        return self.network.utilization_report()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        for machine in self._machines:
+            machine.kernel.destroy_all()
+        self.engine.release_current_thread()
+        super().close()
+
+    def table_of(self, machine: int) -> ObjectTable:
+        return self._machines[self.check_machine(machine)].table

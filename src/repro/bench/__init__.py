@@ -1,0 +1,21 @@
+"""Benchmark harness: the paper's claims as numbered experiments.
+
+The paper (a conceptual paper) has no tables or figures; its evaluation
+is a set of performance claims attached to code listings.  Each claim
+is reproduced as an experiment module ``eNN_*`` exposing:
+
+* ``CLAIM`` — the paper's statement being tested;
+* ``run(...)`` — parameterized execution returning a
+  :class:`~repro.bench.report.Table`;
+* ``check(table)`` — asserts the claim's *shape* (who wins, by roughly
+  what factor) on the measured rows.
+
+``python -m repro.bench`` runs every experiment and prints the tables
+recorded in EXPERIMENTS.md; the pytest-benchmark suites under
+``benchmarks/`` wrap the same modules.
+"""
+
+from .report import Table
+from .registry import EXPERIMENTS, experiment, get_experiment, run_all
+
+__all__ = ["Table", "EXPERIMENTS", "experiment", "get_experiment", "run_all"]

@@ -1,0 +1,59 @@
+"""CLI: ``python -m repro.bench [E1 E2 ... | all] [--full] [--no-check]``.
+
+Runs the requested experiments, prints each table, and (with
+``--markdown``) emits the markdown blocks EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .registry import EXPERIMENTS, _load_all
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.bench")
+    parser.add_argument("ids", nargs="*", default=["all"],
+                        help="experiment ids (E1..E10) or 'all'")
+    parser.add_argument("--full", action="store_true",
+                        help="full parameter sweeps (slower)")
+    parser.add_argument("--no-check", action="store_true",
+                        help="skip the shape assertions")
+    parser.add_argument("--markdown", action="store_true",
+                        help="emit markdown tables")
+    args = parser.parse_args(argv)
+
+    _load_all()
+    ids = sorted(EXPERIMENTS) if (not args.ids or "all" in args.ids) \
+        else args.ids
+    failed = []
+    for key in ids:
+        exp = EXPERIMENTS.get(key)
+        if exp is None:
+            print(f"unknown experiment {key!r}; have {sorted(EXPERIMENTS)}")
+            return 2
+        print(f"\n--- {exp.id} ({exp.anchor}): {exp.title} ---")
+        print(f"claim: {exp.claim}")
+        table = exp.run(fast=not args.full)
+        print()
+        print(table.to_markdown() if args.markdown else table.render())
+        if not args.no_check and exp.check is not None:
+            try:
+                exp.check(table)
+                print(f"[{exp.id}] shape check: PASS")
+            except AssertionError as err:
+                failed.append(exp.id)
+                print(f"[{exp.id}] shape check: FAIL — {err}")
+    if failed:
+        print(f"\nFAILED shape checks: {failed}")
+        return 1
+    if args.no_check:
+        print("\ndone (checks skipped)")
+    else:
+        print("\nall shape checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,72 @@
+"""A2 (ablation) — per-message CPU overhead vs pipelining gains.
+
+DESIGN.md decision 1: pipelining is the library form of the paper's
+compiler loop-splitting.  Its benefit depends on the fixed per-message
+CPU cost the "compiler-generated protocol" imposes: the send-loop
+serializes that cost on the client.  Sweeping the modeled per-message
+CPU shows where a chatty protocol erases the parallel win — the
+quantitative version of the paper's remark that protocol work "is
+relegated to the compiler" and had better be cheap.
+"""
+
+from __future__ import annotations
+
+from ..config import NetworkModel
+from ..runtime.cluster import Cluster
+from ..runtime.group import ObjectGroup
+from ..storage.blockstore import create_block_storage
+from .registry import experiment
+from .report import Table
+from .workloads import MiB
+
+CLAIM = ("Pipelining gains erode once per-message CPU rivals the "
+         "transfer time: the client's two serialized CPU charges per "
+         "message become the critical path, so the speedup falls from "
+         "its disk-parallel peak toward an asymptote of ~2 (the "
+         "client-side CPU ratio of the two loop forms), far below N.")
+
+N_DEVICES = 16
+NOMINAL = 16 * MiB
+
+
+@experiment("A2", "Ablation: per-message CPU vs pipelining gain", CLAIM,
+            anchor="DESIGN §ablations")
+def run(fast: bool = True) -> Table:
+    cpu_values = [0.0, 2e-6, 2e-3, 2e-2, 1e-1, 5e-1]
+    if not fast:
+        cpu_values = [0.0, 1e-6, 1e-5, 1e-4, 1e-3, 5e-3, 2e-2, 5e-2, 1e-1,
+                      2e-1, 5e-1]
+    table = Table(
+        f"A2: {N_DEVICES}-device pipelined read vs per-message CPU "
+        "(simulated)",
+        ["per-msg CPU (s)", "sequential (s)", "pipelined (s)", "speedup"],
+        note=f"One nominally {NOMINAL // MiB} MiB page per device.",
+    )
+    for cpu in cpu_values:
+        net = NetworkModel(per_message_cpu_s=cpu)
+        with Cluster(n_machines=N_DEVICES, backend="sim",
+                     network=net) as cluster:
+            eng = cluster.fabric.engine
+            store = create_block_storage(
+                cluster, N_DEVICES, NumberOfPages=2, n1=8, n2=8, n3=8,
+                nominal_page_size=NOMINAL, filename_prefix=f"a02-{cpu}")
+            group = ObjectGroup(store.devices)
+            t0 = eng.now
+            group.invoke_sequential("read_page", 0)
+            t_seq = eng.now - t0
+            t0 = eng.now
+            group.invoke("read_page", 0)
+            t_par = eng.now - t0
+        table.add(cpu, t_seq, t_par, t_seq / t_par)
+    return table
+
+
+def check(table: Table) -> None:
+    speedups = table.column("speedup")
+    # Cheap protocol: strong disk-parallel gains.
+    assert speedups[0] > 4.0, speedups
+    # The most expensive protocol erases most of the gain...
+    assert speedups[-1] < speedups[0] / 2, speedups
+    assert speedups[-1] < max(speedups) * 0.6, speedups
+    # ...approaching the client-CPU asymptote of ~2 from above.
+    assert 1.8 < speedups[-1] < 4.0, speedups

@@ -1,0 +1,82 @@
+"""E1 — remote object creation and per-call overhead (paper §2).
+
+The paper's first claim is architectural: ``new(machine 1)
+PageDevice(...)`` creates a working object on another machine, and each
+method execution on it is one client-server round trip.  We measure the
+per-call cost of a trivial method across the backends against a plain
+local call, and (on the simulated cluster) against the analytic
+round-trip floor ``2 × (latency + per-message CPU)``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..config import Config
+from ..runtime.cluster import Cluster
+from ..runtime.remotedata import Block
+from .registry import experiment
+from .report import Table
+
+CLAIM = ("Remote method execution works transparently and costs on the "
+         "order of one network round trip per call; local calls are orders "
+         "of magnitude cheaper (motivating the batching/pipelining of §4).")
+
+
+def _per_call_wall(fn, calls: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(calls):
+        fn()
+    return (time.perf_counter() - t0) / calls
+
+
+@experiment("E1", "RPC overhead per backend", CLAIM, anchor="§2")
+def run(fast: bool = True, calls: int | None = None) -> Table:
+    calls = calls or (200 if fast else 2000)
+    table = Table(
+        "E1: per-call cost of a trivial remote method",
+        ["mode", "calls", "per-call (s)", "vs local"],
+        note=f"Block.sum() on a 8-element block; {calls} calls each mode.",
+    )
+
+    local = Block(8)
+    t_local = _per_call_wall(local.sum, calls)
+    table.add("local (plain Python)", calls, t_local, 1.0)
+
+    with Cluster(n_machines=2, backend="inline") as cluster:
+        blk = cluster.new_block(8, machine=1)
+        t_inline = _per_call_wall(blk.sum, calls)
+    table.add("inline backend (serde round trip)", calls, t_inline,
+              t_inline / t_local)
+
+    with Cluster(n_machines=2, backend="mp", call_timeout_s=60.0) as cluster:
+        blk = cluster.new_block(8, machine=1)
+        blk.sum()  # warm the connection
+        t_mp = _per_call_wall(blk.sum, calls)
+    table.add("mp backend (socket RPC)", calls, t_mp, t_mp / t_local)
+
+    with Cluster(n_machines=2, backend="sim") as cluster:
+        blk = cluster.new_block(8, machine=1)
+        eng = cluster.fabric.engine
+        t0 = eng.now
+        for _ in range(calls):
+            blk.sum()
+        t_sim = (eng.now - t0) / calls
+        model = cluster.config.network
+        floor = 2 * (model.latency_s + model.per_message_cpu_s)
+    table.add("sim backend (simulated clock)", calls, t_sim, t_sim / t_local)
+    table.add("sim analytic floor 2*(lat+cpu)", 1, floor, floor / t_local)
+    return table
+
+
+def check(table: Table) -> None:
+    per_call = dict(zip(table.column("mode"), table.column("per-call (s)")))
+    t_local = per_call["local (plain Python)"]
+    t_mp = per_call["mp backend (socket RPC)"]
+    t_sim = per_call["sim backend (simulated clock)"]
+    floor = per_call["sim analytic floor 2*(lat+cpu)"]
+    assert t_mp > 10 * t_local, (
+        f"remote call ({t_mp:.2e}s) should dwarf a local call ({t_local:.2e}s)")
+    # The simulated cost must sit at/above the analytic round-trip floor
+    # and within a small factor of it (only tiny payloads ride on top).
+    assert floor <= t_sim < 4 * floor, (t_sim, floor)

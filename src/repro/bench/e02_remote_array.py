@@ -1,0 +1,67 @@
+"""E2 — remote primitive data: ``new(machine 2) double[1024]`` (paper §2).
+
+The paper notes that ``data[7] = 3.1415`` and ``x = data[2]`` each
+require a full client-server exchange.  The flip side (implicit in the
+paper's §4 pipelining discussion) is that bulk transfers amortize the
+round trip.  We sweep the slice size of a bulk read and report the
+per-element cost against single-element dereferencing on the simulated
+cluster.
+"""
+
+from __future__ import annotations
+
+from ..runtime.cluster import Cluster
+from .registry import experiment
+from .report import Table
+
+CLAIM = ("Element accesses on remote data cost one round trip each; bulk "
+         "slice transfers amortize latency, so per-element cost falls by "
+         "orders of magnitude as the slice grows.")
+
+
+@experiment("E2", "Remote array element vs bulk access", CLAIM, anchor="§2")
+def run(fast: bool = True, n: int = 1 << 16) -> Table:
+    sizes = [1, 8, 64, 512, 4096, 32768] if fast else \
+        [1, 4, 16, 64, 256, 1024, 4096, 16384, 65536]
+    table = Table(
+        "E2: per-element cost of remote double[] access (simulated)",
+        ["access", "elements", "total (s)", "per-element (s)"],
+        note="Block of 2^16 float64 on machine 1; driver on machine 0's host.",
+    )
+    with Cluster(n_machines=2, backend="sim") as cluster:
+        eng = cluster.fabric.engine
+        data = cluster.new_block(n, machine=1)
+
+        # single-element get (the paper's x = data[2])
+        reps = 16
+        t0 = eng.now
+        for i in range(reps):
+            _ = data[i]
+        t_elem = (eng.now - t0) / reps
+        table.add("data[i] (one round trip)", 1, t_elem, t_elem)
+
+        # single-element set (data[7] = 3.1415)
+        t0 = eng.now
+        for i in range(reps):
+            data[i] = 3.1415
+        t_set = (eng.now - t0) / reps
+        table.add("data[i]=v (one round trip)", 1, t_set, t_set)
+
+        for k in sizes:
+            t0 = eng.now
+            _ = data.read(0, k)
+            dt = eng.now - t0
+            table.add(f"read slice[{k}]", k, dt, dt / k)
+    return table
+
+
+def check(table: Table) -> None:
+    rows = list(zip(table.column("access"), table.column("elements"),
+                    table.column("per-element (s)")))
+    slices = [(k, c) for a, k, c in rows if a.startswith("read slice")]
+    elem = next(c for a, _, c in rows if a.startswith("data[i] ("))
+    # Per-element cost falls monotonically (within tolerance) with size...
+    costs = [c for _, c in slices]
+    assert all(b <= a * 1.05 for a, b in zip(costs, costs[1:])), costs
+    # ...and the largest slice beats element access by >= 100x per element.
+    assert costs[-1] * 100 <= elem, (costs[-1], elem)

@@ -1,0 +1,87 @@
+"""E5 — distributed FFT by cooperating processes (paper §4 + §1).
+
+The Fourier transform of a large 3-D array is the paper's motivating
+problem ("a prototype problem where massive and highly parallel data
+communications are necessary").  The FFT group exchanges slabs purely
+by executing ``deposit`` on remote peers.
+
+We strong-scale a fixed volume over N workers on the simulated cluster
+(compute charged at a configurable flops rate) and report total time,
+speedup over one worker, and the share of time spent in the transpose
+phases — the communication the paper worries about, which grows to
+dominate as N rises.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fft.distributed import DistributedFFT3D
+from ..runtime.cluster import Cluster
+from .registry import experiment
+from .report import Table
+from .workloads import random_volume
+
+CLAIM = ("The object FFT scales with workers while local compute "
+         "dominates; the all-to-all transpose (pure remote method "
+         "traffic) takes a growing share of the runtime as N rises.")
+
+#: simulated per-worker compute rate (flops/s)
+FLOPS_RATE = 2e9
+
+
+@experiment("E5", "Distributed FFT strong scaling", CLAIM, anchor="§4")
+def run(fast: bool = True, shape: tuple[int, int, int] | None = None) -> Table:
+    shape = shape or ((24, 24, 24) if fast else (48, 48, 48))
+    workers = [1, 2, 4, 8] if fast else [1, 2, 4, 8, 16]
+    a = random_volume(shape, seed=5, complex_=True)
+    want = np.fft.fftn(a)
+    table = Table(
+        f"E5: forward FFT of {shape[0]}x{shape[1]}x{shape[2]} (simulated)",
+        ["workers", "total (s)", "speedup", "transpose share", "correct"],
+        note=f"Compute charged at {FLOPS_RATE:.0e} flop/s per worker.",
+    )
+    t1 = None
+    for n in workers:
+        with Cluster(n_machines=n, backend="sim") as cluster:
+            eng = cluster.fabric.engine
+            plan = DistributedFFT3D(cluster, shape, n_workers=n,
+                                    flops_rate=FLOPS_RATE)
+            plan.load(a)
+            gen = plan._generation
+            plan._generation += 1
+            t0 = eng.now
+            plan.group.invoke("fft_axes12", -1)
+            t_fft12 = eng.now
+            plan.group.invoke("scatter", f"e5-{gen}")
+            plan.group.invoke("assemble", f"e5-{gen}")
+            t_transpose = eng.now
+            plan.group.invoke("fft_axis0", -1)
+            t_end = eng.now
+            total = t_end - t0
+            transpose_share = (t_transpose - t_fft12) / total
+            # result is in transposed (axis-1-distributed) layout
+            slabs = plan.group.invoke("slab")
+            got = np.concatenate(slabs, axis=1)
+            ok = bool(np.allclose(got, want, atol=1e-7))
+        if t1 is None:
+            t1 = total
+        table.add(n, total, t1 / total, transpose_share, ok)
+    return table
+
+
+def check(table: Table) -> None:
+    assert all(table.column("correct")), "distributed FFT wrong"
+    speedups = table.column("speedup")
+    workers = table.column("workers")
+    shares = table.column("transpose share")
+    # Speedup increases with workers...
+    assert all(b > a for a, b in zip(speedups, speedups[1:])), speedups
+    # ...is real but sublinear at the largest N...
+    assert 1.5 < speedups[-1] < workers[-1], (workers[-1], speedups[-1])
+    # ...and the transpose share grows with N.  (At N=1 the "transpose"
+    # rows measure only the driver's phase-call overhead — no data moves —
+    # so the meaningful comparison starts at N=2.)
+    assert shares[0] < shares[1], shares
+    assert all(b >= a for a, b in zip(shares[1:], shares[2:])), shares
+    assert shares[-1] > 0.2, shares

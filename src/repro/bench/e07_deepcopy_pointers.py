@@ -1,0 +1,98 @@
+"""E7 — deep copy of remote pointer arrays (paper §4).
+
+The paper prefers this ``SetGroup`` implementation::
+
+    void FFT::SetGroup(int myN, FFT * myfft) {
+        fft = new FFT * [N];
+        for (i) fft[i] = myfft[i];   // remote copy
+    }
+
+because keeping ``myfft`` as a remote pointer means every later
+``fft[i]`` dereference is a network exchange.  We build both variants:
+the pointer array is either shipped by value (one bulk transfer per
+member) or hosted as an object on the driver machine's side and
+dereferenced element by element (N round trips per member).
+"""
+
+from __future__ import annotations
+
+from ..runtime.cluster import Cluster
+from .registry import experiment
+from .report import Table
+
+CLAIM = ("Deep-copying the array of remote pointers (one bulk message per "
+         "member) beats element-wise remote dereference (N round trips per "
+         "member, O(N^2) total) by a growing factor.")
+
+
+class PointerTable:
+    """A remotely-hosted array of remote pointers (the non-deep variant)."""
+
+    def __init__(self, items=None) -> None:
+        self.items = list(items or [])
+
+    def set_items(self, items) -> None:
+        self.items = list(items)
+
+    def __getitem__(self, i: int):
+        return self.items[i]
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class GroupMember:
+    """A process that needs to learn its peer group."""
+
+    def __init__(self, myid: int) -> None:
+        self.id = myid
+        self.peers: list = []
+
+    def set_group_deep(self, n: int, pointers) -> int:
+        """The paper's preferred deep copy: the array arrives by value."""
+        self.peers = list(pointers)
+        return len(self.peers)
+
+    def set_group_by_reference(self, n: int, table) -> int:
+        """Keep a remote pointer to the array; dereference each member."""
+        self.peers = [table[i] for i in range(n)]  # n round trips
+        return len(self.peers)
+
+
+@experiment("E7", "Deep copy vs remote dereference of pointer arrays",
+            CLAIM, anchor="§4")
+def run(fast: bool = True) -> Table:
+    sizes = [2, 4, 8, 16] if fast else [2, 4, 8, 16, 32, 64]
+    table = Table(
+        "E7: SetGroup strategies (simulated)",
+        ["members", "deep copy (s)", "by reference (s)", "ratio"],
+        note="Pointer array hosted on machine 0 for the reference variant.",
+    )
+    for n in sizes:
+        with Cluster(n_machines=min(n, 8), backend="sim") as cluster:
+            eng = cluster.fabric.engine
+            group = cluster.new_group(GroupMember, n, argfn=lambda i: (i,))
+            pointers = group.proxies
+
+            t0 = eng.now
+            group.invoke("set_group_deep", n, pointers)
+            t_deep = eng.now - t0
+
+            host = cluster.new(PointerTable, machine=0)
+            host.set_items(pointers)
+            t0 = eng.now
+            group.invoke("set_group_by_reference", n, host)
+            t_ref = eng.now - t0
+        table.add(n, t_deep, t_ref, t_ref / t_deep)
+    return table
+
+
+def check(table: Table) -> None:
+    ratios = table.column("ratio")
+    sizes = table.column("members")
+    # Deep copy always wins...
+    assert all(r > 1.0 for r in ratios), ratios
+    # ...decisively at the largest size...
+    assert ratios[-1] > 4.0, ratios
+    # ...with a growing advantage.
+    assert ratios[-1] > ratios[0], ratios

@@ -1,0 +1,150 @@
+"""E9 — Array reductions at the data and parallel Array clients (paper §5).
+
+Two claims from the Array section:
+
+1. ``Array::sum`` uses the device-side ``sum`` for every page, so "the
+   partial sums are computed by the data server processes and combined
+   together by the Array client" — the data never moves.
+2. "The sum of the elements of the entire array can be computed ... by
+   deploying multiple Array clients in parallel" — multiple clients add
+   throughput until the devices saturate.
+
+Part A compares at-the-data reduction with read-everything-and-sum as
+the device count grows: with one device both are disk-bound and nearly
+tie; with many devices the reduction rides the parallel disks while the
+read strategy funnels every byte through one client NIC.
+
+Part B deploys K Array *client objects* on K machines, each reading a
+page-aligned disjoint slab, and reports aggregate read throughput —
+which scales with K until the devices' disks become the floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..array.array3d import Array
+from ..array.partition import slab_domains
+from ..config import DiskModel
+from ..runtime.cluster import Cluster
+from ..runtime.futures import wait_all
+from ..storage.blockstore import create_block_storage
+from ..storage.pagemap import RoundRobinPageMap
+from .registry import experiment
+from .report import Table
+
+CLAIM = ("At-the-data reduction beats read+local-sum once devices "
+         "outnumber the client NIC's appetite, and scales with device "
+         "count; multiple Array clients raise aggregate read throughput "
+         "until disks saturate.")
+
+#: 128x64x64 doubles in 16x32x32 pages (128 KiB): page grid 8x2x2.
+N = (128, 64, 64)
+PAGE = (16, 32, 32)
+GRID = (8, 2, 2)
+DEVICES = 8
+
+#: NVMe-class disks so the network, not the spindle, is the scarce
+#: resource the two strategies spend differently.
+NVME = DiskModel(seek_s=1e-4, bandwidth_Bps=1e9)
+
+
+class SlabReader:
+    """An Array client object deployed on a machine (paper's picture)."""
+
+    def __init__(self, array: Array) -> None:
+        self.array = array
+
+    def read_volume(self, domain) -> int:
+        """Pull a sub-domain to this machine; returns bytes moved."""
+        sub = self.array.read(domain)
+        return int(sub.nbytes)
+
+    def sum_domain(self, domain) -> float:
+        return self.array.sum(domain)
+
+
+def _make_array(cluster, n_devices: int, tag: str) -> Array:
+    n_pages = GRID[0] * GRID[1] * GRID[2]
+    store = create_block_storage(
+        cluster, n_devices, NumberOfPages=-(-n_pages // n_devices) + 1,
+        n1=PAGE[0], n2=PAGE[1], n3=PAGE[2], filename_prefix=f"e09-{tag}")
+    pmap = RoundRobinPageMap(grid=GRID, n_devices=n_devices)
+    return Array(*N, *PAGE, store, pmap)
+
+
+@experiment("E9", "Array reduction at the data; parallel clients", CLAIM,
+            anchor="§5")
+def run(fast: bool = True) -> Table:
+    device_counts = [1, 2, 4, 8]
+    client_counts = [1, 2, 4, 8]
+    table = Table(
+        "E9: reductions and parallel clients (simulated)",
+        ["configuration", "time (s)", "speedup / (bytes/s)"],
+        note=f"{N[0]}x{N[1]}x{N[2]} array, {PAGE[0]}x{PAGE[1]}x{PAGE[2]} "
+             "pages (128 KiB), NVMe disks, round-robin layout.",
+    )
+
+    # Part A: sum at the data vs read-then-sum, sweeping devices.
+    base_read = base_sum = None
+    for d in device_counts:
+        with Cluster(n_machines=d, backend="sim", disk=NVME) as cluster:
+            eng = cluster.fabric.engine
+            array = _make_array(cluster, d, f"a{d}")
+            t0 = eng.now
+            data = array.read()
+            local_sum = float(data.sum())
+            t_read = eng.now - t0
+            t0 = eng.now
+            at_data = array.sum()
+            t_sum = eng.now - t0
+            assert abs(local_sum - at_data) < 1e-9
+        if base_read is None:
+            base_read, base_sum = t_read, t_sum
+        table.add(f"A: read+sum, {d} devices", t_read, base_read / t_read)
+        table.add(f"A: sum at data, {d} devices", t_sum, base_sum / t_sum)
+
+    # Part B: K parallel Array clients each reading a disjoint
+    # page-aligned slab (K divides the page-grid rows).
+    total_bytes = N[0] * N[1] * N[2] * 8
+    for k in client_counts:
+        with Cluster(n_machines=max(k, DEVICES), backend="sim",
+                     disk=NVME) as cluster:
+            eng = cluster.fabric.engine
+            array = _make_array(cluster, DEVICES, f"b{k}")
+            clients = cluster.new_group(
+                SlabReader, k, machines=list(range(k)),
+                argfn=lambda i: (array,))
+            domains = slab_domains(*N, parts=k, axis=0)
+            t0 = eng.now
+            futures = [c.read_volume.future(dom)
+                       for c, dom in zip(clients, domains)]
+            wait_all(futures)
+            dt = eng.now - t0
+        table.add(f"B: {k} parallel Array clients", dt, total_bytes / dt)
+    return table
+
+
+def check(table: Table) -> None:
+    times = dict(zip(table.column("configuration"), table.column("time (s)")))
+    speed = dict(zip(table.column("configuration"),
+                     table.column("speedup / (bytes/s)")))
+
+    def ratio(d: int) -> float:
+        return times[f"A: read+sum, {d} devices"] / \
+            times[f"A: sum at data, {d} devices"]
+
+    # A: with one device both strategies are disk-bound and close...
+    assert ratio(1) < 2.0, ratio(1)
+    # ...the reduction's advantage grows with devices...
+    assert ratio(8) > ratio(1), (ratio(1), ratio(8))
+    # ...and is decisive at 8 devices.
+    assert ratio(8) > 2.0, ratio(8)
+    # A: at-the-data reduction itself scales with devices.
+    assert speed["A: sum at data, 8 devices"] > 4.0, speed
+    # B: aggregate throughput grows with clients...
+    tps = [speed[f"B: {k} parallel Array clients"] for k in (1, 2, 4, 8)]
+    assert tps[1] > 1.4 * tps[0], tps
+    assert tps[-1] > 2.0 * tps[0], tps
+    # ...but sublinearly at the top (disks saturate).
+    assert tps[-1] < 8 * tps[0], tps

@@ -1,0 +1,91 @@
+"""Experiment registry: id → (claim, runner, checker)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .report import Table
+
+
+@dataclass
+class Experiment:
+    id: str
+    title: str
+    claim: str
+    run: Callable[..., Table]
+    module: str = ""
+    anchor: str = ""  # paper section the claim comes from
+
+    @property
+    def check(self) -> Optional[Callable[[Table], None]]:
+        """The module's ``check`` function, resolved lazily.
+
+        Lazy because the decorator runs before the module body defines
+        ``check`` further down the file.
+        """
+        import sys
+
+        return getattr(sys.modules.get(self.module), "check", None)
+
+
+EXPERIMENTS: dict[str, Experiment] = {}
+
+
+def experiment(id: str, title: str, claim: str, anchor: str = ""):
+    """Class/function decorator registering an experiment runner.
+
+    Apply to the module's ``run`` function; a module-level ``check``
+    is picked up automatically when present.
+    """
+
+    def register(run_fn: Callable[..., Table]) -> Callable[..., Table]:
+        EXPERIMENTS[id] = Experiment(
+            id=id,
+            title=title,
+            claim=claim,
+            run=run_fn,
+            module=run_fn.__module__,
+            anchor=anchor,
+        )
+        return run_fn
+
+    return register
+
+
+def _load_all() -> None:
+    """Import every experiment module so the registry is populated."""
+    from . import (  # noqa: F401
+        e01_rpc,
+        e02_remote_array,
+        e03_compute_vs_data,
+        e04_pipelined_io,
+        e05_fft_scaling,
+        e06_group_barrier,
+        e07_deepcopy_pointers,
+        e08_pagemap_layouts,
+        e09_array_reduction,
+        e10_persistence,
+        a01_serde_paths,
+        a02_cpu_overhead,
+        a03_isolation_cost,
+        a04_cache_effect,
+    )
+
+
+def get_experiment(id: str) -> Experiment:
+    _load_all()
+    return EXPERIMENTS[id]
+
+
+def run_all(fast: bool = True, check: bool = True) -> list[Table]:
+    """Run every experiment; returns the tables in id order."""
+    _load_all()
+    tables = []
+    for key in sorted(EXPERIMENTS):
+        exp = EXPERIMENTS[key]
+        table = exp.run(fast=fast)
+        if check and exp.check is not None:
+            exp.check(table)
+        tables.append(table)
+    return tables

@@ -1,0 +1,94 @@
+"""Result tables: collection, alignment, markdown rendering."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..util.timing import format_bytes, format_rate, format_seconds
+
+
+def fmt(value: Any) -> str:
+    """Default cell formatting."""
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Table:
+    """A small column-aligned result table."""
+
+    def __init__(self, title: str, headers: Sequence[str],
+                 note: str = "") -> None:
+        self.title = title
+        self.headers = list(headers)
+        self.note = note
+        self.rows: list[list[str]] = []
+        self.raw_rows: list[list[Any]] = []
+
+    def add(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.headers)} "
+                "columns")
+        self.raw_rows.append(list(cells))
+        self.rows.append([fmt(c) for c in cells])
+
+    def column(self, name: str) -> list[Any]:
+        """Raw values of one column, by header name."""
+        idx = self.headers.index(name)
+        return [row[idx] for row in self.raw_rows]
+
+    # -- rendering ------------------------------------------------------------
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [self.title, "=" * len(self.title)]
+        if self.note:
+            lines.append(self.note)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def to_markdown(self) -> str:
+        lines = [f"**{self.title}**", ""]
+        if self.note:
+            lines += [self.note, ""]
+        lines.append("| " + " | ".join(self.headers) + " |")
+        lines.append("|" + "|".join("---" for _ in self.headers) + "|")
+        for row in self.rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return "\n".join(lines)
+
+    def show(self) -> None:
+        print()
+        print(self.render())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Table {self.title!r} {len(self.rows)} rows>"
+
+
+def seconds(value: float) -> str:
+    return format_seconds(value)
+
+
+def rate(bytes_per_s: float) -> str:
+    return format_rate(bytes_per_s)
+
+
+def nbytes(value: float) -> str:
+    return format_bytes(value)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    import math
+
+    values = [v for v in values]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))

@@ -1,0 +1,44 @@
+"""Workload generators shared by the experiments."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..storage.page import ArrayPage, Page
+
+
+def make_rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def random_page(nbytes: int, seed: int = 0) -> Page:
+    """A page of pseudo-random bytes (incompressible-ish)."""
+    rng = make_rng(seed)
+    return Page(nbytes, rng.integers(0, 256, size=nbytes,
+                                     dtype=np.uint8).tobytes())
+
+
+def random_array_page(n1: int, n2: int, n3: int, seed: int = 0) -> ArrayPage:
+    rng = make_rng(seed)
+    return ArrayPage(n1, n2, n3, rng.random((n1, n2, n3)))
+
+
+def random_volume(shape: tuple[int, int, int], seed: int = 0,
+                  complex_: bool = False) -> np.ndarray:
+    rng = make_rng(seed)
+    a = rng.random(shape)
+    if complex_:
+        return a + 1j * rng.random(shape)
+    return a
+
+
+def page_addresses(n_requests: int, n_pages: int, seed: int = 0) -> list[int]:
+    """Random page addresses, the paper's ``page_address[i]`` vector."""
+    rng = make_rng(seed)
+    return rng.integers(0, n_pages, size=n_requests).tolist()
+
+
+#: simulated page sizes used when experiments pretend pages are huge
+GiB = 1 << 30
+MiB = 1 << 20
+KiB = 1 << 10

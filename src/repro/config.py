@@ -1,0 +1,155 @@
+"""Framework-wide configuration.
+
+A :class:`Config` instance travels from the user to the :class:`~repro.runtime.cluster.Cluster`
+constructor and down into backends, channels and the simulator.  All fields
+have conservative defaults so ``Cluster(n_machines=4)`` just works.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from dataclasses import dataclass, field
+
+from .errors import ConfigError
+
+#: Hard ceiling on a single wire frame, to catch runaway serialization bugs
+#: before they take the host down.  1 GiB.
+MAX_FRAME_BYTES = 1 << 30
+
+#: Default localhost address family for the multiprocessing backend.
+DEFAULT_HOST = "127.0.0.1"
+
+
+@dataclass
+class NetworkModel:
+    """Parameters of the simulated interconnect.
+
+    The defaults approximate a commodity datacenter fabric: 25 us one-way
+    latency and 10 Gb/s (1.25e9 B/s) per-link bandwidth, with a small fixed
+    per-message CPU overhead on each endpoint.
+    """
+
+    latency_s: float = 25e-6
+    bandwidth_Bps: float = 1.25e9
+    per_message_cpu_s: float = 2e-6
+    #: bandwidth of the switch backplane; ``0`` means non-blocking.
+    backplane_Bps: float = 0.0
+
+    def validate(self) -> None:
+        if self.latency_s < 0:
+            raise ConfigError("latency_s must be >= 0")
+        if self.bandwidth_Bps <= 0:
+            raise ConfigError("bandwidth_Bps must be > 0")
+        if self.per_message_cpu_s < 0:
+            raise ConfigError("per_message_cpu_s must be >= 0")
+        if self.backplane_Bps < 0:
+            raise ConfigError("backplane_Bps must be >= 0")
+
+
+@dataclass
+class DiskModel:
+    """Parameters of a simulated hard drive.
+
+    Defaults approximate a 7200 rpm SATA drive: 8 ms average positioning
+    time and 150 MB/s sequential transfer.
+    """
+
+    seek_s: float = 8e-3
+    bandwidth_Bps: float = 150e6
+
+    def validate(self) -> None:
+        if self.seek_s < 0:
+            raise ConfigError("seek_s must be >= 0")
+        if self.bandwidth_Bps <= 0:
+            raise ConfigError("bandwidth_Bps must be > 0")
+
+
+@dataclass
+class Config:
+    """Top-level framework configuration.
+
+    Parameters
+    ----------
+    backend:
+        ``"inline"`` (objects in the driver process, for tests),
+        ``"mp"`` (one OS process per machine, socket RPC — the real thing),
+        or ``"sim"`` (simulated cluster over the discrete-event engine).
+    n_machines:
+        Number of machines in the cluster, ``machine 0 .. n_machines-1``.
+        The driver itself plays the role of the paper's *machine 0 client*;
+        machines are remote peers.
+    call_timeout_s:
+        Deadline for a single remote call in the mp backend.  ``None``
+        disables timeouts (the paper's semantics: calls block forever).
+    storage_root:
+        Directory under which file-backed PageDevices and the persistence
+        store keep their data.  Defaults to a per-process temp directory.
+    network / disk:
+        Cost models used by the ``sim`` backend (ignored elsewhere).
+    pickle_protocol:
+        Protocol used by the serde layer for the object path.
+    """
+
+    backend: str = "inline"
+    n_machines: int = 4
+    call_timeout_s: float | None = None
+    storage_root: str | None = None
+    network: NetworkModel = field(default_factory=NetworkModel)
+    disk: DiskModel = field(default_factory=DiskModel)
+    pickle_protocol: int = 5
+    #: mp backend: seconds to wait for worker processes to come up.
+    startup_timeout_s: float = 30.0
+    #: mp backend: seconds to wait for graceful shutdown before kill.
+    shutdown_timeout_s: float = 10.0
+    #: sim backend: wall-clock seconds charged per simulated *method body*
+    #: when the body does not charge explicit compute time. 0 = free compute.
+    sim_default_compute_s: float = 0.0
+    #: inline backend: round-trip arguments/results through the serializer
+    #: so mutation semantics match a real process boundary.  Turning this
+    #: off shares objects by reference (fast, but unfaithful).
+    inline_copy: bool = True
+    #: mp backend: size of each machine's method-execution thread pool.
+    #: Must exceed the deepest chain of nested blocking remote calls a
+    #: single machine can serve at once.
+    mp_workers_per_machine: int = 8
+    #: mp backend: multiprocessing start method.  ``fork`` lets workers
+    #: resolve classes defined in test files or __main__.
+    mp_start_method: str = "fork"
+
+    def validate(self) -> None:
+        if self.backend not in ("inline", "mp", "sim"):
+            raise ConfigError(
+                f"unknown backend {self.backend!r}; expected inline|mp|sim")
+        if self.n_machines < 1:
+            raise ConfigError("n_machines must be >= 1")
+        if self.call_timeout_s is not None and self.call_timeout_s <= 0:
+            raise ConfigError("call_timeout_s must be positive or None")
+        if not (2 <= self.pickle_protocol <= 5):
+            raise ConfigError("pickle_protocol must be in [2, 5]")
+        if self.startup_timeout_s <= 0 or self.shutdown_timeout_s <= 0:
+            raise ConfigError("timeouts must be positive")
+        if self.sim_default_compute_s < 0:
+            raise ConfigError("sim_default_compute_s must be >= 0")
+        if self.mp_workers_per_machine < 1:
+            raise ConfigError("mp_workers_per_machine must be >= 1")
+        if self.mp_start_method not in ("fork", "spawn", "forkserver"):
+            raise ConfigError(f"unknown start method {self.mp_start_method!r}")
+        self.network.validate()
+        self.disk.validate()
+
+    def replace(self, **kwargs) -> "Config":
+        """Return a copy with the given fields replaced (and validated)."""
+        cfg = dataclasses.replace(self, **kwargs)
+        cfg.validate()
+        return cfg
+
+    def resolve_storage_root(self) -> str:
+        """Return the storage root, creating a default one if unset."""
+        root = self.storage_root
+        if root is None:
+            import tempfile
+
+            root = os.path.join(tempfile.gettempdir(), f"oopp-{os.getpid()}")
+        os.makedirs(root, exist_ok=True)
+        return root

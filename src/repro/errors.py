@@ -1,0 +1,175 @@
+"""Exception hierarchy for the oopp framework.
+
+All framework errors derive from :class:`OoppError` so applications can
+catch framework-level failures without catching their own bugs.  Errors
+raised *inside* a remote method body are not part of this hierarchy: they
+are captured on the server, shipped back over the wire and re-raised at
+the call site wrapped in :class:`RemoteExecutionError`, with the original
+exception available as ``__cause__`` (when it could be pickled) and as a
+formatted traceback string in :attr:`RemoteExecutionError.remote_traceback`.
+"""
+
+from __future__ import annotations
+
+
+class OoppError(Exception):
+    """Base class for every error raised by the oopp framework itself."""
+
+
+class ConfigError(OoppError):
+    """Invalid framework or backend configuration."""
+
+
+# ---------------------------------------------------------------------------
+# Transport layer
+# ---------------------------------------------------------------------------
+
+
+class TransportError(OoppError):
+    """Base class for message/framing/channel failures."""
+
+
+class ChannelClosedError(TransportError):
+    """The underlying channel was closed while a message was in flight."""
+
+
+class FramingError(TransportError):
+    """A frame on the wire was malformed (bad magic, truncated, oversized)."""
+
+
+class SerializationError(TransportError):
+    """A payload could not be serialized or deserialized."""
+
+
+class ProtocolError(TransportError):
+    """A well-formed frame violated the request/response protocol."""
+
+
+# ---------------------------------------------------------------------------
+# Runtime layer
+# ---------------------------------------------------------------------------
+
+
+class RuntimeLayerError(OoppError):
+    """Base class for object-runtime failures."""
+
+
+class NoSuchMachineError(RuntimeLayerError):
+    """A machine index/name does not exist in the cluster."""
+
+
+class NoSuchObjectError(RuntimeLayerError):
+    """A remote pointer refers to an object id unknown to its host machine.
+
+    Raised both for garbage ids and for objects that have already been
+    destroyed (the paper's destructor semantics: deleting a remote object
+    terminates its process, so later calls must fail loudly).
+    """
+
+
+class ObjectDestroyedError(NoSuchObjectError):
+    """The object was explicitly destroyed; the proxy is dangling."""
+
+
+class MachineDownError(RuntimeLayerError):
+    """The hosting machine process died or is unreachable."""
+
+
+class RemoteExecutionError(RuntimeLayerError):
+    """An exception escaped a remote method body.
+
+    Attributes
+    ----------
+    remote_type_name:
+        Fully qualified name of the original exception type.
+    remote_traceback:
+        The formatted traceback captured on the remote machine.
+    """
+
+    def __init__(self, message: str, *, remote_type_name: str = "",
+                 remote_traceback: str = "") -> None:
+        super().__init__(message)
+        self.remote_type_name = remote_type_name
+        self.remote_traceback = remote_traceback
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        base = super().__str__()
+        if self.remote_traceback:
+            return f"{base}\n--- remote traceback ---\n{self.remote_traceback}"
+        return base
+
+
+class CallTimeoutError(RuntimeLayerError):
+    """A remote call did not complete within its deadline."""
+
+
+class GroupError(RuntimeLayerError):
+    """An operation on an object group failed on one or more members."""
+
+    def __init__(self, message: str, failures: dict[int, BaseException] | None = None):
+        super().__init__(message)
+        #: mapping from member index to the exception it raised
+        self.failures: dict[int, BaseException] = failures or {}
+
+
+# ---------------------------------------------------------------------------
+# Persistence / naming
+# ---------------------------------------------------------------------------
+
+
+class PersistenceError(RuntimeLayerError):
+    """Base class for persistent-process failures."""
+
+
+class AddressSyntaxError(PersistenceError):
+    """A symbolic object address (``oop://...``) could not be parsed."""
+
+
+class UnknownAddressError(PersistenceError):
+    """No persistent process is registered under the given address."""
+
+
+class NotPersistentError(PersistenceError):
+    """Operation requires a persistent object but got an ephemeral one."""
+
+
+# ---------------------------------------------------------------------------
+# Storage / array substrate
+# ---------------------------------------------------------------------------
+
+
+class StorageError(OoppError):
+    """Base class for the Page/PageDevice/Array substrate."""
+
+
+class PageIndexError(StorageError, IndexError):
+    """Page address outside ``[0, NumberOfPages)``."""
+
+
+class PageSizeError(StorageError, ValueError):
+    """A page's byte size does not match the device's page size."""
+
+
+class DomainError(StorageError, ValueError):
+    """An invalid 3-D domain (empty, negative extent, out of bounds)."""
+
+
+class LayoutError(StorageError, ValueError):
+    """A PageMap produced an invalid or non-bijective physical address."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation substrate
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(OoppError):
+    """Base class for discrete-event engine failures."""
+
+
+class SimDeadlockError(SimulationError):
+    """The event queue drained while simulation processes were still blocked."""
+
+
+class SimProcessError(SimulationError):
+    """A simulation process raised; re-raised in the driver with context."""

@@ -1,0 +1,39 @@
+"""FFT: the paper's motivating computation.
+
+Three layers:
+
+``kernels``
+    From-scratch 1-D FFT kernels: iterative radix-2 Cooley–Tukey for
+    power-of-two sizes and Bluestein's chirp-z algorithm for arbitrary
+    sizes, vectorized over batch axes.  numpy's FFT is used only as a
+    test oracle, never in the implementation.
+
+``serial``
+    1-D/2-D/3-D transforms for local arrays built on the kernels.
+
+``distributed``
+    The paper §4 design: an array of ``FFT`` objects, one per machine,
+    told about each other with ``SetGroup`` (deep-copied remote
+    pointers) and cooperating through remote method execution: local
+    transforms on slabs, an all-to-all transpose implemented as
+    ``deposit`` calls between peers, and a final local transform.
+"""
+
+from .kernels import fft_kernel, ifft_kernel
+from .serial import fft, ifft, fft2, ifft2, fftn, ifftn, rfft, irfft
+from .distributed import FFT, DistributedFFT3D
+
+__all__ = [
+    "fft_kernel",
+    "ifft_kernel",
+    "fft",
+    "ifft",
+    "fft2",
+    "ifft2",
+    "fftn",
+    "ifftn",
+    "rfft",
+    "irfft",
+    "FFT",
+    "DistributedFFT3D",
+]

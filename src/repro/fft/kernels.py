@@ -1,0 +1,185 @@
+"""From-scratch 1-D FFT kernels (radix-2 Cooley–Tukey + Bluestein).
+
+All kernels transform the **last axis** of a complex128 array and are
+vectorized over every leading axis — the batch form the distributed
+transform needs (a slab transforms thousands of lines at once).
+
+A per-size plan (bit-reversal permutation, twiddle factors, Bluestein
+chirp) is computed once and cached; repeated transforms of the same
+length reuse it, mirroring FFTW-style planning.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import OoppError
+
+
+class FFTError(OoppError, ValueError):
+    """Invalid transform request (bad length, bad sign)."""
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def _next_pow2(n: int) -> int:
+    m = 1
+    while m < n:
+        m <<= 1
+    return m
+
+
+def _bit_reverse_indices(n: int) -> np.ndarray:
+    """Bit-reversal permutation of ``range(n)`` (n a power of two)."""
+    bits = n.bit_length() - 1
+    idx = np.arange(n, dtype=np.int64)
+    rev = np.zeros_like(idx)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    return rev
+
+
+@dataclass
+class _Radix2Plan:
+    n: int
+    reverse: np.ndarray          # bit-reversal permutation
+    twiddles: list[np.ndarray]   # one array of roots per butterfly stage
+
+
+@dataclass
+class _BluesteinPlan:
+    n: int
+    m: int                       # padded power-of-two length
+    chirp: np.ndarray            # exp(-i*pi*k^2/n)
+    kernel_fft: np.ndarray       # FFT of the padded chirp filter
+
+
+_plan_lock = threading.Lock()
+_radix2_plans: dict[int, _Radix2Plan] = {}
+_bluestein_plans: dict[int, _BluesteinPlan] = {}
+
+
+def _radix2_plan(n: int) -> _Radix2Plan:
+    with _plan_lock:
+        plan = _radix2_plans.get(n)
+    if plan is not None:
+        return plan
+    reverse = _bit_reverse_indices(n)
+    twiddles = []
+    size = 2
+    while size <= n:
+        k = np.arange(size // 2)
+        twiddles.append(np.exp(-2j * np.pi * k / size))
+        size <<= 1
+    plan = _Radix2Plan(n, reverse, twiddles)
+    with _plan_lock:
+        _radix2_plans[n] = plan
+    return plan
+
+
+def _bluestein_plan(n: int) -> _BluesteinPlan:
+    with _plan_lock:
+        plan = _bluestein_plans.get(n)
+    if plan is not None:
+        return plan
+    m = _next_pow2(2 * n - 1)
+    k = np.arange(n, dtype=np.float64)
+    # exp(-i*pi*k^2/n); k^2 mod 2n keeps the argument small and exact.
+    ksq = (k * k) % (2 * n)
+    chirp = np.exp(-1j * np.pi * ksq / n)
+    filt = np.zeros(m, dtype=np.complex128)
+    filt[:n] = np.conj(chirp)
+    filt[m - n + 1:] = np.conj(chirp[1:][::-1])
+    kernel_fft = _fft_pow2(filt[np.newaxis, :], inverse=False)[0]
+    plan = _BluesteinPlan(n, m, chirp, kernel_fft)
+    with _plan_lock:
+        _bluestein_plans[n] = plan
+    return plan
+
+
+def _fft_pow2(a: np.ndarray, inverse: bool) -> np.ndarray:
+    """Iterative radix-2 FFT along the last axis (length a power of 2)."""
+    n = a.shape[-1]
+    plan = _radix2_plan(n)
+    out = np.ascontiguousarray(a[..., plan.reverse], dtype=np.complex128)
+    size = 2
+    for stage_tw in plan.twiddles:
+        tw = np.conj(stage_tw) if inverse else stage_tw
+        half = size // 2
+        # View as (..., blocks, size) and butterfly each block in bulk.
+        shaped = out.reshape(*out.shape[:-1], n // size, size)
+        even = shaped[..., :half]
+        odd = shaped[..., half:] * tw
+        upper = even + odd
+        lower = even - odd
+        shaped[..., :half] = upper
+        shaped[..., half:] = lower
+        size <<= 1
+    return out
+
+
+def _fft_bluestein(a: np.ndarray, inverse: bool) -> np.ndarray:
+    """Chirp-z FFT along the last axis for arbitrary length."""
+    if inverse:
+        # Unnormalized inverse via the conjugation identity:
+        # IDFT(x) = conj(DFT(conj(x))).
+        return np.conj(_fft_bluestein(np.conj(a), inverse=False))
+    n = a.shape[-1]
+    plan = _bluestein_plan(n)
+    padded = np.zeros(a.shape[:-1] + (plan.m,), dtype=np.complex128)
+    padded[..., :n] = a * plan.chirp
+    spec = _fft_pow2(padded, inverse=False)
+    spec *= plan.kernel_fft
+    conv = _fft_pow2(spec, inverse=True)
+    conv /= plan.m  # _fft_pow2's inverse is unscaled
+    return conv[..., :n] * plan.chirp
+
+
+def fft_kernel(a: np.ndarray, sign: int = -1) -> np.ndarray:
+    """Unnormalized DFT along the last axis.
+
+    ``sign=-1`` is the forward transform (numpy convention);
+    ``sign=+1`` the unnormalized inverse.  Accepts any complex or real
+    input; always returns a new complex128 array.
+    """
+    if sign not in (-1, 1):
+        raise FFTError(f"sign must be -1 or +1, got {sign}")
+    a = np.asarray(a)
+    if a.ndim == 0:
+        raise FFTError("cannot transform a scalar")
+    n = a.shape[-1]
+    if n == 0:
+        raise FFTError("cannot transform an empty axis")
+    a = a.astype(np.complex128, copy=False)
+    if n == 1:
+        return a.astype(np.complex128, copy=True)
+    inverse = sign == 1
+    if _is_pow2(n):
+        return _fft_pow2(a, inverse)
+    return _fft_bluestein(a, inverse)
+
+
+def ifft_kernel(a: np.ndarray) -> np.ndarray:
+    """Normalized inverse DFT along the last axis (matches np.fft.ifft)."""
+    out = fft_kernel(a, sign=1)
+    out /= a.shape[-1]
+    return out
+
+
+def clear_plan_cache() -> None:
+    """Drop cached plans (tests and memory-conscious callers)."""
+    with _plan_lock:
+        _radix2_plans.clear()
+        _bluestein_plans.clear()
+
+
+def plan_cache_sizes() -> tuple[int, int]:
+    with _plan_lock:
+        return len(_radix2_plans), len(_bluestein_plans)

@@ -1,0 +1,102 @@
+"""Serial 1-D/2-D/3-D transforms for local arrays.
+
+numpy-convention API (``fft``/``ifft`` along one axis, ``fftn`` over
+all three), built entirely on the from-scratch kernels — these are the
+single-machine baseline against which the distributed transform's
+scaling is measured, and the local building block the distributed
+workers call on their slabs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernels import fft_kernel, ifft_kernel
+
+
+def _along_axis(a: np.ndarray, axis: int, inverse: bool) -> np.ndarray:
+    a = np.asarray(a)
+    moved = np.moveaxis(a, axis, -1)
+    out = ifft_kernel(moved) if inverse else fft_kernel(moved, sign=-1)
+    return np.moveaxis(out, -1, axis)
+
+
+def fft(a: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Forward DFT along *axis* (matches ``np.fft.fft``)."""
+    return _along_axis(a, axis, inverse=False)
+
+
+def ifft(a: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Normalized inverse DFT along *axis* (matches ``np.fft.ifft``)."""
+    return _along_axis(a, axis, inverse=True)
+
+
+def fft2(a: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:
+    """2-D DFT over the two given axes."""
+    out = fft(a, axes[0])
+    return fft(out, axes[1])
+
+
+def ifft2(a: np.ndarray, axes: tuple[int, int] = (-2, -1)) -> np.ndarray:
+    out = ifft(a, axes[0])
+    return ifft(out, axes[1])
+
+
+def fftn(a: np.ndarray) -> np.ndarray:
+    """Full DFT over every axis (matches ``np.fft.fftn``)."""
+    out = np.asarray(a, dtype=np.complex128)
+    for axis in range(out.ndim):
+        out = fft(out, axis)
+    return out
+
+
+def ifftn(a: np.ndarray) -> np.ndarray:
+    out = np.asarray(a, dtype=np.complex128)
+    for axis in range(out.ndim):
+        out = ifft(out, axis)
+    return out
+
+
+def rfft(a: np.ndarray, axis: int = -1) -> np.ndarray:
+    """DFT of real input, keeping the non-redundant half spectrum.
+
+    Matches ``np.fft.rfft``.  Computed via the full complex transform
+    (correct, not the specialized half-size algorithm — the serial
+    kernels are baselines, not production FFTs).
+    """
+    a = np.asarray(a)
+    if np.iscomplexobj(a):
+        raise ValueError("rfft expects real input; use fft for complex")
+    n = a.shape[axis]
+    full = fft(a.astype(np.float64), axis)
+    keep = n // 2 + 1
+    slicer = [slice(None)] * full.ndim
+    slicer[axis] = slice(0, keep)
+    return np.ascontiguousarray(full[tuple(slicer)])
+
+
+def irfft(a: np.ndarray, n: int | None = None, axis: int = -1) -> np.ndarray:
+    """Inverse of :func:`rfft`, returning a real array of length *n*.
+
+    *n* defaults to ``2 * (a.shape[axis] - 1)``, matching numpy.
+    """
+    a = np.asarray(a, dtype=np.complex128)
+    m = a.shape[axis]
+    if n is None:
+        n = 2 * (m - 1)
+    if n <= 0:
+        raise ValueError(f"output length must be positive, got {n}")
+    # rebuild the full Hermitian spectrum, then a plain inverse DFT
+    moved = np.moveaxis(a, axis, -1)
+    keep = n // 2 + 1
+    if moved.shape[-1] < keep:
+        pad = keep - moved.shape[-1]
+        moved = np.concatenate(
+            [moved, np.zeros(moved.shape[:-1] + (pad,), dtype=np.complex128)],
+            axis=-1)
+    else:
+        moved = moved[..., :keep]
+    tail = np.conj(moved[..., 1:n - keep + 1][..., ::-1])
+    spectrum = np.concatenate([moved, tail], axis=-1)
+    out = ifft(spectrum, -1).real
+    return np.ascontiguousarray(np.moveaxis(out, -1, axis))

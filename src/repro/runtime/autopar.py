@@ -1,0 +1,178 @@
+"""Automatic loop parallelization — the paper's compiler transformation.
+
+Paper §4 shows the compiler splitting ::
+
+    for (int i = 0; i < N; i ++)
+        device[i]->read(buffer[k[i]], page_address[i]);
+
+into a send-loop and a receive-loop.  :func:`autoparallel` performs the
+same transformation on unmodified call sites at runtime::
+
+    with oopp.autoparallel() as batch:
+        pages = [device[i].read_page(addr[i]) for i in range(N)]
+    # all N requests were in flight simultaneously; the with-block exit
+    # is the synchronization point ("processes are naturally synchronized
+    # at the end of the for loop").
+    data = [p.value for p in pages]
+
+Inside the block every remote method call returns immediately with a
+:class:`Deferred`; the request has been *sent* but not awaited.  At
+block exit all outstanding replies are collected (errors are aggregated
+and re-raised).  After exit each Deferred's ``value`` holds the result.
+
+Like the compiler the paper imagines, this transformation is only valid
+when iterations are independent: a body that feeds one call's result
+into the next must read ``.value`` inside the block, which forces the
+wait for that call (and only that call) — dependencies degrade
+gracefully to sequential execution instead of breaking.
+
+The paper also warns that "such parallelization may expose subtle
+programming bugs".  The ones this implementation surfaces loudly:
+passing a still-pending Deferred as an argument to another remote call
+raises immediately (use ``.value`` to force the dependency), and
+unawaited errors surface at the synchronization point, not silently.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Optional
+
+from ..errors import GroupError, OoppError
+from .futures import RemoteFuture
+
+_tls = threading.local()
+
+
+class DeferredError(OoppError):
+    """Misuse of a Deferred (read before resolution, passed while pending)."""
+
+
+class Deferred:
+    """The placeholder a remote call returns inside an autoparallel block."""
+
+    __slots__ = ("_future", "_batch")
+
+    def __init__(self, future: RemoteFuture, batch: "CallBatch") -> None:
+        self._future = future
+        self._batch = batch
+
+    @property
+    def done(self) -> bool:
+        return self._future.done()
+
+    @property
+    def value(self) -> Any:
+        """The call's result.
+
+        Inside the block this *forces* the call (waits for this reply
+        only) — the escape hatch for loop-carried dependencies.  After
+        the block it is an immediate read.
+        """
+        return self._future.result(self._batch.timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        return self._future.result(timeout if timeout is not None
+                                   else self._batch.timeout)
+
+    def __reduce__(self):
+        raise DeferredError(
+            "a pending Deferred cannot be sent to another object; read "
+            "`.value` first to force the dependency")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done else "pending"
+        return f"<Deferred {state}>"
+
+
+class CallBatch:
+    """The in-flight calls of one autoparallel block."""
+
+    def __init__(self, timeout: Optional[float] = None) -> None:
+        self.timeout = timeout
+        self._futures: list[RemoteFuture] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def add(self, future: RemoteFuture) -> Deferred:
+        with self._lock:
+            if self._closed:
+                raise DeferredError("batch already synchronized")
+            self._futures.append(future)
+        return Deferred(future, self)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._futures)
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return sum(1 for f in self._futures if not f.done())
+
+    def wait(self) -> None:
+        """The receive-loop: collect every reply, aggregate failures."""
+        with self._lock:
+            self._closed = True
+            futures = list(self._futures)
+        failures: dict[int, BaseException] = {}
+        for i, f in enumerate(futures):
+            err = f.exception(self.timeout)
+            if err is not None:
+                failures[i] = err
+        if failures:
+            if len(failures) == 1:
+                raise next(iter(failures.values()))
+            raise GroupError(
+                f"{len(failures)}/{len(futures)} parallelized calls failed",
+                failures)
+
+
+class _AutoparScope:
+    def __init__(self, timeout: Optional[float]) -> None:
+        self.batch = CallBatch(timeout)
+
+    def __enter__(self) -> CallBatch:
+        stack = getattr(_tls, "stack", None)
+        if stack is None:
+            stack = _tls.stack = []
+        stack.append(self.batch)
+        return self.batch
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        stack = _tls.stack
+        popped = stack.pop()
+        assert popped is self.batch, "autoparallel scopes unbalanced"
+        if exc_type is None:
+            # the natural synchronization at the end of the loop
+            self.batch.wait()
+        # on exception, leave replies in flight; the block's error wins
+
+
+def autoparallel(timeout: Optional[float] = None) -> _AutoparScope:
+    """Parallelize the remote calls made inside the with-block.
+
+    Returns the :class:`CallBatch` for introspection.  Nestable: calls
+    bind to the innermost block.
+    """
+    return _AutoparScope(timeout)
+
+
+def active_batch() -> Optional[CallBatch]:
+    """The innermost autoparallel batch of this thread, if any."""
+    stack = getattr(_tls, "stack", None)
+    return stack[-1] if stack else None
+
+
+def check_args_for_pending(args: tuple, kwargs: dict) -> None:
+    """Reject still-pending Deferreds used as call arguments."""
+    for v in args:
+        if isinstance(v, Deferred) and not v.done:
+            raise DeferredError(
+                "argument is a pending Deferred; read `.value` to force "
+                "the dependency before passing it on")
+    for v in kwargs.values():
+        if isinstance(v, Deferred) and not v.done:
+            raise DeferredError(
+                "argument is a pending Deferred; read `.value` to force "
+                "the dependency before passing it on")

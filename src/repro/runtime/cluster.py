@@ -1,0 +1,261 @@
+"""The Cluster facade — the programmer's view of the machine pool.
+
+``Cluster`` stands in for the paper's runtime: the driver program plays
+*machine 0's client code* and allocates objects on remote machines with
+:meth:`Cluster.new`, the Python spelling of ``new(machine k) Cls(...)``::
+
+    with Cluster(n_machines=4, backend="mp") as cluster:
+        store = cluster.new(PageDevice, "pagefile", 10, 1024, machine=1)
+        store.write(page, 17)            # remote method execution
+
+A cluster installs itself as the process-default runtime context so
+that proxies unpickled in the driver re-attach automatically.  Clusters
+nest (tests create several): the previous default is restored on
+shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional, Sequence
+
+from ..backends.base import Fabric, make_fabric
+from ..config import Config
+from ..errors import ConfigError
+from .context import RuntimeContext, set_default_context
+from .group import ObjectGroup
+from .naming import ObjectAddress, parse_address
+from .persistence import PersistentStore
+from .proxy import Proxy
+from .remotedata import Block
+
+_cluster_stack: list["Cluster"] = []
+_stack_lock = threading.Lock()
+
+
+def current_cluster() -> Optional["Cluster"]:
+    """The most recently constructed, still-open cluster (or None)."""
+    with _stack_lock:
+        return _cluster_stack[-1] if _cluster_stack else None
+
+
+class MachineHandle:
+    """Driver-side handle to one machine: identity and health checks."""
+
+    def __init__(self, cluster: "Cluster", machine_id: int) -> None:
+        self.cluster = cluster
+        self.id = machine_id
+
+    def ping(self) -> int:
+        return self.cluster.fabric.ping(self.id)
+
+    def stats(self) -> dict:
+        return self.cluster.fabric.stats(self.id)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<machine {self.id}>"
+
+
+class Cluster:
+    """A pool of machines hosting remote objects.
+
+    Parameters
+    ----------
+    n_machines:
+        Number of machines (``machine 0 .. n-1``).
+    backend:
+        ``"inline"``, ``"mp"`` or ``"sim"`` (see :mod:`repro.backends`).
+    config:
+        A full :class:`~repro.config.Config`; keyword overrides win.
+    """
+
+    def __init__(self, n_machines: int | None = None,
+                 backend: str | None = None,
+                 config: Config | None = None, **overrides: Any) -> None:
+        cfg = config or Config()
+        fields: dict[str, Any] = dict(overrides)
+        if n_machines is not None:
+            fields["n_machines"] = n_machines
+        if backend is not None:
+            fields["backend"] = backend
+        if fields:
+            cfg = cfg.replace(**fields)
+        cfg.validate()
+        self.config = cfg
+        self.fabric: Fabric = make_fabric(cfg)
+        self._stores: dict[str, PersistentStore] = {}
+        self._stores_lock = threading.Lock()
+        self._open = True
+        set_default_context(RuntimeContext(fabric=self.fabric, machine_id=-1))
+        with _stack_lock:
+            _cluster_stack.append(self)
+
+    # -- topology -----------------------------------------------------------
+
+    @property
+    def n_machines(self) -> int:
+        return self.fabric.machine_count
+
+    @property
+    def machines(self) -> list[MachineHandle]:
+        return [MachineHandle(self, i) for i in range(self.n_machines)]
+
+    def ping_all(self) -> list[int]:
+        """Round-trip every machine; returns their ids (health check)."""
+        futures = [
+            self.fabric.call_async(self.fabric.kernel_ref(i), "ping", (), {})
+            for i in range(self.n_machines)
+        ]
+        return [f.result(self.config.call_timeout_s) for f in futures]
+
+    def stats(self) -> list[dict]:
+        return [self.fabric.stats(i) for i in range(self.n_machines)]
+
+    # -- object creation ---------------------------------------------------------
+
+    def new(self, cls: type, *args: Any, machine: int = 0, **kwargs: Any) -> Proxy:
+        """``new(machine k) cls(*args, **kwargs)`` — returns a remote pointer."""
+        self._require_open()
+        return self.fabric.create(cls, args, kwargs, machine=machine)
+
+    def new_group(self, cls: type, count: int | None = None, *args: Any,
+                  machines: Sequence[int] | None = None,
+                  argfn: Callable[[int], tuple] | None = None,
+                  kwargfn: Callable[[int], dict] | None = None,
+                  **kwargs: Any) -> ObjectGroup:
+        """Create *count* objects round-robin over the machines, pipelined.
+
+        Member *i* is constructed as ``cls(*argfn(i), **kwargfn(i))`` when
+        the callables are given, else with the shared ``*args, **kwargs``
+        — the paper's ``for id: fft[id] = new(machine id) FFT(id)`` is
+        ``cluster.new_group(FFT, N, argfn=lambda i: (i,))``.
+        """
+        self._require_open()
+        if machines is None:
+            if count is None:
+                count = self.n_machines
+            machines = [i % self.n_machines for i in range(count)]
+        elif count is not None and count != len(machines):
+            raise ConfigError("count and machines disagree")
+        from .oid import class_spec
+
+        spec = class_spec(cls)
+        futures = []
+        for i, m in enumerate(machines):
+            a = argfn(i) if argfn is not None else args
+            kw = kwargfn(i) if kwargfn is not None else kwargs
+            futures.append(self.fabric.call_async(
+                self.fabric.kernel_ref(m), "create", (spec, tuple(a), kw), {}))
+        refs = [f.result(self.config.call_timeout_s) for f in futures]
+        return ObjectGroup([Proxy(r, self.fabric) for r in refs])
+
+    def new_block(self, n: int, dtype: str = "float64", *, machine: int = 0,
+                  fill: float | int | None = 0) -> Proxy:
+        """The paper's ``new(machine k) double[n]`` (see :class:`Block`)."""
+        return self.new(Block, n, dtype, fill, machine=machine)
+
+    # -- remote procedure execution -----------------------------------------
+
+    def submit(self, fn: Callable, *args: Any, machine: int = 0,
+               **kwargs: Any) -> Any:
+        """Execute a module-level function on *machine*, synchronously.
+
+        The functional complement of :meth:`new`: no object outlives the
+        call.  The function runs with the machine's runtime context, so
+        it may itself create remote objects or call proxies.
+        """
+        self._require_open()
+        from ..apps.funcspec import func_spec
+
+        return self.fabric.kernel_call(machine, "call_function",
+                                       func_spec(fn), args, kwargs)
+
+    def submit_async(self, fn: Callable, *args: Any, machine: int = 0,
+                     **kwargs: Any):
+        """Pipelined :meth:`submit`; returns a RemoteFuture."""
+        self._require_open()
+        from ..apps.funcspec import func_spec
+
+        return self.fabric.call_async(
+            self.fabric.kernel_ref(machine), "call_function",
+            (func_spec(fn), args, kwargs), {})
+
+    def map_on_machines(self, fn: Callable, items: Sequence[Any]) -> list:
+        """Run ``fn(item)`` for each item, round-robin over machines,
+        all in flight simultaneously."""
+        futures = [self.submit_async(fn, item,
+                                     machine=i % self.n_machines)
+                   for i, item in enumerate(items)]
+        return [f.result(self.config.call_timeout_s) for f in futures]
+
+    # -- synchronization ------------------------------------------------------------
+
+    def barrier(self, timeout: float | None = None) -> None:
+        """Wait until every machine has no method execution in flight."""
+        futures = [
+            self.fabric.call_async(self.fabric.kernel_ref(i), "quiesce",
+                                   (None, timeout), {})
+            for i in range(self.n_machines)
+        ]
+        for f in futures:
+            f.result(self.config.call_timeout_s)
+
+    # -- persistence ------------------------------------------------------------------
+
+    def store(self, name: str = "data") -> PersistentStore:
+        """The named persistent store (created on first use)."""
+        with self._stores_lock:
+            st = self._stores.get(name)
+            if st is None:
+                st = PersistentStore(self.config.resolve_storage_root(),
+                                     name, self.fabric)
+                self._stores[name] = st
+            return st
+
+    def persist(self, proxy: Proxy, name: str,
+                store: str = "data") -> ObjectAddress:
+        """Register *proxy* as a persistent process named *name*."""
+        return self.store(store).persist(proxy, name)
+
+    def lookup(self, address: "ObjectAddress | str",
+               machine: int | None = None) -> Proxy:
+        """Resolve a symbolic address, re-activating a passive process."""
+        if isinstance(address, str):
+            address = parse_address(address)
+        return self.store(address.store).activate(address, machine)
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def _require_open(self) -> None:
+        if not self._open:
+            raise ConfigError("cluster already shut down")
+
+    def shutdown(self) -> None:
+        """Checkpoint persistent processes, destroy objects, stop machines."""
+        if not self._open:
+            return
+        self._open = False
+        with self._stores_lock:
+            stores = list(self._stores.values())
+        for st in stores:
+            st.detach_all()
+        self.fabric.close()
+        with _stack_lock:
+            if self in _cluster_stack:
+                _cluster_stack.remove(self)
+            prev = _cluster_stack[-1] if _cluster_stack else None
+        if prev is not None:
+            set_default_context(RuntimeContext(fabric=prev.fabric, machine_id=-1))
+        else:
+            set_default_context(None)
+
+    def __enter__(self) -> "Cluster":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "open" if self._open else "closed"
+        return (f"<Cluster backend={self.config.backend} "
+                f"n_machines={self.n_machines} {state}>")

@@ -1,0 +1,114 @@
+"""Ambient runtime context.
+
+Remote method bodies frequently need to know *where* they run (their
+machine id) and need a fabric to issue further remote calls — e.g. the
+paper's FFT processes invoke methods on their peers, and unpickling a
+proxy inside an argument list must re-attach it to the local fabric.
+
+The context is looked up in this order:
+
+1. a thread-local override (set around request dispatch and around
+   decode paths, so every thread that may unpickle proxies sees the
+   fabric those proxies should bind to);
+2. the process-wide default (set once per machine worker process, and by
+   the driver's Cluster on construction).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..backends.base import Fabric
+
+
+class CostHooks:
+    """Charging hooks for simulated resources.
+
+    Real backends keep the no-op defaults (real time passes by itself);
+    the simulated backend installs hooks that advance the simulated
+    clock and queue on simulated devices.
+    """
+
+    def charge_compute(self, seconds: float) -> None:
+        """Account *seconds* of CPU work on the current machine."""
+
+    def charge_disk_read(self, device_key: str, nbytes: int) -> None:
+        """Account a read of *nbytes* from the named disk."""
+
+    def charge_disk_write(self, device_key: str, nbytes: int) -> None:
+        """Account a write of *nbytes* to the named disk."""
+
+
+@dataclass
+class RuntimeContext:
+    """What a piece of code can see of the runtime around it."""
+
+    fabric: "Fabric"
+    machine_id: int  # DRIVER_MACHINE (-1) in the driver program
+    hooks: CostHooks = field(default_factory=CostHooks)
+
+
+_tls = threading.local()
+_default: Optional[RuntimeContext] = None
+_default_lock = threading.Lock()
+
+
+def set_default_context(ctx: Optional[RuntimeContext]) -> None:
+    """Install the process-wide fallback context."""
+    global _default
+    with _default_lock:
+        _default = ctx
+
+
+def current_context() -> Optional[RuntimeContext]:
+    """The innermost active context, or None outside any runtime."""
+    stack = getattr(_tls, "stack", None)
+    if stack:
+        return stack[-1]
+    return _default
+
+
+def current_fabric() -> Optional["Fabric"]:
+    ctx = current_context()
+    return ctx.fabric if ctx is not None else None
+
+
+def current_machine_id() -> Optional[int]:
+    ctx = current_context()
+    return ctx.machine_id if ctx is not None else None
+
+
+def current_hooks() -> CostHooks:
+    ctx = current_context()
+    return ctx.hooks if ctx is not None else _NOOP_HOOKS
+
+
+_NOOP_HOOKS = CostHooks()
+
+
+@contextlib.contextmanager
+def context_scope(ctx: RuntimeContext) -> Iterator[RuntimeContext]:
+    """Push *ctx* as the current thread's context for the duration."""
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = _tls.stack = []
+    stack.append(ctx)
+    try:
+        yield ctx
+    finally:
+        popped = stack.pop()
+        assert popped is ctx, "context stack corrupted"
+
+
+@contextlib.contextmanager
+def fabric_scope(fabric: "Fabric", machine_id: int = -1,
+                 hooks: CostHooks | None = None) -> Iterator[RuntimeContext]:
+    """Convenience wrapper building a context from a fabric."""
+    ctx = RuntimeContext(fabric=fabric, machine_id=machine_id,
+                         hooks=hooks or _NOOP_HOOKS)
+    with context_scope(ctx) as c:
+        yield c

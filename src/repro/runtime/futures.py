@@ -1,0 +1,149 @@
+"""Futures for pipelined remote calls.
+
+The paper's compiler parallelizes a loop of remote calls by splitting it
+into a send-loop and a receive-loop.  :class:`RemoteFuture` is the
+library form of that transformation: ``stub.future(*args)`` performs the
+*send* half and returns immediately; ``future.result()`` performs the
+*receive* half.  :func:`wait_all` / :func:`gather` are the idiomatic
+receive-loops.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
+
+from ..errors import CallTimeoutError
+
+
+class RemoteFuture:
+    """Completion handle for one in-flight remote call.
+
+    Thread-safe; may be completed exactly once (with a value or an
+    exception).  Completion callbacks run on the completing thread.
+    Backends with their own notion of blocking (the simulator) override
+    :meth:`_wait`.
+    """
+
+    def __init__(self, *, label: str = "") -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: list[Callable[["RemoteFuture"], None]] = []
+        #: free-form description for diagnostics ("machine3.read")
+        self.label = label
+
+    # -- completion (backend side) ---------------------------------------
+
+    def set_result(self, value: Any) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise RuntimeError(f"future {self.label!r} completed twice")
+            self._value = value
+            callbacks = self._callbacks[:]
+            self._event.set()
+        for cb in callbacks:
+            cb(self)
+
+    def set_exception(self, exc: BaseException) -> None:
+        with self._lock:
+            if self._event.is_set():
+                raise RuntimeError(f"future {self.label!r} completed twice")
+            self._error = exc
+            callbacks = self._callbacks[:]
+            self._event.set()
+        for cb in callbacks:
+            cb(self)
+
+    # -- consumption (caller side) ----------------------------------------
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def _wait(self, timeout: Optional[float]) -> bool:
+        """Block until complete; backends may interpose (sim time)."""
+        return self._event.wait(timeout)
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._wait(timeout):
+            raise CallTimeoutError(
+                f"remote call {self.label!r} did not complete within {timeout}s")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        if not self._wait(timeout):
+            raise CallTimeoutError(
+                f"remote call {self.label!r} did not complete within {timeout}s")
+        return self._error
+
+    def add_done_callback(self, cb: Callable[["RemoteFuture"], None]) -> None:
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(cb)
+                return
+        cb(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "done" if self.done() else "pending"
+        return f"<RemoteFuture {self.label or '?'} {state}>"
+
+
+def completed_future(value: Any = None, *, label: str = "") -> RemoteFuture:
+    """A future that is already resolved (used by the inline backend)."""
+    f = RemoteFuture(label=label)
+    f.set_result(value)
+    return f
+
+
+def failed_future(exc: BaseException, *, label: str = "") -> RemoteFuture:
+    f = RemoteFuture(label=label)
+    f.set_exception(exc)
+    return f
+
+
+def wait_all(futures: Iterable[RemoteFuture],
+             timeout: Optional[float] = None) -> None:
+    """Block until every future completes (the paper's receive-loop).
+
+    Raises the first exception encountered, *after* waiting for all —
+    so no call is silently abandoned in flight.
+    """
+    futures = list(futures)
+    first_error: Optional[BaseException] = None
+    for f in futures:
+        err = f.exception(timeout)
+        if err is not None and first_error is None:
+            first_error = err
+    if first_error is not None:
+        raise first_error
+
+
+def gather(futures: Sequence[RemoteFuture],
+           timeout: Optional[float] = None) -> list:
+    """Wait for all futures and return their results, in order."""
+    wait_all(futures, timeout)
+    return [f.result(0) for f in futures]
+
+
+def as_completed(futures: Sequence[RemoteFuture],
+                 timeout: Optional[float] = None) -> Iterator[RemoteFuture]:
+    """Yield futures as they complete (order of completion).
+
+    Note: with the simulated backend, prefer :func:`wait_all` — ordering
+    by wall-clock completion is meaningless under simulated time.
+    """
+    import queue as _queue
+
+    q: _queue.Queue = _queue.Queue()
+    for f in futures:
+        f.add_done_callback(q.put)
+    for _ in range(len(futures)):
+        try:
+            yield q.get(timeout=timeout)
+        except _queue.Empty:
+            raise CallTimeoutError(
+                f"not all of {len(futures)} calls completed within {timeout}s"
+            ) from None

@@ -1,0 +1,156 @@
+"""Arrays of remote objects and the loop-splitting transformation.
+
+The paper parallelizes ``for i: device[i]->read(...)`` by letting the
+compiler split the loop into a send-loop and a receive-loop.
+:class:`ObjectGroup` packages that transformation:
+
+* :meth:`invoke` — pipelined: issue every request, then collect every
+  reply (the transformed program);
+* :meth:`invoke_sequential` — one full round trip per member (the
+  untransformed program; kept as the baseline for experiment E4);
+* :meth:`barrier` — the paper's ``fft->barrier()``: returns when every
+  member has no method execution in flight.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from ..errors import GroupError
+from .futures import RemoteFuture, wait_all
+from .proxy import Proxy, destroy as destroy_proxy
+
+
+class ObjectGroup:
+    """An ordered collection of remote objects addressed as one unit."""
+
+    def __init__(self, proxies: Sequence[Proxy]) -> None:
+        self._proxies = list(proxies)
+        if not self._proxies:
+            raise GroupError("an object group cannot be empty")
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._proxies)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ObjectGroup(self._proxies[index])
+        return self._proxies[index]
+
+    def __iter__(self) -> Iterator[Proxy]:
+        return iter(self._proxies)
+
+    @property
+    def proxies(self) -> list[Proxy]:
+        return list(self._proxies)
+
+    # -- pipelined invocation (the compiler's transformed loop) ----------------
+
+    def futures(self, method: str, *args: Any, **kwargs: Any) -> list[RemoteFuture]:
+        """The send-loop: issue ``method(*args)`` on every member."""
+        return [getattr(p, method).future(*args, **kwargs) for p in self._proxies]
+
+    def invoke(self, method: str, *args: Any, **kwargs: Any) -> list:
+        """Pipelined call on every member; results in member order."""
+        futures = self.futures(method, *args, **kwargs)
+        return _collect(futures, method)
+
+    def invoke_each(self, method: str, argtuples: Iterable[tuple],
+                    kwtuples: Iterable[dict] | None = None) -> list:
+        """Pipelined call with per-member positional (and keyword) args."""
+        argtuples = list(argtuples)
+        if len(argtuples) != len(self._proxies):
+            raise GroupError(
+                f"got {len(argtuples)} argument tuples for "
+                f"{len(self._proxies)} members")
+        if kwtuples is None:
+            kwargs_list: list[dict] = [{}] * len(argtuples)
+        else:
+            kwargs_list = list(kwtuples)
+            if len(kwargs_list) != len(argtuples):
+                raise GroupError("kwtuples length mismatch")
+        futures = [
+            getattr(p, method).future(*a, **kw)
+            for p, a, kw in zip(self._proxies, argtuples, kwargs_list)
+        ]
+        return _collect(futures, method)
+
+    def invoke_indexed(self, method: str,
+                       argfn: Callable[[int], tuple]) -> list:
+        """Pipelined call where member *i* receives ``argfn(i)``."""
+        return self.invoke_each(method, [argfn(i) for i in range(len(self))])
+
+    # -- sequential invocation (the untransformed loop; E4 baseline) ----------
+
+    def invoke_sequential(self, method: str, *args: Any, **kwargs: Any) -> list:
+        """One complete round trip per member, in order."""
+        return [getattr(p, method)(*args, **kwargs) for p in self._proxies]
+
+    def invoke_each_sequential(self, method: str,
+                               argtuples: Iterable[tuple]) -> list:
+        argtuples = list(argtuples)
+        if len(argtuples) != len(self._proxies):
+            raise GroupError("argument tuples length mismatch")
+        return [getattr(p, method)(*a)
+                for p, a in zip(self._proxies, argtuples)]
+
+    # -- synchronization --------------------------------------------------------
+
+    def barrier(self, timeout: float | None = None) -> None:
+        """Wait until no member has a method execution in flight.
+
+        The guarantee covers calls that have *reached* their machine.
+        Calls still pipelined in the caller's hands are synchronized by
+        waiting on their futures first (``wait_all``); doing both is the
+        full synchronization point the paper attaches to the end of a
+        parallel loop.
+        """
+        per_machine: dict[int, list[int]] = {}
+        for p in self._proxies:
+            per_machine.setdefault(p._ref.machine, []).append(p._ref.oid)
+        fabric = self._proxies[0]._bound_fabric()
+        futures = [
+            fabric.call_async(fabric.kernel_ref(m), "quiesce", (oids, timeout), {})
+            for m, oids in sorted(per_machine.items())
+        ]
+        ok = _collect(futures, "quiesce")
+        if not all(ok):
+            raise GroupError(f"barrier did not drain within {timeout}s")
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def destroy(self) -> None:
+        """Destroy every member (pipeline-unfriendly but rare)."""
+        failures: dict[int, BaseException] = {}
+        for i, p in enumerate(self._proxies):
+            try:
+                destroy_proxy(p)
+            except BaseException as exc:  # noqa: BLE001 - aggregate and report
+                failures[i] = exc
+        if failures:
+            raise GroupError(f"{len(failures)} members failed to destroy",
+                             failures)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ObjectGroup of {len(self._proxies)}>"
+
+
+def _collect(futures: Sequence[RemoteFuture], method: str) -> list:
+    """Receive-loop with aggregated error reporting."""
+    wait_all_errors: dict[int, BaseException] = {}
+    results: list = [None] * len(futures)
+    for i, f in enumerate(futures):
+        err = f.exception()
+        if err is not None:
+            wait_all_errors[i] = err
+        else:
+            results[i] = f.result(0)
+    if wait_all_errors:
+        if len(wait_all_errors) == 1:
+            raise next(iter(wait_all_errors.values()))
+        raise GroupError(
+            f"{len(wait_all_errors)}/{len(futures)} members failed during "
+            f"{method!r}", wait_all_errors)
+    return results

@@ -1,0 +1,77 @@
+"""Symbolic object addresses (the paper's DAP-style names).
+
+Persistent processes are reachable by address::
+
+    oop://<store>/<ClassName>/<name>
+
+``store`` names the persistent store (a directory of the cluster's
+storage root); ``ClassName`` is an unqualified class name kept for
+readability and checked on lookup; ``name`` is the user-chosen identity
+of the process.  The paper's example
+``"http://data/set/PageDevice/34"`` maps to
+``oop://data-set/PageDevice/34``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..errors import AddressSyntaxError
+
+SCHEME = "oop"
+_SEGMENT = re.compile(r"^[A-Za-z0-9._-]+$")
+
+
+@dataclass(frozen=True)
+class ObjectAddress:
+    """A parsed symbolic address of a persistent process."""
+
+    store: str
+    class_name: str
+    name: str
+
+    def __str__(self) -> str:
+        return format_address(self)
+
+
+def _check_segment(kind: str, value: str) -> str:
+    if not _SEGMENT.match(value or ""):
+        raise AddressSyntaxError(
+            f"bad {kind} segment {value!r}: want [A-Za-z0-9._-]+")
+    return value
+
+
+def format_address(addr: ObjectAddress) -> str:
+    """Render an address back to ``oop://store/Class/name`` form."""
+    _check_segment("store", addr.store)
+    _check_segment("class", addr.class_name)
+    _check_segment("name", addr.name)
+    return f"{SCHEME}://{addr.store}/{addr.class_name}/{addr.name}"
+
+
+def parse_address(text: str) -> ObjectAddress:
+    """Parse ``oop://store/Class/name``; raises AddressSyntaxError."""
+    if not isinstance(text, str):
+        raise AddressSyntaxError(f"address must be a string, got {type(text).__name__}")
+    prefix = f"{SCHEME}://"
+    if not text.startswith(prefix):
+        raise AddressSyntaxError(f"address must start with {prefix!r}: {text!r}")
+    rest = text[len(prefix):]
+    parts = rest.split("/")
+    if len(parts) != 3:
+        raise AddressSyntaxError(
+            f"address needs exactly store/Class/name after the scheme: {text!r}")
+    store, class_name, name = parts
+    return ObjectAddress(
+        store=_check_segment("store", store),
+        class_name=_check_segment("class", class_name),
+        name=_check_segment("name", name),
+    )
+
+
+def address_for(store: str, class_name: str, name: str) -> ObjectAddress:
+    """Build and validate an address from its parts."""
+    addr = ObjectAddress(store, class_name, name)
+    format_address(addr)  # validates
+    return addr

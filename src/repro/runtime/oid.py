@@ -1,0 +1,65 @@
+"""Object references and class specs — the wire form of remote pointers."""
+
+from __future__ import annotations
+
+import importlib
+import sys
+from dataclasses import dataclass
+
+from ..errors import RuntimeLayerError
+
+#: machine id used for "the driver program itself" in caller fields.
+DRIVER_MACHINE = -1
+
+
+@dataclass(frozen=True)
+class ObjectRef:
+    """A remote pointer: ``(machine, object id)`` plus the class spec.
+
+    Instances are small, hashable and picklable; they are what actually
+    travels when a proxy is passed to a remote method (the paper's
+    "remote pointer to an array of remote processes").
+    """
+
+    machine: int
+    oid: int
+    spec: tuple[str, str] | None = None  # (module, qualname) of the class
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        cls = self.spec[1] if self.spec else "?"
+        return f"<ref {cls}@machine{self.machine}#{self.oid}>"
+
+
+def class_spec(cls: type) -> tuple[str, str]:
+    """The (module, qualname) pair identifying *cls* across processes."""
+    return (cls.__module__, cls.__qualname__)
+
+
+def resolve_class(spec: tuple[str, str]) -> type:
+    """Resolve a class spec to the class object.
+
+    Looks in :data:`sys.modules` first — under the fork start method the
+    worker inherits the parent's loaded modules, which makes classes
+    defined in test files or ``__main__`` resolvable without being
+    importable by path.  Falls back to a real import.
+    """
+    module_name, qualname = spec
+    module = sys.modules.get(module_name)
+    if module is None:
+        try:
+            module = importlib.import_module(module_name)
+        except ImportError as exc:
+            raise RuntimeLayerError(
+                f"cannot resolve class {module_name}:{qualname}: {exc}") from exc
+    obj: object = module
+    for part in qualname.split("."):
+        try:
+            obj = getattr(obj, part)
+        except AttributeError as exc:
+            raise RuntimeLayerError(
+                f"cannot resolve class {module_name}:{qualname}: "
+                f"no attribute {part!r}") from exc
+    if not isinstance(obj, type):
+        raise RuntimeLayerError(
+            f"{module_name}:{qualname} resolved to {type(obj).__name__}, not a class")
+    return obj

@@ -1,0 +1,235 @@
+"""Persistent processes (paper §5).
+
+A *persistent process* is an object that outlives the program that
+created it: it can be deactivated (its state snapshotted to stable
+storage and its process terminated), later re-activated on any machine,
+and is destroyed only by explicitly deleting it through its address.
+
+The runtime pieces:
+
+* the per-machine kernel provides ``snapshot`` / ``evict`` / ``restore``
+  (state capture without re-running ``__init__``);
+* :class:`PersistentStore` owns a directory of snapshots plus the
+  registry of currently active processes, keyed by symbolic
+  :class:`~repro.runtime.naming.ObjectAddress`;
+* ``Cluster.lookup("oop://store/Class/name")`` resolves an address to a
+  proxy, transparently re-activating the process if it is passive —
+  the paper's ``PageDevice * d = "http://data/set/PageDevice/34"``.
+
+State is captured via ``__getstate__``/``__setstate__`` (or
+``__dict__``), so classes opt into persistence exactly the way they opt
+into pickling.  Objects holding OS resources (open files) must
+re-acquire them in ``__setstate__`` — see
+:class:`repro.storage.device.PageDevice` for the worked example.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import threading
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import (
+    NotPersistentError,
+    PersistenceError,
+    UnknownAddressError,
+)
+from .naming import ObjectAddress, address_for, format_address, parse_address
+from .oid import ObjectRef
+from .proxy import Proxy, destroy as destroy_proxy, ref_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..backends.base import Fabric
+
+_SNAP_SUFFIX = ".snap"
+
+
+class PersistentStore:
+    """One named store of persistent processes.
+
+    Thread-safe.  Snapshots live under
+    ``<root>/<store>/<ClassName>/<name>.snap``; the active registry maps
+    addresses to live object refs for the current cluster session.
+    """
+
+    def __init__(self, root: str, store_name: str, fabric: "Fabric") -> None:
+        self.name = store_name
+        self._dir = os.path.join(root, "persist", store_name)
+        os.makedirs(self._dir, exist_ok=True)
+        self._fabric = fabric
+        self._lock = threading.Lock()
+        self._active: dict[ObjectAddress, ObjectRef] = {}
+
+    # -- address helpers -----------------------------------------------------
+
+    def _coerce(self, addr: "ObjectAddress | str") -> ObjectAddress:
+        if isinstance(addr, str):
+            addr = parse_address(addr)
+        if addr.store != self.name:
+            raise PersistenceError(
+                f"address {format_address(addr)} belongs to store "
+                f"{addr.store!r}, not {self.name!r}")
+        return addr
+
+    def _snap_path(self, addr: ObjectAddress) -> str:
+        return os.path.join(self._dir, addr.class_name, addr.name + _SNAP_SUFFIX)
+
+    # -- registration -----------------------------------------------------------
+
+    def persist(self, proxy: Proxy, name: str) -> ObjectAddress:
+        """Register a live object as a persistent process under *name*.
+
+        The object stays active; a passive snapshot is written
+        immediately so the address survives a crash of the hosting
+        machine (it would reactivate from this snapshot).
+        """
+        ref = ref_of(proxy)
+        class_name = ref.spec[1].rsplit(".", 1)[-1] if ref.spec else "Object"
+        addr = address_for(self.name, class_name, name)
+        self.checkpoint_ref(addr, ref)
+        with self._lock:
+            self._active[addr] = ref
+        return addr
+
+    def checkpoint(self, addr: "ObjectAddress | str") -> None:
+        """Refresh the on-disk snapshot of an active persistent process."""
+        addr = self._coerce(addr)
+        with self._lock:
+            ref = self._active.get(addr)
+        if ref is None:
+            raise NotPersistentError(
+                f"{format_address(addr)} is not active in this session")
+        self.checkpoint_ref(addr, ref)
+
+    def checkpoint_ref(self, addr: ObjectAddress, ref: ObjectRef) -> None:
+        spec, state = self._fabric.kernel_call(ref.machine, "snapshot", ref.oid)
+        self._write_snapshot(addr, spec, state)
+
+    def _write_snapshot(self, addr: ObjectAddress, spec, state) -> None:
+        path = self._snap_path(addr)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        tmp = path + ".tmp"
+        with open(tmp, "wb") as f:
+            pickle.dump({"spec": spec, "state": state,
+                         "address": format_address(addr)}, f, protocol=5)
+        os.replace(tmp, path)  # atomic publish
+
+    # -- activation state machine ---------------------------------------------
+
+    def is_active(self, addr: "ObjectAddress | str") -> bool:
+        addr = self._coerce(addr)
+        with self._lock:
+            return addr in self._active
+
+    def exists(self, addr: "ObjectAddress | str") -> bool:
+        addr = self._coerce(addr)
+        with self._lock:
+            if addr in self._active:
+                return True
+        return os.path.exists(self._snap_path(addr))
+
+    def deactivate(self, addr: "ObjectAddress | str") -> None:
+        """Snapshot the process to disk and terminate it.
+
+        The address remains valid; the next :meth:`activate` (or
+        ``Cluster.lookup``) revives the process from the snapshot.
+        """
+        addr = self._coerce(addr)
+        with self._lock:
+            ref = self._active.pop(addr, None)
+        if ref is None:
+            raise NotPersistentError(
+                f"{format_address(addr)} is not active in this session")
+        spec, state = self._fabric.kernel_call(ref.machine, "evict", ref.oid)
+        self._write_snapshot(addr, spec, state)
+
+    def activate(self, addr: "ObjectAddress | str",
+                 machine: Optional[int] = None) -> Proxy:
+        """Resolve an address to a live proxy, reviving if passive.
+
+        ``machine`` picks where a passive process re-materializes
+        (default: machine 0).  For an already-active process the hosting
+        machine cannot change, and a mismatching request is an error.
+        """
+        addr = self._coerce(addr)
+        with self._lock:
+            ref = self._active.get(addr)
+        if ref is not None:
+            if machine is not None and machine != ref.machine:
+                raise PersistenceError(
+                    f"{format_address(addr)} is active on machine "
+                    f"{ref.machine}; cannot activate on machine {machine}")
+            return Proxy(ref, self._fabric)
+        path = self._snap_path(addr)
+        try:
+            with open(path, "rb") as f:
+                snap = pickle.load(f)
+        except FileNotFoundError:
+            raise UnknownAddressError(
+                f"no persistent process at {format_address(addr)}") from None
+        target = machine if machine is not None else 0
+        ref = self._fabric.kernel_call(target, "restore",
+                                       snap["spec"], snap["state"])
+        with self._lock:
+            # two racing activations: keep the first registered one
+            existing = self._active.get(addr)
+            if existing is not None:
+                self._fabric.destroy(ref)
+                return Proxy(existing, self._fabric)
+            self._active[addr] = ref
+        return Proxy(ref, self._fabric)
+
+    # -- destruction ---------------------------------------------------------------
+
+    def delete(self, addr: "ObjectAddress | str") -> None:
+        """Destroy the persistent process — explicit destructor call.
+
+        Terminates the active process (if any) and removes the snapshot,
+        after which the address dangles permanently.
+        """
+        addr = self._coerce(addr)
+        with self._lock:
+            ref = self._active.pop(addr, None)
+        if ref is not None:
+            destroy_proxy(Proxy(ref, self._fabric))
+        path = self._snap_path(addr)
+        try:
+            os.remove(path)
+            removed = True
+        except FileNotFoundError:
+            removed = False
+        if ref is None and not removed:
+            raise UnknownAddressError(
+                f"no persistent process at {format_address(addr)}")
+
+    # -- enumeration ------------------------------------------------------------------
+
+    def addresses(self) -> list[ObjectAddress]:
+        """All addresses with a snapshot on disk or active in-session."""
+        found: set[ObjectAddress] = set()
+        if os.path.isdir(self._dir):
+            for class_name in sorted(os.listdir(self._dir)):
+                class_dir = os.path.join(self._dir, class_name)
+                if not os.path.isdir(class_dir):
+                    continue
+                for fn in sorted(os.listdir(class_dir)):
+                    if fn.endswith(_SNAP_SUFFIX):
+                        found.add(address_for(self.name, class_name,
+                                              fn[:-len(_SNAP_SUFFIX)]))
+        with self._lock:
+            found.update(self._active)
+        return sorted(found, key=format_address)
+
+    def detach_all(self) -> None:
+        """Forget active registrations (cluster shutdown); snapshots stay."""
+        with self._lock:
+            active = dict(self._active)
+            self._active.clear()
+        for addr, ref in active.items():
+            try:
+                spec, state = self._fabric.kernel_call(ref.machine, "snapshot",
+                                                       ref.oid)
+                self._write_snapshot(addr, spec, state)
+            except Exception:  # noqa: BLE001 - best effort during teardown
+                pass

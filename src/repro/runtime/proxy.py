@@ -1,0 +1,215 @@
+"""Client stubs for remote objects (what the paper's compiler generates).
+
+A :class:`Proxy` wraps an :class:`~repro.runtime.oid.ObjectRef` together
+with the fabric used to reach it.  ``proxy.method(args)`` executes the
+method on the remote object and blocks until the result returns — the
+paper's sequential semantics.  ``proxy.method.future(args)`` performs
+only the *send* half and returns a :class:`RemoteFuture`;
+``proxy.method.oneway(args)`` sends with no reply at all.
+
+Subscription operators work the way the paper's ``data[7] = 3.1415``
+example requires: ``proxy[i]``, ``proxy[i] = v`` and ``len(proxy)``
+forward to ``__getitem__``/``__setitem__``/``__len__`` on the remote
+instance, each costing one round trip.
+
+Proxies pickle down to their ``ObjectRef`` and re-attach to the ambient
+fabric on arrival, so passing a proxy to a remote method hands the
+*pointer*, not the object — exactly the paper's remote-pointer
+semantics (see the deep-copy discussion around ``FFT::SetGroup``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from ..errors import RuntimeLayerError
+from .context import current_fabric
+from .futures import RemoteFuture
+from .oid import ObjectRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..backends.base import Fabric
+
+#: reserved method names understood by every object server
+GETATTR_METHOD = "__oopp_getattr__"
+SETATTR_METHOD = "__oopp_setattr__"
+PING_METHOD = "__oopp_ping__"
+
+
+class RemoteMethod:
+    """A bound stub for one method of one remote object."""
+
+    __slots__ = ("_proxy", "_name")
+
+    def __init__(self, proxy: "Proxy", name: str) -> None:
+        self._proxy = proxy
+        self._name = name
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        """Execute remotely; block until the result (or exception) returns.
+
+        Inside an :func:`repro.runtime.autopar.autoparallel` block the
+        same call site is transformed into its pipelined form: the
+        request is sent, a ``Deferred`` placeholder returns immediately,
+        and the block exit is the synchronization point.
+        """
+        from .autopar import active_batch, check_args_for_pending
+
+        p = self._proxy
+        batch = active_batch()
+        if batch is not None:
+            check_args_for_pending(args, kwargs)
+            future = p._bound_fabric().call_async(p._ref, self._name, args,
+                                                  kwargs)
+            return batch.add(future)
+        return p._bound_fabric().call(p._ref, self._name, args, kwargs)
+
+    def future(self, *args: Any, **kwargs: Any) -> RemoteFuture:
+        """Send the request and return immediately with a future."""
+        p = self._proxy
+        return p._bound_fabric().call_async(p._ref, self._name, args, kwargs)
+
+    def oneway(self, *args: Any, **kwargs: Any) -> None:
+        """Send with no reply channel (fire-and-forget)."""
+        p = self._proxy
+        p._bound_fabric().call_oneway(p._ref, self._name, args, kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<remote method {self._name} of {self._proxy!r}>"
+
+
+class Proxy:
+    """A remote pointer the program can dereference.
+
+    Only underscore-prefixed attributes exist locally; every other
+    attribute access synthesizes a :class:`RemoteMethod`.  Use the
+    module-level helpers (:func:`destroy`, :func:`remote_getattr`, ...)
+    for operations on the pointer itself, so they can never collide with
+    remote method names.
+    """
+
+    __slots__ = ("_ref", "_fabric")
+
+    def __init__(self, ref: ObjectRef, fabric: "Fabric | None") -> None:
+        object.__setattr__(self, "_ref", ref)
+        object.__setattr__(self, "_fabric", fabric)
+
+    # -- fabric binding ----------------------------------------------------
+
+    def _bound_fabric(self) -> "Fabric":
+        fabric = self._fabric
+        if fabric is None or fabric.closed:
+            had_fabric = fabric is not None
+            fabric = current_fabric()
+            if fabric is None or fabric.closed:
+                if had_fabric:
+                    from ..errors import MachineDownError
+
+                    raise MachineDownError(
+                        f"the cluster hosting {self._ref!r} was shut down")
+                raise RuntimeLayerError(
+                    f"proxy {self._ref!r} is not attached to a running cluster")
+            object.__setattr__(self, "_fabric", fabric)
+        return fabric
+
+    # -- stub synthesis ------------------------------------------------------
+
+    def __getattr__(self, name: str) -> RemoteMethod:
+        if name.startswith("_"):
+            # Keeps pickle/copy/inspect probing honest and reserves the
+            # private namespace for the proxy machinery itself.
+            raise AttributeError(name)
+        return RemoteMethod(self, name)
+
+    def __setattr__(self, name: str, value: Any) -> None:
+        raise AttributeError(
+            "proxies have no local attributes; use remote_setattr() to set "
+            "an attribute on the remote object")
+
+    # -- subscription / container protocol -------------------------------
+
+    def __getitem__(self, key: Any) -> Any:
+        return self._bound_fabric().call(self._ref, "__getitem__", (key,), {})
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        self._bound_fabric().call(self._ref, "__setitem__", (key, value), {})
+
+    def __delitem__(self, key: Any) -> None:
+        self._bound_fabric().call(self._ref, "__delitem__", (key,), {})
+
+    def __len__(self) -> int:
+        return self._bound_fabric().call(self._ref, "__len__", (), {})
+
+    def __contains__(self, item: Any) -> bool:
+        return self._bound_fabric().call(self._ref, "__contains__", (item,), {})
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self._bound_fabric().call(self._ref, "__call__", args, kwargs)
+
+    # -- identity ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Proxy) and other._ref == self._ref
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(self._ref)
+
+    def __reduce__(self):
+        return (_rebuild_proxy, (self._ref,))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<proxy {self._ref!r}>"
+
+
+def _rebuild_proxy(ref: ObjectRef) -> Proxy:
+    """Unpickle hook: re-attach to whatever fabric is ambient here."""
+    return Proxy(ref, current_fabric())
+
+
+# ---------------------------------------------------------------------------
+# Pointer-level operations (module functions so they can never shadow a
+# remote method name)
+# ---------------------------------------------------------------------------
+
+
+def is_proxy(obj: Any) -> bool:
+    """True if *obj* is a remote pointer."""
+    return isinstance(obj, Proxy)
+
+
+def ref_of(proxy: Proxy) -> ObjectRef:
+    """The :class:`ObjectRef` behind a proxy."""
+    if not isinstance(proxy, Proxy):
+        raise TypeError(f"expected a Proxy, got {type(proxy).__name__}")
+    return proxy._ref
+
+
+def destroy(proxy: Proxy) -> None:
+    """Destroy the remote object — the paper's ``delete page_device``.
+
+    Terminates the remote (logical) process: the destructor hook runs on
+    the remote machine, the object id becomes permanently invalid, and
+    every other pointer to it dangles (subsequent calls raise
+    :class:`~repro.errors.ObjectDestroyedError`).
+    """
+    if not isinstance(proxy, Proxy):
+        raise TypeError(f"expected a Proxy, got {type(proxy).__name__}")
+    proxy._bound_fabric().destroy(proxy._ref)
+
+
+def remote_getattr(proxy: Proxy, name: str) -> Any:
+    """Read a data attribute of the remote instance (one round trip)."""
+    return proxy._bound_fabric().call(proxy._ref, GETATTR_METHOD, (name,), {})
+
+
+def remote_setattr(proxy: Proxy, name: str, value: Any) -> None:
+    """Set a data attribute on the remote instance (one round trip)."""
+    proxy._bound_fabric().call(proxy._ref, SETATTR_METHOD, (name, value), {})
+
+
+def ping(proxy: Proxy) -> int:
+    """Round-trip to the hosting machine; returns its machine id."""
+    return proxy._bound_fabric().call(proxy._ref, PING_METHOD, (), {})

@@ -1,0 +1,102 @@
+"""Remote primitive data — the paper's ``new(machine 2) double[1024]``.
+
+:class:`Block` is the server-side object standing in for a raw memory
+allocation on a remote machine.  Through a proxy it supports exactly the
+paper's example::
+
+    data = cluster.new_block(1024, machine=2)   # new(machine 2) double[1024]
+    data[7] = 3.1415                            # one round trip
+    x = data[2]                                 # one round trip
+
+plus the bulk operations real applications need to amortize latency
+(:meth:`read`, :meth:`write`, slicing), which travel on the zero-copy
+buffer path of the transport.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+
+class Block:
+    """A typed, fixed-length array hosted on a remote machine."""
+
+    def __init__(self, n: int, dtype: str = "float64",
+                 fill: float | int | None = 0) -> None:
+        if n < 0:
+            raise ValueError("block length must be >= 0")
+        if fill is None:
+            self._data = np.empty(n, dtype=dtype)
+        else:
+            self._data = np.full(n, fill, dtype=dtype)
+
+    # -- scalar access (one round trip each, as the paper notes) ----------
+
+    def __getitem__(self, index: Any) -> Any:
+        value = self._data[index]
+        if isinstance(value, np.ndarray):
+            return value.copy()
+        return value.item()
+
+    def __setitem__(self, index: Any, value: Any) -> None:
+        self._data[index] = value
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, value: Any) -> bool:
+        return bool(np.isin(value, self._data).all())
+
+    # -- bulk access (buffer path; amortizes the round trip) ---------------
+
+    def read(self, start: int = 0, stop: int | None = None) -> np.ndarray:
+        """Copy out ``[start:stop)`` as one message."""
+        return self._data[start:stop].copy()
+
+    def write(self, start: int, values: np.ndarray) -> int:
+        """Copy *values* in at *start*; returns elements written."""
+        values = np.asarray(values, dtype=self._data.dtype)
+        self._data[start:start + len(values)] = values
+        return len(values)
+
+    def fill(self, value: Any) -> None:
+        self._data[:] = value
+
+    # -- whole-block computation ("move the computation to the data") -------
+
+    def sum(self) -> Any:
+        return self._data.sum().item()
+
+    def min(self) -> Any:
+        return self._data.min().item()
+
+    def max(self) -> Any:
+        return self._data.max().item()
+
+    def dot(self, other: np.ndarray) -> Any:
+        return float(np.dot(self._data, np.asarray(other, dtype=self._data.dtype)))
+
+    def scale(self, alpha: float) -> None:
+        self._data *= alpha
+
+    def axpy(self, alpha: float, x: np.ndarray) -> None:
+        """``self += alpha * x`` computed entirely on the hosting machine."""
+        self._data += alpha * np.asarray(x, dtype=self._data.dtype)
+
+    # -- introspection -----------------------------------------------------
+
+    def dtype_name(self) -> str:
+        return str(self._data.dtype)
+
+    def nbytes(self) -> int:
+        return int(self._data.nbytes)
+
+    # -- persistence -------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {"data": self._data}
+
+    def __setstate__(self, state: dict) -> None:
+        self._data = state["data"]

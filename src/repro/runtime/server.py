@@ -1,0 +1,351 @@
+"""The object server that runs on every machine.
+
+Three pieces:
+
+:class:`ObjectTable`
+    oid → live instance, with per-object in-flight call counters (used
+    by quiescence barriers and by destroy, which waits for running
+    methods to drain before tearing the object down).
+
+:class:`Kernel`
+    The per-machine *kernel object*, installed at object id 0.  Object
+    creation, destruction, statistics, quiescence and persistence
+    snapshots are all ordinary methods on this object — the framework
+    eats its own dog food: everything is remote method execution.
+
+:class:`Dispatcher`
+    Executes one :class:`~repro.transport.message.Request` against the
+    table, with the runtime context set so that method bodies can issue
+    their own remote calls and unpickled proxies bind to the machine's
+    fabric.
+"""
+
+from __future__ import annotations
+
+import threading
+import traceback
+from typing import TYPE_CHECKING, Any, Iterable, Optional
+
+from ..errors import (
+    NoSuchObjectError,
+    ObjectDestroyedError,
+    RuntimeLayerError,
+)
+from ..transport.message import KERNEL_OID, ErrorResponse, Request, Response
+from ..util.ids import IdAllocator
+from ..util.log import get_logger
+
+log = get_logger("server")
+from .context import CostHooks, RuntimeContext, context_scope
+from .oid import ObjectRef, class_spec, resolve_class
+from .proxy import GETATTR_METHOD, PING_METHOD, SETATTR_METHOD
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..backends.base import Fabric
+
+
+#: name of the optional destructor hook on hosted instances.  Mirrors the
+#: C++ destructor the paper relies on: it runs on the hosting machine when
+#: the object is destroyed (explicitly or at machine shutdown).
+DESTRUCTOR_HOOK = "oopp_destructor"
+
+
+class ObjectTable:
+    """Thread-safe registry of the objects hosted on one machine."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._drained = threading.Condition(self._lock)
+        self._objects: dict[int, Any] = {}
+        self._pending: dict[int, int] = {}
+        self._destroyed: set[int] = set()
+        self._ids = IdAllocator(start=KERNEL_OID + 1)
+
+    def add(self, instance: Any, oid: Optional[int] = None) -> int:
+        with self._lock:
+            if oid is None:
+                oid = self._ids.next()
+            elif oid in self._objects:
+                raise RuntimeLayerError(f"object id {oid} already in use")
+            self._objects[oid] = instance
+            self._pending.setdefault(oid, 0)
+            self._destroyed.discard(oid)
+            return oid
+
+    def get(self, oid: int) -> Any:
+        with self._lock:
+            try:
+                return self._objects[oid]
+            except KeyError:
+                if oid in self._destroyed:
+                    raise ObjectDestroyedError(
+                        f"object {oid} was destroyed; the pointer dangles"
+                    ) from None
+                raise NoSuchObjectError(f"no object with id {oid} here") from None
+
+    def remove(self, oid: int) -> Any:
+        """Remove and return the instance; waits for in-flight calls."""
+        with self._lock:
+            if oid not in self._objects:
+                if oid in self._destroyed:
+                    raise ObjectDestroyedError(f"object {oid} already destroyed")
+                raise NoSuchObjectError(f"no object with id {oid} here")
+            while self._pending.get(oid, 0) > 0:
+                self._drained.wait()
+            instance = self._objects.pop(oid)
+            self._pending.pop(oid, None)
+            self._destroyed.add(oid)
+            return instance
+
+    def enter_call(self, oid: int) -> None:
+        with self._lock:
+            self._pending[oid] = self._pending.get(oid, 0) + 1
+
+    def exit_call(self, oid: int) -> None:
+        with self._lock:
+            n = self._pending.get(oid, 1) - 1
+            self._pending[oid] = n
+            if n <= 0:
+                self._drained.notify_all()
+
+    def quiesce(self, oids: Optional[Iterable[int]] = None,
+                timeout: Optional[float] = None) -> bool:
+        """Block until the given objects (default: all) have no running calls.
+
+        "All" excludes the kernel object: quiesce itself executes as a
+        kernel call, so including it would be waiting for oneself.
+        """
+        wanted = set(oids) if oids is not None else None
+        deadline = None
+        if timeout is not None:
+            import time
+            deadline = time.monotonic() + timeout
+        with self._lock:
+            def busy() -> bool:
+                items = self._pending.items()
+                if wanted is None:
+                    return any(n > 0 for oid, n in items if oid != KERNEL_OID)
+                return any(n > 0 for oid, n in items if oid in wanted)
+
+            while busy():
+                remaining = None
+                if deadline is not None:
+                    import time
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._drained.wait(remaining)
+        return True
+
+    def oids(self) -> list[int]:
+        with self._lock:
+            return sorted(self._objects)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._objects)
+
+
+class Kernel:
+    """The machine's object id 0: creation, destruction, introspection."""
+
+    def __init__(self, machine_id: int, table: ObjectTable) -> None:
+        self.machine_id = machine_id
+        self.table = table
+        self.calls_served = 0
+        self._stats_lock = threading.Lock()
+        #: set by the hosting backend; kernel.shutdown() fires it.
+        self.stop_event = threading.Event()
+
+    # -- liveness ----------------------------------------------------------
+
+    def ping(self) -> int:
+        return self.machine_id
+
+    # -- object lifecycle ---------------------------------------------------
+
+    def create(self, spec: tuple[str, str], args: tuple, kwargs: dict) -> ObjectRef:
+        """Instantiate ``spec(*args, **kwargs)`` here; returns its ref.
+
+        The constructor runs with the machine's runtime context already
+        set (the dispatcher arranged that), so constructors may
+        themselves create further remote objects — the paper's derived
+        devices do exactly this.
+        """
+        cls = resolve_class(spec)
+        instance = cls(*args, **kwargs)
+        oid = self.table.add(instance)
+        return ObjectRef(machine=self.machine_id, oid=oid, spec=spec)
+
+    def call_function(self, spec: tuple[str, str], args: tuple,
+                      kwargs: dict) -> Any:
+        """Execute a module-level function on this machine.
+
+        The remote-procedure complement of remote objects: the driver's
+        ``cluster.submit(fn, ..., machine=k)`` lands here.  The function
+        runs with the machine's runtime context set (the dispatcher
+        arranged that), so it may create objects and call proxies.
+        """
+        from ..apps.funcspec import resolve_func
+
+        return resolve_func(spec)(*args, **kwargs)
+
+    def adopt(self, instance: Any) -> ObjectRef:
+        """Register an already-constructed local instance (backend use)."""
+        oid = self.table.add(instance)
+        return ObjectRef(machine=self.machine_id, oid=oid,
+                         spec=class_spec(type(instance)))
+
+    def destroy(self, oid: int) -> bool:
+        """Run the destructor hook and drop the object.
+
+        Waits for in-flight calls on the object to complete first, so a
+        method body never loses its instance mid-execution.
+        """
+        if oid == KERNEL_OID:
+            raise RuntimeLayerError("cannot destroy the kernel object")
+        instance = self.table.remove(oid)
+        hook = getattr(instance, DESTRUCTOR_HOOK, None)
+        if callable(hook):
+            hook()
+        return True
+
+    def destroy_all(self) -> int:
+        """Destroy every hosted object (machine shutdown path)."""
+        count = 0
+        for oid in self.table.oids():
+            try:
+                self.destroy(oid)
+                count += 1
+            except (NoSuchObjectError, ObjectDestroyedError):
+                pass
+        return count
+
+    # -- synchronization -----------------------------------------------------
+
+    def quiesce(self, oids: Optional[list[int]] = None,
+                timeout: Optional[float] = None) -> bool:
+        return self.table.quiesce(oids, timeout)
+
+    # -- persistence support (see repro.runtime.persistence) ----------------
+
+    def snapshot(self, oid: int) -> tuple[tuple[str, str], Any]:
+        """Capture ``(class spec, state)`` of a hosted object."""
+        instance = self.table.get(oid)
+        getter = getattr(instance, "__getstate__", None)
+        state = getter() if callable(getter) else dict(instance.__dict__)
+        return class_spec(type(instance)), state
+
+    def restore(self, spec: tuple[str, str], state: Any) -> ObjectRef:
+        """Recreate an object from a snapshot without running __init__."""
+        cls = resolve_class(spec)
+        instance = cls.__new__(cls)
+        setter = getattr(instance, "__setstate__", None)
+        if callable(setter):
+            setter(state)
+        else:
+            instance.__dict__.update(state)
+        oid = self.table.add(instance)
+        return ObjectRef(machine=self.machine_id, oid=oid, spec=spec)
+
+    def evict(self, oid: int) -> tuple[tuple[str, str], Any]:
+        """Snapshot then drop — deactivation of a persistent process."""
+        snap = self.snapshot(oid)
+        self.table.remove(oid)
+        return snap
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._stats_lock:
+            served = self.calls_served
+        return {
+            "machine": self.machine_id,
+            "objects": len(self.table),
+            "calls_served": served,
+        }
+
+    def count_call(self) -> None:
+        with self._stats_lock:
+            self.calls_served += 1
+
+    # -- shutdown ---------------------------------------------------------------
+
+    def shutdown(self) -> bool:
+        """Request machine shutdown; the hosting backend watches stop_event."""
+        self.stop_event.set()
+        return True
+
+
+class Dispatcher:
+    """Executes requests against one machine's object table."""
+
+    def __init__(self, machine_id: int, table: ObjectTable, kernel: Kernel,
+                 fabric: "Fabric", hooks=None) -> None:
+        self.machine_id = machine_id
+        self.table = table
+        self.kernel = kernel
+        self._context = RuntimeContext(fabric=fabric, machine_id=machine_id,
+                                       hooks=hooks or CostHooks())
+
+    @property
+    def context(self) -> RuntimeContext:
+        return self._context
+
+    def execute(self, request: Request) -> Response | ErrorResponse | None:
+        """Run one request; returns the reply (None for oneway)."""
+        self.kernel.count_call()
+        try:
+            value = self._run(request)
+        except BaseException as exc:  # noqa: BLE001 - everything crosses the wire
+            log.debug("machine %d: %s.%s raised %r (caller %d)",
+                      self.machine_id, request.object_id, request.method,
+                      exc, request.caller)
+            if request.oneway:
+                return None
+            picklable = _try_picklable(exc)
+            return ErrorResponse(
+                request_id=request.request_id,
+                type_name=f"{type(exc).__module__}.{type(exc).__qualname__}",
+                message=str(exc),
+                remote_traceback=traceback.format_exc(),
+                exception=picklable,
+            )
+        if request.oneway:
+            return None
+        return Response(request_id=request.request_id, value=value)
+
+    def _run(self, request: Request) -> Any:
+        oid = request.object_id
+        instance = self.kernel if oid == KERNEL_OID else self.table.get(oid)
+        name = request.method
+        self.table.enter_call(oid)
+        try:
+            with context_scope(self._context):
+                if name == GETATTR_METHOD:
+                    return getattr(instance, *request.args)
+                if name == SETATTR_METHOD:
+                    attr, value = request.args
+                    setattr(instance, attr, value)
+                    return None
+                if name == PING_METHOD:
+                    return self.machine_id
+                method = getattr(instance, name, None)
+                if method is None or not callable(method):
+                    raise AttributeError(
+                        f"{type(instance).__name__} object {oid} has no "
+                        f"callable method {name!r}")
+                return method(*request.args, **request.kwargs)
+        finally:
+            self.table.exit_call(oid)
+
+
+def _try_picklable(exc: BaseException) -> BaseException | None:
+    """Return *exc* if it survives a pickle round trip, else None."""
+    import pickle
+
+    try:
+        pickle.loads(pickle.dumps(exc))
+    except Exception:  # noqa: BLE001 - any failure means "not picklable"
+        return None
+    return exc

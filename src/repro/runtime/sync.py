@@ -1,0 +1,122 @@
+"""Synchronization objects for worker-to-worker coordination.
+
+These are ordinary classes meant to be *hosted* on a machine
+(``cluster.new(Rendezvous, n, machine=k)``) and called remotely by a
+set of worker processes — the collective counterpart of the paper's
+compiler-supported ``fft->barrier()``.
+
+A blocking method occupies one server worker thread while it waits, so
+size ``Config.mp_workers_per_machine`` above the number of concurrent
+waiters a single machine may host.  The simulated backend executes
+methods one at a time under the event engine, so these blocking
+primitives are intended for the ``inline`` and ``mp`` backends;
+simulated experiments coordinate phases from the driver instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from typing import Any, Hashable
+
+
+class Rendezvous:
+    """A reusable n-party barrier.
+
+    Each party calls :meth:`arrive`; the call returns (with the barrier
+    generation number) once all *n* parties of the current generation
+    have arrived.
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError("rendezvous needs at least one party")
+        self.n = n
+        self._cond = threading.Condition()
+        self._count = 0
+        self._generation = 0
+
+    def arrive(self, timeout: float | None = None) -> int:
+        with self._cond:
+            gen = self._generation
+            self._count += 1
+            if self._count == self.n:
+                self._count = 0
+                self._generation += 1
+                self._cond.notify_all()
+                return gen
+            while self._generation == gen:
+                if not self._cond.wait(timeout):
+                    raise TimeoutError(
+                        f"rendezvous generation {gen} incomplete after {timeout}s")
+            return gen
+
+    def waiting(self) -> int:
+        with self._cond:
+            return self._count
+
+
+class Latch:
+    """A one-shot count-down latch."""
+
+    def __init__(self, count: int) -> None:
+        if count < 0:
+            raise ValueError("latch count must be >= 0")
+        self._cond = threading.Condition()
+        self._count = count
+
+    def count_down(self, n: int = 1) -> int:
+        with self._cond:
+            self._count = max(0, self._count - n)
+            if self._count == 0:
+                self._cond.notify_all()
+            return self._count
+
+    def wait(self, timeout: float | None = None) -> bool:
+        with self._cond:
+            while self._count > 0:
+                if not self._cond.wait(timeout):
+                    return False
+            return True
+
+    def remaining(self) -> int:
+        with self._cond:
+            return self._count
+
+
+class Mailbox:
+    """Keyed blocking exchange: ``put(key, value)`` / ``take(key)``.
+
+    The FFT transpose uses one mailbox per worker: peers deposit slabs
+    under ``(phase, sender)`` keys and the owner takes them out as it
+    assembles its pencil.  ``take`` blocks until the key is deposited
+    and consumes it; ``peek_keys`` aids debugging.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._slots: dict[Hashable, list[Any]] = defaultdict(list)
+
+    def put(self, key: Hashable, value: Any) -> None:
+        with self._cond:
+            self._slots[key].append(value)
+            self._cond.notify_all()
+
+    def take(self, key: Hashable, timeout: float | None = None) -> Any:
+        with self._cond:
+            while not self._slots.get(key):
+                if not self._cond.wait(timeout):
+                    raise TimeoutError(f"mailbox key {key!r} never arrived")
+            values = self._slots[key]
+            value = values.pop(0)
+            if not values:
+                del self._slots[key]
+            return value
+
+    def peek_keys(self) -> list:
+        with self._cond:
+            return sorted(self._slots, key=repr)
+
+    def __len__(self) -> int:
+        with self._cond:
+            return sum(len(v) for v in self._slots.values())

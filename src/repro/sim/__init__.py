@@ -1,0 +1,40 @@
+"""A from-scratch discrete-event cluster simulator.
+
+The ``sim`` backend runs the *same* user code as the real backends, but
+under a simulated clock: remote calls queue on simulated NICs and
+links, storage devices queue on simulated disks, and method bodies may
+charge explicit compute time.  Measurements read the simulated clock,
+so a "half-petabyte array on hundreds of hard drives" experiment runs
+in milliseconds of wall time on one core while exhibiting the paper's
+contention and overlap behaviour.
+
+Design (thread-backed processes):
+
+* user code runs on real threads, one of which is runnable at a time;
+* a thread that blocks on the engine (``sleep``/``wait``) may become
+  the *driver*: it pops events, advances the clock and fires triggers;
+* the clock can only advance when every registered thread is blocked,
+  so un-charged wall-clock work costs nothing in simulated time;
+* event actions run under the engine lock and must only manipulate
+  engine state (fire triggers, occupy resources, schedule events).
+
+See DESIGN.md for why coroutine-style processes were rejected: they
+would force ``yield`` into the public object API.
+"""
+
+from .engine import Engine, Trigger
+from .resources import FifoResource, Disk, Link
+from .network import NodeModel, SimNetwork
+from .trace import TraceLog, TraceEvent
+
+__all__ = [
+    "Engine",
+    "Trigger",
+    "FifoResource",
+    "Disk",
+    "Link",
+    "NodeModel",
+    "SimNetwork",
+    "TraceLog",
+    "TraceEvent",
+]

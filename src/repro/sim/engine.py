@@ -1,0 +1,332 @@
+"""The discrete-event engine: clock, triggers, thread scheduling.
+
+Scheduling invariants
+---------------------
+
+* ``runnable`` counts registered threads currently executing user code.
+* The clock may only advance (an event may only be popped) when
+  ``runnable == 0`` and no fired-but-not-yet-resumed wakeups are
+  pending — i.e. when the entire simulated world is quiescent at the
+  current instant.
+* Exactly one thread at a time *drives* (executes event actions); the
+  driver is simply whichever blocked thread noticed the world was
+  quiescent first.  Events fire in (time, sequence) order, so runs are
+  deterministic regardless of OS thread scheduling.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Any, Callable, Optional
+
+from ..errors import SimDeadlockError, SimulationError
+
+
+class Trigger:
+    """A one-shot completion token inside the simulation.
+
+    Fired exactly once, with a value or an exception; any number of
+    registered threads may :meth:`Engine.wait` on it.
+    """
+
+    __slots__ = ("fired", "value", "exc", "_waiting", "label")
+
+    def __init__(self, label: str = "") -> None:
+        self.fired = False
+        self.value: Any = None
+        self.exc: Optional[BaseException] = None
+        self._waiting = 0  # threads currently blocked on me (engine lock)
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "fired" if self.fired else "pending"
+        return f"<Trigger {self.label or hex(id(self))} {state}>"
+
+
+class _Event:
+    __slots__ = ("time", "seq", "action", "cancelled")
+
+    def __init__(self, time: float, seq: int, action: Callable[[], None]):
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Engine:
+    """The simulated clock and scheduler."""
+
+    def __init__(self, trace=None) -> None:
+        # RLock: event actions run under the lock and legitimately call
+        # spawn()/schedule()/fire() back into the engine.
+        self._cv = threading.Condition(threading.RLock())
+        self._queue: list[_Event] = []
+        self._seq = 0
+        self._now = 0.0
+        self._runnable = 0
+        self._pending_wakeups = 0
+        self._driving = False
+        self._dead: Optional[BaseException] = None
+        self._registered: set[int] = set()
+        self.trace = trace
+        #: counters for tests/diagnostics
+        self.events_executed = 0
+
+    @property
+    def lock(self):
+        """The engine lock; resources serialize their analytics on it."""
+        return self._cv
+
+    # -- clock ---------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    # -- thread registration ---------------------------------------------------
+
+    def adopt_current_thread(self) -> None:
+        """Register the calling thread as a simulation process.
+
+        The thread counts as runnable until it blocks on the engine;
+        idempotent.
+        """
+        ident = threading.get_ident()
+        with self._cv:
+            if ident in self._registered:
+                return
+            self._registered.add(ident)
+            self._runnable += 1
+            self._cv.notify_all()
+
+    def release_current_thread(self) -> None:
+        """Deregister the calling thread (it will not touch the engine again)."""
+        ident = threading.get_ident()
+        with self._cv:
+            if ident not in self._registered:
+                return
+            self._registered.discard(ident)
+            self._runnable -= 1
+            self._cv.notify_all()
+
+    def spawn(self, fn: Callable[..., None], *args: Any,
+              name: str = "sim-proc") -> threading.Thread:
+        """Start a new simulation process running ``fn(*args)``.
+
+        The child is counted runnable *before* its thread starts, so the
+        clock cannot advance past its birth instant.
+        """
+        with self._cv:
+            self._check_dead()
+            self._runnable += 1
+
+        def body() -> None:
+            ident = threading.get_ident()
+            with self._cv:
+                self._registered.add(ident)
+            try:
+                fn(*args)
+            finally:
+                with self._cv:
+                    self._registered.discard(ident)
+                    self._runnable -= 1
+                    self._cv.notify_all()
+
+        thread = threading.Thread(target=body, name=name, daemon=True)
+        thread.start()
+        return thread
+
+    # -- scheduling ----------------------------------------------------------------
+
+    def schedule_at(self, time: float, action: Callable[[], None]) -> _Event:
+        """Run *action* (engine-state-only!) at the given simulated time."""
+        with self._cv:
+            return self._schedule_locked(time, action)
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> _Event:
+        with self._cv:
+            return self._schedule_locked(self._now + delay, action)
+
+    def _schedule_locked(self, time: float, action: Callable[[], None]) -> _Event:
+        self._check_dead()
+        if time < self._now - 1e-15:
+            raise SimulationError(
+                f"cannot schedule at {time} before now={self._now}")
+        self._seq += 1
+        ev = _Event(max(time, self._now), self._seq, action)
+        heapq.heappush(self._queue, ev)
+        self._cv.notify_all()
+        return ev
+
+    def cancel(self, event: "_Event") -> bool:
+        """Cancel a scheduled event; returns False if it already ran.
+
+        The timeout idiom::
+
+            ev = engine.schedule(deadline, lambda: engine._fire_locked(t, None, TimeoutError()))
+            ...  # on success:
+            engine.cancel(ev)
+        """
+        with self._cv:
+            if event.cancelled:
+                return False
+            before = event.time >= self._now and event in self._queue
+            event.cancelled = True
+            return before
+
+    def fire_at(self, time: float, trigger: Trigger, value: Any = None) -> None:
+        """Schedule *trigger* to fire with *value* at the given time."""
+        self.schedule_at(time, lambda: self._fire_locked(trigger, value, None))
+
+    def fire_after(self, delay: float, trigger: Trigger, value: Any = None) -> None:
+        self.schedule(delay, lambda: self._fire_locked(trigger, value, None))
+
+    # -- firing -----------------------------------------------------------------------
+
+    def fire(self, trigger: Trigger, value: Any = None,
+             exc: Optional[BaseException] = None) -> None:
+        """Fire a trigger immediately (from user code or event actions)."""
+        with self._cv:
+            self._fire_locked(trigger, value, exc)
+
+    def _fire_locked(self, trigger: Trigger, value: Any,
+                     exc: Optional[BaseException]) -> None:
+        if trigger.fired:
+            raise SimulationError(f"trigger {trigger!r} fired twice")
+        trigger.fired = True
+        trigger.value = value
+        trigger.exc = exc
+        self._pending_wakeups += trigger._waiting
+        self._cv.notify_all()
+
+    # -- blocking ----------------------------------------------------------------------
+
+    def wait(self, trigger: Trigger) -> Any:
+        """Block the calling simulation process until *trigger* fires.
+
+        While blocked, this thread may drive the event loop.  Returns the
+        trigger's value or raises its exception.
+        """
+        ident = threading.get_ident()
+        with self._cv:
+            if ident not in self._registered:
+                raise SimulationError(
+                    "wait() called from a thread not registered with the "
+                    "engine; call adopt_current_thread() or use spawn()")
+            if trigger.fired:
+                self._check_dead()
+                return self._consume(trigger)
+            trigger._waiting += 1
+            self._runnable -= 1
+            self._cv.notify_all()
+            try:
+                while not trigger.fired:
+                    self._check_dead()
+                    if (self._runnable == 0 and self._pending_wakeups == 0
+                            and not self._driving):
+                        self._drive_one_locked()
+                    else:
+                        self._cv.wait()
+            finally:
+                trigger._waiting -= 1
+                if trigger.fired:
+                    self._pending_wakeups -= 1
+                self._runnable += 1
+                self._cv.notify_all()
+            return self._consume(trigger)
+
+    def _consume(self, trigger: Trigger) -> Any:
+        if trigger.exc is not None:
+            raise trigger.exc
+        return trigger.value
+
+    def sleep(self, delay: float) -> None:
+        """Advance this process's position in simulated time by *delay*."""
+        if delay < 0:
+            raise SimulationError(f"cannot sleep a negative delay {delay}")
+        if delay == 0:
+            return
+        trigger = Trigger(label=f"sleep@{self._now}")
+        self.fire_after(delay, trigger)
+        self.wait(trigger)
+
+    # -- driving -----------------------------------------------------------------------
+
+    def _drive_one_locked(self) -> None:
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        if not self._queue:
+            self._die_locked(SimDeadlockError(
+                f"event queue empty at t={self._now} but processes are "
+                "blocked — missing fire()/schedule()?"))
+            return
+        ev = heapq.heappop(self._queue)
+        self._now = ev.time
+        self._driving = True
+        try:
+            ev.action()
+            self.events_executed += 1
+            if self.trace is not None:
+                self.trace.tick(self._now)
+        except BaseException as exc:  # noqa: BLE001 - poison the whole sim
+            self._die_locked(SimulationError(
+                f"event action failed at t={self._now}: {exc!r}"))
+        finally:
+            self._driving = False
+            self._cv.notify_all()
+
+    def _die_locked(self, exc: BaseException) -> None:
+        if self._dead is None:
+            self._dead = exc
+        self._cv.notify_all()
+        raise self._dead
+
+    def _check_dead(self) -> None:
+        if self._dead is not None:
+            raise self._dead
+
+    # -- draining -----------------------------------------------------------------------
+
+    def run_until_idle(self) -> float:
+        """Drain all remaining events (caller must be registered).
+
+        Used at the end of an experiment to let in-flight oneway traffic
+        finish; returns the final simulated time.
+        """
+        with self._cv:
+            while True:
+                while self._queue and self._queue[0].cancelled:
+                    heapq.heappop(self._queue)
+                quiet = (self._runnable <= 1 and self._pending_wakeups == 0
+                         and not self._driving)
+                if not self._queue:
+                    if quiet:
+                        # nothing queued, nobody running or waking: done
+                        return self._now
+                    self._cv.wait()  # let woken/running threads finish
+                    continue
+                if quiet:
+                    # only this thread is runnable: safe to drive
+                    self._drive_one_locked()
+                else:
+                    self._cv.wait()
+
+    # -- diagnostics -----------------------------------------------------------------------
+
+    def queue_length(self) -> int:
+        with self._cv:
+            return sum(1 for ev in self._queue if not ev.cancelled)
+
+    def stats(self) -> dict:
+        with self._cv:
+            return {
+                "now": self._now,
+                "events_executed": self.events_executed,
+                "queued": sum(1 for ev in self._queue if not ev.cancelled),
+                "registered_threads": len(self._registered),
+                "runnable": self._runnable,
+            }

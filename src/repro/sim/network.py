@@ -1,0 +1,127 @@
+"""Cluster topology: nodes with NICs and disks around a switch.
+
+The model is a star: every node owns an egress link and an ingress
+link (full duplex) to a central switch; an optional finite backplane
+resource models an oversubscribed fabric.  A message from node A to
+node B costs::
+
+    serialize on A.egress  →  (+ switch backplane, if finite)
+    →  wire latency  →  serialize on B.ingress
+
+Nodes also own named disks (the paper assigns each ArrayPageDevice its
+own hard drive) created on demand.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import DiskModel, NetworkModel
+from ..errors import SimulationError
+from .engine import Engine, Trigger
+from .resources import Disk, FifoResource, Link
+
+
+class NodeModel:
+    """One machine's simulated hardware."""
+
+    def __init__(self, engine: Engine, node_id: int, network: NetworkModel,
+                 disk_model: DiskModel) -> None:
+        self.engine = engine
+        self.node_id = node_id
+        self.network_model = network
+        self.disk_model = disk_model
+        name = f"node{node_id}" if node_id >= 0 else "driver"
+        self.egress = Link(engine, f"{name}.egress",
+                           bandwidth_Bps=network.bandwidth_Bps,
+                           latency_s=network.latency_s)
+        self.ingress = Link(engine, f"{name}.ingress",
+                            bandwidth_Bps=network.bandwidth_Bps,
+                            latency_s=0.0)  # latency charged once, on egress
+        #: protocol-processing CPU: per-message costs on this node
+        #: serialize here (one core doing the unmarshalling).
+        self.cpu = FifoResource(engine, f"{name}.cpu")
+        self.disks: dict[str, Disk] = {}
+        self.name = name
+
+    def disk(self, key: str = "disk0") -> Disk:
+        """The named disk, created with the node's disk model on first use."""
+        d = self.disks.get(key)
+        if d is None:
+            d = Disk(self.engine, f"{self.name}.{key}",
+                     seek_s=self.disk_model.seek_s,
+                     bandwidth_Bps=self.disk_model.bandwidth_Bps)
+            self.disks[key] = d
+        return d
+
+
+class SimNetwork:
+    """The set of nodes plus the switching fabric between them.
+
+    Node ids ``0..n-1`` are cluster machines; node id ``-1`` is the
+    driver host (the paper's machine 0 client program).
+    """
+
+    def __init__(self, engine: Engine, n_machines: int,
+                 network: NetworkModel, disk_model: DiskModel) -> None:
+        if n_machines < 1:
+            raise SimulationError("need at least one machine")
+        self.engine = engine
+        self.model = network
+        self.nodes: dict[int, NodeModel] = {
+            node_id: NodeModel(engine, node_id, network, disk_model)
+            for node_id in range(-1, n_machines)
+        }
+        self.backplane: Optional[FifoResource] = None
+        if network.backplane_Bps > 0:
+            self.backplane = FifoResource(engine, "switch.backplane")
+
+    def node(self, node_id: int) -> NodeModel:
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise SimulationError(f"no simulated node {node_id}") from None
+
+    def message_arrival(self, src: int, dst: int, nbytes: int) -> float:
+        """Analytic arrival time of *nbytes* from *src* to *dst*.
+
+        Safe to call from event actions.  Charges: source egress
+        serialization, optional backplane, wire latency, destination
+        ingress serialization.
+        """
+        if src == dst:
+            return self.engine.now  # loopback is free
+        src_node = self.node(src)
+        dst_node = self.node(dst)
+        t = src_node.egress.serialize_end(nbytes)
+        if self.backplane is not None:
+            # backplane serialization begins when the message hits the switch
+            t = self.backplane.occupy_from(t, nbytes / self.model.backplane_Bps)
+        t += self.model.latency_s
+        # ingress serialization cannot start before the bytes arrive
+        dst_node.ingress.bytes_moved += nbytes
+        return dst_node.ingress.occupy_from(
+            t, nbytes / dst_node.ingress.bandwidth_Bps)
+
+    def send(self, src: int, dst: int, nbytes: int, value=None,
+             label: str = "") -> Trigger:
+        """Trigger fired when the message has fully arrived at *dst*."""
+        trigger = Trigger(label=label or f"msg {src}->{dst}")
+        self.engine.fire_at(self.message_arrival(src, dst, nbytes),
+                            trigger, value)
+        return trigger
+
+    def utilization_report(self) -> dict:
+        """Per-resource utilization snapshot (benchmark reporting)."""
+        report: dict = {}
+        for node_id, node in sorted(self.nodes.items()):
+            entry = {
+                "egress_util": node.egress.utilization(),
+                "ingress_util": node.ingress.utilization(),
+            }
+            for key, disk in sorted(node.disks.items()):
+                entry[f"{key}_util"] = disk.utilization()
+                entry[f"{key}_bytes_read"] = disk.bytes_read
+                entry[f"{key}_bytes_written"] = disk.bytes_written
+            report[node_id] = entry
+        return report

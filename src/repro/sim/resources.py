@@ -1,0 +1,137 @@
+"""Analytic FIFO resources: NICs, links and disks.
+
+A :class:`FifoResource` is a single server with deterministic service
+times.  Because all requests are issued in simulation order, the queue
+can be folded analytically: a request arriving at ``now`` starts at
+``max(now, available_at)`` and occupies the server for its service
+time.  Contention (the heart of experiments E4/E8/E9) emerges from the
+``available_at`` high-water mark; no token passing is needed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..errors import SimulationError
+from .engine import Engine, Trigger
+
+
+class FifoResource:
+    """A single-server FIFO queue with analytic occupancy."""
+
+    def __init__(self, engine: Engine, name: str) -> None:
+        self.engine = engine
+        self.name = name
+        self._available_at = 0.0
+        #: total busy seconds, for utilization reporting
+        self.busy_time = 0.0
+        self.jobs = 0
+
+    def occupy(self, duration: float) -> float:
+        """Queue a job of *duration* seconds; returns its completion time.
+
+        Purely analytic — safe to call from event actions and from
+        process threads alike.
+        """
+        return self.occupy_from(self.engine.now, duration)
+
+    def occupy_from(self, earliest: float, duration: float) -> float:
+        """Queue a job that cannot start before *earliest* (e.g. bytes
+        still in flight); returns its completion time."""
+        if duration < 0:
+            raise SimulationError(f"negative duration {duration} on {self.name}")
+        with self.engine.lock:
+            start = max(earliest, self._available_at)
+            end = start + duration
+            self._available_at = end
+            self.busy_time += duration
+            self.jobs += 1
+            return end
+
+    def request(self, duration: float, value: Any = None,
+                label: str = "") -> Trigger:
+        """Queue a job and get a trigger fired at its completion."""
+        trigger = Trigger(label=label or f"{self.name}-job")
+        end = self.occupy(duration)
+        self.engine.fire_at(end, trigger, value)
+        return trigger
+
+    @property
+    def available_at(self) -> float:
+        return self._available_at
+
+    def utilization(self, elapsed: Optional[float] = None) -> float:
+        """Busy fraction over *elapsed* (default: the clock so far)."""
+        t = elapsed if elapsed is not None else self.engine.now
+        return self.busy_time / t if t > 0 else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"<FifoResource {self.name} jobs={self.jobs} "
+                f"busy={self.busy_time:.6g}s>")
+
+
+class Disk(FifoResource):
+    """A hard drive: positioning time + sequential transfer."""
+
+    def __init__(self, engine: Engine, name: str, *, seek_s: float,
+                 bandwidth_Bps: float) -> None:
+        super().__init__(engine, name)
+        if bandwidth_Bps <= 0:
+            raise SimulationError(f"disk {name}: bandwidth must be positive")
+        self.seek_s = seek_s
+        self.bandwidth_Bps = bandwidth_Bps
+        self.bytes_read = 0
+        self.bytes_written = 0
+
+    def _xfer_time(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise SimulationError(f"disk {self.name}: negative size {nbytes}")
+        return self.seek_s + nbytes / self.bandwidth_Bps
+
+    def read(self, nbytes: int, label: str = "") -> Trigger:
+        self.bytes_read += nbytes
+        return self.request(self._xfer_time(nbytes), label=label or "disk-read")
+
+    def write(self, nbytes: int, label: str = "") -> Trigger:
+        self.bytes_written += nbytes
+        return self.request(self._xfer_time(nbytes), label=label or "disk-write")
+
+    def read_end(self, nbytes: int) -> float:
+        """Analytic variant returning the completion time only."""
+        self.bytes_read += nbytes
+        return self.occupy(self._xfer_time(nbytes))
+
+    def write_end(self, nbytes: int) -> float:
+        self.bytes_written += nbytes
+        return self.occupy(self._xfer_time(nbytes))
+
+
+class Link(FifoResource):
+    """A serialization link: store-and-forward bandwidth plus latency.
+
+    ``transfer`` returns the time the last byte *arrives at the far
+    end*: serialization finishes at the FIFO completion, then the wire
+    latency elapses.  Back-to-back messages pipeline (the second
+    serializes while the first is in flight) — the standard
+    store-and-forward model.
+    """
+
+    def __init__(self, engine: Engine, name: str, *, bandwidth_Bps: float,
+                 latency_s: float) -> None:
+        super().__init__(engine, name)
+        if bandwidth_Bps <= 0:
+            raise SimulationError(f"link {name}: bandwidth must be positive")
+        self.bandwidth_Bps = bandwidth_Bps
+        self.latency_s = latency_s
+        self.bytes_moved = 0
+
+    def serialize_end(self, nbytes: int) -> float:
+        """Completion time of putting *nbytes* onto the wire."""
+        if nbytes < 0:
+            raise SimulationError(f"link {self.name}: negative size {nbytes}")
+        self.bytes_moved += nbytes
+        return self.occupy(nbytes / self.bandwidth_Bps)
+
+    def arrival_time(self, nbytes: int) -> float:
+        """Time the last byte reaches the far end."""
+        return self.serialize_end(nbytes) + self.latency_s

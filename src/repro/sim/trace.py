@@ -1,0 +1,75 @@
+"""Event tracing for simulated experiments.
+
+A :class:`TraceLog` records timestamped events (message sends, disk
+operations, method dispatches) so experiments can report *why* a
+configuration is slow, not just how slow.  Recording is cheap
+(append to a list); analysis helpers do the work at report time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    time: float
+    kind: str           # "call" | "disk" | "msg" | custom
+    node: int           # machine id (-1 = driver)
+    detail: dict = field(default_factory=dict, hash=False, compare=False)
+
+
+class TraceLog:
+    """Append-only trace with simple analytics."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self.events: list[TraceEvent] = []
+        self._last_tick = 0.0
+
+    def record(self, time: float, kind: str, node: int, **detail: Any) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(time, kind, node, detail))
+
+    def tick(self, time: float) -> None:
+        """Called by the engine after each event (clock high-water)."""
+        self._last_tick = time
+
+    # -- analysis ----------------------------------------------------------
+
+    def filter(self, kind: Optional[str] = None,
+               node: Optional[int] = None,
+               predicate: Optional[Callable[[TraceEvent], bool]] = None
+               ) -> list[TraceEvent]:
+        out: Iterable[TraceEvent] = self.events
+        if kind is not None:
+            out = (e for e in out if e.kind == kind)
+        if node is not None:
+            out = (e for e in out if e.node == node)
+        if predicate is not None:
+            out = (e for e in out if predicate(e))
+        return list(out)
+
+    def count(self, kind: Optional[str] = None) -> int:
+        return len(self.filter(kind))
+
+    def span(self, kind: Optional[str] = None) -> float:
+        """Time between first and last matching event."""
+        events = self.filter(kind)
+        if not events:
+            return 0.0
+        times = [e.time for e in events]
+        return max(times) - min(times)
+
+    def by_node(self, kind: Optional[str] = None) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for e in self.filter(kind):
+            counts[e.node] = counts.get(e.node, 0) + 1
+        return counts
+
+    def clear(self) -> None:
+        self.events.clear()
+
+    def __len__(self) -> int:
+        return len(self.events)

@@ -1,0 +1,47 @@
+"""The paper's storage substrate: pages, page devices, layouts, domains.
+
+Class-for-class reproduction of the paper's examples:
+
+* :class:`Page` — a block of unstructured bytes (§2);
+* :class:`PageDevice` — a file-backed block store of fixed-size pages,
+  meant to be *hosted on a remote machine* (§2);
+* :class:`ArrayPage` / :class:`ArrayPageDevice` — structured 3-D blocks
+  of doubles derived from the above (§3), including the at-the-data
+  ``sum`` and the adoption constructor of §5;
+* :class:`BlockStorage` — the collection of page devices a large array
+  lives on (§5);
+* :class:`PageMap` and concrete layouts — logical page coordinates →
+  ``(device, index)`` physical addresses; "the PageMap describes the
+  array data layout and is crucial in determining the I/O patterns of
+  the computation" (§5);
+* :class:`Domain` — rectangular 3-D index sub-domains (§5).
+"""
+
+from .domain import Domain
+from .page import Page, ArrayPage
+from .device import PageDevice, ArrayPageDevice
+from .pagemap import (
+    PageAddress,
+    PageMap,
+    RoundRobinPageMap,
+    BlockedPageMap,
+    PencilPageMap,
+)
+from .blockstore import BlockStorage, create_block_storage
+from .cache import CachingPageDevice
+
+__all__ = [
+    "Domain",
+    "Page",
+    "ArrayPage",
+    "PageDevice",
+    "ArrayPageDevice",
+    "PageAddress",
+    "PageMap",
+    "RoundRobinPageMap",
+    "BlockedPageMap",
+    "PencilPageMap",
+    "BlockStorage",
+    "create_block_storage",
+    "CachingPageDevice",
+]

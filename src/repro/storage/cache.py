@@ -1,0 +1,129 @@
+"""A write-through LRU page cache over any page device.
+
+The paper's storage stack invites composition: a cache is just another
+object standing in front of a device, local or remote.  Typical
+placements:
+
+* **client-side**, wrapping a *proxy* — repeated reads of hot pages
+  skip the network entirely (measurable in simulated time);
+* **server-side**, hosted on the device's machine wrapping the local
+  device — repeated reads skip the disk.
+
+Writes go through to the backing device immediately (write-through),
+so the cache holds no dirty state and crash-consistency is the
+device's own.  Pages are cached by value: mutating a returned page
+never corrupts the cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+from ..errors import StorageError
+from ..runtime.proxy import Proxy
+from .page import Page
+
+
+class CachingPageDevice:
+    """LRU cache in front of a PageDevice (or a proxy to one)."""
+
+    def __init__(self, device: Any, capacity_pages: int) -> None:
+        if capacity_pages < 1:
+            raise StorageError(
+                f"cache needs capacity >= 1 page, got {capacity_pages}")
+        self.device = device
+        self.capacity_pages = capacity_pages
+        desc = device.describe()
+        self.NumberOfPages = desc["NumberOfPages"]
+        self.PageSize = desc["PageSize"]
+        self._lru: "OrderedDict[int, bytes]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- the PageDevice interface, cached ------------------------------------
+
+    def read(self, PageIndex: int) -> Page:
+        cached = self._lru.get(PageIndex)
+        if cached is not None:
+            self._lru.move_to_end(PageIndex)
+            self.hits += 1
+            return Page(self.PageSize, cached)
+        self.misses += 1
+        page = self.device.read(PageIndex)
+        self._install(PageIndex, page.to_bytes())
+        return page
+
+    def write(self, page: Page, PageIndex: int) -> None:
+        """Write-through: the device sees the write before we cache it."""
+        self.device.write(page, PageIndex)
+        self._install(PageIndex, page.to_bytes())
+
+    def describe(self) -> dict:
+        return self.device.describe()
+
+    # -- cache management --------------------------------------------------------
+
+    def _install(self, index: int, data: bytes) -> None:
+        if index in self._lru:
+            self._lru.move_to_end(index)
+            self._lru[index] = data
+            return
+        self._lru[index] = data
+        if len(self._lru) > self.capacity_pages:
+            self._lru.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, PageIndex: Optional[int] = None) -> int:
+        """Drop one page (or everything) — e.g. after out-of-band writes
+        by another client sharing the device."""
+        if PageIndex is None:
+            n = len(self._lru)
+            self._lru.clear()
+            return n
+        return 1 if self._lru.pop(PageIndex, None) is not None else 0
+
+    @property
+    def cached_pages(self) -> list[int]:
+        """Resident page indices, LRU first."""
+        return list(self._lru.keys())
+
+    def cache_stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "resident": len(self._lru),
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    @property
+    def is_remote(self) -> bool:
+        """True when the backing device is a remote proxy."""
+        return isinstance(self.device, Proxy)
+
+    def __getattr__(self, name: str):
+        """Pass anything we don't cache through to the backing device.
+
+        Structured operations (``read_page``, ``read_region``,
+        ``sum``, ...) reach the device directly and are **not** cached;
+        only the raw page interface (:meth:`read`/:meth:`write`) is.
+        Mixing cached raw writes with uncached structured writes on the
+        same pages requires :meth:`invalidate`.
+        """
+        if name.startswith("_") or name == "device":
+            raise AttributeError(name)
+        device = self.__dict__.get("device")
+        if device is None:  # mid-unpickle probing
+            raise AttributeError(name)
+        return getattr(device, name)
+
+    # -- persistence: the cache is transient; only the wiring persists --------
+
+    def __getstate__(self) -> dict:
+        return {"device": self.device, "capacity_pages": self.capacity_pages}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["device"], state["capacity_pages"])

@@ -1,0 +1,197 @@
+"""Rectangular 3-D index domains.
+
+The paper's ``Domain(N11, N12, N21, N22, N31, N32)`` describes the
+sub-box ``[N11, N12) × [N21, N22) × [N31, N32)`` of a 3-D array.  The
+class is a small value-type algebra: intersection, shifting, splitting
+into page-aligned tiles — everything the Array's read/write/sum methods
+need to plan their I/O.
+
+Bounds are half-open on every axis, matching Python slicing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..errors import DomainError
+
+
+@dataclass(frozen=True)
+class Domain:
+    """``[lo1, hi1) × [lo2, hi2) × [lo3, hi3)``."""
+
+    lo1: int
+    hi1: int
+    lo2: int
+    hi2: int
+    lo3: int
+    hi3: int
+
+    def __post_init__(self) -> None:
+        for axis, (lo, hi) in enumerate(zip(self.lo, self.hi), start=1):
+            if hi < lo:
+                raise DomainError(
+                    f"axis {axis}: hi {hi} < lo {lo} (use lo == hi for empty)")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_shape(cls, shape: tuple[int, int, int],
+                   origin: tuple[int, int, int] = (0, 0, 0)) -> "Domain":
+        """The domain of the given shape anchored at *origin*."""
+        if any(s < 0 for s in shape):
+            raise DomainError(f"negative shape {shape}")
+        o1, o2, o3 = origin
+        s1, s2, s3 = shape
+        return cls(o1, o1 + s1, o2, o2 + s2, o3, o3 + s3)
+
+    @classmethod
+    def from_bounds(cls, lo: tuple[int, int, int],
+                    hi: tuple[int, int, int]) -> "Domain":
+        return cls(lo[0], hi[0], lo[1], hi[1], lo[2], hi[2])
+
+    # -- basic geometry ------------------------------------------------------
+
+    @property
+    def lo(self) -> tuple[int, int, int]:
+        return (self.lo1, self.lo2, self.lo3)
+
+    @property
+    def hi(self) -> tuple[int, int, int]:
+        return (self.hi1, self.hi2, self.hi3)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.hi1 - self.lo1, self.hi2 - self.lo2, self.hi3 - self.lo3)
+
+    @property
+    def size(self) -> int:
+        s1, s2, s3 = self.shape
+        return s1 * s2 * s3
+
+    @property
+    def empty(self) -> bool:
+        return self.size == 0
+
+    def contains_point(self, i1: int, i2: int, i3: int) -> bool:
+        return (self.lo1 <= i1 < self.hi1 and self.lo2 <= i2 < self.hi2
+                and self.lo3 <= i3 < self.hi3)
+
+    def contains(self, other: "Domain") -> bool:
+        """True if *other* lies entirely inside this domain."""
+        if other.empty:
+            return True
+        return all(self.lo[a] <= other.lo[a] and other.hi[a] <= self.hi[a]
+                   for a in range(3))
+
+    # -- algebra -----------------------------------------------------------------
+
+    def intersect(self, other: "Domain") -> "Domain":
+        """The (possibly empty) overlap of two domains."""
+        lo = tuple(max(a, b) for a, b in zip(self.lo, other.lo))
+        hi = tuple(min(a, b) for a, b in zip(self.hi, other.hi))
+        hi = tuple(max(l, h) for l, h in zip(lo, hi))  # clamp to empty
+        return Domain.from_bounds(lo, hi)  # type: ignore[arg-type]
+
+    def overlaps(self, other: "Domain") -> bool:
+        return not self.intersect(other).empty
+
+    def shift(self, d1: int, d2: int, d3: int) -> "Domain":
+        return Domain(self.lo1 + d1, self.hi1 + d1, self.lo2 + d2,
+                      self.hi2 + d2, self.lo3 + d3, self.hi3 + d3)
+
+    def relative_to(self, origin: tuple[int, int, int]) -> "Domain":
+        """This domain in coordinates local to *origin*."""
+        return self.shift(-origin[0], -origin[1], -origin[2])
+
+    # -- slicing glue ----------------------------------------------------------------
+
+    @property
+    def slices(self) -> tuple[slice, slice, slice]:
+        """numpy basic-indexing slices selecting this domain."""
+        return (slice(self.lo1, self.hi1), slice(self.lo2, self.hi2),
+                slice(self.lo3, self.hi3))
+
+    # -- page tiling -------------------------------------------------------------------
+
+    def page_range(self, page_shape: tuple[int, int, int]
+                   ) -> tuple[range, range, range]:
+        """Ranges of page-grid coordinates overlapping this domain."""
+        p1, p2, p3 = page_shape
+        if min(p1, p2, p3) <= 0:
+            raise DomainError(f"page shape must be positive, got {page_shape}")
+        if self.empty:
+            return (range(0), range(0), range(0))
+        return (
+            range(self.lo1 // p1, (self.hi1 - 1) // p1 + 1),
+            range(self.lo2 // p2, (self.hi2 - 1) // p2 + 1),
+            range(self.lo3 // p3, (self.hi3 - 1) // p3 + 1),
+        )
+
+    def tiles(self, page_shape: tuple[int, int, int]
+              ) -> Iterator[tuple[tuple[int, int, int], "Domain"]]:
+        """Decompose into per-page pieces.
+
+        Yields ``((pi, pj, pk), piece)`` where *piece* is the part of
+        this domain inside page ``(pi, pj, pk)`` of the given page
+        shape, in global coordinates.  Pieces are non-empty, disjoint,
+        and cover the domain exactly (property-tested).
+        """
+        p1, p2, p3 = page_shape
+        r1, r2, r3 = self.page_range(page_shape)
+        for pi in r1:
+            for pj in r2:
+                for pk in r3:
+                    page_dom = Domain(pi * p1, (pi + 1) * p1,
+                                      pj * p2, (pj + 1) * p2,
+                                      pk * p3, (pk + 1) * p3)
+                    piece = self.intersect(page_dom)
+                    if not piece.empty:
+                        yield (pi, pj, pk), piece
+
+    def split_axis(self, axis: int, parts: int) -> list["Domain"]:
+        """Split into *parts* near-equal slabs along *axis* (0, 1 or 2).
+
+        The first ``extent % parts`` slabs get one extra plane; empty
+        slabs are produced when parts exceed the extent, so the result
+        always has exactly *parts* entries covering the domain.
+        """
+        if axis not in (0, 1, 2):
+            raise DomainError(f"axis must be 0, 1 or 2, got {axis}")
+        if parts < 1:
+            raise DomainError(f"parts must be >= 1, got {parts}")
+        lo, hi = self.lo[axis], self.hi[axis]
+        extent = hi - lo
+        base, extra = divmod(extent, parts)
+        out: list[Domain] = []
+        cursor = lo
+        for i in range(parts):
+            width = base + (1 if i < extra else 0)
+            piece_lo = list(self.lo)
+            piece_hi = list(self.hi)
+            piece_lo[axis] = cursor
+            piece_hi[axis] = cursor + width
+            cursor += width
+            out.append(Domain.from_bounds(tuple(piece_lo), tuple(piece_hi)))
+        return out
+
+    # -- iteration --------------------------------------------------------------------------
+
+    def points(self) -> Iterator[tuple[int, int, int]]:
+        """All index triples, axis-3 fastest (C order)."""
+        for i1 in range(self.lo1, self.hi1):
+            for i2 in range(self.lo2, self.hi2):
+                for i3 in range(self.lo3, self.hi3):
+                    yield (i1, i2, i3)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Domain([{self.lo1},{self.hi1})x[{self.lo2},{self.hi2})x"
+                f"[{self.lo3},{self.hi3}))")
+
+
+def full_domain(N1: int, N2: int, N3: int) -> Domain:
+    """The whole index space of an ``N1 × N2 × N3`` array."""
+    if min(N1, N2, N3) < 0:
+        raise DomainError(f"negative array shape ({N1},{N2},{N3})")
+    return Domain(0, N1, 0, N2, 0, N3)

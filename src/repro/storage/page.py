@@ -1,0 +1,167 @@
+"""Pages: blocks of unstructured and structured data (paper §2–3).
+
+A :class:`Page` stores ``n`` bytes; an :class:`ArrayPage` derives from
+it to interpret those bytes as an ``n1 × n2 × n3`` block of doubles and
+adds computations that exploit the structure (the paper's ``sum``).
+
+Pages may declare a *nominal* size (``with_nominal_size``): the
+simulated backend then charges the network/disks as if the page were
+that large while the real buffer stays small — how the petascale-shaped
+experiments run on a laptop.  Correctness paths ignore nominal sizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import PageSizeError
+
+DOUBLE = np.dtype("float64")
+
+
+class Page:
+    """A fixed-size block of raw bytes."""
+
+    def __init__(self, n: int, data: Optional[bytes] = None) -> None:
+        if n < 0:
+            raise PageSizeError(f"page size must be >= 0, got {n}")
+        if data is None:
+            self._data = bytearray(n)
+        else:
+            if len(data) != n:
+                raise PageSizeError(
+                    f"page declared {n} bytes but data has {len(data)}")
+            self._data = bytearray(data)
+        self._nominal: Optional[int] = None
+
+    # -- size ------------------------------------------------------------
+
+    @property
+    def nbytes(self) -> int:
+        return len(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # -- data access --------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        return bytes(self._data)
+
+    @property
+    def raw(self) -> bytearray:
+        """The mutable backing buffer (no copy)."""
+        return self._data
+
+    def update(self, data: bytes) -> None:
+        """Replace the contents; the size is fixed at construction."""
+        if len(data) != len(self._data):
+            raise PageSizeError(
+                f"page holds {len(self._data)} bytes, got {len(data)}")
+        self._data[:] = data
+
+    # -- nominal size (simulation) -----------------------------------------
+
+    def with_nominal_size(self, nbytes: int) -> "Page":
+        """Declare a pretend wire/disk size for simulated experiments."""
+        if nbytes < 0:
+            raise PageSizeError(f"nominal size must be >= 0, got {nbytes}")
+        self._nominal = nbytes
+        return self
+
+    @property
+    def __oopp_nominal_bytes__(self):  # noqa: D401 - serde protocol hook
+        """Declared nominal size, or raises if undeclared (serde probes)."""
+        if self._nominal is None:
+            raise AttributeError("__oopp_nominal_bytes__")
+        return self._nominal
+
+    @property
+    def nominal_nbytes(self) -> int:
+        """Size the simulator charges for this page."""
+        return self._nominal if self._nominal is not None else self.nbytes
+
+    # -- value semantics ------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Page) and other._data == self._data
+
+    def __hash__(self) -> int:  # pages are mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.nbytes} bytes>"
+
+    # -- persistence -------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        return {"data": bytes(self._data), "nominal": self._nominal}
+
+    def __setstate__(self, state: dict) -> None:
+        self._data = bytearray(state["data"])
+        self._nominal = state["nominal"]
+
+
+class ArrayPage(Page):
+    """A page holding an ``n1 × n2 × n3`` block of doubles (paper §3)."""
+
+    def __init__(self, n1: int, n2: int, n3: int,
+                 data: Optional[np.ndarray] = None) -> None:
+        if min(n1, n2, n3) < 0:
+            raise PageSizeError(f"negative block shape ({n1},{n2},{n3})")
+        nbytes = n1 * n2 * n3 * DOUBLE.itemsize
+        if data is None:
+            super().__init__(nbytes)
+        else:
+            arr = np.ascontiguousarray(data, dtype=DOUBLE)
+            if arr.size != n1 * n2 * n3:
+                raise PageSizeError(
+                    f"block ({n1},{n2},{n3}) needs {n1 * n2 * n3} doubles, "
+                    f"got {arr.size}")
+            super().__init__(nbytes, arr.tobytes())
+        self.n1, self.n2, self.n3 = n1, n2, n3
+
+    # -- structured view -----------------------------------------------------
+
+    @property
+    def array(self) -> np.ndarray:
+        """A writable ``(n1, n2, n3)`` view of the page buffer (no copy)."""
+        return np.frombuffer(self._data, dtype=DOUBLE).reshape(
+            self.n1, self.n2, self.n3)
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.n1, self.n2, self.n3)
+
+    # -- structured computations (the paper's motivating methods) -------------
+
+    def sum(self) -> float:
+        return float(self.array.sum())
+
+    def min(self) -> float:
+        return float(self.array.min())
+
+    def max(self) -> float:
+        return float(self.array.max())
+
+    def mean(self) -> float:
+        return float(self.array.mean())
+
+    def fill(self, value: float) -> None:
+        self.array[...] = value
+
+    def scale(self, alpha: float) -> None:
+        self.array[...] *= alpha
+
+    # -- persistence ---------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        state["shape"] = (self.n1, self.n2, self.n3)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self.n1, self.n2, self.n3 = state["shape"]

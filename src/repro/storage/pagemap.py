@@ -1,0 +1,150 @@
+"""Page maps: logical page coordinates → physical addresses (paper §5).
+
+"The PageMap describes the array data layout and is crucial in
+determining the I/O patterns of the computation."  A map takes the
+page-grid coordinate ``(i1, i2, i3)`` of a logical page and answers
+which :class:`~repro.storage.device.ArrayPageDevice` holds it
+(``device_id``) and at which page address (``index``).
+
+All maps here are bijections from the page grid onto
+``devices × [0, pages_per_device)`` (property-tested), so every layout
+stores the same array — they differ only in which devices sweat for a
+given access pattern, which is exactly experiment E8.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import NamedTuple
+
+from ..errors import LayoutError
+
+
+class PageAddress(NamedTuple):
+    """The paper's ``struct { int device_id; int index; }``."""
+
+    device_id: int
+    index: int
+
+
+@dataclass(frozen=True)
+class PageMap:
+    """Base class: the page grid plus the device count.
+
+    Subclasses implement :meth:`physical`.  ``grid = (P1, P2, P3)`` is
+    the number of pages along each axis; ``n_devices`` the size of the
+    block storage.
+    """
+
+    grid: tuple[int, int, int]
+    n_devices: int
+
+    def __post_init__(self) -> None:
+        if self.n_devices < 1:
+            raise LayoutError(f"need at least one device, got {self.n_devices}")
+        if any(g < 1 for g in self.grid):
+            raise LayoutError(f"page grid must be positive, got {self.grid}")
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        g1, g2, g3 = self.grid
+        return g1 * g2 * g3
+
+    @property
+    def pages_per_device(self) -> int:
+        """Capacity each device must provide (max over devices)."""
+        return math.ceil(self.n_pages / self.n_devices)
+
+    def linear(self, i1: int, i2: int, i3: int) -> int:
+        """C-order linearization of a page coordinate."""
+        g1, g2, g3 = self.grid
+        if not (0 <= i1 < g1 and 0 <= i2 < g2 and 0 <= i3 < g3):
+            raise LayoutError(f"page ({i1},{i2},{i3}) outside grid {self.grid}")
+        return (i1 * g2 + i2) * g3 + i3
+
+    # -- the mapping ----------------------------------------------------------
+
+    def physical(self, i1: int, i2: int, i3: int) -> PageAddress:
+        """The paper's ``PhysicalPageAddress``."""
+        raise NotImplementedError
+
+    def validate(self) -> None:
+        """Exhaustively check bijectivity onto device slots.
+
+        O(n_pages); meant for tests and for paranoid setup of long
+        experiments, not per-access use.
+        """
+        seen: set[PageAddress] = set()
+        g1, g2, g3 = self.grid
+        cap = self.pages_per_device
+        for i1 in range(g1):
+            for i2 in range(g2):
+                for i3 in range(g3):
+                    addr = self.physical(i1, i2, i3)
+                    if not (0 <= addr.device_id < self.n_devices):
+                        raise LayoutError(
+                            f"page ({i1},{i2},{i3}) mapped to bad device "
+                            f"{addr.device_id}")
+                    if not (0 <= addr.index < cap):
+                        raise LayoutError(
+                            f"page ({i1},{i2},{i3}) mapped to index "
+                            f"{addr.index} >= capacity {cap}")
+                    if addr in seen:
+                        raise LayoutError(f"collision at {addr}")
+                    seen.add(addr)
+
+
+@dataclass(frozen=True)
+class RoundRobinPageMap(PageMap):
+    """Page *p* (C order) lives on device ``p % D`` at index ``p // D``.
+
+    Consecutive pages land on distinct devices, so any contiguous sweep
+    engages all spindles — the high-parallelism default.
+    """
+
+    def physical(self, i1: int, i2: int, i3: int) -> PageAddress:
+        p = self.linear(i1, i2, i3)
+        return PageAddress(p % self.n_devices, p // self.n_devices)
+
+
+@dataclass(frozen=True)
+class BlockedPageMap(PageMap):
+    """Contiguous runs of ``ceil(P/D)`` pages per device.
+
+    A contiguous sweep hammers one device at a time — the
+    low-parallelism baseline of experiment E8.
+    """
+
+    def physical(self, i1: int, i2: int, i3: int) -> PageAddress:
+        p = self.linear(i1, i2, i3)
+        cap = self.pages_per_device
+        return PageAddress(p // cap, p % cap)
+
+
+@dataclass(frozen=True)
+class PencilPageMap(PageMap):
+    """All pages of one axis-0 pencil share a device.
+
+    Pages with equal ``(i2, i3)`` — an *x-pencil* — are co-located, and
+    pencils round-robin over devices.  Sequential access along axis 0
+    stays on one spindle (cheap seeks per device, no parallelism);
+    plane access across pencils engages ``min(D, pencils)`` spindles.
+    The layout that makes the FFT's first pass local.
+    """
+
+    def physical(self, i1: int, i2: int, i3: int) -> PageAddress:
+        g1, g2, g3 = self.grid
+        self.linear(i1, i2, i3)  # bounds check
+        pencil = i2 * g3 + i3
+        device = pencil % self.n_devices
+        slot = pencil // self.n_devices  # which of my pencils this is
+        return PageAddress(device, slot * g1 + i1)
+
+    @property
+    def pages_per_device(self) -> int:
+        g1, g2, g3 = self.grid
+        pencils = g2 * g3
+        return math.ceil(pencils / self.n_devices) * g1

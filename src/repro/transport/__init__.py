@@ -1,0 +1,58 @@
+"""Wire layer: what the paper's compiler would emit for client-server RPC.
+
+The transport stack has three levels:
+
+``serde``
+    Turns Python values into a (header-bytes, buffer-list) pair and back.
+    Control data goes through pickle; large contiguous numeric buffers
+    (numpy arrays, bytes) travel out-of-band with zero copies, mirroring
+    the mpi4py convention of a slow pickled path and a fast buffer path.
+
+``frames``
+    Length-prefixed binary framing of a (header, buffers) pair over any
+    byte stream, with magic/version checking and size limits.
+
+``channel``
+    Bidirectional message pipes: an in-process loopback pair (exercises
+    the full encode/decode path without sockets) and a TCP socket channel
+    used by the multiprocessing backend.
+"""
+
+from .serde import dumps, loads, encoded_size, nominal_size_of
+from .message import (
+    Message,
+    Request,
+    Response,
+    ErrorResponse,
+    Hello,
+    Goodbye,
+    message_to_payload,
+    payload_to_message,
+)
+from .frames import write_frame, read_frame, FrameReader, FrameWriter
+from .channel import Channel, InprocChannel, inproc_pair
+from .socket_channel import SocketChannel, listen_socket
+
+__all__ = [
+    "dumps",
+    "loads",
+    "encoded_size",
+    "nominal_size_of",
+    "Message",
+    "Request",
+    "Response",
+    "ErrorResponse",
+    "Hello",
+    "Goodbye",
+    "message_to_payload",
+    "payload_to_message",
+    "write_frame",
+    "read_frame",
+    "FrameReader",
+    "FrameWriter",
+    "Channel",
+    "InprocChannel",
+    "inproc_pair",
+    "SocketChannel",
+    "listen_socket",
+]

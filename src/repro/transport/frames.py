@@ -1,0 +1,134 @@
+"""Length-prefixed binary framing of (header, buffers) payloads.
+
+Wire format of one frame::
+
+    magic   u32   0x4F4F5050  ("OOPP")
+    version u8    1
+    nbuf    u16   number of out-of-band buffers
+    hlen    u64   header length in bytes
+    blen[i] u64   length of buffer i            (nbuf entries)
+    header  bytes
+    buf[i]  bytes                                (nbuf sections)
+
+All integers are little-endian.  The reader validates magic, version and
+total size before allocating, so a corrupt or hostile stream cannot make
+the process allocate unbounded memory.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Sequence
+
+from ..config import MAX_FRAME_BYTES
+from ..errors import ChannelClosedError, FramingError
+
+MAGIC = 0x4F4F5050
+VERSION = 1
+_PREFIX = struct.Struct("<IBH Q".replace(" ", ""))  # magic, version, nbuf, hlen
+
+
+def write_frame(write: Callable[[bytes], None], header: bytes,
+                buffers: Sequence[bytes] = ()) -> int:
+    """Emit one frame through *write*; returns bytes written."""
+    nbuf = len(buffers)
+    if nbuf > 0xFFFF:
+        raise FramingError(f"too many buffers in one frame: {nbuf}")
+    blens = [memoryview(b).nbytes for b in buffers]
+    total = len(header) + sum(blens)
+    if total > MAX_FRAME_BYTES:
+        raise FramingError(f"frame of {total} bytes exceeds MAX_FRAME_BYTES")
+    parts = [_PREFIX.pack(MAGIC, VERSION, nbuf, len(header))]
+    if nbuf:
+        parts.append(struct.pack(f"<{nbuf}Q", *blens))
+    written = 0
+    for p in parts:
+        write(p)
+        written += len(p)
+    write(header)
+    written += len(header)
+    for b in buffers:
+        write(b)
+        written += memoryview(b).nbytes
+    return written
+
+
+def read_frame(read_exactly: Callable[[int], bytes]) -> tuple[bytes, list[bytes]]:
+    """Read one frame; *read_exactly(n)* must return exactly n bytes or raise
+    :class:`ChannelClosedError`."""
+    prefix = read_exactly(_PREFIX.size)
+    magic, version, nbuf, hlen = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise FramingError(f"bad magic 0x{magic:08X}")
+    if version != VERSION:
+        raise FramingError(f"unsupported frame version {version}")
+    if hlen > MAX_FRAME_BYTES:
+        raise FramingError(f"header length {hlen} exceeds MAX_FRAME_BYTES")
+    blens: list[int] = []
+    if nbuf:
+        raw = read_exactly(8 * nbuf)
+        blens = list(struct.unpack(f"<{nbuf}Q", raw))
+        if sum(blens) + hlen > MAX_FRAME_BYTES:
+            raise FramingError("frame exceeds MAX_FRAME_BYTES")
+    header = read_exactly(hlen)
+    buffers = [read_exactly(n) for n in blens]
+    return header, buffers
+
+
+class FrameWriter:
+    """Stateful writer over a file-like object with ``write``/``flush``."""
+
+    def __init__(self, fobj) -> None:
+        self._fobj = fobj
+        self.frames_out = 0
+        self.bytes_out = 0
+
+    def write(self, header: bytes, buffers: Sequence[bytes] = ()) -> None:
+        self.bytes_out += write_frame(self._fobj.write, header, buffers)
+        flush = getattr(self._fobj, "flush", None)
+        if flush is not None:
+            flush()
+        self.frames_out += 1
+
+
+class FrameReader:
+    """Stateful reader over a file-like object with ``read``.
+
+    Raises :class:`ChannelClosedError` on clean EOF at a frame boundary
+    and :class:`FramingError` on EOF mid-frame.
+    """
+
+    def __init__(self, fobj) -> None:
+        self._fobj = fobj
+        self.frames_in = 0
+        self.bytes_in = 0
+        self._mid_frame = False
+
+    def _read_exactly(self, n: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = n
+        while remaining > 0:
+            chunk = self._fobj.read(remaining)
+            if not chunk:
+                if self._mid_frame or chunks:
+                    raise FramingError("stream truncated mid-frame")
+                raise ChannelClosedError("stream closed")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        self.bytes_in += n
+        return b"".join(chunks) if len(chunks) != 1 else chunks[0]
+
+    def read(self) -> tuple[bytes, list[bytes]]:
+        self._mid_frame = False
+
+        def tracked(n: int) -> bytes:
+            data = self._read_exactly(n)
+            # Everything after the fixed prefix is mid-frame: EOF there is
+            # truncation, not a clean close.
+            self._mid_frame = True
+            return data
+
+        header, buffers = read_frame(tracked)
+        self._mid_frame = False
+        self.frames_in += 1
+        return header, buffers

@@ -1,0 +1,101 @@
+"""Protocol messages exchanged between client stubs and object servers.
+
+The protocol is deliberately tiny — the paper's point is that everything
+(object creation, destruction, persistence) can be expressed as method
+execution on remote objects, so the only message kinds are:
+
+* :class:`Request` — execute ``method(*args, **kwargs)`` on ``object_id``;
+* :class:`Response` — successful result for a request id;
+* :class:`ErrorResponse` — an exception escaped the method body;
+* :class:`Hello` / :class:`Goodbye` — connection handshake/teardown.
+
+Object creation and destruction are Requests addressed to the per-machine
+*kernel object* (object id 0) — see :mod:`repro.runtime.server`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..errors import ProtocolError
+
+#: Object id of the per-machine kernel object.
+KERNEL_OID = 0
+
+
+@dataclass
+class Message:
+    """Base class; concrete messages below."""
+
+
+@dataclass
+class Request(Message):
+    request_id: int
+    object_id: int
+    method: str
+    args: tuple = ()
+    kwargs: dict = field(default_factory=dict)
+    #: if true, the server sends no Response (fire-and-forget).
+    oneway: bool = False
+    #: identity of the calling machine (-1 = the driver), for diagnostics
+    #: and for callback routing.
+    caller: int = -1
+
+
+@dataclass
+class Response(Message):
+    request_id: int
+    value: Any = None
+
+
+@dataclass
+class ErrorResponse(Message):
+    request_id: int
+    type_name: str = "Exception"
+    message: str = ""
+    remote_traceback: str = ""
+    #: the original exception when it survived pickling, else None.
+    exception: BaseException | None = None
+
+
+@dataclass
+class Hello(Message):
+    """First message on a connection: who is dialing."""
+
+    caller: int = -1
+
+
+@dataclass
+class Goodbye(Message):
+    """Polite connection teardown; no reply expected."""
+
+
+_KINDS: dict[str, type] = {
+    "req": Request,
+    "res": Response,
+    "err": ErrorResponse,
+    "hi": Hello,
+    "bye": Goodbye,
+}
+_KIND_OF = {cls: kind for kind, cls in _KINDS.items()}
+
+
+def message_to_payload(msg: Message) -> tuple[str, dict]:
+    """Flatten a message into ``(kind, field_dict)`` for serialization."""
+    try:
+        kind = _KIND_OF[type(msg)]
+    except KeyError:
+        raise ProtocolError(f"unknown message type {type(msg).__name__}") from None
+    return kind, dict(msg.__dict__)
+
+
+def payload_to_message(kind: str, fields: dict) -> Message:
+    """Inverse of :func:`message_to_payload`."""
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise ProtocolError(f"unknown message kind {kind!r}")
+    try:
+        return cls(**fields)
+    except TypeError as exc:
+        raise ProtocolError(f"bad fields for {kind!r}: {exc}") from exc

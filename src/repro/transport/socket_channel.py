@@ -1,0 +1,110 @@
+"""TCP socket channel used by the multiprocessing backend.
+
+Machines listen on ephemeral localhost ports; the driver and peer
+machines dial in.  The socket is wrapped in buffered file objects and
+framed with :mod:`repro.transport.frames`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional
+
+from ..config import DEFAULT_HOST
+from ..errors import ChannelClosedError, FramingError, TransportError
+from .channel import Channel
+from .frames import FrameReader, FrameWriter
+from .message import Message
+
+
+class SocketChannel(Channel):
+    """A message channel over a connected TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        self._rfile = sock.makefile("rb", buffering=1 << 16)
+        self._wfile = sock.makefile("wb", buffering=1 << 16)
+        self._reader = FrameReader(self._rfile)
+        self._writer = FrameWriter(self._wfile)
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    @classmethod
+    def connect(cls, host: str, port: int, timeout: float | None = None) -> "SocketChannel":
+        try:
+            sock = socket.create_connection((host, port), timeout=timeout)
+        except OSError as exc:
+            raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
+        sock.settimeout(None)
+        return cls(sock)
+
+    def send(self, msg: Message) -> None:
+        header, buffers = self._encode(msg)
+        with self._send_lock:
+            if self._closed:
+                raise ChannelClosedError("channel closed")
+            try:
+                self._writer.write(header, buffers)
+            except (BrokenPipeError, ConnectionResetError, OSError, ValueError) as exc:
+                self._closed = True
+                raise ChannelClosedError(f"peer gone during send: {exc}") from exc
+
+    def recv(self, timeout: Optional[float] = None) -> Message:
+        if timeout is not None:
+            self._sock.settimeout(timeout)
+        try:
+            header, buffers = self._reader.read()
+        except (ChannelClosedError, FramingError):
+            raise
+        except socket.timeout as exc:
+            raise ChannelClosedError("recv timed out") from exc
+        except (ConnectionResetError, OSError, ValueError) as exc:
+            raise ChannelClosedError(f"peer gone during recv: {exc}") from exc
+        finally:
+            if timeout is not None:
+                try:
+                    self._sock.settimeout(None)
+                except OSError:
+                    pass
+        return self._decode(header, buffers)
+
+    def close(self) -> None:
+        with self._send_lock:
+            if self._closed:
+                return
+            self._closed = True
+        for f in (self._wfile, self._rfile):
+            try:
+                f.close()
+            except OSError:
+                pass
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    @property
+    def stats(self) -> dict:
+        """Traffic counters for diagnostics and benchmarks."""
+        return {
+            "frames_in": self._reader.frames_in,
+            "bytes_in": self._reader.bytes_in,
+            "frames_out": self._writer.frames_out,
+            "bytes_out": self._writer.bytes_out,
+        }
+
+
+def listen_socket(host: str = DEFAULT_HOST, port: int = 0,
+                  backlog: int = 64) -> socket.socket:
+    """Create a listening TCP socket on an ephemeral localhost port."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind((host, port))
+    sock.listen(backlog)
+    return sock

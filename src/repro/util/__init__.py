@@ -1,0 +1,13 @@
+"""Small shared utilities: id generation, timing, logging helpers."""
+
+from .ids import IdAllocator, fresh_token
+from .timing import Stopwatch, format_seconds, format_bytes, format_rate
+
+__all__ = [
+    "IdAllocator",
+    "fresh_token",
+    "Stopwatch",
+    "format_seconds",
+    "format_bytes",
+    "format_rate",
+]

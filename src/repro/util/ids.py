@@ -1,0 +1,44 @@
+"""Monotonic id allocation and opaque tokens.
+
+Object ids, request ids and future ids all come from :class:`IdAllocator`
+instances.  Ids are plain integers, unique per allocator, dense from a
+configurable start, and thread-safe to allocate — the object server hands
+them out from connection-handler threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+
+
+class IdAllocator:
+    """Thread-safe monotonically increasing integer ids."""
+
+    def __init__(self, start: int = 1) -> None:
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+        self._last = start - 1
+
+    def next(self) -> int:
+        with self._lock:
+            self._last = next(self._counter)
+            return self._last
+
+    @property
+    def last(self) -> int:
+        """The most recently allocated id (start-1 if none yet)."""
+        with self._lock:
+            return self._last
+
+
+_token_counter = itertools.count(1)
+_token_lock = threading.Lock()
+
+
+def fresh_token(prefix: str = "tok") -> str:
+    """A process-unique opaque string token, e.g. for temp file names."""
+    with _token_lock:
+        n = next(_token_counter)
+    return f"{prefix}-{os.getpid()}-{n}"

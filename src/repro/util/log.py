@@ -1,0 +1,59 @@
+"""Framework logging.
+
+All framework loggers live under the ``oopp`` namespace
+(``oopp.mp.machine3``, ``oopp.server``, ...).  Logging is silent by
+default (a NullHandler on the root framework logger); set
+``$OOPP_LOG`` to a level name (``debug``, ``info``, ...) to get
+stderr output with machine-aware formatting — including from the
+machine worker processes, which inherit the environment.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+import threading
+
+ROOT_NAME = "oopp"
+ENV_VAR = "OOPP_LOG"
+
+_configure_lock = threading.Lock()
+_configured = False
+
+_FORMAT = "%(asctime)s %(levelname)-7s pid=%(process)d %(name)s: %(message)s"
+
+
+def _configure_once() -> None:
+    global _configured
+    with _configure_lock:
+        if _configured:
+            return
+        root = logging.getLogger(ROOT_NAME)
+        root.addHandler(logging.NullHandler())
+        level_name = os.environ.get(ENV_VAR, "").strip()
+        if level_name:
+            level = getattr(logging, level_name.upper(), None)
+            if isinstance(level, int):
+                handler = logging.StreamHandler(sys.stderr)
+                handler.setFormatter(logging.Formatter(_FORMAT))
+                root.addHandler(handler)
+                root.setLevel(level)
+        _configured = True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the framework namespace (``oopp.<name>``)."""
+    _configure_once()
+    return logging.getLogger(f"{ROOT_NAME}.{name}")
+
+
+def reset_for_tests() -> None:
+    """Drop cached configuration so tests can exercise $OOPP_LOG."""
+    global _configured
+    with _configure_lock:
+        root = logging.getLogger(ROOT_NAME)
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+        _configured = False

@@ -1,0 +1,83 @@
+"""Timing helpers shared by the runtime and the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Accumulating wall-clock stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+
+    May be entered repeatedly; :attr:`elapsed` accumulates across uses.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.laps: list[float] = []
+        self._t0: float | None = None
+
+    def start(self) -> "Stopwatch":
+        if self._t0 is not None:
+            raise RuntimeError("stopwatch already running")
+        self._t0 = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._t0 is None:
+            raise RuntimeError("stopwatch not running")
+        lap = time.perf_counter() - self._t0
+        self._t0 = None
+        self.laps.append(lap)
+        self.elapsed += lap
+        return lap
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def mean_lap(self) -> float:
+        return self.elapsed / len(self.laps) if self.laps else 0.0
+
+
+def format_seconds(s: float) -> str:
+    """Human-readable duration: ns/us/ms/s with 3 significant digits."""
+    if s < 0:
+        return "-" + format_seconds(-s)
+    if s == 0:
+        return "0 s"
+    if s < 1e-6:
+        return f"{s * 1e9:.3g} ns"
+    if s < 1e-3:
+        return f"{s * 1e6:.3g} us"
+    if s < 1.0:
+        return f"{s * 1e3:.3g} ms"
+    if s < 120.0:
+        return f"{s:.3g} s"
+    return f"{s / 60.0:.3g} min"
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable byte count in binary units."""
+    if n < 0:
+        return "-" + format_bytes(-n)
+    units = ["B", "KiB", "MiB", "GiB", "TiB", "PiB"]
+    x = float(n)
+    for u in units:
+        if x < 1024.0 or u == units[-1]:
+            return f"{x:.3g} {u}" if u != "B" else f"{int(x)} B"
+        x /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_rate(bytes_per_s: float) -> str:
+    """Human-readable throughput."""
+    return format_bytes(bytes_per_s) + "/s"

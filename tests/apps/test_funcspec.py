@@ -1,0 +1,59 @@
+"""Function specs for shipping kernels to machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.funcspec import func_spec, resolve_func
+from repro.errors import RuntimeLayerError
+
+
+def sample_fn(x):
+    return x + 1
+
+
+class Holder:
+    @staticmethod
+    def static_fn(x):
+        return x * 2
+
+
+class TestFuncSpec:
+    def test_round_trip_module_function(self):
+        spec = func_spec(sample_fn)
+        assert resolve_func(spec)(41) == 42
+
+    def test_round_trip_staticmethod(self):
+        spec = func_spec(Holder.static_fn)
+        assert resolve_func(spec)(21) == 42
+
+    def test_lambda_rejected_eagerly(self):
+        with pytest.raises(RuntimeLayerError, match="module-level"):
+            func_spec(lambda x: x)
+
+    def test_local_function_rejected_eagerly(self):
+        def local(x):
+            return x
+
+        with pytest.raises(RuntimeLayerError, match="module-level"):
+            func_spec(local)
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(RuntimeLayerError):
+            func_spec(42)  # type: ignore[arg-type]
+
+    def test_unresolvable_spec(self):
+        with pytest.raises(RuntimeLayerError):
+            resolve_func(("no_such_module_abc", "f"))
+        with pytest.raises(RuntimeLayerError):
+            resolve_func((__name__, "not_here"))
+
+    def test_non_callable_resolution_rejected(self):
+        import sys
+
+        sys.modules[__name__].CONST = 7
+        try:
+            with pytest.raises(RuntimeLayerError, match="non-callable"):
+                resolve_func((__name__, "CONST"))
+        finally:
+            del sys.modules[__name__].CONST

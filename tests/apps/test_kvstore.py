@@ -1,0 +1,113 @@
+"""Sharded key-value store (client-server over objects)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.apps.kvstore import KVShard, KVStore
+from repro.errors import OoppError
+
+
+class TestShardLocal:
+    def test_put_get_delete(self):
+        s = KVShard(0)
+        assert s.put("a", 1) == 1
+        assert s.get("a") == 1
+        assert s.get("b", "dflt") == "dflt"
+        assert s.delete("a") and not s.delete("a")
+
+    def test_strict_get(self):
+        s = KVShard(0)
+        with pytest.raises(KeyError):
+            s.get_strict("missing")
+
+    def test_versions_count_writes(self):
+        s = KVShard(0)
+        s.put("a", 1)
+        s.put("a", 2)
+        s.delete("a")
+        s.delete("never")  # no-op delete doesn't bump
+        assert s.version == 3
+
+    def test_bulk_and_enumeration(self):
+        s = KVShard(0)
+        s.put_many([("a", 1), ("b", 2)])
+        assert s.size() == 2
+        assert sorted(s.keys()) == ["a", "b"]
+        assert dict(s.items()) == {"a": 1, "b": 2}
+        assert s.get_many(["a", "x"])[0] == 1
+        assert s.clear() == 2
+
+    def test_snapshot_state(self):
+        s = KVShard(3)
+        s.put("k", [1, 2])
+        s2 = KVShard.__new__(KVShard)
+        s2.__setstate__(s.__getstate__())
+        assert s2.get("k") == [1, 2] and s2.shard_id == 3
+
+
+class TestStore:
+    def test_deploy_and_route(self, inline_cluster):
+        kv = KVStore.deploy(inline_cluster)
+        kv.put("alpha", 1)
+        kv["beta"] = 2
+        assert kv.get("alpha") == 1
+        assert kv["beta"] == 2
+        assert "alpha" in kv and "gamma" not in kv
+        assert kv.get("gamma", -1) == -1
+        with pytest.raises(KeyError):
+            kv["gamma"]
+
+    def test_bulk_round_trip(self, inline_cluster):
+        kv = KVStore.deploy(inline_cluster, n_shards=3)
+        pairs = [(f"k{i}", i) for i in range(100)]
+        kv.put_many(pairs)
+        assert kv.size() == 100
+        got = kv.get_many([f"k{i}" for i in range(100)])
+        assert got == list(range(100))
+        assert kv.get_many(["missing"], default="?") == ["?"]
+
+    def test_keys_spread_over_shards(self, inline_cluster):
+        kv = KVStore.deploy(inline_cluster, n_shards=4)
+        kv.put_many([(f"key-{i}", i) for i in range(200)])
+        sizes = kv.shard_sizes()
+        assert sum(sizes) == 200
+        assert all(sz > 10 for sz in sizes)  # roughly balanced
+
+    def test_items_and_clear(self, inline_cluster):
+        kv = KVStore.deploy(inline_cluster, n_shards=2)
+        kv.put_many([("a", 1), ("b", 2), ("c", 3)])
+        assert kv.items() == {"a": 1, "b": 2, "c": 3}
+        assert sorted(kv.keys()) == ["a", "b", "c"]
+        assert kv.clear() == 3
+        assert kv.size() == 0
+
+    def test_empty_store_rejected(self):
+        with pytest.raises(OoppError):
+            KVStore([])
+
+    def test_on_mp_real_processes(self, mp_cluster):
+        kv = KVStore.deploy(mp_cluster)
+        kv.put_many([(i, i * i) for i in range(50)])
+        assert kv.get_many(list(range(50))) == [i * i for i in range(50)]
+        assert kv.size() == 50
+
+
+class TestPersistence:
+    def test_survives_cluster_restart(self, tmp_path):
+        root = str(tmp_path / "kv-root")
+        with oopp.Cluster(n_machines=2, backend="inline",
+                          storage_root=root) as c1:
+            kv = KVStore.deploy(c1, n_shards=3)
+            kv.put_many([(f"k{i}", i) for i in range(30)])
+            addresses = kv.persist(c1, "mydb")
+            assert len(addresses) == 3
+        with oopp.Cluster(n_machines=2, backend="inline",
+                          storage_root=root) as c2:
+            kv2 = KVStore.attach(c2, addresses)
+            assert kv2.size() == 30
+            assert kv2.get_many([f"k{i}" for i in range(30)]) == \
+                list(range(30))
+            kv2.put("new", "entry")  # still writable
+            assert kv2["new"] == "entry"

@@ -1,0 +1,150 @@
+"""MapReduce over object processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.mapreduce import MapReduce, Mapper, Reducer, _chunk, run_mapreduce
+from repro.apps.funcspec import func_spec
+from repro.errors import OoppError
+
+
+# --- kernels (module-level so they resolve on machines) -------------------
+
+def map_words(line):
+    for word in line.split():
+        yield word.lower(), 1
+
+
+def reduce_count(key, values):
+    return sum(values)
+
+
+def map_identity(x):
+    yield x % 7, x
+
+
+def reduce_max(key, values):
+    return max(values)
+
+
+def map_explode(x):
+    raise ValueError(f"bad record {x}")
+
+
+LINES = [
+    "the quick brown fox",
+    "jumps over the lazy dog",
+    "the dog barks",
+    "quick quick slow",
+]
+EXPECTED = {
+    "the": 3, "quick": 3, "brown": 1, "fox": 1, "jumps": 1, "over": 1,
+    "lazy": 1, "dog": 2, "barks": 1, "slow": 1,
+}
+
+
+class TestChunking:
+    def test_balanced(self):
+        chunks = _chunk(list(range(10)), 3)
+        assert [len(c) for c in chunks] == [4, 3, 3]
+        assert sum(chunks, []) == list(range(10))
+
+    def test_more_parts_than_items(self):
+        chunks = _chunk([1, 2], 4)
+        assert chunks == [[1], [2], [], []]
+
+
+class TestWordCount:
+    def test_inline(self, inline_cluster):
+        counts = run_mapreduce(inline_cluster, map_words, reduce_count, LINES)
+        assert counts == EXPECTED
+
+    def test_mp_real_processes(self, mp_cluster):
+        counts = run_mapreduce(mp_cluster, map_words, reduce_count, LINES,
+                               n_mappers=3, n_reducers=2)
+        assert counts == EXPECTED
+
+    def test_sim(self, sim_cluster):
+        counts = run_mapreduce(sim_cluster, map_words, reduce_count, LINES)
+        assert counts == EXPECTED
+
+    def test_single_mapper_single_reducer(self, inline_cluster):
+        counts = run_mapreduce(inline_cluster, map_words, reduce_count,
+                               LINES, n_mappers=1, n_reducers=1)
+        assert counts == EXPECTED
+
+    def test_more_mappers_than_records(self, inline_cluster):
+        counts = run_mapreduce(inline_cluster, map_words, reduce_count,
+                               LINES[:2], n_mappers=8, n_reducers=3)
+        assert counts["the"] == 2
+
+
+class TestDeployment:
+    def test_reusable_job(self, inline_cluster):
+        job = MapReduce(inline_cluster, map_identity, reduce_max,
+                        n_mappers=2, n_reducers=2)
+        try:
+            first = job.run(list(range(50)))
+            second = job.run(list(range(20)))
+            assert first == {k: max(x for x in range(50) if x % 7 == k)
+                             for k in range(7)}
+            assert second == {k: max(x for x in range(20) if x % 7 == k)
+                              for k in range(7)}
+        finally:
+            job.destroy()
+
+    def test_map_stats_reported(self, inline_cluster):
+        job = MapReduce(inline_cluster, map_words, reduce_count,
+                        n_mappers=2, n_reducers=2)
+        try:
+            job.run(LINES)
+            stats = job.last_map_stats
+            assert sum(s["records"] for s in stats) == len(LINES)
+            assert sum(s["pairs"] for s in stats) == sum(EXPECTED.values())
+        finally:
+            job.destroy()
+
+    def test_shuffle_is_mapper_to_reducer(self, inline_cluster):
+        job = MapReduce(inline_cluster, map_words, reduce_count,
+                        n_mappers=3, n_reducers=2)
+        try:
+            job.run(LINES)
+            seen = job.reducers.invoke("stats")
+            # every reducer heard from at least one mapper directly
+            assert all(s["mappers_seen"] for s in seen)
+        finally:
+            job.destroy()
+
+
+class TestErrors:
+    def test_map_failure_propagates(self, inline_cluster):
+        with pytest.raises(ValueError, match="bad record"):
+            run_mapreduce(inline_cluster, map_explode, reduce_count, [1, 2],
+                          n_mappers=1)
+
+    def test_multiple_map_failures_aggregate(self, inline_cluster):
+        from repro.errors import GroupError
+
+        with pytest.raises(GroupError, match="members failed"):
+            run_mapreduce(inline_cluster, map_explode, reduce_count,
+                          [1, 2, 3, 4], n_mappers=4)
+
+    def test_lambda_kernel_rejected_before_deployment(self, inline_cluster):
+        from repro.errors import RuntimeLayerError
+
+        with pytest.raises(RuntimeLayerError, match="module-level"):
+            run_mapreduce(inline_cluster, lambda x: [(x, 1)], reduce_count,
+                          [1])
+
+    def test_mapper_without_reducers_fails(self):
+        m = Mapper(0, func_spec(map_words))
+        with pytest.raises(OoppError, match="set_reducers"):
+            m.run_chunk(["x"])
+
+    def test_reducer_accept_and_reset(self):
+        r = Reducer(0, func_spec(reduce_count))
+        r.accept(1, [("a", 1), ("a", 2)])
+        assert r.reduce_all() == {"a": 3}
+        r.reset()
+        assert r.reduce_all() == {}

@@ -1,0 +1,120 @@
+"""Distributed Jacobi heat equation vs. the serial reference."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.stencil import HeatSolver, StencilWorker, jacobi_step, solve_serial
+from repro.errors import OoppError
+
+
+def hot_plate(shape=(16, 12)):
+    """Zero interior, hot top edge, warm left edge."""
+    u = np.zeros(shape)
+    u[0, :] = 100.0
+    u[:, 0] = 25.0
+    return u
+
+
+class TestSerialReference:
+    def test_step_preserves_boundary(self):
+        u = hot_plate()
+        u1 = jacobi_step(u, 0.2)
+        assert np.array_equal(u1[0], u[0])
+        assert np.array_equal(u1[-1], u[-1])
+        assert np.array_equal(u1[:, 0], u[:, 0])
+        assert np.array_equal(u1[:, -1], u[:, -1])
+
+    def test_heat_flows_inward(self):
+        u = solve_serial(hot_plate(), 0.2, 50)
+        assert u[1:, 1:].max() > 0.0
+        assert u.max() <= 100.0 and u.min() >= 0.0
+
+    def test_steady_state_is_fixed_point(self):
+        u = solve_serial(hot_plate((8, 8)), 0.25, 5000)
+        again = jacobi_step(u, 0.25)
+        assert np.allclose(again, u, atol=1e-6)
+
+
+class TestWorkerUnit:
+    def make(self, n, shape):
+        workers = [StencilWorker(i) for i in range(n)]
+        for w in workers:
+            w.set_group(n, workers)
+            w.set_grid(shape)
+        return workers
+
+    def test_uninitialized_fails(self):
+        w = StencilWorker(0)
+        with pytest.raises(OoppError):
+            w.my_bounds()
+        with pytest.raises(OoppError):
+            w.step(0.1)
+
+    def test_load_validates_shape(self):
+        (w,) = self.make(1, (4, 4))
+        with pytest.raises(OoppError):
+            w.load(np.zeros((3, 4)))
+
+    def test_bad_ghost_side_rejected(self):
+        (w,) = self.make(1, (4, 4))
+        with pytest.raises(OoppError):
+            w.deposit_ghost("middle", np.zeros(4))
+
+    def test_single_worker_matches_serial(self):
+        (w,) = self.make(1, (8, 6))
+        u0 = hot_plate((8, 6))
+        w.load(u0)
+        for _ in range(10):
+            w.exchange()
+            w.step(0.2)
+        assert np.allclose(w.slab(), solve_serial(u0, 0.2, 10), atol=1e-12)
+
+
+@pytest.mark.parametrize("n_workers", [1, 2, 3, 4])
+class TestDistributedMatchesSerial:
+    def test_inline(self, inline_cluster, n_workers):
+        u0 = hot_plate((13, 9))  # ragged split on purpose
+        solver = HeatSolver(inline_cluster, u0.shape, n_workers=n_workers)
+        got = solver.solve(u0, 0.2, n_steps=25)
+        assert np.allclose(got, solve_serial(u0, 0.2, 25), atol=1e-12)
+
+
+class TestDistributedBackends:
+    def test_mp(self, mp_cluster):
+        u0 = hot_plate((12, 8))
+        solver = HeatSolver(mp_cluster, u0.shape, n_workers=3)
+        got = solver.solve(u0, 0.15, n_steps=20)
+        assert np.allclose(got, solve_serial(u0, 0.15, 20), atol=1e-12)
+
+    def test_sim_with_compute_charging(self, sim_cluster):
+        u0 = hot_plate((12, 8))
+        eng = sim_cluster.fabric.engine
+        solver = HeatSolver(sim_cluster, u0.shape, n_workers=3,
+                            flops_rate=1e9)
+        t0 = eng.now
+        got = solver.solve(u0, 0.15, n_steps=5)
+        assert eng.now > t0  # simulated exchange + compute time accrued
+        assert np.allclose(got, solve_serial(u0, 0.15, 5), atol=1e-12)
+
+
+class TestSolverFacade:
+    def test_convergence_early_exit(self, inline_cluster):
+        u0 = hot_plate((10, 10))
+        solver = HeatSolver(inline_cluster, u0.shape, n_workers=2)
+        solver.load(u0)
+        deltas = [solver.step(0.2) for _ in range(30)]
+        assert deltas[-1] < deltas[0]  # contraction
+        got = solver.solve(u0, 0.2, n_steps=10**6, tol=1.0)
+        # early exit happened (otherwise this would run forever)
+        assert got.shape == u0.shape
+
+    def test_too_many_workers_rejected(self, inline_cluster):
+        with pytest.raises(OoppError):
+            HeatSolver(inline_cluster, (2, 8), n_workers=4)
+
+    def test_wrong_grid_rejected(self, inline_cluster):
+        solver = HeatSolver(inline_cluster, (8, 8), n_workers=2)
+        with pytest.raises(OoppError):
+            solver.load(np.zeros((4, 4)))

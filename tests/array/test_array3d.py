@@ -1,0 +1,166 @@
+"""The distributed Array: reads, writes, reductions, layouts."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.array.array3d import Array
+from repro.errors import DomainError, StorageError
+from repro.storage.blockstore import BlockStorage, create_block_storage
+from repro.storage.device import ArrayPageDevice
+from repro.storage.domain import Domain
+from repro.storage.pagemap import (
+    BlockedPageMap,
+    PencilPageMap,
+    RoundRobinPageMap,
+)
+
+
+def local_array(tmp_path, N=(8, 8, 8), page=(4, 4, 4), devices=3,
+                MapCls=RoundRobinPageMap, tag="a"):
+    """An Array over purely local devices (no cluster)."""
+    grid = tuple(-(-n // p) for n, p in zip(N, page))
+    n_pages = grid[0] * grid[1] * grid[2]
+    devs = [ArrayPageDevice(str(tmp_path / f"{tag}{i}.dat"),
+                            -(-n_pages // devices) + 1, *page)
+            for i in range(devices)]
+    pmap = MapCls(grid=grid, n_devices=devices)
+    return Array(*N, *page, BlockStorage(devs), pmap)
+
+
+class TestConstruction:
+    def test_geometry_validation(self, tmp_path):
+        a = local_array(tmp_path)
+        assert a.shape == (8, 8, 8)
+        assert a.page_shape == (4, 4, 4)
+        assert a.size == 512
+
+    def test_grid_mismatch_rejected(self, tmp_path):
+        devs = [ArrayPageDevice(str(tmp_path / "d.dat"), 9, 4, 4, 4)]
+        bad_map = RoundRobinPageMap(grid=(3, 3, 3), n_devices=1)
+        with pytest.raises(StorageError, match="grid"):
+            Array(8, 8, 8, 4, 4, 4, BlockStorage(devs), bad_map)
+
+    def test_device_count_mismatch_rejected(self, tmp_path):
+        devs = [ArrayPageDevice(str(tmp_path / "d.dat"), 9, 4, 4, 4)]
+        pmap = RoundRobinPageMap(grid=(2, 2, 2), n_devices=2)
+        with pytest.raises(StorageError, match="devices"):
+            Array(8, 8, 8, 4, 4, 4, BlockStorage(devs), pmap)
+
+    def test_capacity_shortfall_rejected(self, tmp_path):
+        devs = [ArrayPageDevice(str(tmp_path / "d.dat"), 3, 4, 4, 4)]
+        pmap = RoundRobinPageMap(grid=(2, 2, 2), n_devices=1)
+        with pytest.raises(StorageError, match="pages per device"):
+            Array(8, 8, 8, 4, 4, 4, BlockStorage(devs), pmap)
+
+    def test_bad_shapes_rejected(self, tmp_path):
+        devs = [ArrayPageDevice(str(tmp_path / "d.dat"), 9, 4, 4, 4)]
+        with pytest.raises(DomainError):
+            Array(0, 8, 8, 4, 4, 4, BlockStorage(devs),
+                  RoundRobinPageMap(grid=(1, 2, 2), n_devices=1))
+
+
+@pytest.mark.parametrize("MapCls", [RoundRobinPageMap, BlockedPageMap,
+                                    PencilPageMap])
+class TestRoundTrips:
+    def test_full_write_read(self, tmp_path, MapCls):
+        a = local_array(tmp_path, MapCls=MapCls, tag=MapCls.__name__)
+        ref = np.random.default_rng(1).random((8, 8, 8))
+        a.write(ref)
+        assert np.allclose(a.read(), ref)
+
+    def test_unaligned_domain_round_trip(self, tmp_path, MapCls):
+        a = local_array(tmp_path, MapCls=MapCls, tag=MapCls.__name__)
+        ref = np.random.default_rng(2).random((8, 8, 8))
+        a.write(ref)
+        dom = Domain(1, 7, 2, 5, 3, 8)
+        assert np.allclose(a.read(dom), ref[dom.slices])
+        patch = np.full(dom.shape, -1.0)
+        a.write(patch, dom)
+        ref[dom.slices] = -1.0
+        assert np.allclose(a.read(), ref)
+
+
+class TestPaddingAndEdges:
+    def test_page_shape_not_dividing_array(self, tmp_path):
+        # 7x5x6 array with 4x4x4 pages: ragged edges everywhere.
+        a = local_array(tmp_path, N=(7, 5, 6), page=(4, 4, 4), devices=2)
+        ref = np.random.default_rng(3).random((7, 5, 6))
+        a.write(ref)
+        assert np.allclose(a.read(), ref)
+        assert abs(a.sum() - ref.sum()) < 1e-9
+
+    def test_single_element_domain(self, tmp_path):
+        a = local_array(tmp_path)
+        a.write(np.full((1, 1, 1), 42.0), Domain(3, 4, 3, 4, 3, 4))
+        assert a.read(Domain(3, 4, 3, 4, 3, 4))[0, 0, 0] == 42.0
+
+    def test_domain_outside_array_rejected(self, tmp_path):
+        a = local_array(tmp_path)
+        with pytest.raises(DomainError):
+            a.read(Domain(0, 9, 0, 1, 0, 1))
+
+    def test_shape_mismatch_on_write_rejected(self, tmp_path):
+        a = local_array(tmp_path)
+        with pytest.raises(DomainError):
+            a.write(np.zeros((2, 2, 2)), Domain(0, 3, 0, 2, 0, 2))
+
+
+class TestReductions:
+    def test_reductions_match_numpy(self, tmp_path):
+        a = local_array(tmp_path)
+        ref = np.random.default_rng(4).random((8, 8, 8)) - 0.5
+        a.write(ref)
+        assert abs(a.sum() - ref.sum()) < 1e-9
+        assert a.min() == ref.min()
+        assert a.max() == ref.max()
+        assert abs(a.norm2() - np.linalg.norm(ref)) < 1e-9
+        assert abs(a.mean() - ref.mean()) < 1e-12
+
+    def test_domain_reductions(self, tmp_path):
+        a = local_array(tmp_path)
+        ref = np.random.default_rng(5).random((8, 8, 8))
+        a.write(ref)
+        dom = Domain(2, 6, 1, 8, 0, 5)
+        assert abs(a.sum(dom) - ref[dom.slices].sum()) < 1e-9
+        assert a.max(dom) == ref[dom.slices].max()
+
+    def test_empty_domain_sum_is_zero(self, tmp_path):
+        a = local_array(tmp_path)
+        assert a.sum(Domain(0, 0, 0, 0, 0, 0)) == 0.0
+
+    def test_empty_domain_min_rejected(self, tmp_path):
+        a = local_array(tmp_path)
+        with pytest.raises(DomainError):
+            a.min(Domain(0, 0, 0, 0, 0, 0))
+
+    def test_fill(self, tmp_path):
+        a = local_array(tmp_path)
+        a.fill(2.5)
+        assert a.sum() == 2.5 * 512
+        a.fill(0.0, Domain(0, 4, 0, 8, 0, 8))
+        assert a.sum() == 2.5 * 256
+
+
+class TestRemoteArray:
+    def test_over_cluster_devices(self, inline_cluster):
+        store = create_block_storage(inline_cluster, 4, NumberOfPages=5,
+                                     n1=4, n2=4, n3=4)
+        pmap = RoundRobinPageMap(grid=(2, 2, 2), n_devices=4)
+        a = Array(8, 8, 8, 4, 4, 4, store, pmap)
+        ref = np.random.default_rng(6).random((8, 8, 8))
+        a.write(ref)
+        assert np.allclose(a.read(), ref)
+        assert abs(a.sum() - ref.sum()) < 1e-9
+
+    def test_array_is_picklable_with_remote_devices(self, inline_cluster):
+        import pickle
+
+        store = create_block_storage(inline_cluster, 2, NumberOfPages=5,
+                                     n1=4, n2=4, n3=4)
+        pmap = RoundRobinPageMap(grid=(2, 2, 2), n_devices=2)
+        a = Array(8, 8, 8, 4, 4, 4, store, pmap)
+        a.fill(1.0)
+        a2 = pickle.loads(pickle.dumps(a))
+        assert a2.sum() == 512.0

@@ -1,0 +1,179 @@
+"""At-the-data operations between sibling arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.array.array3d import Array
+from repro.array.ops import axpy, copy, dot, offset_map, scale
+from repro.errors import StorageError
+from repro.storage.blockstore import BlockStorage
+from repro.storage.device import ArrayPageDevice
+from repro.storage.pagemap import BlockedPageMap, RoundRobinPageMap
+
+
+@pytest.fixture
+def siblings(tmp_path):
+    """Two arrays sharing storage via offset maps."""
+    grid = (2, 2, 2)
+    base = RoundRobinPageMap(grid=grid, n_devices=3)
+    cap = base.pages_per_device
+    devs = [ArrayPageDevice(str(tmp_path / f"s{i}.dat"), 2 * cap, 4, 4, 4)
+            for i in range(3)]
+    store = BlockStorage(devs)
+    x = Array(8, 8, 8, 4, 4, 4, store,
+              offset_map(grid=grid, n_devices=3, base=base, offset=0))
+    y = Array(8, 8, 8, 4, 4, 4, store,
+              offset_map(grid=grid, n_devices=3, base=base, offset=cap))
+    return x, y
+
+
+class TestOffsetMap:
+    def test_shifts_indices_only(self):
+        base = RoundRobinPageMap(grid=(2, 2, 2), n_devices=2)
+        shifted = offset_map(grid=(2, 2, 2), n_devices=2, base=base, offset=4)
+        a0 = base.physical(1, 0, 1)
+        a1 = shifted.physical(1, 0, 1)
+        assert a1.device_id == a0.device_id
+        assert a1.index == a0.index + 4
+
+    def test_still_bijective(self):
+        base = BlockedPageMap(grid=(3, 2, 2), n_devices=2)
+        offset_map(grid=(3, 2, 2), n_devices=2, base=base,
+                   offset=7).validate()
+
+    def test_geometry_mismatch_rejected(self):
+        base = RoundRobinPageMap(grid=(2, 2, 2), n_devices=2)
+        with pytest.raises(StorageError):
+            offset_map(grid=(3, 2, 2), n_devices=2, base=base, offset=0)
+
+    def test_requires_base(self):
+        with pytest.raises(StorageError):
+            offset_map(grid=(1, 1, 1), n_devices=1)
+
+
+class TestOps:
+    def test_axpy(self, siblings):
+        x, y = siblings
+        xv = np.random.default_rng(0).random((8, 8, 8))
+        yv = np.random.default_rng(1).random((8, 8, 8))
+        x.write(xv)
+        y.write(yv)
+        axpy(0.5, x, y)
+        assert np.allclose(y.read(), yv + 0.5 * xv)
+        assert np.allclose(x.read(), xv)  # x untouched
+
+    def test_scale(self, siblings):
+        x, _ = siblings
+        x.fill(3.0)
+        scale(x, -2.0)
+        assert x.sum() == -6.0 * 512
+
+    def test_copy(self, siblings):
+        x, y = siblings
+        xv = np.random.default_rng(2).random((8, 8, 8))
+        x.write(xv)
+        y.fill(9.0)
+        copy(x, y)
+        assert np.allclose(y.read(), xv)
+
+    def test_dot(self, siblings):
+        x, y = siblings
+        xv = np.random.default_rng(3).random((8, 8, 8))
+        yv = np.random.default_rng(4).random((8, 8, 8))
+        x.write(xv)
+        y.write(yv)
+        assert abs(dot(x, y) - float((xv * yv).sum())) < 1e-8
+
+    def test_geometry_mismatch_rejected(self, siblings, tmp_path):
+        x, _ = siblings
+        dev = ArrayPageDevice(str(tmp_path / "other.dat"), 9, 4, 4, 4)
+        other = Array(8, 8, 8, 4, 4, 4, BlockStorage([dev]),
+                      RoundRobinPageMap(grid=(2, 2, 2), n_devices=1))
+        with pytest.raises(StorageError, match="share"):
+            axpy(1.0, x, other)
+
+    def test_dot_requires_dividing_pages(self, tmp_path):
+        grid = (2, 2, 2)
+        base = RoundRobinPageMap(grid=grid, n_devices=1)
+        cap = base.pages_per_device
+        dev = ArrayPageDevice(str(tmp_path / "pad.dat"), 2 * cap + 2, 4, 4, 4)
+        store = BlockStorage([dev])
+        x = Array(7, 7, 7, 4, 4, 4, store,
+                  offset_map(grid=grid, n_devices=1, base=base, offset=0))
+        y = Array(7, 7, 7, 4, 4, 4, store,
+                  offset_map(grid=grid, n_devices=1, base=base, offset=cap))
+        with pytest.raises(StorageError, match="dot"):
+            dot(x, y)
+
+
+# --- shipped page functions for apply() ------------------------------------
+
+def _negate(a):
+    return -a
+
+
+def _affine(a, scale, shift):
+    return a * scale + shift
+
+
+def _bad_shape(a):
+    return a[:1]
+
+
+class TestApply:
+    def test_elementwise_at_the_data(self, siblings):
+        import numpy as np
+
+        from repro.array.ops import apply
+
+        x, _ = siblings
+        xv = np.random.default_rng(7).random((8, 8, 8))
+        x.write(xv)
+        apply(x, _negate)
+        assert np.allclose(x.read(), -xv)
+
+    def test_extra_args_travel(self, siblings):
+        import numpy as np
+
+        from repro.array.ops import apply
+
+        x, _ = siblings
+        x.fill(2.0)
+        apply(x, _affine, 3.0, 1.0)
+        assert np.allclose(x.read(), 7.0)
+
+    def test_shape_changing_function_rejected(self, siblings):
+        from repro.array.ops import apply
+        from repro.errors import PageSizeError
+
+        x, _ = siblings
+        with pytest.raises(PageSizeError, match="changed shape"):
+            apply(x, _bad_shape)
+
+    def test_lambda_rejected_eagerly(self, siblings):
+        from repro.array.ops import apply
+        from repro.errors import RuntimeLayerError
+
+        x, _ = siblings
+        with pytest.raises(RuntimeLayerError, match="module-level"):
+            apply(x, lambda a: a)
+
+    def test_over_remote_devices(self, inline_cluster):
+        import numpy as np
+
+        from repro.array.array3d import Array
+        from repro.array.ops import apply
+        from repro.storage.blockstore import create_block_storage
+        from repro.storage.pagemap import RoundRobinPageMap
+
+        store = create_block_storage(inline_cluster, 2, NumberOfPages=5,
+                                     n1=4, n2=4, n3=4,
+                                     filename_prefix="apply")
+        a = Array(8, 8, 8, 4, 4, 4, store,
+                  RoundRobinPageMap(grid=(2, 2, 2), n_devices=2))
+        ref = np.random.default_rng(8).random((8, 8, 8))
+        a.write(ref)
+        apply(a, _affine, -1.0, 0.5)
+        assert np.allclose(a.read(), 0.5 - ref)

@@ -1,0 +1,46 @@
+"""Slab partition helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.array.partition import slab_bounds, slab_domains
+from repro.errors import DomainError
+
+
+class TestSlabBounds:
+    def test_even_split(self):
+        assert [slab_bounds(8, 4, i) for i in range(4)] == \
+            [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_to_leading_slabs(self):
+        assert [slab_bounds(10, 3, i) for i in range(3)] == \
+            [(0, 4), (4, 7), (7, 10)]
+
+    def test_more_parts_than_extent(self):
+        bounds = [slab_bounds(2, 4, i) for i in range(4)]
+        assert bounds == [(0, 1), (1, 2), (2, 2), (2, 2)]
+
+    def test_bad_args(self):
+        with pytest.raises(DomainError):
+            slab_bounds(4, 0, 0)
+        with pytest.raises(DomainError):
+            slab_bounds(4, 2, 2)
+
+    @given(st.integers(0, 100), st.integers(1, 12))
+    @settings(max_examples=60, deadline=None)
+    def test_partition_properties(self, extent, parts):
+        bounds = [slab_bounds(extent, parts, i) for i in range(parts)]
+        # contiguity and coverage
+        assert bounds[0][0] == 0 and bounds[-1][1] == extent
+        for (lo1, hi1), (lo2, hi2) in zip(bounds, bounds[1:]):
+            assert hi1 == lo2
+        # balance within one
+        widths = [hi - lo for lo, hi in bounds]
+        assert max(widths) - min(widths) <= 1
+        # agreement with Domain.split_axis
+        doms = slab_domains(max(extent, 1), 1, 1, parts)
+        if extent >= 1:
+            assert [(d.lo1, d.hi1) for d in doms] == bounds

@@ -1,0 +1,112 @@
+"""Inline backend: isolation semantics and dispatch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+
+
+class Holder:
+    def __init__(self, items=None):
+        self.items = list(items or [])
+
+    def add(self, item):
+        self.items.append(item)
+        return self.items
+
+    def get(self):
+        return self.items
+
+
+class TestIsolation:
+    def test_argument_mutation_does_not_leak(self, inline_cluster):
+        h = inline_cluster.new(Holder, machine=1)
+        payload = [1, 2, 3]
+        h.add(payload)
+        payload.append(99)  # mutate after the call
+        assert h.get() == [[1, 2, 3]]
+
+    def test_result_mutation_does_not_leak(self, inline_cluster):
+        h = inline_cluster.new(Holder, [5], machine=1)
+        result = h.get()
+        result.append(6)
+        assert h.get() == [5]
+
+    def test_numpy_argument_snapshot(self, inline_cluster):
+        blk = inline_cluster.new_block(4, machine=2)
+        a = np.ones(4)
+        blk.write(0, a)
+        a[:] = 7
+        assert np.allclose(blk.read(), 1.0)
+
+    def test_inline_copy_off_shares_references(self, tmp_path):
+        with oopp.Cluster(n_machines=2, backend="inline",
+                          inline_copy=False) as cluster:
+            h = cluster.new(Holder, machine=1)
+            payload = [1]
+            h.add(payload)
+            payload.append(2)  # leaks by design when copying is disabled
+            assert h.get() == [[1, 2]]
+
+
+class TestDispatch:
+    def test_table_of_exposes_objects(self, inline_cluster):
+        inline_cluster.new(Holder, machine=2)
+        assert len(inline_cluster.fabric.table_of(2)) == 1
+        assert len(inline_cluster.fabric.table_of(0)) == 0
+
+    def test_calls_after_close_fail(self):
+        cluster = oopp.Cluster(n_machines=1, backend="inline")
+        h = cluster.new(Holder, machine=0)
+        cluster.shutdown()
+        with pytest.raises(oopp.MachineDownError):
+            h.get()
+
+    def test_nested_remote_calls(self, inline_cluster):
+        class Outer:
+            def __init__(self, inner):
+                self.inner = inner
+
+            def relay(self, item):
+                return self.inner.add(item)
+
+        import sys
+
+        sys.modules[__name__].Outer = Outer
+        Outer.__module__ = __name__
+        Outer.__qualname__ = "Outer"
+        try:
+            inner = inline_cluster.new(Holder, machine=1)
+            outer = inline_cluster.new(Outer, inner, machine=2)
+            assert outer.relay("x") == ["x"]
+            assert inner.get() == ["x"]
+        finally:
+            del sys.modules[__name__].Outer
+
+    def test_constructor_error_propagates(self, inline_cluster):
+        class Boom:
+            def __init__(self):
+                raise RuntimeError("ctor failed")
+
+        import sys
+
+        sys.modules[__name__].Boom = Boom
+        Boom.__module__ = __name__
+        Boom.__qualname__ = "Boom"
+        try:
+            with pytest.raises(RuntimeError, match="ctor failed"):
+                inline_cluster.new(Boom, machine=0)
+        finally:
+            del sys.modules[__name__].Boom
+
+    def test_remote_traceback_attached(self, inline_cluster):
+        h = inline_cluster.new(Holder, machine=0)
+        try:
+            h.missing_method()
+        except AttributeError as exc:
+            assert "missing_method" in getattr(
+                exc, "__oopp_remote_traceback__", "")
+        else:
+            pytest.fail("expected AttributeError")

@@ -1,0 +1,75 @@
+"""Multiprocessing backend under load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+
+
+class Accumulator:
+    def __init__(self):
+        self.total = 0.0
+
+    def add(self, x):
+        self.total += x
+        return self.total
+
+    def get(self):
+        return self.total
+
+
+class TestManySmallMessages:
+    def test_hundreds_of_pipelined_calls(self, mp_cluster):
+        acc = mp_cluster.new(Accumulator, machine=1)
+        futures = [acc.add.future(1.0) for _ in range(300)]
+        oopp.wait_all(futures)
+        assert acc.get() == 300.0
+
+    def test_interleaved_targets(self, mp_cluster):
+        accs = [mp_cluster.new(Accumulator, machine=m) for m in range(3)]
+        futures = []
+        for i in range(150):
+            futures.append(accs[i % 3].add.future(float(i)))
+        oopp.wait_all(futures)
+        totals = [a.get() for a in accs]
+        assert sum(totals) == sum(range(150))
+
+
+class TestLargePayloads:
+    def test_eight_megabyte_round_trip(self, mp_cluster):
+        blk = mp_cluster.new_block(1 << 20, machine=2)  # 8 MiB of float64
+        data = np.random.default_rng(0).random(1 << 20)
+        blk.write(0, data)
+        back = blk.read()
+        assert np.array_equal(back, data)
+
+    def test_large_payloads_interleave_with_small(self, mp_cluster):
+        blk = mp_cluster.new_block(1 << 18, machine=1)
+        acc = mp_cluster.new(Accumulator, machine=1)
+        big = np.ones(1 << 18)
+        futures = []
+        for i in range(10):
+            futures.append(blk.write.future(0, big))
+            futures.append(acc.add.future(1.0))
+        oopp.wait_all(futures)
+        assert acc.get() == 10.0
+        assert blk.sum() == float(1 << 18)
+
+
+class TestSequentialClusters:
+    def test_clusters_start_cleanly_after_each_other(self, tmp_path):
+        for round_ in range(3):
+            with oopp.Cluster(n_machines=2, backend="mp",
+                              call_timeout_s=60.0) as cluster:
+                blk = cluster.new_block(8, machine=1, fill=round_)
+                assert blk.sum() == 8.0 * round_
+
+
+class TestAutoparOnMp:
+    def test_transformed_loop_on_real_processes(self, mp_cluster):
+        accs = [mp_cluster.new(Accumulator, machine=m) for m in range(3)]
+        with oopp.autoparallel():
+            results = [a.add(10.0) for a in accs]
+        assert [r.value for r in results] == [10.0, 10.0, 10.0]

@@ -1,0 +1,156 @@
+"""Simulated backend: clock charging, contention, nominal sizes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+from repro.config import NetworkModel
+from repro.runtime.context import current_hooks
+from repro.storage.device import ArrayPageDevice
+
+
+class Toiler:
+    def work(self, seconds):
+        current_hooks().charge_compute(seconds)
+        return seconds
+
+    def io(self, nbytes):
+        current_hooks().charge_disk_read("disk0", nbytes)
+        return nbytes
+
+
+class TestClockCharging:
+    def test_remote_call_advances_clock(self, sim_cluster):
+        eng = sim_cluster.fabric.engine
+        blk = sim_cluster.new_block(8, machine=1)
+        t0 = eng.now
+        blk.sum()
+        assert eng.now > t0
+
+    def test_round_trip_at_least_two_latencies(self, sim_cluster):
+        eng = sim_cluster.fabric.engine
+        lat = sim_cluster.config.network.latency_s
+        blk = sim_cluster.new_block(8, machine=1)
+        t0 = eng.now
+        blk.sum()
+        assert eng.now - t0 >= 2 * lat
+
+    def test_compute_charge(self, sim_cluster):
+        eng = sim_cluster.fabric.engine
+        t = sim_cluster.new(Toiler, machine=1)
+        t0 = eng.now
+        t.work(0.75)
+        assert eng.now - t0 == pytest.approx(0.75, abs=1e-3)
+
+    def test_disk_charge(self, sim_cluster):
+        eng = sim_cluster.fabric.engine
+        disk = sim_cluster.config.disk
+        t = sim_cluster.new(Toiler, machine=1)
+        t0 = eng.now
+        t.io(150_000_000)  # 1 second at 150 MB/s + seek
+        dt = eng.now - t0
+        assert dt >= 1.0 + disk.seek_s
+
+    def test_parallel_compute_overlaps(self, sim_cluster):
+        eng = sim_cluster.fabric.engine
+        group = sim_cluster.new_group(Toiler, 3)
+        t0 = eng.now
+        oopp.wait_all(group.futures("work", 0.5))
+        # three workers on three machines: wall simulated time ~0.5s
+        assert eng.now - t0 < 0.6
+
+    def test_sequential_compute_accumulates(self, sim_cluster):
+        eng = sim_cluster.fabric.engine
+        group = sim_cluster.new_group(Toiler, 3)
+        t0 = eng.now
+        group.invoke_sequential("work", 0.5)
+        assert eng.now - t0 >= 1.5
+
+    def test_payload_size_charged(self, sim_cluster):
+        eng = sim_cluster.fabric.engine
+        bw = sim_cluster.config.network.bandwidth_Bps
+        blk = sim_cluster.new_block(1 << 20, machine=1)
+        t0 = eng.now
+        blk.read()  # ~8 MiB response
+        dt = eng.now - t0
+        assert dt >= (8 << 20) / bw  # at least the serialization time
+
+
+class TestNominalSizes:
+    def test_nominal_pages_charged_not_real(self, sim_cluster):
+        eng = sim_cluster.fabric.engine
+        bw = sim_cluster.config.network.bandwidth_Bps
+        dev = sim_cluster.new(ArrayPageDevice, "nom.dat", 2, 2, 2, 2,
+                              machine=1, nominal_page_size=1 << 26)
+        t0 = eng.now
+        page = dev.read_page(0)
+        dt = eng.now - t0
+        # 64 MiB charged over the network and disk, although the real
+        # page is 64 bytes of doubles.
+        assert dt >= (1 << 26) / bw
+        assert page.nbytes == 64
+
+    def test_real_data_still_correct(self, sim_cluster):
+        from repro.storage.page import ArrayPage
+
+        dev = sim_cluster.new(ArrayPageDevice, "nom2.dat", 2, 2, 2, 2,
+                              machine=1, nominal_page_size=1 << 20)
+        dev.write_page(ArrayPage(2, 2, 2, np.arange(8.0)), 0)
+        assert dev.sum(0) == 28.0
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_clocks(self, tmp_path):
+        def run():
+            with oopp.Cluster(n_machines=3, backend="sim",
+                              storage_root=str(tmp_path / "r")) as cluster:
+                group = cluster.new_group(Toiler, 5)
+                oopp.wait_all(group.futures("work", 0.01))
+                group.invoke("work", 0.02)
+                return cluster.fabric.engine.now
+
+        assert run() == run()
+
+    def test_custom_network_model_respected(self, tmp_path):
+        slow = NetworkModel(latency_s=1.0, bandwidth_Bps=1e9)
+        with oopp.Cluster(n_machines=2, backend="sim", network=slow,
+                          storage_root=str(tmp_path / "r2")) as cluster:
+            eng = cluster.fabric.engine
+            blk = cluster.new_block(4, machine=1)
+            t0 = eng.now
+            blk.sum()
+            assert eng.now - t0 >= 2.0  # two 1-second latencies
+
+
+class TestQuiesce:
+    def test_barrier_drains_inflight_simulated_work(self, sim_cluster):
+        eng = sim_cluster.fabric.engine
+        group = sim_cluster.new_group(Toiler, 3)
+        futures = group.futures("work", 0.1)
+        t0 = eng.now
+        group.barrier()
+        assert eng.now - t0 >= 0.09
+        oopp.wait_all(futures)
+
+    def test_cluster_wide_barrier(self, sim_cluster):
+        t = sim_cluster.new(Toiler, machine=2)
+        f = t.work.future(0.05)
+        sim_cluster.barrier()
+        assert f.done()
+
+
+class TestTracing:
+    def test_calls_are_traced(self, sim_cluster):
+        blk = sim_cluster.new_block(8, machine=1)
+        blk.sum()
+        trace = sim_cluster.fabric.trace
+        calls = trace.filter("call")
+        assert any(e.detail.get("method") == "sum" for e in calls)
+
+    def test_utilization_report(self, sim_cluster):
+        blk = sim_cluster.new_block(1 << 16, machine=1)
+        blk.read()
+        report = sim_cluster.fabric.utilization_report()
+        assert report[1]["egress_util"] > 0  # machine 1 sent the payload

@@ -1,0 +1,45 @@
+"""The ``python -m repro.bench`` command line."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+@pytest.fixture(autouse=True)
+def bench_storage(tmp_path, monkeypatch):
+    monkeypatch.setenv("OOPP_STORAGE_DIR", str(tmp_path / "bench"))
+
+
+class TestCli:
+    def test_single_experiment_with_check(self, capsys):
+        # A1 is pure wall clock — the fastest experiment to run for real.
+        assert main(["A1"]) == 0
+        out = capsys.readouterr().out
+        assert "A1" in out and "shape check: PASS" in out
+
+    def test_markdown_output(self, capsys):
+        assert main(["A1", "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert "| payload (doubles) |" in out
+
+    def test_no_check_skips_assertions(self, capsys):
+        assert main(["A1", "--no-check"]) == 0
+        out = capsys.readouterr().out
+        assert "shape check" not in out
+
+    def test_unknown_id_fails_cleanly(self, capsys):
+        assert main(["E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().out
+
+    def test_failed_check_returns_one(self, capsys, monkeypatch):
+        # doctor A1's check to always fail
+        import repro.bench.a01_serde_paths as a01
+
+        def always_fails(table):
+            raise AssertionError("forced failure")
+
+        monkeypatch.setattr(a01, "check", always_fails)
+        assert main(["A1"]) == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,103 @@
+"""The benchmark harness itself: tables, registry, workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.registry import EXPERIMENTS, _load_all, get_experiment
+from repro.bench.report import Table, geometric_mean
+from repro.bench.workloads import (
+    page_addresses,
+    random_array_page,
+    random_page,
+    random_volume,
+)
+
+
+class TestTable:
+    def test_add_and_columns(self):
+        t = Table("demo", ["a", "b"])
+        t.add(1, 2.5)
+        t.add(3, 4.0)
+        assert t.column("a") == [1, 3]
+        assert t.column("b") == [2.5, 4.0]
+
+    def test_row_width_checked(self):
+        t = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            t.add(1)
+
+    def test_unknown_column(self):
+        t = Table("demo", ["a"])
+        with pytest.raises(ValueError):
+            t.column("nope")
+
+    def test_render_alignment(self):
+        t = Table("demo", ["name", "value"], note="a note")
+        t.add("short", 1)
+        t.add("a-much-longer-name", 12345)
+        text = t.render()
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "a note" in text
+        header_idx = next(i for i, l in enumerate(lines) if "name" in l)
+        widths = {len(l) for l in lines[header_idx:] if "|" in l}
+        assert len(widths) == 1  # all rows align
+
+    def test_markdown(self):
+        t = Table("demo", ["x"])
+        t.add(1.23456)
+        md = t.to_markdown()
+        assert "| x |" in md and "| 1.235 |" in md
+
+    def test_float_formatting(self):
+        t = Table("demo", ["v"])
+        t.add(0.000123456)
+        assert t.rows[0][0] == "0.0001235"
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([]) == 0.0
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        _load_all()
+        assert set(EXPERIMENTS) >= {f"E{i}" for i in range(1, 11)} | \
+            {"A1", "A2", "A3", "A4"}
+
+    def test_every_experiment_has_claim_anchor_and_check(self):
+        _load_all()
+        for exp in EXPERIMENTS.values():
+            assert exp.claim and exp.anchor, exp.id
+            assert exp.check is not None, f"{exp.id} has no shape check"
+
+    def test_get_experiment(self):
+        exp = get_experiment("E1")
+        assert exp.title and callable(exp.run)
+
+    def test_check_resolves_lazily(self):
+        # regression: the decorator runs before the module defines check
+        exp = get_experiment("E3")
+        import repro.bench.e03_compute_vs_data as mod
+
+        assert exp.check is mod.check
+
+
+class TestWorkloads:
+    def test_random_page_deterministic(self):
+        assert random_page(64, seed=3) == random_page(64, seed=3)
+        assert random_page(64, seed=3) != random_page(64, seed=4)
+
+    def test_random_array_page_shape(self):
+        p = random_array_page(2, 3, 4, seed=1)
+        assert p.shape == (2, 3, 4)
+
+    def test_random_volume(self):
+        v = random_volume((4, 4, 4), seed=2, complex_=True)
+        assert v.shape == (4, 4, 4) and v.dtype.kind == "c"
+
+    def test_page_addresses_in_range(self):
+        addrs = page_addresses(100, 10, seed=5)
+        assert len(addrs) == 100
+        assert all(0 <= a < 10 for a in addrs)

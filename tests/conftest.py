@@ -1,0 +1,52 @@
+"""Shared fixtures: isolated storage dirs and per-backend clusters."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro as oopp
+
+
+@pytest.fixture(autouse=True)
+def isolated_storage(tmp_path, monkeypatch):
+    """Point every device file and persistent store at the test's tmp dir."""
+    monkeypatch.setenv("OOPP_STORAGE_DIR", str(tmp_path / "devstore"))
+    yield tmp_path
+
+
+@pytest.fixture
+def inline_cluster(tmp_path):
+    with oopp.Cluster(n_machines=4, backend="inline",
+                      storage_root=str(tmp_path / "root")) as cluster:
+        yield cluster
+
+
+@pytest.fixture
+def sim_cluster(tmp_path):
+    with oopp.Cluster(n_machines=4, backend="sim",
+                      storage_root=str(tmp_path / "root")) as cluster:
+        yield cluster
+
+
+@pytest.fixture
+def mp_cluster(tmp_path):
+    with oopp.Cluster(n_machines=3, backend="mp", call_timeout_s=60.0,
+                      storage_root=str(tmp_path / "root")) as cluster:
+        yield cluster
+
+
+@pytest.fixture(params=["inline", "mp", "sim"])
+def any_cluster(request, tmp_path):
+    """The same test body run against every backend."""
+    kwargs = {"call_timeout_s": 60.0} if request.param == "mp" else {}
+    with oopp.Cluster(n_machines=3, backend=request.param,
+                      storage_root=str(tmp_path / "root"),
+                      **kwargs) as cluster:
+        yield cluster
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "slow: long-running integration tests")

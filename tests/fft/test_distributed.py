@@ -1,0 +1,166 @@
+"""Distributed 3-D FFT: the paper §4 object protocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import OoppError
+from repro.fft.distributed import FFT, DistributedFFT3D
+from repro.fft.kernels import FFTError
+
+
+def data(shape, seed=0):
+    g = np.random.default_rng(seed)
+    return g.random(shape) + 1j * g.random(shape)
+
+
+class TestWorkerLocal:
+    """FFT worker methods driven directly (no cluster)."""
+
+    def make_group(self, n, shape):
+        workers = [FFT(i) for i in range(n)]
+        for w in workers:
+            w.SetGroup(n, workers)
+            w.set_shape(shape)
+        return workers
+
+    def test_set_group_validates_count(self):
+        w = FFT(0)
+        with pytest.raises(OoppError):
+            w.SetGroup(3, [w])
+
+    def test_uninitialized_worker_fails_loudly(self):
+        w = FFT(0)
+        with pytest.raises(OoppError, match="SetGroup"):
+            w.my_bounds()
+        with pytest.raises(OoppError, match="no slab"):
+            w.slab()
+
+    def test_load_validates_slab_shape(self):
+        (w,) = self.make_group(1, (4, 4, 4))
+        with pytest.raises(FFTError):
+            w.load(np.zeros((3, 4, 4)))
+
+    def test_full_local_pipeline_matches_numpy(self):
+        shape = (8, 6, 5)
+        a = data(shape, seed=1)
+        workers = self.make_group(3, shape)
+        for i, w in enumerate(workers):
+            lo, hi = w.my_bounds(0)
+            w.load(a[lo:hi])
+        for w in workers:
+            w.fft_axes12(-1)
+        for w in workers:
+            w.scatter("t")
+        for w in workers:
+            w.assemble("t")
+        for w in workers:
+            w.fft_axis0(-1)
+        got = np.concatenate([w.slab() for w in workers], axis=1)
+        assert np.allclose(got, np.fft.fftn(a), atol=1e-8)
+
+    def test_scatter_back_restores_layout(self):
+        shape = (6, 6, 4)
+        a = data(shape, seed=2)
+        workers = self.make_group(2, shape)
+        for w in workers:
+            lo, hi = w.my_bounds(0)
+            w.load(a[lo:hi])
+        for w in workers:
+            w.fft_axes12(-1)
+        for w in workers:
+            w.scatter("f")
+        for w in workers:
+            w.assemble("f")
+        for w in workers:
+            w.fft_axis0(-1)
+        for w in workers:
+            w.scatter_back("b")
+        for w in workers:
+            w.assemble_back("b")
+        got = np.concatenate([w.slab() for w in workers], axis=0)
+        assert np.allclose(got, np.fft.fftn(a), atol=1e-8)
+
+    def test_assemble_with_missing_deposit_fails(self):
+        workers = self.make_group(2, (4, 4, 4))
+        workers[0].deposit("p", 0, np.zeros((2, 2, 4)))
+        with pytest.raises(OoppError, match="missing"):
+            workers[0].assemble("p")
+
+    def test_inbox_bookkeeping(self):
+        (w,) = self.make_group(1, (2, 2, 2))
+        w.deposit("x", 0, np.zeros((2, 2, 2)))
+        assert w.inbox_size() == 1
+
+
+class TestFacade:
+    @pytest.mark.parametrize("shape", [(8, 8, 8), (12, 10, 6), (7, 5, 9)])
+    def test_forward_matches_numpy(self, inline_cluster, shape):
+        a = data(shape, seed=3)
+        plan = DistributedFFT3D(inline_cluster, shape, n_workers=4)
+        assert np.allclose(plan.forward(a), np.fft.fftn(a), atol=1e-8)
+
+    def test_inverse_matches_numpy(self, inline_cluster):
+        a = data((8, 6, 4), seed=4)
+        plan = DistributedFFT3D(inline_cluster, (8, 6, 4), n_workers=3)
+        assert np.allclose(plan.inverse(a), np.fft.ifftn(a), atol=1e-8)
+
+    def test_round_trip(self, inline_cluster):
+        a = data((8, 8, 4), seed=5)
+        plan = DistributedFFT3D(inline_cluster, (8, 8, 4), n_workers=4)
+        assert np.allclose(plan.inverse(plan.forward(a)), a, atol=1e-8)
+
+    def test_repeated_transforms_same_plan(self, inline_cluster):
+        plan = DistributedFFT3D(inline_cluster, (6, 6, 6), n_workers=2)
+        for seed in range(3):
+            a = data((6, 6, 6), seed=seed)
+            assert np.allclose(plan.forward(a), np.fft.fftn(a), atol=1e-8)
+
+    def test_shape_mismatch_rejected(self, inline_cluster):
+        plan = DistributedFFT3D(inline_cluster, (6, 6, 6), n_workers=2)
+        with pytest.raises(FFTError):
+            plan.load(np.zeros((5, 6, 6)))
+
+    def test_too_many_workers_rejected(self, inline_cluster):
+        with pytest.raises(FFTError):
+            DistributedFFT3D(inline_cluster, (2, 2, 2), n_workers=4)
+
+    def test_destroy_releases_workers(self, inline_cluster):
+        import repro as oopp
+
+        plan = DistributedFFT3D(inline_cluster, (4, 4, 4), n_workers=2)
+        plan.destroy()
+        with pytest.raises(oopp.NoSuchObjectError):
+            plan.group[0].slab()
+
+
+class TestOutOfCore:
+    def test_forward_arrays(self, inline_cluster):
+        from repro.array.array3d import Array
+        from repro.array.ops import offset_map
+        from repro.storage.blockstore import create_block_storage
+        from repro.storage.pagemap import RoundRobinPageMap
+
+        shape, page, grid = (8, 8, 8), (4, 4, 4), (2, 2, 2)
+        base = RoundRobinPageMap(grid=grid, n_devices=4)
+        cap = base.pages_per_device
+        store = create_block_storage(inline_cluster, 4,
+                                     NumberOfPages=3 * cap + 1,
+                                     n1=4, n2=4, n3=4)
+
+        def arr(k):
+            return Array(*shape, *page, store,
+                         offset_map(grid=grid, n_devices=4, base=base,
+                                    offset=k * cap))
+
+        src, dst_re, dst_im = arr(0), arr(1), arr(2)
+        a = np.random.default_rng(6).random(shape)
+        src.write(a)
+        plan = DistributedFFT3D(inline_cluster, shape, n_workers=4)
+        plan.forward_arrays(src, None, dst_re, dst_im)
+        got = dst_re.read() + 1j * dst_im.read()
+        assert np.allclose(got, np.fft.fftn(a), atol=1e-8)
+        # and back again, in place on the destination arrays
+        plan.inverse_arrays(dst_re, dst_im)
+        assert np.allclose(dst_re.read() + 1j * dst_im.read(), a, atol=1e-8)

@@ -1,0 +1,118 @@
+"""Extended distributed-FFT coverage: layouts, reuse, charging, shapes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+from repro.fft.distributed import FFT, DistributedFFT3D
+
+
+def data(shape, seed=0):
+    g = np.random.default_rng(seed)
+    return g.random(shape) + 1j * g.random(shape)
+
+
+class TestShapeMatrix:
+    @pytest.mark.parametrize("shape,n_workers", [
+        ((4, 4, 4), 1),
+        ((4, 4, 4), 4),       # one plane per worker
+        ((5, 7, 3), 2),       # odd sizes, Bluestein path
+        ((9, 5, 6), 3),       # ragged slabs both axes
+        ((16, 2, 2), 2),      # thin
+        ((2, 16, 2), 2),      # thin the other way
+    ])
+    def test_forward_and_inverse(self, inline_cluster, shape, n_workers):
+        a = data(shape, seed=hash(shape) % 1000)
+        plan = DistributedFFT3D(inline_cluster, shape, n_workers=n_workers)
+        assert np.allclose(plan.forward(a), np.fft.fftn(a), atol=1e-8)
+        assert np.allclose(plan.inverse(a), np.fft.ifftn(a), atol=1e-8)
+
+
+class TestTransposedLayout:
+    def test_no_restore_leaves_axis1_distribution(self, inline_cluster):
+        """With restore_layout=False the result stays transposed —
+        callers doing convolution round trips can skip two all-to-alls."""
+        shape = (8, 6, 4)
+        a = data(shape, seed=9)
+        plan = DistributedFFT3D(inline_cluster, shape, n_workers=2)
+        plan.load(a)
+        plan.transform_loaded(-1, restore_layout=False)
+        slabs = plan.group.invoke("slab")
+        got = np.concatenate(slabs, axis=1)  # axis-1 distributed now
+        assert np.allclose(got, np.fft.fftn(a), atol=1e-8)
+
+    def test_convolution_without_intermediate_restore(self, inline_cluster):
+        """forward (no restore) → spectral multiply → inverse phases in
+        the transposed layout → restore once."""
+        shape = (8, 4, 4)
+        a = data(shape, seed=10)
+        plan = DistributedFFT3D(inline_cluster, shape, n_workers=2)
+        plan.load(a)
+        plan.transform_loaded(-1, restore_layout=False)
+        # spectral scaling at the workers (stand-in for a filter)
+        plan.group.invoke("normalize", 2.0)
+        # inverse on the transposed data: same pipeline, swapped roles.
+        # Inverse transform of the transposed layout needs the forward
+        # machinery run in reverse order; simplest correct route is to
+        # restore then run a full inverse:
+        gen = plan._generation
+        plan._generation += 1
+        plan.group.invoke("scatter_back", f"x{gen}")
+        plan.group.invoke("assemble_back", f"x{gen}")
+        plan.transform_loaded(+1)
+        n_total = shape[0] * shape[1] * shape[2]
+        plan.group.invoke("normalize", 1.0 / n_total)
+        got = plan.gather()
+        assert np.allclose(got, 2.0 * a, atol=1e-8)
+
+
+class TestPlanReuse:
+    def test_many_transforms_one_plan(self, inline_cluster):
+        plan = DistributedFFT3D(inline_cluster, (6, 6, 6), n_workers=3)
+        for seed in range(5):
+            a = data((6, 6, 6), seed=seed)
+            assert np.allclose(plan.forward(a), np.fft.fftn(a), atol=1e-8)
+        # worker inboxes fully drained after every generation
+        assert plan.group.invoke("inbox_size") == [0, 0, 0]
+
+
+class TestComputeCharging:
+    def test_flops_rate_changes_sim_time_not_results(self, tmp_path):
+        shape = (8, 8, 8)
+        a = data(shape, seed=11)
+        times = {}
+        results = {}
+        for rate in (None, 1e9):
+            with oopp.Cluster(n_machines=2, backend="sim",
+                              storage_root=str(tmp_path / str(rate))) as c:
+                eng = c.fabric.engine
+                plan = DistributedFFT3D(c, shape, n_workers=2,
+                                        flops_rate=rate)
+                t0 = eng.now
+                results[rate] = plan.forward(a)
+                times[rate] = eng.now - t0
+        assert np.allclose(results[None], results[1e9])
+        assert times[1e9] > times[None]  # compute was charged
+
+    def test_worker_charge_estimate_monotone_in_size(self):
+        w = FFT(0, flops_rate=1e9)
+        charged = []
+
+        class Hooks:
+            def __init__(self):
+                self.total = 0.0
+
+            def charge_compute(self, s):
+                self.total += s
+
+        from repro.runtime.context import RuntimeContext, context_scope
+
+        for n in (8, 16, 32):
+            hooks = Hooks()
+            ctx = RuntimeContext(fabric=None, machine_id=0, hooks=hooks)
+            with context_scope(ctx):
+                w._charge_fft_compute(n, n)
+            charged.append(hooks.total)
+        assert charged[0] < charged[1] < charged[2]

@@ -1,0 +1,127 @@
+"""From-scratch FFT kernels against the numpy oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fft.kernels import (
+    FFTError,
+    clear_plan_cache,
+    fft_kernel,
+    ifft_kernel,
+    plan_cache_sizes,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+class TestForward:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 16, 64, 256, 1024])
+    def test_power_of_two_matches_numpy(self, n):
+        x = rng(n).random(n) + 1j * rng(n + 1).random(n)
+        assert np.allclose(fft_kernel(x, -1), np.fft.fft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [3, 5, 6, 7, 9, 11, 12, 15, 17, 30, 97,
+                                   100, 255])
+    def test_arbitrary_length_bluestein(self, n):
+        x = rng(n).random(n) + 1j * rng(n + 1).random(n)
+        assert np.allclose(fft_kernel(x, -1), np.fft.fft(x), atol=1e-8)
+
+    def test_real_input_promoted(self):
+        x = rng(1).random(32)
+        assert np.allclose(fft_kernel(x, -1), np.fft.fft(x), atol=1e-9)
+        assert fft_kernel(x, -1).dtype == np.complex128
+
+    def test_batched_last_axis(self):
+        x = rng(2).random((5, 7, 16)) + 1j * rng(3).random((5, 7, 16))
+        assert np.allclose(fft_kernel(x, -1), np.fft.fft(x, axis=-1),
+                           atol=1e-9)
+
+    def test_known_impulse(self):
+        x = np.zeros(8, dtype=complex)
+        x[0] = 1.0
+        assert np.allclose(fft_kernel(x, -1), np.ones(8))
+
+    def test_known_constant(self):
+        x = np.ones(8, dtype=complex)
+        want = np.zeros(8, dtype=complex)
+        want[0] = 8.0
+        assert np.allclose(fft_kernel(x, -1), want, atol=1e-12)
+
+    def test_input_not_mutated(self):
+        x = rng(4).random(16) + 0j
+        keep = x.copy()
+        fft_kernel(x, -1)
+        assert np.array_equal(x, keep)
+
+
+class TestInverse:
+    @pytest.mark.parametrize("n", [2, 8, 12, 17, 64, 100])
+    def test_ifft_matches_numpy(self, n):
+        x = rng(n).random(n) + 1j * rng(n + 2).random(n)
+        assert np.allclose(ifft_kernel(x), np.fft.ifft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 8, 12, 17, 64, 100])
+    def test_round_trip_identity(self, n):
+        x = rng(n).random(n) + 1j * rng(n + 2).random(n)
+        assert np.allclose(ifft_kernel(fft_kernel(x, -1)), x, atol=1e-9)
+
+    def test_unnormalized_inverse_sign(self):
+        x = rng(7).random(16) + 0j
+        assert np.allclose(fft_kernel(x, +1) / 16, np.fft.ifft(x), atol=1e-9)
+
+
+class TestProperties:
+    @given(st.integers(1, 120), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_numpy_for_any_length(self, n, seed):
+        x = rng(seed).random(n) + 1j * rng(seed + 1).random(n)
+        assert np.allclose(fft_kernel(x, -1), np.fft.fft(x), atol=1e-7)
+
+    @given(st.integers(2, 64), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_linearity(self, n, seed):
+        g = rng(seed)
+        x, y = g.random(n) + 0j, g.random(n) + 0j
+        a, b = g.random(2)
+        lhs = fft_kernel(a * x + b * y, -1)
+        rhs = a * fft_kernel(x, -1) + b * fft_kernel(y, -1)
+        assert np.allclose(lhs, rhs, atol=1e-8)
+
+    @given(st.integers(2, 64), st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_parseval(self, n, seed):
+        x = rng(seed).random(n) + 1j * rng(seed + 5).random(n)
+        X = fft_kernel(x, -1)
+        assert np.sum(np.abs(x) ** 2) * n == pytest.approx(
+            np.sum(np.abs(X) ** 2), rel=1e-9)
+
+
+class TestValidation:
+    def test_bad_sign(self):
+        with pytest.raises(FFTError):
+            fft_kernel(np.ones(4), sign=2)
+
+    def test_scalar_rejected(self):
+        with pytest.raises(FFTError):
+            fft_kernel(np.float64(3.0))
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(FFTError):
+            fft_kernel(np.ones((3, 0)))
+
+
+class TestPlanCache:
+    def test_plans_are_cached_and_clearable(self):
+        clear_plan_cache()
+        fft_kernel(np.ones(16), -1)
+        fft_kernel(np.ones(12), -1)  # bluestein (needs pow2 plan too)
+        r, b = plan_cache_sizes()
+        assert r >= 2 and b == 1
+        clear_plan_cache()
+        assert plan_cache_sizes() == (0, 0)

@@ -1,0 +1,106 @@
+"""Serial multi-axis transforms."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.fft.serial import fft, fft2, fftn, ifft, ifft2, ifftn
+
+
+def data(shape, seed=0):
+    g = np.random.default_rng(seed)
+    return g.random(shape) + 1j * g.random(shape)
+
+
+class TestAxisTransforms:
+    @pytest.mark.parametrize("axis", [0, 1, 2, -1, -2])
+    def test_fft_along_any_axis(self, axis):
+        x = data((6, 10, 8))
+        assert np.allclose(fft(x, axis), np.fft.fft(x, axis=axis), atol=1e-8)
+
+    @pytest.mark.parametrize("axis", [0, 1, -1])
+    def test_ifft_along_any_axis(self, axis):
+        x = data((6, 10, 8), seed=1)
+        assert np.allclose(ifft(x, axis), np.fft.ifft(x, axis=axis),
+                           atol=1e-8)
+
+    def test_fft2(self):
+        x = data((4, 12, 8), seed=2)
+        assert np.allclose(fft2(x), np.fft.fft2(x), atol=1e-8)
+        assert np.allclose(fft2(x, axes=(0, 2)),
+                           np.fft.fft2(x, axes=(0, 2)), atol=1e-8)
+
+    def test_ifft2_round_trip(self):
+        x = data((4, 6, 8), seed=3)
+        assert np.allclose(ifft2(fft2(x)), x, atol=1e-8)
+
+
+class TestFullTransforms:
+    @pytest.mark.parametrize("shape", [(4, 4, 4), (8, 6, 10), (3, 5, 7),
+                                       (1, 1, 1), (2, 16, 3)])
+    def test_fftn_matches_numpy(self, shape):
+        x = data(shape, seed=4)
+        assert np.allclose(fftn(x), np.fft.fftn(x), atol=1e-7)
+
+    @pytest.mark.parametrize("shape", [(4, 4, 4), (3, 5, 7)])
+    def test_ifftn_matches_numpy(self, shape):
+        x = data(shape, seed=5)
+        assert np.allclose(ifftn(x), np.fft.ifftn(x), atol=1e-7)
+
+    def test_round_trip(self):
+        x = data((6, 5, 9), seed=6)
+        assert np.allclose(ifftn(fftn(x)), x, atol=1e-7)
+
+    def test_works_on_2d_and_1d(self):
+        x2 = data((8, 12), seed=7)
+        assert np.allclose(fftn(x2), np.fft.fftn(x2), atol=1e-8)
+        x1 = data(17, seed=8)
+        assert np.allclose(fftn(x1), np.fft.fft(x1), atol=1e-8)
+
+    def test_real_input(self):
+        x = np.random.default_rng(9).random((4, 4, 4))
+        assert np.allclose(fftn(x), np.fft.fftn(x), atol=1e-8)
+
+
+class TestRealTransforms:
+    @pytest.mark.parametrize("n", [2, 3, 8, 9, 16, 17, 30])
+    def test_rfft_matches_numpy(self, n):
+        from repro.fft.serial import rfft
+
+        x = np.random.default_rng(n).random(n)
+        assert np.allclose(rfft(x), np.fft.rfft(x), atol=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 9, 16, 17, 30])
+    def test_irfft_matches_numpy(self, n):
+        from repro.fft.serial import irfft
+
+        spec = np.fft.rfft(np.random.default_rng(n + 100).random(n))
+        assert np.allclose(irfft(spec, n=n), np.fft.irfft(spec, n=n),
+                           atol=1e-9)
+
+    @pytest.mark.parametrize("n", [4, 8, 10, 16])
+    def test_round_trip_even_lengths(self, n):
+        from repro.fft.serial import irfft, rfft
+
+        x = np.random.default_rng(n).random(n)
+        assert np.allclose(irfft(rfft(x)), x, atol=1e-9)
+
+    def test_batched_and_axis(self):
+        from repro.fft.serial import rfft
+
+        x = np.random.default_rng(5).random((3, 10, 4))
+        assert np.allclose(rfft(x, axis=1), np.fft.rfft(x, axis=1),
+                           atol=1e-9)
+
+    def test_complex_input_rejected(self):
+        from repro.fft.serial import rfft
+
+        with pytest.raises(ValueError, match="real input"):
+            rfft(np.ones(4, dtype=complex))
+
+    def test_irfft_bad_length(self):
+        from repro.fft.serial import irfft
+
+        with pytest.raises(ValueError):
+            irfft(np.ones(1, dtype=complex), n=0)

@@ -1,0 +1,96 @@
+"""Cross-backend integration scenarios."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+from repro.array.array3d import Array
+from repro.fft.distributed import DistributedFFT3D
+from repro.storage.blockstore import create_block_storage
+from repro.storage.pagemap import RoundRobinPageMap
+
+
+class TestSameAnswerEverywhere:
+    """One non-trivial workload, identical results on every backend."""
+
+    def run_workload(self, cluster) -> tuple[float, np.ndarray]:
+        storage = create_block_storage(cluster, 3, NumberOfPages=5,
+                                       n1=4, n2=4, n3=4,
+                                       filename_prefix="e2e")
+        pmap = RoundRobinPageMap(grid=(2, 2, 1), n_devices=3)
+        array = Array(8, 8, 4, 4, 4, 4, storage, pmap)
+        ref = np.random.default_rng(42).random((8, 8, 4))
+        array.write(ref)
+        total = array.sum()
+        plan = DistributedFFT3D(cluster, (8, 8, 4), n_workers=2)
+        spectrum = plan.forward(ref.astype(complex))
+        return total, spectrum
+
+    def test_consistent_across_backends(self, tmp_path):
+        results = {}
+        for backend in ("inline", "sim", "mp"):
+            kwargs = {"call_timeout_s": 60.0} if backend == "mp" else {}
+            with oopp.Cluster(n_machines=3, backend=backend,
+                              storage_root=str(tmp_path / backend),
+                              **kwargs) as cluster:
+                results[backend] = self.run_workload(cluster)
+        ref_total, ref_spec = results["inline"]
+        for backend, (total, spec) in results.items():
+            assert total == pytest.approx(ref_total), backend
+            assert np.allclose(spec, ref_spec, atol=1e-9), backend
+
+
+class TestMpPersistenceAcrossRestart:
+    def test_device_survives_cluster_restart(self, tmp_path):
+        """A persistent PageDevice written in one mp cluster session is
+        reactivated in a fresh session — with new OS processes — and
+        serves the same bytes."""
+        root = str(tmp_path / "root")
+        payload = bytes(range(64))
+        with oopp.Cluster(n_machines=2, backend="mp", call_timeout_s=60.0,
+                          storage_root=root) as c1:
+            dev = c1.new(oopp.PageDevice, str(tmp_path / "persist.dat"),
+                         4, 64, machine=1)
+            dev.write(oopp.Page(64, payload), 2)
+            addr = str(c1.persist(dev, "survivor"))
+        with oopp.Cluster(n_machines=2, backend="mp", call_timeout_s=60.0,
+                          storage_root=root) as c2:
+            revived = c2.lookup(addr, machine=0)
+            assert revived.read(2).to_bytes() == payload
+            # and it is writable again
+            revived.write(oopp.Page(64, bytes(64)), 2)
+            assert revived.read(2).to_bytes() == bytes(64)
+
+
+class TestManyObjectsStress:
+    def test_hundred_objects_across_machines(self, inline_cluster):
+        group = inline_cluster.new_group(oopp.Block, 100,
+                                         argfn=lambda i: (4, "float64", i))
+        sums = group.invoke("sum")
+        assert sums == [4.0 * i for i in range(100)]
+        group.destroy()
+        assert all(s["objects"] == 0 for s in inline_cluster.stats())
+
+    def test_deep_call_chain(self, inline_cluster):
+        # relay[0] -> relay[1] -> ... -> relay[4] -> block
+        blk = inline_cluster.new_block(4, machine=0, fill=5)
+        chain = blk
+        for i in range(5):
+            chain = inline_cluster.new(_Forwarder, chain,
+                                       machine=i % inline_cluster.n_machines)
+        assert chain.total() == 20.0
+
+
+class _Forwarder:
+    def __init__(self, target):
+        self.target = target
+
+    def total(self):
+        t = self.target
+        # target is either a Block (has sum) or another forwarder (total)
+        try:
+            return t.total()
+        except AttributeError:
+            return t.sum()

@@ -1,0 +1,110 @@
+"""Cluster facade: construction, topology, shutdown semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.errors import ConfigError, NoSuchMachineError
+from repro.runtime.cluster import current_cluster
+
+
+class Echo:
+    def hear(self, x):
+        return x
+
+
+class TestConstruction:
+    def test_defaults(self):
+        with oopp.Cluster() as cluster:
+            assert cluster.n_machines == 4
+            assert cluster.config.backend == "inline"
+
+    def test_overrides_win(self):
+        with oopp.Cluster(n_machines=2, backend="inline",
+                          pickle_protocol=4) as cluster:
+            assert cluster.config.pickle_protocol == 4
+            assert cluster.n_machines == 2
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ConfigError):
+            oopp.Cluster(backend="quantum")
+
+    def test_bad_machine_count_rejected(self):
+        with pytest.raises(ConfigError):
+            oopp.Cluster(n_machines=0)
+
+    def test_config_object_plus_overrides(self):
+        cfg = oopp.Config(backend="inline", n_machines=7)
+        with oopp.Cluster(config=cfg, n_machines=2) as cluster:
+            assert cluster.n_machines == 2
+
+
+class TestTopology:
+    def test_ping_all(self, inline_cluster):
+        assert inline_cluster.ping_all() == [0, 1, 2, 3]
+
+    def test_machine_handles(self, inline_cluster):
+        machines = inline_cluster.machines
+        assert [m.id for m in machines] == [0, 1, 2, 3]
+        assert machines[2].ping() == 2
+        assert machines[1].stats()["machine"] == 1
+
+    def test_new_on_invalid_machine_rejected(self, inline_cluster):
+        with pytest.raises(NoSuchMachineError):
+            inline_cluster.new(Echo, machine=17)
+        with pytest.raises(NoSuchMachineError):
+            inline_cluster.new(Echo, machine=-1)
+
+    def test_stats_counts_objects(self, inline_cluster):
+        inline_cluster.new(Echo, machine=1)
+        inline_cluster.new(Echo, machine=1)
+        stats = inline_cluster.stats()
+        assert stats[1]["objects"] == 2
+        assert stats[0]["objects"] == 0
+
+
+class TestCurrentCluster:
+    def test_nested_clusters_restore_previous(self, tmp_path):
+        with oopp.Cluster(n_machines=1, backend="inline") as outer:
+            assert current_cluster() is outer
+            with oopp.Cluster(n_machines=1, backend="inline") as inner:
+                assert current_cluster() is inner
+            assert current_cluster() is outer
+        assert current_cluster() is None
+
+
+class TestShutdown:
+    def test_operations_after_shutdown_rejected(self):
+        cluster = oopp.Cluster(n_machines=1, backend="inline")
+        cluster.shutdown()
+        with pytest.raises(ConfigError):
+            cluster.new(Echo)
+
+    def test_shutdown_idempotent(self):
+        cluster = oopp.Cluster(n_machines=1, backend="inline")
+        cluster.shutdown()
+        cluster.shutdown()
+
+    def test_destructors_run_at_shutdown(self):
+        ran = []
+
+        class Closing:
+            def oopp_destructor(self):
+                ran.append(True)
+
+        # class must be resolvable; register under module namespace
+        import sys
+
+        mod = sys.modules[__name__]
+        mod.Closing = Closing
+        Closing.__qualname__ = "Closing"
+        try:
+            with oopp.Cluster(n_machines=1, backend="inline") as cluster:
+                cluster.new(Closing, machine=0)
+            assert ran == [True]
+        finally:
+            del mod.Closing
+
+    def test_barrier_on_idle_cluster(self, inline_cluster):
+        inline_cluster.barrier()

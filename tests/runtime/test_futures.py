@@ -1,0 +1,93 @@
+"""RemoteFuture semantics and the receive-loop helpers."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import CallTimeoutError
+from repro.runtime.futures import (
+    RemoteFuture,
+    as_completed,
+    completed_future,
+    failed_future,
+    gather,
+    wait_all,
+)
+
+
+class TestRemoteFuture:
+    def test_result_after_set(self):
+        f = RemoteFuture()
+        f.set_result(42)
+        assert f.done() and f.result() == 42
+        assert f.exception() is None
+
+    def test_exception_after_set(self):
+        f = RemoteFuture()
+        f.set_exception(ValueError("x"))
+        assert isinstance(f.exception(), ValueError)
+        with pytest.raises(ValueError):
+            f.result()
+
+    def test_double_completion_rejected(self):
+        f = RemoteFuture()
+        f.set_result(1)
+        with pytest.raises(RuntimeError):
+            f.set_result(2)
+        with pytest.raises(RuntimeError):
+            f.set_exception(ValueError())
+
+    def test_result_blocks_until_completed_by_other_thread(self):
+        f = RemoteFuture()
+        threading.Timer(0.05, lambda: f.set_result("late")).start()
+        assert f.result(timeout=5) == "late"
+
+    def test_timeout_raises_call_timeout(self):
+        f = RemoteFuture(label="slow")
+        with pytest.raises(CallTimeoutError, match="slow"):
+            f.result(timeout=0.01)
+
+    def test_callbacks_run_on_completion(self):
+        f = RemoteFuture()
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(fut.result(0)))
+        f.set_result(7)
+        assert seen == [7]
+
+    def test_callback_on_already_done_future_runs_immediately(self):
+        f = completed_future(3)
+        seen = []
+        f.add_done_callback(lambda fut: seen.append(1))
+        assert seen == [1]
+
+
+class TestHelpers:
+    def test_gather_preserves_order(self):
+        futures = [completed_future(i) for i in range(5)]
+        assert gather(futures) == [0, 1, 2, 3, 4]
+
+    def test_wait_all_raises_first_error_after_waiting_all(self):
+        good = completed_future(1)
+        bad1 = failed_future(ValueError("first"))
+        bad2 = failed_future(KeyError("second"))
+        with pytest.raises(ValueError, match="first"):
+            wait_all([good, bad1, bad2])
+
+    def test_wait_all_empty_is_noop(self):
+        wait_all([])
+
+    def test_as_completed_yields_in_completion_order(self):
+        f1, f2 = RemoteFuture(), RemoteFuture()
+        f2.set_result("b")
+        gen = as_completed([f1, f2])
+        first = next(gen)
+        assert first is f2
+        f1.set_result("a")
+        assert next(gen) is f1
+
+    def test_as_completed_timeout(self):
+        f = RemoteFuture()
+        with pytest.raises(CallTimeoutError):
+            list(as_completed([f], timeout=0.01))

@@ -1,0 +1,111 @@
+"""Object groups: pipelined invoke, per-member args, barrier, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.errors import GroupError
+from repro.runtime.group import ObjectGroup
+
+
+class Worker:
+    def __init__(self, wid=0):
+        self.wid = wid
+        self.calls = 0
+
+    def whoami(self):
+        self.calls += 1
+        return self.wid
+
+    def add(self, a, b=0):
+        return self.wid + a + b
+
+    def fail_if_odd(self):
+        if self.wid % 2:
+            raise RuntimeError(f"worker {self.wid} is odd")
+        return self.wid
+
+
+class TestConstruction:
+    def test_empty_group_rejected(self):
+        with pytest.raises(GroupError):
+            ObjectGroup([])
+
+    def test_round_robin_placement(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, 8, argfn=lambda i: (i,))
+        machines = [oopp.ref_of(p).machine for p in g]
+        assert machines == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_explicit_machines(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, machines=[2, 2, 1])
+        assert [oopp.ref_of(p).machine for p in g] == [2, 2, 1]
+
+    def test_count_machines_mismatch_rejected(self, inline_cluster):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError):
+            inline_cluster.new_group(Worker, 5, machines=[0, 1])
+
+    def test_slicing_returns_group(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, 4, argfn=lambda i: (i,))
+        sub = g[1:3]
+        assert isinstance(sub, ObjectGroup) and len(sub) == 2
+        assert sub.invoke("whoami") == [1, 2]
+
+
+class TestInvocation:
+    def test_invoke_shared_args(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, 3, argfn=lambda i: (i,))
+        assert g.invoke("add", 10, b=100) == [110, 111, 112]
+
+    def test_invoke_each(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, 3, argfn=lambda i: (i,))
+        assert g.invoke_each("add", [(1,), (2,), (3,)]) == [1, 3, 5]
+
+    def test_invoke_each_length_mismatch(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, 3)
+        with pytest.raises(GroupError):
+            g.invoke_each("add", [(1,)])
+
+    def test_invoke_indexed(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, 3, argfn=lambda i: (i,))
+        assert g.invoke_indexed("add", lambda i: (i * 10,)) == [0, 11, 22]
+
+    def test_sequential_matches_pipelined(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, 4, argfn=lambda i: (i,))
+        assert g.invoke_sequential("whoami") == g.invoke("whoami")
+
+    def test_single_failure_propagates_original(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, machines=[0, 1],
+                                     argfn=lambda i: (2 * i,))
+        # only worker with wid 2 exists... make exactly one odd member
+        g2 = inline_cluster.new_group(Worker, machines=[0, 1],
+                                      argfn=lambda i: (i,))
+        with pytest.raises(RuntimeError, match="worker 1 is odd"):
+            g2.invoke("fail_if_odd")
+        assert g.invoke("fail_if_odd") == [0, 2]
+
+    def test_multiple_failures_aggregate(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, 4, argfn=lambda i: (i,))
+        with pytest.raises(GroupError) as exc_info:
+            g.invoke("fail_if_odd")
+        assert set(exc_info.value.failures) == {1, 3}
+
+
+class TestLifecycle:
+    def test_barrier_noop_on_idle_group(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, 4)
+        g.barrier()
+
+    def test_destroy_all_members(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, 4)
+        g.destroy()
+        with pytest.raises(oopp.NoSuchObjectError):
+            g[0].whoami()
+
+    def test_double_destroy_aggregates_errors(self, inline_cluster):
+        g = inline_cluster.new_group(Worker, 3)
+        g.destroy()
+        with pytest.raises(GroupError):
+            g.destroy()

@@ -1,0 +1,55 @@
+"""Symbolic object addresses (oop:// URLs)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AddressSyntaxError
+from repro.runtime.naming import (
+    ObjectAddress,
+    address_for,
+    format_address,
+    parse_address,
+)
+
+SEGMENT = st.from_regex(r"[A-Za-z0-9._-]{1,20}", fullmatch=True)
+
+
+class TestParse:
+    def test_paper_style_address(self):
+        addr = parse_address("oop://data-set/PageDevice/34")
+        assert addr == ObjectAddress("data-set", "PageDevice", "34")
+
+    def test_format_round_trip(self):
+        addr = ObjectAddress("s", "Cls", "name.1")
+        assert parse_address(format_address(addr)) == addr
+
+    @given(SEGMENT, SEGMENT, SEGMENT)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, store, cls, name):
+        addr = address_for(store, cls, name)
+        assert parse_address(str(addr)) == addr
+
+    @pytest.mark.parametrize("bad", [
+        "http://data/set/PageDevice/34",  # wrong scheme
+        "oop://only/two",
+        "oop://a/b/c/d",
+        "oop://",
+        "oop://a//c",
+        "oop://sp ace/B/c",
+        "oop://a/b/c!",
+        "",
+    ])
+    def test_bad_addresses_rejected(self, bad):
+        with pytest.raises(AddressSyntaxError):
+            parse_address(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(AddressSyntaxError):
+            parse_address(1234)  # type: ignore[arg-type]
+
+    def test_format_validates_segments(self):
+        with pytest.raises(AddressSyntaxError):
+            format_address(ObjectAddress("ok", "ok", "has/slash"))

@@ -1,0 +1,55 @@
+"""Object refs and class spec resolution."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import RuntimeLayerError
+from repro.runtime.oid import ObjectRef, class_spec, resolve_class
+
+
+class Sample:
+    class Nested:
+        pass
+
+
+class TestObjectRef:
+    def test_value_semantics(self):
+        a = ObjectRef(machine=1, oid=2, spec=("m", "C"))
+        b = ObjectRef(machine=1, oid=2, spec=("m", "C"))
+        assert a == b and hash(a) == hash(b)
+
+    def test_pickles(self):
+        ref = ObjectRef(machine=3, oid=9, spec=("mod", "Cls"))
+        assert pickle.loads(pickle.dumps(ref)) == ref
+
+    def test_frozen(self):
+        ref = ObjectRef(machine=0, oid=1)
+        with pytest.raises(AttributeError):
+            ref.machine = 5  # type: ignore[misc]
+
+
+class TestClassSpec:
+    def test_spec_round_trip(self):
+        assert resolve_class(class_spec(Sample)) is Sample
+
+    def test_nested_class_round_trip(self):
+        assert resolve_class(class_spec(Sample.Nested)) is Sample.Nested
+
+    def test_stdlib_class_by_import(self):
+        assert resolve_class(("collections", "OrderedDict")).__name__ == \
+            "OrderedDict"
+
+    def test_unknown_module_rejected(self):
+        with pytest.raises(RuntimeLayerError, match="cannot resolve"):
+            resolve_class(("no_such_module_xyz", "C"))
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(RuntimeLayerError, match="no attribute"):
+            resolve_class((__name__, "Missing"))
+
+    def test_non_class_rejected(self):
+        with pytest.raises(RuntimeLayerError, match="not a class"):
+            resolve_class(("math", "pi"))

@@ -1,0 +1,159 @@
+"""Persistent processes: the §5 lifecycle on every backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+from repro.errors import (
+    NotPersistentError,
+    PersistenceError,
+    UnknownAddressError,
+)
+
+
+class Journal:
+    """A tiny stateful object with pickle-friendly state."""
+
+    def __init__(self):
+        self.entries = []
+
+    def append(self, item):
+        self.entries.append(item)
+        return len(self.entries)
+
+    def all(self):
+        return list(self.entries)
+
+
+class TestLifecycle:
+    def test_persist_and_lookup_while_active(self, inline_cluster):
+        j = inline_cluster.new(Journal, machine=1)
+        j.append("a")
+        addr = inline_cluster.persist(j, "log1")
+        assert str(addr) == "oop://data/Journal/log1"
+        again = inline_cluster.lookup(addr)
+        assert again == j
+        assert again.all() == ["a"]
+
+    def test_deactivate_then_reactivate_preserves_state(self, inline_cluster):
+        j = inline_cluster.new(Journal, machine=1)
+        j.append("x")
+        j.append("y")
+        addr = inline_cluster.persist(j, "log2")
+        store = inline_cluster.store("data")
+        store.deactivate(addr)
+        # the old pointer dangles — the process was terminated
+        with pytest.raises(oopp.NoSuchObjectError):
+            j.all()
+        revived = inline_cluster.lookup(addr, machine=3)
+        assert revived.all() == ["x", "y"]
+        assert oopp.ref_of(revived).machine == 3
+
+    def test_reactivation_machine_conflict_rejected(self, inline_cluster):
+        j = inline_cluster.new(Journal, machine=1)
+        addr = inline_cluster.persist(j, "log3")
+        with pytest.raises(PersistenceError, match="active on machine 1"):
+            inline_cluster.lookup(addr, machine=2)
+
+    def test_checkpoint_refreshes_snapshot(self, inline_cluster):
+        j = inline_cluster.new(Journal, machine=0)
+        addr = inline_cluster.persist(j, "log4")
+        j.append("after-persist")
+        store = inline_cluster.store("data")
+        store.checkpoint(addr)
+        store.deactivate(addr)
+        assert inline_cluster.lookup(addr).all() == ["after-persist"]
+
+    def test_stale_snapshot_without_checkpoint(self, inline_cluster):
+        # Documents the checkpointing contract: state mutated after the
+        # last checkpoint is lost on deactivate-less crash recovery, but
+        # deactivate() itself always snapshots fresh state.
+        j = inline_cluster.new(Journal, machine=0)
+        addr = inline_cluster.persist(j, "log5")
+        j.append("later")
+        inline_cluster.store("data").deactivate(addr)
+        assert inline_cluster.lookup(addr).all() == ["later"]
+
+    def test_delete_destroys_process_and_snapshot(self, inline_cluster):
+        j = inline_cluster.new(Journal, machine=0)
+        addr = inline_cluster.persist(j, "log6")
+        store = inline_cluster.store("data")
+        store.delete(addr)
+        with pytest.raises(oopp.NoSuchObjectError):
+            j.all()
+        with pytest.raises(UnknownAddressError):
+            inline_cluster.lookup(addr)
+
+    def test_delete_unknown_address_rejected(self, inline_cluster):
+        store = inline_cluster.store("data")
+        with pytest.raises(UnknownAddressError):
+            store.delete("oop://data/Journal/never-existed")
+
+    def test_deactivate_requires_active(self, inline_cluster):
+        store = inline_cluster.store("data")
+        with pytest.raises(NotPersistentError):
+            store.deactivate("oop://data/Journal/ghost")
+
+    def test_lookup_unknown_address(self, inline_cluster):
+        with pytest.raises(UnknownAddressError):
+            inline_cluster.lookup("oop://data/Journal/nope")
+
+
+class TestStores:
+    def test_addresses_enumeration(self, inline_cluster):
+        store = inline_cluster.store("data")
+        j1 = inline_cluster.new(Journal, machine=0)
+        j2 = inline_cluster.new(Journal, machine=1)
+        a1 = store.persist(j1, "one")
+        a2 = store.persist(j2, "two")
+        assert set(store.addresses()) == {a1, a2}
+
+    def test_exists_and_is_active(self, inline_cluster):
+        store = inline_cluster.store("data")
+        j = inline_cluster.new(Journal, machine=0)
+        addr = store.persist(j, "here")
+        assert store.exists(addr) and store.is_active(addr)
+        store.deactivate(addr)
+        assert store.exists(addr) and not store.is_active(addr)
+        assert not store.exists("oop://data/Journal/elsewhere")
+
+    def test_store_name_mismatch_rejected(self, inline_cluster):
+        store = inline_cluster.store("data")
+        with pytest.raises(PersistenceError, match="belongs to store"):
+            store.activate("oop://otherstore/Journal/x")
+
+    def test_separate_stores_are_disjoint(self, inline_cluster):
+        j = inline_cluster.new(Journal, machine=0)
+        inline_cluster.persist(j, "n", store="alpha")
+        assert inline_cluster.store("alpha").addresses()
+        assert not inline_cluster.store("beta").addresses()
+
+
+class TestAcrossClusterRestart:
+    def test_snapshots_survive_cluster_shutdown(self, tmp_path):
+        root = str(tmp_path / "persistent-root")
+        with oopp.Cluster(n_machines=2, backend="inline",
+                          storage_root=root) as c1:
+            j = c1.new(Journal, machine=1)
+            j.append("durable")
+            addr = c1.persist(j, "restart-me")
+            text = str(addr)
+        # New cluster, same storage root: the address must resolve.
+        with oopp.Cluster(n_machines=2, backend="inline",
+                          storage_root=root) as c2:
+            revived = c2.lookup(text)
+            assert revived.all() == ["durable"]
+
+    def test_numpy_state_survives_restart(self, tmp_path):
+        root = str(tmp_path / "persistent-root")
+        with oopp.Cluster(n_machines=1, backend="inline",
+                          storage_root=root) as c1:
+            blk = c1.new_block(64, machine=0)
+            blk.write(0, np.arange(64.0))
+            addr = str(c1.persist(blk, "numbers"))
+        with oopp.Cluster(n_machines=1, backend="inline",
+                          storage_root=root) as c2:
+            blk2 = c2.lookup(addr)
+            assert np.allclose(blk2.read(), np.arange(64.0))

@@ -1,0 +1,61 @@
+"""Persistence lifecycle across all backends (core paths)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+
+
+class Notebook:
+    def __init__(self):
+        self.notes = {}
+
+    def jot(self, key, text):
+        self.notes[key] = text
+        return len(self.notes)
+
+    def recall(self, key):
+        return self.notes.get(key)
+
+
+class TestLifecycleEverywhere:
+    def test_full_cycle(self, any_cluster):
+        nb = any_cluster.new(Notebook, machine=1)
+        nb.jot("a", "alpha")
+        addr = any_cluster.persist(nb, "nb1")
+        store = any_cluster.store("data")
+
+        # active lookup
+        assert any_cluster.lookup(addr).recall("a") == "alpha"
+
+        # deactivate → old pointer dangles, address survives
+        store.deactivate(addr)
+        with pytest.raises(oopp.NoSuchObjectError):
+            nb.recall("a")
+        revived = any_cluster.lookup(addr, machine=2)
+        assert revived.recall("a") == "alpha"
+        assert oopp.ref_of(revived).machine == 2
+
+        # delete → gone everywhere
+        store.delete(addr)
+        with pytest.raises(oopp.errors.UnknownAddressError):
+            any_cluster.lookup(addr)
+
+    def test_numpy_state(self, any_cluster):
+        blk = any_cluster.new_block(128, machine=0)
+        blk.write(0, np.arange(128.0))
+        addr = any_cluster.persist(blk, "numbers")
+        any_cluster.store("data").deactivate(addr)
+        revived = any_cluster.lookup(addr, machine=1)
+        assert np.allclose(revived.read(), np.arange(128.0))
+
+    def test_page_device_reopens_file(self, any_cluster, tmp_path):
+        dev = any_cluster.new(oopp.PageDevice,
+                              str(tmp_path / "per.dat"), 4, 32, machine=0)
+        dev.write(oopp.Page(32, b"x" * 32), 1)
+        addr = any_cluster.persist(dev, "dev1")
+        any_cluster.store("data").deactivate(addr)
+        revived = any_cluster.lookup(addr, machine=0)
+        assert revived.read(1).to_bytes() == b"x" * 32

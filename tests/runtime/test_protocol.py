@@ -1,0 +1,125 @@
+"""Protocol introspection (the compiler-generated protocol made visible)."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.errors import RuntimeLayerError
+from repro.runtime.protocol import (
+    describe_protocol,
+    protocol_of,
+    validate_remote_class,
+)
+
+
+class Gadget:
+    """A sample remote class."""
+
+    def __init__(self, size: int, label: str = "g"):
+        self.size = size
+        self.label = label
+
+    def poke(self, times: int = 1) -> int:
+        """Poke the gadget."""
+        return times
+
+    def _internal(self):
+        return None
+
+    def __getitem__(self, k):
+        return k
+
+    def __len__(self):
+        return self.size
+
+
+class TestDescribe:
+    def test_public_methods_listed(self):
+        proto = describe_protocol(Gadget)
+        assert "poke" in proto.names()
+        assert "_internal" not in proto.names()
+
+    def test_constructor_signature(self):
+        proto = describe_protocol(Gadget)
+        assert "size" in proto.constructor and "label" in proto.constructor
+
+    def test_docs_and_signatures_captured(self):
+        proto = describe_protocol(Gadget)
+        poke = next(m for m in proto.methods if m.name == "poke")
+        assert poke.doc == "Poke the gadget."
+        assert "times" in poke.signature
+
+    def test_forwarded_dunders_listed(self):
+        proto = describe_protocol(Gadget)
+        dunders = [m.name for m in proto.methods if m.kind == "dunder"]
+        assert "__getitem__" in dunders and "__len__" in dunders
+        assert "__setitem__" not in dunders  # Gadget doesn't define it
+
+    def test_implicit_operations_always_present(self):
+        proto = describe_protocol(Gadget)
+        implicit = [m.name for m in proto.methods if m.kind == "implicit"]
+        assert "__oopp_getattr__" in implicit
+        assert "<kernel>.destroy" in implicit
+
+    def test_render_is_readable(self):
+        text = describe_protocol(Gadget).render()
+        assert "new(machine k) Gadget" in text
+        assert "poke" in text and "operators" in text
+
+    def test_non_class_rejected(self):
+        with pytest.raises(RuntimeLayerError):
+            describe_protocol("not a class")  # type: ignore[arg-type]
+
+
+class TestProtocolOf:
+    def test_from_instance(self):
+        assert "poke" in protocol_of(Gadget(1)).names()
+
+    def test_from_proxy_without_network(self, inline_cluster):
+        g = inline_cluster.new(oopp.Block, 4, machine=1)
+        before = inline_cluster.stats()[1]["calls_served"]
+        proto = protocol_of(g)
+        after = inline_cluster.stats()[1]["calls_served"]
+        assert "sum" in proto.names()
+        assert after == before + 1  # only the second stats() call itself
+
+    def test_kernel_pointer_rejected(self, inline_cluster):
+        from repro.runtime.proxy import Proxy
+
+        kernel = Proxy(inline_cluster.fabric.kernel_ref(0),
+                       inline_cluster.fabric)
+        with pytest.raises(RuntimeLayerError, match="class spec"):
+            protocol_of(kernel)
+
+
+class TestValidate:
+    def test_clean_class(self):
+        assert validate_remote_class(Gadget) == []
+        assert validate_remote_class(oopp.PageDevice) == []
+        assert validate_remote_class(oopp.Block) == []
+
+    def test_reserved_namespace_collision(self):
+        class Bad:
+            def __oopp_getattr__(self):
+                return None
+
+        warnings = validate_remote_class(Bad)
+        assert any("reserved" in w for w in warnings)
+
+    def test_local_class_warns(self):
+        class Local:
+            pass
+
+        warnings = validate_remote_class(Local)
+        assert any("local class" in w for w in warnings)
+
+    def test_attribute_method_shadowing(self):
+        class Shadow:
+            value: int = 0
+
+            def value(self):  # type: ignore[no-redef] # noqa: F811
+                return 1
+
+        warnings = validate_remote_class(Shadow)
+        assert any("method stub" in w for w in warnings)

@@ -1,0 +1,142 @@
+"""Proxies: stub synthesis, pointer semantics, pickling."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro as oopp
+from repro.errors import RuntimeLayerError
+from repro.runtime.context import fabric_scope
+from repro.runtime.proxy import Proxy, RemoteMethod, ping, ref_of
+
+
+class Counter:
+    def __init__(self, start=0):
+        self.value = start
+
+    def incr(self, by=1):
+        self.value += by
+        return self.value
+
+    def get(self):
+        return self.value
+
+    def __getitem__(self, k):
+        return ("item", k)
+
+    def __len__(self):
+        return 5
+
+    def __contains__(self, x):
+        return x == "yes"
+
+    def __call__(self, x):
+        return x * 2
+
+
+class TestStubSynthesis:
+    def test_attribute_becomes_remote_method(self, inline_cluster):
+        c = inline_cluster.new(Counter, machine=1)
+        assert isinstance(c.incr, RemoteMethod)
+        assert c.incr() == 1
+        assert c.incr(by=10) == 11
+        assert c.get() == 11
+
+    def test_private_names_raise_attribute_error(self, inline_cluster):
+        # Underscore names never become remote stubs: pickle/copy/inspect
+        # probing must see honest AttributeErrors.  (True dunders like
+        # __getstate__ resolve on `object` itself in 3.11+, so they never
+        # reach __getattr__ in the first place.)
+        c = inline_cluster.new(Counter, machine=1)
+        with pytest.raises(AttributeError):
+            _ = c._secret
+        with pytest.raises(AttributeError):
+            _ = c.__custom_probe__
+
+    def test_local_attribute_assignment_forbidden(self, inline_cluster):
+        c = inline_cluster.new(Counter, machine=1)
+        with pytest.raises(AttributeError, match="remote_setattr"):
+            c.value = 9
+
+    def test_dunder_forwarding(self, inline_cluster):
+        c = inline_cluster.new(Counter, machine=2)
+        assert c[3] == ("item", 3)
+        assert len(c) == 5
+        assert "yes" in c and "no" not in c
+        assert c(21) == 42
+
+    def test_unknown_method_raises_remotely(self, inline_cluster):
+        c = inline_cluster.new(Counter, machine=0)
+        with pytest.raises(AttributeError, match="no\\b.*method"):
+            c.nonexistent()
+
+
+class TestPointerSemantics:
+    def test_equality_and_hash_by_ref(self, inline_cluster):
+        a = inline_cluster.new(Counter, machine=1)
+        b = Proxy(ref_of(a), None)
+        c = inline_cluster.new(Counter, machine=1)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+        assert len({a, b, c}) == 2
+
+    def test_remote_get_set_attr(self, inline_cluster):
+        c = inline_cluster.new(Counter, 5, machine=1)
+        assert oopp.remote_getattr(c, "value") == 5
+        oopp.remote_setattr(c, "value", 50)
+        assert c.get() == 50
+
+    def test_ping_returns_machine_id(self, inline_cluster):
+        c = inline_cluster.new(Counter, machine=2)
+        assert ping(c) == 2
+
+    def test_ref_of_rejects_non_proxy(self):
+        with pytest.raises(TypeError):
+            ref_of("not a proxy")  # type: ignore[arg-type]
+
+    def test_destroy_rejects_non_proxy(self):
+        with pytest.raises(TypeError):
+            oopp.destroy(42)  # type: ignore[arg-type]
+
+
+class TestPickling:
+    def test_pickles_to_ref_and_rebinds_via_context(self, inline_cluster):
+        c = inline_cluster.new(Counter, 7, machine=1)
+        data = pickle.dumps(c)
+        with fabric_scope(inline_cluster.fabric):
+            c2 = pickle.loads(data)
+        assert c2 == c
+        assert c2.get() == 7
+
+    def test_unpickled_without_context_binds_lazily(self, inline_cluster):
+        # The cluster's default context is installed process-wide, so a
+        # bare unpickle succeeds and calls work.
+        c = inline_cluster.new(Counter, 3, machine=0)
+        c2 = pickle.loads(pickle.dumps(c))
+        assert c2.get() == 3
+
+    def test_detached_proxy_fails_loudly(self):
+        from repro.runtime.oid import ObjectRef
+
+        orphan = Proxy(ObjectRef(machine=0, oid=99), None)
+        with pytest.raises(RuntimeLayerError, match="not attached"):
+            orphan.anything()
+
+
+class TestFutureAndOneway:
+    def test_future_variant(self, inline_cluster):
+        c = inline_cluster.new(Counter, machine=1)
+        f = c.incr.future(5)
+        assert f.result(5) == 5
+
+    def test_oneway_variant(self, inline_cluster):
+        c = inline_cluster.new(Counter, machine=1)
+        c.incr.oneway(5)
+        assert c.get() == 5
+
+    def test_oneway_swallows_remote_errors(self, inline_cluster):
+        c = inline_cluster.new(Counter, machine=1)
+        c.nonexistent.oneway()  # must not raise locally
+        assert c.get() == 0

@@ -1,0 +1,108 @@
+"""Remote primitive data: the Block class and new_block."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+from repro.runtime.remotedata import Block
+
+
+class TestBlockLocal:
+    def test_construction_fill(self):
+        b = Block(5, "int64", fill=7)
+        assert b[0] == 7 and len(b) == 5
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Block(-1)
+
+    def test_scalar_get_set(self):
+        b = Block(10)
+        b[3] = 2.5
+        assert b[3] == 2.5
+        assert isinstance(b[3], float)
+
+    def test_slice_get_returns_copy(self):
+        b = Block(10)
+        s = b[2:5]
+        s[:] = 99
+        assert b[2] == 0.0
+
+    def test_read_write_bulk(self):
+        b = Block(10)
+        assert b.write(2, np.arange(3.0)) == 3
+        assert np.allclose(b.read(2, 5), [0, 1, 2])
+        assert np.allclose(b.read(), [0, 0, 0, 1, 2, 0, 0, 0, 0, 0])
+
+    def test_reductions(self):
+        b = Block(4)
+        b.write(0, np.array([1.0, -2.0, 3.0, 0.5]))
+        assert b.sum() == 2.5
+        assert b.min() == -2.0
+        assert b.max() == 3.0
+
+    def test_linear_algebra(self):
+        b = Block(3, fill=1)
+        b.scale(2.0)
+        b.axpy(3.0, np.array([1.0, 0.0, 1.0]))
+        assert np.allclose(b.read(), [5, 2, 5])
+        assert b.dot(np.ones(3)) == 12.0
+
+    def test_contains(self):
+        b = Block(3)
+        b[1] = 4.0
+        assert 4.0 in b
+        assert 9.0 not in b
+
+    def test_dtype_and_nbytes(self):
+        b = Block(4, "float32")
+        assert b.dtype_name() == "float32"
+        assert b.nbytes() == 16
+
+    def test_persistence_state(self):
+        b = Block(4, fill=3)
+        b2 = Block.__new__(Block)
+        b2.__setstate__(b.__getstate__())
+        assert np.allclose(b2.read(), 3.0)
+
+
+class TestBlockRemote:
+    def test_paper_listing_semantics(self, any_cluster):
+        # double * data = new(machine 2) double[1024];
+        data = any_cluster.new_block(1024, machine=2)
+        # data[7] = 3.1415;
+        data[7] = 3.1415
+        # double x = data[2];
+        x = data[2]
+        assert x == 0.0
+        assert data[7] == 3.1415
+
+    def test_bulk_round_trip(self, any_cluster):
+        data = any_cluster.new_block(256, machine=1)
+        payload = np.linspace(0, 1, 100)
+        data.write(50, payload)
+        assert np.allclose(data.read(50, 150), payload)
+
+    def test_remote_reduction(self, any_cluster):
+        data = any_cluster.new_block(100, machine=2, fill=2)
+        assert data.sum() == 200.0
+
+    def test_shared_access_from_multiple_clients(self, inline_cluster):
+        # §2's shared-memory sketch: N computing processes given the
+        # same data pointer.
+        data = inline_cluster.new_block(8, machine=3)
+        group = inline_cluster.new_group(_SharedWriter, 3,
+                                         argfn=lambda i: (i,))
+        group.invoke("write_slot", data)
+        assert np.allclose(data.read(0, 3), [0, 1, 2])
+
+
+class _SharedWriter:
+    def __init__(self, wid):
+        self.wid = wid
+
+    def write_slot(self, data):
+        data[self.wid] = float(self.wid)
+        return True

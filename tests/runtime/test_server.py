@@ -1,0 +1,229 @@
+"""Object table, kernel and dispatcher unit tests."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.backends.inline import InlineFabric
+from repro.config import Config
+from repro.errors import (
+    NoSuchObjectError,
+    ObjectDestroyedError,
+    RuntimeLayerError,
+)
+from repro.runtime.oid import class_spec
+from repro.runtime.server import Dispatcher, Kernel, ObjectTable
+from repro.transport.message import ErrorResponse, Request, Response
+
+
+class Thing:
+    destructor_ran = 0
+
+    def __init__(self, tag="t"):
+        self.tag = tag
+
+    def hello(self):
+        return f"hi-{self.tag}"
+
+    def boom(self):
+        raise ValueError("kaboom")
+
+    def oopp_destructor(self):
+        type(self).destructor_ran += 1
+
+
+@pytest.fixture
+def machine():
+    table = ObjectTable()
+    kernel = Kernel(0, table)
+    fabric = InlineFabric(Config(backend="inline", n_machines=1))
+    dispatcher = Dispatcher(0, table, kernel, fabric)
+    return table, kernel, dispatcher
+
+
+class TestObjectTable:
+    def test_add_get_remove(self):
+        table = ObjectTable()
+        oid = table.add("obj")
+        assert table.get(oid) == "obj"
+        assert table.remove(oid) == "obj"
+
+    def test_ids_are_dense_and_skip_kernel(self):
+        table = ObjectTable()
+        ids = [table.add(i) for i in range(5)]
+        assert ids == [1, 2, 3, 4, 5]
+
+    def test_unknown_oid(self):
+        table = ObjectTable()
+        with pytest.raises(NoSuchObjectError):
+            table.get(42)
+
+    def test_destroyed_oid_distinguishable_from_garbage(self):
+        table = ObjectTable()
+        oid = table.add("x")
+        table.remove(oid)
+        with pytest.raises(ObjectDestroyedError):
+            table.get(oid)
+        with pytest.raises(ObjectDestroyedError):
+            table.remove(oid)
+
+    def test_explicit_oid_conflict_rejected(self):
+        table = ObjectTable()
+        table.add("a", oid=7)
+        with pytest.raises(RuntimeLayerError):
+            table.add("b", oid=7)
+
+    def test_pending_counts_and_quiesce(self):
+        table = ObjectTable()
+        oid = table.add("x")
+        table.enter_call(oid)
+        assert not table.quiesce(timeout=0.01)
+        table.exit_call(oid)
+        assert table.quiesce(timeout=0.01)
+
+    def test_quiesce_scoped_to_oids(self):
+        table = ObjectTable()
+        a, b = table.add("a"), table.add("b")
+        table.enter_call(a)
+        assert table.quiesce([b], timeout=0.01)
+        assert not table.quiesce([a], timeout=0.01)
+        table.exit_call(a)
+
+    def test_remove_waits_for_inflight_calls(self):
+        table = ObjectTable()
+        oid = table.add("x")
+        table.enter_call(oid)
+        done = []
+
+        def remover():
+            table.remove(oid)
+            done.append(True)
+
+        t = threading.Thread(target=remover, daemon=True)
+        t.start()
+        t.join(timeout=0.05)
+        assert not done  # still blocked on the in-flight call
+        table.exit_call(oid)
+        t.join(timeout=5)
+        assert done
+
+
+class TestKernel:
+    def test_create_and_destroy(self, machine):
+        table, kernel, _ = machine
+        ref = kernel.create(class_spec(Thing), ("a",), {})
+        assert table.get(ref.oid).tag == "a"
+        before = Thing.destructor_ran
+        assert kernel.destroy(ref.oid)
+        assert Thing.destructor_ran == before + 1
+        with pytest.raises(ObjectDestroyedError):
+            table.get(ref.oid)
+
+    def test_kernel_cannot_destroy_itself(self, machine):
+        _, kernel, _ = machine
+        with pytest.raises(RuntimeLayerError):
+            kernel.destroy(0)
+
+    def test_destroy_all(self, machine):
+        table, kernel, _ = machine
+        for i in range(3):
+            kernel.create(class_spec(Thing), (str(i),), {})
+        assert kernel.destroy_all() == 3
+        assert len(table) == 0
+
+    def test_snapshot_restore_round_trip(self, machine):
+        table, kernel, _ = machine
+        ref = kernel.create(class_spec(Thing), ("snap",), {})
+        spec, state = kernel.snapshot(ref.oid)
+        ref2 = kernel.restore(spec, state)
+        assert table.get(ref2.oid).tag == "snap"
+        assert ref2.oid != ref.oid
+
+    def test_evict_removes_after_snapshot(self, machine):
+        table, kernel, _ = machine
+        ref = kernel.create(class_spec(Thing), (), {})
+        spec, state = kernel.evict(ref.oid)
+        assert spec == class_spec(Thing)
+        with pytest.raises(ObjectDestroyedError):
+            table.get(ref.oid)
+
+    def test_stats(self, machine):
+        _, kernel, dispatcher = machine
+        dispatcher.execute(Request(request_id=1, object_id=0, method="ping"))
+        stats = kernel.stats()
+        assert stats["machine"] == 0
+        assert stats["calls_served"] == 1
+
+    def test_shutdown_sets_stop_event(self, machine):
+        _, kernel, _ = machine
+        assert not kernel.stop_event.is_set()
+        kernel.shutdown()
+        assert kernel.stop_event.is_set()
+
+
+class TestDispatcher:
+    def test_dispatch_success(self, machine):
+        table, kernel, dispatcher = machine
+        ref = kernel.create(class_spec(Thing), (), {})
+        reply = dispatcher.execute(Request(request_id=9, object_id=ref.oid,
+                                           method="hello"))
+        assert isinstance(reply, Response)
+        assert reply.request_id == 9 and reply.value == "hi-t"
+
+    def test_dispatch_exception_captured(self, machine):
+        _, kernel, dispatcher = machine
+        ref = kernel.create(class_spec(Thing), (), {})
+        reply = dispatcher.execute(Request(request_id=1, object_id=ref.oid,
+                                           method="boom"))
+        assert isinstance(reply, ErrorResponse)
+        assert "kaboom" in reply.message
+        assert "ValueError" in reply.type_name
+        assert "boom" in reply.remote_traceback
+        assert isinstance(reply.exception, ValueError)
+
+    def test_oneway_returns_none_even_on_error(self, machine):
+        _, kernel, dispatcher = machine
+        ref = kernel.create(class_spec(Thing), (), {})
+        assert dispatcher.execute(Request(request_id=1, object_id=ref.oid,
+                                          method="boom", oneway=True)) is None
+
+    def test_unknown_object_is_error_response(self, machine):
+        _, _, dispatcher = machine
+        reply = dispatcher.execute(Request(request_id=1, object_id=404,
+                                           method="hello"))
+        assert isinstance(reply, ErrorResponse)
+        assert "NoSuchObjectError" in reply.type_name
+
+    def test_special_getattr_setattr(self, machine):
+        _, kernel, dispatcher = machine
+        ref = kernel.create(class_spec(Thing), ("x",), {})
+        reply = dispatcher.execute(Request(
+            request_id=1, object_id=ref.oid, method="__oopp_getattr__",
+            args=("tag",)))
+        assert reply.value == "x"
+        dispatcher.execute(Request(
+            request_id=2, object_id=ref.oid, method="__oopp_setattr__",
+            args=("tag", "y")))
+        reply = dispatcher.execute(Request(
+            request_id=3, object_id=ref.oid, method="hello"))
+        assert reply.value == "hi-y"
+
+    def test_unpicklable_exception_still_reported(self, machine):
+        class Unpicklable(Exception):
+            def __init__(self):
+                super().__init__("nope")
+                self.fh = open(__file__)  # not picklable
+
+        class Bad:
+            def fail(self):
+                raise Unpicklable()
+
+        table, kernel, dispatcher = machine
+        oid = table.add(Bad())
+        reply = dispatcher.execute(Request(request_id=1, object_id=oid,
+                                           method="fail"))
+        assert isinstance(reply, ErrorResponse)
+        assert reply.exception is None  # fell back to metadata-only
+        assert "Unpicklable" in reply.type_name

@@ -1,0 +1,93 @@
+"""Remote function execution: cluster.submit and map_on_machines."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro as oopp
+from repro.errors import RuntimeLayerError
+from repro.runtime.context import current_machine_id
+
+
+# --- module-level functions shipped to machines ---------------------------
+
+def where_am_i():
+    return (os.getpid(), current_machine_id())
+
+
+def add(a, b=0):
+    return a + b
+
+
+def boom():
+    raise RuntimeError("remote function failed")
+
+
+def make_block_there(n):
+    """Functions run with the machine context: they can create objects."""
+    cluster = None  # no cluster object on machines; use the fabric directly
+    from repro.runtime.context import current_fabric
+    from repro.runtime.remotedata import Block
+
+    fabric = current_fabric()
+    me = current_machine_id()
+    return fabric.create(Block, (n, "float64", 1.0), machine=me)
+
+
+def square(x):
+    return x * x
+
+
+class TestSubmit:
+    def test_runs_with_machine_context(self, inline_cluster):
+        _, machine = inline_cluster.submit(where_am_i, machine=2)
+        assert machine == 2
+
+    def test_args_and_kwargs(self, inline_cluster):
+        assert inline_cluster.submit(add, 40, b=2, machine=1) == 42
+
+    def test_errors_propagate(self, inline_cluster):
+        with pytest.raises(RuntimeError, match="remote function failed"):
+            inline_cluster.submit(boom, machine=0)
+
+    def test_lambda_rejected(self, inline_cluster):
+        with pytest.raises(RuntimeLayerError, match="module-level"):
+            inline_cluster.submit(lambda: 1, machine=0)
+
+    def test_function_may_create_objects(self, inline_cluster):
+        blk = inline_cluster.submit(make_block_there, 8, machine=3)
+        assert oopp.is_proxy(blk)
+        assert oopp.ref_of(blk).machine == 3
+        assert blk.sum() == 8.0
+
+    def test_on_real_processes(self, mp_cluster):
+        pids_machines = [mp_cluster.submit(where_am_i, machine=m)
+                         for m in range(3)]
+        pids = {p for p, _ in pids_machines}
+        assert len(pids) == 3 and os.getpid() not in pids
+        assert [m for _, m in pids_machines] == [0, 1, 2]
+
+    def test_async_variant(self, inline_cluster):
+        f = inline_cluster.submit_async(add, 1, b=2, machine=1)
+        assert f.result(10) == 3
+
+
+class TestMapOnMachines:
+    def test_round_robin_fanout(self, inline_cluster):
+        results = inline_cluster.map_on_machines(square, list(range(10)))
+        assert results == [x * x for x in range(10)]
+
+    def test_parallel_in_sim_time(self, sim_cluster):
+        eng = sim_cluster.fabric.engine
+
+        t0 = eng.now
+        sim_cluster.map_on_machines(square, list(range(8)))
+        t_map = eng.now - t0
+
+        t0 = eng.now
+        for m, x in zip([i % 4 for i in range(8)], range(8)):
+            sim_cluster.submit(square, x, machine=m)
+        t_seq = eng.now - t0
+        assert t_map < t_seq

@@ -1,0 +1,110 @@
+"""Synchronization objects: Rendezvous, Latch, Mailbox."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.runtime.sync import Latch, Mailbox, Rendezvous
+
+
+class TestRendezvous:
+    def test_single_party_never_blocks(self):
+        r = Rendezvous(1)
+        assert r.arrive() == 0
+        assert r.arrive() == 1  # generations advance
+
+    def test_n_parties_meet(self):
+        r = Rendezvous(3)
+        results = []
+
+        def party():
+            results.append(r.arrive(timeout=5))
+
+        threads = [threading.Thread(target=party) for _ in range(2)]
+        for t in threads:
+            t.start()
+        assert r.waiting() <= 2
+        results.append(r.arrive(timeout=5))
+        for t in threads:
+            t.join(timeout=5)
+        assert results == [0, 0, 0]
+
+    def test_reusable_generations(self):
+        r = Rendezvous(2)
+        gens = []
+
+        def party():
+            gens.append(r.arrive(timeout=5))
+            gens.append(r.arrive(timeout=5))
+
+        t = threading.Thread(target=party)
+        t.start()
+        r.arrive(timeout=5)
+        r.arrive(timeout=5)
+        t.join(timeout=5)
+        assert sorted(gens) == [0, 1]
+
+    def test_timeout(self):
+        r = Rendezvous(2)
+        with pytest.raises(TimeoutError):
+            r.arrive(timeout=0.02)
+
+    def test_bad_party_count(self):
+        with pytest.raises(ValueError):
+            Rendezvous(0)
+
+
+class TestLatch:
+    def test_count_down_to_zero_releases(self):
+        latch = Latch(2)
+        assert not latch.wait(timeout=0.01)
+        latch.count_down()
+        assert latch.remaining() == 1
+        latch.count_down()
+        assert latch.wait(timeout=1)
+
+    def test_zero_latch_open_immediately(self):
+        assert Latch(0).wait(timeout=0.01)
+
+    def test_count_never_goes_negative(self):
+        latch = Latch(1)
+        latch.count_down(5)
+        assert latch.remaining() == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            Latch(-1)
+
+
+class TestMailbox:
+    def test_put_take(self):
+        mb = Mailbox()
+        mb.put("k", 1)
+        assert mb.take("k") == 1
+        assert len(mb) == 0
+
+    def test_take_blocks_until_put(self):
+        mb = Mailbox()
+        threading.Timer(0.05, lambda: mb.put("x", "late")).start()
+        assert mb.take("x", timeout=5) == "late"
+
+    def test_fifo_per_key(self):
+        mb = Mailbox()
+        mb.put("k", 1)
+        mb.put("k", 2)
+        assert mb.take("k") == 1
+        assert mb.take("k") == 2
+
+    def test_keys_independent(self):
+        mb = Mailbox()
+        mb.put(("a", 1), "x")
+        mb.put(("b", 2), "y")
+        assert mb.take(("b", 2)) == "y"
+        assert mb.peek_keys() == [("a", 1)]
+
+    def test_take_timeout(self):
+        mb = Mailbox()
+        with pytest.raises(TimeoutError):
+            mb.take("never", timeout=0.02)

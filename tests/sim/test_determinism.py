@@ -1,0 +1,90 @@
+"""Property: simulations are bit-deterministic regardless of thread timing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine, Trigger
+
+workload = st.lists(
+    st.tuples(
+        st.integers(0, 4),                       # which child acts
+        st.floats(0.001, 1.0, allow_nan=False),  # how long it sleeps
+    ),
+    min_size=1, max_size=25,
+)
+
+
+def run_workload(ops) -> tuple[float, list]:
+    """Spawn 5 children executing their assigned sleeps; log completions."""
+    eng = Engine()
+    eng.adopt_current_thread()
+    log: list[tuple[int, float]] = []
+    per_child: dict[int, list[float]] = {i: [] for i in range(5)}
+    for child, dt in ops:
+        per_child[child].append(dt)
+
+    def child_body(cid: int):
+        for dt in per_child[cid]:
+            eng.sleep(dt)
+            log.append((cid, eng.now))
+
+    for cid in range(5):
+        eng.spawn(child_body, cid)
+    end = eng.run_until_idle()
+    eng.release_current_thread()
+    return end, log
+
+
+class TestDeterminism:
+    @given(workload)
+    @settings(max_examples=25, deadline=None)
+    def test_identical_runs_identical_logs(self, ops):
+        end1, log1 = run_workload(ops)
+        end2, log2 = run_workload(ops)
+        assert end1 == end2
+        assert log1 == log2  # exact order and exact timestamps
+
+    @given(workload)
+    @settings(max_examples=25, deadline=None)
+    def test_end_time_is_max_child_sum(self, ops):
+        sums: dict[int, float] = {}
+        for child, dt in ops:
+            sums[child] = sums.get(child, 0.0) + dt
+        end, _ = run_workload(ops)
+        assert end == pytest.approx(max(sums.values()))
+
+    @given(workload)
+    @settings(max_examples=15, deadline=None)
+    def test_per_child_timestamps_monotone(self, ops):
+        _, log = run_workload(ops)
+        last: dict[int, float] = {}
+        for cid, t in log:
+            assert t >= last.get(cid, 0.0)
+            last[cid] = t
+
+
+class TestCrossProcessSignalling:
+    def test_fan_in_trigger_wakes_all_waiters(self):
+        eng = Engine()
+        eng.adopt_current_thread()
+        gate = Trigger()
+        woken: list[tuple[int, float]] = []
+
+        def waiter(i: int):
+            eng.wait(gate)
+            woken.append((i, eng.now))
+
+        for i in range(4):
+            eng.spawn(waiter, i)
+
+        def opener():
+            eng.sleep(2.0)
+            eng.fire(gate, None)
+
+        eng.spawn(opener)
+        eng.run_until_idle()
+        eng.release_current_thread()
+        assert sorted(woken) == [(i, 2.0) for i in range(4)]

@@ -1,0 +1,254 @@
+"""Discrete-event engine: clock, triggers, processes, deadlock."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimDeadlockError, SimulationError
+from repro.sim.engine import Engine, Trigger
+
+
+@pytest.fixture
+def engine():
+    eng = Engine()
+    eng.adopt_current_thread()
+    yield eng
+    eng.release_current_thread()
+
+
+class TestClock:
+    def test_starts_at_zero(self, engine):
+        assert engine.now == 0.0
+
+    def test_sleep_advances_exactly(self, engine):
+        engine.sleep(1.5)
+        engine.sleep(0.25)
+        assert engine.now == pytest.approx(1.75)
+
+    def test_sleep_zero_is_noop(self, engine):
+        engine.sleep(0)
+        assert engine.now == 0.0
+        assert engine.events_executed == 0
+
+    def test_negative_sleep_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            engine.sleep(-1)
+
+    def test_schedule_in_past_rejected(self, engine):
+        engine.sleep(5)
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, lambda: None)
+
+    @given(st.lists(st.floats(min_value=0, max_value=10.0,
+                              allow_nan=False), min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_clock_is_monotone_and_sums(self, delays):
+        eng = Engine()
+        eng.adopt_current_thread()
+        try:
+            last = 0.0
+            for d in delays:
+                eng.sleep(d)
+                assert eng.now >= last
+                last = eng.now
+            assert eng.now == pytest.approx(sum(delays), rel=1e-9)
+        finally:
+            eng.release_current_thread()
+
+
+class TestTriggers:
+    def test_fire_then_wait_returns_value(self, engine):
+        t = Trigger()
+        engine.fire(t, value=42)
+        assert engine.wait(t) == 42
+
+    def test_fire_after_delay(self, engine):
+        t = Trigger()
+        engine.fire_after(2.0, t, "done")
+        assert engine.wait(t) == "done"
+        assert engine.now == pytest.approx(2.0)
+
+    def test_fire_twice_rejected(self, engine):
+        t = Trigger()
+        engine.fire(t)
+        with pytest.raises(SimulationError):
+            engine.fire(t)
+
+    def test_wait_propagates_exception(self, engine):
+        t = Trigger()
+        engine.fire(t, exc=ValueError("boom"))
+        with pytest.raises(ValueError, match="boom"):
+            engine.wait(t)
+
+    def test_wait_from_unregistered_thread_rejected(self):
+        eng = Engine()
+        t = Trigger()
+        with pytest.raises(SimulationError, match="not registered"):
+            eng.wait(t)
+
+    def test_events_fire_in_time_order(self, engine):
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.sleep(5.0)
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self, engine):
+        order = []
+        for tag in "abcde":
+            engine.schedule(1.0, lambda tag=tag: order.append(tag))
+        engine.sleep(2.0)
+        assert order == list("abcde")
+
+
+class TestProcesses:
+    def test_spawn_runs_and_interleaves(self, engine):
+        log = []
+
+        def child():
+            engine.sleep(1.0)
+            log.append(("child", engine.now))
+            engine.sleep(2.0)
+            log.append(("child", engine.now))
+
+        engine.spawn(child)
+        engine.sleep(1.5)
+        log.append(("main", engine.now))
+        engine.sleep(2.0)
+        log.append(("main", engine.now))
+        assert log == [("child", 1.0), ("main", 1.5), ("child", 3.0),
+                       ("main", 3.5)]
+
+    def test_many_children_deterministic(self, engine):
+        results = []
+
+        def child(i):
+            engine.sleep(0.1 * (i + 1))
+            results.append(i)
+
+        for i in range(10):
+            engine.spawn(child, i)
+        engine.sleep(2.0)
+        assert results == list(range(10))
+
+    def test_child_exit_does_not_stall_clock(self, engine):
+        def child():
+            engine.sleep(0.5)
+
+        engine.spawn(child)
+        engine.sleep(10.0)
+        assert engine.now == pytest.approx(10.0)
+
+    def test_child_can_fire_trigger_for_parent(self, engine):
+        t = Trigger()
+
+        def child():
+            engine.sleep(1.0)
+            engine.fire(t, "from child")
+
+        engine.spawn(child)
+        assert engine.wait(t) == "from child"
+        assert engine.now == pytest.approx(1.0)
+
+    def test_two_children_exchange(self, engine):
+        t1, t2 = Trigger(), Trigger()
+        log = []
+
+        def ping():
+            engine.sleep(1.0)
+            engine.fire(t1, "ping")
+            log.append(engine.wait(t2))
+
+        def pong():
+            v = engine.wait(t1)
+            log.append(v)
+            engine.sleep(1.0)
+            engine.fire(t2, "pong")
+
+        engine.spawn(ping)
+        engine.spawn(pong)
+        engine.sleep(5.0)
+        assert log == ["ping", "pong"]
+        assert engine.now == pytest.approx(5.0)
+
+
+class TestDeadlock:
+    def test_wait_with_empty_queue_deadlocks(self, engine):
+        t = Trigger()
+        with pytest.raises(SimDeadlockError):
+            engine.wait(t)
+
+    def test_deadlock_poisons_other_waiters(self, engine):
+        t1, t2 = Trigger(), Trigger()
+        errors = []
+
+        def child():
+            try:
+                engine.wait(t1)
+            except SimDeadlockError as e:
+                errors.append(e)
+
+        engine.spawn(child)
+        with pytest.raises(SimDeadlockError):
+            engine.wait(t2)
+        # the child gets poisoned too (bounded wall-clock wait)
+        for _ in range(100):
+            if errors:
+                break
+            threading.Event().wait(0.01)
+        assert errors
+
+
+class TestDraining:
+    def test_run_until_idle_drains_all_events(self, engine):
+        hits = []
+        engine.schedule(1.0, lambda: hits.append(1))
+        engine.schedule(2.0, lambda: hits.append(2))
+        end = engine.run_until_idle()
+        assert hits == [1, 2]
+        assert end == pytest.approx(2.0)
+
+    def test_stats_snapshot(self, engine):
+        engine.sleep(1.0)
+        stats = engine.stats()
+        assert stats["now"] == pytest.approx(1.0)
+        assert stats["events_executed"] == 1
+        assert stats["registered_threads"] == 1
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self, engine):
+        hits = []
+        ev = engine.schedule(1.0, lambda: hits.append(1))
+        assert engine.cancel(ev)
+        engine.sleep(2.0)
+        assert hits == []
+
+    def test_cancel_after_execution_reports_false(self, engine):
+        hits = []
+        ev = engine.schedule(1.0, lambda: hits.append(1))
+        engine.sleep(2.0)
+        assert hits == [1]
+        assert not engine.cancel(ev)
+
+    def test_double_cancel_reports_false(self, engine):
+        ev = engine.schedule(1.0, lambda: None)
+        assert engine.cancel(ev)
+        assert not engine.cancel(ev)
+
+    def test_timeout_idiom(self, engine):
+        from repro.sim.engine import Trigger
+
+        work = Trigger()
+        deadline = engine.schedule(
+            5.0, lambda: engine._fire_locked(
+                work, None, TimeoutError("too slow")))
+        engine.fire_after(1.0, work, "done")  # completes first
+        assert engine.wait(work) == "done"
+        assert engine.cancel(deadline)
+        assert engine.now == 1.0

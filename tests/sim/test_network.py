@@ -1,0 +1,91 @@
+"""Cluster network model: per-node NICs, latency, contention."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DiskModel, NetworkModel
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.network import SimNetwork
+
+
+def make_net(n=4, **model_kwargs):
+    eng = Engine()
+    eng.adopt_current_thread()
+    model = NetworkModel(**model_kwargs)
+    return eng, SimNetwork(eng, n, model, DiskModel())
+
+
+class TestTopology:
+    def test_nodes_cover_machines_and_driver(self):
+        _eng, net = make_net(3)
+        assert sorted(net.nodes) == [-1, 0, 1, 2]
+
+    def test_unknown_node_rejected(self):
+        _eng, net = make_net(2)
+        with pytest.raises(SimulationError):
+            net.node(7)
+
+    def test_per_node_disks_on_demand(self):
+        _eng, net = make_net(2)
+        d1 = net.node(0).disk("a")
+        d2 = net.node(0).disk("a")
+        d3 = net.node(0).disk("b")
+        assert d1 is d2 and d1 is not d3
+
+
+class TestMessageCosts:
+    def test_message_costs_latency_plus_two_serializations(self):
+        eng, net = make_net(2, latency_s=0.1, bandwidth_Bps=1000.0)
+        arrival = net.message_arrival(0, 1, 1000)
+        # egress 1s + latency 0.1s + ingress 1s
+        assert arrival == pytest.approx(2.1)
+
+    def test_loopback_is_free(self):
+        eng, net = make_net(2)
+        assert net.message_arrival(1, 1, 10**9) == eng.now
+
+    def test_fanin_contends_on_destination_ingress(self):
+        eng, net = make_net(4, latency_s=0.0, bandwidth_Bps=1000.0)
+        # three senders, one receiver: ingress serializes the three
+        arrivals = sorted(net.message_arrival(src, 3, 1000)
+                          for src in (0, 1, 2))
+        assert arrivals == pytest.approx([2.0, 3.0, 4.0])
+
+    def test_fanout_contends_on_source_egress(self):
+        eng, net = make_net(4, latency_s=0.0, bandwidth_Bps=1000.0)
+        arrivals = sorted(net.message_arrival(0, dst, 1000)
+                          for dst in (1, 2, 3))
+        assert arrivals == pytest.approx([2.0, 3.0, 4.0])
+
+    def test_disjoint_pairs_do_not_contend(self):
+        eng, net = make_net(4, latency_s=0.0, bandwidth_Bps=1000.0)
+        a1 = net.message_arrival(0, 1, 1000)
+        a2 = net.message_arrival(2, 3, 1000)
+        assert a1 == a2 == pytest.approx(2.0)
+
+    def test_finite_backplane_serializes_everything(self):
+        eng, net = make_net(4, latency_s=0.0, bandwidth_Bps=1e9,
+                            backplane_Bps=1000.0)
+        a1 = net.message_arrival(0, 1, 1000)
+        a2 = net.message_arrival(2, 3, 1000)
+        assert a2 - a1 == pytest.approx(1.0)
+
+    def test_send_fires_trigger_on_arrival(self):
+        eng, net = make_net(2, latency_s=0.25, bandwidth_Bps=1e9)
+        t = net.send(0, 1, 8, value="pkt")
+        assert eng.wait(t) == "pkt"
+        assert eng.now == pytest.approx(0.25, abs=1e-6)
+
+
+class TestReport:
+    def test_utilization_report_structure(self):
+        eng, net = make_net(2)
+        net.node(0).disk("d").read_end(1000)
+        net.message_arrival(0, 1, 1000)
+        eng.run_until_idle()
+        report = net.utilization_report()
+        assert set(report) == {-1, 0, 1}
+        assert "egress_util" in report[0]
+        assert report[0]["d_bytes_read"] == 1000

@@ -1,0 +1,122 @@
+"""Analytic FIFO resources: queueing, disks, links."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+from repro.sim.resources import Disk, FifoResource, Link
+
+
+@pytest.fixture
+def engine():
+    eng = Engine()
+    eng.adopt_current_thread()
+    yield eng
+    eng.release_current_thread()
+
+
+class TestFifoResource:
+    def test_first_job_starts_now(self, engine):
+        r = FifoResource(engine, "r")
+        assert r.occupy(2.0) == pytest.approx(2.0)
+
+    def test_jobs_queue_fifo(self, engine):
+        r = FifoResource(engine, "r")
+        assert r.occupy(1.0) == pytest.approx(1.0)
+        assert r.occupy(1.0) == pytest.approx(2.0)
+        assert r.occupy(0.5) == pytest.approx(2.5)
+
+    def test_idle_gap_resets_start(self, engine):
+        r = FifoResource(engine, "r")
+        r.occupy(1.0)
+        engine.sleep(5.0)
+        assert r.occupy(1.0) == pytest.approx(6.0)
+
+    def test_occupy_from_respects_earliest(self, engine):
+        r = FifoResource(engine, "r")
+        assert r.occupy_from(3.0, 1.0) == pytest.approx(4.0)
+        # second job queues behind the first even though earliest is lower
+        assert r.occupy_from(0.0, 1.0) == pytest.approx(5.0)
+
+    def test_negative_duration_rejected(self, engine):
+        r = FifoResource(engine, "r")
+        with pytest.raises(SimulationError):
+            r.occupy(-1.0)
+
+    def test_request_fires_trigger_at_completion(self, engine):
+        r = FifoResource(engine, "r")
+        t = r.request(2.5, value="done")
+        assert engine.wait(t) == "done"
+        assert engine.now == pytest.approx(2.5)
+
+    def test_busy_time_and_utilization(self, engine):
+        r = FifoResource(engine, "r")
+        t = r.request(1.0)
+        engine.wait(t)
+        engine.sleep(1.0)
+        assert r.busy_time == pytest.approx(1.0)
+        assert r.utilization() == pytest.approx(0.5)
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=5.0,
+                              allow_nan=False), min_size=1, max_size=30))
+    @settings(max_examples=40, deadline=None)
+    def test_conservation_property(self, durations):
+        """Total busy time equals the sum of service times, and the last
+        completion is at least that sum (work conservation)."""
+        eng = Engine()
+        eng.adopt_current_thread()
+        try:
+            r = FifoResource(eng, "r")
+            ends = [r.occupy(d) for d in durations]
+            assert r.busy_time == pytest.approx(sum(durations))
+            assert ends == sorted(ends)
+            assert ends[-1] >= sum(durations) - 1e-12
+        finally:
+            eng.release_current_thread()
+
+
+class TestDisk:
+    def test_read_time_is_seek_plus_transfer(self, engine):
+        d = Disk(engine, "d", seek_s=0.01, bandwidth_Bps=100e6)
+        t = d.read(100_000_000)
+        engine.wait(t)
+        assert engine.now == pytest.approx(1.01)
+        assert d.bytes_read == 100_000_000
+
+    def test_writes_queue_behind_reads(self, engine):
+        d = Disk(engine, "d", seek_s=1.0, bandwidth_Bps=1e9)
+        d.read(0)
+        end = d.write_end(0)
+        assert end == pytest.approx(2.0)
+        assert d.bytes_written == 0
+
+    def test_negative_size_rejected(self, engine):
+        d = Disk(engine, "d", seek_s=0, bandwidth_Bps=1)
+        with pytest.raises(SimulationError):
+            d.read(-1)
+
+    def test_zero_bandwidth_rejected(self, engine):
+        with pytest.raises(SimulationError):
+            Disk(engine, "d", seek_s=0, bandwidth_Bps=0)
+
+
+class TestLink:
+    def test_arrival_includes_latency(self, engine):
+        link = Link(engine, "l", bandwidth_Bps=1e6, latency_s=0.5)
+        assert link.arrival_time(1_000_000) == pytest.approx(1.5)
+
+    def test_back_to_back_messages_pipeline(self, engine):
+        link = Link(engine, "l", bandwidth_Bps=1e6, latency_s=0.5)
+        a1 = link.arrival_time(1_000_000)
+        a2 = link.arrival_time(1_000_000)
+        # second serializes right behind the first; latency overlaps
+        assert a2 - a1 == pytest.approx(1.0)
+
+    def test_bytes_accounted(self, engine):
+        link = Link(engine, "l", bandwidth_Bps=1e6, latency_s=0)
+        link.arrival_time(123)
+        assert link.bytes_moved == 123

@@ -1,0 +1,50 @@
+"""Trace log recording and analytics."""
+
+from repro.sim.trace import TraceEvent, TraceLog
+
+
+class TestTraceLog:
+    def test_record_and_filter_by_kind(self):
+        log = TraceLog()
+        log.record(1.0, "call", 0, method="read")
+        log.record(2.0, "disk", 1, op="read")
+        log.record(3.0, "call", 1, method="write")
+        assert log.count("call") == 2
+        assert log.count("disk") == 1
+        assert log.count() == 3
+
+    def test_filter_by_node_and_predicate(self):
+        log = TraceLog()
+        for i in range(5):
+            log.record(float(i), "call", i % 2, idx=i)
+        assert len(log.filter(node=0)) == 3
+        assert len(log.filter(predicate=lambda e: e.detail["idx"] > 2)) == 2
+
+    def test_span(self):
+        log = TraceLog()
+        log.record(1.0, "x", 0)
+        log.record(4.5, "x", 0)
+        assert log.span("x") == 3.5
+        assert log.span("missing") == 0.0
+
+    def test_by_node(self):
+        log = TraceLog()
+        log.record(0.0, "call", 2)
+        log.record(0.0, "call", 2)
+        log.record(0.0, "call", 0)
+        assert log.by_node("call") == {2: 2, 0: 1}
+
+    def test_disabled_log_records_nothing(self):
+        log = TraceLog(enabled=False)
+        log.record(0.0, "call", 0)
+        assert len(log) == 0
+
+    def test_clear(self):
+        log = TraceLog()
+        log.record(0.0, "x", 0)
+        log.clear()
+        assert len(log) == 0
+
+    def test_events_are_value_objects(self):
+        e = TraceEvent(1.0, "call", 0, {"a": 1})
+        assert e.time == 1.0 and e.kind == "call" and e.node == 0

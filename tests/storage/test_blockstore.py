@@ -1,0 +1,102 @@
+"""BlockStorage and the local/remote device call bridge."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro as oopp
+from repro.errors import StorageError
+from repro.storage.blockstore import (
+    BlockStorage,
+    call_on_device,
+    create_block_storage,
+)
+from repro.storage.device import ArrayPageDevice
+from repro.storage.page import ArrayPage
+
+
+class TestBlockStorage:
+    def test_indexing(self, tmp_path):
+        devices = [ArrayPageDevice(str(tmp_path / f"d{i}.dat"), 2, 2, 2, 2)
+                   for i in range(3)]
+        store = BlockStorage(devices)
+        assert len(store) == 3
+        assert store.device(1) is devices[1]
+        assert store[2] is devices[2]
+        assert list(store) == devices
+
+    def test_empty_rejected(self):
+        with pytest.raises(StorageError):
+            BlockStorage([])
+
+    def test_bad_device_id(self, tmp_path):
+        store = BlockStorage([ArrayPageDevice(str(tmp_path / "d.dat"),
+                                              2, 2, 2, 2)])
+        with pytest.raises(StorageError):
+            store.device(5)
+
+    def test_io_stats_aggregation(self, tmp_path):
+        devices = [ArrayPageDevice(str(tmp_path / f"d{i}.dat"), 2, 2, 2, 2)
+                   for i in range(2)]
+        devices[0].read_page(0)
+        stats = BlockStorage(devices).io_stats()
+        assert stats[0]["reads"] == 1 and stats[1]["reads"] == 0
+
+
+class TestCallOnDevice:
+    def test_local_device_gets_completed_future(self, tmp_path):
+        d = ArrayPageDevice(str(tmp_path / "d.dat"), 2, 2, 2, 2)
+        f = call_on_device(d, "sum", 0)
+        assert f.done() and f.result() == 0.0
+
+    def test_local_failure_becomes_failed_future(self, tmp_path):
+        d = ArrayPageDevice(str(tmp_path / "d.dat"), 2, 2, 2, 2)
+        f = call_on_device(d, "sum", 99)
+        assert f.done()
+        with pytest.raises(oopp.errors.PageIndexError):
+            f.result()
+
+    def test_remote_device_goes_through_proxy(self, inline_cluster):
+        d = inline_cluster.new(ArrayPageDevice, "remote.dat", 2, 2, 2, 2,
+                               machine=1)
+        f = call_on_device(d, "sum", 0)
+        assert f.result(10) == 0.0
+
+
+class TestCreateBlockStorage:
+    def test_round_robin_over_machines(self, inline_cluster):
+        store = create_block_storage(inline_cluster, 6, NumberOfPages=2,
+                                     n1=2, n2=2, n3=2)
+        machines = [oopp.ref_of(d).machine for d in store]
+        assert machines == [0, 1, 2, 3, 0, 1]
+
+    def test_explicit_machines(self, inline_cluster):
+        store = create_block_storage(inline_cluster, 2, NumberOfPages=2,
+                                     n1=2, n2=2, n3=2, machines=[3, 3])
+        assert [oopp.ref_of(d).machine for d in store] == [3, 3]
+
+    def test_machines_length_mismatch(self, inline_cluster):
+        with pytest.raises(StorageError):
+            create_block_storage(inline_cluster, 3, NumberOfPages=2,
+                                 n1=2, n2=2, n3=2, machines=[0])
+
+    def test_devices_usable_end_to_end(self, inline_cluster):
+        store = create_block_storage(inline_cluster, 2, NumberOfPages=2,
+                                     n1=2, n2=2, n3=2)
+        page = ArrayPage(2, 2, 2, np.arange(8.0))
+        store[0].write_page(page, 1)
+        assert store[0].sum(1) == 28.0
+
+    def test_shared_disk_option(self, inline_cluster):
+        store = create_block_storage(inline_cluster, 2, NumberOfPages=2,
+                                     n1=2, n2=2, n3=2, machines=[1, 1],
+                                     shared_disk=True)
+        keys = {store[i].describe()["disk_key"] for i in range(2)}
+        assert keys == {"shared-disk-m1"}
+
+    def test_nominal_page_size_option(self, inline_cluster):
+        store = create_block_storage(inline_cluster, 1, NumberOfPages=2,
+                                     n1=2, n2=2, n3=2,
+                                     nominal_page_size=1 << 20)
+        assert store[0].describe()["nominal_page_size"] == 1 << 20

@@ -1,0 +1,156 @@
+"""Domain algebra: geometry, intersection, tiling — with properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DomainError
+from repro.storage.domain import Domain, full_domain
+
+bounds = st.tuples(st.integers(-20, 20), st.integers(0, 25)).map(
+    lambda t: (t[0], t[0] + t[1]))
+
+
+@st.composite
+def domains(draw):
+    (l1, h1), (l2, h2), (l3, h3) = draw(bounds), draw(bounds), draw(bounds)
+    return Domain(l1, h1, l2, h2, l3, h3)
+
+
+page_shapes = st.tuples(st.integers(1, 7), st.integers(1, 7),
+                        st.integers(1, 7))
+
+
+class TestBasics:
+    def test_paper_constructor_order(self):
+        d = Domain(1, 4, 2, 8, 3, 9)
+        assert d.lo == (1, 2, 3) and d.hi == (4, 8, 9)
+        assert d.shape == (3, 6, 6)
+        assert d.size == 108
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(DomainError):
+            Domain(4, 1, 0, 1, 0, 1)
+
+    def test_from_shape(self):
+        d = Domain.from_shape((2, 3, 4), origin=(1, 1, 1))
+        assert d == Domain(1, 3, 1, 4, 1, 5)
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(DomainError):
+            Domain.from_shape((-1, 2, 2))
+
+    def test_empty(self):
+        assert Domain(0, 0, 0, 5, 0, 5).empty
+        assert not full_domain(1, 1, 1).empty
+
+    def test_contains_point(self):
+        d = Domain(0, 2, 0, 2, 0, 2)
+        assert d.contains_point(1, 1, 1)
+        assert not d.contains_point(2, 0, 0)
+
+    def test_slices_select_numpy_region(self):
+        a = np.arange(4 * 4 * 4).reshape(4, 4, 4)
+        d = Domain(1, 3, 0, 2, 2, 4)
+        assert a[d.slices].shape == d.shape
+
+    def test_shift_and_relative(self):
+        d = Domain(2, 4, 2, 4, 2, 4)
+        assert d.shift(1, -1, 0) == Domain(3, 5, 1, 3, 2, 4)
+        assert d.relative_to((2, 2, 2)) == Domain(0, 2, 0, 2, 0, 2)
+
+
+class TestAlgebra:
+    def test_intersect_overlapping(self):
+        a = Domain(0, 4, 0, 4, 0, 4)
+        b = Domain(2, 6, 1, 3, 0, 4)
+        assert a.intersect(b) == Domain(2, 4, 1, 3, 0, 4)
+
+    def test_intersect_disjoint_is_empty(self):
+        a = Domain(0, 2, 0, 2, 0, 2)
+        b = Domain(5, 7, 0, 2, 0, 2)
+        assert a.intersect(b).empty
+        assert not a.overlaps(b)
+
+    def test_contains_domain(self):
+        big = full_domain(10, 10, 10)
+        assert big.contains(Domain(1, 2, 3, 4, 5, 6))
+        assert not big.contains(Domain(5, 11, 0, 1, 0, 1))
+        assert big.contains(Domain(0, 0, 0, 0, 0, 0))  # empty always fits
+
+    @given(domains(), domains())
+    @settings(max_examples=80, deadline=None)
+    def test_intersection_properties(self, a, b):
+        inter = a.intersect(b)
+        assert a.intersect(b) == b.intersect(a)
+        assert a.contains(inter) and b.contains(inter)
+        for p in list(inter.points())[:20]:
+            assert a.contains_point(*p) and b.contains_point(*p)
+
+    @given(domains())
+    @settings(max_examples=50, deadline=None)
+    def test_self_intersection_is_identity(self, d):
+        if not d.empty:
+            assert d.intersect(d) == d
+
+
+class TestTiling:
+    @given(domains(), page_shapes)
+    @settings(max_examples=80, deadline=None)
+    def test_tiles_partition_domain_exactly(self, d, page):
+        """Tiles are disjoint, non-empty, and cover the domain exactly."""
+        seen = set()
+        total = 0
+        for (pi, pj, pk), piece in d.tiles(page):
+            assert not piece.empty
+            assert d.contains(piece)
+            # piece lies inside its page
+            page_dom = Domain(pi * page[0], (pi + 1) * page[0],
+                              pj * page[1], (pj + 1) * page[1],
+                              pk * page[2], (pk + 1) * page[2])
+            assert page_dom.contains(piece)
+            for p in piece.points():
+                assert p not in seen
+                seen.add(p)
+            total += piece.size
+        assert total == d.size
+
+    def test_tiles_aligned_case(self):
+        d = full_domain(4, 4, 4)
+        tiles = list(d.tiles((2, 2, 2)))
+        assert len(tiles) == 8
+        assert all(piece.size == 8 for _, piece in tiles)
+
+    def test_page_range_negative_page_shape_rejected(self):
+        with pytest.raises(DomainError):
+            full_domain(2, 2, 2).page_range((0, 1, 1))
+
+
+class TestSplit:
+    @given(domains(), st.integers(0, 2), st.integers(1, 9))
+    @settings(max_examples=80, deadline=None)
+    def test_split_axis_partitions(self, d, axis, parts):
+        slabs = d.split_axis(axis, parts)
+        assert len(slabs) == parts
+        assert sum(s.size for s in slabs) == d.size
+        # slabs are contiguous and ordered along the axis
+        cursor = d.lo[axis]
+        for s in slabs:
+            assert s.lo[axis] == cursor
+            cursor = s.hi[axis]
+        assert cursor == d.hi[axis]
+
+    def test_split_balances_within_one(self):
+        widths = [s.shape[0] for s in full_domain(10, 1, 1).split_axis(0, 3)]
+        assert widths == [4, 3, 3]
+
+    def test_bad_axis_rejected(self):
+        with pytest.raises(DomainError):
+            full_domain(2, 2, 2).split_axis(3, 2)
+
+    def test_bad_parts_rejected(self):
+        with pytest.raises(DomainError):
+            full_domain(2, 2, 2).split_axis(0, 0)

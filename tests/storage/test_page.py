@@ -1,0 +1,101 @@
+"""Pages and ArrayPages."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.errors import PageSizeError
+from repro.storage.page import ArrayPage, Page
+
+
+class TestPage:
+    def test_zero_filled_by_default(self):
+        p = Page(16)
+        assert p.to_bytes() == bytes(16)
+        assert p.nbytes == len(p) == 16
+
+    def test_data_must_match_declared_size(self):
+        with pytest.raises(PageSizeError):
+            Page(4, b"too long for four")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(PageSizeError):
+            Page(-1)
+
+    def test_update_fixed_size(self):
+        p = Page(4, b"abcd")
+        p.update(b"wxyz")
+        assert p.to_bytes() == b"wxyz"
+        with pytest.raises(PageSizeError):
+            p.update(b"short")
+
+    def test_equality_by_content(self):
+        assert Page(3, b"abc") == Page(3, b"abc")
+        assert Page(3, b"abc") != Page(3, b"abd")
+
+    def test_pickle_round_trip(self):
+        p = Page(8, b"12345678").with_nominal_size(1 << 20)
+        q = pickle.loads(pickle.dumps(p))
+        assert q == p
+        assert q.nominal_nbytes == 1 << 20
+
+    def test_nominal_declaration(self):
+        p = Page(8)
+        assert p.nominal_nbytes == 8
+        assert getattr(p, "__oopp_nominal_bytes__", None) is None
+        p.with_nominal_size(4096)
+        assert p.__oopp_nominal_bytes__ == 4096
+        with pytest.raises(PageSizeError):
+            p.with_nominal_size(-1)
+
+    def test_raw_buffer_is_live(self):
+        p = Page(4)
+        p.raw[0] = 0xFF
+        assert p.to_bytes()[0] == 0xFF
+
+
+class TestArrayPage:
+    def test_shape_and_bytes(self):
+        p = ArrayPage(2, 3, 4)
+        assert p.shape == (2, 3, 4)
+        assert p.nbytes == 2 * 3 * 4 * 8
+        assert np.allclose(p.array, 0.0)
+
+    def test_from_data(self):
+        data = np.arange(24.0).reshape(2, 3, 4)
+        p = ArrayPage(2, 3, 4, data)
+        assert np.array_equal(p.array, data)
+
+    def test_wrong_element_count_rejected(self):
+        with pytest.raises(PageSizeError):
+            ArrayPage(2, 2, 2, np.zeros(9))
+
+    def test_array_view_is_writable_and_backed_by_page(self):
+        p = ArrayPage(2, 2, 2)
+        p.array[1, 1, 1] = 5.0
+        assert ArrayPage(2, 2, 2, p.array) == p
+        assert p.sum() == 5.0
+
+    def test_computations(self):
+        p = ArrayPage(2, 2, 2, np.arange(8.0))
+        assert p.sum() == 28.0
+        assert p.min() == 0.0 and p.max() == 7.0
+        assert p.mean() == 3.5
+        p.scale(2.0)
+        assert p.sum() == 56.0
+        p.fill(1.0)
+        assert p.sum() == 8.0
+
+    def test_pickle_preserves_shape_and_data(self):
+        p = ArrayPage(2, 3, 4, np.arange(24.0))
+        q = pickle.loads(pickle.dumps(p))
+        assert q.shape == (2, 3, 4)
+        assert np.array_equal(q.array, p.array)
+
+    def test_is_a_page(self):
+        # §3: ArrayPage derives from Page; raw-page interfaces accept it.
+        p = ArrayPage(2, 2, 2)
+        assert isinstance(p, Page)

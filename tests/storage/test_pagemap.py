@@ -1,0 +1,96 @@
+"""Page maps: bijectivity and layout characteristics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.storage.pagemap import (
+    BlockedPageMap,
+    PageAddress,
+    PageMap,
+    PencilPageMap,
+    RoundRobinPageMap,
+)
+
+ALL_MAPS = [RoundRobinPageMap, BlockedPageMap, PencilPageMap]
+
+grids = st.tuples(st.integers(1, 6), st.integers(1, 6), st.integers(1, 6))
+device_counts = st.integers(1, 9)
+
+
+class TestGeometry:
+    def test_linear_is_c_order(self):
+        m = RoundRobinPageMap(grid=(2, 3, 4), n_devices=1)
+        assert m.linear(0, 0, 0) == 0
+        assert m.linear(0, 0, 1) == 1
+        assert m.linear(0, 1, 0) == 4
+        assert m.linear(1, 0, 0) == 12
+
+    def test_out_of_grid_rejected(self):
+        m = RoundRobinPageMap(grid=(2, 2, 2), n_devices=2)
+        with pytest.raises(LayoutError):
+            m.physical(2, 0, 0)
+        with pytest.raises(LayoutError):
+            m.physical(0, -1, 0)
+
+    def test_bad_construction_rejected(self):
+        with pytest.raises(LayoutError):
+            RoundRobinPageMap(grid=(0, 1, 1), n_devices=1)
+        with pytest.raises(LayoutError):
+            RoundRobinPageMap(grid=(1, 1, 1), n_devices=0)
+
+    def test_n_pages(self):
+        m = BlockedPageMap(grid=(2, 3, 4), n_devices=5)
+        assert m.n_pages == 24
+        assert m.pages_per_device == 5  # ceil(24/5)
+
+
+class TestConcreteLayouts:
+    def test_round_robin_spreads_consecutive_pages(self):
+        m = RoundRobinPageMap(grid=(1, 1, 6), n_devices=3)
+        devices = [m.physical(0, 0, k).device_id for k in range(6)]
+        assert devices == [0, 1, 2, 0, 1, 2]
+
+    def test_blocked_keeps_runs_together(self):
+        m = BlockedPageMap(grid=(1, 1, 6), n_devices=3)
+        devices = [m.physical(0, 0, k).device_id for k in range(6)]
+        assert devices == [0, 0, 1, 1, 2, 2]
+
+    def test_pencil_colocates_axis0(self):
+        m = PencilPageMap(grid=(4, 2, 2), n_devices=3)
+        for j in range(2):
+            for k in range(2):
+                devs = {m.physical(i, j, k).device_id for i in range(4)}
+                assert len(devs) == 1
+
+    def test_pencil_distributes_distinct_pencils(self):
+        m = PencilPageMap(grid=(2, 3, 3), n_devices=9)
+        devs = {m.physical(0, j, k).device_id
+                for j in range(3) for k in range(3)}
+        assert len(devs) == 9
+
+
+class TestBijectivity:
+    @pytest.mark.parametrize("MapCls", ALL_MAPS)
+    @given(grid=grids, n_devices=device_counts)
+    @settings(max_examples=40, deadline=None)
+    def test_every_layout_is_bijective(self, MapCls, grid, n_devices):
+        MapCls(grid=grid, n_devices=n_devices).validate()
+
+    @pytest.mark.parametrize("MapCls", ALL_MAPS)
+    def test_validate_catches_broken_map(self, MapCls):
+        class Broken(MapCls):
+            def physical(self, i1, i2, i3):
+                return PageAddress(0, 0)  # everything collides
+
+        broken = Broken(grid=(2, 2, 2), n_devices=2)
+        with pytest.raises(LayoutError):
+            broken.validate()
+
+    def test_base_class_is_abstract(self):
+        m = PageMap(grid=(1, 1, 1), n_devices=1)
+        with pytest.raises(NotImplementedError):
+            m.physical(0, 0, 0)

@@ -1,0 +1,60 @@
+"""Exception hierarchy contracts."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_is_an_oopp_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.OoppError), name
+
+    def test_object_destroyed_is_no_such_object(self):
+        assert issubclass(errors.ObjectDestroyedError,
+                          errors.NoSuchObjectError)
+
+    def test_storage_errors_are_also_builtin_kinds(self):
+        # so `except IndexError` etc. work naturally at call sites
+        assert issubclass(errors.PageIndexError, IndexError)
+        assert issubclass(errors.PageSizeError, ValueError)
+        assert issubclass(errors.DomainError, ValueError)
+        assert issubclass(errors.LayoutError, ValueError)
+
+    def test_transport_under_oopp(self):
+        assert issubclass(errors.ChannelClosedError, errors.TransportError)
+        assert issubclass(errors.FramingError, errors.TransportError)
+
+    def test_persistence_under_runtime(self):
+        assert issubclass(errors.UnknownAddressError, errors.PersistenceError)
+        assert issubclass(errors.AddressSyntaxError, errors.PersistenceError)
+
+
+class TestRemoteExecutionError:
+    def test_carries_remote_details(self):
+        err = errors.RemoteExecutionError(
+            "remote failed", remote_type_name="pkg.Boom",
+            remote_traceback="Traceback...")
+        assert err.remote_type_name == "pkg.Boom"
+        assert "Traceback" in str(err)
+
+    def test_pickles(self):
+        err = errors.RemoteExecutionError("x", remote_type_name="T",
+                                          remote_traceback="tb")
+        err2 = pickle.loads(pickle.dumps(err))
+        assert isinstance(err2, errors.RemoteExecutionError)
+
+
+class TestGroupError:
+    def test_failures_mapping(self):
+        ge = errors.GroupError("2 failed", {0: ValueError(), 3: KeyError()})
+        assert set(ge.failures) == {0, 3}
+
+    def test_default_failures_empty(self):
+        assert errors.GroupError("none").failures == {}

@@ -1,0 +1,94 @@
+"""Utility helpers: ids, stopwatch, formatting."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.util.ids import IdAllocator, fresh_token
+from repro.util.timing import Stopwatch, format_bytes, format_rate, format_seconds
+
+
+class TestIdAllocator:
+    def test_monotonic_from_start(self):
+        ids = IdAllocator(start=10)
+        assert [ids.next() for _ in range(3)] == [10, 11, 12]
+        assert ids.last == 12
+
+    def test_last_before_any(self):
+        assert IdAllocator(start=5).last == 4
+
+    def test_thread_safety_no_duplicates(self):
+        ids = IdAllocator()
+        seen = []
+
+        def take():
+            for _ in range(500):
+                seen.append(ids.next())
+
+        threads = [threading.Thread(target=take) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == len(set(seen)) == 2000
+
+
+class TestFreshToken:
+    def test_unique_and_prefixed(self):
+        a, b = fresh_token("disk"), fresh_token("disk")
+        assert a != b
+        assert a.startswith("disk-") and b.startswith("disk-")
+
+
+class TestStopwatch:
+    def test_accumulates_laps(self):
+        sw = Stopwatch()
+        with sw:
+            pass
+        with sw:
+            pass
+        assert len(sw.laps) == 2
+        assert sw.elapsed == pytest.approx(sum(sw.laps))
+        assert sw.mean_lap == pytest.approx(sw.elapsed / 2)
+
+    def test_misuse_rejected(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            sw.stop()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_empty_mean(self):
+        assert Stopwatch().mean_lap == 0.0
+
+
+class TestFormatting:
+    @pytest.mark.parametrize("value,expect", [
+        (0, "0 s"),
+        (3e-9, "3 ns"),
+        (2.5e-6, "2.5 us"),
+        (1.5e-3, "1.5 ms"),
+        (2.0, "2 s"),
+        (180.0, "3 min"),
+    ])
+    def test_format_seconds(self, value, expect):
+        assert format_seconds(value) == expect
+
+    def test_negative_seconds(self):
+        assert format_seconds(-1e-3) == "-1 ms"
+
+    @pytest.mark.parametrize("value,expect", [
+        (0, "0 B"),
+        (512, "512 B"),
+        (2048, "2 KiB"),
+        (3 << 20, "3 MiB"),
+        (5 << 40, "5 TiB"),
+    ])
+    def test_format_bytes(self, value, expect):
+        assert format_bytes(value) == expect
+
+    def test_format_rate(self):
+        assert format_rate(2048) == "2 KiB/s"

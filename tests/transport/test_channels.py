@@ -1,0 +1,134 @@
+"""Channels: in-process pair and localhost sockets."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ChannelClosedError
+from repro.transport.channel import inproc_pair
+from repro.transport.message import Goodbye, Hello, Request, Response
+from repro.transport.socket_channel import SocketChannel, listen_socket
+
+
+class TestInprocChannel:
+    def test_send_recv_both_directions(self):
+        a, b = inproc_pair()
+        a.send(Request(request_id=1, object_id=0, method="ping"))
+        msg = b.recv(timeout=5)
+        assert isinstance(msg, Request) and msg.method == "ping"
+        b.send(Response(request_id=1, value="pong"))
+        assert a.recv(timeout=5).value == "pong"
+
+    def test_numpy_payload_is_copied_not_aliased(self):
+        a, b = inproc_pair()
+        arr = np.arange(100.0)
+        a.send(Response(request_id=1, value=arr))
+        arr[:] = -1  # mutate after send; receiver must see the snapshot
+        got = b.recv(timeout=5).value
+        assert np.array_equal(got, np.arange(100.0))
+
+    def test_close_unblocks_peer(self):
+        a, b = inproc_pair()
+        a.close()
+        with pytest.raises(ChannelClosedError):
+            b.recv(timeout=5)
+
+    def test_send_after_close_raises(self):
+        a, _b = inproc_pair()
+        a.close()
+        with pytest.raises(ChannelClosedError):
+            a.send(Goodbye())
+
+    def test_recv_timeout(self):
+        a, _b = inproc_pair()
+        with pytest.raises(ChannelClosedError):
+            a.recv(timeout=0.05)
+
+    def test_messages_keep_order(self):
+        a, b = inproc_pair()
+        for i in range(20):
+            a.send(Response(request_id=i))
+        got = [b.recv(timeout=5).request_id for _ in range(20)]
+        assert got == list(range(20))
+
+
+class TestSocketChannel:
+    @pytest.fixture
+    def pair(self):
+        listener = listen_socket()
+        port = listener.getsockname()[1]
+        accepted = {}
+
+        def accept():
+            sock, _ = listener.accept()
+            accepted["chan"] = SocketChannel(sock)
+
+        t = threading.Thread(target=accept, daemon=True)
+        t.start()
+        client = SocketChannel.connect("127.0.0.1", port, timeout=5)
+        t.join(timeout=5)
+        server = accepted["chan"]
+        yield client, server
+        client.close()
+        server.close()
+        listener.close()
+
+    def test_round_trip(self, pair):
+        client, server = pair
+        client.send(Hello(caller=-1))
+        assert isinstance(server.recv(timeout=5), Hello)
+        server.send(Response(request_id=0, value={"x": 1}))
+        assert client.recv(timeout=5).value == {"x": 1}
+
+    def test_bulk_numpy_payload(self, pair):
+        client, server = pair
+        a = np.arange(1 << 15, dtype=np.float64)
+        client.send(Request(request_id=2, object_id=1, method="write",
+                            args=(a,)))
+        msg = server.recv(timeout=10)
+        assert np.array_equal(msg.args[0], a)
+
+    def test_close_surfaces_as_channel_closed(self, pair):
+        client, server = pair
+        client.close()
+        with pytest.raises(ChannelClosedError):
+            server.recv(timeout=5)
+
+    def test_stats_counters(self, pair):
+        client, server = pair
+        client.send(Hello())
+        server.recv(timeout=5)
+        assert client.stats["frames_out"] == 1
+        assert client.stats["bytes_out"] > 0
+        assert server.stats["frames_in"] == 1
+
+    def test_concurrent_senders_do_not_interleave_frames(self, pair):
+        client, server = pair
+        n_threads, per_thread = 4, 25
+
+        def send_many(tid):
+            for i in range(per_thread):
+                client.send(Response(request_id=tid * 1000 + i,
+                                     value=bytes(100)))
+
+        threads = [threading.Thread(target=send_many, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        got = [server.recv(timeout=10).request_id
+               for _ in range(n_threads * per_thread)]
+        for t in threads:
+            t.join(timeout=5)
+        assert len(got) == len(set(got)) == n_threads * per_thread
+
+    def test_connect_refused_raises_transport_error(self):
+        from repro.errors import TransportError
+
+        listener = listen_socket()
+        port = listener.getsockname()[1]
+        listener.close()
+        with pytest.raises(TransportError):
+            SocketChannel.connect("127.0.0.1", port, timeout=1.0)

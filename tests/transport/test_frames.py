@@ -1,0 +1,181 @@
+"""Framing: wire format, truncation, corruption, limits."""
+
+from __future__ import annotations
+
+import io
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ChannelClosedError, FramingError
+from repro.transport.frames import (
+    MAGIC,
+    FrameReader,
+    FrameWriter,
+    read_frame,
+    write_frame,
+)
+
+
+def round_trip(header: bytes, buffers=()):
+    sink = io.BytesIO()
+    write_frame(sink.write, header, list(buffers))
+    sink.seek(0)
+    reader = FrameReader(sink)
+    return reader.read()
+
+
+class TestRoundTrip:
+    def test_header_only(self):
+        h, bufs = round_trip(b"hello")
+        assert h == b"hello" and bufs == []
+
+    def test_empty_header(self):
+        h, bufs = round_trip(b"")
+        assert h == b"" and bufs == []
+
+    def test_with_buffers(self):
+        h, bufs = round_trip(b"hdr", [b"abc", b"", b"0123456789" * 100])
+        assert h == b"hdr"
+        assert bufs == [b"abc", b"", b"0123456789" * 100]
+
+    def test_multiple_frames_in_sequence(self):
+        sink = io.BytesIO()
+        write_frame(sink.write, b"one", [b"x"])
+        write_frame(sink.write, b"two", [])
+        sink.seek(0)
+        reader = FrameReader(sink)
+        assert reader.read() == (b"one", [b"x"])
+        assert reader.read() == (b"two", [])
+        assert reader.frames_in == 2
+
+    @given(st.binary(max_size=200),
+           st.lists(st.binary(max_size=200), max_size=5))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, header, buffers):
+        h, bufs = round_trip(header, buffers)
+        assert h == header and bufs == list(buffers)
+
+
+class TestErrors:
+    def test_clean_eof_raises_channel_closed(self):
+        reader = FrameReader(io.BytesIO(b""))
+        with pytest.raises(ChannelClosedError):
+            reader.read()
+
+    def test_truncated_prefix_raises_framing_error(self):
+        sink = io.BytesIO()
+        write_frame(sink.write, b"payload")
+        data = sink.getvalue()
+        reader = FrameReader(io.BytesIO(data[:5]))
+        with pytest.raises(FramingError):
+            reader.read()
+
+    def test_truncated_header_raises_framing_error(self):
+        sink = io.BytesIO()
+        write_frame(sink.write, b"a-long-header")
+        data = sink.getvalue()
+        reader = FrameReader(io.BytesIO(data[:-4]))
+        with pytest.raises(FramingError):
+            reader.read()
+
+    def test_truncated_buffer_raises_framing_error(self):
+        sink = io.BytesIO()
+        write_frame(sink.write, b"h", [b"0123456789"])
+        data = sink.getvalue()
+        reader = FrameReader(io.BytesIO(data[:-3]))
+        with pytest.raises(FramingError):
+            reader.read()
+
+    def test_bad_magic_rejected(self):
+        sink = io.BytesIO()
+        write_frame(sink.write, b"h")
+        data = bytearray(sink.getvalue())
+        data[0] ^= 0xFF
+        reader = FrameReader(io.BytesIO(bytes(data)))
+        with pytest.raises(FramingError, match="magic"):
+            reader.read()
+
+    def test_bad_version_rejected(self):
+        sink = io.BytesIO()
+        write_frame(sink.write, b"h")
+        data = bytearray(sink.getvalue())
+        data[4] = 99  # version byte
+        reader = FrameReader(io.BytesIO(bytes(data)))
+        with pytest.raises(FramingError, match="version"):
+            reader.read()
+
+    def test_oversized_header_length_rejected_before_allocation(self):
+        # Hand-craft a prefix claiming an absurd header size.
+        prefix = struct.pack("<IBHQ", MAGIC, 1, 0, 1 << 40)
+        reader = FrameReader(io.BytesIO(prefix))
+        with pytest.raises(FramingError, match="MAX_FRAME"):
+            reader.read()
+
+    def test_oversized_buffers_rejected(self):
+        prefix = struct.pack("<IBHQ", MAGIC, 1, 2, 10)
+        blens = struct.pack("<2Q", 1 << 40, 1 << 40)
+        reader = FrameReader(io.BytesIO(prefix + blens))
+        with pytest.raises(FramingError, match="MAX_FRAME"):
+            reader.read()
+
+    def test_writer_rejects_oversized_frame(self):
+        class FakeBig:
+            def __len__(self):
+                return 1 << 31
+
+        with pytest.raises(FramingError):
+            write_frame(lambda b: None, b"h" * (2 << 30))
+
+
+class TestCounters:
+    def test_writer_counts_bytes_and_frames(self):
+        sink = io.BytesIO()
+        writer = FrameWriter(sink)
+        writer.write(b"header", [b"buf"])
+        assert writer.frames_out == 1
+        assert writer.bytes_out == len(sink.getvalue())
+
+    def test_reader_counts_bytes(self):
+        sink = io.BytesIO()
+        write_frame(sink.write, b"header", [b"buf"])
+        sink.seek(0)
+        reader = FrameReader(sink)
+        reader.read()
+        assert reader.bytes_in == len(sink.getvalue())
+
+
+class TestFuzzing:
+    """Corrupted prefixes must fail loudly, never hang or over-allocate."""
+
+    @given(st.integers(0, 14), st.integers(1, 255))
+    @settings(max_examples=60, deadline=None)
+    def test_prefix_corruption_is_detected(self, position, xor):
+        sink = io.BytesIO()
+        write_frame(sink.write, b"header-bytes", [b"payload"])
+        data = bytearray(sink.getvalue())
+        original = data[position]
+        data[position] ^= xor
+        if data[position] == original:
+            return
+        reader = FrameReader(io.BytesIO(bytes(data)))
+        try:
+            header, buffers = reader.read()
+        except (FramingError, ChannelClosedError):
+            return  # loud and typed: exactly what we want
+        # A flip inside the length words may still parse (e.g. shorter
+        # header length) — but then content must differ or lengths moved,
+        # and no read may return *more* data than the stream held.
+        assert len(header) + sum(len(b) for b in buffers) <= len(data)
+
+    @given(st.binary(min_size=0, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_random_garbage_never_parses_silently(self, garbage):
+        reader = FrameReader(io.BytesIO(garbage))
+        with pytest.raises((FramingError, ChannelClosedError)):
+            reader.read()
+            # a random stream virtually never starts with the magic; if
+            # hypothesis ever crafts one, the length checks still bound it
+            reader.read()

@@ -1,0 +1,69 @@
+"""Protocol message flattening/reconstruction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.transport.message import (
+    KERNEL_OID,
+    ErrorResponse,
+    Goodbye,
+    Hello,
+    Request,
+    Response,
+    message_to_payload,
+    payload_to_message,
+)
+
+
+class TestRoundTrip:
+    def test_request(self):
+        req = Request(request_id=7, object_id=3, method="read",
+                      args=(1, 2), kwargs={"k": 9}, oneway=True, caller=2)
+        kind, fields = message_to_payload(req)
+        assert kind == "req"
+        back = payload_to_message(kind, fields)
+        assert back == req
+
+    def test_response(self):
+        res = Response(request_id=7, value=[1, 2, 3])
+        back = payload_to_message(*message_to_payload(res))
+        assert back == res
+
+    def test_error_response_with_exception(self):
+        err = ErrorResponse(request_id=1, type_name="builtins.ValueError",
+                            message="boom", remote_traceback="tb",
+                            exception=ValueError("boom"))
+        kind, fields = message_to_payload(err)
+        back = payload_to_message(kind, fields)
+        assert isinstance(back.exception, ValueError)
+        assert back.remote_traceback == "tb"
+
+    def test_hello_goodbye(self):
+        assert payload_to_message(*message_to_payload(Hello(caller=5))) == \
+            Hello(caller=5)
+        assert isinstance(payload_to_message(*message_to_payload(Goodbye())),
+                          Goodbye)
+
+
+class TestErrors:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            payload_to_message("nope", {})
+
+    def test_bad_fields_rejected(self):
+        with pytest.raises(ProtocolError):
+            payload_to_message("req", {"bogus_field": 1})
+
+    def test_unknown_message_type_rejected(self):
+        class Fake:
+            __dict__ = {}
+
+        with pytest.raises(ProtocolError):
+            message_to_payload(Fake())  # type: ignore[arg-type]
+
+
+def test_kernel_oid_is_zero():
+    # Object id 0 is reserved protocol-wide for the machine kernel.
+    assert KERNEL_OID == 0

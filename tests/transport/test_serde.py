@@ -1,0 +1,123 @@
+"""Serialization: round trips, buffer path, nominal sizes."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SerializationError
+from repro.transport import serde
+
+
+class TestDumpsLoads:
+    def test_round_trip_scalars(self):
+        for value in [None, True, 0, -17, 3.5, "text", b"bytes",
+                      (1, 2), [3, 4], {"k": "v"}, {1, 2, 3}]:
+            header, buffers = serde.dumps(value)
+            assert serde.loads(header, buffers) == value
+
+    def test_round_trip_nested(self):
+        value = {"a": [(1, "x"), {"b": b"\x00\xff"}], "c": {"d": [None]}}
+        header, buffers = serde.dumps(value)
+        assert serde.loads(header, buffers) == value
+
+    def test_numpy_arrays_round_trip(self):
+        a = np.arange(1000, dtype=np.float64).reshape(10, 100)
+        header, buffers = serde.dumps(a)
+        b = serde.loads(header, [bytes(x) for x in buffers])
+        assert np.array_equal(a, b)
+        assert b.dtype == a.dtype
+
+    def test_large_array_goes_out_of_band(self):
+        a = np.zeros(1 << 16)
+        header, buffers = serde.dumps(a)
+        # the 512 KiB of data must not be inside the pickle header
+        assert len(header) < 10_000
+        assert sum(memoryview(b).nbytes for b in buffers) >= a.nbytes
+
+    def test_out_of_band_is_zero_copy_view(self):
+        a = np.arange(64, dtype=np.float64)
+        _header, buffers = serde.dumps(a)
+        assert len(buffers) == 1
+        view = memoryview(buffers[0])
+        assert view.nbytes == a.nbytes
+
+    def test_complex_arrays(self):
+        a = (np.arange(32) + 1j * np.arange(32)).astype(np.complex128)
+        header, buffers = serde.dumps(a)
+        assert np.array_equal(serde.loads(header, [bytes(b) for b in buffers]), a)
+
+    def test_protocol_below_5_keeps_everything_inline(self):
+        a = np.arange(256, dtype=np.float64)
+        header, buffers = serde.dumps(a, protocol=4)
+        assert buffers == []
+        assert np.array_equal(serde.loads(header), a)
+
+    def test_unpicklable_raises_serialization_error(self):
+        with pytest.raises(SerializationError):
+            serde.dumps(lambda x: x)
+
+    def test_corrupt_header_raises_serialization_error(self):
+        with pytest.raises(SerializationError):
+            serde.loads(b"not a pickle")
+
+    def test_missing_buffers_raise(self):
+        a = np.arange(16, dtype=np.float64)
+        header, buffers = serde.dumps(a)
+        if buffers:  # buffer-expecting header without the buffers
+            with pytest.raises(SerializationError):
+                serde.loads(header, [])
+
+    @given(st.recursive(
+        st.none() | st.booleans() | st.integers(-2**63, 2**63 - 1)
+        | st.floats(allow_nan=False) | st.text(max_size=30)
+        | st.binary(max_size=30),
+        lambda children: st.lists(children, max_size=4)
+        | st.dictionaries(st.text(max_size=8), children, max_size=4),
+        max_leaves=20))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_property(self, value):
+        header, buffers = serde.dumps(value)
+        assert serde.loads(header, [bytes(b) for b in buffers]) == value
+
+
+class TestSizes:
+    def test_encoded_size_counts_header_and_buffers(self):
+        a = np.zeros(1000)
+        assert serde.encoded_size(a) >= 8000
+
+    def test_nominal_defaults_to_encoded(self):
+        v = [1, 2, 3]
+        assert serde.nominal_size_of(v) == serde.encoded_size(list(v))
+
+    def test_declared_nominal_wins(self):
+        class Big:
+            __oopp_nominal_bytes__ = 1 << 30
+
+        assert serde.nominal_size_of(Big()) == 1 << 30
+
+    def test_nominal_scans_tuple_elements(self):
+        class Big:
+            __oopp_nominal_bytes__ = 1000
+
+        size = serde.nominal_size_of((Big(), "x"))
+        assert 1000 < size < 1200
+
+    def test_nominal_scans_dict_values(self):
+        class Big:
+            __oopp_nominal_bytes__ = 5000
+
+        assert serde.nominal_size_of({"page": Big()}) > 5000
+
+    def test_nominal_none_attribute_ignored(self):
+        # A property raising AttributeError means "undeclared".
+        from repro.storage.page import Page
+
+        p = Page(64)
+        assert serde.nominal_size_of(p) == serde.encoded_size(p)
+        p.with_nominal_size(12345)
+        assert serde.nominal_size_of(p) == 12345

@@ -1,0 +1,80 @@
+"""Property-based serialization tests over numpy arrays."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.transport import serde
+
+DTYPES = st.sampled_from(["float64", "float32", "int64", "int32", "uint8",
+                          "complex128", "bool"])
+
+def _elements(dt: str):
+    kind = np.dtype(dt).kind
+    if kind == "b":
+        return st.booleans()
+    if kind in "iu":
+        return st.integers(0, 100)
+    if kind == "f":
+        return st.floats(-1e6, 1e6, width=32 if dt == "float32" else 64)
+    assert kind == "c"
+    return st.complex_numbers(max_magnitude=1e6, allow_nan=False,
+                              allow_infinity=False)
+
+
+arrays = DTYPES.flatmap(lambda dt: hnp.arrays(
+    dtype=np.dtype(dt),
+    shape=hnp.array_shapes(min_dims=0, max_dims=3, max_side=16),
+    elements=_elements(dt),
+))
+
+
+class TestNumpyRoundTrips:
+    @given(arrays)
+    @settings(max_examples=80, deadline=None)
+    def test_array_round_trip_exact(self, a):
+        header, buffers = serde.dumps(a)
+        b = serde.loads(header, [bytes(x) for x in buffers])
+        assert b.dtype == a.dtype
+        assert b.shape == a.shape
+        assert np.array_equal(a, b)
+
+    @given(arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_arrays_inside_containers(self, a):
+        value = {"payload": a, "meta": (1, "x"), "more": [a]}
+        header, buffers = serde.dumps(value)
+        back = serde.loads(header, [bytes(x) for x in buffers])
+        assert np.array_equal(back["payload"], a)
+        assert np.array_equal(back["more"][0], a)
+        assert back["meta"] == (1, "x")
+
+    @given(arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_non_contiguous_views_survive(self, a):
+        if a.ndim == 0 or a.shape[0] < 2:
+            return
+        view = a[::2]
+        header, buffers = serde.dumps(view)
+        back = serde.loads(header, [bytes(x) for x in buffers])
+        assert np.array_equal(back, view)
+
+    @given(arrays)
+    @settings(max_examples=40, deadline=None)
+    def test_encoded_size_at_least_payload(self, a):
+        # C-contiguous numeric data must not be inflated or truncated.
+        if a.flags.c_contiguous:
+            assert serde.encoded_size(a) >= a.nbytes
+
+    @given(st.integers(1, 3), st.integers(0, 50))
+    @settings(max_examples=30, deadline=None)
+    def test_fortran_order_preserved(self, ndim, seed):
+        rng = np.random.default_rng(seed)
+        shape = tuple([3] * ndim)
+        a = np.asfortranarray(rng.random(shape))
+        header, buffers = serde.dumps(a)
+        back = serde.loads(header, [bytes(x) for x in buffers])
+        assert np.array_equal(back, a)
