@@ -46,7 +46,10 @@ from .errors import (
     ObjectDestroyedError,
     RemoteExecutionError,
     MachineDownError,
+    CallTimeoutError,
+    ChannelTimeoutError,
 )
+from .transport.faults import FaultPlan, FaultRule
 from .runtime import (
     Cluster,
     current_cluster,
@@ -109,6 +112,10 @@ __all__ = [
     "ObjectDestroyedError",
     "RemoteExecutionError",
     "MachineDownError",
+    "CallTimeoutError",
+    "ChannelTimeoutError",
+    "FaultPlan",
+    "FaultRule",
     "Cluster",
     "current_cluster",
     "Proxy",

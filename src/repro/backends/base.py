@@ -12,9 +12,9 @@ from typing import Any, Optional
 
 from ..config import Config
 from ..errors import NoSuchMachineError, RemoteExecutionError
-from ..runtime.futures import RemoteFuture
+from ..runtime.futures import RemoteFuture, retry_call
 from ..runtime.oid import ObjectRef, class_spec
-from ..runtime.proxy import Proxy
+from ..runtime.proxy import Proxy, is_idempotent
 from ..transport.message import KERNEL_OID, ErrorResponse
 
 
@@ -78,10 +78,22 @@ class Fabric:
 
     def call(self, ref: ObjectRef, method: str, args: tuple,
              kwargs: dict, timeout: Optional[float] = None) -> Any:
-        """Synchronous remote execution — the paper's default semantics."""
-        future = self.call_async(ref, method, args, kwargs)
-        return future.result(timeout if timeout is not None
-                             else self.config.call_timeout_s)
+        """Synchronous remote execution — the paper's default semantics.
+
+        When ``config.call_retries > 0`` and *method* is idempotent
+        (implicit reads, or listed in the class's
+        ``__oopp_idempotent__``), a timed-out or transport-failed call
+        is re-sent with exponential backoff.  Non-idempotent methods
+        are never retried: an ambiguous failure must surface.
+        """
+        timeout = (timeout if timeout is not None
+                   else self.config.call_timeout_s)
+        retries = self.config.call_retries
+        if retries <= 0 or not is_idempotent(ref, method):
+            return self.call_async(ref, method, args, kwargs).result(timeout)
+        return retry_call(
+            lambda: self.call_async(ref, method, args, kwargs).result(timeout),
+            retries=retries, backoff_s=self.config.retry_backoff_s)
 
     # -- conveniences built on the calling convention -------------------------
 

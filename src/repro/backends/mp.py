@@ -33,6 +33,7 @@ from typing import Optional
 from ..config import DEFAULT_HOST, Config
 from ..errors import (
     ChannelClosedError,
+    ChannelTimeoutError,
     MachineDownError,
     TransportError,
 )
@@ -47,6 +48,8 @@ from ..transport.message import (
     Request,
     Response,
 )
+from ..transport.channel import Channel
+from ..transport.faults import FaultPlan
 from ..transport.socket_channel import SocketChannel, listen_socket
 from ..util.ids import IdAllocator
 from ..util.log import get_logger
@@ -62,23 +65,26 @@ log = get_logger("mp")
 class _Connection:
     """One dialed connection with a response-demux reader thread."""
 
-    def __init__(self, channel: SocketChannel, owner: "PeerClient",
+    def __init__(self, channel: Channel, owner: "PeerClient",
                  machine: int) -> None:
         self.channel = channel
         self.machine = machine
         self._owner = owner
         self._lock = threading.Lock()
-        self._pending: dict[int, RemoteFuture] = {}
+        #: request id -> (future, oid of the call in flight)
+        self._pending: dict[int, tuple[RemoteFuture, int]] = {}
         self._dead: Optional[BaseException] = None
         self._reader = threading.Thread(
             target=self._read_loop, name=f"oopp-demux-m{machine}", daemon=True)
         self._reader.start()
 
-    def register(self, request_id: int, future: RemoteFuture) -> None:
+    def register(self, request_id: int, future: RemoteFuture,
+                 oid: int) -> None:
         with self._lock:
             if self._dead is not None:
-                raise MachineDownError(str(self._dead))
-            self._pending[request_id] = future
+                raise MachineDownError(str(self._dead), machine=self.machine,
+                                       oid=oid)
+            self._pending[request_id] = (future, oid)
 
     def _read_loop(self) -> None:
         ctx = self._owner.decode_context
@@ -86,14 +92,17 @@ class _Connection:
             while True:
                 try:
                     msg = self.channel.recv()
+                except ChannelTimeoutError:
+                    continue  # slow link, not a dead peer: keep reading
                 except (ChannelClosedError, TransportError, OSError) as exc:
                     self._fail_all(exc)
                     return
                 if isinstance(msg, (Response, ErrorResponse)):
                     with self._lock:
-                        future = self._pending.pop(msg.request_id, None)
-                    if future is None:
+                        entry = self._pending.pop(msg.request_id, None)
+                    if entry is None:
                         continue  # response to a cancelled/timed-out call
+                    future, _ = entry
                     if isinstance(msg, Response):
                         future.set_result(msg.value)
                     else:
@@ -104,16 +113,20 @@ class _Connection:
                 # Hello/others ignored on an outbound connection.
 
     def _fail_all(self, exc: BaseException) -> None:
+        """Fail every pending future, attaching machine and failed oid."""
         with self._lock:
             if self._dead is None:
                 self._dead = exc
             pending = list(self._pending.values())
             self._pending.clear()
-        err = MachineDownError(
-            f"machine {self.machine} connection lost: {exc}")
-        for f in pending:
-            if not f.done():
-                f.set_exception(err)
+        for f, oid in pending:
+            try:
+                f.set_exception(MachineDownError(
+                    f"machine {self.machine} connection lost while "
+                    f"object {oid} had a call in flight: {exc}",
+                    machine=self.machine, oid=oid))
+            except RuntimeError:
+                pass  # lost the race against a send-side failure
 
     @property
     def dead(self) -> bool:
@@ -135,11 +148,16 @@ class PeerClient:
     its machine id) for outbound calls.
     """
 
-    def __init__(self, caller: int, decode_context: RuntimeContext) -> None:
+    def __init__(self, caller: int, decode_context: RuntimeContext,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.caller = caller
         self.decode_context = decode_context
+        self.fault_plan = fault_plan
         self._addrs: dict[int, tuple[str, int]] = {}
         self._conns: dict[int, _Connection] = {}
+        #: machines declared dead by the liveness monitor: fail fast
+        #: instead of burning the connect timeout on every call.
+        self._down: dict[int, str] = {}
         self._lock = threading.Lock()
         self._request_ids = IdAllocator()
         self._closed = False
@@ -153,21 +171,47 @@ class PeerClient:
         with self._lock:
             return sorted(self._addrs)
 
+    def mark_down(self, machine: int, reason: str) -> None:
+        """Declare *machine* dead: fail its pending calls and all future
+        calls immediately (liveness monitor and kill_machine call this)."""
+        with self._lock:
+            if machine in self._down:
+                return
+            self._down[machine] = reason
+            conn = self._conns.pop(machine, None)
+        if conn is not None:
+            conn._fail_all(MachineDownError(reason, machine=machine))
+            conn.channel.close()
+
+    def _check_down(self, machine: int, oid: Optional[int] = None) -> None:
+        reason = self._down.get(machine)
+        if reason is not None:
+            raise MachineDownError(
+                f"machine {machine} is down: {reason}", machine=machine,
+                oid=oid)
+
     def _connect(self, machine: int) -> _Connection:
         with self._lock:
             if self._closed:
-                raise MachineDownError("client closed")
+                raise MachineDownError("client closed", machine=machine)
             conn = self._conns.get(machine)
             if conn is not None and not conn.dead:
                 return conn
             addr = self._addrs.get(machine)
+        self._check_down(machine)
         if addr is None:
-            raise MachineDownError(f"no address known for machine {machine}")
+            raise MachineDownError(f"no address known for machine {machine}",
+                                   machine=machine)
         try:
-            channel = SocketChannel.connect(addr[0], addr[1], timeout=10.0)
+            channel: Channel = SocketChannel.connect(addr[0], addr[1],
+                                                     timeout=10.0)
         except TransportError as exc:
             raise MachineDownError(
-                f"cannot reach machine {machine} at {addr}: {exc}") from exc
+                f"cannot reach machine {machine} at {addr}: {exc}",
+                machine=machine) from exc
+        if self.fault_plan is not None:
+            channel = self.fault_plan.wrap(
+                channel, label=f"m{self.caller}->m{machine}")
         channel.send(Hello(caller=self.caller))
         conn = _Connection(channel, self, machine)
         with self._lock:
@@ -180,20 +224,23 @@ class PeerClient:
 
     def send_request(self, ref: ObjectRef, method: str, args: tuple,
                      kwargs: dict, *, oneway: bool = False) -> Optional[RemoteFuture]:
+        self._check_down(ref.machine, ref.oid)
         conn = self._connect(ref.machine)
         request_id = self._request_ids.next()
         future: Optional[RemoteFuture] = None
         if not oneway:
             future = RemoteFuture(
                 label=f"machine{ref.machine}#{ref.oid}.{method}")
-            conn.register(request_id, future)
+            conn.register(request_id, future, ref.oid)
         request = Request(request_id=request_id, object_id=ref.oid,
                           method=method, args=args, kwargs=kwargs,
                           oneway=oneway, caller=self.caller)
         try:
             conn.channel.send(request)
         except (ChannelClosedError, TransportError, OSError) as exc:
-            err = MachineDownError(f"send to machine {ref.machine} failed: {exc}")
+            err = MachineDownError(
+                f"send to machine {ref.machine} failed: {exc}",
+                machine=ref.machine, oid=ref.oid)
             if future is not None and not future.done():
                 future.set_exception(err)
                 return future
@@ -298,7 +345,8 @@ class MachineServer:
         self.fabric = MachineFabric(config, self)
         self.context = RuntimeContext(fabric=self.fabric, machine_id=machine_id)
         self.outbound = PeerClient(caller=machine_id,
-                                   decode_context=self.context)
+                                   decode_context=self.context,
+                                   fault_plan=config.fault_plan)
         self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
                                      self.fabric)
         self.listener = listen_socket(DEFAULT_HOST, 0)
@@ -386,15 +434,25 @@ def _worker_main(machine_id: int, config: Config, bootstrap) -> None:
 # ---------------------------------------------------------------------------
 
 
+#: polling interval of the driver's machine-liveness monitor (seconds).
+LIVENESS_POLL_S = 0.2
+
+
 class MpFabric(Fabric):
     """Driver-side fabric over a pool of machine processes."""
 
     def __init__(self, config: Config) -> None:
         super().__init__(config)
         self._context = RuntimeContext(fabric=self, machine_id=-1)
-        self._client = PeerClient(caller=-1, decode_context=self._context)
+        self._client = PeerClient(caller=-1, decode_context=self._context,
+                                  fault_plan=config.fault_plan)
         self._procs: list[multiprocessing.Process] = []
+        self._monitor_stop = threading.Event()
+        self._monitor: Optional[threading.Thread] = None
         self._spawn_machines()
+        self._monitor = threading.Thread(target=self._monitor_loop,
+                                         name="oopp-liveness", daemon=True)
+        self._monitor.start()
 
     def _spawn_machines(self) -> None:
         ctx = multiprocessing.get_context(self.config.mp_start_method)
@@ -434,6 +492,26 @@ class MpFabric(Fabric):
         for f in futures:
             f.result(self.config.startup_timeout_s)
 
+    # -- liveness -----------------------------------------------------------
+
+    def _monitor_loop(self) -> None:
+        """Poll worker processes; convert a dead worker into fast
+        :class:`MachineDownError` instead of a hang on the next call."""
+        while not self._monitor_stop.wait(LIVENESS_POLL_S):
+            for machine, proc in enumerate(self._procs):
+                if not proc.is_alive():
+                    self._machine_died(machine, proc)
+
+    def _machine_died(self, machine: int, proc) -> None:
+        if machine in self._client._down:
+            return
+        log.warning("machine %d (pid %s) died, exitcode %s", machine,
+                    proc.pid, proc.exitcode)
+        self._client.mark_down(
+            machine,
+            f"worker process (pid {proc.pid}) died with exitcode "
+            f"{proc.exitcode}")
+
     # -- Fabric interface ---------------------------------------------------
 
     def call_async(self, ref: ObjectRef, method: str, args: tuple,
@@ -460,9 +538,15 @@ class MpFabric(Fabric):
         if self._closed:
             return
         self._closed = True
+        self._monitor_stop.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
         # Graceful: destroy hosted objects (running destructor hooks),
-        # then ask each machine to stop.
+        # then ask each machine to stop.  Machines already declared dead
+        # are skipped — no point waiting a shutdown timeout on a corpse.
         for machine in range(self.machine_count):
+            if machine in self._client._down:
+                continue
             try:
                 self._client.send_request(
                     self.kernel_ref(machine), "destroy_all", (), {}
@@ -501,11 +585,26 @@ class MpFabric(Fabric):
     def machine_alive(self) -> list[bool]:
         return [p.is_alive() for p in self._procs]
 
-    def kill_machine(self, machine: int) -> None:
-        """Hard-kill one machine process (failure-injection tests)."""
+    def machine_down(self, machine: int) -> bool:
+        """True when the liveness monitor has declared *machine* dead."""
+        return machine in self._client._down
+
+    def kill_machine(self, machine: int, *, hard: bool = False) -> None:
+        """Kill one machine process (failure-injection tests).
+
+        ``hard=True`` sends SIGKILL — the worker gets no chance to flush
+        or say goodbye, the closest stand-in for a machine losing power.
+        The machine is immediately declared down, so pending and future
+        calls fail with :class:`MachineDownError` rather than hanging.
+        """
         self.check_machine(machine)
         proc = self._procs[machine]
         if proc.is_alive():
-            log.warning("killing machine %d (pid %s)", machine, proc.pid)
-            proc.terminate()
+            log.warning("killing machine %d (pid %s, hard=%s)", machine,
+                        proc.pid, hard)
+            if hard:
+                proc.kill()
+            else:
+                proc.terminate()
             proc.join(timeout=5.0)
+        self._machine_died(machine, proc)

@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..config import Config
-from ..errors import MachineDownError, SimulationError
+from ..errors import MachineDownError, SerializationError, SimulationError
 from ..runtime.context import CostHooks, RuntimeContext, context_scope, current_context
 from ..runtime.futures import RemoteFuture, completed_future, failed_future
 from ..runtime.oid import ObjectRef
@@ -34,7 +34,8 @@ from ..sim.engine import Engine, Trigger
 from ..sim.network import SimNetwork
 from ..sim.trace import TraceLog
 from ..transport import serde
-from ..transport.message import ErrorResponse, Request
+from ..transport.faults import FaultInjector, FaultRule
+from ..transport.message import ErrorResponse, Message, Request
 from ..util.ids import IdAllocator
 from .base import Fabric, exception_from_error
 
@@ -134,6 +135,9 @@ class SimFabric(Fabric):
                                   config.network, config.disk)
         self._machines = [_SimMachine(i, self) for i in range(config.n_machines)]
         self._request_ids = IdAllocator()
+        #: chaos layer: one injector per (src, dst) link, allocated lazily
+        #: in program order (deterministic for a deterministic program).
+        self._fault_injectors: dict[tuple[int, int], FaultInjector] = {}
         # The driver thread is a simulation process for the whole session.
         self.engine.adopt_current_thread()
         self.driver_hooks = SimCostHooks(self, -1)
@@ -210,15 +214,67 @@ class SimFabric(Fabric):
 
         if src == dst:
             # Loopback: no network, immediate dispatch on this thread.
+            # (Faults model the interconnect, so loopback is exempt —
+            # mirroring the mp backend's local short-circuit.)
             self._execute(src, dst, request, future)
             return future
 
         arrival = self.network.message_arrival(src, dst, req_wire)
+
+        fault = self._fault_for(src, dst, "send", request)
+        if fault is not None:
+            if fault.action == "close":
+                raise MachineDownError(
+                    f"fault injected: link m{src}->m{dst} closed",
+                    machine=dst, oid=ref.oid)
+            if fault.action == "drop":
+                # The request is lost.  Under the paper's block-forever
+                # semantics the caller's wait starves the event queue,
+                # surfacing deterministically as SimDeadlockError.
+                return future
+            if fault.action == "corrupt":
+                if future is not None:
+                    self._deliver_exception(
+                        future, arrival,
+                        SerializationError(
+                            f"fault injected: corrupted request frame "
+                            f"m{src}->m{dst}"))
+                return future
+            arrival += fault.delay_s  # action == "delay"
+
         self.engine.schedule_at(
             arrival,
             lambda: self.engine.spawn(self._execute, src, dst, request,
                                       future, name=f"sim-handler-m{dst}"))
         return future
+
+    def _fault_for(self, src: int, dst: int, direction: str,
+                   msg: Message) -> Optional[FaultRule]:
+        """Consult the per-link injector; ``None`` without a fault plan.
+
+        One injector covers each (caller, callee) pair, so — as on the
+        mp backend's dialed connections — ``"send"`` sees outgoing
+        requests and ``"recv"`` sees the responses coming back.
+        """
+        plan = self.config.fault_plan
+        if plan is None:
+            return None
+        key = (src, dst)
+        injector = self._fault_injectors.get(key)
+        if injector is None:
+            injector = plan.injector(label=f"sim m{src}->m{dst}")
+            self._fault_injectors[key] = injector
+        return injector.decide(direction, msg)
+
+    def _deliver_exception(self, future: SimRemoteFuture, at: float,
+                           exc: BaseException) -> None:
+        """Complete *future* with *exc* at simulated time *at*."""
+
+        def deliver() -> None:
+            future.set_exception(exc)
+            self.engine._fire_locked(future.trigger, None, None)
+
+        self.engine.schedule_at(at, deliver)
 
     def _cpu_wait(self, node_id: int, seconds: float) -> None:
         """Occupy *node_id*'s protocol CPU and wait for our slot.
@@ -275,6 +331,23 @@ class SimFabric(Fabric):
         if cpu > 0:
             self._cpu_wait(dst, cpu)  # response marshalling
         arrival = self.network.message_arrival(dst, src, resp_wire)
+
+        fault = self._fault_for(src, dst, "recv", reply)
+        if fault is not None:
+            if fault.action == "drop":
+                return  # response lost; the caller keeps waiting
+            if fault.action == "corrupt":
+                self._deliver_exception(future, arrival, SerializationError(
+                    f"fault injected: corrupted response frame "
+                    f"m{dst}->m{src}"))
+                return
+            if fault.action == "close":
+                self._deliver_exception(future, arrival, MachineDownError(
+                    f"fault injected: link m{src}->m{dst} closed",
+                    machine=dst, oid=request.object_id))
+                return
+            arrival += fault.delay_s  # action == "delay"
+
         # response unmarshalling serializes on the *caller's* CPU —
         # the receive-loop's per-message cost.
         done = (self.network.node(src).cpu.occupy_from(arrival, cpu)

@@ -82,6 +82,23 @@ class Config:
     call_timeout_s:
         Deadline for a single remote call in the mp backend.  ``None``
         disables timeouts (the paper's semantics: calls block forever).
+    call_retries / retry_backoff_s:
+        Retry budget for *idempotent* remote calls (ping, attribute
+        reads, page reads — see ``__oopp_idempotent__`` in
+        :mod:`repro.runtime.proxy`).  A failed idempotent call is
+        re-sent up to ``call_retries`` times, sleeping
+        ``retry_backoff_s * 2**attempt`` between attempts.  Retries
+        trigger on timeouts and machine/channel failures; note the
+        interaction with the paper's block-forever default: with
+        ``call_timeout_s=None`` a *lost* (dropped) message never times
+        out, so the retry budget only helps when a deadline is set.
+        ``call_retries=0`` (the default) preserves the paper's
+        semantics exactly.
+    fault_plan:
+        A :class:`~repro.transport.faults.FaultPlan` injecting seeded,
+        deterministic faults (drop/delay/corrupt/close) into the mp and
+        sim backends.  ``None`` (the default) disables injection; see
+        ``docs/FAILURES.md``.
     storage_root:
         Directory under which file-backed PageDevices and the persistence
         store keep their data.  Defaults to a per-process temp directory.
@@ -94,6 +111,13 @@ class Config:
     backend: str = "inline"
     n_machines: int = 4
     call_timeout_s: float | None = None
+    #: retry budget for idempotent remote calls (0 = never retry, the
+    #: paper's semantics).
+    call_retries: int = 0
+    #: base of the exponential backoff between retries, in seconds.
+    retry_backoff_s: float = 0.05
+    #: optional :class:`~repro.transport.faults.FaultPlan` (chaos layer).
+    fault_plan: object | None = None
     storage_root: str | None = None
     network: NetworkModel = field(default_factory=NetworkModel)
     disk: DiskModel = field(default_factory=DiskModel)
@@ -125,6 +149,17 @@ class Config:
             raise ConfigError("n_machines must be >= 1")
         if self.call_timeout_s is not None and self.call_timeout_s <= 0:
             raise ConfigError("call_timeout_s must be positive or None")
+        if self.call_retries < 0:
+            raise ConfigError("call_retries must be >= 0")
+        if self.retry_backoff_s <= 0:
+            raise ConfigError("retry_backoff_s must be > 0")
+        if self.fault_plan is not None:
+            validate = getattr(self.fault_plan, "validate", None)
+            if not callable(validate):
+                raise ConfigError(
+                    f"fault_plan must be a FaultPlan, got "
+                    f"{type(self.fault_plan).__name__}")
+            validate()
         if not (2 <= self.pickle_protocol <= 5):
             raise ConfigError("pickle_protocol must be in [2, 5]")
         if self.startup_timeout_s <= 0 or self.shutdown_timeout_s <= 0:

@@ -33,6 +33,15 @@ class ChannelClosedError(TransportError):
     """The underlying channel was closed while a message was in flight."""
 
 
+class ChannelTimeoutError(TransportError):
+    """``recv`` hit its deadline with no message — the peer is *slow*,
+    not *dead*: the channel remains usable and the call may be retried.
+
+    Deliberately not a :class:`ChannelClosedError` subclass, so retry
+    policies can distinguish a stalled link from a closed one.
+    """
+
+
 class FramingError(TransportError):
     """A frame on the wire was malformed (bad magic, truncated, oversized)."""
 
@@ -72,7 +81,28 @@ class ObjectDestroyedError(NoSuchObjectError):
 
 
 class MachineDownError(RuntimeLayerError):
-    """The hosting machine process died or is unreachable."""
+    """The hosting machine process died or is unreachable.
+
+    Attributes
+    ----------
+    machine:
+        Index of the unreachable machine, when known.
+    oid:
+        Object id of the call that was in flight when the machine died,
+        when the failure interrupted a specific call.
+    """
+
+    def __init__(self, message: str = "", *, machine: int | None = None,
+                 oid: int | None = None) -> None:
+        super().__init__(message)
+        self.machine = machine
+        self.oid = oid
+
+    def __reduce__(self):
+        # Keep machine/oid across the pickle round trip error responses
+        # take between processes (BaseException.__reduce__ only keeps args).
+        return (self.__class__, (self.args[0] if self.args else "",),
+                {"machine": self.machine, "oid": self.oid})
 
 
 class RemoteExecutionError(RuntimeLayerError):

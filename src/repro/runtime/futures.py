@@ -11,9 +11,54 @@ receive-loops.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, Callable, Iterable, Iterator, Optional, Sequence
 
-from ..errors import CallTimeoutError
+from ..errors import (
+    CallTimeoutError,
+    ChannelTimeoutError,
+    MachineDownError,
+    TransportError,
+)
+
+#: failures worth retrying for an idempotent call: the call may not have
+#: executed (lost request, dead connection, stalled link).  A
+#: :class:`~repro.errors.MachineDownError` is included because the mp
+#: backend re-dials dead connections — a retry after a transient
+#: connection loss reaches the (still alive) machine again.
+RETRYABLE_ERRORS: tuple[type[BaseException], ...] = (
+    CallTimeoutError,
+    ChannelTimeoutError,
+    MachineDownError,
+    TransportError,
+)
+
+
+def retry_call(attempt: Callable[[], Any], *, retries: int,
+               backoff_s: float,
+               retry_on: tuple[type[BaseException], ...] = RETRYABLE_ERRORS,
+               sleep: Callable[[float], None] = time.sleep) -> Any:
+    """Run ``attempt()`` with exponential backoff — the receive half of a
+    retried idempotent call.
+
+    The first try runs immediately; each of the up-to-*retries* further
+    tries is preceded by a sleep of ``backoff_s * 2**i``.  Only
+    exceptions in *retry_on* are retried; anything else (including a
+    remote application error, which proves the call executed) passes
+    straight through.  The last failure is re-raised when the budget is
+    exhausted.
+    """
+    if retries < 0:
+        raise ValueError("retries must be >= 0")
+    delay = backoff_s
+    for i in range(retries + 1):
+        try:
+            return attempt()
+        except retry_on:
+            if i == retries:
+                raise
+        sleep(delay)
+        delay *= 2
 
 
 class RemoteFuture:

@@ -35,6 +35,40 @@ GETATTR_METHOD = "__oopp_getattr__"
 SETATTR_METHOD = "__oopp_setattr__"
 PING_METHOD = "__oopp_ping__"
 
+#: class attribute naming the methods a class declares safe to re-send
+#: after an ambiguous failure (executed-twice must equal executed-once).
+IDEMPOTENT_ATTR = "__oopp_idempotent__"
+
+#: operations that are idempotent on *every* remote object: liveness
+#: probes and pure reads.  Used by the retry machinery in
+#: :meth:`repro.backends.base.Fabric.call`.
+IDEMPOTENT_IMPLICIT = frozenset({
+    GETATTR_METHOD,
+    PING_METHOD,
+    "ping",          # kernel liveness probe
+    "stats",         # kernel / device counters
+    "__len__",
+    "__contains__",
+    "__getitem__",
+})
+
+
+def is_idempotent(ref: ObjectRef, method: str) -> bool:
+    """True when re-sending ``method`` on *ref* after an ambiguous
+    failure is safe: implicit reads, or methods the target class lists
+    in its ``__oopp_idempotent__`` attribute."""
+    if method in IDEMPOTENT_IMPLICIT:
+        return True
+    if ref.spec is None:
+        return False
+    from .oid import resolve_class
+
+    try:
+        cls = resolve_class(ref.spec)
+    except Exception:  # noqa: BLE001 - unresolvable spec: assume unsafe
+        return False
+    return method in getattr(cls, IDEMPOTENT_ATTR, ())
+
 
 class RemoteMethod:
     """A bound stub for one method of one remote object."""

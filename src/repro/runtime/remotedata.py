@@ -23,6 +23,11 @@ import numpy as np
 class Block:
     """A typed, fixed-length array hosted on a remote machine."""
 
+    #: pure reads: safe to re-send under the chaos layer's retry budget.
+    __oopp_idempotent__ = frozenset({
+        "read", "sum", "min", "max", "dot", "dtype_name", "nbytes",
+    })
+
     def __init__(self, n: int, dtype: str = "float64",
                  fill: float | int | None = 0) -> None:
         if n < 0:

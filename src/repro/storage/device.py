@@ -67,6 +67,14 @@ class PageDevice:
         ablation).
     """
 
+    #: page reads are safe to re-send after an ambiguous transport
+    #: failure (chaos layer: see Config.call_retries).  The ``reads``
+    #: counter drifts on a duplicated read — diagnostics, not state.
+    __oopp_idempotent__ = frozenset({
+        "read", "read_into", "read_page", "read_region", "describe",
+        "io_stats", "sum", "reduce_region", "dot_pages",
+    })
+
     def __init__(self, filename: str, NumberOfPages: int, PageSize: int, *,
                  nominal_page_size: Optional[int] = None,
                  disk_key: Optional[str] = None) -> None:

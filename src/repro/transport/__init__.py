@@ -32,6 +32,7 @@ from .message import (
 from .frames import write_frame, read_frame, FrameReader, FrameWriter
 from .channel import Channel, InprocChannel, inproc_pair
 from .socket_channel import SocketChannel, listen_socket
+from .faults import FaultPlan, FaultRule, FaultInjector, FaultyChannel
 
 __all__ = [
     "dumps",
@@ -55,4 +56,8 @@ __all__ = [
     "inproc_pair",
     "SocketChannel",
     "listen_socket",
+    "FaultPlan",
+    "FaultRule",
+    "FaultInjector",
+    "FaultyChannel",
 ]

@@ -12,7 +12,7 @@ import queue
 import threading
 from typing import Optional
 
-from ..errors import ChannelClosedError
+from ..errors import ChannelClosedError, ChannelTimeoutError
 from . import serde
 from .message import Message, message_to_payload, payload_to_message
 
@@ -86,7 +86,9 @@ class InprocChannel(Channel):
         try:
             item = self._inbox.get(timeout=timeout)
         except queue.Empty:
-            raise ChannelClosedError("recv timed out") from None
+            # A timeout is not a closed peer: the channel stays usable.
+            raise ChannelTimeoutError(
+                f"recv timed out after {timeout}s") from None
         if item is self._CLOSE:
             self._closed.set()
             raise ChannelClosedError("peer closed channel")

@@ -1,0 +1,278 @@
+"""Deterministic fault injection for channels and backends (the chaos layer).
+
+The paper assumes machines and links never fail; the production runtime
+cannot.  This module is how we *test* that it cannot: a seeded
+:class:`FaultPlan` describes which messages to drop, delay, corrupt, or
+whose channel to close, and a :class:`FaultyChannel` applies the plan at
+the :class:`~repro.transport.channel.Channel` interface.  Both real
+backends honour ``Config(fault_plan=...)``:
+
+* the **mp** backend wraps every *dialed* connection (driver→machine and
+  machine→machine), so direction ``"send"`` covers outgoing requests and
+  direction ``"recv"`` covers incoming responses;
+* the **sim** backend consults one injector per (src, dst) machine pair:
+  delays extend simulated arrival time, drops leave the caller blocked
+  (surfacing as :class:`~repro.errors.SimDeadlockError` under the
+  paper's block-forever semantics).
+
+Determinism: all probabilistic decisions come from ``random.Random``
+seeded with ``(plan.seed, injector_index)``, injectors are allocated in
+program order, and every fired fault is appended to the injector's
+schedule log — two runs of the same program under ``FaultPlan(seed=N)``
+produce byte-identical schedules (:meth:`FaultInjector.schedule`).
+
+A plan travels inside :class:`~repro.config.Config` to forked machine
+processes, so everything here is picklable.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from ..errors import ChannelClosedError, ConfigError, SerializationError
+from .channel import Channel
+from .message import Message, Request, message_to_payload
+
+if TYPE_CHECKING:  # pragma: no cover
+    pass
+
+ACTIONS = ("drop", "delay", "corrupt", "close")
+DIRECTIONS = ("send", "recv", "both")
+KINDS = ("req", "res", "err", "hi", "bye")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One injection rule: *when* a matching message passes, do *action*.
+
+    Parameters
+    ----------
+    action:
+        ``"drop"`` — the message silently vanishes;
+        ``"delay"`` — delivery is postponed by ``delay_s`` (wall seconds
+        on real channels, simulated seconds on the sim backend);
+        ``"corrupt"`` — the frame is mangled: the receiving side raises
+        :class:`~repro.errors.SerializationError`, the sending side
+        loses the message (a real peer could never have decoded it);
+        ``"close"`` — the channel is closed mid-conversation.
+    direction:
+        ``"send"``, ``"recv"`` or ``"both"`` — which half of the channel
+        the rule watches.
+    kinds:
+        Restrict to message kinds (``"req"``, ``"res"``, ``"err"``,
+        ``"hi"``, ``"bye"``); ``None`` matches all.
+    methods:
+        Restrict to :class:`~repro.transport.message.Request` messages
+        calling one of these methods; ``None`` matches any message.
+    nth:
+        Fire on the nth *matching* message (1-based).  Mutually
+        exclusive with ``probability``.
+    probability:
+        Fire on each matching message with this probability (seeded,
+        deterministic).
+    delay_s:
+        Added latency for ``action="delay"``.
+    max_fires:
+        Stop firing after this many injections (``None`` = unlimited).
+    """
+
+    action: str
+    direction: str = "both"
+    kinds: tuple[str, ...] | None = None
+    methods: tuple[str, ...] | None = None
+    nth: int | None = None
+    probability: float = 0.0
+    delay_s: float = 0.01
+    max_fires: int | None = 1
+
+    def validate(self) -> None:
+        if self.action not in ACTIONS:
+            raise ConfigError(f"unknown fault action {self.action!r}; "
+                              f"expected one of {ACTIONS}")
+        if self.direction not in DIRECTIONS:
+            raise ConfigError(f"unknown fault direction {self.direction!r}")
+        if self.kinds is not None:
+            for kind in self.kinds:
+                if kind not in KINDS:
+                    raise ConfigError(f"unknown message kind {kind!r}")
+        if self.nth is not None and self.nth < 1:
+            raise ConfigError("nth is 1-based and must be >= 1")
+        if self.nth is not None and self.probability:
+            raise ConfigError("nth and probability are mutually exclusive")
+        if self.nth is None and not (0.0 <= self.probability <= 1.0):
+            raise ConfigError("probability must be in [0, 1]")
+        if self.nth is None and self.probability == 0.0:
+            raise ConfigError("rule needs nth=K or probability>0 to ever fire")
+        if self.delay_s < 0:
+            raise ConfigError("delay_s must be >= 0")
+        if self.max_fires is not None and self.max_fires < 1:
+            raise ConfigError("max_fires must be >= 1 or None")
+
+    def matches(self, direction: str, kind: str, method: str | None) -> bool:
+        if self.direction != "both" and self.direction != direction:
+            return False
+        if self.kinds is not None and kind not in self.kinds:
+            return False
+        if self.methods is not None and method not in self.methods:
+            return False
+        return True
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of :class:`FaultRule` applied to a program run.
+
+    Selectable through ``Config(fault_plan=FaultPlan(seed=7, rules=[...]))``
+    — no monkeypatching needed to run a whole backend under faults.
+    """
+
+    seed: int = 0
+    rules: list[FaultRule] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._next_injector = 0
+
+    def __getstate__(self) -> dict:
+        return {"seed": self.seed, "rules": list(self.rules)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.seed = state["seed"]
+        self.rules = state["rules"]
+        self._lock = threading.Lock()
+        self._next_injector = 0
+
+    def validate(self) -> None:
+        for rule in self.rules:
+            if not isinstance(rule, FaultRule):
+                raise ConfigError(f"expected FaultRule, got {type(rule).__name__}")
+            rule.validate()
+
+    def injector(self, label: str = "") -> "FaultInjector":
+        """Allocate the next injector (deterministic allocation order)."""
+        with self._lock:
+            index = self._next_injector
+            self._next_injector += 1
+        return FaultInjector(self, index, label=label)
+
+    def wrap(self, channel: Channel, label: str = "") -> "FaultyChannel":
+        """Wrap *channel* with a fresh injector from this plan."""
+        return FaultyChannel(channel, self.injector(label))
+
+
+class FaultInjector:
+    """Per-channel (or per-link) decision engine of one :class:`FaultPlan`.
+
+    Keeps its own match/fire counters and an RNG seeded with
+    ``(plan.seed, index)``, so the schedule of injected faults depends
+    only on the plan and the message sequence — never on wall time.
+    """
+
+    def __init__(self, plan: FaultPlan, index: int, label: str = "") -> None:
+        self.plan = plan
+        self.index = index
+        self.label = label
+        self._rng = random.Random(f"{plan.seed}/{index}")
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._matches = [0] * len(plan.rules)
+        self._fires = [0] * len(plan.rules)
+        #: fired faults, in order: ``"seq:direction:kind:method:action"``
+        self.log: list[str] = []
+
+    def decide(self, direction: str, msg: Message) -> Optional[FaultRule]:
+        """Return the rule to apply to *msg*, or ``None`` to pass it through."""
+        kind, _ = message_to_payload(msg)
+        method = msg.method if isinstance(msg, Request) else None
+        with self._lock:
+            self._seq += 1
+            for i, rule in enumerate(self.plan.rules):
+                if not rule.matches(direction, kind, method):
+                    continue
+                if rule.max_fires is not None and self._fires[i] >= rule.max_fires:
+                    continue
+                self._matches[i] += 1
+                if rule.nth is not None:
+                    fire = self._matches[i] == rule.nth
+                else:
+                    fire = self._rng.random() < rule.probability
+                if fire:
+                    self._fires[i] += 1
+                    self.log.append(f"{self._seq}:{direction}:{kind}:"
+                                    f"{method or '-'}:{rule.action}")
+                    return rule
+        return None
+
+    def schedule(self) -> bytes:
+        """The injection schedule so far, as comparable bytes."""
+        with self._lock:
+            return "\n".join(self.log).encode("ascii")
+
+
+class FaultyChannel(Channel):
+    """A :class:`Channel` that runs its inner channel under a fault plan.
+
+    Faults are applied at the message level:
+
+    * ``drop``  — ``send`` returns without transmitting; ``recv``
+      discards the message and keeps reading.
+    * ``delay`` — the calling thread sleeps ``delay_s`` before the
+      message proceeds.
+    * ``corrupt`` — on ``recv`` the message is replaced by a
+      :class:`~repro.errors.SerializationError` (what a mangled frame
+      decodes to); on ``send`` the message is lost (the peer could not
+      have decoded it) and the fault is logged as ``corrupt``.
+    * ``close`` — the inner channel is closed and
+      :class:`~repro.errors.ChannelClosedError` raised.
+    """
+
+    def __init__(self, inner: Channel, injector: FaultInjector) -> None:
+        self.inner = inner
+        self.injector = injector
+
+    def send(self, msg: Message) -> None:
+        rule = self.injector.decide("send", msg)
+        if rule is None:
+            self.inner.send(msg)
+            return
+        if rule.action in ("drop", "corrupt"):
+            return  # lost in transit (corrupt: undecodable at the peer)
+        if rule.action == "delay":
+            time.sleep(rule.delay_s)
+            self.inner.send(msg)
+            return
+        self.inner.close()
+        raise ChannelClosedError(
+            f"fault injected: channel closed during send ({self.injector.label})")
+
+    def recv(self, timeout: Optional[float] = None) -> Message:
+        while True:
+            msg = self.inner.recv(timeout)
+            rule = self.injector.decide("recv", msg)
+            if rule is None:
+                return msg
+            if rule.action == "drop":
+                continue
+            if rule.action == "delay":
+                time.sleep(rule.delay_s)
+                return msg
+            if rule.action == "corrupt":
+                raise SerializationError(
+                    f"fault injected: corrupted frame ({self.injector.label})")
+            self.inner.close()
+            raise ChannelClosedError(
+                f"fault injected: channel closed during recv "
+                f"({self.injector.label})")
+
+    def close(self) -> None:
+        self.inner.close()
+
+    @property
+    def stats(self) -> dict:
+        """Delegate traffic counters to the wrapped channel (if any)."""
+        stats = getattr(self.inner, "stats", None)
+        return dict(stats) if stats is not None else {}

@@ -104,11 +104,25 @@ class FrameReader:
         self.bytes_in = 0
         self._mid_frame = False
 
+    @property
+    def mid_frame(self) -> bool:
+        """True when the last (failed) read left the stream mid-frame —
+        some bytes of a frame were consumed, so the channel cannot be
+        reused after a timeout."""
+        return self._mid_frame
+
     def _read_exactly(self, n: int) -> bytes:
         chunks: list[bytes] = []
         remaining = n
         while remaining > 0:
-            chunk = self._fobj.read(remaining)
+            try:
+                chunk = self._fobj.read(remaining)
+            except OSError:
+                if chunks:
+                    # Bytes were consumed from the stream and discarded:
+                    # the frame boundary is lost, resync is impossible.
+                    self._mid_frame = True
+                raise
             if not chunk:
                 if self._mid_frame or chunks:
                     raise FramingError("stream truncated mid-frame")

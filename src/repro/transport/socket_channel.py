@@ -12,10 +12,48 @@ import threading
 from typing import Optional
 
 from ..config import DEFAULT_HOST
-from ..errors import ChannelClosedError, FramingError, TransportError
+from ..errors import (
+    ChannelClosedError,
+    ChannelTimeoutError,
+    FramingError,
+    TransportError,
+)
 from .channel import Channel
 from .frames import FrameReader, FrameWriter
 from .message import Message
+
+
+class _SockReader:
+    """Buffered file-like reader over a raw socket, safe under timeouts.
+
+    ``sock.makefile("rb")`` cannot be used here: after one ``recv``
+    timeout CPython's ``SocketIO`` latches ``_timeout_occurred`` and
+    every later read raises "cannot read from timed out object", and a
+    ``BufferedReader`` may silently discard bytes it consumed before the
+    timeout.  ``sock.recv`` has neither problem — a timed-out recv
+    consumes nothing — so a timeout at a frame boundary leaves the
+    stream exactly where it was and the channel stays usable.
+    """
+
+    _CHUNK = 1 << 16
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buf = b""
+
+    def read(self, n: int) -> bytes:
+        """Return up to *n* buffered-or-received bytes (b"" at EOF)."""
+        if self._buf:
+            out, self._buf = self._buf[:n], self._buf[n:]
+            return out
+        data = self._sock.recv(max(n, self._CHUNK))
+        if len(data) > n:
+            self._buf = data[n:]
+            return data[:n]
+        return data
+
+    def close(self) -> None:
+        self._buf = b""
 
 
 class SocketChannel(Channel):
@@ -24,7 +62,7 @@ class SocketChannel(Channel):
     def __init__(self, sock: socket.socket) -> None:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
-        self._rfile = sock.makefile("rb", buffering=1 << 16)
+        self._rfile = _SockReader(sock)
         self._wfile = sock.makefile("wb", buffering=1 << 16)
         self._reader = FrameReader(self._rfile)
         self._writer = FrameWriter(self._wfile)
@@ -47,9 +85,15 @@ class SocketChannel(Channel):
                 raise ChannelClosedError("channel closed")
             try:
                 self._writer.write(header, buffers)
-            except (BrokenPipeError, ConnectionResetError, OSError, ValueError) as exc:
+            except (BrokenPipeError, ConnectionResetError) as exc:
+                # The peer is definitively gone: latch closed.
                 self._closed = True
                 raise ChannelClosedError(f"peer gone during send: {exc}") from exc
+            except (OSError, ValueError) as exc:
+                # Transient OS-level failure (EINTR-style): the peer may be
+                # fine, so don't latch the channel closed — let the caller
+                # decide whether to retry or tear down.
+                raise TransportError(f"send failed: {exc}") from exc
 
     def recv(self, timeout: Optional[float] = None) -> Message:
         if timeout is not None:
@@ -59,7 +103,17 @@ class SocketChannel(Channel):
         except (ChannelClosedError, FramingError):
             raise
         except socket.timeout as exc:
-            raise ChannelClosedError("recv timed out") from exc
+            if self._reader.mid_frame:
+                # Part of a frame was consumed and discarded; the stream
+                # can never resync, so this channel is unusable.
+                with self._send_lock:
+                    self._closed = True
+                raise ChannelClosedError(
+                    "recv timed out mid-frame; stream desynchronized") from exc
+            # No frame had started: the peer is merely slow.  The channel
+            # stays usable and the caller may retry.
+            raise ChannelTimeoutError(
+                f"recv timed out after {timeout}s") from exc
         except (ConnectionResetError, OSError, ValueError) as exc:
             raise ChannelClosedError(f"peer gone during recv: {exc}") from exc
         finally:

@@ -1,0 +1,19 @@
+"""Every test under tests/chaos/ carries the ``chaos`` marker.
+
+Run only the failure-mode suite with ``pytest -m chaos``, or exclude it
+from a quick pass with ``pytest -m "not chaos"``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_CHAOS_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if _CHAOS_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.chaos)

@@ -1,0 +1,167 @@
+"""recv timeouts: frame-boundary vs mid-frame, and stats under partial reads.
+
+A timeout with no bytes consumed means the peer is merely slow — the
+channel must stay usable (``ChannelTimeoutError``).  A timeout after part
+of a frame was consumed desynchronizes the stream forever — the channel
+must latch closed (``ChannelClosedError``).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ChannelClosedError, ChannelTimeoutError
+from repro.transport.message import Hello, Response
+from repro.transport.socket_channel import SocketChannel, listen_socket
+
+
+@pytest.fixture
+def chan_pair():
+    """client SocketChannel <-> server SocketChannel on localhost."""
+    listener = listen_socket()
+    port = listener.getsockname()[1]
+    holder = {}
+
+    def accept():
+        sock, _ = listener.accept()
+        holder["chan"] = SocketChannel(sock)
+
+    t = threading.Thread(target=accept, daemon=True)
+    t.start()
+    client = SocketChannel.connect("127.0.0.1", port, timeout=5)
+    t.join(timeout=5)
+    server = holder["chan"]
+    yield client, server
+    client.close()
+    server.close()
+    listener.close()
+
+
+@pytest.fixture
+def raw_to_chan():
+    """raw client socket -> server SocketChannel (byte-level control)."""
+    listener = listen_socket()
+    port = listener.getsockname()[1]
+    holder = {}
+
+    def accept():
+        sock, _ = listener.accept()
+        holder["chan"] = SocketChannel(sock)
+
+    t = threading.Thread(target=accept, daemon=True)
+    t.start()
+    raw = socket.create_connection(("127.0.0.1", port), timeout=5)
+    t.join(timeout=5)
+    server = holder["chan"]
+    yield raw, server
+    raw.close()
+    server.close()
+    listener.close()
+
+
+def wire_bytes_of(msg) -> bytes:
+    """The exact bytes a SocketChannel puts on the wire for *msg*."""
+    listener = listen_socket()
+    port = listener.getsockname()[1]
+    holder = {}
+
+    def accept():
+        sock, _ = listener.accept()
+        holder["raw"] = sock
+
+    t = threading.Thread(target=accept, daemon=True)
+    t.start()
+    chan = SocketChannel.connect("127.0.0.1", port, timeout=5)
+    t.join(timeout=5)
+    chan.send(msg)
+    want = chan.stats["bytes_out"]
+    raw = holder["raw"]
+    raw.settimeout(5)
+    chunks = b""
+    while len(chunks) < want:
+        chunks += raw.recv(65536)
+    chan.close()
+    raw.close()
+    listener.close()
+    return chunks
+
+
+class TestFrameBoundaryTimeout:
+    def test_timeout_is_distinct_and_channel_stays_usable(self, chan_pair):
+        client, server = chan_pair
+        with pytest.raises(ChannelTimeoutError):
+            client.recv(timeout=0.1)
+        with pytest.raises(ChannelTimeoutError):
+            client.recv(timeout=0.1)  # not latched closed
+        server.send(Response(request_id=3, value="late"))
+        assert client.recv(timeout=5).value == "late"
+
+    def test_timeout_is_not_a_channel_closed_error(self, chan_pair):
+        client, _server = chan_pair
+        try:
+            client.recv(timeout=0.05)
+        except ChannelClosedError:  # pragma: no cover - the bug under test
+            pytest.fail("frame-boundary timeout latched the channel closed")
+        except ChannelTimeoutError:
+            pass
+
+    def test_clean_timeout_counts_no_frames(self, chan_pair):
+        client, _server = chan_pair
+        with pytest.raises(ChannelTimeoutError):
+            client.recv(timeout=0.05)
+        assert client.stats["frames_in"] == 0
+
+
+class TestMidFrameTimeout:
+    def test_partial_frame_then_stall_latches_closed(self, raw_to_chan):
+        raw, server = raw_to_chan
+        wire = wire_bytes_of(Hello(caller=1))
+        raw.sendall(wire[:10])  # part of the frame prefix, then silence
+        with pytest.raises(ChannelClosedError, match="desynchronized"):
+            server.recv(timeout=0.3)
+        # The channel is latched: sends refuse immediately.
+        with pytest.raises(ChannelClosedError):
+            server.send(Hello())
+
+    def test_mid_frame_timeout_counts_no_frames(self, raw_to_chan):
+        raw, server = raw_to_chan
+        wire = wire_bytes_of(Hello(caller=1))
+        raw.sendall(wire[:6])
+        with pytest.raises(ChannelClosedError):
+            server.recv(timeout=0.3)
+        assert server.stats["frames_in"] == 0
+
+
+class TestStatsUnderPartialReads:
+    def test_dribbled_frame_counts_once_and_fully(self, raw_to_chan):
+        raw, server = raw_to_chan
+        wire = wire_bytes_of(Hello(caller=7))
+
+        def dribble():
+            mid = len(wire) // 2
+            raw.sendall(wire[:mid])
+            time.sleep(0.15)
+            raw.sendall(wire[mid:])
+
+        t = threading.Thread(target=dribble, daemon=True)
+        t.start()
+        msg = server.recv(timeout=5)
+        t.join(timeout=5)
+        assert isinstance(msg, Hello) and msg.caller == 7
+        assert server.stats["frames_in"] == 1
+        assert server.stats["bytes_in"] == len(wire)
+
+    def test_two_dribbled_frames_accumulate(self, raw_to_chan):
+        raw, server = raw_to_chan
+        wire = wire_bytes_of(Hello(caller=7))
+        for _ in range(2):
+            for b in (wire[:11], wire[11:]):
+                raw.sendall(b)
+                time.sleep(0.02)
+            assert isinstance(server.recv(timeout=5), Hello)
+        assert server.stats["frames_in"] == 2
+        assert server.stats["bytes_in"] == 2 * len(wire)

@@ -1,0 +1,73 @@
+"""Per-message-kind targeting: a rule drops only the kind it names."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.transport.channel import inproc_pair
+from repro.transport.faults import FaultPlan, FaultRule
+from repro.transport.message import (
+    ErrorResponse,
+    Goodbye,
+    Hello,
+    Request,
+    Response,
+    message_to_payload,
+)
+
+KIND_ORDER = ("hi", "req", "res", "err", "bye")
+
+
+def make(kind, i):
+    return {
+        "req": lambda: Request(request_id=i, object_id=1, method="m"),
+        "res": lambda: Response(request_id=i, value=i),
+        "err": lambda: ErrorResponse(request_id=i, type_name="E",
+                                     message="boom"),
+        "hi": lambda: Hello(caller=i),
+        "bye": lambda: Goodbye(),
+    }[kind]()
+
+
+@pytest.mark.parametrize("target", KIND_ORDER)
+def test_drop_hits_only_the_named_kind(target):
+    a, b = inproc_pair()
+    plan = FaultPlan(seed=1, rules=[
+        FaultRule(action="drop", direction="send", kinds=(target,), nth=1)])
+    wrapped = plan.wrap(a, label=f"drop-{target}")
+
+    # Two full rounds of every protocol message kind.
+    sent = 0
+    for i in range(2):
+        for kind in KIND_ORDER:
+            wrapped.send(make(kind, i))
+            sent += 1
+
+    received = [b.recv(timeout=5) for _ in range(sent - 1)]
+    counts = {k: 0 for k in KIND_ORDER}
+    for msg in received:
+        kind, _ = message_to_payload(msg)
+        counts[kind] += 1
+
+    # Exactly the first instance of the targeted kind vanished.
+    assert counts[target] == 1
+    for kind in KIND_ORDER:
+        if kind != target:
+            assert counts[kind] == 2, f"{kind} was affected by drop-{target}"
+
+    # And the injector log agrees, deterministically.
+    assert len(wrapped.injector.log) == 1
+    assert f":{target}:" in wrapped.injector.log[0]
+
+
+def test_method_scoped_drop_spares_other_requests():
+    a, b = inproc_pair()
+    plan = FaultPlan(seed=2, rules=[
+        FaultRule(action="drop", direction="send", kinds=("req",),
+                  methods=("write",), nth=1)])
+    wrapped = plan.wrap(a)
+    wrapped.send(Request(request_id=1, object_id=1, method="read"))
+    wrapped.send(Request(request_id=2, object_id=1, method="write"))  # dropped
+    wrapped.send(Request(request_id=3, object_id=1, method="write"))
+    got = [b.recv(timeout=5).request_id for _ in range(2)]
+    assert got == [1, 3]

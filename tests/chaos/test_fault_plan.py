@@ -1,0 +1,163 @@
+"""FaultPlan/FaultRule/FaultInjector: validation, matching, determinism."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.transport.faults import FaultInjector, FaultPlan, FaultRule
+from repro.transport.message import Goodbye, Hello, Request, Response
+
+
+def req(i=1, method="m"):
+    return Request(request_id=i, object_id=1, method=method)
+
+
+class TestRuleValidation:
+    def test_unknown_action(self):
+        with pytest.raises(ConfigError, match="action"):
+            FaultRule(action="explode", nth=1).validate()
+
+    def test_unknown_direction(self):
+        with pytest.raises(ConfigError, match="direction"):
+            FaultRule(action="drop", direction="sideways", nth=1).validate()
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError, match="kind"):
+            FaultRule(action="drop", kinds=("request",), nth=1).validate()
+
+    def test_nth_is_one_based(self):
+        with pytest.raises(ConfigError, match="nth"):
+            FaultRule(action="drop", nth=0).validate()
+
+    def test_nth_and_probability_exclusive(self):
+        with pytest.raises(ConfigError, match="mutually exclusive"):
+            FaultRule(action="drop", nth=1, probability=0.5).validate()
+
+    def test_rule_must_have_a_trigger(self):
+        with pytest.raises(ConfigError, match="nth=K or probability"):
+            FaultRule(action="drop").validate()
+
+    def test_probability_bounds(self):
+        with pytest.raises(ConfigError, match="probability"):
+            FaultRule(action="drop", probability=1.5).validate()
+
+    def test_negative_delay(self):
+        with pytest.raises(ConfigError, match="delay_s"):
+            FaultRule(action="delay", nth=1, delay_s=-0.1).validate()
+
+    def test_bad_max_fires(self):
+        with pytest.raises(ConfigError, match="max_fires"):
+            FaultRule(action="drop", nth=1, max_fires=0).validate()
+
+    def test_plan_rejects_non_rules(self):
+        with pytest.raises(ConfigError, match="FaultRule"):
+            FaultPlan(rules=["drop"]).validate()  # type: ignore[list-item]
+
+    def test_good_plan_validates(self):
+        FaultPlan(seed=3, rules=[
+            FaultRule(action="drop", nth=2),
+            FaultRule(action="delay", probability=0.5, max_fires=None),
+        ]).validate()
+
+
+class TestMatching:
+    def test_direction_filter(self):
+        rule = FaultRule(action="drop", direction="send", nth=1)
+        assert rule.matches("send", "req", "m")
+        assert not rule.matches("recv", "req", "m")
+        both = FaultRule(action="drop", direction="both", nth=1)
+        assert both.matches("send", "req", "m")
+        assert both.matches("recv", "res", None)
+
+    def test_kind_filter(self):
+        rule = FaultRule(action="drop", kinds=("res", "err"), nth=1)
+        assert rule.matches("send", "res", None)
+        assert not rule.matches("send", "req", "m")
+
+    def test_method_filter(self):
+        rule = FaultRule(action="drop", methods=("ping",), nth=1)
+        assert rule.matches("send", "req", "ping")
+        assert not rule.matches("send", "req", "write")
+        assert not rule.matches("send", "res", None)  # responses carry no method
+
+    def test_nth_counts_matches_not_messages(self):
+        plan = FaultPlan(rules=[
+            FaultRule(action="drop", kinds=("req",), nth=2)])
+        inj = plan.injector()
+        assert inj.decide("send", Hello()) is None
+        assert inj.decide("send", req(1)) is None        # 1st matching req
+        assert inj.decide("send", Response(request_id=1)) is None
+        fired = inj.decide("send", req(2))               # 2nd matching req
+        assert fired is not None and fired.action == "drop"
+        assert inj.decide("send", req(3)) is None        # nth fires once
+
+    def test_max_fires_caps_probabilistic_rule(self):
+        plan = FaultPlan(rules=[
+            FaultRule(action="drop", probability=1.0, max_fires=2)])
+        inj = plan.injector()
+        fires = [inj.decide("send", req(i)) is not None for i in range(5)]
+        assert fires == [True, True, False, False, False]
+
+
+class TestDeterminism:
+    def _schedule(self, seed, n=200, injector_index=0):
+        plan = FaultPlan(seed=seed, rules=[
+            FaultRule(action="drop", probability=0.3, max_fires=None)])
+        inj = None
+        for _ in range(injector_index + 1):
+            inj = plan.injector("link")
+        for i in range(n):
+            inj.decide("send", req(i))
+        return inj.schedule()
+
+    def test_same_seed_byte_identical_schedule(self):
+        assert self._schedule(7) == self._schedule(7)
+        assert self._schedule(7) != b""
+
+    def test_different_seed_different_schedule(self):
+        assert self._schedule(7) != self._schedule(8)
+
+    def test_injector_index_decorrelates_links(self):
+        # Two channels under one plan must not fire in lockstep.
+        assert self._schedule(7, injector_index=0) != \
+            self._schedule(7, injector_index=1)
+
+    def test_log_records_sequence_kind_method_action(self):
+        plan = FaultPlan(rules=[FaultRule(action="delay", nth=2)])
+        inj = plan.injector()
+        inj.decide("send", Hello())
+        inj.decide("recv", req(9, method="write"))
+        assert inj.log == ["2:recv:req:write:delay"]
+
+    def test_goodbye_matches_bye_kind(self):
+        plan = FaultPlan(rules=[FaultRule(action="drop", kinds=("bye",),
+                                          nth=1)])
+        inj = plan.injector()
+        assert inj.decide("send", req()) is None
+        assert inj.decide("send", Goodbye()) is not None
+
+
+class TestPickling:
+    def test_plan_round_trips_for_worker_processes(self):
+        plan = FaultPlan(seed=42, rules=[
+            FaultRule(action="corrupt", probability=0.1, max_fires=None)])
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.seed == 42
+        assert clone.rules == plan.rules
+        # The clone allocates injectors from scratch, deterministically.
+        inj = clone.injector("x")
+        assert isinstance(inj, FaultInjector)
+        assert inj.index == 0
+
+    def test_unpickled_plan_reproduces_schedule(self):
+        plan = FaultPlan(seed=9, rules=[
+            FaultRule(action="drop", probability=0.5, max_fires=None)])
+        clone = pickle.loads(pickle.dumps(plan))
+        a, b = plan.injector(), clone.injector()
+        for i in range(100):
+            a.decide("send", req(i))
+            b.decide("send", req(i))
+        assert a.schedule() == b.schedule()

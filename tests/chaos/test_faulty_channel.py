@@ -1,0 +1,135 @@
+"""FaultyChannel applies drop/delay/corrupt/close at the Channel interface."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import (
+    ChannelClosedError,
+    ChannelTimeoutError,
+    SerializationError,
+)
+from repro.transport.channel import inproc_pair
+from repro.transport.faults import FaultPlan, FaultRule
+from repro.transport.message import Request, Response
+
+
+def req(i, method="m"):
+    return Request(request_id=i, object_id=1, method=method)
+
+
+def plan_with(*rules):
+    return FaultPlan(seed=0, rules=list(rules))
+
+
+class TestSendSide:
+    def test_drop_on_send_loses_only_first_message(self):
+        a, b = inproc_pair()
+        wrapped = plan_with(FaultRule(action="drop", direction="send",
+                                      nth=1)).wrap(a)
+        wrapped.send(req(1))
+        wrapped.send(req(2))
+        assert b.recv(timeout=5).request_id == 2
+        with pytest.raises(ChannelTimeoutError):
+            b.recv(timeout=0.05)
+
+    def test_corrupt_on_send_is_silent_loss(self):
+        a, b = inproc_pair()
+        wrapped = plan_with(FaultRule(action="corrupt", direction="send",
+                                      nth=1)).wrap(a)
+        wrapped.send(req(1))  # peer could never have decoded it
+        wrapped.send(req(2))
+        assert b.recv(timeout=5).request_id == 2
+
+    def test_delay_on_send_blocks_then_delivers(self):
+        a, b = inproc_pair()
+        wrapped = plan_with(FaultRule(action="delay", direction="send",
+                                      nth=1, delay_s=0.2)).wrap(a)
+        t0 = time.monotonic()
+        wrapped.send(req(1))
+        assert time.monotonic() - t0 >= 0.2
+        assert b.recv(timeout=5).request_id == 1
+
+    def test_close_on_send_kills_the_channel(self):
+        a, b = inproc_pair()
+        wrapped = plan_with(FaultRule(action="close", direction="send",
+                                      nth=1)).wrap(a)
+        with pytest.raises(ChannelClosedError):
+            wrapped.send(req(1))
+        with pytest.raises(ChannelClosedError):
+            b.recv(timeout=5)  # inner channel really is closed
+
+
+class TestRecvSide:
+    def test_drop_on_recv_discards_and_keeps_reading(self):
+        a, b = inproc_pair()
+        wrapped = plan_with(FaultRule(action="drop", direction="recv",
+                                      nth=1)).wrap(b)
+        a.send(req(1))
+        a.send(req(2))
+        assert wrapped.recv(timeout=5).request_id == 2
+
+    def test_corrupt_on_recv_raises_serialization_error(self):
+        a, b = inproc_pair()
+        wrapped = plan_with(FaultRule(action="corrupt", direction="recv",
+                                      nth=1)).wrap(b)
+        a.send(req(1))
+        a.send(req(2))
+        with pytest.raises(SerializationError, match="fault injected"):
+            wrapped.recv(timeout=5)
+        # max_fires=1: the channel recovers for the next message.
+        assert wrapped.recv(timeout=5).request_id == 2
+
+    def test_delay_on_recv_sleeps_then_returns(self):
+        a, b = inproc_pair()
+        wrapped = plan_with(FaultRule(action="delay", direction="recv",
+                                      nth=1, delay_s=0.2)).wrap(b)
+        a.send(req(1))
+        t0 = time.monotonic()
+        assert wrapped.recv(timeout=5).request_id == 1
+        assert time.monotonic() - t0 >= 0.2
+
+    def test_close_on_recv_kills_the_channel(self):
+        a, b = inproc_pair()
+        wrapped = plan_with(FaultRule(action="close", direction="recv",
+                                      nth=1)).wrap(b)
+        a.send(req(1))
+        with pytest.raises(ChannelClosedError):
+            wrapped.recv(timeout=5)
+        with pytest.raises(ChannelClosedError):
+            a.recv(timeout=5)  # the close is visible from the peer side
+
+
+class TestPlumbing:
+    def test_direction_filter_leaves_other_side_alone(self):
+        a, b = inproc_pair()
+        plan = plan_with(FaultRule(action="drop", direction="send", nth=1))
+        wrapped = plan.wrap(a)
+        # recv on the wrapped side is unaffected by a send-only rule.
+        b.send(Response(request_id=7))
+        assert wrapped.recv(timeout=5).request_id == 7
+        wrapped.send(req(1))  # this one is dropped
+        with pytest.raises(ChannelTimeoutError):
+            b.recv(timeout=0.05)
+
+    def test_faults_logged_per_channel(self):
+        a, _b = inproc_pair()
+        plan = plan_with(FaultRule(action="drop", direction="send", nth=1))
+        wrapped = plan.wrap(a, label="driver->m1")
+        wrapped.send(req(1))
+        assert wrapped.injector.label == "driver->m1"
+        assert wrapped.injector.log == ["1:send:req:m:drop"]
+
+    def test_close_closes_inner(self):
+        a, b = inproc_pair()
+        wrapped = plan_with(FaultRule(action="drop", nth=1)).wrap(a)
+        wrapped.close()
+        with pytest.raises(ChannelClosedError):
+            b.recv(timeout=5)
+
+    def test_stats_delegate_to_inner_channel(self):
+        a, _b = inproc_pair()
+        wrapped = plan_with(FaultRule(action="drop", nth=1)).wrap(a)
+        assert isinstance(wrapped.stats, dict)

@@ -1,0 +1,98 @@
+"""Listener and accept-side failures during connection setup."""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import ChannelClosedError, TransportError
+from repro.transport.message import Hello
+from repro.transport.socket_channel import SocketChannel, listen_socket
+
+
+def test_connect_after_listener_close_is_fast_refusal():
+    listener = listen_socket()
+    port = listener.getsockname()[1]
+    listener.close()
+    t0 = time.monotonic()
+    with pytest.raises(TransportError):
+        SocketChannel.connect("127.0.0.1", port, timeout=2.0)
+    assert time.monotonic() - t0 < 2.0  # refused, not timed out
+
+
+def test_accept_then_immediate_close_surfaces_on_recv():
+    listener = listen_socket()
+    port = listener.getsockname()[1]
+
+    def accept_and_slam():
+        sock, _ = listener.accept()
+        sock.close()  # the "machine" dies during the handshake
+
+    t = threading.Thread(target=accept_and_slam, daemon=True)
+    t.start()
+    client = SocketChannel.connect("127.0.0.1", port, timeout=5)
+    t.join(timeout=5)
+    # The Hello may land in a kernel buffer; the reply read cannot lie.
+    try:
+        client.send(Hello(caller=-1))
+    except ChannelClosedError:
+        pass  # also acceptable: the close was already visible
+    with pytest.raises(ChannelClosedError):
+        client.recv(timeout=5)
+    client.close()
+    listener.close()
+
+
+def test_listener_close_during_connect_storm_never_hangs():
+    listener = listen_socket(backlog=1)
+    port = listener.getsockname()[1]
+    stop = threading.Event()
+
+    def close_soon():
+        time.sleep(0.05)
+        listener.close()
+        stop.set()
+
+    t = threading.Thread(target=close_soon, daemon=True)
+    t.start()
+    outcomes = []
+    deadline = time.monotonic() + 10.0
+    while not (stop.is_set() and outcomes and outcomes[-1] == "refused"):
+        assert time.monotonic() < deadline, "connect attempt hung"
+        try:
+            chan = SocketChannel.connect("127.0.0.1", port, timeout=1.0)
+        except TransportError:
+            outcomes.append("refused")
+        else:
+            outcomes.append("connected")
+            chan.close()
+    t.join(timeout=5)
+    # Every attempt resolved one way or the other, and the close was seen.
+    assert "refused" in outcomes
+
+
+def test_half_open_peer_recv_times_out_cleanly():
+    """A listener that accepts but never speaks: recv must time out as a
+    ChannelTimeoutError (slow peer), not hang or latch the channel."""
+    from repro.errors import ChannelTimeoutError
+
+    listener = listen_socket()
+    port = listener.getsockname()[1]
+    holder = {}
+
+    def accept_and_hold():
+        sock, _ = listener.accept()
+        holder["sock"] = sock  # accepted, then silence
+
+    t = threading.Thread(target=accept_and_hold, daemon=True)
+    t.start()
+    client = SocketChannel.connect("127.0.0.1", port, timeout=5)
+    t.join(timeout=5)
+    with pytest.raises(ChannelTimeoutError):
+        client.recv(timeout=0.2)
+    client.close()
+    holder["sock"].close()
+    listener.close()

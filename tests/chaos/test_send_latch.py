@@ -1,0 +1,98 @@
+"""Regression: only definitive peer-gone errors latch a channel closed.
+
+A transient ``OSError`` during send (EINTR-style) must surface as
+``TransportError`` and leave the channel usable; ``BrokenPipeError`` /
+``ConnectionResetError`` mean the peer is gone and must latch.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ChannelClosedError, TransportError
+from repro.transport.message import Hello
+from repro.transport.socket_channel import SocketChannel, listen_socket
+
+
+class FlakyFile:
+    """File-object shim whose next write raises a chosen exception."""
+
+    def __init__(self, real):
+        self.real = real
+        self.fail_with = None
+
+    def write(self, data):
+        if self.fail_with is not None:
+            exc, self.fail_with = self.fail_with, None
+            raise exc
+        return self.real.write(data)
+
+    def flush(self):
+        return self.real.flush()
+
+
+@pytest.fixture
+def chan_pair():
+    listener = listen_socket()
+    port = listener.getsockname()[1]
+    holder = {}
+
+    def accept():
+        sock, _ = listener.accept()
+        holder["chan"] = SocketChannel(sock)
+
+    t = threading.Thread(target=accept, daemon=True)
+    t.start()
+    client = SocketChannel.connect("127.0.0.1", port, timeout=5)
+    t.join(timeout=5)
+    server = holder["chan"]
+    yield client, server
+    client.close()
+    server.close()
+    listener.close()
+
+
+def test_transient_oserror_does_not_latch(chan_pair):
+    client, server = chan_pair
+    flaky = FlakyFile(client._writer._fobj)
+    client._writer._fobj = flaky
+    flaky.fail_with = OSError("interrupted system call")
+    with pytest.raises(TransportError):
+        client.send(Hello(caller=1))
+    # The channel survived: the next send goes through end to end.
+    client.send(Hello(caller=2))
+    assert server.recv(timeout=5).caller == 2
+
+
+def test_broken_pipe_latches_closed(chan_pair):
+    client, _server = chan_pair
+    flaky = FlakyFile(client._writer._fobj)
+    client._writer._fobj = flaky
+    flaky.fail_with = BrokenPipeError("peer went away")
+    with pytest.raises(ChannelClosedError):
+        client.send(Hello(caller=1))
+    # Latched: every later send refuses without touching the socket.
+    with pytest.raises(ChannelClosedError):
+        client.send(Hello(caller=2))
+
+
+def test_connection_reset_latches_closed(chan_pair):
+    client, _server = chan_pair
+    flaky = FlakyFile(client._writer._fobj)
+    client._writer._fobj = flaky
+    flaky.fail_with = ConnectionResetError("reset by peer")
+    with pytest.raises(ChannelClosedError):
+        client.send(Hello(caller=1))
+    with pytest.raises(ChannelClosedError):
+        client.send(Hello(caller=2))
+
+
+def test_value_error_from_closed_file_is_transport_error(chan_pair):
+    client, _server = chan_pair
+    flaky = FlakyFile(client._writer._fobj)
+    client._writer._fobj = flaky
+    flaky.fail_with = ValueError("I/O operation on closed file")
+    with pytest.raises(TransportError):
+        client.send(Hello(caller=1))

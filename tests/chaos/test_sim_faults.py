@@ -1,0 +1,145 @@
+"""Fault injection on the simulated backend: deterministic by construction.
+
+Delays stretch *simulated* time, drops starve the event queue (the
+paper's block-forever semantics make that a ``SimDeadlockError``),
+corruption surfaces as ``SerializationError`` and a closed link as
+``MachineDownError`` — all without wall-clock sleeps.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.errors import (
+    MachineDownError,
+    SerializationError,
+    SimDeadlockError,
+)
+from repro.transport.faults import FaultPlan, FaultRule
+
+
+class Echo:
+    def hit(self, x):
+        return x
+
+
+class Caller:
+    """Calls a neighbour object — same-machine calls are loopback."""
+
+    def relay(self, other, x):
+        return other.hit(x)
+
+
+def sim_cluster_with(tmp_path, rules, seed=5, sub="r"):
+    plan = FaultPlan(seed=seed, rules=rules) if rules is not None else None
+    return oopp.Cluster(n_machines=3, backend="sim", fault_plan=plan,
+                        storage_root=str(tmp_path / sub))
+
+
+def test_delay_adds_exactly_the_simulated_seconds(tmp_path):
+    def elapsed(rules, sub):
+        with sim_cluster_with(tmp_path, rules, sub=sub) as cluster:
+            e = cluster.new(Echo, machine=1)
+            t0 = cluster.fabric.engine.now
+            assert e.hit(7) == 7
+            return cluster.fabric.engine.now - t0
+
+    base = elapsed(None, "base")
+    slow = elapsed([FaultRule(action="delay", direction="send",
+                              kinds=("req",), methods=("hit",), nth=1,
+                              delay_s=0.5)], "slow")
+    assert slow - base == pytest.approx(0.5, rel=1e-9)
+
+
+def test_response_delay_also_charges_the_clock(tmp_path):
+    def elapsed(rules, sub):
+        with sim_cluster_with(tmp_path, rules, sub=sub) as cluster:
+            e = cluster.new(Echo, machine=1)
+            t0 = cluster.fabric.engine.now
+            e.hit(1)
+            return cluster.fabric.engine.now - t0
+
+    base = elapsed(None, "base2")
+    # Responses carry no method name; nth=2 skips the create() response
+    # on the driver->machine-1 link and hits the hit() response.
+    slow = elapsed([FaultRule(action="delay", direction="recv",
+                              kinds=("res",), nth=2, delay_s=0.25)], "slow2")
+    assert slow - base == pytest.approx(0.25, rel=1e-9)
+
+
+def test_dropped_request_is_a_deterministic_deadlock(tmp_path):
+    cluster = sim_cluster_with(tmp_path, [
+        FaultRule(action="drop", direction="send", kinds=("req",),
+                  methods=("hit",), nth=1)])
+    try:
+        e = cluster.new(Echo, machine=1)
+        with pytest.raises(SimDeadlockError):
+            e.hit(1)
+    finally:
+        cluster.shutdown()
+
+
+def test_closed_link_is_machine_down_with_context(tmp_path):
+    with sim_cluster_with(tmp_path, [
+            FaultRule(action="close", direction="send", kinds=("req",),
+                      methods=("hit",), nth=1)]) as cluster:
+        e = cluster.new(Echo, machine=2)
+        with pytest.raises(MachineDownError) as excinfo:
+            e.hit(1)
+        assert excinfo.value.machine == 2
+        assert excinfo.value.oid == oopp.ref_of(e).oid
+
+
+def test_corrupt_request_is_serialization_error(tmp_path):
+    with sim_cluster_with(tmp_path, [
+            FaultRule(action="corrupt", direction="send", kinds=("req",),
+                      methods=("hit",), nth=1)]) as cluster:
+        e = cluster.new(Echo, machine=1)
+        with pytest.raises(SerializationError):
+            e.hit(1)
+        assert e.hit(2) == 2  # max_fires=1: the link recovers
+
+
+def test_corrupt_response_is_serialization_error(tmp_path):
+    # nth=2: match #1 on this link is the create() response.
+    with sim_cluster_with(tmp_path, [
+            FaultRule(action="corrupt", direction="recv", kinds=("res",),
+                      nth=2)]) as cluster:
+        e = cluster.new(Echo, machine=1)
+        with pytest.raises(SerializationError):
+            e.hit(1)
+        assert e.hit(2) == 2
+
+
+def test_loopback_is_exempt_from_faults(tmp_path):
+    # Faults model the interconnect; an object calling a neighbour on
+    # its own machine never touches the network.  Every "hit" request is
+    # dropped — but the relayed call below is machine-1 loopback.
+    with sim_cluster_with(tmp_path, [
+            FaultRule(action="drop", direction="both", probability=1.0,
+                      max_fires=None, methods=("hit",))]) as cluster:
+        e = cluster.new(Echo, machine=1)
+        c = cluster.new(Caller, machine=1)
+        assert c.relay(e, 3) == 3
+
+
+def test_probabilistic_faults_reproduce_bit_for_bit(tmp_path):
+    rules = [FaultRule(action="delay", direction="both", probability=0.4,
+                       delay_s=0.05, max_fires=None)]
+
+    def run(sub):
+        with sim_cluster_with(tmp_path, rules, seed=21, sub=sub) as cluster:
+            group = cluster.new_group(Echo, 4)
+            for i in range(5):
+                group.invoke("hit", i)
+            clock = cluster.fabric.engine.now
+            injectors = cluster.fabric._fault_injectors
+            schedule = b"\n".join(
+                injectors[key].schedule() for key in sorted(injectors))
+            return clock, schedule
+
+    clock_a, sched_a = run("runA")
+    clock_b, sched_b = run("runB")
+    assert sched_a == sched_b and sched_a != b""
+    assert clock_a == clock_b

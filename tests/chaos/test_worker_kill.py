@@ -1,0 +1,104 @@
+"""Acceptance: SIGKILL a worker mid-call — MachineDownError, no hang.
+
+The liveness monitor (not the kill helper) must notice the dead process,
+fail the pending call with the victim's machine id and object id
+attached, and make later calls to that machine fail fast while the rest
+of the cluster keeps serving.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+import repro as oopp
+from repro.errors import MachineDownError
+
+
+class Sleeper:
+    def nap(self, seconds):
+        time.sleep(seconds)
+        return seconds
+
+    def tag(self):
+        return "alive"
+
+
+def test_sigkill_mid_call_surfaces_machine_down(tmp_path):
+    with oopp.Cluster(n_machines=3, backend="mp", call_timeout_s=60.0,
+                      storage_root=str(tmp_path / "r")) as cluster:
+        victim = cluster.new(Sleeper, machine=1)
+        bystander = cluster.new(Sleeper, machine=2)
+        victim_oid = oopp.ref_of(victim).oid
+
+        future = victim.nap.future(30.0)
+        time.sleep(0.3)  # let the call land on the machine
+
+        # Power-loss stand-in: raw SIGKILL, not the fabric's kill helper,
+        # so only the liveness monitor can notice.
+        os.kill(cluster.fabric.machine_pids()[1], signal.SIGKILL)
+
+        t0 = time.monotonic()
+        with pytest.raises(MachineDownError) as excinfo:
+            future.result(10.0)
+        detected = time.monotonic() - t0
+        assert detected < 5.0  # well inside the 60s call deadline
+        assert excinfo.value.machine == 1
+        assert excinfo.value.oid == victim_oid
+
+        # The reader thread may beat the liveness monitor to the failure;
+        # within one poll interval the machine must be declared down.
+        deadline = time.time() + 5.0
+        while time.time() < deadline and not cluster.fabric.machine_down(1):
+            time.sleep(0.05)
+        assert cluster.fabric.machine_down(1)
+        t0 = time.monotonic()
+        with pytest.raises(MachineDownError) as excinfo:
+            victim.tag()
+        assert time.monotonic() - t0 < 1.0
+        assert excinfo.value.machine == 1
+
+        # Unrelated machines are untouched.
+        assert bystander.tag() == "alive"
+        assert cluster.fabric.ping(2) == 2
+
+
+def test_sigkill_idle_machine_detected_by_monitor(tmp_path):
+    with oopp.Cluster(n_machines=2, backend="mp", call_timeout_s=30.0,
+                      storage_root=str(tmp_path / "r")) as cluster:
+        victim = cluster.new(Sleeper, machine=1)
+        os.kill(cluster.fabric.machine_pids()[1], signal.SIGKILL)
+
+        deadline = time.time() + 5.0
+        while time.time() < deadline and not cluster.fabric.machine_down(1):
+            time.sleep(0.05)
+        assert cluster.fabric.machine_down(1)
+
+        with pytest.raises(MachineDownError):
+            victim.tag()
+
+
+def test_hard_kill_helper_attaches_context(tmp_path):
+    with oopp.Cluster(n_machines=2, backend="mp", call_timeout_s=30.0,
+                      storage_root=str(tmp_path / "r")) as cluster:
+        victim = cluster.new(Sleeper, machine=1)
+        future = victim.nap.future(30.0)
+        time.sleep(0.3)
+        cluster.fabric.kill_machine(1, hard=True)
+        with pytest.raises(MachineDownError) as excinfo:
+            future.result(10.0)
+        assert excinfo.value.machine == 1
+        assert excinfo.value.oid == oopp.ref_of(victim).oid
+
+
+def test_machine_down_error_pickles_with_context(tmp_path):
+    import pickle
+
+    err = MachineDownError("machine 1 is down", machine=1, oid=42)
+    clone = pickle.loads(pickle.dumps(err))
+    assert isinstance(clone, MachineDownError)
+    assert clone.machine == 1 and clone.oid == 42
+    assert "down" in str(clone)

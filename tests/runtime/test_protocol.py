@@ -34,6 +34,13 @@ class Gadget:
         return self.size
 
 
+class PicklableDefaults:
+    """All constructor defaults ship over the wire."""
+
+    def __init__(self, size=4, label="g", weights=(1.0, 2.0)):
+        self.size, self.label, self.weights = size, label, weights
+
+
 class TestDescribe:
     def test_public_methods_listed(self):
         proto = describe_protocol(Gadget)
@@ -123,3 +130,52 @@ class TestValidate:
 
         warnings = validate_remote_class(Shadow)
         assert any("method stub" in w for w in warnings)
+
+
+class TestValidateEdgeCases:
+    def test_reserved_prefix_collision_flagged(self):
+        # type() sidesteps Python's name mangling of __oopp_custom.
+        Bad = type("Bad", (), {"__oopp_custom": 1})
+        warnings = validate_remote_class(Bad)
+        assert any("__oopp_custom" in w and "reserved" in w
+                   for w in warnings)
+
+    def test_every_implicit_operation_name_flagged(self):
+        from repro.runtime.proxy import (
+            GETATTR_METHOD,
+            PING_METHOD,
+            SETATTR_METHOD,
+        )
+
+        for reserved in (GETATTR_METHOD, SETATTR_METHOD, PING_METHOD):
+            Bad = type("Bad", (), {reserved: lambda self: None})
+            warnings = validate_remote_class(Bad)
+            assert any(reserved in w for w in warnings), reserved
+
+    def test_idempotent_registry_attribute_is_sanctioned(self):
+        Good = type("Good", (), {
+            "__oopp_idempotent__": frozenset({"get"}),
+            "get": lambda self: 1,
+        })
+        assert validate_remote_class(Good) == []
+
+    def test_unpicklable_constructor_default_flagged(self):
+        class Bad:
+            def __init__(self, callback=lambda x: x):
+                self.callback = callback
+
+        warnings = validate_remote_class(Bad)
+        assert any("callback" in w and "not picklable" in w
+                   for w in warnings)
+
+    def test_picklable_defaults_are_clean(self):
+        assert validate_remote_class(PicklableDefaults) == []
+
+    def test_unpicklable_default_names_the_parameter(self):
+        class Bad:
+            def __init__(self, ok=1, broken=lambda: None, fine="x"):
+                pass
+
+        warnings = [w for w in validate_remote_class(Bad)
+                    if "not picklable" in w]
+        assert len(warnings) == 1 and "broken" in warnings[0]

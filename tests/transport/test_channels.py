@@ -7,7 +7,7 @@ import threading
 import numpy as np
 import pytest
 
-from repro.errors import ChannelClosedError
+from repro.errors import ChannelClosedError, ChannelTimeoutError
 from repro.transport.channel import inproc_pair
 from repro.transport.message import Goodbye, Hello, Request, Response
 from repro.transport.socket_channel import SocketChannel, listen_socket
@@ -44,7 +44,11 @@ class TestInprocChannel:
 
     def test_recv_timeout(self):
         a, _b = inproc_pair()
-        with pytest.raises(ChannelClosedError):
+        # A timeout is distinct from a closed peer and leaves the
+        # channel usable.
+        with pytest.raises(ChannelTimeoutError):
+            a.recv(timeout=0.05)
+        with pytest.raises(ChannelTimeoutError):
             a.recv(timeout=0.05)
 
     def test_messages_keep_order(self):
