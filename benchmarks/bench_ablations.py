@@ -35,3 +35,7 @@ def test_a3_isolation_cost_shape(benchmark):
 
 def test_a4_cache_effect_shape(benchmark):
     run_experiment(benchmark, "A4")
+
+
+def test_a5_wire_fastpath_shape(benchmark):
+    run_experiment(benchmark, "A5")

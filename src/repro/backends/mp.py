@@ -49,8 +49,9 @@ from ..transport.message import (
     Response,
 )
 from ..transport.channel import Channel
+from ..transport.coalesce import CoalescingSender
 from ..transport.faults import FaultPlan
-from ..transport.socket_channel import SocketChannel, listen_socket
+from ..transport.socket_channel import SocketChannel, WireOptions, listen_socket
 from ..util.ids import IdAllocator
 from ..util.log import get_logger
 from .base import Fabric, exception_from_error
@@ -63,10 +64,16 @@ log = get_logger("mp")
 
 
 class _Connection:
-    """One dialed connection with a response-demux reader thread."""
+    """One dialed connection with a response-demux reader thread.
+
+    When ``Config.wire_coalesce`` is on, outbound messages go through a
+    :class:`~repro.transport.coalesce.CoalescingSender`, so a burst of
+    pipelined requests leaves as one BATCH frame; a flush failure fails
+    every pending future, same as a broken socket.
+    """
 
     def __init__(self, channel: Channel, owner: "PeerClient",
-                 machine: int) -> None:
+                 machine: int, config: Optional[Config] = None) -> None:
         self.channel = channel
         self.machine = machine
         self._owner = owner
@@ -74,9 +81,24 @@ class _Connection:
         #: request id -> (future, oid of the call in flight)
         self._pending: dict[int, tuple[RemoteFuture, int]] = {}
         self._dead: Optional[BaseException] = None
+        self._sender: Optional[CoalescingSender] = None
+        if config is not None and config.wire_coalesce:
+            self._sender = CoalescingSender(
+                channel,
+                max_msgs=config.coalesce_max_msgs,
+                max_bytes=config.coalesce_max_bytes,
+                on_error=self._fail_all,
+                name=f"oopp-m{machine}")
         self._reader = threading.Thread(
             target=self._read_loop, name=f"oopp-demux-m{machine}", daemon=True)
         self._reader.start()
+
+    def send(self, msg) -> None:
+        """Outbound path: through the coalescer when enabled."""
+        if self._sender is not None:
+            self._sender.send(msg)
+        else:
+            self.channel.send(msg)
 
     def register(self, request_id: int, future: RemoteFuture,
                  oid: int) -> None:
@@ -135,7 +157,11 @@ class _Connection:
 
     def close(self) -> None:
         try:
-            self.channel.send(Goodbye())
+            if self._sender is not None:
+                self._sender.send(Goodbye())
+                self._sender.close()
+            else:
+                self.channel.send(Goodbye())
         except (ChannelClosedError, TransportError, OSError):
             pass
         self.channel.close()
@@ -149,10 +175,12 @@ class PeerClient:
     """
 
     def __init__(self, caller: int, decode_context: RuntimeContext,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 config: Optional[Config] = None) -> None:
         self.caller = caller
         self.decode_context = decode_context
         self.fault_plan = fault_plan
+        self.config = config
         self._addrs: dict[int, tuple[str, int]] = {}
         self._conns: dict[int, _Connection] = {}
         #: machines declared dead by the liveness monitor: fail fast
@@ -202,9 +230,12 @@ class PeerClient:
         if addr is None:
             raise MachineDownError(f"no address known for machine {machine}",
                                    machine=machine)
+        options = (WireOptions.from_config(self.config)
+                   if self.config is not None else None)
         try:
             channel: Channel = SocketChannel.connect(addr[0], addr[1],
-                                                     timeout=10.0)
+                                                     timeout=10.0,
+                                                     options=options)
         except TransportError as exc:
             raise MachineDownError(
                 f"cannot reach machine {machine} at {addr}: {exc}",
@@ -213,7 +244,7 @@ class PeerClient:
             channel = self.fault_plan.wrap(
                 channel, label=f"m{self.caller}->m{machine}")
         channel.send(Hello(caller=self.caller))
-        conn = _Connection(channel, self, machine)
+        conn = _Connection(channel, self, machine, config=self.config)
         with self._lock:
             existing = self._conns.get(machine)
             if existing is not None and not existing.dead:
@@ -236,7 +267,7 @@ class PeerClient:
                           method=method, args=args, kwargs=kwargs,
                           oneway=oneway, caller=self.caller)
         try:
-            conn.channel.send(request)
+            conn.send(request)
         except (ChannelClosedError, TransportError, OSError) as exc:
             err = MachineDownError(
                 f"send to machine {ref.machine} failed: {exc}",
@@ -346,7 +377,8 @@ class MachineServer:
         self.context = RuntimeContext(fabric=self.fabric, machine_id=machine_id)
         self.outbound = PeerClient(caller=machine_id,
                                    decode_context=self.context,
-                                   fault_plan=config.fault_plan)
+                                   fault_plan=config.fault_plan,
+                                   config=config)
         self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
                                      self.fabric)
         self.listener = listen_socket(DEFAULT_HOST, 0)
@@ -381,38 +413,54 @@ class MachineServer:
         self.outbound.close()
 
     def _accept_loop(self) -> None:
+        options = WireOptions.from_config(self.config)
         while not self.kernel.stop_event.is_set():
             try:
                 sock, _ = self.listener.accept()
             except OSError:
                 return  # listener closed
-            channel = SocketChannel(sock)
+            channel = SocketChannel(sock, options=options)
             with self._conn_lock:
                 self._conn_channels.append(channel)
             threading.Thread(target=self._connection_loop, args=(channel,),
                              name="oopp-conn", daemon=True).start()
 
     def _connection_loop(self, channel: SocketChannel) -> None:
-        with context_scope(self.context):
-            while True:
-                try:
-                    msg = channel.recv()
-                except (ChannelClosedError, TransportError, OSError):
-                    return
-                if isinstance(msg, Hello):
-                    continue
-                if isinstance(msg, Goodbye):
-                    channel.close()
-                    return
-                if isinstance(msg, Request):
-                    self.executor.submit(self._serve_request, channel, msg)
+        # Replies from the worker pool funnel through one coalescer per
+        # connection, so a burst of small responses also batches.
+        sender: Optional[CoalescingSender] = None
+        if self.config.wire_coalesce:
+            sender = CoalescingSender(
+                channel,
+                max_msgs=self.config.coalesce_max_msgs,
+                max_bytes=self.config.coalesce_max_bytes,
+                name=f"oopp-m{self.machine_id}-reply")
+        reply_send = sender.send if sender is not None else channel.send
+        try:
+            with context_scope(self.context):
+                while True:
+                    try:
+                        msg = channel.recv()
+                    except (ChannelClosedError, TransportError, OSError):
+                        return
+                    if isinstance(msg, Hello):
+                        continue
+                    if isinstance(msg, Goodbye):
+                        channel.close()
+                        return
+                    if isinstance(msg, Request):
+                        self.executor.submit(self._serve_request, reply_send,
+                                             msg)
+        finally:
+            if sender is not None:
+                sender.close(timeout=1.0)
 
-    def _serve_request(self, channel: SocketChannel, request: Request) -> None:
+    def _serve_request(self, reply_send, request: Request) -> None:
         reply = self.dispatcher.execute(request)
         if reply is None:
             return
         try:
-            channel.send(reply)
+            reply_send(reply)
         except (ChannelClosedError, TransportError, OSError):
             pass  # caller vanished; nothing to report it to
 
@@ -445,7 +493,8 @@ class MpFabric(Fabric):
         super().__init__(config)
         self._context = RuntimeContext(fabric=self, machine_id=-1)
         self._client = PeerClient(caller=-1, decode_context=self._context,
-                                  fault_plan=config.fault_plan)
+                                  fault_plan=config.fault_plan,
+                                  config=config)
         self._procs: list[multiprocessing.Process] = []
         self._monitor_stop = threading.Event()
         self._monitor: Optional[threading.Thread] = None

@@ -1,7 +1,10 @@
-"""CLI: ``python -m repro.bench [E1 E2 ... | all] [--full] [--no-check]``.
+"""CLI: ``python -m repro.bench [E1 E2 ... | all] [--full | --quick] [--no-check]``.
 
 Runs the requested experiments, prints each table, and (with
 ``--markdown``) emits the markdown blocks EXPERIMENTS.md embeds.
+``--quick`` is the CI smoke mode: smallest sizes, no timing/shape
+assertions — the run still fails loudly on wire-format or protocol
+regressions (any exception out of a workload), just not on speed.
 """
 
 from __future__ import annotations
@@ -20,9 +23,16 @@ def main(argv=None) -> int:
                         help="full parameter sweeps (slower)")
     parser.add_argument("--no-check", action="store_true",
                         help="skip the shape assertions")
+    parser.add_argument("--quick", action="store_true",
+                        help="CI smoke mode: fast sizes, no assertions "
+                             "(regressions still raise)")
     parser.add_argument("--markdown", action="store_true",
                         help="emit markdown tables")
     args = parser.parse_args(argv)
+    if args.quick:
+        if args.full:
+            parser.error("--quick and --full are mutually exclusive")
+        args.no_check = True
 
     _load_all()
     ids = sorted(EXPERIMENTS) if (not args.ids or "all" in args.ids) \

@@ -1,0 +1,190 @@
+"""A5 (ablation) — the RPC fast path, knob by knob.
+
+The mp backend's wire fast path has three independently toggleable
+parts: write coalescing (many small frames → one BATCH envelope per
+``sendall``), cached call headers (the pickled request skeleton is
+reused across calls to the same method), and shared-memory zero-copy
+for bulk buffers.  This ablation attributes the win to each part:
+
+* **small calls** — a pipelined burst of trivial ``.future()`` calls,
+  swept over coalesce × header-cache (shm never triggers on tiny
+  payloads);
+* **bulk transfer** — one big :class:`~repro.storage.page.Page` round
+  trip with shm on vs off, reporting wall time and how many bytes
+  actually crossed the socket (with shm the frame carries only a
+  descriptor).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+from ..runtime.cluster import Cluster
+from ..storage.page import Page
+from ..transport.message import Request
+from ..transport.socket_channel import SocketChannel, WireOptions, listen_socket
+from .registry import experiment
+from .report import Table
+from .workloads import MiB
+
+CLAIM = ("Coalescing and header caching together at least double the "
+         "wire-layer throughput of small messages (end-to-end call "
+         "throughput improves by the wire's share of total CPU); "
+         "shared-memory transfer moves bulk pages with only a "
+         "descriptor on the socket instead of the full payload.")
+
+
+class _Echo:
+    def echo(self, x):
+        return x
+
+
+class _Store:
+    __oopp_idempotent__ = frozenset({"get"})
+
+    def __init__(self):
+        self.page = None
+
+    def put(self, page):
+        self.page = page
+        return True
+
+    def get(self):
+        return self.page
+
+
+def _wire_msgs_per_s(fast: bool, msgs: int) -> float:
+    """Pure wire-layer throughput: one sender, one receiver thread over
+    a loopback socket.  *fast* turns on both small-call knobs at the channel
+    level — header-cached ``KIND_CALL`` encoding plus BATCH envelopes of
+    64 (what the coalescing writer packs under load) — isolating the
+    transport from runtime-layer dispatch cost."""
+    server = listen_socket()
+    a = socket.create_connection(server.getsockname()[:2])
+    b, _ = server.accept()
+    server.close()
+    tx = SocketChannel(a, options=WireOptions(header_cache=fast))
+    rx = SocketChannel(b)
+    reqs = [Request(request_id=i, object_id=7, method="echo", args=(i,))
+            for i in range(msgs)]
+    try:
+        tx.send(reqs[0])  # first-frame costs out of the loop
+        rx.recv(5)
+
+        def drain() -> None:
+            for _ in range(msgs):
+                rx.recv(30)
+
+        consumer = threading.Thread(target=drain, daemon=True)
+        consumer.start()
+        t0 = time.perf_counter()
+        if fast:
+            for i in range(0, msgs, 64):
+                tx.send_batch(reqs[i:i + 64])
+        else:
+            for r in reqs:
+                tx.send(r)
+        consumer.join(60)
+        elapsed = time.perf_counter() - t0
+    finally:
+        tx.close()
+        rx.close()
+    return msgs / elapsed
+
+
+def _burst_calls_per_s(coalesce: bool, header_cache: bool,
+                       calls: int) -> float:
+    with Cluster(n_machines=2, backend="mp", call_timeout_s=120.0,
+                 wire_coalesce=coalesce, wire_header_cache=header_cache,
+                 wire_shm=False) as cluster:
+        obj = cluster.new(_Echo, machine=1)
+        obj.echo(0)  # connection + first-frame costs out of the loop
+        fire = obj.echo.future  # hoisted stub: the paper's send-loop form
+        t0 = time.perf_counter()
+        futures = [fire(i) for i in range(calls)]
+        for f in futures:
+            f.result(120)
+        return calls / (time.perf_counter() - t0)
+
+
+def _page_round_trip(shm_on: bool, nbytes: int) -> tuple[float, int]:
+    """One put+get of an *nbytes* page; returns (seconds, socket bytes)."""
+    page = Page(nbytes, bytes(range(256)) * (nbytes // 256))
+    with Cluster(n_machines=2, backend="mp", call_timeout_s=120.0,
+                 wire_shm=shm_on, shm_threshold_bytes=1 << 20) as cluster:
+        store = cluster.new(_Store, machine=1)
+        store.get()  # warm the connection
+        base = cluster.fabric.traffic()
+        t0 = time.perf_counter()
+        store.put(page)
+        got = store.get()
+        elapsed = time.perf_counter() - t0
+        after = cluster.fabric.traffic()
+        assert len(got) == len(page)
+        moved = (after["bytes_out"] - base["bytes_out"]
+                 + after["bytes_in"] - base["bytes_in"])
+    return elapsed, moved
+
+
+@experiment("A5", "Ablation: wire fast path (coalesce × header cache × shm)",
+            CLAIM, anchor="docs/WIRE.md")
+def run(fast: bool = True) -> Table:
+    calls = 300 if fast else 2000
+    wire_msgs = 2000 if fast else 20000
+    page_bytes = (8 * MiB) if fast else (64 * MiB)
+    table = Table(
+        "A5: small-call burst and bulk page transfer, per knob",
+        ["mode", "work", "seconds", "calls/s", "socket bytes", "speedup"],
+        note=f"wire: {wire_msgs} requests over a loopback socket; burst: "
+             f"{calls} pipelined echo futures; bulk: one "
+             f"{page_bytes // MiB} MiB Page put+get.",
+    )
+
+    wire_plain = _wire_msgs_per_s(False, wire_msgs)
+    table.add("wire, plain", f"{wire_msgs} msgs", wire_msgs / wire_plain,
+              wire_plain, "-", 1.0)
+    wire_fast = _wire_msgs_per_s(True, wire_msgs)
+    table.add("wire, batch + header cache", f"{wire_msgs} msgs",
+              wire_msgs / wire_fast, wire_fast, "-", wire_fast / wire_plain)
+
+    baseline = _burst_calls_per_s(False, False, calls)
+    table.add("plain wire", f"{calls} calls", calls / baseline, baseline,
+              "-", 1.0)
+    for coalesce, cache, label in [
+            (True, False, "coalesce only"),
+            (False, True, "header cache only"),
+            (True, True, "coalesce + header cache")]:
+        rate = _burst_calls_per_s(coalesce, cache, calls)
+        table.add(label, f"{calls} calls", calls / rate, rate, "-",
+                  rate / baseline)
+
+    t_inline, moved_inline = _page_round_trip(False, page_bytes)
+    table.add("bulk, shm off", f"{page_bytes // MiB} MiB page", t_inline,
+              "-", moved_inline, 1.0)
+    t_shm, moved_shm = _page_round_trip(True, page_bytes)
+    table.add("bulk, shm on", f"{page_bytes // MiB} MiB page", t_shm, "-",
+              moved_shm, t_inline / t_shm)
+    return table
+
+
+def check(table: Table) -> None:
+    modes = table.column("mode")
+    speedups = dict(zip(modes, table.column("speedup")))
+    moved = dict(zip(modes, table.column("socket bytes")))
+    # The headline claim holds at the layer the knobs live in: batching
+    # plus header caching at least double wire-layer message throughput.
+    assert speedups["wire, batch + header cache"] >= 2.0, speedups
+    # End to end the wire is only part of each call's CPU, so the
+    # speedup is diluted by runtime-layer dispatch; on a single-core
+    # host (this container: everything CPU-serialized) the measured
+    # combined win is ~1.3-1.4x.  Floor set under the noise band.
+    assert speedups["coalesce + header cache"] >= 1.15, speedups
+    # Each knob alone must not make things worse than ~the plain wire.
+    assert speedups["coalesce only"] > 0.8, speedups
+    assert speedups["header cache only"] > 0.8, speedups
+    # With shm the socket carries descriptors, not the payload: two
+    # transfers of the page must move well under one payload's bytes.
+    assert moved["bulk, shm on"] < moved["bulk, shm off"] / 10, moved
+    assert speedups["bulk, shm on"] > 1.0, speedups

@@ -70,6 +70,7 @@ def _load_all() -> None:
         a02_cpu_overhead,
         a03_isolation_cost,
         a04_cache_effect,
+        a05_wire_fastpath,
     )
 
 

@@ -140,6 +140,23 @@ class Config:
     #: mp backend: multiprocessing start method.  ``fork`` lets workers
     #: resolve classes defined in test files or __main__.
     mp_start_method: str = "fork"
+    # -- wire fast path (mp backend; see docs/WIRE.md) ---------------------
+    #: coalesce pending small messages on one connection into a single
+    #: BATCH frame flushed with one syscall (False = one frame per send).
+    wire_coalesce: bool = True
+    #: byte budget of one BATCH frame; a drain that would exceed it is
+    #: split into several frames.
+    coalesce_max_bytes: int = 1 << 18
+    #: at most this many messages are packed into one BATCH frame.
+    coalesce_max_msgs: int = 128
+    #: cache the pickled request skeleton per (object, method) and splice
+    #: in only the request id and arguments (CALL frames).
+    wire_header_cache: bool = True
+    #: ship out-of-band buffers >= shm_threshold_bytes through named
+    #: shared-memory segments instead of the socket (same-host zero-copy).
+    wire_shm: bool = True
+    #: minimum buffer size for the shared-memory path, in bytes.
+    shm_threshold_bytes: int = 1 << 20
 
     def validate(self) -> None:
         if self.backend not in ("inline", "mp", "sim"):
@@ -170,6 +187,12 @@ class Config:
             raise ConfigError("mp_workers_per_machine must be >= 1")
         if self.mp_start_method not in ("fork", "spawn", "forkserver"):
             raise ConfigError(f"unknown start method {self.mp_start_method!r}")
+        if self.coalesce_max_bytes < 1024:
+            raise ConfigError("coalesce_max_bytes must be >= 1024")
+        if self.coalesce_max_msgs < 1:
+            raise ConfigError("coalesce_max_msgs must be >= 1")
+        if self.shm_threshold_bytes < 1:
+            raise ConfigError("shm_threshold_bytes must be >= 1")
         self.network.validate()
         self.disk.validate()
 

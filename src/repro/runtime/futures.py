@@ -61,6 +61,15 @@ def retry_call(attempt: Callable[[], Any], *, retries: int,
         delay *= 2
 
 
+#: one condition shared by every future.  A per-future Event + Lock
+#: costs ~7us to construct — more than the wire cost of a coalesced
+#: call — and each future is waited on at most a handful of times, so
+#: contention on a shared condition is cheaper than per-instance
+#: allocation.  Completions notify_all; waiters re-check their own
+#: ``_done`` flag.
+_COND = threading.Condition()
+
+
 class RemoteFuture:
     """Completion handle for one in-flight remote call.
 
@@ -70,45 +79,52 @@ class RemoteFuture:
     :meth:`_wait`.
     """
 
+    __slots__ = ("_value", "_error", "_done", "_callbacks", "label",
+                 "__weakref__", "__dict__")
+
     def __init__(self, *, label: str = "") -> None:
-        self._event = threading.Event()
-        self._lock = threading.Lock()
         self._value: Any = None
         self._error: Optional[BaseException] = None
-        self._callbacks: list[Callable[["RemoteFuture"], None]] = []
+        self._done = False
+        self._callbacks: Optional[list[Callable[["RemoteFuture"], None]]] = None
         #: free-form description for diagnostics ("machine3.read")
         self.label = label
 
     # -- completion (backend side) ---------------------------------------
 
     def set_result(self, value: Any) -> None:
-        with self._lock:
-            if self._event.is_set():
+        with _COND:
+            if self._done:
                 raise RuntimeError(f"future {self.label!r} completed twice")
             self._value = value
-            callbacks = self._callbacks[:]
-            self._event.set()
-        for cb in callbacks:
+            self._done = True
+            callbacks, self._callbacks = self._callbacks, None
+            _COND.notify_all()
+        for cb in callbacks or ():
             cb(self)
 
     def set_exception(self, exc: BaseException) -> None:
-        with self._lock:
-            if self._event.is_set():
+        with _COND:
+            if self._done:
                 raise RuntimeError(f"future {self.label!r} completed twice")
             self._error = exc
-            callbacks = self._callbacks[:]
-            self._event.set()
-        for cb in callbacks:
+            self._done = True
+            callbacks, self._callbacks = self._callbacks, None
+            _COND.notify_all()
+        for cb in callbacks or ():
             cb(self)
 
     # -- consumption (caller side) ----------------------------------------
 
     def done(self) -> bool:
-        return self._event.is_set()
+        return self._done
 
     def _wait(self, timeout: Optional[float]) -> bool:
         """Block until complete; backends may interpose (sim time)."""
-        return self._event.wait(timeout)
+        if self._done:
+            return True
+        with _COND:
+            return _COND.wait_for(lambda: self._done, timeout)
 
     def result(self, timeout: Optional[float] = None) -> Any:
         if not self._wait(timeout):
@@ -125,8 +141,10 @@ class RemoteFuture:
         return self._error
 
     def add_done_callback(self, cb: Callable[["RemoteFuture"], None]) -> None:
-        with self._lock:
-            if not self._event.is_set():
+        with _COND:
+            if not self._done:
+                if self._callbacks is None:
+                    self._callbacks = []
                 self._callbacks.append(cb)
                 return
         cb(self)

@@ -94,7 +94,22 @@ class Page:
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<{type(self).__name__} {self.nbytes} bytes>"
 
-    # -- persistence -------------------------------------------------------------
+    # -- persistence / wire ------------------------------------------------
+
+    def _extra_state(self) -> dict:
+        return {"nominal": self._nominal}
+
+    def __reduce_ex__(self, protocol):
+        if protocol >= 5:
+            # Lift the backing buffer out of band: the transport ships it
+            # as its own wire section (and, above the shm threshold,
+            # through a shared-memory segment with no socket copy at all).
+            import pickle
+
+            return (_rebuild_page,
+                    (type(self), pickle.PickleBuffer(self._data),
+                     self._extra_state()))
+        return super().__reduce_ex__(protocol)
 
     def __getstate__(self) -> dict:
         return {"data": bytes(self._data), "nominal": self._nominal}
@@ -157,6 +172,11 @@ class ArrayPage(Page):
 
     # -- persistence ---------------------------------------------------------------
 
+    def _extra_state(self) -> dict:
+        extra = super()._extra_state()
+        extra["shape"] = (self.n1, self.n2, self.n3)
+        return extra
+
     def __getstate__(self) -> dict:
         state = super().__getstate__()
         state["shape"] = (self.n1, self.n2, self.n3)
@@ -165,3 +185,35 @@ class ArrayPage(Page):
     def __setstate__(self, state: dict) -> None:
         super().__setstate__(state)
         self.n1, self.n2, self.n3 = state["shape"]
+
+
+def _rebuild_page(cls: type, buf, extra: dict) -> Page:
+    """Reconstruct a page from its out-of-band buffer.
+
+    The buffer arrives as whatever the deserializer hands over:
+
+    * a shared-memory view (mp backend, big page) — **adopted** as the
+      backing store, zero-copy, with a GC-tied reference on the segment;
+    * any other memoryview (e.g. loopback through ``serde`` in one
+      process) — copied, so the page never aliases sender memory;
+    * a fresh ``bytearray`` (in-band pickle-5 load) — adopted directly;
+    * ``bytes`` (socket inline sections, older stores) — copied.
+    """
+    page = cls.__new__(cls)
+    if isinstance(buf, memoryview):
+        from ..transport import shm
+
+        mgr = shm.manager()
+        if mgr.name_of(buf) is not None:
+            mgr.adopt(page, buf)
+            page._data = buf
+        else:
+            page._data = bytearray(buf)
+    elif isinstance(buf, bytearray):
+        page._data = buf
+    else:
+        page._data = bytearray(buf)
+    page._nominal = extra["nominal"]
+    if "shape" in extra:
+        page.n1, page.n2, page.n3 = extra["shape"]
+    return page

@@ -35,6 +35,19 @@ class Channel:
     def close(self) -> None:
         raise NotImplementedError
 
+    def send_batch(self, msgs: "list[Message]",
+                   max_bytes: Optional[int] = None) -> None:
+        """Transmit several messages at once (thread-safe).
+
+        Channels that know how to pack messages into a single wire frame
+        override this (:class:`~repro.transport.socket_channel.SocketChannel`);
+        the default is plain sequential sends, so callers may use it
+        unconditionally.  *max_bytes* bounds one packed frame where
+        supported.
+        """
+        for msg in msgs:
+            self.send(msg)
+
     # -- shared encode/decode helpers ------------------------------------
 
     def _encode(self, msg: Message) -> tuple[bytes, list[bytes]]:

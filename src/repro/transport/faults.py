@@ -42,7 +42,9 @@ if TYPE_CHECKING:  # pragma: no cover
 
 ACTIONS = ("drop", "delay", "corrupt", "close")
 DIRECTIONS = ("send", "recv", "both")
-KINDS = ("req", "res", "err", "hi", "bye")
+#: message kinds a rule may match; ``"batch"`` matches a whole coalesced
+#: BATCH frame on channels that batch sends (the entire envelope is hit).
+KINDS = ("req", "res", "err", "hi", "bye", "batch")
 
 
 @dataclass(frozen=True)
@@ -188,6 +190,13 @@ class FaultInjector:
         """Return the rule to apply to *msg*, or ``None`` to pass it through."""
         kind, _ = message_to_payload(msg)
         method = msg.method if isinstance(msg, Request) else None
+        return self.decide_kind(direction, kind, method)
+
+    def decide_kind(self, direction: str, kind: str,
+                    method: str | None = None) -> Optional[FaultRule]:
+        """Like :meth:`decide` for a bare ``(kind, method)`` — used for
+        envelope-level events (``kind="batch"``) that have no single
+        backing :class:`Message`."""
         with self._lock:
             self._seq += 1
             for i, rule in enumerate(self.plan.rules):
@@ -249,6 +258,42 @@ class FaultyChannel(Channel):
         raise ChannelClosedError(
             f"fault injected: channel closed during send ({self.injector.label})")
 
+    def send_batch(self, msgs: list[Message],
+                   max_bytes: Optional[int] = None) -> None:
+        """Batch send under faults: first an envelope-level decision
+        (``kinds=("batch",)`` rules — dropping/corrupting kills the whole
+        frame, as a mangled BATCH envelope would on a real wire), then
+        the usual per-message decisions for the survivors."""
+        if not msgs:
+            return
+        rule = self.injector.decide_kind("send", "batch")
+        if rule is not None:
+            if rule.action in ("drop", "corrupt"):
+                return  # the whole envelope is lost in transit
+            if rule.action == "delay":
+                time.sleep(rule.delay_s)
+            else:
+                self.inner.close()
+                raise ChannelClosedError(
+                    f"fault injected: channel closed during batch send "
+                    f"({self.injector.label})")
+        survivors: list[Message] = []
+        for msg in msgs:
+            r = self.injector.decide("send", msg)
+            if r is None:
+                survivors.append(msg)
+            elif r.action == "delay":
+                time.sleep(r.delay_s)
+                survivors.append(msg)
+            elif r.action == "close":
+                self.inner.close()
+                raise ChannelClosedError(
+                    f"fault injected: channel closed during send "
+                    f"({self.injector.label})")
+            # drop/corrupt: this message is lost, the rest still go.
+        if survivors:
+            self.inner.send_batch(survivors, max_bytes)
+
     def recv(self, timeout: Optional[float] = None) -> Message:
         while True:
             msg = self.inner.recv(timeout)
@@ -261,6 +306,11 @@ class FaultyChannel(Channel):
                 time.sleep(rule.delay_s)
                 return msg
             if rule.action == "corrupt":
+                # The raised exception's traceback captures this frame;
+                # drop the decoded message first so its out-of-band
+                # resources (shm refs) are released, as they would be
+                # had the frame really failed to decode.
+                del msg
                 raise SerializationError(
                     f"fault injected: corrupted frame ({self.injector.label})")
             self.inner.close()

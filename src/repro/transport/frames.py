@@ -1,18 +1,45 @@
 """Length-prefixed binary framing of (header, buffers) payloads.
 
-Wire format of one frame::
+Wire format of one frame (version 2)::
 
     magic   u32   0x4F4F5050  ("OOPP")
-    version u8    1
+    version u8    2
+    kind    u8    frame kind (KIND_MSG | KIND_BATCH | KIND_CALL)
     nbuf    u16   number of out-of-band buffers
     hlen    u64   header length in bytes
-    blen[i] u64   length of buffer i            (nbuf entries)
+    blen[i] u64   length of buffer i's wire section  (nbuf entries)
+    bflag[i] u8   buffer flag: inline payload or shm reference (nbuf entries)
     header  bytes
-    buf[i]  bytes                                (nbuf sections)
+    buf[i]  bytes                                    (nbuf sections)
 
 All integers are little-endian.  The reader validates magic, version and
 total size before allocating, so a corrupt or hostile stream cannot make
 the process allocate unbounded memory.
+
+Frame kinds
+-----------
+``KIND_MSG``
+    One serialized message: header is a pickle, buffers are its
+    out-of-band sections (the v1 format, with a kind byte).
+``KIND_BATCH``
+    A multi-message envelope: several logical frames packed into one
+    physical frame, so a burst of small sends costs one syscall.  The
+    header is an index (see :func:`pack_batch`), the buffer sections of
+    all sub-messages are concatenated in order.
+``KIND_CALL``
+    A method-call request with a cached, spliced header: a u32-prefixed
+    pickled request *skeleton* (constant per call site) followed by a
+    pickle of the per-call ``(request_id, args, kwargs)`` tail.  See
+    :class:`repro.runtime.protocol.CallHeaderCache`.
+
+Buffer flags
+------------
+``BUF_INLINE``
+    The section holds the buffer's payload bytes.
+``BUF_SHM``
+    The section holds a shared-memory descriptor
+    (:mod:`repro.transport.shm`); the payload lives in a named segment
+    on the same host and is never copied through the socket.
 """
 
 from __future__ import annotations
@@ -24,23 +51,47 @@ from ..config import MAX_FRAME_BYTES
 from ..errors import ChannelClosedError, FramingError
 
 MAGIC = 0x4F4F5050
-VERSION = 1
-_PREFIX = struct.Struct("<IBH Q".replace(" ", ""))  # magic, version, nbuf, hlen
+VERSION = 2
+
+#: frame kinds
+KIND_MSG = 0
+KIND_BATCH = 1
+KIND_CALL = 2
+_KNOWN_KINDS = (KIND_MSG, KIND_BATCH, KIND_CALL)
+
+#: per-buffer flags
+BUF_INLINE = 0
+BUF_SHM = 1
+_KNOWN_FLAGS = (BUF_INLINE, BUF_SHM)
+
+_PREFIX = struct.Struct("<IBBHQ")  # magic, version, kind, nbuf, hlen
+
+#: batch envelope: item count, then per item (kind u8, hlen u32, nbuf u16)
+_BATCH_COUNT = struct.Struct("<I")
+_BATCH_ITEM = struct.Struct("<BIH")
 
 
 def write_frame(write: Callable[[bytes], None], header: bytes,
-                buffers: Sequence[bytes] = ()) -> int:
+                buffers: Sequence[bytes] = (), *, kind: int = KIND_MSG,
+                buffer_flags: Sequence[int] | None = None) -> int:
     """Emit one frame through *write*; returns bytes written."""
     nbuf = len(buffers)
     if nbuf > 0xFFFF:
         raise FramingError(f"too many buffers in one frame: {nbuf}")
+    if kind not in _KNOWN_KINDS:
+        raise FramingError(f"unknown frame kind {kind}")
+    if buffer_flags is None:
+        buffer_flags = bytes(nbuf)
+    elif len(buffer_flags) != nbuf:
+        raise FramingError("buffer_flags must match buffers 1:1")
     blens = [memoryview(b).nbytes for b in buffers]
     total = len(header) + sum(blens)
     if total > MAX_FRAME_BYTES:
         raise FramingError(f"frame of {total} bytes exceeds MAX_FRAME_BYTES")
-    parts = [_PREFIX.pack(MAGIC, VERSION, nbuf, len(header))]
+    parts = [_PREFIX.pack(MAGIC, VERSION, kind, nbuf, len(header))]
     if nbuf:
         parts.append(struct.pack(f"<{nbuf}Q", *blens))
+        parts.append(bytes(buffer_flags))
     written = 0
     for p in parts:
         write(p)
@@ -53,26 +104,94 @@ def write_frame(write: Callable[[bytes], None], header: bytes,
     return written
 
 
-def read_frame(read_exactly: Callable[[int], bytes]) -> tuple[bytes, list[bytes]]:
-    """Read one frame; *read_exactly(n)* must return exactly n bytes or raise
+def read_frame(read_exactly: Callable[[int], bytes]
+               ) -> tuple[int, bytes, list[bytes], list[int]]:
+    """Read one frame as ``(kind, header, buffers, buffer_flags)``;
+    *read_exactly(n)* must return exactly n bytes or raise
     :class:`ChannelClosedError`."""
     prefix = read_exactly(_PREFIX.size)
-    magic, version, nbuf, hlen = _PREFIX.unpack(prefix)
+    magic, version, kind, nbuf, hlen = _PREFIX.unpack(prefix)
     if magic != MAGIC:
         raise FramingError(f"bad magic 0x{magic:08X}")
     if version != VERSION:
         raise FramingError(f"unsupported frame version {version}")
+    if kind not in _KNOWN_KINDS:
+        raise FramingError(f"unknown frame kind {kind}")
     if hlen > MAX_FRAME_BYTES:
         raise FramingError(f"header length {hlen} exceeds MAX_FRAME_BYTES")
     blens: list[int] = []
+    flags: list[int] = []
     if nbuf:
         raw = read_exactly(8 * nbuf)
         blens = list(struct.unpack(f"<{nbuf}Q", raw))
         if sum(blens) + hlen > MAX_FRAME_BYTES:
             raise FramingError("frame exceeds MAX_FRAME_BYTES")
+        flags = list(read_exactly(nbuf))
+        for f in flags:
+            if f not in _KNOWN_FLAGS:
+                raise FramingError(f"unknown buffer flag {f}")
     header = read_exactly(hlen)
     buffers = [read_exactly(n) for n in blens]
-    return header, buffers
+    return kind, header, buffers, flags
+
+
+# ---------------------------------------------------------------------------
+# BATCH envelopes
+# ---------------------------------------------------------------------------
+
+
+def pack_batch(items: Sequence[tuple[int, bytes, Sequence[bytes],
+                                     Sequence[int]]]
+               ) -> tuple[bytes, list[bytes], list[int]]:
+    """Pack logical frames ``(kind, header, buffers, flags)`` into one
+    BATCH payload: ``(batch_header, all_buffers, all_flags)``."""
+    if not items:
+        raise FramingError("cannot pack an empty batch")
+    index: list[bytes] = [_BATCH_COUNT.pack(len(items))]
+    headers: list[bytes] = []
+    buffers: list[bytes] = []
+    flags: list[int] = []
+    for kind, header, bufs, bflags in items:
+        if kind == KIND_BATCH:
+            raise FramingError("batches do not nest")
+        if len(header) > 0xFFFFFFFF:
+            raise FramingError("sub-message header exceeds 4 GiB")
+        index.append(_BATCH_ITEM.pack(kind, len(header), len(bufs)))
+        headers.append(header)
+        buffers.extend(bufs)
+        flags.extend(bflags if bflags else [BUF_INLINE] * len(bufs))
+    return b"".join(index) + b"".join(headers), buffers, flags
+
+
+def split_batch(header: bytes, buffers: Sequence[bytes],
+                flags: Sequence[int]
+                ) -> list[tuple[int, bytes, list[bytes], list[int]]]:
+    """Inverse of :func:`pack_batch`."""
+    try:
+        (count,) = _BATCH_COUNT.unpack_from(header, 0)
+        pos = _BATCH_COUNT.size
+        entries = []
+        for _ in range(count):
+            entries.append(_BATCH_ITEM.unpack_from(header, pos))
+            pos += _BATCH_ITEM.size
+    except struct.error as exc:
+        raise FramingError(f"truncated batch index: {exc}") from exc
+    items: list[tuple[int, bytes, list[bytes], list[int]]] = []
+    buf_pos = 0
+    for kind, hlen, nbuf in entries:
+        sub_header = header[pos:pos + hlen]
+        if len(sub_header) != hlen:
+            raise FramingError("batch index points past the batch header")
+        pos += hlen
+        sub_bufs = list(buffers[buf_pos:buf_pos + nbuf])
+        sub_flags = list(flags[buf_pos:buf_pos + nbuf])
+        if len(sub_bufs) != nbuf:
+            raise FramingError("batch index claims more buffers than sent")
+        buf_pos += nbuf
+        items.append((kind, sub_header, sub_bufs, sub_flags))
+    if pos != len(header) or buf_pos != len(buffers):
+        raise FramingError("batch has trailing garbage")
+    return items
 
 
 class FrameWriter:
@@ -83,8 +202,11 @@ class FrameWriter:
         self.frames_out = 0
         self.bytes_out = 0
 
-    def write(self, header: bytes, buffers: Sequence[bytes] = ()) -> None:
-        self.bytes_out += write_frame(self._fobj.write, header, buffers)
+    def write(self, header: bytes, buffers: Sequence[bytes] = (), *,
+              kind: int = KIND_MSG,
+              buffer_flags: Sequence[int] | None = None) -> None:
+        self.bytes_out += write_frame(self._fobj.write, header, buffers,
+                                      kind=kind, buffer_flags=buffer_flags)
         flush = getattr(self._fobj, "flush", None)
         if flush is not None:
             flush()
@@ -132,7 +254,7 @@ class FrameReader:
         self.bytes_in += n
         return b"".join(chunks) if len(chunks) != 1 else chunks[0]
 
-    def read(self) -> tuple[bytes, list[bytes]]:
+    def read(self) -> tuple[int, bytes, list[bytes], list[int]]:
         self._mid_frame = False
 
         def tracked(n: int) -> bytes:
@@ -142,7 +264,7 @@ class FrameReader:
             self._mid_frame = True
             return data
 
-        header, buffers = read_frame(tracked)
+        frame = read_frame(tracked)
         self._mid_frame = False
         self.frames_in += 1
-        return header, buffers
+        return frame

@@ -33,13 +33,21 @@ from ..errors import SerializationError
 NOMINAL_ATTR = "__oopp_nominal_bytes__"
 
 
-def dumps(obj: Any, protocol: int = 5) -> tuple[bytes, list[bytes]]:
+def dumps(obj: Any, protocol: int = 5) -> tuple[bytes, list[memoryview]]:
     """Encode *obj* as ``(header, out_of_band_buffers)``.
 
     With ``protocol >= 5`` contiguous buffers inside *obj* (numpy arrays
     and anything else whose reducer emits :class:`pickle.PickleBuffer`)
-    are returned separately and are **views** over the original memory —
-    no copy is made on the send side.
+    are returned separately as flat ``memoryview``\\ s (1-D, format
+    ``B``, possibly readonly) over the original memory — no copy is made
+    on the send side.  That is the contract: the frames layer and the
+    shared-memory path consume buffer-protocol *views*, never ``bytes``.
+
+    A reducer that lifts a **non-contiguous** buffer out of band has no
+    flat raw form; shipping a strided buffer element-by-element would
+    silently change its layout on the receiving side, so it is rejected
+    with :class:`~repro.errors.SerializationError` instead.  Readonly
+    buffers (e.g. views over ``bytes``) are fine.
     """
     buffers: list[pickle.PickleBuffer] = []
     try:
@@ -50,15 +58,19 @@ def dumps(obj: Any, protocol: int = 5) -> tuple[bytes, list[bytes]]:
             header = pickle.dumps(obj, protocol=protocol)
     except (pickle.PicklingError, TypeError, AttributeError) as exc:
         raise SerializationError(f"cannot serialize {type(obj).__name__}: {exc}") from exc
-    raw: list[bytes] = []
+    raw: list[memoryview] = []
     for pb in buffers:
-        view = pb.raw()
-        # memoryview keeps the source alive; frames layer consumes it as-is.
-        raw.append(view)  # type: ignore[arg-type]
+        try:
+            # raw(): flat u8 view; keeps the source alive.
+            raw.append(pb.raw())
+        except BufferError as exc:
+            raise SerializationError(
+                f"cannot serialize {type(obj).__name__}: an out-of-band "
+                f"buffer is not contiguous ({exc})") from exc
     return header, raw
 
 
-def loads(header: bytes, buffers: Sequence[bytes] = ()) -> Any:
+def loads(header: bytes, buffers: Sequence[bytes | memoryview] = ()) -> Any:
     """Decode a value produced by :func:`dumps`."""
     try:
         return pickle.loads(header, buffers=list(buffers))

@@ -3,24 +3,79 @@
 Machines listen on ephemeral localhost ports; the driver and peer
 machines dial in.  The socket is wrapped in buffered file objects and
 framed with :mod:`repro.transport.frames`.
+
+The channel optionally speaks the wire *fast path* (``docs/WIRE.md``):
+cached call headers (``KIND_CALL`` frames), multi-message envelopes
+(``KIND_BATCH``, via :meth:`SocketChannel.send_batch`), and same-host
+zero-copy buffers through shared memory (``BUF_SHM`` sections).  Each
+feature is opt-in per channel through :class:`WireOptions` on the
+*send* side only — every channel always understands all of them on
+receive, so peers with different options interoperate.
 """
 
 from __future__ import annotations
 
 import socket
+import struct
 import threading
-from typing import Optional
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 from ..config import DEFAULT_HOST
 from ..errors import (
     ChannelClosedError,
     ChannelTimeoutError,
     FramingError,
+    SerializationError,
     TransportError,
 )
+from . import serde, shm
 from .channel import Channel
-from .frames import FrameReader, FrameWriter
-from .message import Message
+from .frames import (
+    BUF_INLINE,
+    BUF_SHM,
+    KIND_BATCH,
+    KIND_CALL,
+    KIND_MSG,
+    FrameReader,
+    FrameWriter,
+    pack_batch,
+    split_batch,
+)
+from .message import Message, Request
+
+_CALL_SKEL = struct.Struct("<I")
+
+#: memoized import of the runtime-layer header cache — runtime.protocol
+#: pulls in the proxy layer, which the transport package must not import
+#: at module load (and a per-message ``import`` costs a dict lookup).
+_call_cache = None
+
+
+def _header_cache():
+    global _call_cache
+    if _call_cache is None:
+        from ..runtime.protocol import call_header_cache
+
+        _call_cache = call_header_cache
+    return _call_cache
+
+
+@dataclass(frozen=True)
+class WireOptions:
+    """Send-side fast-path switches for one channel (receive always
+    understands everything)."""
+
+    header_cache: bool = False
+    shm_enabled: bool = False
+    shm_threshold: int = 1 << 20
+
+    @classmethod
+    def from_config(cls, cfg) -> "WireOptions":
+        return cls(header_cache=cfg.wire_header_cache,
+                   shm_enabled=cfg.wire_shm,
+                   shm_threshold=cfg.shm_threshold_bytes)
 
 
 class _SockReader:
@@ -59,47 +114,172 @@ class _SockReader:
 class SocketChannel(Channel):
     """A message channel over a connected TCP socket."""
 
-    def __init__(self, sock: socket.socket) -> None:
+    def __init__(self, sock: socket.socket,
+                 options: Optional[WireOptions] = None) -> None:
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         self._sock = sock
+        self._options = options or WireOptions()
         self._rfile = _SockReader(sock)
         self._wfile = sock.makefile("wb", buffering=1 << 16)
         self._reader = FrameReader(self._rfile)
         self._writer = FrameWriter(self._wfile)
         self._send_lock = threading.Lock()
         self._closed = False
+        #: decoded messages from a BATCH frame, waiting for recv().
+        self._rx_pending: deque[Message] = deque()
 
     @classmethod
-    def connect(cls, host: str, port: int, timeout: float | None = None) -> "SocketChannel":
+    def connect(cls, host: str, port: int, timeout: float | None = None,
+                options: Optional[WireOptions] = None) -> "SocketChannel":
         try:
             sock = socket.create_connection((host, port), timeout=timeout)
         except OSError as exc:
             raise TransportError(f"cannot connect to {host}:{port}: {exc}") from exc
         sock.settimeout(None)
-        return cls(sock)
+        return cls(sock, options=options)
+
+    # -- encode: messages -> wire frames -----------------------------------
+
+    def _encode_wire(self, msg: Message) -> tuple[int, bytes, list]:
+        """Encode *msg* as ``(kind, header, raw_buffers)``."""
+        if self._options.header_cache and type(msg) is Request:
+            tail, buffers = serde.dumps(
+                (msg.request_id, msg.args, msg.kwargs), self.protocol)
+            header = _header_cache().prefix(
+                msg.object_id, msg.method, msg.oneway, msg.caller,
+                self.protocol) + tail
+            return KIND_CALL, header, buffers
+        header, buffers = self._encode(msg)
+        return KIND_MSG, header, buffers
+
+    def _stage_buffers(self, buffers: Sequence
+                       ) -> tuple[list, list[int], list[shm.OutboundSegment]]:
+        """Offload big buffers to shared memory.
+
+        Returns ``(wire_buffers, flags, segments)``; the caller must
+        :meth:`~repro.transport.shm.OutboundSegment.commit` the segments
+        after a successful send or ``abort`` them on failure.
+        """
+        opts = self._options
+        if not opts.shm_enabled:
+            return list(buffers), [BUF_INLINE] * len(buffers), []
+        wire: list = []
+        flags: list[int] = []
+        segments: list[shm.OutboundSegment] = []
+        for buf in buffers:
+            view = buf if isinstance(buf, memoryview) else memoryview(buf)
+            if view.nbytes >= opts.shm_threshold:
+                seg = shm.export_buffer(view)
+                segments.append(seg)
+                wire.append(seg.descriptor)
+                flags.append(BUF_SHM)
+            else:
+                wire.append(buf)
+                flags.append(BUF_INLINE)
+        return wire, flags, segments
+
+    def _prepare(self, msg: Message
+                 ) -> tuple[int, bytes, list, list[int],
+                            list[shm.OutboundSegment]]:
+        kind, header, buffers = self._encode_wire(msg)
+        wire, flags, segments = self._stage_buffers(buffers)
+        return kind, header, wire, flags, segments
+
+    # -- send ----------------------------------------------------------------
 
     def send(self, msg: Message) -> None:
-        header, buffers = self._encode(msg)
-        with self._send_lock:
-            if self._closed:
-                raise ChannelClosedError("channel closed")
-            try:
-                self._writer.write(header, buffers)
-            except (BrokenPipeError, ConnectionResetError) as exc:
-                # The peer is definitively gone: latch closed.
-                self._closed = True
-                raise ChannelClosedError(f"peer gone during send: {exc}") from exc
-            except (OSError, ValueError) as exc:
-                # Transient OS-level failure (EINTR-style): the peer may be
-                # fine, so don't latch the channel closed — let the caller
-                # decide whether to retry or tear down.
-                raise TransportError(f"send failed: {exc}") from exc
+        kind, header, buffers, flags, segments = self._prepare(msg)
+        try:
+            with self._send_lock:
+                if self._closed:
+                    raise ChannelClosedError("channel closed")
+                self._write_locked(header, buffers, kind=kind,
+                                   buffer_flags=flags)
+        except BaseException:
+            for seg in segments:
+                seg.abort()
+            raise
+        for seg in segments:
+            seg.commit()
+
+    def send_batch(self, msgs: list[Message],
+                   max_bytes: Optional[int] = None) -> None:
+        """Send several messages, packing them into as few physical
+        frames as *max_bytes* allows (one ``KIND_BATCH`` frame per
+        group; a group of one degenerates to a plain frame)."""
+        if not msgs:
+            return
+        prepared = [self._prepare(m) for m in msgs]
+        all_segments = [seg for p in prepared for seg in p[4]]
+        sent_segments: list[shm.OutboundSegment] = []
+        try:
+            with self._send_lock:
+                if self._closed:
+                    raise ChannelClosedError("channel closed")
+                group: list = []
+                group_bytes = 0
+                group_segs: list[shm.OutboundSegment] = []
+
+                def flush_group() -> None:
+                    nonlocal group, group_bytes, group_segs
+                    if not group:
+                        return
+                    if len(group) == 1:
+                        kind, header, bufs, flags = group[0]
+                        self._write_locked(header, bufs, kind=kind,
+                                           buffer_flags=flags)
+                    else:
+                        bh, bb, bf = pack_batch(group)
+                        self._write_locked(bh, bb, kind=KIND_BATCH,
+                                           buffer_flags=bf)
+                    sent_segments.extend(group_segs)
+                    group, group_bytes, group_segs = [], 0, []
+
+                for kind, header, bufs, flags, segs in prepared:
+                    size = len(header) + sum(
+                        memoryview(b).nbytes for b in bufs)
+                    if group and max_bytes is not None \
+                            and group_bytes + size > max_bytes:
+                        flush_group()
+                    group.append((kind, header, bufs, flags))
+                    group_bytes += size
+                    group_segs.extend(segs)
+                flush_group()
+        except BaseException:
+            for seg in all_segments:
+                if seg not in sent_segments:
+                    seg.abort()
+            for seg in sent_segments:
+                seg.commit()
+            raise
+        for seg in all_segments:
+            seg.commit()
+
+    def _write_locked(self, header: bytes, buffers: Sequence, *,
+                      kind: int, buffer_flags: Sequence[int]) -> None:
+        """One framed write; caller holds ``_send_lock``."""
+        try:
+            self._writer.write(header, buffers, kind=kind,
+                               buffer_flags=buffer_flags)
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            # The peer is definitively gone: latch closed.
+            self._closed = True
+            raise ChannelClosedError(f"peer gone during send: {exc}") from exc
+        except (OSError, ValueError) as exc:
+            # Transient OS-level failure (EINTR-style): the peer may be
+            # fine, so don't latch the channel closed — let the caller
+            # decide whether to retry or tear down.
+            raise TransportError(f"send failed: {exc}") from exc
+
+    # -- recv ----------------------------------------------------------------
 
     def recv(self, timeout: Optional[float] = None) -> Message:
+        if self._rx_pending:
+            return self._rx_pending.popleft()
         if timeout is not None:
             self._sock.settimeout(timeout)
         try:
-            header, buffers = self._reader.read()
+            kind, header, buffers, flags = self._reader.read()
         except (ChannelClosedError, FramingError):
             raise
         except socket.timeout as exc:
@@ -122,13 +302,63 @@ class SocketChannel(Channel):
                     self._sock.settimeout(None)
                 except OSError:
                     pass
-        return self._decode(header, buffers)
+        if kind == KIND_BATCH:
+            items = split_batch(header, buffers, flags)
+            msgs = [self._decode_wire(k, h, b, f) for k, h, b, f in items]
+            self._rx_pending.extend(msgs[1:])
+            return msgs[0]
+        return self._decode_wire(kind, header, buffers, flags)
+
+    def _decode_wire(self, kind: int, header: bytes, buffers: list,
+                     flags: list[int]) -> Message:
+        """Decode one logical frame, resolving shm references."""
+        shm_names: list[str] = []
+        if BUF_SHM in flags:
+            mgr = shm.manager()
+            resolved = []
+            for buf, flag in zip(buffers, flags):
+                if flag == BUF_SHM:
+                    name, size = shm.unpack_descriptor(buf)
+                    resolved.append(mgr.attach(name, size))
+                    shm_names.append(name)
+                else:
+                    resolved.append(buf)
+            buffers = resolved
+        try:
+            if kind == KIND_CALL:
+                msg = self._decode_call(header, buffers)
+            else:
+                msg = self._decode(header, buffers)
+        except BaseException:
+            # The message never materialized: drop the references we took.
+            mgr = shm.manager()
+            for name in shm_names:
+                mgr.release(name)
+            raise
+        if shm_names:
+            shm.manager().bind_message(msg, shm_names)
+        return msg
+
+    def _decode_call(self, header: bytes, buffers: list) -> Request:
+        try:
+            (skel_len,) = _CALL_SKEL.unpack_from(header, 0)
+        except struct.error as exc:
+            raise FramingError(f"truncated CALL header: {exc}") from exc
+        if _CALL_SKEL.size + skel_len > len(header):
+            raise FramingError("CALL skeleton length exceeds header")
+        skel = bytes(header[_CALL_SKEL.size:_CALL_SKEL.size + skel_len])
+        tail = header[_CALL_SKEL.size + skel_len:]
+        fields = _header_cache().fields_for(skel)
+        request_id, args, kwargs = serde.loads(tail, buffers)
+        return Request(request_id=request_id, args=args, kwargs=kwargs,
+                       **fields)
 
     def close(self) -> None:
         with self._send_lock:
             if self._closed:
                 return
             self._closed = True
+        self._rx_pending.clear()
         for f in (self._wfile, self._rfile):
             try:
                 f.close()

@@ -29,6 +29,15 @@ class TestCli:
         out = capsys.readouterr().out
         assert "shape check" not in out
 
+    def test_quick_skips_assertions(self, capsys):
+        assert main(["A1", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "shape check" not in out
+
+    def test_quick_rejects_full(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["A1", "--quick", "--full"])
+
     def test_unknown_id_fails_cleanly(self, capsys):
         assert main(["E99"]) == 2
         assert "unknown experiment" in capsys.readouterr().out

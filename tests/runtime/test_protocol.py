@@ -179,3 +179,68 @@ class TestValidateEdgeCases:
         warnings = [w for w in validate_remote_class(Bad)
                     if "not picklable" in w]
         assert len(warnings) == 1 and "broken" in warnings[0]
+
+
+class TestCallHeaderCache:
+    def make(self, maxsize=4):
+        from repro.runtime.protocol import CallHeaderCache
+
+        return CallHeaderCache(maxsize=maxsize)
+
+    def test_skeleton_is_a_valid_request_pickle(self):
+        import pickle
+
+        cache = self.make()
+        skel = cache.skeleton(7, "sum", False, -1)
+        kind, fields = pickle.loads(skel)
+        assert kind == "req"
+        assert fields == {"object_id": 7, "method": "sum",
+                          "oneway": False, "caller": -1}
+
+    def test_repeat_call_site_hits(self):
+        cache = self.make()
+        a = cache.skeleton(1, "m", False, 0)
+        b = cache.skeleton(1, "m", False, 0)
+        assert a is b
+        assert cache.stats() == {"size": 1, "hits": 1, "misses": 1}
+
+    def test_distinct_call_sites_miss(self):
+        cache = self.make()
+        cache.skeleton(1, "m", False, 0)
+        cache.skeleton(1, "m", True, 0)   # oneway differs
+        cache.skeleton(2, "m", False, 0)  # object differs
+        cache.skeleton(1, "n", False, 0)  # method differs
+        assert cache.stats()["misses"] == 4
+
+    def test_lru_evicts_oldest(self):
+        cache = self.make(maxsize=2)
+        cache.skeleton(1, "a", False, 0)
+        cache.skeleton(2, "b", False, 0)
+        cache.skeleton(1, "a", False, 0)  # touch 1 -> 2 is now LRU
+        cache.skeleton(3, "c", False, 0)  # evicts 2
+        assert len(cache) == 2
+        cache.skeleton(2, "b", False, 0)
+        assert cache.stats()["misses"] == 4  # 2 was re-pickled
+
+    def test_thread_safety_under_contention(self):
+        import threading
+
+        cache = self.make(maxsize=8)
+        errors = []
+
+        def hammer(tid):
+            try:
+                for i in range(300):
+                    skel = cache.skeleton(i % 16, "m", False, tid)
+                    assert isinstance(skel, bytes)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(t,))
+                   for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors
+        assert len(cache) <= 8

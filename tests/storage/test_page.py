@@ -99,3 +99,85 @@ class TestArrayPage:
         # §3: ArrayPage derives from Page; raw-page interfaces accept it.
         p = ArrayPage(2, 2, 2)
         assert isinstance(p, Page)
+
+
+class TestOutOfBandTransfer:
+    """Pages ship their buffer out of band (pickle-5) and adopt shm views."""
+
+    def test_proto5_lifts_buffer_out_of_band(self):
+        from repro.transport import serde
+
+        p = ArrayPage(4, 4, 4, np.arange(64.0))
+        header, buffers = serde.dumps(p)
+        assert len(buffers) == 1
+        assert buffers[0].nbytes == 64 * 8
+
+    def test_serde_round_trip_copies_not_aliases(self):
+        from repro.transport import serde
+
+        p = ArrayPage(2, 2, 2, np.arange(8.0))
+        header, buffers = serde.dumps(p)
+        q = serde.loads(header, buffers)
+        assert q == p and q.shape == p.shape
+        q.array[0, 0, 0] = 99.0  # must not write through to p
+        assert p.array[0, 0, 0] == 0.0
+
+    def test_proto4_still_works(self):
+        p = ArrayPage(2, 3, 4, np.arange(24.0))
+        q = pickle.loads(pickle.dumps(p, protocol=4))
+        assert q == p and q.shape == (2, 3, 4)
+
+    def test_plain_page_round_trips(self):
+        from repro.transport import serde
+
+        p = Page(100, bytes(range(100)))
+        header, buffers = serde.dumps(p)
+        q = serde.loads(header, [bytes(b) for b in buffers])
+        assert q == p and q.nominal_nbytes == 100
+
+    def test_nominal_size_survives_out_of_band(self):
+        from repro.transport import serde
+
+        p = Page(16).with_nominal_size(1 << 30)
+        header, buffers = serde.dumps(p)
+        q = serde.loads(header, [bytes(b) for b in buffers])
+        assert q.nominal_nbytes == 1 << 30
+
+    def test_deepcopy_independent(self):
+        import copy
+
+        p = ArrayPage(2, 2, 2, np.arange(8.0))
+        q = copy.deepcopy(p)
+        q.fill(0.0)
+        assert p.sum() == 28.0
+
+    def test_rebuilt_page_is_mutable(self):
+        from repro.transport import serde
+
+        p = Page(32)
+        header, buffers = serde.dumps(p)
+        q = serde.loads(header, [bytes(b) for b in buffers])
+        q.update(b"\x01" * 32)
+        assert q.to_bytes() == b"\x01" * 32
+
+    def test_adopts_shm_view_zero_copy(self):
+        import gc
+
+        from repro.transport import serde, shm
+
+        p = ArrayPage(8, 8, 8, np.arange(512.0))
+        header, buffers = serde.dumps(p)
+        out = shm.export_buffer(buffers[0])
+        name, size = shm.unpack_descriptor(out.descriptor)
+        view = shm.manager().attach(name, size)
+        out.commit()
+        q = serde.loads(header, [view])
+        shm.manager().release(name)  # the "message" reference goes away
+        assert name in shm.host_shm_names(), "page still pins the segment"
+        # Zero copy: the page's array is a view over the segment memory.
+        q.array[0, 0, 0] = -1.0
+        assert np.frombuffer(view, dtype=np.float64)[0] == -1.0
+        assert q.sum() == float(np.arange(512.0)[1:].sum()) - 1.0
+        del q
+        gc.collect()
+        assert name not in shm.host_shm_names(), "segment leaked"

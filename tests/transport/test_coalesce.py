@@ -1,0 +1,131 @@
+"""CoalescingSender: batching semantics, flush, error latching."""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+import pytest
+
+from repro.errors import ChannelClosedError
+from repro.transport.channel import Channel
+from repro.transport.coalesce import CoalescingSender
+from repro.transport.message import Response
+
+
+class RecordingChannel(Channel):
+    """Records every send/send_batch; optionally blocks or fails."""
+
+    def __init__(self, block_s: float = 0.0,
+                 fail_after: Optional[int] = None) -> None:
+        self.calls: list[list[Response]] = []
+        self.block_s = block_s
+        self.fail_after = fail_after
+        self._lock = threading.Lock()
+
+    def _record(self, msgs: list) -> None:
+        with self._lock:
+            if self.fail_after is not None and len(self.calls) >= self.fail_after:
+                raise ChannelClosedError("injected send failure")
+            self.calls.append(list(msgs))
+        if self.block_s:
+            time.sleep(self.block_s)
+
+    def send(self, msg) -> None:
+        self._record([msg])
+
+    def send_batch(self, msgs, max_bytes=None) -> None:
+        self._record(msgs)
+
+    def recv(self, timeout=None):  # pragma: no cover - not used
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+def msgs_of(channel: RecordingChannel) -> list[int]:
+    return [m.request_id for call in channel.calls for m in call]
+
+
+class TestCoalescing:
+    def test_single_send_goes_through(self):
+        ch = RecordingChannel()
+        sender = CoalescingSender(ch)
+        sender.send(Response(request_id=1))
+        assert sender.flush(timeout=5)
+        sender.close()
+        assert msgs_of(ch) == [1]
+
+    def test_burst_batches_while_writer_is_busy(self):
+        # A slow channel keeps the writer inside one flush while the
+        # producer floods the queue: the next flush must pick the whole
+        # backlog up as one send_batch call.
+        ch = RecordingChannel(block_s=0.05)
+        sender = CoalescingSender(ch, max_msgs=100)
+        for i in range(40):
+            sender.send(Response(request_id=i))
+        assert sender.flush(timeout=10)
+        sender.close()
+        assert msgs_of(ch) == list(range(40)), "order preserved"
+        assert len(ch.calls) < 40, "backlog coalesced into fewer flushes"
+        assert any(len(c) > 1 for c in ch.calls)
+        assert sender.batched_flushes >= 1
+
+    def test_max_msgs_bounds_one_flush(self):
+        ch = RecordingChannel(block_s=0.05)
+        sender = CoalescingSender(ch, max_msgs=8)
+        for i in range(30):
+            sender.send(Response(request_id=i))
+        assert sender.flush(timeout=10)
+        sender.close()
+        assert msgs_of(ch) == list(range(30))
+        assert all(len(c) <= 8 for c in ch.calls)
+
+    def test_many_producer_threads_no_loss_no_dupes(self):
+        ch = RecordingChannel(block_s=0.002)
+        sender = CoalescingSender(ch, max_msgs=64)
+        n_threads, per_thread = 8, 50
+
+        def produce(tid):
+            for i in range(per_thread):
+                sender.send(Response(request_id=tid * 1000 + i))
+
+        threads = [threading.Thread(target=produce, args=(t,))
+                   for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert sender.flush(timeout=10)
+        sender.close()
+        got = msgs_of(ch)
+        assert len(got) == len(set(got)) == n_threads * per_thread
+        # Per-producer order is preserved even across batches.
+        for tid in range(n_threads):
+            mine = [r - tid * 1000 for r in got if r // 1000 == tid]
+            assert mine == sorted(mine)
+
+    def test_error_latches_and_invokes_callback(self):
+        errors = []
+        ch = RecordingChannel(fail_after=0)
+        sender = CoalescingSender(ch, on_error=errors.append)
+        sender.send(Response(request_id=1))
+        deadline = time.monotonic() + 5
+        while not sender.failed and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert sender.failed
+        assert len(errors) == 1 and isinstance(errors[0], ChannelClosedError)
+        with pytest.raises(ChannelClosedError):
+            sender.send(Response(request_id=2))
+
+    def test_close_drains_pending(self):
+        ch = RecordingChannel(block_s=0.01)
+        sender = CoalescingSender(ch)
+        for i in range(10):
+            sender.send(Response(request_id=i))
+        sender.close()
+        assert msgs_of(ch) == list(range(10))
+        with pytest.raises(ChannelClosedError):
+            sender.send(Response(request_id=99))

@@ -1,4 +1,4 @@
-"""Framing: wire format, truncation, corruption, limits."""
+"""Framing: wire format, truncation, corruption, limits, batches."""
 
 from __future__ import annotations
 
@@ -11,17 +11,26 @@ from hypothesis import strategies as st
 
 from repro.errors import ChannelClosedError, FramingError
 from repro.transport.frames import (
+    BUF_INLINE,
+    BUF_SHM,
+    KIND_BATCH,
+    KIND_CALL,
+    KIND_MSG,
     MAGIC,
+    VERSION,
     FrameReader,
     FrameWriter,
+    pack_batch,
     read_frame,
+    split_batch,
     write_frame,
 )
 
 
-def round_trip(header: bytes, buffers=()):
+def round_trip(header: bytes, buffers=(), kind=KIND_MSG, flags=None):
     sink = io.BytesIO()
-    write_frame(sink.write, header, list(buffers))
+    write_frame(sink.write, header, list(buffers), kind=kind,
+                buffer_flags=flags)
     sink.seek(0)
     reader = FrameReader(sink)
     return reader.read()
@@ -29,17 +38,36 @@ def round_trip(header: bytes, buffers=()):
 
 class TestRoundTrip:
     def test_header_only(self):
-        h, bufs = round_trip(b"hello")
-        assert h == b"hello" and bufs == []
+        kind, h, bufs, flags = round_trip(b"hello")
+        assert kind == KIND_MSG and h == b"hello"
+        assert bufs == [] and flags == []
 
     def test_empty_header(self):
-        h, bufs = round_trip(b"")
+        kind, h, bufs, flags = round_trip(b"")
         assert h == b"" and bufs == []
 
     def test_with_buffers(self):
-        h, bufs = round_trip(b"hdr", [b"abc", b"", b"0123456789" * 100])
+        kind, h, bufs, flags = round_trip(
+            b"hdr", [b"abc", b"", b"0123456789" * 100])
         assert h == b"hdr"
         assert bufs == [b"abc", b"", b"0123456789" * 100]
+        assert flags == [BUF_INLINE] * 3
+
+    def test_kind_and_flags_round_trip(self):
+        kind, h, bufs, flags = round_trip(
+            b"call", [b"descriptor", b"inline"], kind=KIND_CALL,
+            flags=[BUF_SHM, BUF_INLINE])
+        assert kind == KIND_CALL
+        assert flags == [BUF_SHM, BUF_INLINE]
+        assert bufs == [b"descriptor", b"inline"]
+
+    def test_unknown_kind_rejected_on_write(self):
+        with pytest.raises(FramingError, match="kind"):
+            write_frame(lambda b: None, b"h", kind=77)
+
+    def test_mismatched_flags_rejected(self):
+        with pytest.raises(FramingError, match="flags"):
+            write_frame(lambda b: None, b"h", [b"x"], buffer_flags=[0, 0])
 
     def test_multiple_frames_in_sequence(self):
         sink = io.BytesIO()
@@ -47,16 +75,74 @@ class TestRoundTrip:
         write_frame(sink.write, b"two", [])
         sink.seek(0)
         reader = FrameReader(sink)
-        assert reader.read() == (b"one", [b"x"])
-        assert reader.read() == (b"two", [])
+        assert reader.read() == (KIND_MSG, b"one", [b"x"], [BUF_INLINE])
+        assert reader.read() == (KIND_MSG, b"two", [], [])
         assert reader.frames_in == 2
 
     @given(st.binary(max_size=200),
            st.lists(st.binary(max_size=200), max_size=5))
     @settings(max_examples=50, deadline=None)
     def test_round_trip_property(self, header, buffers):
-        h, bufs = round_trip(header, buffers)
+        _, h, bufs, flags = round_trip(header, buffers)
         assert h == header and bufs == list(buffers)
+        assert flags == [BUF_INLINE] * len(buffers)
+
+
+class TestBatch:
+    def items(self):
+        return [
+            (KIND_MSG, b"first", [b"aa", b"bb"], [BUF_INLINE, BUF_INLINE]),
+            (KIND_CALL, b"second", [], []),
+            (KIND_MSG, b"", [b"shm-desc"], [BUF_SHM]),
+        ]
+
+    def test_pack_split_round_trip(self):
+        items = self.items()
+        header, bufs, flags = pack_batch(items)
+        assert split_batch(header, bufs, flags) == items
+
+    def test_batch_survives_the_wire(self):
+        items = self.items()
+        header, bufs, flags = pack_batch(items)
+        kind, h, b, f = round_trip(header, bufs, kind=KIND_BATCH, flags=flags)
+        assert kind == KIND_BATCH
+        assert split_batch(h, b, f) == items
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(FramingError):
+            pack_batch([])
+
+    def test_nested_batch_rejected(self):
+        inner = pack_batch(self.items())
+        with pytest.raises(FramingError, match="nest"):
+            pack_batch([(KIND_BATCH, inner[0], inner[1], inner[2])])
+
+    def test_truncated_index_rejected(self):
+        header, bufs, flags = pack_batch(self.items())
+        with pytest.raises(FramingError):
+            split_batch(header[:3], bufs, flags)
+
+    def test_missing_buffers_rejected(self):
+        header, bufs, flags = pack_batch(self.items())
+        with pytest.raises(FramingError):
+            split_batch(header, bufs[:-1], flags[:-1])
+
+    def test_trailing_garbage_rejected(self):
+        header, bufs, flags = pack_batch(self.items())
+        with pytest.raises(FramingError, match="trailing"):
+            split_batch(header + b"junk", bufs, flags)
+        with pytest.raises(FramingError, match="trailing"):
+            split_batch(header, bufs + [b"extra"], flags + [BUF_INLINE])
+
+    @given(st.lists(st.tuples(st.binary(max_size=60),
+                              st.lists(st.binary(max_size=40), max_size=3)),
+                    min_size=1, max_size=6))
+    @settings(max_examples=40, deadline=None)
+    def test_batch_property(self, raw_items):
+        items = [(KIND_MSG, h, list(bufs), [BUF_INLINE] * len(bufs))
+                 for h, bufs in raw_items]
+        header, bufs, flags = pack_batch(items)
+        assert split_batch(header, bufs, flags) == items
 
 
 class TestErrors:
@@ -107,25 +193,42 @@ class TestErrors:
         with pytest.raises(FramingError, match="version"):
             reader.read()
 
+    def test_v1_frames_rejected(self):
+        # A v1 stream (no kind byte, "<IBHQ" prefix) must fail loudly,
+        # not be misparsed.
+        prefix = struct.pack("<IBHQ", MAGIC, 1, 0, 5) + b"hello"
+        reader = FrameReader(io.BytesIO(prefix))
+        with pytest.raises(FramingError):
+            reader.read()
+
+    def test_unknown_kind_rejected_on_read(self):
+        prefix = struct.pack("<IBBHQ", MAGIC, VERSION, 42, 0, 0)
+        reader = FrameReader(io.BytesIO(prefix))
+        with pytest.raises(FramingError, match="kind"):
+            reader.read()
+
+    def test_unknown_buffer_flag_rejected(self):
+        prefix = struct.pack("<IBBHQ", MAGIC, VERSION, KIND_MSG, 1, 0)
+        blens = struct.pack("<Q", 3)
+        reader = FrameReader(io.BytesIO(prefix + blens + b"\x07" + b"abc"))
+        with pytest.raises(FramingError, match="flag"):
+            reader.read()
+
     def test_oversized_header_length_rejected_before_allocation(self):
         # Hand-craft a prefix claiming an absurd header size.
-        prefix = struct.pack("<IBHQ", MAGIC, 1, 0, 1 << 40)
+        prefix = struct.pack("<IBBHQ", MAGIC, VERSION, KIND_MSG, 0, 1 << 40)
         reader = FrameReader(io.BytesIO(prefix))
         with pytest.raises(FramingError, match="MAX_FRAME"):
             reader.read()
 
     def test_oversized_buffers_rejected(self):
-        prefix = struct.pack("<IBHQ", MAGIC, 1, 2, 10)
+        prefix = struct.pack("<IBBHQ", MAGIC, VERSION, KIND_MSG, 2, 10)
         blens = struct.pack("<2Q", 1 << 40, 1 << 40)
         reader = FrameReader(io.BytesIO(prefix + blens))
         with pytest.raises(FramingError, match="MAX_FRAME"):
             reader.read()
 
     def test_writer_rejects_oversized_frame(self):
-        class FakeBig:
-            def __len__(self):
-                return 1 << 31
-
         with pytest.raises(FramingError):
             write_frame(lambda b: None, b"h" * (2 << 30))
 
@@ -150,7 +253,7 @@ class TestCounters:
 class TestFuzzing:
     """Corrupted prefixes must fail loudly, never hang or over-allocate."""
 
-    @given(st.integers(0, 14), st.integers(1, 255))
+    @given(st.integers(0, 15), st.integers(1, 255))
     @settings(max_examples=60, deadline=None)
     def test_prefix_corruption_is_detected(self, position, xor):
         sink = io.BytesIO()
@@ -162,7 +265,7 @@ class TestFuzzing:
             return
         reader = FrameReader(io.BytesIO(bytes(data)))
         try:
-            header, buffers = reader.read()
+            _, header, buffers, _ = reader.read()
         except (FramingError, ChannelClosedError):
             return  # loud and typed: exactly what we want
         # A flip inside the length words may still parse (e.g. shorter

@@ -121,3 +121,54 @@ class TestSizes:
         assert serde.nominal_size_of(p) == serde.encoded_size(p)
         p.with_nominal_size(12345)
         assert serde.nominal_size_of(p) == 12345
+
+
+class TestBufferContract:
+    """``dumps`` returns memoryviews, never bytes — the settled contract.
+
+    Regression for the old annotation claiming ``list[bytes]`` while the
+    frames layer actually received ``pb.raw()`` memoryviews.
+    """
+
+    def test_out_of_band_buffers_are_flat_memoryviews(self):
+        a = np.arange(256, dtype=np.float64)
+        _, buffers = serde.dumps(a)
+        assert buffers, "contiguous array should go out of band"
+        for view in buffers:
+            assert isinstance(view, memoryview)
+            assert view.format == "B" and view.ndim == 1
+
+    def test_buffers_alias_sender_memory_no_copy(self):
+        a = np.arange(64, dtype=np.float64)
+        _, buffers = serde.dumps(a)
+        a[0] = 123.0  # mutate after dumps: the view must see it
+        assert np.frombuffer(buffers[0], dtype=np.float64)[0] == 123.0
+
+    def test_readonly_buffer_accepted(self):
+        # Readonly views (e.g. over bytes) must serialize fine.
+        ro = np.frombuffer(bytes(range(16)), dtype=np.uint8)
+        assert not ro.flags.writeable
+        header, buffers = serde.dumps(ro)
+        got = serde.loads(header, [bytes(b) for b in buffers])
+        assert np.array_equal(got, ro)
+
+    def test_readonly_picklebuffer_round_trips(self):
+        payload = b"immutable-payload" * 10
+        value = pickle.PickleBuffer(payload)
+        header, buffers = serde.dumps(value)
+        assert buffers and buffers[0].readonly
+        assert bytes(serde.loads(header, buffers)) == payload
+
+    def test_non_contiguous_buffer_rejected_loudly(self):
+        # A strided view has no flat raw form; lifting it out of band
+        # would silently change its layout, so dumps must refuse.
+        a = np.arange(100, dtype=np.float64)[::2]
+        assert not a.flags.c_contiguous
+        with pytest.raises(SerializationError, match="contiguous"):
+            serde.dumps(pickle.PickleBuffer(a))
+
+    def test_contiguous_slice_of_array_accepted(self):
+        a = np.arange(100, dtype=np.float64)[10:20]
+        header, buffers = serde.dumps(a)
+        got = serde.loads(header, [bytes(b) for b in buffers])
+        assert np.array_equal(got, a)
