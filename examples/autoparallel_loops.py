@@ -52,7 +52,7 @@ def main() -> None:
               f"({t_seq / t_par:.1f}x)")
 
         # --- 3: a loop-carried dependency forces one call -------------------
-        counter = cluster.new_block(N, machine=0)
+        counter = cluster.on(0).new_block(N)
         t0 = engine.now
         with oopp.autoparallel():
             first = device[0].sum(0)        # needed by the next statement

@@ -29,9 +29,10 @@ def build_dataset() -> list[str]:
     with oopp.Cluster(n_machines=3, backend="mp", call_timeout_s=60.0,
                       storage_root=STORAGE_ROOT) as cluster:
         for i in range(3):
-            dev = cluster.new(oopp.ArrayPageDevice,
-                              os.path.join(STORAGE_ROOT, f"set-{i}.dat"),
-                              4, 8, 8, 8, machine=i)
+            dev = cluster.on(i).new(
+                oopp.ArrayPageDevice,
+                os.path.join(STORAGE_ROOT, f"set-{i}.dat"),
+                4, 8, 8, 8)
             data = np.full((8, 8, 8), float(i + 1))
             dev.write_page(oopp.ArrayPage(8, 8, 8, data), 0)
             addr = cluster.persist(dev, str(30 + i))
@@ -54,13 +55,12 @@ def use_dataset(addresses: list[str]) -> None:
             assert total == float((i + 1) * 512)
 
         # --- adoption: derive a structured process from a raw one ---------
-        raw = cluster.new(oopp.PageDevice,
-                          os.path.join(STORAGE_ROOT, "raw.dat"),
-                          2, 8 * 8 * 8 * 8, machine=0)
+        raw = cluster.on(0).new(oopp.PageDevice,
+                                os.path.join(STORAGE_ROOT, "raw.dat"),
+                                2, 8 * 8 * 8 * 8)
         raw.write(oopp.Page(4096, b"\x00" * 4096), 0)
         # ArrayPageDevice * new_device = new ArrayPageDevice(page_device);
-        structured = cluster.new(oopp.ArrayPageDevice, raw, 8, 8, 8,
-                                 machine=0)
+        structured = cluster.on(0).new(oopp.ArrayPageDevice, raw, 8, 8, 8)
         structured.fill_region(0, (0, 0, 0), (8, 8, 8), 2.0)
         print(f"  adopted raw device; structured sum = {structured.sum(0)}")
         # ... and shut the original down: delete page_device;

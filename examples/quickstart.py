@@ -21,8 +21,8 @@ def main() -> None:
         # PageDevice * PageStore = new(machine 1)
         #     PageDevice("pagefile", NumberOfPages, PageSize);
         NumberOfPages, PageSize = 10, 1024
-        page_store = cluster.new(oopp.PageDevice, "pagefile",
-                                 NumberOfPages, PageSize, machine=1)
+        page_store = cluster.on(1).new(oopp.PageDevice, "pagefile",
+                                       NumberOfPages, PageSize)
 
         # Page * page = GenerateDataPage();
         page = oopp.Page(PageSize, bytes(range(256)) * 4)
@@ -38,7 +38,7 @@ def main() -> None:
 
         # --- remote primitive data ----------------------------------------
         # double * data = new(machine 2) double[1024];
-        data = cluster.new_block(1024, machine=2)
+        data = cluster.on(2).new_block(1024)
         data[7] = 3.1415          # one round trip
         x = data[2]               # one round trip
         print(f"data[7] = {data[7]}, data[2] = {x}")

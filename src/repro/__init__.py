@@ -9,7 +9,7 @@ on remote objects::
 
     with oopp.Cluster(n_machines=4, backend="mp") as cluster:
         # new(machine 1) PageDevice("pagefile", 10, 1024)
-        store = cluster.new(oopp.PageDevice, "pagefile", 10, 1024, machine=1)
+        store = cluster.on(1).new(oopp.PageDevice, "pagefile", 10, 1024)
         page = oopp.Page(1024, bytes(1024))
         store.write(page, 17)            # remote method execution
         copy = store.read(17)            # result crosses the network
@@ -31,15 +31,28 @@ Public surface:
   :class:`DistributedFFT3D` facade);
 * **backends** — ``inline`` (in-process virtual machines), ``mp`` (one
   OS process per machine, socket RPC), ``sim`` (discrete-event cluster
-  simulator; see :mod:`repro.sim`).
+  simulator; see :mod:`repro.sim`);
+* **observability** — causal call tracing (:class:`Span`,
+  ``Config(trace=...)``, ``cluster.trace_spans()`` /
+  ``cluster.write_trace()``) and always-on transport counters
+  (``cluster.metrics()``); see :mod:`repro.obs` and
+  ``docs/OBSERVABILITY.md``.
 
 The paper's claims are reproduced as experiments E1–E10 under
 :mod:`repro.bench` (``python -m repro.bench all``); results are
 recorded in EXPERIMENTS.md.
 """
 
-from .config import Config, DiskModel, NetworkModel
+from .config import (
+    Config,
+    DiskModel,
+    NetworkModel,
+    RetryConfig,
+    TraceConfig,
+    WireConfig,
+)
 from . import errors
+from .obs import Span
 from .errors import (
     OoppError,
     NoSuchObjectError,
@@ -106,6 +119,10 @@ __all__ = [
     "Config",
     "DiskModel",
     "NetworkModel",
+    "WireConfig",
+    "RetryConfig",
+    "TraceConfig",
+    "Span",
     "errors",
     "OoppError",
     "NoSuchObjectError",

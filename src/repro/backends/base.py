@@ -12,6 +12,7 @@ from typing import Any, Optional
 
 from ..config import Config
 from ..errors import NoSuchMachineError, RemoteExecutionError
+from ..obs.metrics import counters, snapshot_process
 from ..runtime.futures import RemoteFuture, retry_call
 from ..runtime.oid import ObjectRef, class_spec
 from ..runtime.proxy import Proxy, is_idempotent
@@ -48,6 +49,9 @@ class Fabric:
         config.validate()
         self.config = config
         self._closed = False
+        #: driver-side span recorder; concrete backends create one via
+        #: :func:`repro.obs.tracer.make_tracer` when ``config.trace`` is set.
+        self.tracer = None
 
     # -- topology ---------------------------------------------------------
 
@@ -80,7 +84,7 @@ class Fabric:
              kwargs: dict, timeout: Optional[float] = None) -> Any:
         """Synchronous remote execution — the paper's default semantics.
 
-        When ``config.call_retries > 0`` and *method* is idempotent
+        When ``config.retry.retries > 0`` and *method* is idempotent
         (implicit reads, or listed in the class's
         ``__oopp_idempotent__``), a timed-out or transport-failed call
         is re-sent with exponential backoff.  Non-idempotent methods
@@ -88,12 +92,19 @@ class Fabric:
         """
         timeout = (timeout if timeout is not None
                    else self.config.call_timeout_s)
-        retries = self.config.call_retries
-        if retries <= 0 or not is_idempotent(ref, method):
+        retry = self.config.retry
+        if retry.retries <= 0 or not is_idempotent(ref, method):
             return self.call_async(ref, method, args, kwargs).result(timeout)
+
+        def on_retry(i: int, exc: BaseException) -> None:
+            c = counters()
+            c.inc("retry.attempts")
+            c.inc("retry.backoff_s", retry.backoff_s * (2 ** i))
+
         return retry_call(
             lambda: self.call_async(ref, method, args, kwargs).result(timeout),
-            retries=retries, backoff_s=self.config.retry_backoff_s)
+            retries=retry.retries, backoff_s=retry.backoff_s,
+            on_retry=on_retry)
 
     # -- conveniences built on the calling convention -------------------------
 
@@ -122,6 +133,26 @@ class Fabric:
 
     def quiesce(self, machine: int, oids: Optional[list[int]] = None) -> bool:
         return self.kernel_call(machine, "quiesce", oids)
+
+    # -- observability --------------------------------------------------------
+
+    def trace_spans(self) -> list:
+        """Drain every recorded span reachable from this fabric.
+
+        The base implementation drains the driver-side tracer only —
+        right for the single-process backends (inline and sim host all
+        machines in the driver).  The mp backend overrides this to also
+        gather each machine process's spans via kernel calls.
+        """
+        if self.tracer is None:
+            return []
+        return self.tracer.drain()
+
+    def metrics(self) -> dict:
+        """Per-process transport metrics, keyed by ``"driver"`` and
+        ``"machine <k>"``.  Single-process backends report one entry;
+        the mp backend overrides this to gather every machine."""
+        return {"driver": snapshot_process()}
 
     # -- lifecycle -----------------------------------------------------------
 

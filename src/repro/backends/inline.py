@@ -19,6 +19,7 @@ from typing import Any
 
 from ..config import Config
 from ..errors import MachineDownError
+from ..obs.tracer import make_tracer
 from ..runtime.context import fabric_scope
 from ..runtime.futures import RemoteFuture, completed_future, failed_future
 from ..runtime.oid import ObjectRef
@@ -36,7 +37,9 @@ class _VirtualMachine:
         self.machine_id = machine_id
         self.table = ObjectTable()
         self.kernel = Kernel(machine_id, self.table)
-        self.dispatcher = Dispatcher(machine_id, self.table, self.kernel, fabric)
+        self.kernel.tracer = fabric.tracer
+        self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
+                                     fabric, tracer=fabric.tracer)
 
 
 class InlineFabric(Fabric):
@@ -44,6 +47,9 @@ class InlineFabric(Fabric):
 
     def __init__(self, config: Config) -> None:
         super().__init__(config)
+        # One tracer for the whole process: the virtual machines share it
+        # (their server spans carry their own machine ids).
+        self.tracer = make_tracer(config, node=-1)
         self._machines = [_VirtualMachine(i, self) for i in range(config.n_machines)]
         self._request_ids = IdAllocator()
 
@@ -64,6 +70,13 @@ class InlineFabric(Fabric):
         if self._closed:
             raise MachineDownError("cluster is shut down")
         machine = self._machines[self.check_machine(ref.machine)]
+        tracer = self.tracer
+        span = None
+        if tracer is not None and tracer.wants(method):
+            span = tracer.start_client(peer=ref.machine, oid=ref.oid,
+                                       method=method)
+            # Calls execute synchronously: queueing and sending coincide.
+            span.t_sent = span.t_queued
         request = Request(
             request_id=self._request_ids.next(),
             object_id=ref.oid,
@@ -71,8 +84,19 @@ class InlineFabric(Fabric):
             args=self._copy(args, ref.machine),
             kwargs=self._copy(kwargs, ref.machine),
             oneway=oneway,
+            span=None if span is None else span.span_id,
         )
-        reply = machine.dispatcher.execute(request)
+        try:
+            reply = machine.dispatcher.execute(request)
+        except BaseException as exc:
+            if span is not None:
+                tracer.finish_client(span, error=type(exc).__name__)
+            raise
+        if span is not None:
+            tracer.finish_client(
+                span,
+                error=(reply.type_name
+                       if isinstance(reply, ErrorResponse) else None))
         if oneway:
             return None
         if isinstance(reply, ErrorResponse):

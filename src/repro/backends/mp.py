@@ -37,6 +37,9 @@ from ..errors import (
     MachineDownError,
     TransportError,
 )
+from ..obs.metrics import snapshot_process
+from ..obs.span import Span
+from ..obs.tracer import current_span_id, make_tracer
 from ..runtime.context import RuntimeContext, context_scope, set_default_context
 from ..runtime.futures import RemoteFuture, completed_future, failed_future
 from ..runtime.oid import ObjectRef
@@ -82,11 +85,11 @@ class _Connection:
         self._pending: dict[int, tuple[RemoteFuture, int]] = {}
         self._dead: Optional[BaseException] = None
         self._sender: Optional[CoalescingSender] = None
-        if config is not None and config.wire_coalesce:
+        if config is not None and config.wire.coalesce:
             self._sender = CoalescingSender(
                 channel,
-                max_msgs=config.coalesce_max_msgs,
-                max_bytes=config.coalesce_max_bytes,
+                max_msgs=config.wire.coalesce_max_msgs,
+                max_bytes=config.wire.coalesce_max_bytes,
                 on_error=self._fail_all,
                 name=f"oopp-m{machine}")
         self._reader = threading.Thread(
@@ -176,11 +179,12 @@ class PeerClient:
 
     def __init__(self, caller: int, decode_context: RuntimeContext,
                  fault_plan: Optional[FaultPlan] = None,
-                 config: Optional[Config] = None) -> None:
+                 config: Optional[Config] = None, tracer=None) -> None:
         self.caller = caller
         self.decode_context = decode_context
         self.fault_plan = fault_plan
         self.config = config
+        self.tracer = tracer
         self._addrs: dict[int, tuple[str, int]] = {}
         self._conns: dict[int, _Connection] = {}
         #: machines declared dead by the liveness monitor: fail fast
@@ -258,14 +262,31 @@ class PeerClient:
         self._check_down(ref.machine, ref.oid)
         conn = self._connect(ref.machine)
         request_id = self._request_ids.next()
+        tracer = self.tracer
+        span = None
+        if tracer is not None and tracer.wants(method):
+            span = tracer.start_client(peer=ref.machine, oid=ref.oid,
+                                       method=method)
         future: Optional[RemoteFuture] = None
         if not oneway:
             future = RemoteFuture(
                 label=f"machine{ref.machine}#{ref.oid}.{method}")
             conn.register(request_id, future, ref.oid)
+            if span is not None:
+                # Completion (reply, connection loss, send failure) runs
+                # on the completing thread and closes the client span.
+                future.add_done_callback(
+                    lambda f, s=span: tracer.finish_client(
+                        s, error=(type(f.exception(0)).__name__
+                                  if f.exception(0) is not None else None)))
         request = Request(request_id=request_id, object_id=ref.oid,
                           method=method, args=args, kwargs=kwargs,
-                          oneway=oneway, caller=self.caller)
+                          oneway=oneway, caller=self.caller,
+                          span=None if span is None else span.span_id)
+        if span is not None:
+            # Stamped before the write so a fast reply (on the demux
+            # thread) can never finish the span before it is "sent".
+            span.t_sent = tracer.now()
         try:
             conn.send(request)
         except (ChannelClosedError, TransportError, OSError) as exc:
@@ -276,6 +297,9 @@ class PeerClient:
                 future.set_exception(err)
                 return future
             if future is None:
+                if span is not None:
+                    tracer.finish_client(span, error="MachineDownError",
+                                         replied=False)
                 raise err from exc
         return future
 
@@ -340,9 +364,12 @@ class MachineFabric(Fabric):
                    kwargs: dict) -> RemoteFuture:
         if ref.machine == self._server.machine_id:
             label = f"local#{ref.oid}.{method}"
+            # No wire, no client span — but the local server span still
+            # parents to whatever span this thread is executing under.
             request = Request(request_id=0, object_id=ref.oid, method=method,
                               args=args, kwargs=kwargs,
-                              caller=self._server.machine_id)
+                              caller=self._server.machine_id,
+                              span=current_span_id())
             reply = self._server.dispatcher.execute(request)
             if isinstance(reply, ErrorResponse):
                 return failed_future(exception_from_error(reply), label=label)
@@ -357,7 +384,8 @@ class MachineFabric(Fabric):
         if ref.machine == self._server.machine_id:
             request = Request(request_id=0, object_id=ref.oid, method=method,
                               args=args, kwargs=kwargs, oneway=True,
-                              caller=self._server.machine_id)
+                              caller=self._server.machine_id,
+                              span=current_span_id())
             self._server.dispatcher.execute(request)
             return
         self._server.outbound.send_request(ref, method, args, kwargs,
@@ -371,16 +399,22 @@ class MachineServer:
         self.machine_id = machine_id
         self.config = config
         self.peer_count = config.n_machines
+        #: this process's span recorder (None when tracing is off); the
+        #: driver collects it through the kernel's take_spans method.
+        self.tracer = make_tracer(config, node=machine_id)
         self.table = ObjectTable()
         self.kernel = MachineKernel(machine_id, self.table, self)
+        self.kernel.tracer = self.tracer
         self.fabric = MachineFabric(config, self)
+        self.fabric.tracer = self.tracer
         self.context = RuntimeContext(fabric=self.fabric, machine_id=machine_id)
         self.outbound = PeerClient(caller=machine_id,
                                    decode_context=self.context,
                                    fault_plan=config.fault_plan,
-                                   config=config)
+                                   config=config,
+                                   tracer=self.tracer)
         self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
-                                     self.fabric)
+                                     self.fabric, tracer=self.tracer)
         self.listener = listen_socket(DEFAULT_HOST, 0)
         self.port = self.listener.getsockname()[1]
         self.executor = ThreadPoolExecutor(
@@ -429,11 +463,11 @@ class MachineServer:
         # Replies from the worker pool funnel through one coalescer per
         # connection, so a burst of small responses also batches.
         sender: Optional[CoalescingSender] = None
-        if self.config.wire_coalesce:
+        if self.config.wire.coalesce:
             sender = CoalescingSender(
                 channel,
-                max_msgs=self.config.coalesce_max_msgs,
-                max_bytes=self.config.coalesce_max_bytes,
+                max_msgs=self.config.wire.coalesce_max_msgs,
+                max_bytes=self.config.wire.coalesce_max_bytes,
                 name=f"oopp-m{self.machine_id}-reply")
         reply_send = sender.send if sender is not None else channel.send
         try:
@@ -491,10 +525,11 @@ class MpFabric(Fabric):
 
     def __init__(self, config: Config) -> None:
         super().__init__(config)
+        self.tracer = make_tracer(config, node=-1)
         self._context = RuntimeContext(fabric=self, machine_id=-1)
         self._client = PeerClient(caller=-1, decode_context=self._context,
                                   fault_plan=config.fault_plan,
-                                  config=config)
+                                  config=config, tracer=self.tracer)
         self._procs: list[multiprocessing.Process] = []
         self._monitor_stop = threading.Event()
         self._monitor: Optional[threading.Thread] = None
@@ -621,6 +656,48 @@ class MpFabric(Fabric):
             if proc.is_alive():  # pragma: no cover - last resort
                 proc.kill()
                 proc.join(timeout=2.0)
+
+    # -- observability --------------------------------------------------------
+
+    def trace_spans(self) -> list:
+        """Driver spans + every reachable machine's spans.
+
+        Machine processes lose their buffers at shutdown, so gather
+        before closing the cluster.  A machine that is down contributes
+        nothing (its spans died with it); the driver-side client spans
+        of the lost calls are still here, unfinished — that asymmetry
+        is the observable signature of the failure.
+        """
+        spans = super().trace_spans()
+        if self.config.trace is None or self._closed:
+            return spans
+        for machine in range(self.machine_count):
+            if self.machine_down(machine):
+                continue
+            try:
+                dicts = self.kernel_call(machine, "take_spans")
+            except MachineDownError:
+                continue
+            spans.extend(Span.from_dict(d) for d in dicts)
+        return spans
+
+    def metrics(self) -> dict:
+        """Per-process metrics: driver plus each machine (by kernel call).
+
+        A dead machine reports ``{"down": <reason>}`` instead of
+        counters — the caller still gets one entry per machine.
+        """
+        out: dict = {"driver": {**snapshot_process(),
+                                "traffic": self.traffic()}}
+        if self._closed:
+            return out
+        for machine in range(self.machine_count):
+            key = f"machine {machine}"
+            try:
+                out[key] = self.kernel_call(machine, "obs_metrics")
+            except MachineDownError as exc:
+                out[key] = {"down": str(exc)}
+        return out
 
     # -- diagnostics ---------------------------------------------------------------
 

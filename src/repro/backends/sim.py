@@ -26,6 +26,7 @@ from typing import Any, Optional
 
 from ..config import Config
 from ..errors import MachineDownError, SerializationError, SimulationError
+from ..obs.tracer import make_tracer
 from ..runtime.context import CostHooks, RuntimeContext, context_scope, current_context
 from ..runtime.futures import RemoteFuture, completed_future, failed_future
 from ..runtime.oid import ObjectRef
@@ -83,11 +84,34 @@ class SimRemoteFuture(RemoteFuture):
         self.trigger = Trigger(label=label)
 
     def _wait(self, timeout: Optional[float]) -> bool:
-        # Simulated calls cannot time out in wall-clock terms: waiting
-        # *is* what advances the clock.
-        if not self.done():
+        """Wait under simulated time; *timeout* is in simulated seconds.
+
+        Waiting *is* what advances the clock, so a timeout cannot be a
+        wall-clock alarm: instead a guard event fires the future's
+        trigger at ``now + timeout``.  If the guard wins, the wait
+        returns with the future still pending and :meth:`result` raises
+        :class:`~repro.errors.CallTimeoutError` — the same contract as
+        the mp backend, measured on the simulated clock.  A reply
+        arriving after the guard fired is discarded (the delivery
+        closures check ``trigger.fired``).
+        """
+        if self.done():
+            return True
+        if timeout is None:
             self._engine.wait(self.trigger)
-        return True
+            return self.done()
+        trigger = self.trigger
+
+        def guard() -> None:
+            # Runs with the engine lock held (scheduled action); a no-op
+            # when the real delivery won the race.
+            if not trigger.fired:
+                self._engine._fire_locked(trigger, None, None)
+
+        event = self._engine.schedule(timeout, guard)
+        self._engine.wait(trigger)
+        self._engine.cancel(event)
+        return self.done()
 
 
 class SimKernel(Kernel):
@@ -120,8 +144,10 @@ class _SimMachine:
         self.table = ObjectTable()
         self.kernel = SimKernel(machine_id, self.table, fabric.engine)
         self.hooks = SimCostHooks(fabric, machine_id)
+        self.kernel.tracer = fabric.tracer
         self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
-                                     fabric, hooks=self.hooks)
+                                     fabric, hooks=self.hooks,
+                                     tracer=fabric.tracer)
 
 
 class SimFabric(Fabric):
@@ -131,6 +157,11 @@ class SimFabric(Fabric):
         super().__init__(config)
         self.trace = TraceLog(enabled=True)
         self.engine = Engine(trace=None)
+        # Spans carry *simulated* timestamps: the tracer's clock is the
+        # event engine's, so an exported trace shows the modeled
+        # overlap, not the wall-clock cost of computing it.
+        self.tracer = make_tracer(config, node=-1,
+                                  clock=lambda: self.engine.now)
         self.network = SimNetwork(self.engine, config.n_machines,
                                   config.network, config.disk)
         self._machines = [_SimMachine(i, self) for i in range(config.n_machines)]
@@ -194,6 +225,14 @@ class SimFabric(Fabric):
         label = f"sim m{src}->m{dst}#{ref.oid}.{method}"
         cpu = self.config.network.per_message_cpu_s
 
+        tracer = self.tracer
+        span = None
+        if tracer is not None and tracer.wants(method):
+            # t_queued = now, before the marshalling CPU charge; t_sent
+            # lands after it — the gap *is* the modeled send-loop cost.
+            span = tracer.start_client(peer=dst, oid=ref.oid, method=method,
+                                       machine=src)
+
         # Sender-side CPU: the caller's instruction stream is busy
         # marshalling; this is what serializes the paper's send-loop.
         # It shares the node's protocol CPU with response unmarshalling
@@ -206,11 +245,20 @@ class SimFabric(Fabric):
         request = Request(request_id=self._request_ids.next(),
                           object_id=ref.oid, method=method,
                           args=copied_args, kwargs=copied_kwargs,
-                          oneway=oneway, caller=src)
+                          oneway=oneway, caller=src,
+                          span=None if span is None else span.span_id)
         self.trace.record(self.engine.now, "call", src, dst=dst,
                           method=method, oid=ref.oid, nbytes=req_wire)
 
         future = None if oneway else SimRemoteFuture(self.engine, label=label)
+
+        if span is not None:
+            span.t_sent = self.engine.now
+            if future is not None:
+                future.add_done_callback(
+                    lambda f, s=span: tracer.finish_client(
+                        s, error=(type(f.exception(0)).__name__
+                                  if f.exception(0) is not None else None)))
 
         if src == dst:
             # Loopback: no network, immediate dispatch on this thread.
@@ -224,6 +272,9 @@ class SimFabric(Fabric):
         fault = self._fault_for(src, dst, "send", request)
         if fault is not None:
             if fault.action == "close":
+                if span is not None:
+                    tracer.finish_client(span, error="MachineDownError",
+                                         replied=False)
                 raise MachineDownError(
                     f"fault injected: link m{src}->m{dst} closed",
                     machine=dst, oid=ref.oid)
@@ -271,6 +322,8 @@ class SimFabric(Fabric):
         """Complete *future* with *exc* at simulated time *at*."""
 
         def deliver() -> None:
+            if future.trigger.fired:
+                return  # the caller timed out; late failure discarded
             future.set_exception(exc)
             self.engine._fire_locked(future.trigger, None, None)
 
@@ -315,6 +368,8 @@ class SimFabric(Fabric):
             value, _ = self._copy(reply.value, src)
 
         def deliver() -> None:
+            if future.trigger.fired:
+                return  # the caller timed out; late reply discarded
             if exc is not None:
                 future.set_exception(exc)
             else:

@@ -10,15 +10,24 @@ regressions (any exception out of a workload), just not on speed.
 from __future__ import annotations
 
 import argparse
+import inspect
+import re
 import sys
 
 from .registry import EXPERIMENTS, _load_all
 
 
+def _normalize(key: str) -> str:
+    """Canonicalize an experiment id: ``a05`` / ``e01`` → ``A5`` / ``E1``."""
+    m = re.fullmatch(r"([A-Za-z]+)0*([0-9]+)", key)
+    return f"{m.group(1).upper()}{int(m.group(2))}" if m else key
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.bench")
     parser.add_argument("ids", nargs="*", default=["all"],
-                        help="experiment ids (E1..E10) or 'all'")
+                        help="experiment ids (E1..E10, case/zero-pad "
+                             "insensitive: 'a05' = 'A5') or 'all'")
     parser.add_argument("--full", action="store_true",
                         help="full parameter sweeps (slower)")
     parser.add_argument("--no-check", action="store_true",
@@ -28,6 +37,10 @@ def main(argv=None) -> int:
                              "(regressions still raise)")
     parser.add_argument("--markdown", action="store_true",
                         help="emit markdown tables")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write a Chrome-trace (Perfetto-loadable) file "
+                             "of call spans, for experiments that support "
+                             "tracing (currently A5)")
     args = parser.parse_args(argv)
     if args.quick:
         if args.full:
@@ -36,8 +49,9 @@ def main(argv=None) -> int:
 
     _load_all()
     ids = sorted(EXPERIMENTS) if (not args.ids or "all" in args.ids) \
-        else args.ids
+        else [_normalize(k) for k in args.ids]
     failed = []
+    traced = False
     for key in ids:
         exp = EXPERIMENTS.get(key)
         if exp is None:
@@ -45,7 +59,12 @@ def main(argv=None) -> int:
             return 2
         print(f"\n--- {exp.id} ({exp.anchor}): {exp.title} ---")
         print(f"claim: {exp.claim}")
-        table = exp.run(fast=not args.full)
+        kwargs = {"fast": not args.full}
+        if args.trace is not None \
+                and "trace_path" in inspect.signature(exp.run).parameters:
+            kwargs["trace_path"] = args.trace
+            traced = True
+        table = exp.run(**kwargs)
         print()
         print(table.to_markdown() if args.markdown else table.render())
         if not args.no_check and exp.check is not None:
@@ -55,6 +74,9 @@ def main(argv=None) -> int:
             except AssertionError as err:
                 failed.append(exp.id)
                 print(f"[{exp.id}] shape check: FAIL — {err}")
+    if args.trace is not None and not traced:
+        print(f"\nnote: no selected experiment supports --trace; "
+              f"{args.trace} was not written")
     if failed:
         print(f"\nFAILED shape checks: {failed}")
         return 1

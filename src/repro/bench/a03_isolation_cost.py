@@ -44,11 +44,11 @@ def run(fast: bool = True) -> Table:
         reps = max(5, min(300, (1 << 20) // max(n, 1)))
         with Cluster(n_machines=2, backend="inline",
                      inline_copy=True) as cluster:
-            blk = cluster.new_block(n, machine=1)
+            blk = cluster.on(1).new_block(n)
             t_on = _per_call(blk, payload, reps)
         with Cluster(n_machines=2, backend="inline",
                      inline_copy=False) as cluster:
-            blk = cluster.new_block(n, machine=1)
+            blk = cluster.on(1).new_block(n)
             t_off = _per_call(blk, payload, reps)
         table.add(n, t_on, t_off, t_on / t_off)
     return table

@@ -54,9 +54,10 @@ def run(fast: bool = True) -> Table:
         pattern = _access_pattern(locality)
         with Cluster(n_machines=2, backend="sim") as cluster:
             eng = cluster.fabric.engine
-            device = cluster.new(PageDevice, f"a04-{locality}.dat",
-                                 N_PAGES, 4096, machine=1,
-                                 nominal_page_size=NOMINAL)
+            device = cluster.on(1).new(PageDevice,
+                                       f"a04-{locality}.dat",
+                                       N_PAGES, 4096,
+                                       nominal_page_size=NOMINAL)
             t0 = eng.now
             for index in pattern:
                 device.read(index)

@@ -21,6 +21,7 @@ import socket
 import threading
 import time
 
+from ..config import WireConfig
 from ..runtime.cluster import Cluster
 from ..storage.page import Page
 from ..transport.message import Request
@@ -96,10 +97,11 @@ def _wire_msgs_per_s(fast: bool, msgs: int) -> float:
 
 def _burst_calls_per_s(coalesce: bool, header_cache: bool,
                        calls: int) -> float:
+    wire = WireConfig(coalesce=coalesce, header_cache=header_cache,
+                      shm=False)
     with Cluster(n_machines=2, backend="mp", call_timeout_s=120.0,
-                 wire_coalesce=coalesce, wire_header_cache=header_cache,
-                 wire_shm=False) as cluster:
-        obj = cluster.new(_Echo, machine=1)
+                 wire=wire) as cluster:
+        obj = cluster.on(1).new(_Echo)
         obj.echo(0)  # connection + first-frame costs out of the loop
         fire = obj.echo.future  # hoisted stub: the paper's send-loop form
         t0 = time.perf_counter()
@@ -109,12 +111,35 @@ def _burst_calls_per_s(coalesce: bool, header_cache: bool,
         return calls / (time.perf_counter() - t0)
 
 
+def _traced_burst(calls: int, trace_path: str) -> tuple[float, int]:
+    """The full-fast-path burst again, with span recording on; writes a
+    Perfetto-loadable trace and returns ``(calls/s, spans written)``.
+
+    In the trace the driver row shows a stack of overlapping client
+    spans over one serialized run of server spans on the machine row —
+    the paper's send-loop/receive-loop overlap, drawn."""
+    with Cluster(n_machines=2, backend="mp", call_timeout_s=120.0,
+                 trace=True) as cluster:
+        obj = cluster.on(1).new(_Echo)
+        obj.echo(0)
+        cluster.trace_spans()  # setup spans out of the measured trace
+        fire = obj.echo.future
+        t0 = time.perf_counter()
+        futures = [fire(i) for i in range(calls)]
+        for f in futures:
+            f.result(120)
+        rate = calls / (time.perf_counter() - t0)
+        written = cluster.write_trace(trace_path)
+    return rate, written
+
+
 def _page_round_trip(shm_on: bool, nbytes: int) -> tuple[float, int]:
     """One put+get of an *nbytes* page; returns (seconds, socket bytes)."""
     page = Page(nbytes, bytes(range(256)) * (nbytes // 256))
+    wire = WireConfig(shm=shm_on, shm_threshold_bytes=1 << 20)
     with Cluster(n_machines=2, backend="mp", call_timeout_s=120.0,
-                 wire_shm=shm_on, shm_threshold_bytes=1 << 20) as cluster:
-        store = cluster.new(_Store, machine=1)
+                 wire=wire) as cluster:
+        store = cluster.on(1).new(_Store)
         store.get()  # warm the connection
         base = cluster.fabric.traffic()
         t0 = time.perf_counter()
@@ -130,7 +155,7 @@ def _page_round_trip(shm_on: bool, nbytes: int) -> tuple[float, int]:
 
 @experiment("A5", "Ablation: wire fast path (coalesce × header cache × shm)",
             CLAIM, anchor="docs/WIRE.md")
-def run(fast: bool = True) -> Table:
+def run(fast: bool = True, trace_path: str | None = None) -> Table:
     calls = 300 if fast else 2000
     wire_msgs = 2000 if fast else 20000
     page_bytes = (8 * MiB) if fast else (64 * MiB)
@@ -166,6 +191,12 @@ def run(fast: bool = True) -> Table:
     t_shm, moved_shm = _page_round_trip(True, page_bytes)
     table.add("bulk, shm on", f"{page_bytes // MiB} MiB page", t_shm, "-",
               moved_shm, t_inline / t_shm)
+
+    if trace_path:
+        traced, spans = _traced_burst(calls, trace_path)
+        table.add("traced burst (full fast path)",
+                  f"{calls} calls, {spans} spans -> {trace_path}",
+                  calls / traced, traced, "-", traced / baseline)
     return table
 
 

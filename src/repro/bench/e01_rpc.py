@@ -44,19 +44,19 @@ def run(fast: bool = True, calls: int | None = None) -> Table:
     table.add("local (plain Python)", calls, t_local, 1.0)
 
     with Cluster(n_machines=2, backend="inline") as cluster:
-        blk = cluster.new_block(8, machine=1)
+        blk = cluster.on(1).new_block(8)
         t_inline = _per_call_wall(blk.sum, calls)
     table.add("inline backend (serde round trip)", calls, t_inline,
               t_inline / t_local)
 
     with Cluster(n_machines=2, backend="mp", call_timeout_s=60.0) as cluster:
-        blk = cluster.new_block(8, machine=1)
+        blk = cluster.on(1).new_block(8)
         blk.sum()  # warm the connection
         t_mp = _per_call_wall(blk.sum, calls)
     table.add("mp backend (socket RPC)", calls, t_mp, t_mp / t_local)
 
     with Cluster(n_machines=2, backend="sim") as cluster:
-        blk = cluster.new_block(8, machine=1)
+        blk = cluster.on(1).new_block(8)
         eng = cluster.fabric.engine
         t0 = eng.now
         for _ in range(calls):

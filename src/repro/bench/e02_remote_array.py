@@ -30,7 +30,7 @@ def run(fast: bool = True, n: int = 1 << 16) -> Table:
     )
     with Cluster(n_machines=2, backend="sim") as cluster:
         eng = cluster.fabric.engine
-        data = cluster.new_block(n, machine=1)
+        data = cluster.on(1).new_block(n)
 
         # single-element get (the paper's x = data[2])
         reps = 16

@@ -49,9 +49,9 @@ def run(fast: bool = True) -> Table:
     for idx, nominal in enumerate(nominal_sizes):
         with Cluster(n_machines=2, backend="sim", disk=nvme) as cluster:
             eng = cluster.fabric.engine
-            blocks = cluster.new(
+            blocks = cluster.on(1).new(
                 ArrayPageDevice, f"e03-{idx}.dat", 4, n1, n2, n3,
-                machine=1, nominal_page_size=nominal)
+                nominal_page_size=nominal)
             page = random_array_page(n1, n2, n3, seed=idx)
             blocks.write_page(page, 0)
 

@@ -78,7 +78,7 @@ def run(fast: bool = True) -> Table:
             group.invoke("set_group_deep", n, pointers)
             t_deep = eng.now - t0
 
-            host = cluster.new(PointerTable, machine=0)
+            host = cluster.on(0).new(PointerTable)
             host.set_items(pointers)
             t0 = eng.now
             group.invoke("set_group_by_reference", n, host)

@@ -43,7 +43,7 @@ def run(fast: bool = True) -> Table:
     for n in sizes:
         with Cluster(n_machines=2, backend="sim") as cluster:
             eng = cluster.fabric.engine
-            blk = cluster.new_block(n, machine=0)
+            blk = cluster.on(0).new_block(n)
             blk.write(0, np.arange(min(n, 1000), dtype=np.float64))
             checksum = blk.sum()
 
@@ -71,9 +71,9 @@ def run(fast: bool = True) -> Table:
 
     # §5 adoption and copy-then-shutdown, functional check (inline backend).
     with Cluster(n_machines=2, backend="inline") as cluster:
-        page_device = cluster.new(PageDevice, "e10-adopt.dat", 4,
-                                  4 * 4 * 4 * 8, machine=1)
-        blocks = cluster.new(ArrayPageDevice, page_device, 4, 4, 4, machine=1)
+        page_device = cluster.on(1).new(PageDevice, "e10-adopt.dat", 4,
+                                        4 * 4 * 4 * 8)
+        blocks = cluster.on(1).new(ArrayPageDevice, page_device, 4, 4, 4)
         page = ArrayPage(4, 4, 4, np.full((4, 4, 4), 2.0))
         blocks.write_page(page, 1)
         coexist_ok = blocks.sum(1) == 128.0 and page_device.describe()[

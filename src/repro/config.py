@@ -3,12 +3,22 @@
 A :class:`Config` instance travels from the user to the :class:`~repro.runtime.cluster.Cluster`
 constructor and down into backends, channels and the simulator.  All fields
 have conservative defaults so ``Cluster(n_machines=4)`` just works.
+
+Related knobs are grouped into nested dataclasses — :class:`WireConfig`
+(``Config.wire``: the mp fast path), :class:`RetryConfig`
+(``Config.retry``: the idempotent-call retry budget) and
+:class:`TraceConfig` (``Config.trace``: span recording, off by default).
+The historical flat keyword spellings (``wire_coalesce``,
+``call_retries``, …) are still accepted by the constructor and by
+attribute access — they forward to the nested fields with a
+``DeprecationWarning``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
+import warnings
 from dataclasses import dataclass, field
 
 from .errors import ConfigError
@@ -66,6 +76,104 @@ class DiskModel:
 
 
 @dataclass
+class WireConfig:
+    """The mp backend's wire fast path (see ``docs/WIRE.md``).
+
+    Each part is independently toggleable; all of them are send-side
+    only (every channel always understands every format on receive).
+    """
+
+    #: coalesce pending small messages on one connection into a single
+    #: BATCH frame flushed with one syscall (False = one frame per send).
+    coalesce: bool = True
+    #: byte budget of one BATCH frame; a drain that would exceed it is
+    #: split into several frames.
+    coalesce_max_bytes: int = 1 << 18
+    #: at most this many messages are packed into one BATCH frame.
+    coalesce_max_msgs: int = 128
+    #: cache the pickled request skeleton per (object, method) and splice
+    #: in only the request id and arguments (CALL frames).
+    header_cache: bool = True
+    #: ship out-of-band buffers >= shm_threshold_bytes through named
+    #: shared-memory segments instead of the socket (same-host zero-copy).
+    shm: bool = True
+    #: minimum buffer size for the shared-memory path, in bytes.
+    shm_threshold_bytes: int = 1 << 20
+
+    def validate(self) -> None:
+        if self.coalesce_max_bytes < 1024:
+            raise ConfigError("coalesce_max_bytes must be >= 1024")
+        if self.coalesce_max_msgs < 1:
+            raise ConfigError("coalesce_max_msgs must be >= 1")
+        if self.shm_threshold_bytes < 1:
+            raise ConfigError("shm_threshold_bytes must be >= 1")
+
+
+@dataclass
+class RetryConfig:
+    """Retry budget for *idempotent* remote calls.
+
+    Idempotency means ping, attribute reads, page reads, and anything a
+    class lists in ``__oopp_idempotent__`` (see
+    :mod:`repro.runtime.proxy`).  A failed idempotent call is re-sent up
+    to ``retries`` times, sleeping ``backoff_s * 2**attempt`` between
+    attempts.  Retries trigger on timeouts and machine/channel failures;
+    note the interaction with the paper's block-forever default: with
+    ``call_timeout_s=None`` a *lost* (dropped) message never times out,
+    so the retry budget only helps when a deadline is set.
+    ``retries=0`` (the default) preserves the paper's semantics exactly.
+    """
+
+    #: retry budget (0 = never retry, the paper's semantics).
+    retries: int = 0
+    #: base of the exponential backoff between retries, in seconds.
+    backoff_s: float = 0.05
+
+    def validate(self) -> None:
+        # Messages name the legacy flat spellings too: callers migrating
+        # from Config(call_retries=...) grep for the name they passed.
+        if self.retries < 0:
+            raise ConfigError(
+                "retry.retries (legacy call_retries) must be >= 0")
+        if self.backoff_s <= 0:
+            raise ConfigError(
+                "retry.backoff_s (legacy retry_backoff_s) must be > 0")
+
+
+@dataclass
+class TraceConfig:
+    """Span recording (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``).
+
+    ``Config(trace=TraceConfig())`` — or the shorthand
+    ``Config(trace=True)`` — gives every remote call a client span and a
+    server span, causally linked across the wire; drain them with
+    ``cluster.trace_spans()`` or export with ``cluster.write_trace()``.
+    The default ``Config(trace=None)`` records nothing and costs one
+    ``is None`` test per call.
+    """
+
+    #: per-process span buffer bound (oldest spans are dropped beyond it).
+    max_spans: int = 100_000
+
+    def validate(self) -> None:
+        if self.max_spans < 1:
+            raise ConfigError("trace.max_spans must be >= 1")
+
+
+#: legacy flat keyword → (nested group, attribute).
+_LEGACY_FIELDS: dict[str, tuple[str, str]] = {
+    "wire_coalesce": ("wire", "coalesce"),
+    "coalesce_max_bytes": ("wire", "coalesce_max_bytes"),
+    "coalesce_max_msgs": ("wire", "coalesce_max_msgs"),
+    "wire_header_cache": ("wire", "header_cache"),
+    "wire_shm": ("wire", "shm"),
+    "shm_threshold_bytes": ("wire", "shm_threshold_bytes"),
+    "call_retries": ("retry", "retries"),
+    "retry_backoff_s": ("retry", "backoff_s"),
+}
+
+
+@dataclass
 class Config:
     """Top-level framework configuration.
 
@@ -80,20 +188,20 @@ class Config:
         The driver itself plays the role of the paper's *machine 0 client*;
         machines are remote peers.
     call_timeout_s:
-        Deadline for a single remote call in the mp backend.  ``None``
-        disables timeouts (the paper's semantics: calls block forever).
-    call_retries / retry_backoff_s:
-        Retry budget for *idempotent* remote calls (ping, attribute
-        reads, page reads — see ``__oopp_idempotent__`` in
-        :mod:`repro.runtime.proxy`).  A failed idempotent call is
-        re-sent up to ``call_retries`` times, sleeping
-        ``retry_backoff_s * 2**attempt`` between attempts.  Retries
-        trigger on timeouts and machine/channel failures; note the
-        interaction with the paper's block-forever default: with
-        ``call_timeout_s=None`` a *lost* (dropped) message never times
-        out, so the retry budget only helps when a deadline is set.
-        ``call_retries=0`` (the default) preserves the paper's
-        semantics exactly.
+        Deadline for a single remote call.  ``None`` disables timeouts
+        (the paper's semantics: calls block forever).  On ``mp`` and
+        ``sim`` a deadline raises
+        :class:`~repro.errors.CallTimeoutError` — in wall-clock seconds
+        on mp, *simulated* seconds on sim; ``inline`` executes calls
+        synchronously, so its futures are born completed and can never
+        time out (see :meth:`repro.runtime.futures.RemoteFuture.result`).
+    wire:
+        :class:`WireConfig` — the mp wire fast path knobs.
+    retry:
+        :class:`RetryConfig` — idempotent-call retry budget.
+    trace:
+        :class:`TraceConfig` to record call spans, or ``None`` (default)
+        for no tracing.  ``True``/``False`` are accepted as shorthands.
     fault_plan:
         A :class:`~repro.transport.faults.FaultPlan` injecting seeded,
         deterministic faults (drop/delay/corrupt/close) into the mp and
@@ -106,16 +214,24 @@ class Config:
         Cost models used by the ``sim`` backend (ignored elsewhere).
     pickle_protocol:
         Protocol used by the serde layer for the object path.
+
+    The flat spellings of the wire/retry knobs (``wire_coalesce``,
+    ``coalesce_max_bytes``, ``coalesce_max_msgs``, ``wire_header_cache``,
+    ``wire_shm``, ``shm_threshold_bytes``, ``call_retries``,
+    ``retry_backoff_s``) are accepted as constructor keywords and as
+    attribute reads, forwarding to the nested fields with a
+    ``DeprecationWarning``.
     """
 
     backend: str = "inline"
     n_machines: int = 4
     call_timeout_s: float | None = None
-    #: retry budget for idempotent remote calls (0 = never retry, the
-    #: paper's semantics).
-    call_retries: int = 0
-    #: base of the exponential backoff between retries, in seconds.
-    retry_backoff_s: float = 0.05
+    #: mp wire fast path (see :class:`WireConfig` / docs/WIRE.md).
+    wire: WireConfig = field(default_factory=WireConfig)
+    #: idempotent-call retry budget (see :class:`RetryConfig`).
+    retry: RetryConfig = field(default_factory=RetryConfig)
+    #: span recording; ``None`` = tracing off (see :class:`TraceConfig`).
+    trace: TraceConfig | None = None
     #: optional :class:`~repro.transport.faults.FaultPlan` (chaos layer).
     fault_plan: object | None = None
     storage_root: str | None = None
@@ -140,23 +256,19 @@ class Config:
     #: mp backend: multiprocessing start method.  ``fork`` lets workers
     #: resolve classes defined in test files or __main__.
     mp_start_method: str = "fork"
-    # -- wire fast path (mp backend; see docs/WIRE.md) ---------------------
-    #: coalesce pending small messages on one connection into a single
-    #: BATCH frame flushed with one syscall (False = one frame per send).
-    wire_coalesce: bool = True
-    #: byte budget of one BATCH frame; a drain that would exceed it is
-    #: split into several frames.
-    coalesce_max_bytes: int = 1 << 18
-    #: at most this many messages are packed into one BATCH frame.
-    coalesce_max_msgs: int = 128
-    #: cache the pickled request skeleton per (object, method) and splice
-    #: in only the request id and arguments (CALL frames).
-    wire_header_cache: bool = True
-    #: ship out-of-band buffers >= shm_threshold_bytes through named
-    #: shared-memory segments instead of the socket (same-host zero-copy).
-    wire_shm: bool = True
-    #: minimum buffer size for the shared-memory path, in bytes.
-    shm_threshold_bytes: int = 1 << 20
+
+    def __getattr__(self, name: str):
+        # Only called for names regular lookup misses: the legacy flat
+        # knobs read through to the nested groups; everything else is a
+        # genuine AttributeError (pickle probes __getstate__ etc.).
+        pair = _LEGACY_FIELDS.get(name)
+        if pair is None:
+            raise AttributeError(
+                f"{type(self).__name__!r} object has no attribute {name!r}")
+        warnings.warn(
+            f"Config.{name} is deprecated; read Config.{pair[0]}.{pair[1]}",
+            DeprecationWarning, stacklevel=2)
+        return getattr(getattr(self, pair[0]), pair[1])
 
     def validate(self) -> None:
         if self.backend not in ("inline", "mp", "sim"):
@@ -166,10 +278,15 @@ class Config:
             raise ConfigError("n_machines must be >= 1")
         if self.call_timeout_s is not None and self.call_timeout_s <= 0:
             raise ConfigError("call_timeout_s must be positive or None")
-        if self.call_retries < 0:
-            raise ConfigError("call_retries must be >= 0")
-        if self.retry_backoff_s <= 0:
-            raise ConfigError("retry_backoff_s must be > 0")
+        for group in (self.wire, self.retry, self.trace):
+            if group is None:
+                continue
+            validate = getattr(group, "validate", None)
+            if not callable(validate):
+                raise ConfigError(
+                    f"expected a config group with validate(), got "
+                    f"{type(group).__name__}")
+            validate()
         if self.fault_plan is not None:
             validate = getattr(self.fault_plan, "validate", None)
             if not callable(validate):
@@ -187,17 +304,15 @@ class Config:
             raise ConfigError("mp_workers_per_machine must be >= 1")
         if self.mp_start_method not in ("fork", "spawn", "forkserver"):
             raise ConfigError(f"unknown start method {self.mp_start_method!r}")
-        if self.coalesce_max_bytes < 1024:
-            raise ConfigError("coalesce_max_bytes must be >= 1024")
-        if self.coalesce_max_msgs < 1:
-            raise ConfigError("coalesce_max_msgs must be >= 1")
-        if self.shm_threshold_bytes < 1:
-            raise ConfigError("shm_threshold_bytes must be >= 1")
         self.network.validate()
         self.disk.validate()
 
     def replace(self, **kwargs) -> "Config":
-        """Return a copy with the given fields replaced (and validated)."""
+        """Return a copy with the given fields replaced (and validated).
+
+        Accepts the legacy flat knob names too (they pass through the
+        constructor's forwarding, with the same ``DeprecationWarning``).
+        """
         cfg = dataclasses.replace(self, **kwargs)
         cfg.validate()
         return cfg
@@ -211,3 +326,35 @@ class Config:
             root = os.path.join(tempfile.gettempdir(), f"oopp-{os.getpid()}")
         os.makedirs(root, exist_ok=True)
         return root
+
+
+_generated_config_init = Config.__init__
+
+
+def _config_init(self, *args, **kwargs) -> None:
+    legacy = {name: kwargs.pop(name)
+              for name in tuple(kwargs) if name in _LEGACY_FIELDS}
+    _generated_config_init(self, *args, **kwargs)
+    if legacy:
+        warnings.warn(
+            f"Config({', '.join(sorted(legacy))}) uses deprecated flat "
+            "knobs; use the nested Config.wire / Config.retry fields",
+            DeprecationWarning, stacklevel=2)
+        groups: dict[str, dict] = {}
+        for name, value in legacy.items():
+            group, attr = _LEGACY_FIELDS[name]
+            groups.setdefault(group, {})[attr] = value
+        # Replace (never mutate) the nested group: dataclasses.replace
+        # shares nested instances between copies, so in-place writes
+        # would leak into the Config this one was replace()d from.
+        for group, attrs in groups.items():
+            setattr(self, group,
+                    dataclasses.replace(getattr(self, group), **attrs))
+    if self.trace is True:
+        self.trace = TraceConfig()
+    elif self.trace is False:
+        self.trace = None
+
+
+_config_init.__wrapped__ = _generated_config_init
+Config.__init__ = _config_init  # type: ignore[method-assign]

@@ -1,0 +1,42 @@
+"""repro.obs — causal RPC tracing and transport metrics.
+
+The paper's model makes every interaction between objects an observable
+event (its follow-up, *Process-Oriented Parallel Programming*, is built
+on exactly that view).  This package turns those events into data:
+
+* :class:`~repro.obs.span.Span` — one record per half of a remote call,
+  client and server halves causally linked by span ids that ride the
+  request across the wire;
+* :class:`~repro.obs.tracer.Tracer` — the per-process recorder
+  (``Config(trace=TraceConfig())`` turns it on; the default is off and
+  costs one ``is None`` test per call);
+* :mod:`~repro.obs.metrics` — always-on transport counters
+  (coalescing, header cache, shm, retries, injected faults), surfaced
+  through ``cluster.metrics()``;
+* :mod:`~repro.obs.export` — JSON-lines and Chrome-trace (Perfetto)
+  exporters, reachable through ``cluster.write_trace(path)``.
+
+See ``docs/OBSERVABILITY.md`` for the span model and how to read an A5
+burst trace in Perfetto.
+
+This package deliberately imports nothing from the runtime or transport
+layers at module load — both of those instrument themselves *with* it.
+"""
+
+from .export import chrome_events, write_chrome, write_jsonl
+from .metrics import Counters, counters, snapshot_process
+from .span import Span
+from .tracer import Tracer, current_span_id, make_tracer
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "make_tracer",
+    "current_span_id",
+    "Counters",
+    "counters",
+    "snapshot_process",
+    "chrome_events",
+    "write_chrome",
+    "write_jsonl",
+]

@@ -1,0 +1,87 @@
+"""Process-wide transport counters.
+
+Unlike spans (per-call records, off by default), counters are always on:
+a handful of integer increments per flush/retry/fault costs nothing
+measurable, and means ``cluster.metrics()`` works without re-running a
+workload under tracing.  The registry is process-global and fork-aware
+(same pattern as :mod:`repro.transport.shm`'s manager): a forked machine
+process starts from zero rather than inheriting the driver's totals, so
+each process's snapshot describes its own traffic.
+
+Counter names are dotted, ``"<group>.<name>"`` — ``coalesce.flushes``,
+``retry.attempts``, ``faults.drop`` — and :func:`snapshot_process`
+returns them grouped alongside the header-cache and shared-memory stats
+that live in their own modules.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+
+class Counters:
+    """A thread-safe bag of monotone counters."""
+
+    def __init__(self) -> None:
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+        self._values: dict[str, float] = {}
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        with self._lock:
+            self._values[name] = self._values.get(name, 0) + amount
+
+    def get(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            return self._values.get(name, default)
+
+    def snapshot(self) -> dict[str, float]:
+        with self._lock:
+            return dict(self._values)
+
+    def grouped(self) -> dict[str, dict[str, float]]:
+        """Snapshot keyed by the dotted prefix: ``{"retry": {"attempts": 2}}``."""
+        out: dict[str, dict[str, float]] = {}
+        for name, value in self.snapshot().items():
+            group, _, key = name.partition(".")
+            out.setdefault(group, {})[key or group] = value
+        return out
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+
+
+_counters: Optional[Counters] = None
+_counters_lock = threading.Lock()
+
+
+def counters() -> Counters:
+    """The process-wide registry (recreated after fork)."""
+    global _counters
+    with _counters_lock:
+        if _counters is None or _counters._pid != os.getpid():
+            _counters = Counters()
+        return _counters
+
+
+def snapshot_process() -> dict:
+    """Everything this process knows about its own transport activity.
+
+    Always includes the ``coalesce`` / ``header_cache`` / ``shm`` /
+    ``retry`` / ``faults`` keys (empty-or-zero when the corresponding
+    path never ran) so consumers need no existence checks.
+    """
+    from ..runtime.protocol import call_header_cache
+    from ..transport import shm
+
+    grouped = counters().grouped()
+    return {
+        "coalesce": grouped.get("coalesce", {}),
+        "retry": grouped.get("retry", {}),
+        "faults": grouped.get("faults", {}),
+        "header_cache": call_header_cache.stats(),
+        "shm": shm.manager().stats(),
+    }

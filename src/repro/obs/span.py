@@ -1,0 +1,100 @@
+"""The span model: one record per half of a remote call.
+
+A remote method execution produces up to two spans:
+
+* a **client** span on the calling process (``t_queued`` when the stub
+  hands the request to the transport, ``t_sent`` when it leaves the
+  caller, ``t_replied`` when the future completes);
+* a **server** span on the hosting machine (``t_received`` when the
+  request reaches the dispatcher, ``t_executed`` when the method body
+  returns, ``t_replied`` when the reply is handed back to the wire).
+
+The server span's ``parent_id`` is the client span's id — the id rides
+in the request's ``span`` field (spliced into the ``KIND_CALL`` tail on
+the mp wire), which is what links the two halves causally across the
+socket.  Nested remote calls made *inside* a method body parent to the
+server span, so a whole call tree reconstructs from ``parent_id`` alone.
+
+All timestamps come from the recording backend's clock: wall monotonic
+seconds for ``inline``/``mp`` (``CLOCK_MONOTONIC`` shares its epoch
+across processes on one host, so cross-process deltas are meaningful),
+*simulated* seconds for ``sim`` — the same span model describes both, so
+a simulated trace is directly comparable to a real one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+#: which timestamps each span kind fills in, in causal order.
+CLIENT_TIMES = ("t_queued", "t_sent", "t_replied")
+SERVER_TIMES = ("t_received", "t_executed", "t_replied")
+
+
+@dataclass
+class Span:
+    """One half (client or server) of a remote method execution."""
+
+    span_id: int
+    #: id of the causally enclosing span (the client span for a server
+    #: span; the surrounding server span for a nested client call), or
+    #: ``None`` for a root call issued by driver code.
+    parent_id: Optional[int]
+    kind: str               # "client" | "server"
+    backend: str            # "inline" | "mp" | "sim"
+    #: machine recording this span (-1 = the driver process).
+    machine: int
+    #: the other end of the call (callee for client spans, caller for
+    #: server spans).
+    peer: int
+    oid: int
+    method: str
+    t_queued: Optional[float] = None
+    t_sent: Optional[float] = None
+    t_received: Optional[float] = None
+    t_executed: Optional[float] = None
+    t_replied: Optional[float] = None
+    #: exception type name when the call failed, else None.
+    error: Optional[str] = None
+
+    # -- derived ------------------------------------------------------------
+
+    @property
+    def start(self) -> Optional[float]:
+        """Earliest recorded timestamp (span-kind agnostic)."""
+        for name in ("t_queued", "t_sent", "t_received"):
+            value = getattr(self, name)
+            if value is not None:
+                return value
+        return self.t_executed if self.t_executed is not None else self.t_replied
+
+    @property
+    def end(self) -> Optional[float]:
+        """Latest recorded timestamp (span-kind agnostic)."""
+        for name in ("t_replied", "t_executed", "t_received", "t_sent",
+                     "t_queued"):
+            value = getattr(self, name)
+            if value is not None:
+                return value
+        return None
+
+    @property
+    def finished(self) -> bool:
+        return self.t_replied is not None
+
+    def times(self) -> list[tuple[str, float]]:
+        """The recorded timestamps in field order (for monotonicity checks)."""
+        names = CLIENT_TIMES if self.kind == "client" else SERVER_TIMES
+        return [(n, getattr(self, n)) for n in names
+                if getattr(self, n) is not None]
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})

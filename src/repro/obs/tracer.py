@@ -1,0 +1,161 @@
+"""Per-process span recorder.
+
+One :class:`Tracer` lives in each process that issues or serves remote
+calls: the driver fabric owns one, and (on the mp backend) every machine
+process owns its own, created in the worker from the shipped config.
+Span ids are salted with the owning node id, so ids minted concurrently
+on different processes never collide and causal links survive the merge
+when :meth:`~repro.runtime.cluster.Cluster.trace_spans` gathers
+everything driver-side.
+
+The current span travels in a :mod:`contextvars` variable: a server span
+opened by the dispatcher scopes itself around the method body, so remote
+calls issued *from inside* that body parent to it — the call tree the
+paper's object-to-object traffic forms (FFT workers calling ``deposit``
+on their peers) is reconstructable from ``parent_id`` alone.
+
+Recording is cheap and bounded: spans append to a deque with
+``maxlen=trace.max_spans`` at *start* (so an in-flight call dropped by a
+fault still leaves its client span behind), and finishing only mutates
+timestamps in place.  With ``Config(trace=None)`` — the default — no
+tracer exists at all and every instrumentation site is a single
+``is None`` test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Callable, Optional
+
+from .span import Span
+
+#: kernel methods used by the observability layer itself; tracing them
+#: would add meta-noise to every drain, so they are never recorded.
+OBS_INTERNAL_METHODS = frozenset({"take_spans", "obs_metrics"})
+
+#: span id of the call currently executing on this thread/task.
+_current_span: ContextVar[Optional[int]] = ContextVar(
+    "oopp_current_span", default=None)
+
+
+def current_span_id() -> Optional[int]:
+    return _current_span.get()
+
+
+class Tracer:
+    """Span factory + bounded in-memory buffer for one process."""
+
+    def __init__(self, node: int, backend: str, *,
+                 clock: Optional[Callable[[], float]] = None,
+                 max_spans: int = 100_000) -> None:
+        self.node = node
+        self.backend = backend
+        self.clock = clock or time.monotonic
+        self._lock = threading.Lock()
+        self._spans: deque[Span] = deque(maxlen=max_spans)
+        self._next = 0
+        #: node -1 (the driver) salts to 1, machine k to k + 2 — every
+        #: process mints from a disjoint id space.
+        self._salt = (node + 2) << 48
+
+    # -- ids ---------------------------------------------------------------
+
+    def _new_id(self) -> int:
+        with self._lock:
+            self._next += 1
+            return self._salt | self._next
+
+    def now(self) -> float:
+        return self.clock()
+
+    def wants(self, method: str) -> bool:
+        return method not in OBS_INTERNAL_METHODS
+
+    # -- client side --------------------------------------------------------
+
+    def start_client(self, *, peer: int, oid: int, method: str,
+                     machine: Optional[int] = None) -> Span:
+        """Open a client span at ``t_queued = now``; records immediately."""
+        span = Span(
+            span_id=self._new_id(),
+            parent_id=_current_span.get(),
+            kind="client",
+            backend=self.backend,
+            machine=self.node if machine is None else machine,
+            peer=peer,
+            oid=oid,
+            method=method,
+            t_queued=self.clock(),
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def finish_client(self, span: Span, *, error: Optional[str] = None,
+                      replied: bool = True) -> None:
+        if replied:
+            span.t_replied = self.clock()
+        if error is not None:
+            span.error = error
+
+    # -- server side --------------------------------------------------------
+
+    def start_server(self, request, *, machine: Optional[int] = None) -> Span:
+        """Open a server span at ``t_received = now``; parented to the
+        request's ``span`` field (the caller's client span)."""
+        span = Span(
+            span_id=self._new_id(),
+            parent_id=getattr(request, "span", None),
+            kind="server",
+            backend=self.backend,
+            machine=self.node if machine is None else machine,
+            peer=request.caller,
+            oid=request.object_id,
+            method=request.method,
+            t_received=self.clock(),
+        )
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    def finish_server(self, span: Span, *, error: Optional[str] = None) -> None:
+        span.t_replied = self.clock()
+        if error is not None:
+            span.error = error
+
+    @contextmanager
+    def scope(self, span: Span):
+        """Make *span* the parent of remote calls issued inside the block."""
+        token = _current_span.set(span.span_id)
+        try:
+            yield span
+        finally:
+            _current_span.reset(token)
+
+    # -- collection ---------------------------------------------------------
+
+    def drain(self) -> list[Span]:
+        """Remove and return everything recorded so far (oldest first)."""
+        with self._lock:
+            spans = list(self._spans)
+            self._spans.clear()
+        return spans
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+
+def make_tracer(config, node: int, *,
+                clock: Optional[Callable[[], float]] = None
+                ) -> Optional[Tracer]:
+    """A tracer per ``config.trace``, or ``None`` when tracing is off."""
+    trace = getattr(config, "trace", None)
+    if trace is None:
+        return None
+    return Tracer(node, config.backend, clock=clock,
+                  max_spans=trace.max_spans)

@@ -2,11 +2,15 @@
 
 ``Cluster`` stands in for the paper's runtime: the driver program plays
 *machine 0's client code* and allocates objects on remote machines with
-:meth:`Cluster.new`, the Python spelling of ``new(machine k) Cls(...)``::
+:meth:`MachineHandle.new`, the Python spelling of
+``new(machine k) Cls(...)`` — the machine is named first, then the
+constructor, exactly as in the paper's syntax::
 
     with Cluster(n_machines=4, backend="mp") as cluster:
-        store = cluster.new(PageDevice, "pagefile", 10, 1024, machine=1)
+        store = cluster.on(1).new(PageDevice, "pagefile", 10, 1024)
         store.write(page, 17)            # remote method execution
+
+(``cluster.new(Cls, ..., machine=k)`` remains as a thin alias.)
 
 A cluster installs itself as the process-default runtime context so
 that proxies unpickled in the driver re-attach automatically.  Clusters
@@ -40,11 +44,41 @@ def current_cluster() -> Optional["Cluster"]:
 
 
 class MachineHandle:
-    """Driver-side handle to one machine: identity and health checks."""
+    """Driver-side handle to one machine: placement, identity, health.
+
+    Returned by :meth:`Cluster.on`; the placement methods read as the
+    paper's allocation syntax — machine first, then the constructor::
+
+        fft = cluster.on(2).new(FFT, 2)      # new(machine 2) FFT(2)
+        page = cluster.on(2).new_block(1024)  # new(machine 2) double[1024]
+    """
 
     def __init__(self, cluster: "Cluster", machine_id: int) -> None:
         self.cluster = cluster
         self.id = machine_id
+
+    # -- placement ----------------------------------------------------------
+
+    def new(self, cls: type, *args: Any, **kwargs: Any) -> Proxy:
+        """``new(machine self.id) cls(*args, **kwargs)``."""
+        self.cluster._require_open()
+        return self.cluster.fabric.create(cls, args, kwargs, machine=self.id)
+
+    def new_block(self, n: int, dtype: str = "float64", *,
+                  fill: float | int | None = 0) -> Proxy:
+        """``new(machine self.id) double[n]`` (see :class:`Block`)."""
+        return self.new(Block, n, dtype, fill)
+
+    def submit(self, fn: Callable, *args: Any, **kwargs: Any) -> Any:
+        """Execute a module-level function here, synchronously."""
+        return self.cluster.submit(fn, *args, machine=self.id, **kwargs)
+
+    def submit_async(self, fn: Callable, *args: Any, **kwargs: Any):
+        """Pipelined :meth:`submit`; returns a RemoteFuture."""
+        return self.cluster.submit_async(fn, *args, machine=self.id,
+                                         **kwargs)
+
+    # -- identity / health --------------------------------------------------
 
     def ping(self) -> int:
         return self.cluster.fabric.ping(self.id)
@@ -100,6 +134,12 @@ class Cluster:
     def machines(self) -> list[MachineHandle]:
         return [MachineHandle(self, i) for i in range(self.n_machines)]
 
+    def on(self, machine: int) -> MachineHandle:
+        """The handle for *machine* — ``cluster.on(k).new(Cls, ...)`` is
+        the paper's ``new(machine k) Cls(...)``."""
+        self.fabric.check_machine(machine)
+        return MachineHandle(self, machine)
+
     def ping_all(self) -> list[int]:
         """Round-trip every machine; returns their ids (health check)."""
         futures = [
@@ -114,9 +154,13 @@ class Cluster:
     # -- object creation ---------------------------------------------------------
 
     def new(self, cls: type, *args: Any, machine: int = 0, **kwargs: Any) -> Proxy:
-        """``new(machine k) cls(*args, **kwargs)`` — returns a remote pointer."""
-        self._require_open()
-        return self.fabric.create(cls, args, kwargs, machine=machine)
+        """Alias for ``cluster.on(machine).new(cls, *args, **kwargs)``.
+
+        Kept for callers who prefer the machine as a trailing keyword;
+        the placement-first spelling (:meth:`on` + ``new``) mirrors the
+        paper's ``new(machine k) Cls(...)`` more closely.
+        """
+        return self.on(machine).new(cls, *args, **kwargs)
 
     def new_group(self, cls: type, count: int | None = None, *args: Any,
                   machines: Sequence[int] | None = None,
@@ -151,8 +195,8 @@ class Cluster:
 
     def new_block(self, n: int, dtype: str = "float64", *, machine: int = 0,
                   fill: float | int | None = 0) -> Proxy:
-        """The paper's ``new(machine k) double[n]`` (see :class:`Block`)."""
-        return self.new(Block, n, dtype, fill, machine=machine)
+        """Alias for ``cluster.on(machine).new_block(n, dtype, fill=fill)``."""
+        return self.on(machine).new_block(n, dtype, fill=fill)
 
     # -- remote procedure execution -----------------------------------------
 
@@ -199,6 +243,47 @@ class Cluster:
         ]
         for f in futures:
             f.result(self.config.call_timeout_s)
+
+    # -- observability --------------------------------------------------------
+
+    def metrics(self) -> dict:
+        """Transport metrics per process (see ``docs/OBSERVABILITY.md``).
+
+        Always-on counters — no tracing required: coalesce batch
+        occupancy, header-cache hit rate, shm hits/bytes, retry and
+        injected-fault events.  Keyed ``"driver"`` / ``"machine <k>"``;
+        on single-process backends only the driver entry exists (all
+        machines share its process).  A dead mp machine reports
+        ``{"down": <reason>}``.
+        """
+        self._require_open()
+        return self.fabric.metrics()
+
+    def trace_spans(self) -> list:
+        """Drain every recorded call span (empty when ``trace`` is off).
+
+        Destructive read: each span is returned once.  On mp this
+        gathers machine-process buffers over the wire, so call it while
+        the cluster is still open — spans die with their process.
+        """
+        self._require_open()
+        return self.fabric.trace_spans()
+
+    def write_trace(self, path: str, fmt: str = "chrome") -> int:
+        """Drain spans and write them to *path*; returns the span count.
+
+        ``fmt="chrome"`` writes a Perfetto-loadable trace
+        (https://ui.perfetto.dev); ``fmt="jsonl"`` writes one span dict
+        per line.
+        """
+        from ..obs.export import write_chrome, write_jsonl
+
+        spans = self.trace_spans()
+        if fmt == "chrome":
+            return write_chrome(spans, path)
+        if fmt == "jsonl":
+            return write_jsonl(spans, path)
+        raise ConfigError(f"unknown trace format {fmt!r}; chrome|jsonl")
 
     # -- persistence ------------------------------------------------------------------
 

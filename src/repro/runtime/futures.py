@@ -37,7 +37,9 @@ RETRYABLE_ERRORS: tuple[type[BaseException], ...] = (
 def retry_call(attempt: Callable[[], Any], *, retries: int,
                backoff_s: float,
                retry_on: tuple[type[BaseException], ...] = RETRYABLE_ERRORS,
-               sleep: Callable[[float], None] = time.sleep) -> Any:
+               sleep: Callable[[float], None] = time.sleep,
+               on_retry: Optional[Callable[[int, BaseException], None]] = None,
+               ) -> Any:
     """Run ``attempt()`` with exponential backoff — the receive half of a
     retried idempotent call.
 
@@ -46,7 +48,9 @@ def retry_call(attempt: Callable[[], Any], *, retries: int,
     exceptions in *retry_on* are retried; anything else (including a
     remote application error, which proves the call executed) passes
     straight through.  The last failure is re-raised when the budget is
-    exhausted.
+    exhausted.  *on_retry* (if given) is called as ``on_retry(i, exc)``
+    before each re-send — the metrics layer hangs its ``retry.*``
+    counters there.
     """
     if retries < 0:
         raise ValueError("retries must be >= 0")
@@ -54,9 +58,11 @@ def retry_call(attempt: Callable[[], Any], *, retries: int,
     for i in range(retries + 1):
         try:
             return attempt()
-        except retry_on:
+        except retry_on as exc:
             if i == retries:
                 raise
+            if on_retry is not None:
+                on_retry(i, exc)
         sleep(delay)
         delay *= 2
 
@@ -127,6 +133,22 @@ class RemoteFuture:
             return _COND.wait_for(lambda: self._done, timeout)
 
     def result(self, timeout: Optional[float] = None) -> Any:
+        """Block for the reply; the *receive* half of a pipelined call.
+
+        The timeout contract is uniform across backends: if the call has
+        not completed within *timeout*, raise
+        :class:`~repro.errors.CallTimeoutError`.  What "*timeout*
+        seconds" means differs by construction —
+
+        * **mp**: wall-clock seconds, measured here on the caller.
+        * **sim**: *simulated* seconds — ``result(timeout=5.0)`` runs
+          the event engine until the reply arrives or five simulated
+          seconds elapse (see ``SimRemoteFuture._wait``).
+        * **inline**: calls execute synchronously inside ``call_async``,
+          so every inline future is born completed and ``result`` can
+          never time out.  A timeout argument is accepted and trivially
+          satisfied.
+        """
         if not self._wait(timeout):
             raise CallTimeoutError(
                 f"remote call {self.label!r} did not complete within {timeout}s")

@@ -4,7 +4,7 @@
 allocation on a remote machine.  Through a proxy it supports exactly the
 paper's example::
 
-    data = cluster.new_block(1024, machine=2)   # new(machine 2) double[1024]
+    data = cluster.on(2).new_block(1024)        # new(machine 2) double[1024]
     data[7] = 3.1415                            # one round trip
     x = data[2]                                 # one round trip
 

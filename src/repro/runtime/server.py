@@ -156,6 +156,27 @@ class Kernel:
         self._stats_lock = threading.Lock()
         #: set by the hosting backend; kernel.shutdown() fires it.
         self.stop_event = threading.Event()
+        #: the process's span recorder, set by the hosting backend when
+        #: tracing is on.  take_spans/obs_metrics are kernel methods so
+        #: the driver gathers observability data the same way it does
+        #: everything else: by remote method execution.
+        self.tracer = None
+
+    # -- observability --------------------------------------------------------
+
+    def take_spans(self) -> list[dict]:
+        """Drain this process's recorded spans (as plain dicts)."""
+        if self.tracer is None:
+            return []
+        return [span.to_dict() for span in self.tracer.drain()]
+
+    def obs_metrics(self) -> dict:
+        """This machine's stats + process-wide transport counters."""
+        from ..obs.metrics import snapshot_process
+
+        out = self.stats()
+        out.update(snapshot_process())
+        return out
 
     # -- liveness ----------------------------------------------------------
 
@@ -281,10 +302,11 @@ class Dispatcher:
     """Executes requests against one machine's object table."""
 
     def __init__(self, machine_id: int, table: ObjectTable, kernel: Kernel,
-                 fabric: "Fabric", hooks=None) -> None:
+                 fabric: "Fabric", hooks=None, tracer=None) -> None:
         self.machine_id = machine_id
         self.table = table
         self.kernel = kernel
+        self.tracer = tracer
         self._context = RuntimeContext(fabric=fabric, machine_id=machine_id,
                                        hooks=hooks or CostHooks())
 
@@ -293,14 +315,35 @@ class Dispatcher:
         return self._context
 
     def execute(self, request: Request) -> Response | ErrorResponse | None:
-        """Run one request; returns the reply (None for oneway)."""
+        """Run one request; returns the reply (None for oneway).
+
+        When tracing is on, the method body runs inside a *server span*
+        scoped as the current span, so remote calls the body issues
+        parent to it — that is what turns a pile of spans into the
+        paper's object-to-object call tree.
+        """
         self.kernel.count_call()
+        tracer = self.tracer
+        span = None
+        if tracer is not None and tracer.wants(request.method):
+            # machine= pins the span to this machine even when the
+            # tracer is the driver's (inline/sim host every machine
+            # in-process and share one tracer).
+            span = tracer.start_server(request, machine=self.machine_id)
         try:
-            value = self._run(request)
+            if span is not None:
+                with tracer.scope(span):
+                    value = self._run(request)
+                span.t_executed = tracer.now()
+            else:
+                value = self._run(request)
         except BaseException as exc:  # noqa: BLE001 - everything crosses the wire
             log.debug("machine %d: %s.%s raised %r (caller %d)",
                       self.machine_id, request.object_id, request.method,
                       exc, request.caller)
+            if span is not None:
+                span.t_executed = tracer.now()
+                tracer.finish_server(span, error=type(exc).__name__)
             if request.oneway:
                 return None
             picklable = _try_picklable(exc)
@@ -311,6 +354,8 @@ class Dispatcher:
                 remote_traceback=traceback.format_exc(),
                 exception=picklable,
             )
+        if span is not None:
+            tracer.finish_server(span)
         if request.oneway:
             return None
         return Response(request_id=request.request_id, value=value)

@@ -1,7 +1,7 @@
 """Synchronization objects for worker-to-worker coordination.
 
 These are ordinary classes meant to be *hosted* on a machine
-(``cluster.new(Rendezvous, n, machine=k)``) and called remotely by a
+(``cluster.on(k).new(Rendezvous, n)``) and called remotely by a
 set of worker processes — the collective counterpart of the paper's
 compiler-supported ``fft->barrier()``.
 

@@ -73,3 +73,23 @@ class TraceLog:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # -- export -------------------------------------------------------------
+
+    def to_chrome_events(self, *, base: float = 0.0) -> list[dict]:
+        """Events as Chrome-trace *instant* events ("i" phase).
+
+        Plays with :func:`repro.obs.export.write_chrome`'s
+        ``extra_events``: the sim backend's disk/message events appear
+        as instant markers on the same timeline as the call spans.
+        *base* must match the span exporter's re-basing origin (the
+        earliest span start) so both series align; timestamps are
+        converted to microseconds.
+        """
+        return [
+            {"ph": "i", "name": e.kind, "cat": "sim",
+             "pid": e.node + 1, "tid": 0, "s": "t",
+             "ts": (e.time - base) * 1e6,
+             "args": dict(e.detail)}
+            for e in self.events
+        ]

@@ -2,7 +2,7 @@
 
 A :class:`PageDevice` owns one file of ``NumberOfPages × PageSize``
 bytes and reads/writes whole pages at integer addresses.  Created on a
-remote machine (``cluster.new(PageDevice, ..., machine=k)``) it is
+remote machine (``cluster.on(k).new(PageDevice, ...)``) it is
 exactly the paper's storage process.
 
 Simulated-disk integration: every physical transfer also reports its

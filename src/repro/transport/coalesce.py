@@ -25,6 +25,7 @@ from collections import deque
 from typing import Callable, Optional
 
 from ..errors import ChannelClosedError
+from ..obs.metrics import counters
 from .channel import Channel
 from .message import Message
 
@@ -108,6 +109,15 @@ class CoalescingSender:
                     self.batched_flushes += 1
                 self.flushes += 1
                 self.messages_out += len(batch)
+                # Mirror into the process-wide registry so
+                # cluster.metrics() sees batch occupancy across every
+                # sender (per-instance counters die with the connection).
+                c = counters()
+                c.inc("coalesce.flushes")
+                c.inc("coalesce.messages_out", len(batch))
+                if len(batch) > 1:
+                    c.inc("coalesce.batched_flushes")
+                    c.inc("coalesce.batched_messages", len(batch))
             except BaseException as exc:  # noqa: BLE001 - latch any failure
                 with self._cond:
                     self._error = exc

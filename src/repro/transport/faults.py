@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from ..errors import ChannelClosedError, ConfigError, SerializationError
+from ..obs.metrics import counters
 from .channel import Channel
 from .message import Message, Request, message_to_payload
 
@@ -213,6 +214,7 @@ class FaultInjector:
                     self._fires[i] += 1
                     self.log.append(f"{self._seq}:{direction}:{kind}:"
                                     f"{method or '-'}:{rule.action}")
+                    counters().inc(f"faults.{rule.action}")
                     return rule
         return None
 

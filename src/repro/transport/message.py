@@ -41,6 +41,10 @@ class Request(Message):
     #: identity of the calling machine (-1 = the driver), for diagnostics
     #: and for callback routing.
     caller: int = -1
+    #: span id of the caller's client span (None when tracing is off);
+    #: the server span parents to it, causally linking the two halves of
+    #: the call across the process boundary (see :mod:`repro.obs`).
+    span: int | None = None
 
 
 @dataclass

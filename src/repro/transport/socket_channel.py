@@ -73,9 +73,10 @@ class WireOptions:
 
     @classmethod
     def from_config(cls, cfg) -> "WireOptions":
-        return cls(header_cache=cfg.wire_header_cache,
-                   shm_enabled=cfg.wire_shm,
-                   shm_threshold=cfg.shm_threshold_bytes)
+        wire = cfg.wire
+        return cls(header_cache=wire.header_cache,
+                   shm_enabled=wire.shm,
+                   shm_threshold=wire.shm_threshold_bytes)
 
 
 class _SockReader:
@@ -143,8 +144,12 @@ class SocketChannel(Channel):
     def _encode_wire(self, msg: Message) -> tuple[int, bytes, list]:
         """Encode *msg* as ``(kind, header, raw_buffers)``."""
         if self._options.header_cache and type(msg) is Request:
+            # The span id rides in the per-call tail, never the cached
+            # skeleton: the skeleton is constant per call site while the
+            # span is unique per call.
             tail, buffers = serde.dumps(
-                (msg.request_id, msg.args, msg.kwargs), self.protocol)
+                (msg.request_id, msg.span, msg.args, msg.kwargs),
+                self.protocol)
             header = _header_cache().prefix(
                 msg.object_id, msg.method, msg.oneway, msg.caller,
                 self.protocol) + tail
@@ -349,9 +354,9 @@ class SocketChannel(Channel):
         skel = bytes(header[_CALL_SKEL.size:_CALL_SKEL.size + skel_len])
         tail = header[_CALL_SKEL.size + skel_len:]
         fields = _header_cache().fields_for(skel)
-        request_id, args, kwargs = serde.loads(tail, buffers)
-        return Request(request_id=request_id, args=args, kwargs=kwargs,
-                       **fields)
+        request_id, span, args, kwargs = serde.loads(tail, buffers)
+        return Request(request_id=request_id, span=span, args=args,
+                       kwargs=kwargs, **fields)
 
     def close(self) -> None:
         with self._send_lock:

@@ -1,0 +1,19 @@
+"""Every test under tests/obs/ carries the ``obs`` marker.
+
+Run only the observability suite with ``pytest -m obs``, or exclude it
+from a quick pass with ``pytest -m "not obs"``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_OBS_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if _OBS_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.obs)

@@ -1,0 +1,172 @@
+"""Observability under injected faults.
+
+The span buffer records at *start*, so a call whose frames are dropped
+still leaves its client span behind (finished with the timeout error by
+the future, or unfinished if the reply simply never came) — the trace
+shows the failure instead of hiding it.  Metrics must keep working when
+machines die: a down machine reports ``{"down": ...}`` instead of
+hanging the gather.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.errors import CallTimeoutError, MachineDownError
+from repro.transport.faults import FaultPlan, FaultRule
+
+pytestmark = pytest.mark.chaos
+
+
+class Cell:
+    __oopp_idempotent__ = frozenset({"get"})
+
+    def __init__(self, value=0.0):
+        self.value = value
+
+    def set(self, value):
+        self.value = value
+        return True
+
+    def get(self):
+        return self.value
+
+    def nap(self, seconds):
+        import time
+
+        time.sleep(seconds)
+        return seconds
+
+
+def well_formed(span):
+    assert span.kind in ("client", "server")
+    assert span.method
+    assert isinstance(span.oid, int)
+    values = [v for _, v in span.times()]
+    assert values == sorted(values), span
+    return True
+
+
+class TestSpansUnderDrops:
+    def test_dropped_batch_leaves_wellformed_spans(self, tmp_path):
+        # One whole BATCH envelope vanishes; the calls inside retry to
+        # success.  Every gathered span must still be well-formed, every
+        # server span's parent must be a gathered client span, and the
+        # failed first attempts must be visible as error-finished spans.
+        import threading
+
+        plan = FaultPlan(seed=11, rules=[
+            FaultRule(action="drop", direction="send", kinds=("batch",),
+                      nth=1)])
+        with oopp.Cluster(n_machines=2, backend="mp", call_timeout_s=1.0,
+                          retry=oopp.RetryConfig(retries=3, backoff_s=0.05),
+                          fault_plan=plan, trace=True,
+                          storage_root=str(tmp_path / "r")) as cluster:
+            cells = [cluster.on(1).new(Cell) for _ in range(3)]
+            for i, c in enumerate(cells):
+                c.set(float(i))
+            # Synchronous idempotent calls from several threads pile
+            # into the coalescer together, so the dropped BATCH takes
+            # several calls down at once; each one retries (the retry
+            # layer wraps synchronous Fabric.call, not raw futures).
+            results, errors = {}, []
+
+            def call(i):
+                try:
+                    results[i] = cells[i].get()
+                except BaseException as exc:  # noqa: BLE001
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=call, args=(i,))
+                       for i in range(3)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert not errors, errors
+            assert results == {0: 0.0, 1: 1.0, 2: 2.0}
+            spans = cluster.trace_spans()
+
+        assert all(well_formed(s) for s in spans)
+        client_ids = {s.span_id for s in spans if s.kind == "client"}
+        for server in (s for s in spans if s.kind == "server"):
+            assert server.parent_id in client_ids, server
+        # each successful get has a finished, error-free client span
+        ok = [s for s in spans if s.kind == "client" and s.method == "get"
+              and s.error is None and s.finished]
+        assert len(ok) >= 3
+
+    def test_lost_call_leaves_an_unfinished_span(self, tmp_path):
+        # Record-at-start: the span for a dropped call is already in the
+        # buffer, and at gather time it is visibly *unfinished* — no
+        # t_replied, no matching server span.  (Snapshot with to_dict():
+        # drained spans are live objects, and cluster shutdown later
+        # fails the still-pending future, which would mutate them.)
+        plan = FaultPlan(seed=3, rules=[
+            FaultRule(action="drop", direction="send", kinds=("req",),
+                      methods=("get",), probability=1.0)])
+        with oopp.Cluster(n_machines=2, backend="mp", call_timeout_s=0.5,
+                          fault_plan=plan, trace=True,
+                          storage_root=str(tmp_path / "r")) as cluster:
+            cell = cluster.on(1).new(Cell)
+            with pytest.raises(CallTimeoutError):
+                cell.get()
+            spans = [s.to_dict() for s in cluster.trace_spans()]
+        lost = [s for s in spans if s["kind"] == "client"
+                and s["method"] == "get"]
+        assert lost
+        for s in lost:
+            assert s["t_sent"] is not None      # it left the stub...
+            assert s["t_replied"] is None       # ...but nothing came back
+        assert not any(s["kind"] == "server" and s["method"] == "get"
+                       for s in spans)
+
+
+class TestMetricsUnderFailure:
+    def test_dead_machine_reports_down_not_hang(self, tmp_path):
+        import time
+
+        with oopp.Cluster(n_machines=3, backend="mp", call_timeout_s=30.0,
+                          trace=True,
+                          storage_root=str(tmp_path / "r")) as cluster:
+            survivor = cluster.on(2).new(Cell)
+            victim = cluster.on(1).new(Cell)
+            victim.get()
+            cluster.fabric.kill_machine(1, hard=True)
+            deadline = time.time() + 5.0
+            while time.time() < deadline and not cluster.fabric.machine_down(1):
+                time.sleep(0.05)
+            assert cluster.fabric.machine_down(1)
+
+            snap = cluster.metrics()
+            assert "down" in snap["machine 1"]
+            assert set(snap["machine 1"]) == {"down"}
+            # the rest of the cluster still reports real numbers
+            assert snap["machine 2"]["calls_served"] > 0
+            assert "coalesce" in snap["driver"]
+
+            # span gather likewise skips the corpse instead of raising
+            spans = cluster.trace_spans()
+            assert all(well_formed(s) for s in spans)
+            assert survivor.get() == 0.0
+
+    def test_call_in_flight_when_machine_dies_leaves_error_span(self, tmp_path):
+        import time
+
+        with oopp.Cluster(n_machines=2, backend="mp", call_timeout_s=30.0,
+                          trace=True,
+                          storage_root=str(tmp_path / "r")) as cluster:
+            victim = cluster.on(1).new(Cell)
+            victim.get()
+            cluster.trace_spans()  # discard setup spans
+            future = victim.nap.future(30.0)
+            time.sleep(0.3)  # let the call land on the machine
+            cluster.fabric.kill_machine(1, hard=True)
+            with pytest.raises(MachineDownError):
+                future.result(10.0)
+            spans = cluster.trace_spans()
+        (failed,) = [s for s in spans if s.kind == "client"
+                     and s.method == "nap"]
+        assert failed.error == "MachineDownError"
+        assert failed.t_sent is not None  # it did leave the driver

@@ -1,0 +1,122 @@
+"""The nested Config groups and the deprecated flat spellings."""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+
+import pytest
+
+from repro.config import Config, RetryConfig, TraceConfig, WireConfig
+from repro.errors import ConfigError
+
+
+class TestNestedGroups:
+    def test_defaults(self):
+        cfg = Config()
+        assert cfg.wire == WireConfig()
+        assert cfg.retry == RetryConfig()
+        assert cfg.trace is None
+        assert cfg.wire.coalesce and cfg.wire.header_cache and cfg.wire.shm
+        assert cfg.retry.retries == 0
+        cfg.validate()
+
+    def test_nested_construction(self):
+        cfg = Config(wire=WireConfig(coalesce=False, shm=False),
+                     retry=RetryConfig(retries=3, backoff_s=0.1),
+                     trace=TraceConfig(max_spans=10))
+        assert not cfg.wire.coalesce and not cfg.wire.shm
+        assert cfg.wire.header_cache  # untouched knobs keep their defaults
+        assert cfg.retry.retries == 3
+        assert cfg.trace.max_spans == 10
+        cfg.validate()
+
+    def test_trace_bool_shorthands(self):
+        assert Config(trace=True).trace == TraceConfig()
+        assert Config(trace=False).trace is None
+
+    def test_replace_with_nested_group(self):
+        cfg = Config()
+        cfg2 = cfg.replace(retry=RetryConfig(retries=2))
+        assert cfg2.retry.retries == 2
+        assert cfg.retry.retries == 0
+
+    @pytest.mark.parametrize("group,message", [
+        (dict(retry=RetryConfig(retries=-1)), "call_retries"),
+        (dict(retry=RetryConfig(backoff_s=0.0)), "retry_backoff_s"),
+        (dict(wire=WireConfig(coalesce_max_bytes=10)), "coalesce_max_bytes"),
+        (dict(wire=WireConfig(coalesce_max_msgs=0)), "coalesce_max_msgs"),
+        (dict(wire=WireConfig(shm_threshold_bytes=0)), "shm_threshold_bytes"),
+        (dict(trace=TraceConfig(max_spans=0)), "max_spans"),
+    ])
+    def test_group_validation_messages(self, group, message):
+        with pytest.raises(ConfigError, match=message):
+            Config(**group).validate()
+
+    def test_pickle_roundtrip(self):
+        cfg = Config(wire=WireConfig(coalesce=False),
+                     retry=RetryConfig(retries=1), trace=True)
+        clone = pickle.loads(pickle.dumps(cfg))
+        assert clone.wire == cfg.wire
+        assert clone.retry == cfg.retry
+        assert clone.trace == cfg.trace
+
+
+class TestLegacyFlatKnobs:
+    def test_flat_kwargs_warn_and_forward(self):
+        with pytest.warns(DeprecationWarning, match="call_retries"):
+            cfg = Config(call_retries=3, retry_backoff_s=0.2)
+        assert cfg.retry == RetryConfig(retries=3, backoff_s=0.2)
+
+    def test_flat_wire_kwargs_forward(self):
+        with pytest.warns(DeprecationWarning):
+            cfg = Config(wire_coalesce=False, wire_header_cache=False,
+                         wire_shm=False, shm_threshold_bytes=4096,
+                         coalesce_max_bytes=2048, coalesce_max_msgs=7)
+        assert cfg.wire == WireConfig(
+            coalesce=False, header_cache=False, shm=False,
+            shm_threshold_bytes=4096, coalesce_max_bytes=2048,
+            coalesce_max_msgs=7)
+
+    def test_flat_kwargs_do_not_leak_into_other_configs(self):
+        # the nested groups are per-instance, not shared defaults
+        with pytest.warns(DeprecationWarning):
+            Config(call_retries=9)
+        assert Config().retry.retries == 0
+
+    def test_replace_accepts_flat_kwargs(self):
+        base = Config()
+        with pytest.warns(DeprecationWarning):
+            cfg = base.replace(call_retries=2)
+        assert cfg.retry.retries == 2
+        assert base.retry.retries == 0  # the source instance is untouched
+
+    def test_legacy_attribute_reads_warn_and_delegate(self):
+        cfg = Config(wire=WireConfig(shm_threshold_bytes=4096))
+        with pytest.warns(DeprecationWarning, match="shm_threshold_bytes"):
+            assert cfg.shm_threshold_bytes == 4096
+        with pytest.warns(DeprecationWarning, match="call_retries"):
+            assert cfg.call_retries == 0
+
+    def test_unknown_attribute_is_a_plain_attributeerror(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # must not warn on the miss
+            with pytest.raises(AttributeError):
+                Config().no_such_knob
+
+    def test_flat_validation_messages_still_name_the_flat_knob(self):
+        with pytest.warns(DeprecationWarning):
+            bad = Config(call_retries=-1)
+        with pytest.raises(ConfigError, match="call_retries"):
+            bad.validate()
+        with pytest.warns(DeprecationWarning):
+            bad = Config(retry_backoff_s=0.0)
+        with pytest.raises(ConfigError, match="retry_backoff_s"):
+            bad.validate()
+
+    def test_nested_and_flat_spellings_agree(self):
+        with pytest.warns(DeprecationWarning):
+            flat = Config(wire_coalesce=False, call_retries=2)
+        nested = Config(wire=WireConfig(coalesce=False),
+                        retry=RetryConfig(retries=2))
+        assert flat.wire == nested.wire and flat.retry == nested.retry

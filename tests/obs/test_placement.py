@@ -1,0 +1,86 @@
+"""The placement API: ``cluster.on(k).new(Cls, ...)``.
+
+The paper allocates with ``new(machine k) Cls(...)`` — machine first,
+then the constructor.  ``cluster.on(k)`` returns the machine's handle
+and its ``new``/``new_block``/``submit`` mirror that word order;
+``cluster.new(Cls, ..., machine=k)`` stays as a thin alias.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.errors import ConfigError, NoSuchMachineError
+
+
+class Tagged:
+    def __init__(self, tag="t"):
+        self.tag = tag
+
+    def where(self):
+        from repro.runtime.context import current_context
+
+        return current_context().machine_id
+
+    def get_tag(self):
+        return self.tag
+
+
+def _square(x):
+    return x * x
+
+
+class TestOnNew:
+    def test_on_new_places_on_the_named_machine(self, any_cluster):
+        for k in range(any_cluster.n_machines):
+            obj = any_cluster.on(k).new(Tagged, tag=f"m{k}")
+            assert oopp.ref_of(obj).machine == k
+            assert obj.where() == k
+            assert obj.get_tag() == f"m{k}"
+
+    def test_alias_and_placement_first_agree(self, any_cluster):
+        via_on = any_cluster.on(1).new(Tagged)
+        via_alias = any_cluster.new(Tagged, machine=1)
+        assert oopp.ref_of(via_on).machine == 1
+        assert oopp.ref_of(via_alias).machine == 1
+
+    def test_alias_defaults_to_machine_zero(self, any_cluster):
+        obj = any_cluster.new(Tagged)
+        assert oopp.ref_of(obj).machine == 0
+
+    def test_on_rejects_nonexistent_machines(self, any_cluster):
+        with pytest.raises(NoSuchMachineError):
+            any_cluster.on(any_cluster.n_machines)
+        with pytest.raises(NoSuchMachineError):
+            any_cluster.on(-1)
+
+    def test_new_block(self, any_cluster):
+        block = any_cluster.on(2).new_block(8, fill=3.0)
+        assert oopp.ref_of(block).machine == 2
+        assert block.sum() == 24.0
+        alias = any_cluster.new_block(4, machine=1)
+        assert oopp.ref_of(alias).machine == 1
+
+    def test_machines_property_hands_out_every_handle(self, any_cluster):
+        handles = any_cluster.machines
+        assert [h.id for h in handles] == list(range(any_cluster.n_machines))
+        assert all(h.ping() == h.id for h in handles)
+
+    def test_new_after_shutdown_raises(self, tmp_path):
+        cluster = oopp.Cluster(n_machines=2, backend="inline",
+                               storage_root=str(tmp_path / "r"))
+        handle = cluster.on(1)
+        cluster.shutdown()
+        with pytest.raises(ConfigError, match="shut down"):
+            handle.new(Tagged)
+
+
+class TestSubmitViaHandle:
+    def test_submit_runs_on_the_handles_machine(self, any_cluster):
+        assert any_cluster.on(1).submit(_square, 7) == 49
+
+    def test_submit_async_is_pipelined(self, any_cluster):
+        futures = [any_cluster.on(i % any_cluster.n_machines)
+                   .submit_async(_square, i) for i in range(6)]
+        assert [f.result(60) for f in futures] == [i * i for i in range(6)]

@@ -1,0 +1,160 @@
+"""The Span dataclass, the Tracer, and the exporters — pure unit tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import Span, Tracer, current_span_id
+from repro.obs.export import chrome_events, write_chrome, write_jsonl
+from repro.obs.tracer import OBS_INTERNAL_METHODS
+from repro.transport.message import Request
+
+
+def make_span(**kw):
+    base = dict(span_id=1, parent_id=None, kind="client", backend="mp",
+                machine=-1, peer=1, oid=7, method="echo")
+    base.update(kw)
+    return Span(**base)
+
+
+class TestSpan:
+    def test_times_returns_name_value_pairs_in_causal_order(self):
+        s = make_span(t_queued=1.0, t_sent=2.0, t_replied=3.0)
+        assert s.times() == [("t_queued", 1.0), ("t_sent", 2.0),
+                             ("t_replied", 3.0)]
+
+    def test_times_skips_unset_fields(self):
+        s = make_span(t_queued=1.0)  # in flight: never sent, never replied
+        assert s.times() == [("t_queued", 1.0)]
+        assert not s.finished
+
+    def test_server_span_uses_server_time_fields(self):
+        s = make_span(kind="server", t_received=1.0, t_executed=2.0,
+                      t_replied=3.0)
+        assert [n for n, _ in s.times()] == ["t_received", "t_executed",
+                                             "t_replied"]
+
+    def test_start_end_span_kind_agnostic(self):
+        client = make_span(t_queued=1.0, t_sent=1.5, t_replied=4.0)
+        server = make_span(kind="server", t_received=2.0, t_replied=3.0)
+        assert (client.start, client.end) == (1.0, 4.0)
+        assert (server.start, server.end) == (2.0, 3.0)
+
+    def test_dict_roundtrip(self):
+        s = make_span(t_queued=1.0, t_replied=2.0, error="CallTimeoutError")
+        assert Span.from_dict(s.to_dict()) == s
+
+    def test_from_dict_ignores_unknown_keys(self):
+        data = make_span(t_queued=1.0).to_dict()
+        data["future_field"] = "whatever"
+        assert Span.from_dict(data) == make_span(t_queued=1.0)
+
+
+class TestTracer:
+    def test_ids_are_salted_per_node(self):
+        driver = Tracer(node=-1, backend="mp")
+        worker = Tracer(node=3, backend="mp")
+        a = driver.start_client(peer=1, oid=7, method="m")
+        b = worker.start_client(peer=1, oid=7, method="m")
+        assert a.span_id >> 48 == 1      # driver (-1) salts to 1
+        assert b.span_id >> 48 == 5      # machine 3 salts to 5
+        assert a.span_id != b.span_id
+
+    def test_drain_is_destructive_oldest_first(self):
+        t = Tracer(node=-1, backend="inline")
+        s1 = t.start_client(peer=0, oid=1, method="a")
+        s2 = t.start_client(peer=0, oid=1, method="b")
+        assert t.drain() == [s1, s2]
+        assert t.drain() == []
+
+    def test_buffer_is_bounded(self):
+        t = Tracer(node=-1, backend="inline", max_spans=3)
+        for i in range(10):
+            t.start_client(peer=0, oid=1, method=f"m{i}")
+        kept = t.drain()
+        assert [s.method for s in kept] == ["m7", "m8", "m9"]
+
+    def test_record_at_start_keeps_unfinished_spans(self):
+        # A call dropped by a fault never finishes, but its span is
+        # already in the buffer — the failure leaves a visible record.
+        t = Tracer(node=-1, backend="mp")
+        t.start_client(peer=1, oid=7, method="lost")
+        (span,) = t.drain()
+        assert span.t_replied is None and not span.finished
+
+    def test_internal_obs_methods_not_wanted(self):
+        t = Tracer(node=-1, backend="mp")
+        for method in OBS_INTERNAL_METHODS:
+            assert not t.wants(method)
+        assert t.wants("echo")
+
+    def test_scope_parents_nested_spans(self):
+        t = Tracer(node=1, backend="mp")
+        req = Request(request_id=1, object_id=7, method="outer", caller=-1,
+                      span=12345)
+        server = t.start_server(req)
+        assert server.parent_id == 12345
+        assert current_span_id() is None
+        with t.scope(server):
+            assert current_span_id() == server.span_id
+            nested = t.start_client(peer=2, oid=9, method="inner")
+            assert nested.parent_id == server.span_id
+        assert current_span_id() is None
+
+    def test_finish_records_error_name(self):
+        t = Tracer(node=-1, backend="mp")
+        span = t.start_client(peer=1, oid=7, method="m")
+        t.finish_client(span, error="MachineDownError", replied=False)
+        assert span.error == "MachineDownError"
+        assert span.t_replied is None  # the reply never arrived
+
+
+class TestExport:
+    def spans(self):
+        return [
+            make_span(span_id=0x1_0001, t_queued=10.0, t_sent=10.1,
+                      t_replied=10.5),
+            make_span(span_id=0x3_0001, parent_id=0x1_0001, kind="server",
+                      machine=1, peer=-1, t_received=10.2, t_executed=10.3,
+                      t_replied=10.4),
+        ]
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        path = str(tmp_path / "spans.jsonl")
+        assert write_jsonl(self.spans(), path) == 2
+        loaded = [Span.from_dict(json.loads(line)) for line in open(path)]
+        assert loaded == self.spans()
+
+    def test_chrome_events_structure(self):
+        events = chrome_events(self.spans())
+        meta = [e for e in events if e["ph"] == "M"]
+        begins = [e for e in events if e["ph"] == "b"]
+        ends = [e for e in events if e["ph"] == "e"]
+        assert {m["args"]["name"] for m in meta} == {"driver", "machine 1"}
+        assert len(begins) == len(ends) == 2
+        # timestamps re-based to the earliest span start, in microseconds
+        assert min(e["ts"] for e in begins) == 0.0
+        client = next(e for e in begins if e["name"] == "client echo")
+        assert client["pid"] == 0 and client["ts"] == pytest.approx(0.0)
+        server = next(e for e in begins if e["name"] == "server echo")
+        assert server["pid"] == 2
+        assert server["ts"] == pytest.approx(0.2e6)
+        # the causal link survives export in the args
+        assert server["args"]["parent"] == client["args"]["span"]
+        # async b/e pairs share an id (hex span id)
+        assert {e["id"] for e in begins} == {e["id"] for e in ends}
+
+    def test_write_chrome_is_valid_json_with_extras(self, tmp_path):
+        path = str(tmp_path / "trace.json")
+        extra = [{"ph": "i", "name": "disk", "pid": 2, "tid": 0, "ts": 5.0,
+                  "s": "t", "args": {}}]
+        assert write_chrome(self.spans(), path, extra_events=extra) == 2
+        data = json.load(open(path))
+        assert data["displayTimeUnit"] == "ms"
+        assert any(e.get("name") == "disk" for e in data["traceEvents"])
+
+    def test_chrome_events_accepts_dicts(self):
+        dicts = [s.to_dict() for s in self.spans()]
+        assert chrome_events(dicts) == chrome_events(self.spans())

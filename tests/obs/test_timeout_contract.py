@@ -1,0 +1,85 @@
+"""``RemoteFuture.result(timeout=...)`` raises CallTimeoutError everywhere.
+
+One contract, three clocks: mp measures the timeout in wall seconds,
+sim in *simulated* seconds (waiting is what advances the clock), and
+inline can never time out because execution is synchronous — the future
+is born completed.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro as oopp
+from repro.errors import CallTimeoutError
+
+
+class Sleeper:
+    def nap(self, seconds):
+        time.sleep(seconds)
+        return seconds
+
+    def quick(self):
+        return "ok"
+
+
+class SimSleeper:
+    def nap(self, seconds):
+        from repro.runtime.context import current_hooks
+
+        current_hooks().charge_compute(seconds)
+        return seconds
+
+
+def test_inline_futures_are_born_completed(tmp_path):
+    with oopp.Cluster(n_machines=2, backend="inline",
+                      storage_root=str(tmp_path / "r")) as cl:
+        obj = cl.on(1).new(Sleeper)
+        future = obj.quick.future()
+        assert future.done()
+        # any timeout, however absurd, is satisfiable immediately
+        assert future.result(timeout=0.0) == "ok"
+
+
+def test_mp_timeout_measured_on_the_wall_clock(tmp_path):
+    with oopp.Cluster(n_machines=2, backend="mp", call_timeout_s=60.0,
+                      storage_root=str(tmp_path / "r")) as cl:
+        obj = cl.on(1).new(Sleeper)
+        future = obj.nap.future(5.0)
+        t0 = time.monotonic()
+        with pytest.raises(CallTimeoutError):
+            future.result(timeout=0.5)
+        assert time.monotonic() - t0 < 3.0
+        # the call itself was not cancelled; the future completes later
+        assert future.result(timeout=30.0) == 5.0
+
+
+def test_sim_timeout_measured_on_the_simulated_clock(tmp_path):
+    with oopp.Cluster(n_machines=2, backend="sim",
+                      storage_root=str(tmp_path / "r")) as cl:
+        obj = cl.on(1).new(SimSleeper)
+        future = obj.nap.future(5.0)  # charges 5 *simulated* seconds
+        wall0 = time.monotonic()
+        with pytest.raises(CallTimeoutError):
+            future.result(timeout=1.0)  # 1 simulated second
+        assert time.monotonic() - wall0 < 5.0  # simulated, not slept
+        assert cl.fabric.now >= 1.0
+        # the in-flight simulated work must finish before shutdown
+        cl.fabric.drain()
+
+
+def test_sim_reply_before_deadline_wins(tmp_path):
+    with oopp.Cluster(n_machines=2, backend="sim",
+                      storage_root=str(tmp_path / "r")) as cl:
+        obj = cl.on(1).new(SimSleeper)
+        future = obj.nap.future(2.0)
+        assert future.result(timeout=50.0) == 2.0
+        assert cl.fabric.now >= 2.0
+
+
+def test_timeout_error_is_uniform_across_backends(tmp_path):
+    # The exception type clients must catch is one and the same class.
+    assert issubclass(CallTimeoutError, oopp.OoppError)
+    assert CallTimeoutError is oopp.CallTimeoutError
