@@ -36,7 +36,12 @@ Public surface:
   ``Config(trace=...)``, ``cluster.trace_spans()`` /
   ``cluster.write_trace()``) and always-on transport counters
   (``cluster.metrics()``); see :mod:`repro.obs` and
-  ``docs/OBSERVABILITY.md``.
+  ``docs/OBSERVABILITY.md``;
+* **correctness harness** — seeded schedule exploration over the sim
+  engine, vector-clock race detection
+  (``Config(check=CheckConfig(race_detect=True))``,
+  ``cluster.race_reports()``, :func:`readonly`), and cross-backend
+  conformance; see :mod:`repro.check` and ``docs/CHECKING.md``.
 
 The paper's claims are reproduced as experiments E1–E10 under
 :mod:`repro.bench` (``python -m repro.bench all``); results are
@@ -44,6 +49,7 @@ recorded in EXPERIMENTS.md.
 """
 
 from .config import (
+    CheckConfig,
     Config,
     DiskModel,
     NetworkModel,
@@ -52,6 +58,7 @@ from .config import (
     WireConfig,
 )
 from . import errors
+from .check.detector import readonly
 from .obs import Span
 from .errors import (
     OoppError,
@@ -122,6 +129,8 @@ __all__ = [
     "WireConfig",
     "RetryConfig",
     "TraceConfig",
+    "CheckConfig",
+    "readonly",
     "Span",
     "errors",
     "OoppError",

@@ -52,6 +52,10 @@ class Fabric:
         #: driver-side span recorder; concrete backends create one via
         #: :func:`repro.obs.tracer.make_tracer` when ``config.trace`` is set.
         self.tracer = None
+        #: driver-side race checker; concrete backends create one via
+        #: :func:`repro.check.make_checker` when ``config.check`` enables
+        #: race detection (see :mod:`repro.check`).
+        self.checker = None
 
     # -- topology ---------------------------------------------------------
 
@@ -153,6 +157,19 @@ class Fabric:
         ``"machine <k>"``.  Single-process backends report one entry;
         the mp backend overrides this to gather every machine."""
         return {"driver": snapshot_process()}
+
+    def race_reports(self) -> list[dict]:
+        """Drain every race report reachable from this fabric.
+
+        The base implementation drains the driver-side checker only —
+        complete for the single-process backends (inline and sim run
+        every method execution in the driver process).  The mp backend
+        overrides this to also gather each machine process's reports
+        via kernel calls.
+        """
+        if self.checker is None:
+            return []
+        return self.checker.take_reports()
 
     # -- lifecycle -----------------------------------------------------------
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from ..check.checker import make_checker
 from ..config import Config
 from ..errors import MachineDownError
 from ..obs.tracer import make_tracer
@@ -38,8 +39,10 @@ class _VirtualMachine:
         self.table = ObjectTable()
         self.kernel = Kernel(machine_id, self.table)
         self.kernel.tracer = fabric.tracer
+        self.kernel.checker = fabric.checker
         self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
-                                     fabric, tracer=fabric.tracer)
+                                     fabric, tracer=fabric.tracer,
+                                     checker=fabric.checker)
 
 
 class InlineFabric(Fabric):
@@ -47,9 +50,11 @@ class InlineFabric(Fabric):
 
     def __init__(self, config: Config) -> None:
         super().__init__(config)
-        # One tracer for the whole process: the virtual machines share it
-        # (their server spans carry their own machine ids).
+        # One tracer/checker for the whole process: the virtual machines
+        # share them (their server spans and recorded accesses carry
+        # their own machine ids).
         self.tracer = make_tracer(config, node=-1)
+        self.checker = make_checker(config, node=-1)
         self._machines = [_VirtualMachine(i, self) for i in range(config.n_machines)]
         self._request_ids = IdAllocator()
 
@@ -77,6 +82,7 @@ class InlineFabric(Fabric):
                                        method=method)
             # Calls execute synchronously: queueing and sending coincide.
             span.t_sent = span.t_queued
+        checker = self.checker
         request = Request(
             request_id=self._request_ids.next(),
             object_id=ref.oid,
@@ -85,6 +91,7 @@ class InlineFabric(Fabric):
             kwargs=self._copy(kwargs, ref.machine),
             oneway=oneway,
             span=None if span is None else span.span_id,
+            clock=None if checker is None else checker.on_send(),
         )
         try:
             reply = machine.dispatcher.execute(request)
@@ -92,6 +99,11 @@ class InlineFabric(Fabric):
             if span is not None:
                 tracer.finish_client(span, error=type(exc).__name__)
             raise
+        if checker is not None and reply is not None:
+            # Synchronous execution: the caller observes the reply right
+            # here, so the happens-before edge is acquired immediately
+            # (error replies included — the raise below *is* the wait).
+            checker.on_consume(reply.clock)
         if span is not None:
             tracer.finish_client(
                 span,

@@ -30,6 +30,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Optional
 
+from ..check.checker import make_checker
 from ..config import DEFAULT_HOST, Config
 from ..errors import (
     ChannelClosedError,
@@ -128,6 +129,9 @@ class _Connection:
                     if entry is None:
                         continue  # response to a cancelled/timed-out call
                     future, _ = entry
+                    # Attached before completion so a consumer woken by
+                    # set_result always sees the reply's clock.
+                    future._check_clock = msg.clock
                     if isinstance(msg, Response):
                         future.set_result(msg.value)
                     else:
@@ -179,12 +183,14 @@ class PeerClient:
 
     def __init__(self, caller: int, decode_context: RuntimeContext,
                  fault_plan: Optional[FaultPlan] = None,
-                 config: Optional[Config] = None, tracer=None) -> None:
+                 config: Optional[Config] = None, tracer=None,
+                 checker=None) -> None:
         self.caller = caller
         self.decode_context = decode_context
         self.fault_plan = fault_plan
         self.config = config
         self.tracer = tracer
+        self.checker = checker
         self._addrs: dict[int, tuple[str, int]] = {}
         self._conns: dict[int, _Connection] = {}
         #: machines declared dead by the liveness monitor: fail fast
@@ -267,10 +273,13 @@ class PeerClient:
         if tracer is not None and tracer.wants(method):
             span = tracer.start_client(peer=ref.machine, oid=ref.oid,
                                        method=method)
+        checker = self.checker
         future: Optional[RemoteFuture] = None
         if not oneway:
             future = RemoteFuture(
                 label=f"machine{ref.machine}#{ref.oid}.{method}")
+            if checker is not None:
+                future._consume_hook = checker.on_consume
             conn.register(request_id, future, ref.oid)
             if span is not None:
                 # Completion (reply, connection loss, send failure) runs
@@ -282,7 +291,8 @@ class PeerClient:
         request = Request(request_id=request_id, object_id=ref.oid,
                           method=method, args=args, kwargs=kwargs,
                           oneway=oneway, caller=self.caller,
-                          span=None if span is None else span.span_id)
+                          span=None if span is None else span.span_id,
+                          clock=None if checker is None else checker.on_send())
         if span is not None:
             # Stamped before the write so a fast reply (on the demux
             # thread) can never finish the span before it is "sent".
@@ -364,13 +374,22 @@ class MachineFabric(Fabric):
                    kwargs: dict) -> RemoteFuture:
         if ref.machine == self._server.machine_id:
             label = f"local#{ref.oid}.{method}"
+            checker = self._server.checker
             # No wire, no client span — but the local server span still
-            # parents to whatever span this thread is executing under.
-            request = Request(request_id=0, object_id=ref.oid, method=method,
+            # parents to whatever span this thread is executing under,
+            # and the local execution still ticks/merges clocks so
+            # co-located conflicting calls stay visible to the detector.
+            request = Request(request_id=self._server.local_ids.next(),
+                              object_id=ref.oid, method=method,
                               args=args, kwargs=kwargs,
                               caller=self._server.machine_id,
-                              span=current_span_id())
+                              span=current_span_id(),
+                              clock=(None if checker is None
+                                     else checker.on_send()))
             reply = self._server.dispatcher.execute(request)
+            if checker is not None and reply is not None:
+                # synchronous execution: the reply edge is acquired here
+                checker.on_consume(reply.clock)
             if isinstance(reply, ErrorResponse):
                 return failed_future(exception_from_error(reply), label=label)
             assert reply is not None
@@ -382,10 +401,14 @@ class MachineFabric(Fabric):
     def call_oneway(self, ref: ObjectRef, method: str, args: tuple,
                     kwargs: dict) -> None:
         if ref.machine == self._server.machine_id:
-            request = Request(request_id=0, object_id=ref.oid, method=method,
+            checker = self._server.checker
+            request = Request(request_id=self._server.local_ids.next(),
+                              object_id=ref.oid, method=method,
                               args=args, kwargs=kwargs, oneway=True,
                               caller=self._server.machine_id,
-                              span=current_span_id())
+                              span=current_span_id(),
+                              clock=(None if checker is None
+                                     else checker.on_send()))
             self._server.dispatcher.execute(request)
             return
         self._server.outbound.send_request(ref, method, args, kwargs,
@@ -402,19 +425,31 @@ class MachineServer:
         #: this process's span recorder (None when tracing is off); the
         #: driver collects it through the kernel's take_spans method.
         self.tracer = make_tracer(config, node=machine_id)
+        #: this process's race checker (None when detection is off); the
+        #: driver collects it through the kernel's take_race_reports.
+        #: Per-machine detection is complete: an object lives on exactly
+        #: one machine and every access to it executes here.
+        self.checker = make_checker(config, node=machine_id)
+        #: request ids for locally short-circuited calls (no wire, but
+        #: race reports still want a distinguishable id).
+        self.local_ids = IdAllocator()
         self.table = ObjectTable()
         self.kernel = MachineKernel(machine_id, self.table, self)
         self.kernel.tracer = self.tracer
+        self.kernel.checker = self.checker
         self.fabric = MachineFabric(config, self)
         self.fabric.tracer = self.tracer
+        self.fabric.checker = self.checker
         self.context = RuntimeContext(fabric=self.fabric, machine_id=machine_id)
         self.outbound = PeerClient(caller=machine_id,
                                    decode_context=self.context,
                                    fault_plan=config.fault_plan,
                                    config=config,
-                                   tracer=self.tracer)
+                                   tracer=self.tracer,
+                                   checker=self.checker)
         self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
-                                     self.fabric, tracer=self.tracer)
+                                     self.fabric, tracer=self.tracer,
+                                     checker=self.checker)
         self.listener = listen_socket(DEFAULT_HOST, 0)
         self.port = self.listener.getsockname()[1]
         self.executor = ThreadPoolExecutor(
@@ -526,10 +561,12 @@ class MpFabric(Fabric):
     def __init__(self, config: Config) -> None:
         super().__init__(config)
         self.tracer = make_tracer(config, node=-1)
+        self.checker = make_checker(config, node=-1)
         self._context = RuntimeContext(fabric=self, machine_id=-1)
         self._client = PeerClient(caller=-1, decode_context=self._context,
                                   fault_plan=config.fault_plan,
-                                  config=config, tracer=self.tracer)
+                                  config=config, tracer=self.tracer,
+                                  checker=self.checker)
         self._procs: list[multiprocessing.Process] = []
         self._monitor_stop = threading.Event()
         self._monitor: Optional[threading.Thread] = None
@@ -680,6 +717,26 @@ class MpFabric(Fabric):
                 continue
             spans.extend(Span.from_dict(d) for d in dicts)
         return spans
+
+    def race_reports(self) -> list[dict]:
+        """Driver reports + every reachable machine's reports.
+
+        Method executions all happen on the machines, so nearly every
+        report comes from there; gather before closing the cluster
+        (reports die with their process, like spans).
+        """
+        reports = super().race_reports()
+        check = self.config.check
+        if check is None or not check.race_detect or self._closed:
+            return reports
+        for machine in range(self.machine_count):
+            if self.machine_down(machine):
+                continue
+            try:
+                reports.extend(self.kernel_call(machine, "take_race_reports"))
+            except MachineDownError:
+                continue
+        return reports
 
     def metrics(self) -> dict:
         """Per-process metrics: driver plus each machine (by kernel call).

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
+from ..check.checker import make_checker
 from ..config import Config
 from ..errors import MachineDownError, SerializationError, SimulationError
 from ..obs.tracer import make_tracer
@@ -145,9 +146,11 @@ class _SimMachine:
         self.kernel = SimKernel(machine_id, self.table, fabric.engine)
         self.hooks = SimCostHooks(fabric, machine_id)
         self.kernel.tracer = fabric.tracer
+        self.kernel.checker = fabric.checker
         self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
                                      fabric, hooks=self.hooks,
-                                     tracer=fabric.tracer)
+                                     tracer=fabric.tracer,
+                                     checker=fabric.checker)
 
 
 class SimFabric(Fabric):
@@ -156,12 +159,18 @@ class SimFabric(Fabric):
     def __init__(self, config: Config) -> None:
         super().__init__(config)
         self.trace = TraceLog(enabled=True)
-        self.engine = Engine(trace=None)
+        # Schedule exploration: a seed perturbs the pop order of
+        # same-instant events (see repro.check.explore).
+        self.engine = Engine(
+            trace=None,
+            schedule_seed=(config.check.schedule_seed
+                           if config.check is not None else None))
         # Spans carry *simulated* timestamps: the tracer's clock is the
         # event engine's, so an exported trace shows the modeled
         # overlap, not the wall-clock cost of computing it.
         self.tracer = make_tracer(config, node=-1,
                                   clock=lambda: self.engine.now)
+        self.checker = make_checker(config, node=-1)
         self.network = SimNetwork(self.engine, config.n_machines,
                                   config.network, config.disk)
         self._machines = [_SimMachine(i, self) for i in range(config.n_machines)]
@@ -240,17 +249,21 @@ class SimFabric(Fabric):
         if cpu > 0:
             self._cpu_wait(src, cpu)
 
+        checker = self.checker
         req_wire = self._wire_bytes(args) + self._wire_bytes(kwargs)
         (copied_args, copied_kwargs), _ = self._copy((args, kwargs), dst)
         request = Request(request_id=self._request_ids.next(),
                           object_id=ref.oid, method=method,
                           args=copied_args, kwargs=copied_kwargs,
                           oneway=oneway, caller=src,
-                          span=None if span is None else span.span_id)
+                          span=None if span is None else span.span_id,
+                          clock=None if checker is None else checker.on_send())
         self.trace.record(self.engine.now, "call", src, dst=dst,
                           method=method, oid=ref.oid, nbytes=req_wire)
 
         future = None if oneway else SimRemoteFuture(self.engine, label=label)
+        if future is not None and checker is not None:
+            future._consume_hook = checker.on_consume
 
         if span is not None:
             span.t_sent = self.engine.now
@@ -356,6 +369,7 @@ class SimFabric(Fabric):
         reply = machine.dispatcher.execute(request)
         if future is None:
             return
+        future._check_clock = reply.clock
         if isinstance(reply, ErrorResponse):
             exc = exception_from_error(reply)
             value, resp_wire = None, MESSAGE_OVERHEAD_BYTES

@@ -1,0 +1,72 @@
+"""repro.check — the correctness harness (see ``docs/CHECKING.md``).
+
+Three legs, one goal: the object-process model's semantics must hold
+under *any* legal schedule, on *every* backend.
+
+Schedule exploration (:func:`explore`)
+    Re-runs a sim program under N seeded perturbations of same-instant
+    event order and diffs outcome digests; a divergent seed replays the
+    failing schedule deterministically (``python -m repro.check replay
+    --seed N``).
+
+Race detection (``Config(check=CheckConfig(race_detect=True))``)
+    Vector clocks ride every call/reply; a :class:`RaceDetector` on
+    each hosting process flags causally-unordered conflicting method
+    pairs.  Drain reports with ``cluster.race_reports()``.
+
+Conformance (:func:`conformance`)
+    Runs one program spec against inline, sim, and mp and diffs return
+    values, raised error types, and placement invariants — the "three
+    backends, one semantics" contract, executable.
+
+CLI: ``python -m repro.check explore --seeds 20`` /
+``... replay --seed N`` / ``... conform``.
+"""
+
+from ..config import CheckConfig
+from .checker import Checker, make_checker
+from .conformance import (
+    ALL_BACKENDS,
+    ConformanceReport,
+    Outcome,
+    conformance,
+    run_program,
+)
+from .detector import Access, RaceDetector, RaceReport, readonly
+from .explore import (
+    ZERO_COST_NETWORK,
+    ExploreReport,
+    ScheduleRun,
+    canonical_repr,
+    digest_of,
+    explore,
+    run_schedule,
+)
+from .vclock import ClockDomain, TaskClock, compare, concurrent, happens_before
+
+__all__ = [
+    "CheckConfig",
+    "Checker",
+    "make_checker",
+    "ALL_BACKENDS",
+    "ConformanceReport",
+    "Outcome",
+    "conformance",
+    "run_program",
+    "Access",
+    "RaceDetector",
+    "RaceReport",
+    "readonly",
+    "ZERO_COST_NETWORK",
+    "ExploreReport",
+    "ScheduleRun",
+    "canonical_repr",
+    "digest_of",
+    "explore",
+    "run_schedule",
+    "ClockDomain",
+    "TaskClock",
+    "compare",
+    "concurrent",
+    "happens_before",
+]

@@ -1,0 +1,108 @@
+"""CLI for the correctness harness.
+
+::
+
+    python -m repro.check explore --seeds 20            # hunt schedules
+    python -m repro.check replay  --seed 7              # replay one
+    python -m repro.check conform                       # diff backends
+
+The default program is the bundled racy example
+(:func:`repro.check.examples.racy_increments`); pass
+``--program module:function`` to check your own.  Exit status is 0 when
+nothing diverged and 1 otherwise, so the commands slot into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import sys
+from typing import Callable
+
+DEFAULT_PROGRAM = "repro.check.examples:racy_increments"
+
+
+def resolve_program(spec: str) -> Callable:
+    module_name, sep, func_name = spec.partition(":")
+    if not sep:
+        raise SystemExit(
+            f"bad --program {spec!r}: expected module:function")
+    module = importlib.import_module(module_name)
+    try:
+        return getattr(module, func_name)
+    except AttributeError:
+        raise SystemExit(
+            f"bad --program {spec!r}: {module_name} has no "
+            f"attribute {func_name!r}") from None
+
+
+def cmd_explore(args) -> int:
+    from .explore import explore
+
+    program = resolve_program(args.program)
+    report = explore(program, args.seeds, n_machines=args.machines,
+                     race_detect=args.races, program_name=args.program)
+    print(report.summary())
+    return 1 if report.divergent else 0
+
+
+def cmd_replay(args) -> int:
+    from .explore import run_schedule
+
+    program = resolve_program(args.program)
+    run = run_schedule(program, args.seed, n_machines=args.machines,
+                       race_detect=args.races)
+    print(run.describe())
+    for race in run.races:
+        print(f"  race: {race['kind']} on {race['class']}"
+              f"#{race['object_id']} (machine {race['machine']}): "
+              f"{race['first']['method']} vs {race['second']['method']}")
+    return 0
+
+
+def cmd_conform(args) -> int:
+    from .conformance import conformance
+
+    program = resolve_program(args.program)
+    report = conformance(program, n_machines=args.machines)
+    print(report.summary())
+    return 0 if report.consistent else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="schedule exploration, race detection, conformance")
+    parser.add_argument("--program", default=DEFAULT_PROGRAM,
+                        help="program spec module:function "
+                             f"(default {DEFAULT_PROGRAM})")
+    parser.add_argument("--machines", type=int, default=3,
+                        help="cluster size (default 3)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_explore = sub.add_parser("explore",
+                               help="run N seeded schedules, diff digests")
+    p_explore.add_argument("--seeds", type=int, default=20,
+                           help="number of schedules (default 20)")
+    p_explore.add_argument("--races", action="store_true",
+                           help="also run the race detector per schedule")
+    p_explore.set_defaults(fn=cmd_explore)
+
+    p_replay = sub.add_parser("replay",
+                              help="deterministically replay one schedule")
+    p_replay.add_argument("--seed", type=int, required=True,
+                          help="schedule seed to replay")
+    p_replay.add_argument("--races", action="store_true",
+                          help="also run the race detector")
+    p_replay.set_defaults(fn=cmd_replay)
+
+    p_conform = sub.add_parser("conform",
+                               help="run on every backend, diff outcomes")
+    p_conform.set_defaults(fn=cmd_conform)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

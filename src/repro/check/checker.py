@@ -1,0 +1,142 @@
+"""Per-process clock propagation + race recording.
+
+One :class:`Checker` lives in each process that issues or serves remote
+calls when ``Config(check=CheckConfig(race_detect=True))`` is set: the
+driver fabric owns one, and (on the mp backend) every machine process
+owns its own, created in the worker from the shipped config.  Mirrors
+the tracer's layout — and like the tracer, with ``Config(check=None)``
+(the default) no checker exists at all and every instrumentation site
+is a single ``is None`` test.
+
+The current task's clock travels in a :mod:`contextvars` variable: the
+dispatcher scopes each method execution's task around the body, so
+remote calls issued *from inside* the body tick and ship that task's
+clock.  Threads with no scoped task (the driver program) share the
+process *root task*.
+
+All clock mutation funnels through one lock: the root task is touched
+both by the driver thread and — via the merge-only consume hook on
+futures — by whatever thread happens to observe a completion first
+(tracer done-callbacks consume futures on mp demux threads).  A merge
+is idempotent and monotone, so a merge attributed to the root task from
+a "wrong" thread can only make the root clock *later*, never invent a
+happens-before edge that lets a real race hide.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Optional
+
+from .detector import Access, RaceDetector, is_read
+from .vclock import ClockDomain, TaskClock
+
+#: clock of the task currently executing on this thread/context.
+_current_task: ContextVar[Optional[TaskClock]] = ContextVar(
+    "oopp_current_task", default=None)
+
+
+class Checker:
+    """Vector-clock domain + race detector for one process."""
+
+    def __init__(self, node: int, *, max_accesses_per_object: int = 64,
+                 max_reports: int = 1000) -> None:
+        self.node = node
+        self.domain = ClockDomain(node)
+        self.detector = RaceDetector(
+            max_accesses_per_object=max_accesses_per_object,
+            max_reports=max_reports)
+        self._lock = threading.RLock()
+        #: the driver program (or any unscoped thread) is one task.
+        self._root = self.domain.new_task()
+
+    def _task(self) -> TaskClock:
+        return _current_task.get() or self._root
+
+    # -- client side --------------------------------------------------------
+
+    def on_send(self) -> dict:
+        """Tick the current task; snapshot to ship on the request."""
+        with self._lock:
+            return self._task().tick()
+
+    def on_consume(self, snapshot: Optional[dict]) -> None:
+        """Merge a reply's clock into the current task.
+
+        Merge-only and idempotent: a future may be consumed many times,
+        from any thread; only waiting on the reply creates the edge, so
+        no tick happens here.
+        """
+        if not snapshot:
+            return
+        with self._lock:
+            self._task().merge(snapshot)
+
+    # -- server side --------------------------------------------------------
+
+    def begin_execution(self, request) -> TaskClock:
+        """New task for one method execution, causally after the send."""
+        with self._lock:
+            task = self.domain.new_task(getattr(request, "clock", None))
+            task.tick()
+            return task
+
+    def end_execution(self, task: TaskClock) -> dict:
+        """Final snapshot of an execution, to ship on the reply."""
+        with self._lock:
+            return task.tick()
+
+    @contextmanager
+    def scope(self, task: TaskClock):
+        """Make *task* the current task for the enclosed method body."""
+        token = _current_task.set(task)
+        try:
+            yield task
+        finally:
+            _current_task.reset(token)
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, request, instance, *, machine: int) -> None:
+        """Record the current execution as one access to *instance*."""
+        with self._lock:
+            task = self._task()
+            access = Access(
+                object_id=request.object_id,
+                method=request.method,
+                is_write=not is_read(instance, request.method),
+                clock=task.snapshot(),
+                component=task.component,
+                machine=machine,
+                caller=request.caller,
+                request_id=request.request_id,
+            )
+        self.detector.record(instance, access)
+
+    def forget(self, machine: int, object_id: int) -> None:
+        self.detector.forget(machine, object_id)
+
+    # -- collection ---------------------------------------------------------
+
+    def reports(self) -> list:
+        return self.detector.reports()
+
+    def take_reports(self) -> list[dict]:
+        """Drain race reports as plain dicts (the kernel gather path)."""
+        return self.detector.take_reports()
+
+
+def make_checker(config, node: int) -> Optional[Checker]:
+    """A checker per ``config.check``, or ``None`` when detection is off.
+
+    ``schedule_seed`` alone does not need a checker — it lives in the
+    sim engine; only ``race_detect=True`` pays for clock propagation.
+    """
+    check = getattr(config, "check", None)
+    if check is None or not check.race_detect:
+        return None
+    return Checker(node,
+                   max_accesses_per_object=check.max_accesses_per_object,
+                   max_reports=check.max_reports)

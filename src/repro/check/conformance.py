@@ -1,0 +1,132 @@
+"""Cross-backend conformance: one program, three backends, one outcome.
+
+The repo's standing promise is that ``inline``, ``sim`` and ``mp`` are
+*the same machine* at the semantic level — a program sees identical
+results, identical raised exception types, and the same objects end up
+hosted on the same machines.  :func:`conformance` turns that promise
+into an executable contract: it runs a program spec (``fn(cluster) ->
+result``, see :mod:`repro.check.examples`) once per backend and diffs
+the observable outcomes.
+
+What is compared:
+
+* the program's return value (canonical structural repr);
+* a raised exception's type name and message (remote errors re-raise
+  the original type on every backend when it pickles — the paper's
+  transparency claim — so the types must agree);
+* per-machine hosted-object counts from ``cluster.stats()`` (the
+  placement-visible invariant; call counts are *not* compared — the mp
+  backend serves bootstrap traffic like ``set_peers`` that the
+  in-process backends never see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..config import Config
+from .explore import canonical_repr, digest_of
+
+#: the three implementations of the one semantics.
+ALL_BACKENDS = ("inline", "sim", "mp")
+
+
+@dataclass
+class Outcome:
+    """Observable outcome of one program run on one backend."""
+
+    backend: str
+    result_repr: Optional[str] = None
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    #: hosted (non-kernel) object count per machine, post-program.
+    objects_per_machine: list = field(default_factory=list)
+
+    @property
+    def digest(self) -> str:
+        return digest_of(
+            self.result_repr or "",
+            self.error_type or "",
+            self.error_message or "",
+            canonical_repr(self.objects_per_machine),
+        )
+
+    def describe(self) -> str:
+        outcome = (f"raised {self.error_type}: {self.error_message}"
+                   if self.error_type else f"returned {self.result_repr}")
+        return (f"{self.backend}: {outcome}, "
+                f"objects/machine={self.objects_per_machine}")
+
+
+@dataclass
+class ConformanceReport:
+    """Outcome diff across backends."""
+
+    outcomes: list = field(default_factory=list)
+    program_name: str = ""
+
+    @property
+    def consistent(self) -> bool:
+        return len({o.digest for o in self.outcomes}) <= 1
+
+    def diffs(self) -> list[str]:
+        """Human-readable field-level differences (empty if consistent)."""
+        if self.consistent or not self.outcomes:
+            return []
+        out: list[str] = []
+        ref = self.outcomes[0]
+        for other in self.outcomes[1:]:
+            for attr in ("result_repr", "error_type", "error_message",
+                         "objects_per_machine"):
+                a, b = getattr(ref, attr), getattr(other, attr)
+                if a != b:
+                    out.append(f"{attr}: {ref.backend}={a!r} "
+                               f"{other.backend}={b!r}")
+        return out
+
+    def summary(self) -> str:
+        lines = [f"conformance of {self.program_name or '<program>'}:"]
+        lines += [f"  {o.describe()}" for o in self.outcomes]
+        if self.consistent:
+            lines.append("CONSISTENT: all backends agree")
+        else:
+            lines.append("DIVERGENT:")
+            lines += [f"  {d}" for d in self.diffs()]
+        return "\n".join(lines)
+
+
+def run_program(program: Callable, backend: str, *, n_machines: int = 3,
+                **config_kwargs) -> Outcome:
+    """Run *program* once on *backend* and capture its outcome."""
+    from ..runtime.cluster import Cluster
+
+    config = Config(n_machines=n_machines, backend=backend, **config_kwargs)
+    outcome = Outcome(backend=backend)
+    with Cluster(config=config) as cluster:
+        try:
+            result = program(cluster)
+        except Exception as exc:  # noqa: BLE001 - the outcome IS the data
+            outcome.error_type = type(exc).__name__
+            outcome.error_message = str(exc)
+        else:
+            outcome.result_repr = canonical_repr(result)
+        if backend == "sim":
+            cluster.fabric.drain()
+        outcome.objects_per_machine = [
+            s["objects"] for s in cluster.stats()]
+    return outcome
+
+
+def conformance(program: Callable, *,
+                backends: Sequence[str] = ALL_BACKENDS,
+                n_machines: int = 3,
+                **config_kwargs) -> ConformanceReport:
+    """Run *program* on every backend and diff observable outcomes."""
+    report = ConformanceReport(
+        program_name=(getattr(program, "__module__", "")
+                      + ":" + getattr(program, "__qualname__", "")))
+    for backend in backends:
+        report.outcomes.append(run_program(
+            program, backend, n_machines=n_machines, **config_kwargs))
+    return report

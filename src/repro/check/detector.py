@@ -1,0 +1,217 @@
+"""Happens-before race detection over recorded method accesses.
+
+Every method execution on a machine is one *access* to its target
+object, stamped with the executing task's vector-clock snapshot.  Two
+accesses to the same object **conflict** when at least one of them is a
+write; a conflicting pair whose clocks are causally incomparable is a
+**race** — there exists a legal schedule in which they execute in the
+other order, so the program's outcome depends on a tiebreak the paper's
+model leaves unspecified.
+
+Classification is conservative: a method is a *read* only when it is
+declared side-effect-free (``__oopp_readonly__``, or the implicitly
+idempotent dunder reads used by ``remote_getattr``); everything else —
+including ``__oopp_idempotent__`` methods, which are safe to *retry*
+but still mutate — counts as a write.
+
+The detector is per-machine and that is complete: an object lives on
+exactly one machine and every access to it executes there, so no
+cross-machine pairing is ever missed.  History per object is bounded
+(``CheckConfig.max_accesses_per_object``); eviction is FIFO, which can
+only lose *old* pairings, never invent one.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from .vclock import concurrent
+
+#: the kernel object (oid 0) — create/destroy/quiesce bookkeeping is
+#: framework-internal and intentionally pipelined; never a user race.
+KERNEL_OID = 0
+
+#: methods treated as reads without an explicit ``__oopp_readonly__``
+#: marker: the attribute-read path and common introspection.
+IMPLICIT_READS = frozenset({
+    "__oopp_getattr__",
+    "__oopp_protocol__",
+    "__repr__",
+    "__len__",
+})
+
+#: framework-internal methods never recorded (mirrors the obs layer's
+#: internal-method skip so telemetry cannot self-report races).
+INTERNAL_METHODS = frozenset({
+    "take_spans",
+    "take_race_reports",
+    "obs_metrics",
+    "set_peers",
+})
+
+
+def is_read(obj: object, method: str) -> bool:
+    """True when *method* is declared side-effect-free on *obj*'s class."""
+    if method in IMPLICIT_READS:
+        return True
+    fn = getattr(type(obj), method, None)
+    return bool(getattr(fn, "__oopp_readonly__", False))
+
+
+def readonly(fn):
+    """Decorator declaring a remote method side-effect-free.
+
+    Read-read pairs on the same object are never races, so marking
+    genuine reads keeps race reports focused on real write conflicts::
+
+        class Device:
+            @oopp.readonly
+            def read(self, index): ...
+    """
+    fn.__oopp_readonly__ = True
+    return fn
+
+
+class Access:
+    """One recorded method execution against one object."""
+
+    __slots__ = ("object_id", "method", "is_write", "clock", "component",
+                 "machine", "caller", "request_id")
+
+    def __init__(self, object_id: int, method: str, is_write: bool,
+                 clock: dict, component: int, machine: int,
+                 caller: int, request_id: int) -> None:
+        self.object_id = object_id
+        self.method = method
+        self.is_write = is_write
+        self.clock = clock
+        self.component = component
+        self.machine = machine
+        self.caller = caller
+        self.request_id = request_id
+
+    def brief(self) -> dict:
+        return {
+            "method": self.method,
+            "write": self.is_write,
+            "machine": self.machine,
+            "caller": self.caller,
+            "request_id": self.request_id,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        kind = "W" if self.is_write else "R"
+        return (f"<Access {kind} oid={self.object_id} {self.method} "
+                f"m{self.machine} from {self.caller}>")
+
+
+class RaceReport:
+    """A pair of conflicting, causally-unordered accesses."""
+
+    __slots__ = ("object_id", "cls", "first", "second")
+
+    def __init__(self, object_id: int, cls: str,
+                 first: Access, second: Access) -> None:
+        self.object_id = object_id
+        self.cls = cls
+        self.first = first
+        self.second = second
+
+    @property
+    def kind(self) -> str:
+        if self.first.is_write and self.second.is_write:
+            return "write-write"
+        return "read-write"
+
+    def to_dict(self) -> dict:
+        return {
+            "machine": self.first.machine,
+            "object_id": self.object_id,
+            "class": self.cls,
+            "kind": self.kind,
+            "first": self.first.brief(),
+            "second": self.second.brief(),
+        }
+
+    def describe(self) -> str:
+        a, b = self.first, self.second
+        return (f"{self.kind} race on {self.cls}#{self.object_id} "
+                f"(machine {a.machine}): "
+                f"{a.method}() [caller {a.caller}] is concurrent with "
+                f"{b.method}() [caller {b.caller}]")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RaceReport {self.describe()}>"
+
+
+class RaceDetector:
+    """Pairs each new access against the object's bounded history.
+
+    Thread-safe: mp machines execute requests on worker threads.
+    Duplicate pairs (same request-id pair, either order) are reported
+    once.
+    """
+
+    def __init__(self, max_accesses_per_object: int = 64,
+                 max_reports: int = 1000) -> None:
+        self.max_accesses_per_object = max_accesses_per_object
+        self.max_reports = max_reports
+        self.dropped = 0
+        #: (hosting machine, oid) -> recent accesses.  Both halves are
+        #: needed: oids are per-machine, so oid 1 on machine 0 and oid 1
+        #: on machine 1 are different objects even though the sim and
+        #: inline backends record them through one shared detector.
+        self._history: dict[tuple[int, int], list[Access]] = {}
+        self._reports: list[RaceReport] = []
+        self._seen_pairs: set = set()
+        self._lock = threading.Lock()
+
+    def record(self, obj: object, access: Access) -> None:
+        if access.object_id == KERNEL_OID:
+            return
+        if access.method in INTERNAL_METHODS:
+            return
+        cls = type(obj).__name__
+        with self._lock:
+            history = self._history.setdefault(
+                (access.machine, access.object_id), [])
+            for prior in history:
+                if not (prior.is_write or access.is_write):
+                    continue  # read-read never conflicts
+                if not concurrent(prior.clock, access.clock):
+                    continue
+                # keyed by execution-task component, which is unique per
+                # execution process-wide (request ids are per-caller and
+                # may collide across callers)
+                pair = (min(prior.component, access.component),
+                        max(prior.component, access.component),
+                        access.machine, access.object_id)
+                if pair in self._seen_pairs:
+                    continue
+                self._seen_pairs.add(pair)
+                if len(self._reports) >= self.max_reports:
+                    self.dropped += 1
+                    continue
+                self._reports.append(
+                    RaceReport(access.object_id, cls, prior, access))
+            history.append(access)
+            if len(history) > self.max_accesses_per_object:
+                del history[0]
+
+    def forget(self, machine: int, object_id: int) -> None:
+        """Drop history for a destroyed object (its oid may be reused)."""
+        with self._lock:
+            self._history.pop((machine, object_id), None)
+
+    def reports(self) -> list:
+        with self._lock:
+            return list(self._reports)
+
+    def take_reports(self) -> list:
+        """Drain accumulated reports (serializable dicts)."""
+        with self._lock:
+            out = [r.to_dict() for r in self._reports]
+            self._reports.clear()
+            self._seen_pairs.clear()
+            return out

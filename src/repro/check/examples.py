@@ -1,0 +1,87 @@
+"""Bundled example programs for the correctness harness.
+
+A *program* is a plain function ``fn(cluster) -> result`` — it receives
+an open :class:`~repro.runtime.cluster.Cluster` and returns whatever
+outcome should be compared across schedules (:func:`repro.check.explore`)
+or across backends (:func:`repro.check.conformance`).  The classes here
+are module-level so mp machine processes can import them.
+
+:func:`racy_increments` is the canonical interleaving bug: two objects
+perform an unsynchronized read-modify-write on a third via pipelined
+calls.  Under one schedule both increments land (counter == 2); under
+another the second ``get`` runs before the first ``set`` and one update
+is lost (counter == 1).  The strict ``(time, seq)`` order of the sim
+engine always picks *one* of these — only schedule exploration shows
+the other exists.
+"""
+
+from __future__ import annotations
+
+from .detector import readonly
+
+
+class SharedCounter:
+    """A counter mutated by multiple remote callers."""
+
+    def __init__(self) -> None:
+        self.n = 0
+
+    @readonly
+    def get(self) -> int:
+        return self.n
+
+    def set(self, value: int) -> None:
+        self.n = value
+
+    def add(self, delta: int) -> int:
+        """Atomic increment: one method execution, no lost update."""
+        self.n += delta
+        return self.n
+
+
+class Bumper:
+    """Increments a counter the *wrong* way: get-then-set.
+
+    The read and the write are two separate remote calls, so another
+    Bumper's write can land between them — the textbook lost update.
+    """
+
+    def bump(self, counter) -> int:
+        value = counter.get()
+        counter.set(value + 1)
+        return value + 1
+
+
+def racy_increments(cluster):
+    """Two Bumpers race a get-then-set against one SharedCounter."""
+    from ..runtime import wait_all
+
+    counter = cluster.on(0).new(SharedCounter)
+    bumpers = [cluster.on(m).new(Bumper) for m in (1, 2)]
+    futures = [b.bump.future(counter) for b in bumpers]
+    wait_all(futures)
+    return counter.get()
+
+
+def safe_increments(cluster):
+    """The same workload, race-free: each bump is consumed before the
+    next is issued, so the replies order the read-modify-writes."""
+    counter = cluster.on(0).new(SharedCounter)
+    bumpers = [cluster.on(m).new(Bumper) for m in (1, 2)]
+    for b in bumpers:
+        b.bump(counter)
+    return counter.get()
+
+
+def atomic_increments(cluster):
+    """Outcome-stable but still *flagged*: the read-modify-write is one
+    method, so pipelining cannot lose an update and every schedule
+    digests identically — yet the pipelined ``add`` executions are
+    causally unordered writes, and the race detector reports them
+    (commutativity is invisible to a vector clock)."""
+    from ..runtime import wait_all
+
+    counter = cluster.on(0).new(SharedCounter)
+    futures = [counter.add.future(1) for _ in range(4)]
+    wait_all(futures)
+    return counter.get()

@@ -1,0 +1,221 @@
+"""Schedule exploration: run one sim program under many legal schedules.
+
+The sim engine fires same-instant events in ``(time, seq)`` order —
+deterministic, but only *one* of the schedules the object-process model
+allows.  :func:`explore` re-runs a program under N seeded perturbations
+of that tiebreak (see ``Engine(schedule_seed=...)``) and compares a
+digest of each run's observable outcome: the program's result, any
+raised exception, and (optionally) the final state of every hosted
+object.  A digest that differs between seeds is an interleaving bug —
+and because each seed names one deterministic schedule, the failure
+replays exactly::
+
+    python -m repro.check replay --seed 7
+
+By default exploration runs on a *zero-cost* network (zero latency,
+infinite bandwidth, zero per-message CPU), which lands every message
+arrival on the same simulated instant — the adversarial case where the
+tiebreak decides everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..config import CheckConfig, Config, NetworkModel
+from ..transport.message import KERNEL_OID
+
+#: every message arrives "now": maximal same-instant contention.
+ZERO_COST_NETWORK = NetworkModel(latency_s=0.0,
+                                 bandwidth_Bps=float("inf"),
+                                 per_message_cpu_s=0.0)
+
+
+def canonical_repr(value) -> str:
+    """Deterministic structural repr: dict keys sorted, sets sorted."""
+    if isinstance(value, dict):
+        items = ", ".join(
+            f"{canonical_repr(k)}: {canonical_repr(value[k])}"
+            for k in sorted(value, key=repr))
+        return "{" + items + "}"
+    if isinstance(value, (list, tuple)):
+        items = ", ".join(canonical_repr(v) for v in value)
+        return ("[" + items + "]" if isinstance(value, list)
+                else "(" + items + ")")
+    if isinstance(value, (set, frozenset)):
+        return "{" + ", ".join(sorted(canonical_repr(v) for v in value)) + "}"
+    return repr(value)
+
+
+def digest_of(*parts: str) -> str:
+    h = hashlib.sha256()
+    for part in parts:
+        h.update(part.encode("utf-8", "backslashreplace"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def _object_state(instance) -> str:
+    getter = getattr(instance, "__getstate__", None)
+    state = getter() if callable(getter) else vars(instance)
+    return canonical_repr(state)
+
+
+def cluster_state(cluster) -> dict:
+    """Canonical snapshot of every hosted object, keyed ``m<k>#<oid>``.
+
+    Sim/inline only (direct table access); used for the final-state leg
+    of the schedule digest.
+    """
+    fabric = cluster.fabric
+    out: dict[str, str] = {}
+    for machine in range(fabric.machine_count):
+        table = fabric.table_of(machine)
+        for oid in table.oids():
+            if oid == KERNEL_OID:
+                continue
+            instance = table.get(oid)
+            out[f"m{machine}#{oid}"] = (
+                f"{type(instance).__name__} {_object_state(instance)}")
+    return out
+
+
+@dataclass
+class ScheduleRun:
+    """Outcome of one program run under one schedule seed."""
+
+    seed: Optional[int]
+    result_repr: Optional[str] = None
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    state: dict = field(default_factory=dict)
+    races: list = field(default_factory=list)
+
+    @property
+    def digest(self) -> str:
+        return digest_of(
+            self.result_repr or "",
+            self.error_type or "",
+            self.error_message or "",
+            canonical_repr(self.state),
+        )
+
+    def describe(self) -> str:
+        outcome = (f"raised {self.error_type}: {self.error_message}"
+                   if self.error_type else f"returned {self.result_repr}")
+        return f"seed={self.seed} {outcome} digest={self.digest[:12]}"
+
+
+@dataclass
+class ExploreReport:
+    """What :func:`explore` found across all schedules."""
+
+    runs: list = field(default_factory=list)
+    program_name: str = ""
+
+    @property
+    def digests(self) -> dict:
+        """digest -> list of seeds that produced it."""
+        out: dict[str, list] = {}
+        for run in self.runs:
+            out.setdefault(run.digest, []).append(run.seed)
+        return out
+
+    @property
+    def divergent(self) -> bool:
+        return len(self.digests) > 1
+
+    @property
+    def divergent_seeds(self) -> list:
+        """Seeds whose outcome differs from the most common one."""
+        groups = sorted(self.digests.values(), key=len, reverse=True)
+        return sorted(s for g in groups[1:] for s in g if s is not None)
+
+    @property
+    def races(self) -> list:
+        return [r for run in self.runs for r in run.races]
+
+    def replay_command(self, seed: int) -> str:
+        prog = f" --program {self.program_name}" if self.program_name else ""
+        return f"python -m repro.check replay --seed {seed}{prog}"
+
+    def summary(self) -> str:
+        lines = [f"explored {len(self.runs)} schedules: "
+                 f"{len(self.digests)} distinct outcome(s)"]
+        for digest, seeds in self.digests.items():
+            sample = next(r for r in self.runs if r.digest == digest)
+            outcome = (f"raised {sample.error_type}" if sample.error_type
+                       else f"returned {sample.result_repr}")
+            lines.append(f"  {digest[:12]}  seeds {seeds}  {outcome}")
+        if self.divergent:
+            seed = self.divergent_seeds[0]
+            lines.append("DIVERGENCE: schedule order changes the outcome.")
+            lines.append(f"  replay deterministically with: "
+                         f"{self.replay_command(seed)}")
+        else:
+            lines.append("no divergence observed")
+        if self.races:
+            lines.append(f"  race detector flagged {len(self.races)} "
+                         f"unordered conflicting pair(s)")
+        return "\n".join(lines)
+
+
+def run_schedule(program: Callable, seed: Optional[int], *,
+                 n_machines: int = 3,
+                 network: Optional[NetworkModel] = None,
+                 race_detect: bool = False,
+                 capture_state: bool = True,
+                 **config_kwargs) -> ScheduleRun:
+    """Run *program* once on a sim cluster under one schedule seed."""
+    from ..runtime.cluster import Cluster
+
+    config = Config(
+        n_machines=n_machines, backend="sim",
+        network=network if network is not None else ZERO_COST_NETWORK,
+        check=CheckConfig(schedule_seed=seed, race_detect=race_detect),
+        **config_kwargs)
+    run = ScheduleRun(seed=seed)
+    with Cluster(config=config) as cluster:
+        try:
+            result = program(cluster)
+        except Exception as exc:  # noqa: BLE001 - the outcome IS the data
+            run.error_type = type(exc).__name__
+            run.error_message = str(exc)
+        else:
+            run.result_repr = canonical_repr(result)
+        cluster.fabric.drain()  # let in-flight oneway traffic finish
+        if capture_state:
+            run.state = cluster_state(cluster)
+        if race_detect:
+            run.races = cluster.race_reports()
+    return run
+
+
+def explore(program: Callable, n_schedules: int = 20, *,
+            seeds: Optional[Sequence[int]] = None,
+            n_machines: int = 3,
+            network: Optional[NetworkModel] = None,
+            race_detect: bool = False,
+            capture_state: bool = True,
+            program_name: str = "",
+            **config_kwargs) -> ExploreReport:
+    """Run *program* under *n_schedules* seeds and diff the outcomes.
+
+    Seed 1..N by default (pass *seeds* to pin them); the unperturbed
+    historical ``(time, seq)`` order is always included as seed
+    ``None``, so a divergence against the default schedule is caught
+    even when all perturbed schedules happen to agree with each other.
+    """
+    if seeds is None:
+        seeds = range(1, n_schedules + 1)
+    report = ExploreReport(program_name=program_name
+                           or getattr(program, "__module__", "")
+                           + ":" + getattr(program, "__qualname__", ""))
+    for seed in [None, *seeds]:
+        report.runs.append(run_schedule(
+            program, seed, n_machines=n_machines, network=network,
+            race_detect=race_detect, capture_state=capture_state,
+            **config_kwargs))
+    return report

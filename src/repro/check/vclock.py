@@ -1,0 +1,129 @@
+"""Vector clocks for the object-process model.
+
+The paper's semantics must hold under *any* schedule of the concurrent
+client–server method executions.  To decide whether two executions were
+actually ordered, every *task* — the driver program, and each method
+execution on a machine — carries a vector clock:
+
+* a **send** ticks the sender's component and ships a snapshot on the
+  request (riding the ``KIND_CALL`` tail exactly like trace span ids);
+* an **execution** starts as a fresh task whose clock merges the
+  request's snapshot (the message edge request→execution);
+* the **reply** carries the execution's final snapshot back, and the
+  caller merges it when it *consumes* the future (the message edge
+  execution→reply-receipt).  A caller that never waits on a future
+  never acquires that edge — which is precisely what makes pipelined
+  conflicting calls concurrent.
+
+Components are identified per task, not per machine: two method bodies
+executing concurrently on one machine must stay incomparable.  Ids are
+salted with the owning node id (driver = -1 → salt 1, machine *k* →
+``k + 2``), the same scheme the tracer uses for span ids, so clocks
+minted on different processes merge without collisions.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+#: ordering verdicts of :func:`compare`.
+BEFORE = "before"          # a happens-before b
+AFTER = "after"            # b happens-before a
+EQUAL = "equal"
+CONCURRENT = "concurrent"  # no happens-before path either way
+
+
+def compare(a: dict, b: dict) -> str:
+    """Causal order of two clock snapshots (plain ``{component: count}``)."""
+    a_le_b = all(count <= b.get(comp, 0) for comp, count in a.items())
+    b_le_a = all(count <= a.get(comp, 0) for comp, count in b.items())
+    if a_le_b and b_le_a:
+        return EQUAL
+    if a_le_b:
+        return BEFORE
+    if b_le_a:
+        return AFTER
+    return CONCURRENT
+
+
+def happens_before(a: dict, b: dict) -> bool:
+    return compare(a, b) == BEFORE
+
+
+def concurrent(a: dict, b: dict) -> bool:
+    return compare(a, b) == CONCURRENT
+
+
+def merge(a: dict, b: dict) -> dict:
+    """Component-wise maximum of two snapshots (new dict)."""
+    out = dict(a)
+    for comp, count in b.items():
+        if count > out.get(comp, 0):
+            out[comp] = count
+    return out
+
+
+class TaskClock:
+    """The mutable clock of one sequential task.
+
+    Not thread-safe by design: a task is a single thread of control
+    (the driver program between waits, or one method execution), so all
+    mutation happens from that thread.  Snapshots handed to the wire
+    are copies.
+    """
+
+    __slots__ = ("component", "clock")
+
+    def __init__(self, component: int,
+                 initial: Optional[dict] = None) -> None:
+        self.component = component
+        self.clock: dict = dict(initial) if initial else {}
+
+    def tick(self) -> dict:
+        """Advance this task's own component; returns a snapshot."""
+        self.clock[self.component] = self.clock.get(self.component, 0) + 1
+        return dict(self.clock)
+
+    def merge(self, snapshot: Optional[dict]) -> None:
+        """Fold a received snapshot into this task (component-wise max)."""
+        if not snapshot:
+            return
+        clock = self.clock
+        for comp, count in snapshot.items():
+            if count > clock.get(comp, 0):
+                clock[comp] = count
+
+    def snapshot(self) -> dict:
+        return dict(self.clock)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TaskClock c{self.component} {self.clock}>"
+
+
+class ClockDomain:
+    """Mints process-unique task components for one node.
+
+    Node -1 (the driver) salts to ``1 << 48``, machine *k* to
+    ``(k + 2) << 48`` — matching the tracer's span-id scheme, so a
+    component id also tells you where the task ran.
+    """
+
+    __slots__ = ("node", "_salt", "_next", "_lock")
+
+    def __init__(self, node: int) -> None:
+        self.node = node
+        self._salt = (node + 2) << 48
+        self._next = 0
+        self._lock = threading.Lock()
+
+    def new_task(self, initial: Optional[dict] = None) -> TaskClock:
+        with self._lock:
+            self._next += 1
+            component = self._salt | self._next
+        return TaskClock(component, initial)
+
+
+def component_node(component: int) -> int:
+    """Recover the node id a component was minted on (inverse of salt)."""
+    return (component >> 48) - 2

@@ -160,6 +160,41 @@ class TraceConfig:
             raise ConfigError("trace.max_spans must be >= 1")
 
 
+@dataclass
+class CheckConfig:
+    """The correctness harness (see :mod:`repro.check` / ``docs/CHECKING.md``).
+
+    ``Config(check=CheckConfig(schedule_seed=N))`` perturbs the order in
+    which the sim backend fires *same-instant* events — every seed is one
+    legal schedule of the paper's concurrent object-processes, and
+    :func:`repro.check.explore` sweeps seeds hunting for schedules whose
+    observable outcome diverges.  ``race_detect=True`` attaches vector
+    clocks to every remote call (the clock rides the request/reply tail
+    the way trace span ids do) and reports unordered conflicting method
+    pairs through ``cluster.race_reports()``.  The default
+    ``Config(check=None)`` records nothing and costs one ``is None``
+    test per call.
+    """
+
+    #: perturb same-instant sim event order with this seed; ``None``
+    #: keeps the strict deterministic ``(time, seq)`` order.
+    schedule_seed: int | None = None
+    #: attach vector clocks to calls and run the race detector.
+    race_detect: bool = False
+    #: per-object bound on remembered accesses (older ones are pruned;
+    #: races spanning more than this many intervening accesses on one
+    #: object go unreported).
+    max_accesses_per_object: int = 64
+    #: global bound on retained race reports.
+    max_reports: int = 1000
+
+    def validate(self) -> None:
+        if self.max_accesses_per_object < 2:
+            raise ConfigError("check.max_accesses_per_object must be >= 2")
+        if self.max_reports < 1:
+            raise ConfigError("check.max_reports must be >= 1")
+
+
 #: legacy flat keyword → (nested group, attribute).
 _LEGACY_FIELDS: dict[str, tuple[str, str]] = {
     "wire_coalesce": ("wire", "coalesce"),
@@ -202,6 +237,12 @@ class Config:
     trace:
         :class:`TraceConfig` to record call spans, or ``None`` (default)
         for no tracing.  ``True``/``False`` are accepted as shorthands.
+    check:
+        :class:`CheckConfig` for the correctness harness — seeded
+        same-instant schedule perturbation on the sim backend and
+        vector-clock race detection on every backend — or ``None``
+        (default) for no checking.  ``True``/``False`` are accepted as
+        shorthands (``True`` means ``CheckConfig(race_detect=True)``).
     fault_plan:
         A :class:`~repro.transport.faults.FaultPlan` injecting seeded,
         deterministic faults (drop/delay/corrupt/close) into the mp and
@@ -232,6 +273,9 @@ class Config:
     retry: RetryConfig = field(default_factory=RetryConfig)
     #: span recording; ``None`` = tracing off (see :class:`TraceConfig`).
     trace: TraceConfig | None = None
+    #: correctness harness: schedule exploration + race detection
+    #: (see :class:`CheckConfig`); ``None`` = checking off.
+    check: CheckConfig | None = None
     #: optional :class:`~repro.transport.faults.FaultPlan` (chaos layer).
     fault_plan: object | None = None
     storage_root: str | None = None
@@ -278,7 +322,7 @@ class Config:
             raise ConfigError("n_machines must be >= 1")
         if self.call_timeout_s is not None and self.call_timeout_s <= 0:
             raise ConfigError("call_timeout_s must be positive or None")
-        for group in (self.wire, self.retry, self.trace):
+        for group in (self.wire, self.retry, self.trace, self.check):
             if group is None:
                 continue
             validate = getattr(group, "validate", None)
@@ -354,6 +398,10 @@ def _config_init(self, *args, **kwargs) -> None:
         self.trace = TraceConfig()
     elif self.trace is False:
         self.trace = None
+    if self.check is True:
+        self.check = CheckConfig(race_detect=True)
+    elif self.check is False:
+        self.check = None
 
 
 _config_init.__wrapped__ = _generated_config_init

@@ -78,6 +78,28 @@ def chrome_events(spans: Sequence[_SpanLike]) -> list[dict]:
     return events
 
 
+def race_events(reports: Sequence[dict]) -> list[dict]:
+    """Race reports → Chrome *instant* events (``ph: "i"``).
+
+    Pass the result of ``cluster.race_reports()`` as *extra_events* to
+    :func:`write_chrome` and each flagged pair shows up as a global
+    instant on the hosting machine's row, with the conflicting methods
+    and callers in ``args`` — races land in the same Perfetto view as
+    the call tree that produced them.
+    """
+    events: list[dict] = []
+    for r in reports:
+        machine = r.get("machine", 0)
+        events.append({
+            "ph": "i", "s": "p", "ts": 0.0, "cat": "race",
+            "pid": machine + 1, "tid": 0,
+            "name": (f"{r.get('kind', 'race')} "
+                     f"{r.get('class', '?')}#{r.get('object_id', '?')}"),
+            "args": {"first": r.get("first"), "second": r.get("second")},
+        })
+    return events
+
+
 def write_chrome(spans: Sequence[_SpanLike], path: str,
                  extra_events: Optional[Sequence[dict]] = None) -> int:
     """Write a Perfetto-loadable trace file; returns the span count.

@@ -269,6 +269,17 @@ class Cluster:
         self._require_open()
         return self.fabric.trace_spans()
 
+    def race_reports(self) -> list[dict]:
+        """Drain every race report (empty unless ``check`` enables
+        ``race_detect``; see ``docs/CHECKING.md``).
+
+        Destructive read, like :meth:`trace_spans`: each report is
+        returned once, and on mp the gather crosses the wire — call it
+        while the cluster is still open.
+        """
+        self._require_open()
+        return self.fabric.race_reports()
+
     def write_trace(self, path: str, fmt: str = "chrome") -> int:
         """Drain spans and write them to *path*; returns the span count.
 

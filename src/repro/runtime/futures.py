@@ -88,6 +88,15 @@ class RemoteFuture:
     __slots__ = ("_value", "_error", "_done", "_callbacks", "label",
                  "__weakref__", "__dict__")
 
+    #: race-detection hooks (class defaults keep the common path to two
+    #: attribute reads).  When checking is on, the issuing backend sets
+    #: ``_consume_hook`` to the checker's merge and attaches the reply's
+    #: clock snapshot as ``_check_clock`` at completion; consuming the
+    #: future then merges the executing task's clock into the caller's —
+    #: the happens-before edge that only *waiting* on a reply creates.
+    _consume_hook = None
+    _check_clock = None
+
     def __init__(self, *, label: str = "") -> None:
         self._value: Any = None
         self._error: Optional[BaseException] = None
@@ -152,6 +161,8 @@ class RemoteFuture:
         if not self._wait(timeout):
             raise CallTimeoutError(
                 f"remote call {self.label!r} did not complete within {timeout}s")
+        if self._consume_hook is not None:
+            self._consume_hook(self._check_clock)
         if self._error is not None:
             raise self._error
         return self._value
@@ -160,6 +171,8 @@ class RemoteFuture:
         if not self._wait(timeout):
             raise CallTimeoutError(
                 f"remote call {self.label!r} did not complete within {timeout}s")
+        if self._consume_hook is not None:
+            self._consume_hook(self._check_clock)
         return self._error
 
     def add_done_callback(self, cb: Callable[["RemoteFuture"], None]) -> None:

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import threading
 import traceback
+from contextlib import ExitStack
 from typing import TYPE_CHECKING, Any, Iterable, Optional
 
 from ..errors import (
@@ -161,6 +162,10 @@ class Kernel:
         #: the driver gathers observability data the same way it does
         #: everything else: by remote method execution.
         self.tracer = None
+        #: the process's race checker (see :mod:`repro.check`), set by
+        #: the hosting backend when ``Config(check=...)`` enables
+        #: detection; take_race_reports is the gather path.
+        self.checker = None
 
     # -- observability --------------------------------------------------------
 
@@ -169,6 +174,12 @@ class Kernel:
         if self.tracer is None:
             return []
         return [span.to_dict() for span in self.tracer.drain()]
+
+    def take_race_reports(self) -> list[dict]:
+        """Drain this process's race reports (as plain dicts)."""
+        if self.checker is None:
+            return []
+        return self.checker.take_reports()
 
     def obs_metrics(self) -> dict:
         """This machine's stats + process-wide transport counters."""
@@ -226,6 +237,9 @@ class Kernel:
         if oid == KERNEL_OID:
             raise RuntimeLayerError("cannot destroy the kernel object")
         instance = self.table.remove(oid)
+        if self.checker is not None:
+            # the oid may be reused; stale history must not pair with it
+            self.checker.forget(self.machine_id, oid)
         hook = getattr(instance, DESTRUCTOR_HOOK, None)
         if callable(hook):
             hook()
@@ -302,11 +316,13 @@ class Dispatcher:
     """Executes requests against one machine's object table."""
 
     def __init__(self, machine_id: int, table: ObjectTable, kernel: Kernel,
-                 fabric: "Fabric", hooks=None, tracer=None) -> None:
+                 fabric: "Fabric", hooks=None, tracer=None,
+                 checker=None) -> None:
         self.machine_id = machine_id
         self.table = table
         self.kernel = kernel
         self.tracer = tracer
+        self.checker = checker
         self._context = RuntimeContext(fabric=fabric, machine_id=machine_id,
                                        hooks=hooks or CostHooks())
 
@@ -320,21 +336,33 @@ class Dispatcher:
         When tracing is on, the method body runs inside a *server span*
         scoped as the current span, so remote calls the body issues
         parent to it — that is what turns a pile of spans into the
-        paper's object-to-object call tree.
+        paper's object-to-object call tree.  When race detection is on,
+        the body likewise runs inside a fresh vector-clock *task* that
+        merged the request's clock — remote calls the body issues carry
+        that task's clock, and the reply ships its final snapshot.
         """
         self.kernel.count_call()
         tracer = self.tracer
+        checker = self.checker
         span = None
+        ctask = None
         if tracer is not None and tracer.wants(request.method):
             # machine= pins the span to this machine even when the
             # tracer is the driver's (inline/sim host every machine
             # in-process and share one tracer).
             span = tracer.start_server(request, machine=self.machine_id)
+        if checker is not None:
+            ctask = checker.begin_execution(request)
         try:
-            if span is not None:
-                with tracer.scope(span):
+            if span is not None or ctask is not None:
+                with ExitStack() as scopes:
+                    if span is not None:
+                        scopes.enter_context(tracer.scope(span))
+                    if ctask is not None:
+                        scopes.enter_context(checker.scope(ctask))
                     value = self._run(request)
-                span.t_executed = tracer.now()
+                if span is not None:
+                    span.t_executed = tracer.now()
             else:
                 value = self._run(request)
         except BaseException as exc:  # noqa: BLE001 - everything crosses the wire
@@ -353,17 +381,24 @@ class Dispatcher:
                 message=str(exc),
                 remote_traceback=traceback.format_exc(),
                 exception=picklable,
+                clock=None if ctask is None else checker.end_execution(ctask),
             )
         if span is not None:
             tracer.finish_server(span)
         if request.oneway:
             return None
-        return Response(request_id=request.request_id, value=value)
+        return Response(
+            request_id=request.request_id, value=value,
+            clock=None if ctask is None else checker.end_execution(ctask))
 
     def _run(self, request: Request) -> Any:
         oid = request.object_id
         instance = self.kernel if oid == KERNEL_OID else self.table.get(oid)
         name = request.method
+        if self.checker is not None:
+            # recorded before the body runs: a method that raises may
+            # already have mutated the object.
+            self.checker.record(request, instance, machine=self.machine_id)
         self.table.enter_call(oid)
         try:
             with context_scope(self._context):

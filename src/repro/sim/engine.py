@@ -12,6 +12,19 @@ Scheduling invariants
   driver is simply whichever blocked thread noticed the world was
   quiescent first.  Events fire in (time, sequence) order, so runs are
   deterministic regardless of OS thread scheduling.
+
+Schedule exploration
+--------------------
+
+Events at the *same* simulated instant are semantically concurrent —
+the ``seq`` tiebreak is an arbitrary (if deterministic) choice among
+legal schedules.  ``Engine(schedule_seed=N)`` replaces that tiebreak
+with a seeded hash: every event gets a perturbation key derived from
+``(seed, seq)`` and same-instant events fire in perturbation order.
+Each seed is one deterministic, replayable schedule; sweeping seeds
+(:func:`repro.check.explore`) hunts for interleaving bugs the strict
+order hides.  ``schedule_seed=None`` (the default) preserves the exact
+historical ``(time, seq)`` order.
 """
 
 from __future__ import annotations
@@ -44,28 +57,48 @@ class Trigger:
         return f"<Trigger {self.label or hex(id(self))} {state}>"
 
 
-class _Event:
-    __slots__ = ("time", "seq", "action", "cancelled")
+def _perturbation(seed: int, seq: int) -> float:
+    """Deterministic hash of ``(seed, seq)`` → [0, 1) (splitmix64-style).
 
-    def __init__(self, time: float, seq: int, action: Callable[[], None]):
+    Stateless on purpose: the key of an event depends only on its seq
+    number, never on how many other events were scheduled in between,
+    so a replay with the same seed assigns identical keys.
+    """
+    mask = (1 << 64) - 1
+    z = (seed * 0x9E3779B97F4A7C15 + seq * 0xBF58476D1CE4E5B9 + 0x2545F4914F6CDD1D) & mask
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & mask
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & mask
+    z ^= z >> 31
+    return z / 2.0 ** 64
+
+
+class _Event:
+    __slots__ = ("time", "seq", "perturb", "action", "cancelled")
+
+    def __init__(self, time: float, seq: int, action: Callable[[], None],
+                 perturb: float = 0.0):
         self.time = time
         self.seq = seq
+        self.perturb = perturb
         self.action = action
         self.cancelled = False
 
     def __lt__(self, other: "_Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        return ((self.time, self.perturb, self.seq)
+                < (other.time, other.perturb, other.seq))
 
 
 class Engine:
     """The simulated clock and scheduler."""
 
-    def __init__(self, trace=None) -> None:
+    def __init__(self, trace=None, schedule_seed: Optional[int] = None) -> None:
         # RLock: event actions run under the lock and legitimately call
         # spawn()/schedule()/fire() back into the engine.
         self._cv = threading.Condition(threading.RLock())
         self._queue: list[_Event] = []
         self._seq = 0
+        #: same-instant schedule perturbation (None = strict seq order).
+        self.schedule_seed = schedule_seed
         self._now = 0.0
         self._runnable = 0
         self._pending_wakeups = 0
@@ -157,7 +190,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at {time} before now={self._now}")
         self._seq += 1
-        ev = _Event(max(time, self._now), self._seq, action)
+        perturb = (0.0 if self.schedule_seed is None
+                   else _perturbation(self.schedule_seed, self._seq))
+        ev = _Event(max(time, self._now), self._seq, action, perturb)
         heapq.heappush(self._queue, ev)
         self._cv.notify_all()
         return ev
@@ -325,6 +360,7 @@ class Engine:
         with self._cv:
             return {
                 "now": self._now,
+                "schedule_seed": self.schedule_seed,
                 "events_executed": self.events_executed,
                 "queued": sum(1 for ev in self._queue if not ev.cancelled),
                 "registered_threads": len(self._registered),

@@ -45,12 +45,20 @@ class Request(Message):
     #: the server span parents to it, causally linking the two halves of
     #: the call across the process boundary (see :mod:`repro.obs`).
     span: int | None = None
+    #: the caller's vector-clock snapshot (None when race detection is
+    #: off); the executing task merges it, establishing the
+    #: happens-before edge send→execute (see :mod:`repro.check`).
+    clock: dict | None = None
 
 
 @dataclass
 class Response(Message):
     request_id: int
     value: Any = None
+    #: the executing task's final vector-clock snapshot (None when race
+    #: detection is off); merged by the caller when it consumes the
+    #: future — the happens-before edge execute→reply-receipt.
+    clock: dict | None = None
 
 
 @dataclass
@@ -61,6 +69,8 @@ class ErrorResponse(Message):
     remote_traceback: str = ""
     #: the original exception when it survived pickling, else None.
     exception: BaseException | None = None
+    #: executing task's final clock snapshot (see :class:`Response`).
+    clock: dict | None = None
 
 
 @dataclass

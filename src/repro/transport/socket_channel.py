@@ -144,11 +144,11 @@ class SocketChannel(Channel):
     def _encode_wire(self, msg: Message) -> tuple[int, bytes, list]:
         """Encode *msg* as ``(kind, header, raw_buffers)``."""
         if self._options.header_cache and type(msg) is Request:
-            # The span id rides in the per-call tail, never the cached
-            # skeleton: the skeleton is constant per call site while the
-            # span is unique per call.
+            # The span id and vector-clock snapshot ride in the per-call
+            # tail, never the cached skeleton: the skeleton is constant
+            # per call site while these are unique per call.
             tail, buffers = serde.dumps(
-                (msg.request_id, msg.span, msg.args, msg.kwargs),
+                (msg.request_id, msg.span, msg.clock, msg.args, msg.kwargs),
                 self.protocol)
             header = _header_cache().prefix(
                 msg.object_id, msg.method, msg.oneway, msg.caller,
@@ -354,9 +354,9 @@ class SocketChannel(Channel):
         skel = bytes(header[_CALL_SKEL.size:_CALL_SKEL.size + skel_len])
         tail = header[_CALL_SKEL.size + skel_len:]
         fields = _header_cache().fields_for(skel)
-        request_id, span, args, kwargs = serde.loads(tail, buffers)
-        return Request(request_id=request_id, span=span, args=args,
-                       kwargs=kwargs, **fields)
+        request_id, span, clock, args, kwargs = serde.loads(tail, buffers)
+        return Request(request_id=request_id, span=span, clock=clock,
+                       args=args, kwargs=kwargs, **fields)
 
     def close(self) -> None:
         with self._send_lock:

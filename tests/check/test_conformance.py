@@ -1,0 +1,125 @@
+"""Cross-backend conformance: inline, sim and mp are one machine.
+
+Program specs live at module level so mp machine processes can import
+them; each uses the backend name in device filenames so the three runs
+of one test never share a device file.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.check.conformance import ALL_BACKENDS, conformance, run_program
+from repro.check.examples import safe_increments
+from repro.storage.blockstore import create_block_storage
+
+pytestmark = pytest.mark.check
+
+PAGE = 64
+MP_KWARGS = {"call_timeout_s": 60.0}
+
+
+def storage_stack(cluster):
+    """Page → PageDevice → BlockStorage, the paper's storage spine."""
+    backend = cluster.config.backend
+    dev = cluster.on(1).new(oopp.PageDevice, f"conf_{backend}.dat", 4, PAGE)
+    payload = bytes(range(PAGE))
+    dev.write(oopp.Page(PAGE, payload), 2)
+    roundtrip = dev.read(2).to_bytes() == payload
+    blank = dev.read(0).to_bytes() == bytes(PAGE)
+
+    store = create_block_storage(cluster, 3, NumberOfPages=2,
+                                 n1=2, n2=2, n3=2,
+                                 filename_prefix=f"bs_{backend}")
+    machines = [oopp.ref_of(store.device(i)).machine
+                for i in range(len(store))]
+    sums = [store.device(i).sum(0) for i in range(len(store))]
+    return roundtrip, blank, machines, sums
+
+
+class ConfWorker:
+    def __init__(self, wid):
+        self.wid = wid
+        self.done = 0
+
+    def work(self, x):
+        self.done += 1
+        return self.wid * 10 + x
+
+
+def group_barrier(cluster):
+    """Round-robin group, pipelined invoke, full barrier."""
+    g = cluster.new_group(ConfWorker, 6, argfn=lambda i: (i,))
+    results = g.invoke("work", 1)
+    g.barrier()
+    machines = [oopp.ref_of(p).machine for p in g]
+    return results, machines
+
+
+class Faulty:
+    def boom(self, code):
+        raise ValueError(f"conformance boom {code}")
+
+
+def error_path(cluster):
+    """A remote method body raises: the original type must cross every
+    backend's wire intact (the paper's transparency claim)."""
+    f = cluster.on(2).new(Faulty)
+    f.boom(7)
+
+
+def backend_leak(cluster):
+    """Deliberately non-conformant: the outcome names the backend."""
+    return cluster.config.backend
+
+
+class TestConformance:
+    def test_storage_stack_conformant(self):
+        report = conformance(storage_stack, **MP_KWARGS)
+        assert report.consistent, report.summary()
+        for outcome in report.outcomes:
+            assert outcome.result_repr == "(True, True, [0, 1, 2], [0.0, 0.0, 0.0])"
+        # one PageDevice on m1, one ArrayPageDevice per machine
+        assert report.outcomes[0].objects_per_machine == [1, 2, 1]
+
+    def test_group_barrier_conformant(self):
+        report = conformance(group_barrier, **MP_KWARGS)
+        assert report.consistent, report.summary()
+        expected = "([1, 11, 21, 31, 41, 51], [0, 1, 2, 0, 1, 2])"
+        assert report.outcomes[0].result_repr == expected
+        assert "CONSISTENT" in report.summary()
+
+    def test_error_path_conformant(self):
+        report = conformance(error_path, **MP_KWARGS)
+        assert report.consistent, report.summary()
+        for outcome in report.outcomes:
+            assert outcome.error_type == "ValueError"
+            assert outcome.error_message == "conformance boom 7"
+            assert outcome.result_repr is None
+
+    def test_example_program_conformant(self):
+        report = conformance(safe_increments, **MP_KWARGS)
+        assert report.consistent, report.summary()
+        assert report.outcomes[0].result_repr == "2"
+
+    def test_all_three_backends_run(self):
+        report = conformance(safe_increments, **MP_KWARGS)
+        assert [o.backend for o in report.outcomes] == list(ALL_BACKENDS)
+
+
+class TestDivergenceReporting:
+    def test_backend_leak_is_caught(self):
+        report = conformance(backend_leak, backends=("inline", "sim"))
+        assert not report.consistent
+        diffs = report.diffs()
+        assert diffs and "result_repr" in diffs[0]
+        assert "DIVERGENT" in report.summary()
+
+    def test_run_program_captures_one_outcome(self):
+        outcome = run_program(safe_increments, "inline")
+        assert outcome.backend == "inline"
+        assert outcome.result_repr == "2"
+        assert outcome.error_type is None
+        # SharedCounter on m0, Bumpers on m1/m2
+        assert outcome.objects_per_machine == [1, 1, 1]

@@ -1,0 +1,131 @@
+"""Schedule exploration: divergence hunting, deterministic replay, CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check import __main__ as cli
+from repro.check.examples import (
+    atomic_increments,
+    racy_increments,
+    safe_increments,
+)
+from repro.check.explore import (
+    canonical_repr,
+    digest_of,
+    explore,
+    run_schedule,
+)
+
+pytestmark = pytest.mark.check
+
+
+class TestCanonicalRepr:
+    def test_dict_keys_sorted(self):
+        assert canonical_repr({"b": 1, "a": 2}) == canonical_repr(
+            dict([("a", 2), ("b", 1)]))
+
+    def test_sets_sorted(self):
+        assert canonical_repr({3, 1, 2}) == canonical_repr({1, 2, 3})
+
+    def test_list_vs_tuple_distinguished(self):
+        assert canonical_repr([1, 2]) != canonical_repr((1, 2))
+
+    def test_nested(self):
+        assert (canonical_repr({"x": [{2, 1}]})
+                == canonical_repr({"x": [{1, 2}]}))
+
+
+class TestDigest:
+    def test_parts_are_separated(self):
+        assert digest_of("ab", "c") != digest_of("a", "bc")
+
+    def test_stable(self):
+        assert digest_of("a", "b") == digest_of("a", "b")
+
+
+class TestExplore:
+    def test_racy_program_diverges_across_20_seeds(self):
+        report = explore(racy_increments, 20)
+        assert len(report.runs) == 21  # seed None baseline + 20 seeds
+        assert report.runs[0].seed is None
+        assert report.divergent
+        assert report.divergent_seeds
+        # the lost update: some schedules count 1, others 2
+        results = {run.result_repr for run in report.runs}
+        assert results == {"1", "2"}
+
+    def test_divergent_seed_replays_byte_for_byte(self):
+        report = explore(racy_increments, 20)
+        seed = report.divergent_seeds[0]
+        original = next(r for r in report.runs if r.seed == seed)
+        replay = run_schedule(racy_increments, seed)
+        assert replay.digest == original.digest
+        assert replay.result_repr == original.result_repr
+        assert replay.state == original.state
+
+    def test_safe_program_is_schedule_stable(self):
+        report = explore(safe_increments, 10, race_detect=True)
+        assert not report.divergent
+        assert report.races == []  # no false positives either
+        assert all(run.result_repr == "2" for run in report.runs)
+
+    def test_atomic_program_stable_but_flagged(self):
+        # commutativity is invisible to a vector clock: every schedule
+        # digests identically, yet the pipelined adds are unordered
+        # writes and the detector must say so.
+        report = explore(atomic_increments, 5, race_detect=True)
+        assert not report.divergent
+        assert report.races
+        assert all(r["kind"] == "write-write" for r in report.races)
+
+    def test_summary_names_the_replay_command(self):
+        report = explore(racy_increments, 10,
+                         program_name="repro.check.examples:racy_increments")
+        summary = report.summary()
+        assert "DIVERGENCE" in summary
+        seed = report.divergent_seeds[0]
+        assert (f"python -m repro.check replay --seed {seed} "
+                f"--program repro.check.examples:racy_increments") in summary
+
+    def test_explicit_seed_list(self):
+        report = explore(safe_increments, seeds=[7, 8])
+        assert [run.seed for run in report.runs] == [None, 7, 8]
+
+    def test_program_exception_is_an_outcome(self):
+        def boom(cluster):
+            raise ValueError("schedule-independent failure")
+
+        report = explore(boom, 3, capture_state=False)
+        assert not report.divergent
+        assert report.runs[0].error_type == "ValueError"
+        assert "raised ValueError" in report.runs[0].describe()
+
+
+class TestCli:
+    RACY = "repro.check.examples:racy_increments"
+    SAFE = "repro.check.examples:safe_increments"
+
+    def test_explore_exits_nonzero_on_divergence(self, capsys):
+        assert cli.main(["explore", "--seeds", "10"]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGENCE" in out
+        assert "replay --seed" in out
+
+    def test_explore_exits_zero_when_stable(self, capsys):
+        assert cli.main(["--program", self.SAFE,
+                         "explore", "--seeds", "5"]) == 0
+        assert "no divergence" in capsys.readouterr().out
+
+    def test_replay_prints_digest_and_races(self, capsys):
+        assert cli.main(["replay", "--seed", "1", "--races"]) == 0
+        out = capsys.readouterr().out
+        assert "seed=1" in out
+        assert "digest=" in out
+        assert "race:" in out
+
+    def test_bad_program_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.resolve_program("no-colon")
+        with pytest.raises(SystemExit):
+            cli.resolve_program("repro.check.examples:missing")

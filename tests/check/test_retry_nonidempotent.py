@@ -1,0 +1,92 @@
+"""Regression: retrying a non-idempotent method is refused — and a
+duplicated send, were one ever issued, is exactly what the race
+detector flags.
+
+docs/FAILURES.md promises that an ambiguous failure of a mutation
+surfaces instead of being re-sent.  This suite pins both halves of the
+contract: the call layer refuses the retry (the routing predicate and
+the end-to-end timeout path), and the detector-side safety net — a
+blind duplicate of a mutation has no happens-before edge to the
+original, because the original's reply was never consumed, so it pairs
+as a write-write race.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.check.examples import SharedCounter
+from repro.config import CheckConfig
+from repro.errors import CallTimeoutError
+from repro.runtime.proxy import is_idempotent
+from repro.runtime.oid import class_spec
+from repro.transport.faults import FaultPlan, FaultRule
+
+pytestmark = pytest.mark.check
+
+
+class TestRetryRouting:
+    def test_mutations_are_not_idempotent(self):
+        ref = oopp.ObjectRef(machine=0, oid=1,
+                             spec=class_spec(SharedCounter))
+        assert not is_idempotent(ref, "set")
+        assert not is_idempotent(ref, "add")
+
+    def test_implicit_reads_are_idempotent(self):
+        ref = oopp.ObjectRef(machine=0, oid=1,
+                             spec=class_spec(SharedCounter))
+        assert is_idempotent(ref, "__oopp_getattr__")
+        assert is_idempotent(ref, "ping")
+
+
+class TestTimeoutRefusal:
+    def test_dropped_mutation_surfaces_instead_of_retrying(self, tmp_path):
+        # the first `set` request is silently dropped; with a retry
+        # budget available the call must STILL fail (one deadline, no
+        # re-send) and the counter must show the mutation never ran.
+        plan = FaultPlan(seed=3, rules=[
+            FaultRule(action="drop", direction="send", kinds=("req",),
+                      methods=("set",), nth=1)])
+        with oopp.Cluster(n_machines=2, backend="mp", call_timeout_s=1.0,
+                          retry=oopp.RetryConfig(retries=3, backoff_s=0.05),
+                          fault_plan=plan,
+                          storage_root=str(tmp_path / "r")) as cluster:
+            counter = cluster.on(1).new(SharedCounter)
+            with pytest.raises(CallTimeoutError):
+                counter.set(5)
+            assert counter.get() == 0
+
+
+class TestDuplicateSendFlagged:
+    def test_blind_duplicate_is_a_write_write_race(self, tmp_path):
+        # model what an (incorrect) automatic retry would do: re-send
+        # the mutation without having consumed the first reply.  The
+        # two executions share no reply edge, so they are concurrent
+        # conflicting writes.
+        with oopp.Cluster(n_machines=2, backend="sim",
+                          check=CheckConfig(race_detect=True),
+                          storage_root=str(tmp_path / "r")) as cluster:
+            counter = cluster.on(1).new(SharedCounter)
+            first = counter.set.future(5)
+            second = counter.set.future(5)  # duplicate, first unconsumed
+            oopp.wait_all([first, second])
+            reports = cluster.race_reports()
+        assert reports, "a duplicated mutation must be flagged"
+        (report,) = reports
+        assert report["kind"] == "write-write"
+        assert report["first"]["method"] == "set"
+        assert report["second"]["method"] == "set"
+
+    def test_consumed_reply_then_resend_is_ordered(self, tmp_path):
+        # the safe manual recovery: observe the first call's outcome,
+        # then decide to re-issue.  The consumed reply orders the two
+        # executions — no race.
+        with oopp.Cluster(n_machines=2, backend="sim",
+                          check=CheckConfig(race_detect=True),
+                          storage_root=str(tmp_path / "r")) as cluster:
+            counter = cluster.on(1).new(SharedCounter)
+            counter.set(5)
+            counter.set(5)
+            assert counter.get() == 5
+            assert cluster.race_reports() == []

@@ -1,0 +1,126 @@
+"""Vector clocks: compare/merge laws, task clocks, component minting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.vclock import (
+    AFTER,
+    BEFORE,
+    CONCURRENT,
+    EQUAL,
+    ClockDomain,
+    TaskClock,
+    compare,
+    component_node,
+    concurrent,
+    happens_before,
+    merge,
+)
+
+pytestmark = pytest.mark.check
+
+
+class TestCompare:
+    def test_empty_clocks_equal(self):
+        assert compare({}, {}) == EQUAL
+
+    def test_identical_clocks_equal(self):
+        assert compare({1: 2, 2: 1}, {1: 2, 2: 1}) == EQUAL
+
+    def test_subset_is_before(self):
+        assert compare({1: 1}, {1: 2}) == BEFORE
+        assert compare({1: 1}, {1: 1, 2: 1}) == BEFORE
+
+    def test_superset_is_after(self):
+        assert compare({1: 2}, {1: 1}) == AFTER
+        assert compare({1: 1, 2: 1}, {1: 1}) == AFTER
+
+    def test_incomparable_is_concurrent(self):
+        assert compare({1: 1}, {2: 1}) == CONCURRENT
+        assert compare({1: 2, 2: 1}, {1: 1, 2: 2}) == CONCURRENT
+
+    def test_missing_component_treated_as_zero(self):
+        assert compare({1: 0}, {}) == EQUAL
+
+    def test_helpers(self):
+        assert happens_before({1: 1}, {1: 2})
+        assert not happens_before({1: 2}, {1: 1})
+        assert concurrent({1: 1}, {2: 1})
+        assert not concurrent({1: 1}, {1: 1})
+
+
+class TestMerge:
+    def test_componentwise_max(self):
+        assert merge({1: 2, 2: 1}, {1: 1, 3: 4}) == {1: 2, 2: 1, 3: 4}
+
+    def test_merge_dominates_both_inputs(self):
+        a, b = {1: 2}, {2: 3}
+        m = merge(a, b)
+        assert compare(a, m) in (BEFORE, EQUAL)
+        assert compare(b, m) in (BEFORE, EQUAL)
+
+    def test_merge_returns_new_dict(self):
+        a = {1: 1}
+        assert merge(a, {2: 1}) is not a
+        assert a == {1: 1}
+
+
+class TestTaskClock:
+    def test_tick_advances_own_component(self):
+        t = TaskClock(7)
+        assert t.tick() == {7: 1}
+        assert t.tick() == {7: 2}
+
+    def test_tick_returns_snapshot_copy(self):
+        t = TaskClock(7)
+        snap = t.tick()
+        t.tick()
+        assert snap == {7: 1}
+
+    def test_merge_folds_componentwise_max(self):
+        t = TaskClock(7, {7: 1})
+        t.merge({7: 5, 9: 2})
+        t.merge(None)  # no-op
+        assert t.snapshot() == {7: 5, 9: 2}
+
+    def test_initial_clock_is_copied(self):
+        init = {1: 1}
+        t = TaskClock(7, init)
+        t.tick()
+        assert init == {1: 1}
+
+    def test_message_edge_orders_tasks(self):
+        # a send/receive pair creates a happens-before edge.
+        sender, receiver = TaskClock(1), TaskClock(2)
+        shipped = sender.tick()
+        receiver.merge(shipped)
+        receiver.tick()
+        assert happens_before(shipped, receiver.snapshot())
+
+    def test_no_message_edge_stays_concurrent(self):
+        a, b = TaskClock(1), TaskClock(2)
+        assert concurrent(a.tick(), b.tick())
+
+
+class TestClockDomain:
+    def test_components_unique_within_domain(self):
+        d = ClockDomain(0)
+        comps = {d.new_task().component for _ in range(100)}
+        assert len(comps) == 100
+
+    def test_salt_separates_nodes(self):
+        driver, m0, m1 = ClockDomain(-1), ClockDomain(0), ClockDomain(1)
+        assert component_node(driver.new_task().component) == -1
+        assert component_node(m0.new_task().component) == 0
+        assert component_node(m1.new_task().component) == 1
+
+    def test_cross_domain_components_never_collide(self):
+        a = {ClockDomain(0).new_task().component}
+        b = {ClockDomain(1).new_task().component}
+        assert not a & b
+
+    def test_new_task_seeds_initial_clock(self):
+        d = ClockDomain(0)
+        t = d.new_task({5: 3})
+        assert t.snapshot() == {5: 3}

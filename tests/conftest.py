@@ -23,10 +23,22 @@ def inline_cluster(tmp_path):
         yield cluster
 
 
+def _check_seed_kwargs() -> dict:
+    """Schedule-perturbation opt-in: ``OOPP_CHECK_SEED=<n> pytest`` runs
+    every sim-backed test under that seeded same-instant event order
+    (see ``docs/CHECKING.md``).  Tests that genuinely depend on the
+    default order carry the ``ordered`` marker and are skipped."""
+    seed = os.environ.get("OOPP_CHECK_SEED")
+    if not seed:
+        return {}
+    return {"check": oopp.CheckConfig(schedule_seed=int(seed))}
+
+
 @pytest.fixture
 def sim_cluster(tmp_path):
     with oopp.Cluster(n_machines=4, backend="sim",
-                      storage_root=str(tmp_path / "root")) as cluster:
+                      storage_root=str(tmp_path / "root"),
+                      **_check_seed_kwargs()) as cluster:
         yield cluster
 
 
@@ -41,6 +53,8 @@ def mp_cluster(tmp_path):
 def any_cluster(request, tmp_path):
     """The same test body run against every backend."""
     kwargs = {"call_timeout_s": 60.0} if request.param == "mp" else {}
+    if request.param == "sim":
+        kwargs.update(_check_seed_kwargs())
     with oopp.Cluster(n_machines=3, backend=request.param,
                       storage_root=str(tmp_path / "root"),
                       **kwargs) as cluster:
@@ -50,3 +64,14 @@ def any_cluster(request, tmp_path):
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "slow: long-running integration tests")
+
+
+def pytest_collection_modifyitems(config, items):
+    if not os.environ.get("OOPP_CHECK_SEED"):
+        return
+    skip = pytest.mark.skip(
+        reason="depends on the default same-instant event order "
+               "(ordered marker) and OOPP_CHECK_SEED perturbs it")
+    for item in items:
+        if "ordered" in item.keywords:
+            item.add_marker(skip)

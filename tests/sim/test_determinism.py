@@ -17,9 +17,9 @@ workload = st.lists(
 )
 
 
-def run_workload(ops) -> tuple[float, list]:
+def run_workload(ops, schedule_seed=None) -> tuple[float, list]:
     """Spawn 5 children executing their assigned sleeps; log completions."""
-    eng = Engine()
+    eng = Engine(schedule_seed=schedule_seed)
     eng.adopt_current_thread()
     log: list[tuple[int, float]] = []
     per_child: dict[int, list[float]] = {i: [] for i in range(5)}
@@ -64,6 +64,45 @@ class TestDeterminism:
         for cid, t in log:
             assert t >= last.get(cid, 0.0)
             last[cid] = t
+
+
+class TestSeededSchedules:
+    """``Engine(schedule_seed=N)`` perturbs only the same-instant
+    tiebreak: each seed is itself bit-deterministic, timestamps never
+    change, and ``None`` preserves the historical ``(time, seq)``
+    order (see docs/CHECKING.md)."""
+
+    @given(workload, st.integers(1, 2 ** 32))
+    @settings(max_examples=25, deadline=None)
+    def test_same_seed_is_bit_deterministic(self, ops, seed):
+        end1, log1 = run_workload(ops, schedule_seed=seed)
+        end2, log2 = run_workload(ops, schedule_seed=seed)
+        assert end1 == end2
+        assert log1 == log2
+
+    @given(workload, st.integers(1, 2 ** 32))
+    @settings(max_examples=25, deadline=None)
+    def test_seed_permutes_within_instants_only(self, ops, seed):
+        end0, log0 = run_workload(ops)
+        end1, log1 = run_workload(ops, schedule_seed=seed)
+        assert end0 == end1
+        # same completions, same timestamps — order within an instant
+        # may differ, nothing else may.
+        assert sorted(log0) == sorted(log1)
+
+    def test_seed_none_is_the_historical_order(self):
+        ops = [(0, 0.5), (1, 0.5), (2, 0.5), (3, 0.5)]
+        _, log_default = run_workload(ops)
+        _, log_none = run_workload(ops, schedule_seed=None)
+        assert log_default == log_none
+
+    def test_some_seed_reorders_a_tie(self):
+        # four children finish at the same instant; among a handful of
+        # seeds at least one must fire them in a non-historical order.
+        ops = [(i, 0.5) for i in range(5)]
+        _, baseline = run_workload(ops)
+        assert any(run_workload(ops, schedule_seed=s)[1] != baseline
+                   for s in range(1, 20))
 
 
 class TestCrossProcessSignalling:

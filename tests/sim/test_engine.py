@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 import threading
 
 import pytest
@@ -14,7 +15,10 @@ from repro.sim.engine import Engine, Trigger
 
 @pytest.fixture
 def engine():
-    eng = Engine()
+    # honor the schedule-perturbation sweep (docs/CHECKING.md): the
+    # engine contract must hold under any same-instant tiebreak.
+    seed = os.environ.get("OOPP_CHECK_SEED")
+    eng = Engine(schedule_seed=int(seed) if seed else None)
     eng.adopt_current_thread()
     yield eng
     eng.release_current_thread()
@@ -98,6 +102,7 @@ class TestTriggers:
         engine.sleep(5.0)
         assert order == ["a", "b", "c"]
 
+    @pytest.mark.ordered  # asserts the historical FIFO tiebreak itself
     def test_same_time_events_fire_in_schedule_order(self, engine):
         order = []
         for tag in "abcde":
