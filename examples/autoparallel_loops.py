@@ -37,7 +37,7 @@ def main() -> None:
 
         # --- 1: the paper's sequential loop --------------------------------
         t0 = engine.now
-        buffer = [device[i].read_page(page_address[i]) for i in range(N)]
+        buffer = [device[i].read_page(page_address[i]) for i in range(N)]  # oopp: ignore[OOPP201] — the sequential baseline this example measures
         t_seq = engine.now - t0
         print(f"sequential loop          : {format_seconds(t_seq)} simulated")
 

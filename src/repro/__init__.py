@@ -119,6 +119,7 @@ from .array import Array
 from .fft import FFT, DistributedFFT3D
 from .fft.serial import fft as serial_fft, ifft as serial_ifft
 from .fft.serial import fftn as serial_fftn, ifftn as serial_ifftn
+from .lint import LintFinding, lint_class, lint_paths, lint_source
 
 __version__ = "1.0.0"
 
@@ -192,5 +193,9 @@ __all__ = [
     "serial_ifft",
     "serial_fftn",
     "serial_ifftn",
+    "LintFinding",
+    "lint_class",
+    "lint_paths",
+    "lint_source",
     "__version__",
 ]

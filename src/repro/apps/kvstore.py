@@ -14,6 +14,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Hashable, Iterable, Optional, Sequence
 
+from ..check.detector import readonly
 from ..errors import OoppError
 from ..runtime.futures import wait_all
 from ..runtime.group import ObjectGroup
@@ -40,10 +41,12 @@ class KVShard:
             self.version += 1
             return self.version
 
+    @readonly
     def get(self, key: Hashable, default: Any = None) -> Any:
         with self._lock:
             return self._data.get(key, default)
 
+    @readonly
     def get_strict(self, key: Hashable) -> Any:
         with self._lock:
             if key not in self._data:
@@ -57,6 +60,7 @@ class KVShard:
                 self.version += 1
             return existed
 
+    @readonly
     def contains(self, key: Hashable) -> bool:
         with self._lock:
             return key in self._data
@@ -67,18 +71,22 @@ class KVShard:
             self.version += 1
             return len(self._data)
 
+    @readonly
     def get_many(self, keys: list) -> list:
         with self._lock:
             return [self._data.get(k, _MISSING) for k in keys]
 
+    @readonly
     def size(self) -> int:
         with self._lock:
             return len(self._data)
 
+    @readonly
     def keys(self) -> list:
         with self._lock:
             return list(self._data.keys())
 
+    @readonly
     def items(self) -> list:
         with self._lock:
             return list(self._data.items())

@@ -33,6 +33,7 @@ import threading
 from collections import defaultdict
 from typing import Any, Callable, Iterable, Optional, Sequence
 
+from ..check.detector import readonly
 from ..errors import OoppError
 from ..runtime.futures import wait_all
 from ..runtime.group import ObjectGroup
@@ -114,6 +115,7 @@ class Reducer:
             self._groups.clear()
             self.accepted_from.clear()
 
+    @readonly
     def stats(self) -> dict:
         with self._lock:
             return {

@@ -23,6 +23,7 @@ from typing import Optional, Sequence
 import numpy as np
 
 from ..array.partition import slab_bounds
+from ..check.detector import readonly
 from ..errors import OoppError
 from ..runtime.context import current_hooks
 from ..runtime.futures import wait_all
@@ -96,6 +97,7 @@ class StencilWorker:
         self._ghost_lo = np.zeros(ncols)
         self._ghost_hi = np.zeros(ncols)
 
+    @readonly
     def slab(self) -> np.ndarray:
         if self._u is None:
             raise OoppError("no slab loaded")

@@ -41,6 +41,19 @@ IMPLICIT_READS = frozenset({
     "__len__",
 })
 
+#: container/primitive methods that never mutate their receiver —
+#: shared with the static analyzer (``repro.lint`` rule OOPP302): a
+#: method whose only receiver-rooted calls are in this set can still be
+#: proven read-only.
+PURE_CONTAINER_METHODS = frozenset({
+    "get", "keys", "values", "items", "copy", "count", "index",
+    "tolist", "most_common", "total", "union", "intersection",
+    "difference", "issubset", "issuperset", "isdisjoint",
+    "startswith", "endswith", "split", "rsplit", "join", "strip",
+    "lstrip", "rstrip", "lower", "upper", "format", "encode", "decode",
+    "hex", "bit_length", "as_integer_ratio", "locked",
+})
+
 #: framework-internal methods never recorded (mirrors the obs layer's
 #: internal-method skip so telemetry cannot self-report races).
 INTERNAL_METHODS = frozenset({

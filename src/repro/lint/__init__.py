@@ -1,0 +1,154 @@
+"""``repro.lint`` — a static OOPP front-end.
+
+The paper presents OOPP as *compiler* technology: the compiler
+generates the client-server protocol from the class description (§3)
+and pipelines loops of remote calls (§4), and "such parallelization may
+expose subtle programming bugs".  This package is that front-end for
+the reproduction: an AST-based analyzer that finds OOPP-specific bugs
+before any process starts, complementing the *dynamic* checkers in
+:mod:`repro.check` (which need an execution to observe).
+
+Public API::
+
+    import repro.lint as lint
+
+    findings = lint.lint_paths(["examples/", "src/repro/apps/"])
+    findings = lint.lint_source(source_text, path="prog.py")
+    findings = lint.lint_class(SomeClass)      # runtime class checks
+
+Rule families (see ``docs/LINT.md`` for the catalog):
+
+========  =====================================================
+OOPP1xx   protocol / serialization (unpicklable remote arguments)
+OOPP2xx   pipelining (§4 loop transformation opportunities/hazards)
+OOPP3xx   idempotency / readonly contracts (retry + race layers)
+OOPP4xx   call-graph deadlock candidates (synchronous call cycles)
+OOPP9xx   analyzer errors (unparsable input)
+========  =====================================================
+
+CLI: ``python -m repro.lint [paths...]`` (or the ``oopp-lint`` console
+script) — flake8-style output, ``--json``, nonzero exit on findings,
+``# oopp: ignore[CODE]`` suppressions.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Optional
+
+from .classlint import lint_class
+from .findings import LintFinding
+from .registry import RULES, Rule, all_rules, matches, register_meta, \
+    rules_for
+from .suppress import filter_suppressed, suppressions
+from . import rules as _rules  # noqa: F401  (registers OOPP1xx-4xx)
+
+register_meta("OOPP900", "unparsable-source",
+              "file could not be parsed; nothing else was checked",
+              "— (analyzer self-diagnostic)", scope="file")
+
+__all__ = [
+    "LintFinding", "Rule", "RULES", "all_rules",
+    "lint_class", "lint_source", "lint_paths", "iter_python_files",
+]
+
+
+def _selected(code: str, select: Optional[Iterable[str]],
+              ignore: Optional[Iterable[str]]) -> bool:
+    if select and not matches(code, tuple(select)):
+        return False
+    if ignore and matches(code, tuple(ignore)):
+        return False
+    return True
+
+
+def lint_source(source: str, path: str = "<memory>", *,
+                select: Optional[Iterable[str]] = None,
+                ignore: Optional[Iterable[str]] = None,
+                honor_suppressions: bool = True) -> list[LintFinding]:
+    """Run every module-scope rule over one source text."""
+    from .infer import ModuleCtx
+
+    try:
+        ctx = ModuleCtx(path, source)
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", 0) or 0
+        if not _selected("OOPP900", select, ignore):
+            return []
+        return [LintFinding(code="OOPP900",
+                            message=f"could not parse: {exc.msg if hasattr(exc, 'msg') else exc}",
+                            path=path, line=line)]
+    findings: list[LintFinding] = []
+    for rule_ in rules_for("module"):
+        if not _selected(rule_.code, select, ignore):
+            continue
+        findings.extend(rule_.fn(ctx))
+    if honor_suppressions:
+        findings, _ = filter_suppressed(findings, suppressions(source))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for p in paths:
+        if os.path.isdir(p):
+            for root, dirs, files in os.walk(p):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                out.extend(os.path.join(root, f) for f in sorted(files)
+                           if f.endswith(".py"))
+        else:
+            out.append(p)
+    return out
+
+
+def lint_paths(paths: Iterable[str], *,
+               select: Optional[Iterable[str]] = None,
+               ignore: Optional[Iterable[str]] = None,
+               honor_suppressions: bool = True) -> list[LintFinding]:
+    """Lint files and/or directories; includes corpus-scope rules
+    (the inter-class call graph sees every file at once)."""
+    from .infer import ModuleCtx
+
+    files = iter_python_files(paths)
+    findings: list[LintFinding] = []
+    ctxs = []
+    for fname in files:
+        try:
+            with open(fname, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            findings.append(LintFinding(
+                code="OOPP900", message=f"could not read: {exc}",
+                path=fname))
+            continue
+        findings.extend(lint_source(
+            source, path=fname, select=select, ignore=ignore,
+            honor_suppressions=honor_suppressions))
+        try:
+            ctxs.append((ModuleCtx(fname, source), source))
+        except (SyntaxError, ValueError):
+            pass        # already reported as OOPP900 by lint_source
+    for rule_ in rules_for("corpus"):
+        if not _selected(rule_.code, select, ignore):
+            continue
+        corpus_findings = list(rule_.fn([c for c, _ in ctxs]))
+        if honor_suppressions:
+            by_path = {c.path: s for c, s in ctxs}
+            corpus_findings = [
+                f for f in corpus_findings
+                if not _suppressed_in(f, by_path)]
+        findings.extend(corpus_findings)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def _suppressed_in(finding: LintFinding, sources_by_path: dict) -> bool:
+    from .suppress import is_suppressed
+
+    source = sources_by_path.get(finding.path)
+    if source is None:
+        return False
+    return is_suppressed(finding, suppressions(source))

@@ -1,0 +1,91 @@
+"""``python -m repro.lint`` — the static analyzer's CLI.
+
+Usage::
+
+    python -m repro.lint examples/ src/repro/apps/
+    python -m repro.lint --json prog.py
+    python -m repro.lint --select OOPP2 --ignore OOPP201 src/
+    python -m repro.lint --list-rules
+
+Exit status: 0 when no findings, 1 when any finding survives
+suppressions, 2 on usage errors.  Suppress per line with
+``# oopp: ignore[OOPP201]`` (or bare ``# oopp: ignore`` for all
+codes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Optional
+
+from . import all_rules, lint_paths
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static OOPP diagnostics: pipelining, idempotency, "
+                    "serialization, and deadlock checks before any "
+                    "process starts.")
+    parser.add_argument("paths", nargs="*",
+                        help="files and/or directories to lint")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit findings as a JSON array")
+    parser.add_argument("--select", action="append", default=None,
+                        metavar="PREFIX",
+                        help="only run codes matching PREFIX "
+                             "(repeatable; e.g. --select OOPP2)")
+    parser.add_argument("--ignore", action="append", default=None,
+                        metavar="PREFIX",
+                        help="skip codes matching PREFIX (repeatable)")
+    parser.add_argument("--no-suppress", action="store_true",
+                        help="report findings even on "
+                             "`# oopp: ignore` lines")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalog and exit")
+    return parser
+
+
+def _list_rules() -> None:
+    for rule_ in all_rules():
+        scope = f"[{rule_.scope}]"
+        print(f"{rule_.code}  {scope:9s} {rule_.name}")
+        print(f"          {rule_.summary}")
+        print(f"          paper: {rule_.paper}")
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        _list_rules()
+        return 0
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given (or use --list-rules)",
+              file=sys.stderr)
+        return 2
+    findings = lint_paths(
+        args.paths, select=args.select, ignore=args.ignore,
+        honor_suppressions=not args.no_suppress)
+    if args.as_json:
+        print(json.dumps([f.to_dict() for f in findings], indent=2))
+    else:
+        for f in findings:
+            print(f.format())
+        if findings:
+            n = len(findings)
+            print(f"-- {n} finding{'s' if n != 1 else ''}",
+                  file=sys.stderr)
+    return 1 if findings else 0
+
+
+def run() -> None:
+    """Console-script entry point (``oopp-lint``)."""
+    raise SystemExit(main())
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

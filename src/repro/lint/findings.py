@@ -1,0 +1,49 @@
+"""The unit of lint output: one finding, anchored to a source location.
+
+A :class:`LintFinding` is deliberately flat and serializable — the CLI
+renders it flake8-style (``path:line:col: CODE message``) or as JSON,
+and :func:`repro.lint.lint_class` returns the same type for runtime
+class checks (where the location is derived from ``inspect`` when the
+source is available).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One diagnostic produced by a lint rule."""
+
+    code: str                 #: rule code, e.g. ``"OOPP201"``
+    message: str              #: human-readable one-liner
+    path: str = "<memory>"    #: source file (or ``<class>`` for lint_class)
+    line: int = 0             #: 1-based line of the anchor node
+    col: int = 0              #: 0-based column of the anchor node
+    symbol: str = ""          #: dotted symbol, e.g. ``"KVShard.get"``
+    suggestion: str = ""      #: what to do about it
+    #: extra lines where a ``# oopp: ignore[...]`` suppression also
+    #: applies (e.g. the first line of a multi-line statement).
+    alt_lines: tuple = field(default=(), compare=False)
+
+    def format(self) -> str:
+        """flake8-style rendering (column shown 1-based)."""
+        text = f"{self.path}:{self.line}:{self.col + 1}: {self.code} {self.message}"
+        if self.suggestion:
+            text += f" [{self.suggestion}]"
+        return text
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "symbol": self.symbol,
+            "suggestion": self.suggestion,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.format()

@@ -1,0 +1,580 @@
+"""Static value inference for the OOPP linter.
+
+The analyzer works on plain :mod:`ast` with no imports of user code, so
+it cannot *know* which values are remote pointers — it infers them the
+way the paper's compiler would, from the construction sites the runtime
+defines:
+
+* ``oopp.Cluster(...)`` (or a parameter named ``cluster`` / annotated
+  ``Cluster``) is a **cluster**;
+* ``cluster.on(k)`` is a **machine handle**; ``.new(...)`` /
+  ``.new_block(...)`` on either yields a **remote pointer** (so does
+  ``cluster.lookup(...)``);
+* ``cluster.new_group(...)``, ``ObjectGroup(...)``, a storage's
+  ``.devices``, and lists/comprehensions of remote pointers are
+  **remote sequences**; subscripting one yields a remote pointer, and
+  so does iterating one (``for w in group`` / ``enumerate(group)``);
+* ``proxy.method.future(...)`` yields a **future**; a blocking
+  ``proxy.method(...)`` inside a ``with oopp.autoparallel():`` block
+  yields a **deferred** (the §4 pipelined placeholder).
+
+Everything else is *unknown*, and rules only fire on inferred kinds —
+the analyzer prefers silence to false positives.
+
+Scopes are flat: the module body is one scope, every ``def`` is
+another, seeded from the module scope.  Class bodies additionally get a
+``self.<attr>`` pseudo-environment distilled from assignments in their
+methods, so ``self.group.invoke(...)`` resolves when ``__init__`` did
+``self.group = cluster.new_group(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from enum import Enum, auto
+from typing import Iterator, Optional
+
+
+class Kind(Enum):
+    """Abstract value kinds the rules care about."""
+
+    UNKNOWN = auto()
+    CLUSTER = auto()      #: a Cluster
+    MACHINE = auto()      #: a MachineHandle (cluster.on(k))
+    REMOTE = auto()       #: a Proxy — remote pointer
+    REMOTE_SEQ = auto()   #: ObjectGroup / list of proxies
+    STORAGE = auto()      #: BlockStorage facade (has .devices)
+    FUTURE = auto()       #: RemoteFuture from .future(...)
+    DEFERRED = auto()     #: autoparallel placeholder
+
+
+#: origins recorded for rule OOPP10x (unpicklable argument detection)
+ORIGIN_LAMBDA = "lambda"
+ORIGIN_LOCAL_DEF = "local-def"
+ORIGIN_OPEN_HANDLE = "open-handle"
+ORIGIN_SYNC_PRIMITIVE = "sync-primitive"
+
+#: threading-module factories whose products never pickle
+SYNC_FACTORIES = frozenset({
+    "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore",
+    "Event", "Barrier", "Thread", "local",
+})
+
+#: ObjectGroup methods whose arguments ship to every member
+GROUP_SHIP_METHODS = frozenset({
+    "invoke", "invoke_each", "invoke_indexed", "invoke_sequential",
+    "invoke_each_sequential", "futures",
+})
+
+#: new_group keyword arguments consumed driver-side (never pickled)
+NEW_GROUP_LOCAL_KWARGS = frozenset({"machines", "argfn", "kwargfn",
+                                    "machine", "count"})
+
+_PARENT = "_oopp_parent"
+
+
+# ---------------------------------------------------------------------------
+# tree plumbing
+# ---------------------------------------------------------------------------
+
+
+def attach_parents(tree: ast.AST) -> None:
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            setattr(child, _PARENT, node)
+
+
+def parent_of(node: ast.AST) -> Optional[ast.AST]:
+    return getattr(node, _PARENT, None)
+
+
+def ancestors(node: ast.AST) -> Iterator[ast.AST]:
+    cur = parent_of(node)
+    while cur is not None:
+        yield cur
+        cur = parent_of(cur)
+
+
+def is_autoparallel_cm(expr: ast.expr) -> bool:
+    """``oopp.autoparallel(...)`` / ``autoparallel(...)`` as a context
+    manager expression."""
+    if not isinstance(expr, ast.Call):
+        return False
+    f = expr.func
+    return (isinstance(f, ast.Name) and f.id == "autoparallel") or \
+        (isinstance(f, ast.Attribute) and f.attr == "autoparallel")
+
+
+def in_autoparallel(node: ast.AST) -> bool:
+    """True when *node* sits inside a ``with autoparallel():`` block of
+    the same function (nested ``def`` bodies execute later — they are
+    not inside the block)."""
+    for anc in ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda)):
+            return False
+        if isinstance(anc, ast.With) and \
+                any(is_autoparallel_cm(i.context_expr) for i in anc.items):
+            return True
+    return False
+
+
+def enclosing_loop(node: ast.AST) -> Optional[ast.AST]:
+    """The innermost For/While/comprehension containing *node* within
+    its function (``None`` at function/module level)."""
+    for anc in ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda)):
+            return None
+        if isinstance(anc, (ast.For, ast.While, ast.ListComp, ast.SetComp,
+                            ast.DictComp)):
+            return anc
+    return None
+
+
+def statement_of(node: ast.AST) -> ast.AST:
+    """The enclosing statement node (for alt-line suppression anchors)."""
+    cur = node
+    for anc in ancestors(node):
+        if isinstance(anc, ast.stmt):
+            return anc
+        cur = anc
+    return cur
+
+
+def walk_scope_statements(body: list) -> Iterator[ast.stmt]:
+    """All statements of a scope, recursing into control flow but not
+    into nested function/class definitions."""
+    stack = list(body)
+    while stack:
+        stmt = stack.pop(0)
+        yield stmt
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        for fname in ("body", "orelse", "finalbody"):
+            stack.extend(getattr(stmt, fname, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            stack.extend(handler.body)
+
+
+def walk_scope_expressions(body: list) -> Iterator[ast.AST]:
+    """Every AST node of a scope, each exactly once, excluding nested
+    function/class subtrees."""
+    stack = list(body)
+    while stack:
+        node = stack.pop(0)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# ---------------------------------------------------------------------------
+# scopes + environments
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Scope:
+    """One analysis scope: the module body or one function body."""
+
+    node: ast.AST                       # Module or FunctionDef
+    body: list
+    qualname: str
+    class_node: Optional[ast.ClassDef] = None
+    env: dict = field(default_factory=dict)      # name -> Kind
+    origins: dict = field(default_factory=dict)  # name -> origin tag
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_node is not None
+
+
+_ANNOTATION_KINDS = {
+    "Cluster": Kind.CLUSTER,
+    "Proxy": Kind.REMOTE,
+    "RemoteFuture": Kind.FUTURE,
+    "ObjectGroup": Kind.REMOTE_SEQ,
+    "BlockStorage": Kind.STORAGE,
+    "MachineHandle": Kind.MACHINE,
+}
+
+_SEQ_HEADS = frozenset({"Sequence", "list", "List", "tuple", "Tuple",
+                        "Iterable"})
+
+
+def _annotation_kind(ann: Optional[ast.expr]) -> Kind:
+    if ann is None:
+        return Kind.UNKNOWN
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        name = ann.value
+    elif isinstance(ann, ast.Name):
+        name = ann.id
+    elif isinstance(ann, ast.Attribute):
+        name = ann.attr
+    elif isinstance(ann, ast.Subscript):
+        head = ann.value
+        head_name = head.id if isinstance(head, ast.Name) else \
+            head.attr if isinstance(head, ast.Attribute) else ""
+        if head_name in _SEQ_HEADS:
+            inner = _annotation_kind(ann.slice)
+            if inner is Kind.REMOTE:
+                return Kind.REMOTE_SEQ
+        return Kind.UNKNOWN
+    else:
+        return Kind.UNKNOWN
+    return _ANNOTATION_KINDS.get(name, Kind.UNKNOWN)
+
+
+class Inference:
+    """Kind inference over one scope's environment."""
+
+    def __init__(self, scope: Scope):
+        self.scope = scope
+
+    # -- expression kinds ------------------------------------------------
+
+    def kind_of(self, expr: ast.expr) -> Kind:
+        env = self.scope.env
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id, Kind.UNKNOWN)
+        if isinstance(expr, ast.Attribute):
+            if isinstance(expr.value, ast.Name) and expr.value.id == "self":
+                return env.get(f"self.{expr.attr}", Kind.UNKNOWN)
+            base = self.kind_of(expr.value)
+            if base is Kind.STORAGE and expr.attr == "devices":
+                return Kind.REMOTE_SEQ
+            if base is Kind.REMOTE_SEQ and expr.attr == "proxies":
+                return Kind.REMOTE_SEQ
+            return Kind.UNKNOWN
+        if isinstance(expr, ast.Subscript):
+            base = self.kind_of(expr.value)
+            if base is Kind.REMOTE_SEQ:
+                return Kind.REMOTE_SEQ if isinstance(expr.slice, ast.Slice) \
+                    else Kind.REMOTE
+            if base is Kind.STORAGE:
+                return Kind.REMOTE
+            return Kind.UNKNOWN
+        if isinstance(expr, ast.Call):
+            return self._call_kind(expr)
+        if isinstance(expr, (ast.List, ast.Tuple)) and expr.elts:
+            kinds = {self.kind_of(e) for e in expr.elts}
+            if kinds == {Kind.REMOTE}:
+                return Kind.REMOTE_SEQ
+            return Kind.UNKNOWN
+        if isinstance(expr, ast.ListComp):
+            elt_kind = self.kind_of(expr.elt)
+            if elt_kind is Kind.REMOTE:
+                return Kind.REMOTE_SEQ
+            return Kind.UNKNOWN
+        if isinstance(expr, ast.IfExp):
+            a, b = self.kind_of(expr.body), self.kind_of(expr.orelse)
+            return a if a == b else Kind.UNKNOWN
+        return Kind.UNKNOWN
+
+    def _call_kind(self, call: ast.Call) -> Kind:
+        f = call.func
+        if isinstance(f, ast.Attribute):
+            base = self.kind_of(f.value)
+            if base is Kind.CLUSTER:
+                if f.attr == "on":
+                    return Kind.MACHINE
+                if f.attr in ("new", "new_block", "lookup"):
+                    return Kind.REMOTE
+                if f.attr == "new_group":
+                    return Kind.REMOTE_SEQ
+                return Kind.UNKNOWN
+            if base is Kind.MACHINE and f.attr in ("new", "new_block"):
+                return Kind.REMOTE
+            # proxy.method.future(...) -> future
+            if f.attr == "future" and isinstance(f.value, ast.Attribute) \
+                    and self.kind_of(f.value.value) is Kind.REMOTE:
+                return Kind.FUTURE
+            if base is Kind.REMOTE and not f.attr.startswith("_"):
+                # blocking remote call: deferred inside autoparallel
+                return Kind.DEFERRED if in_autoparallel(call) \
+                    else Kind.UNKNOWN
+            name = f.attr
+        elif isinstance(f, ast.Name):
+            name = f.id
+        else:
+            return Kind.UNKNOWN
+        if name == "Cluster":
+            return Kind.CLUSTER
+        if name == "ObjectGroup":
+            return Kind.REMOTE_SEQ
+        if name == "create_block_storage":
+            return Kind.STORAGE
+        if name in ("list", "sorted", "tuple") and call.args and \
+                self.kind_of(call.args[0]) is Kind.REMOTE_SEQ:
+            return Kind.REMOTE_SEQ
+        return Kind.UNKNOWN
+
+    # -- call-site classification ---------------------------------------
+
+    def remote_call(self, call: ast.Call) -> Optional["RemoteCallSite"]:
+        """Classify *call* as a remote method execution, or ``None``.
+
+        ``proxy.m(...)`` is mode ``"block"``; ``proxy.m.future(...)`` /
+        ``proxy.m.oneway(...)`` are their respective modes.
+        """
+        f = call.func
+        if not isinstance(f, ast.Attribute):
+            return None
+        if f.attr in ("future", "oneway") and \
+                isinstance(f.value, ast.Attribute) and \
+                self.kind_of(f.value.value) is Kind.REMOTE:
+            return RemoteCallSite(call, f.value.attr, f.attr, f.value.value)
+        if self.kind_of(f.value) is Kind.REMOTE and \
+                not f.attr.startswith("_"):
+            return RemoteCallSite(call, f.attr, "block", f.value)
+        return None
+
+    def shipped_args(self, call: ast.Call) -> Optional[list]:
+        """Argument expressions that will be pickled onto the wire at
+        this call site, or ``None`` when nothing ships.
+
+        Covers remote method calls (all args ship), remote construction
+        (``.new(Cls, *ctor_args)``, ``new_group`` minus its driver-side
+        kwargs, ``submit``), and group broadcasts (``invoke`` & co).
+        """
+        site = self.remote_call(call)
+        if site is not None:
+            return list(call.args) + [kw.value for kw in call.keywords]
+        f = call.func
+        if not isinstance(f, ast.Attribute):
+            return None
+        base = self.kind_of(f.value)
+        if base is Kind.MACHINE:
+            if f.attr == "new":
+                return list(call.args[1:]) + \
+                    [kw.value for kw in call.keywords]
+            if f.attr in ("new_block", "submit"):
+                return list(call.args) + [kw.value for kw in call.keywords]
+        if base is Kind.CLUSTER:
+            if f.attr == "new":
+                return list(call.args[1:]) + \
+                    [kw.value for kw in call.keywords
+                     if kw.arg not in ("machine",)]
+            if f.attr == "new_group":
+                return list(call.args[2:]) + \
+                    [kw.value for kw in call.keywords
+                     if kw.arg not in NEW_GROUP_LOCAL_KWARGS]
+            if f.attr == "new_block":
+                return list(call.args) + \
+                    [kw.value for kw in call.keywords
+                     if kw.arg not in ("machine",)]
+        if base is Kind.REMOTE_SEQ and f.attr in GROUP_SHIP_METHODS:
+            return list(call.args[1:]) + \
+                [kw.value for kw in call.keywords]
+        return None
+
+
+@dataclass
+class RemoteCallSite:
+    """One classified remote method execution site."""
+
+    node: ast.Call
+    method: str
+    mode: str          # "block" | "future" | "oneway"
+    receiver: ast.expr
+
+
+# ---------------------------------------------------------------------------
+# environment building
+# ---------------------------------------------------------------------------
+
+
+def _param_env(fn: ast.AST, class_attr_env: Optional[dict]) -> dict:
+    env: dict = {}
+    args = fn.args
+    every = (list(args.posonlyargs) + list(args.args) +
+             list(args.kwonlyargs))
+    for a in every:
+        kind = _annotation_kind(a.annotation)
+        if kind is Kind.UNKNOWN and a.arg == "cluster":
+            kind = Kind.CLUSTER
+        if kind is not Kind.UNKNOWN:
+            env[a.arg] = kind
+    if class_attr_env:
+        env.update(class_attr_env)
+    return env
+
+
+def _bind_origin(scope: Scope, name: str, value: ast.expr) -> None:
+    origin = expression_origin(value)
+    if origin is not None:
+        scope.origins[name] = origin
+    else:
+        scope.origins.pop(name, None)
+
+
+def expression_origin(expr: ast.expr) -> Optional[str]:
+    """The unpicklable-origin tag of *expr*, if it provably constructs
+    one of the known unpicklable families."""
+    if isinstance(expr, ast.Lambda):
+        return ORIGIN_LAMBDA
+    if not isinstance(expr, ast.Call):
+        return None
+    f = expr.func
+    name = f.id if isinstance(f, ast.Name) else \
+        f.attr if isinstance(f, ast.Attribute) else ""
+    if name == "open":
+        return ORIGIN_OPEN_HANDLE
+    if name in SYNC_FACTORIES:
+        # require a plausible module base for bare names like local()
+        if isinstance(f, ast.Attribute) or name not in ("local",):
+            return ORIGIN_SYNC_PRIMITIVE
+    if isinstance(f, ast.Attribute) and f.attr == "socket":
+        return ORIGIN_OPEN_HANDLE
+    return None
+
+
+def _build_env_pass(scope: Scope, infer: Inference) -> None:
+    for stmt in walk_scope_statements(scope.body):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # nested def: unpicklable if shipped (module-level defs are
+            # handled per-scope: only function scopes record this)
+            if not isinstance(scope.node, ast.Module):
+                scope.origins[stmt.name] = ORIGIN_LOCAL_DEF
+            continue
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                scope.env[target.id] = infer.kind_of(stmt.value)
+                _bind_origin(scope, target.id, stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name):
+            kind = Kind.UNKNOWN
+            if stmt.value is not None:
+                kind = infer.kind_of(stmt.value)
+            if kind is Kind.UNKNOWN:
+                kind = _annotation_kind(stmt.annotation)
+            scope.env[stmt.target.id] = kind
+            if stmt.value is not None:
+                _bind_origin(scope, stmt.target.id, stmt.value)
+        elif isinstance(stmt, ast.With):
+            for item in stmt.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    scope.env[item.optional_vars.id] = \
+                        infer.kind_of(item.context_expr)
+        elif isinstance(stmt, ast.For):
+            _bind_loop_target(scope, infer, stmt.target, stmt.iter)
+    # comprehension generators bind names too
+    for node in walk_scope_expressions(scope.body):
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                             ast.GeneratorExp)):
+            for gen in node.generators:
+                _bind_loop_target(scope, infer, gen.target, gen.iter)
+
+
+def _bind_loop_target(scope: Scope, infer: Inference,
+                      target: ast.expr, iterable: ast.expr) -> None:
+    iter_kind = infer.kind_of(iterable)
+    if isinstance(target, ast.Name):
+        if iter_kind is Kind.REMOTE_SEQ:
+            scope.env[target.id] = Kind.REMOTE
+        return
+    if isinstance(target, ast.Tuple) and isinstance(iterable, ast.Call) \
+            and isinstance(iterable.func, ast.Name) \
+            and iterable.func.id == "enumerate" and iterable.args:
+        inner = infer.kind_of(iterable.args[0])
+        if inner is Kind.REMOTE_SEQ and len(target.elts) == 2 and \
+                isinstance(target.elts[1], ast.Name):
+            scope.env[target.elts[1].id] = Kind.REMOTE
+
+
+def build_scope(node: ast.AST, body: list, qualname: str,
+                class_node: Optional[ast.ClassDef],
+                seed_env: Optional[dict],
+                class_attr_env: Optional[dict]) -> Scope:
+    scope = Scope(node=node, body=body, qualname=qualname,
+                  class_node=class_node)
+    if seed_env:
+        scope.env.update(seed_env)
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        scope.env.update(_param_env(node, class_attr_env))
+    infer = Inference(scope)
+    # two passes so names defined later in the scope resolve
+    _build_env_pass(scope, infer)
+    _build_env_pass(scope, infer)
+    return scope
+
+
+# ---------------------------------------------------------------------------
+# the module context rules consume
+# ---------------------------------------------------------------------------
+
+
+class ModuleCtx:
+    """Everything the rules need about one parsed source file."""
+
+    def __init__(self, path: str, source: str):
+        self.path = path
+        self.source = source
+        self.tree = ast.parse(source)
+        attach_parents(self.tree)
+        self.lines = source.splitlines()
+        self.classes: list[ast.ClassDef] = [
+            n for n in ast.walk(self.tree) if isinstance(n, ast.ClassDef)]
+        self.scopes: list[Scope] = []
+        self._build_scopes()
+
+    def _build_scopes(self) -> None:
+        module_scope = build_scope(self.tree, self.tree.body, "<module>",
+                                   None, None, None)
+        self.scopes.append(module_scope)
+        # per-class self.<attr> kinds, distilled from method assignments
+        attr_envs: dict[ast.ClassDef, dict] = {}
+        for cls in self.classes:
+            attr_envs[cls] = self._class_attr_env(cls, module_scope.env)
+        for fn in self._functions():
+            cls = self._owning_class(fn)
+            scope = build_scope(
+                fn, fn.body, self._qualname(fn), cls,
+                module_scope.env, attr_envs.get(cls))
+            self.scopes.append(scope)
+
+    def _functions(self) -> list:
+        return [n for n in ast.walk(self.tree)
+                if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+    def _owning_class(self, fn: ast.AST) -> Optional[ast.ClassDef]:
+        parent = parent_of(fn)
+        return parent if isinstance(parent, ast.ClassDef) else None
+
+    def _qualname(self, fn: ast.AST) -> str:
+        parts = [fn.name]
+        for anc in ancestors(fn):
+            if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                ast.ClassDef)):
+                parts.append(anc.name)
+        return ".".join(reversed(parts))
+
+    def _class_attr_env(self, cls: ast.ClassDef, module_env: dict) -> dict:
+        """Infer ``self.<attr>`` kinds from every method's assignments."""
+        attr_env: dict = {}
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            scope = build_scope(method, method.body,
+                                f"{cls.name}.{method.name}", cls,
+                                module_env, None)
+            infer = Inference(scope)
+            for stmt in walk_scope_statements(method.body):
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    t = stmt.targets[0]
+                    if isinstance(t, ast.Attribute) and \
+                            isinstance(t.value, ast.Name) and \
+                            t.value.id == "self":
+                        kind = infer.kind_of(stmt.value)
+                        if kind is not Kind.UNKNOWN:
+                            attr_env[f"self.{t.attr}"] = kind
+        return attr_env
+
+    def function_scopes(self) -> list[Scope]:
+        return [s for s in self.scopes if not isinstance(s.node, ast.Module)]

@@ -1,0 +1,85 @@
+"""The rule registry: every OOPP diagnostic is a registered :class:`Rule`.
+
+Rules come in three scopes:
+
+``module``
+    ``fn(ctx: ModuleCtx) -> Iterable[LintFinding]`` — run once per
+    parsed source file.
+
+``corpus``
+    ``fn(ctxs: list[ModuleCtx]) -> Iterable[LintFinding]`` — run once
+    over the whole set of linted files (the inter-class call graph
+    needs to see every class at once).
+
+``class``
+    ``fn(cls: type) -> Iterable[LintFinding]`` — runtime checks applied
+    to a live class object by :func:`repro.lint.lint_class`; these are
+    registered so the catalog (``--list-rules``, ``docs/LINT.md``) is
+    complete, not because ``lint_paths`` runs them.
+
+The code families mirror the paper's pipeline: ``OOPP1xx``
+protocol/serialization, ``OOPP2xx`` pipelining (§4 loop splitting),
+``OOPP3xx`` idempotency/readonly contracts, ``OOPP4xx`` call-graph
+deadlock candidates.  ``OOPP9xx`` is reserved for the analyzer itself
+(unparsable input).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata + checker for one diagnostic code."""
+
+    code: str       #: "OOPP201"
+    name: str       #: short kebab-case slug, e.g. "sequential-remote-loop"
+    summary: str    #: one-line description for the catalog
+    paper: str      #: paper-section citation motivating the rule
+    scope: str      #: "module" | "corpus" | "class" | "file"
+    fn: Optional[Callable] = None
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.code} [{self.name}] {self.summary}"
+
+
+#: code -> Rule, populated by the ``@rule`` decorator at import time.
+RULES: dict[str, Rule] = {}
+
+
+def rule(code: str, name: str, summary: str, paper: str,
+         scope: str = "module") -> Callable:
+    """Register the decorated checker under *code*."""
+    def deco(fn: Callable) -> Callable:
+        if code in RULES:  # pragma: no cover - programming error
+            raise ValueError(f"duplicate lint rule code {code}")
+        RULES[code] = Rule(code=code, name=name, summary=summary,
+                           paper=paper, scope=scope, fn=fn)
+        return fn
+    return deco
+
+
+def register_meta(code: str, name: str, summary: str, paper: str,
+                  scope: str = "class") -> None:
+    """Register a catalog-only rule (checker lives elsewhere)."""
+    if code in RULES:  # pragma: no cover - programming error
+        raise ValueError(f"duplicate lint rule code {code}")
+    RULES[code] = Rule(code=code, name=name, summary=summary,
+                       paper=paper, scope=scope, fn=None)
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by code."""
+    return [RULES[c] for c in sorted(RULES)]
+
+
+def rules_for(scope: str) -> list[Rule]:
+    return [r for r in all_rules() if r.scope == scope and r.fn is not None]
+
+
+def matches(code: str, prefixes) -> bool:
+    """True when *code* matches any prefix in *prefixes* (``OOPP2`` ⊇
+    ``OOPP201``)."""
+    return any(code.startswith(p) for p in prefixes)

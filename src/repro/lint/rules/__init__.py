@@ -1,0 +1,7 @@
+"""Rule implementations.  Importing this package populates
+:data:`repro.lint.registry.RULES` — every module below registers its
+checkers via the ``@rule`` decorator at import time."""
+
+from __future__ import annotations
+
+from . import serde, pipeline, idempotency, callgraph  # noqa: F401

@@ -1,0 +1,201 @@
+"""OOPP4xx — inter-class call-graph rules.
+
+Under the mp backend every object is a single-threaded server: while a
+method executes, the process handles no other request.  If ``A.m``
+*blocks* on a remote call into class ``B`` and some ``B.n`` blocks back
+into ``A``, the two servers can each be waiting for the other — the
+classic request/reply cycle deadlock (the paper's synchronous ``call``
+discipline, §5, makes the cycle the *only* deadlock shape).
+
+**OOPP401** extracts a static class-level call graph — an edge
+``A → B`` for every *blocking* remote call site inside a method of
+``A`` whose receiver provably points at an instance (or group) of
+``B`` — and reports every cycle.  ``.future()`` / ``.oneway()`` sites
+add no edge: they do not hold the caller's server hostage.
+
+The receiver→class resolution is deliberately shallow (construction
+sites visible in the same file: ``cluster.new(B, ...)``,
+``cluster.on(k).new(B, ...)``, ``cluster.new_group(B, n, ...)``, and
+``self.attr`` bound to one of those in any method of the class), so an
+edge is only ever emitted on proof.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from ..findings import LintFinding
+from ..infer import Inference, statement_of, walk_scope_statements, \
+    walk_scope_expressions
+from ..registry import rule
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One blocking remote call site: a method of *src* calls *dst*."""
+
+    src: str
+    dst: str
+    path: str
+    line: int
+    col: int
+    method: str     # the calling method, e.g. "Ping.hit"
+    callee: str     # the remote method name invoked on dst
+
+
+_NEW_METHODS = frozenset({"new", "new_group", "lookup_as"})
+
+
+def _class_of_construction(call: ast.expr) -> Optional[str]:
+    """Class name when *call* constructs remote objects of that class."""
+    if not isinstance(call, ast.Call):
+        return None
+    f = call.func
+    if isinstance(f, ast.Attribute) and f.attr in _NEW_METHODS and call.args:
+        cls_arg = call.args[0]
+        if isinstance(cls_arg, ast.Name):
+            return cls_arg.id
+        if isinstance(cls_arg, ast.Attribute):
+            return cls_arg.attr
+    return None
+
+
+def _receiver_class_env(ctx, scope) -> dict:
+    """name / ``self.attr`` -> remote class name, for one method scope."""
+    env: dict = {}
+    cls = scope.class_node
+    if cls is not None:
+        # self.attr bound to a construction site in ANY method of cls
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef,
+                                       ast.AsyncFunctionDef)):
+                continue
+            for stmt in walk_scope_statements(method.body):
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    t = stmt.targets[0]
+                    if isinstance(t, ast.Attribute) and \
+                            isinstance(t.value, ast.Name) and \
+                            t.value.id == "self":
+                        name = _class_of_construction(stmt.value)
+                        if name:
+                            env[f"self.{t.attr}"] = name
+    for stmt in walk_scope_statements(scope.body):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name):
+            name = _class_of_construction(stmt.value)
+            if name:
+                env[stmt.targets[0].id] = name
+    # parameters annotated with a concrete class: `peer: "Worker"` —
+    # treated as a remote pointer to that class when the annotation
+    # names a class defined somewhere in the corpus (checked later).
+    if isinstance(scope.node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        for a in scope.node.args.args + scope.node.args.kwonlyargs:
+            ann = a.annotation
+            if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+                env.setdefault(a.arg, ann.value)
+    return env
+
+
+def _resolve_receiver(recv: ast.expr, class_env: dict) -> Optional[str]:
+    if isinstance(recv, ast.Name):
+        return class_env.get(recv.id)
+    if isinstance(recv, ast.Attribute) and \
+            isinstance(recv.value, ast.Name) and recv.value.id == "self":
+        return class_env.get(f"self.{recv.attr}")
+    if isinstance(recv, ast.Subscript):
+        return _resolve_receiver(recv.value, class_env)
+    return None
+
+
+def _edges(ctxs) -> tuple[list, set]:
+    edges: list = []
+    defined: set = set()
+    for ctx in ctxs:
+        defined.update(c.name for c in ctx.classes)
+    for ctx in ctxs:
+        for scope in ctx.function_scopes():
+            if scope.class_node is None:
+                continue        # driver code cannot be called back into
+            infer = Inference(scope)
+            class_env = _receiver_class_env(ctx, scope)
+            if not class_env:
+                continue
+            for node in walk_scope_expressions(scope.body):
+                if not isinstance(node, ast.Call):
+                    continue
+                site = infer.remote_call(node)
+                method_name = None
+                recv = None
+                if site is not None and site.mode == "block":
+                    method_name, recv = site.method, site.receiver
+                elif isinstance(node.func, ast.Attribute):
+                    # kind inference may not see the receiver as REMOTE
+                    # (e.g. a parameter); fall back to the class map.
+                    recv = node.func.value
+                    method_name = node.func.attr
+                    if method_name in ("future", "oneway"):
+                        continue
+                    if method_name.startswith("_"):
+                        continue
+                if recv is None:
+                    continue
+                dst = _resolve_receiver(recv, class_env)
+                if dst is None or dst not in defined:
+                    continue
+                edges.append(Edge(
+                    src=scope.class_node.name, dst=dst, path=ctx.path,
+                    line=node.lineno, col=node.col_offset,
+                    method=scope.qualname, callee=method_name))
+    return edges, defined
+
+
+def _cycles(edges: list) -> list:
+    """Every elementary cycle as an ordered edge list (bounded DFS)."""
+    by_src: dict = {}
+    for e in edges:
+        by_src.setdefault(e.src, []).append(e)
+    cycles: list = []
+    seen_keys: set = set()
+
+    def dfs(start: str, node: str, trail: list, visited: set) -> None:
+        for e in sorted(by_src.get(node, []),
+                        key=lambda e: (e.dst, e.path, e.line)):
+            if e.dst == start:
+                cycle = trail + [e]
+                key = frozenset((c.src, c.dst) for c in cycle)
+                if key not in seen_keys:
+                    seen_keys.add(key)
+                    cycles.append(cycle)
+            elif e.dst not in visited and len(trail) < 8:
+                dfs(start, e.dst, trail + [e],
+                    visited | {e.dst})
+
+    for start in sorted({e.src for e in edges}):
+        dfs(start, start, [], {start})
+    return cycles
+
+
+@rule("OOPP401", "sync-call-cycle",
+      "cycle of blocking remote calls between classes — deadlock "
+      "candidate under single-threaded servers",
+      "§5 — synchronous request/reply calls hold the caller's server",
+      scope="corpus")
+def check_sync_call_cycle(ctxs) -> Iterator[LintFinding]:
+    edges, _ = _edges(ctxs)
+    for cycle in _cycles(edges):
+        anchor = min(cycle, key=lambda e: (e.path, e.line, e.col))
+        path_desc = " -> ".join(f"{e.src}.{e.callee}" for e in cycle)
+        others = [f"{e.path}:{e.line}" for e in cycle if e is not anchor]
+        via = f" (other edges: {', '.join(others)})" if others else ""
+        yield LintFinding(
+            code="OOPP401",
+            message=(f"synchronous call cycle {path_desc} -> "
+                     f"{anchor.src}; under the mp backend each server "
+                     f"blocks waiting on the next{via}"),
+            path=anchor.path, line=anchor.line, col=anchor.col,
+            symbol=anchor.method,
+            suggestion="break one edge with .future()/.oneway() or "
+                       "restructure so replies flow one way",
+        )

@@ -1,0 +1,315 @@
+"""OOPP3xx — idempotency / readonly contract rules.
+
+Two runtime layers trust per-method declarations that nothing verifies:
+
+* the chaos layer's retry path re-sends calls listed in a class's
+  ``__oopp_idempotent__`` registry after ambiguous transport failures
+  (PR 3) — a registered method that is *not* actually retry-safe turns
+  a recovered fault into silent corruption (**OOPP301**);
+* the race detector (PR 4) classifies a method as a *read* only when it
+  carries ``@oopp.readonly`` — a genuine read without the marker is
+  treated as a write and floods reports with false read-read "races"
+  (**OOPP302**).
+
+Both rules are deliberately conservative.  301 only flags constructs
+that provably change meaning when run twice with the same arguments:
+augmented assignment on ``self`` state, self-referential rebinding
+(``self.x = self.x + ...``), accumulator mutators (``append`` & co.),
+and ``del`` on ``self`` state.  A plain overwrite (``self.x = arg``) is
+idempotent and stays silent.  302 only flags methods that *provably*
+never write ``self`` — any unknown call fed ``self`` disqualifies the
+proof, so silence is never a guarantee of purity.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ...check.detector import PURE_CONTAINER_METHODS
+from ..findings import LintFinding
+from ..infer import walk_scope_statements
+from ..registry import rule
+
+#: container mutators that change meaning when replayed with the same
+#: arguments (``add``/``update``/``clear``/``__setitem__`` are replay-
+#: safe and intentionally absent).
+RETRY_UNSAFE_MUTATORS = frozenset({
+    "append", "extend", "insert", "pop", "popitem", "remove",
+})
+
+#: builtins that never mutate their arguments — safe to feed ``self``
+PURE_CALLABLES = frozenset({
+    "len", "sorted", "sum", "min", "max", "any", "all", "abs", "round",
+    "list", "dict", "tuple", "set", "frozenset", "str", "repr", "format",
+    "int", "float", "bool", "bytes", "isinstance", "issubclass", "type",
+    "getattr", "hasattr", "enumerate", "range", "zip", "iter", "next",
+    "id", "hash", "print", "divmod", "map", "filter", "reversed",
+})
+
+
+# ---------------------------------------------------------------------------
+# shared walking helpers
+# ---------------------------------------------------------------------------
+
+
+def _roots_at_self(expr: ast.expr) -> bool:
+    """True for ``self``, ``self.x``, ``self.x[i]``, ``self.x.y`` ..."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return isinstance(expr, ast.Name) and expr.id == "self"
+
+
+def _reads_self(expr: ast.expr) -> bool:
+    return any(isinstance(n, ast.Name) and n.id == "self"
+               for n in ast.walk(expr))
+
+
+def _method_statements(fn: ast.AST) -> Iterator[ast.stmt]:
+    yield from walk_scope_statements(fn.body)
+
+
+def _registry_methods(cls: ast.ClassDef) -> dict:
+    """method name -> registry entry line, from ``__oopp_idempotent__``."""
+    out: dict = {}
+    for stmt in cls.body:
+        targets = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        if not any(isinstance(t, ast.Name) and
+                   t.id == "__oopp_idempotent__" for t in targets):
+            continue
+        value = stmt.value
+        elts = []
+        if isinstance(value, ast.Call) and value.args:
+            # frozenset({...}) / set([...])
+            value = value.args[0]
+        if isinstance(value, (ast.Set, ast.List, ast.Tuple)):
+            elts = value.elts
+        for elt in elts:
+            if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                out[elt.value] = elt.lineno
+    return out
+
+
+def _class_methods(cls: ast.ClassDef) -> dict:
+    return {m.name: m for m in cls.body
+            if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))}
+
+
+# ---------------------------------------------------------------------------
+# OOPP301 — retry-unsafe method in the idempotent registry
+# ---------------------------------------------------------------------------
+
+
+def _retry_unsafe_reason(fn: ast.AST) -> Optional[tuple]:
+    """(reason, line) when the method body is provably not replay-safe."""
+    for stmt in _method_statements(fn):
+        if isinstance(stmt, ast.AugAssign) and _roots_at_self(stmt.target):
+            return (f"augments `{ast.unparse(stmt.target)}` "
+                    "(x += ... replays as two increments)", stmt.lineno)
+        if isinstance(stmt, ast.Assign):
+            self_targets = [t for t in stmt.targets if _roots_at_self(t)]
+            if self_targets and _reads_self(stmt.value):
+                return (f"rebinds `{ast.unparse(self_targets[0])}` from "
+                        "its own previous value", stmt.lineno)
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                if _roots_at_self(target):
+                    return (f"deletes `{ast.unparse(target)}` "
+                            "(a replay raises)", target.lineno)
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and \
+                    isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in RETRY_UNSAFE_MUTATORS and \
+                    _roots_at_self(node.func.value):
+                return (f"calls `.{node.func.attr}()` on "
+                        f"`{ast.unparse(node.func.value)}`", node.lineno)
+    return None
+
+
+@rule("OOPP301", "idempotent-registry-lie",
+      "method declared in __oopp_idempotent__ mutates retry-unsafely",
+      "§5 — request/reply calls may be retried after ambiguous failures")
+def check_idempotent_lie(ctx) -> Iterator[LintFinding]:
+    for cls in ctx.classes:
+        registry = _registry_methods(cls)
+        if not registry:
+            continue
+        methods = _class_methods(cls)
+        for name, reg_line in sorted(registry.items()):
+            fn = methods.get(name)
+            if fn is None:
+                continue        # missing methods are OOPP114 (lint_class)
+            unsafe = _retry_unsafe_reason(fn)
+            if unsafe is None:
+                continue
+            reason, line = unsafe
+            yield LintFinding(
+                code="OOPP301",
+                message=(f"{cls.name}.{name} is declared idempotent but "
+                         f"{reason}; a retried call corrupts state"),
+                path=ctx.path, line=line, col=fn.col_offset,
+                symbol=f"{cls.name}.{name}",
+                suggestion="drop it from __oopp_idempotent__ or make the "
+                           "mutation replay-safe",
+                alt_lines=(fn.lineno, reg_line),
+            )
+
+
+# ---------------------------------------------------------------------------
+# OOPP302 — provably-readonly method missing @readonly
+# ---------------------------------------------------------------------------
+
+
+def _call_disqualifies(node: ast.Call, readonly_peers: set) -> bool:
+    """True when this call could mutate ``self`` state."""
+    f = node.func
+    feeds_self = any(_reads_self(a) for a in node.args) or \
+        any(_reads_self(kw.value) for kw in node.keywords)
+    if isinstance(f, ast.Attribute):
+        recv = f.value
+        if isinstance(recv, ast.Name) and recv.id == "self":
+            # self.m(...): fine only if m is provably readonly too
+            return f.attr not in readonly_peers or feeds_self
+        if _roots_at_self(recv):
+            # self.attr.m(...): fine only for pure container reads
+            return f.attr not in PURE_CONTAINER_METHODS
+        # other.m(self.x): self state escapes into unknown code
+        return feeds_self
+    if isinstance(f, ast.Name):
+        if f.id in PURE_CALLABLES:
+            return False
+        return feeds_self
+    return feeds_self
+
+
+def _writes_nothing(fn: ast.AST, readonly_peers: set) -> bool:
+    for stmt in _method_statements(fn):
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return False        # nested defs: give up on the proof
+        if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+            return False
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await)):
+                return False
+            if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                if any(_roots_at_self(t) for t in targets):
+                    return False
+            if isinstance(node, ast.Delete) and \
+                    any(_roots_at_self(t) for t in node.targets):
+                return False
+            if isinstance(node, ast.Call) and \
+                    _call_disqualifies(node, readonly_peers):
+                return False
+            if isinstance(node, ast.With):
+                for item in node.items:
+                    ce = item.context_expr
+                    # `with self._lock:` is a read-side guard, allowed;
+                    # any other self-rooted context manager is not.
+                    if isinstance(ce, ast.Call):
+                        return False
+                    if _roots_at_self(ce) and not (
+                            isinstance(ce, ast.Attribute) and
+                            "lock" in ce.attr.lower()):
+                        return False
+    return True
+
+
+def _touches_self(fn: ast.AST) -> bool:
+    for stmt in _method_statements(fn):
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and node.id == "self":
+                return True
+    return False
+
+
+_CONSTRUCTION_METHODS = frozenset({"new", "new_group", "lookup_as"})
+
+
+def _remotely_constructed(ctx) -> set:
+    """Class names the module ships to machines (``cluster.new(Cls)``,
+    ``cluster.new_group(Cls, n)``, ``machine.new(Cls)`` anywhere)."""
+    out: set = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _CONSTRUCTION_METHODS and node.args:
+            cls_arg = node.args[0]
+            if isinstance(cls_arg, ast.Name):
+                out.add(cls_arg.id)
+            elif isinstance(cls_arg, ast.Attribute):
+                out.add(cls_arg.attr)
+    return out
+
+
+def _decorator_names(fn: ast.AST) -> set:
+    names: set = set()
+    for dec in fn.decorator_list:
+        node = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(node, ast.Name):
+            names.add(node.id)
+        elif isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names
+
+
+def _is_remote_candidate(cls: ast.ClassDef, constructed: set,
+                         methods: dict) -> bool:
+    """Only classes that plausibly live behind a proxy are held to the
+    readonly contract — flagging every value class in a codebase would
+    drown the one finding that matters."""
+    if cls.name.startswith("Test") or \
+            any(isinstance(b, ast.Name) and "Test" in b.id
+                for b in cls.bases):
+        return False
+    if cls.name in constructed:
+        return True
+    if _registry_methods(cls):
+        return True     # declares __oopp_idempotent__: meant for the wire
+    return any("readonly" in _decorator_names(fn)
+               for fn in methods.values())
+
+
+@rule("OOPP302", "missing-readonly",
+      "method provably never writes self but lacks @readonly",
+      "§5 — reads need no ordering; the race detector must know them")
+def check_missing_readonly(ctx) -> Iterator[LintFinding]:
+    constructed = _remotely_constructed(ctx)
+    for cls in ctx.classes:
+        methods = _class_methods(cls)
+        if not _is_remote_candidate(cls, constructed, methods):
+            continue
+        candidates = {
+            name: fn for name, fn in methods.items()
+            if not name.startswith("_") and not fn.decorator_list
+            and not isinstance(fn, ast.AsyncFunctionDef)
+        }
+        # fixpoint over self-method calls: start assuming every
+        # candidate is readonly, drop the ones that fail, repeat.
+        readonly_peers = set(candidates)
+        changed = True
+        while changed:
+            changed = False
+            for name in sorted(readonly_peers):
+                if not _writes_nothing(candidates[name], readonly_peers):
+                    readonly_peers.discard(name)
+                    changed = True
+        for name in sorted(readonly_peers):
+            fn = candidates[name]
+            if not _touches_self(fn):
+                continue        # static helpers carry no race risk
+            yield LintFinding(
+                code="OOPP302",
+                message=(f"{cls.name}.{name} provably never writes self "
+                         "but is not marked @readonly; the race detector "
+                         "must treat every call to it as a write"),
+                path=ctx.path, line=fn.lineno, col=fn.col_offset,
+                symbol=f"{cls.name}.{name}",
+                suggestion="decorate with @oopp.readonly",
+            )

@@ -1,0 +1,294 @@
+"""OOPP2xx — pipelining rules (the paper's §4 loop transformation).
+
+The compiler's signature optimization splits a loop of remote calls so
+requests stream out without waiting for replies.  Our runtime spells
+that ``with oopp.autoparallel():`` — but only if the programmer asks.
+These rules find the spots where asking is free:
+
+* **OOPP201** — a sequential loop issues blocking remote calls and
+  never consumes a result inside the body.  Every iteration pays a full
+  round-trip for nothing; the §4 transformation applies verbatim.
+* **OOPP202** — a future (or autoparallel deferred) is forced
+  (``.value`` / ``.result()``) inside the very loop that created it.
+  The force re-serializes the loop the future was meant to pipeline.
+* **OOPP203** — a pending deferred is passed as an argument to another
+  remote call inside the autoparallel block.  This is the static form
+  of the runtime's ``Deferred.__reduce__`` raise: the value does not
+  exist yet, so it cannot be pickled.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import LintFinding
+from ..infer import (
+    Inference,
+    Kind,
+    ancestors,
+    enclosing_loop,
+    in_autoparallel,
+    parent_of,
+    statement_of,
+    walk_scope_expressions,
+    walk_scope_statements,
+)
+from ..registry import rule
+
+#: forcing attributes on futures/deferreds
+_FORCE_ATTRS = frozenset({"value", "result"})
+
+#: methods that merely *collect* a result (safe under autoparallel:
+#: a deferred in a list is forced later, when someone reads it)
+_COLLECT_METHODS = frozenset({"append", "add", "insert", "setdefault"})
+
+
+# ---------------------------------------------------------------------------
+# OOPP201 — sequential loop of unconsumed blocking remote calls
+# ---------------------------------------------------------------------------
+
+
+def _loop_body_nodes(loop: ast.AST) -> Iterator[ast.AST]:
+    if isinstance(loop, (ast.For, ast.While)):
+        for stmt in walk_scope_statements(loop.body):
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.ClassDef)):
+                continue
+            yield from ast.walk(stmt)
+    else:  # comprehension
+        yield from ast.walk(loop.elt) if hasattr(loop, "elt") else ()
+
+
+def _is_collected(call: ast.Call) -> bool:
+    """True when the call's value is merely stored, not inspected."""
+    parent = parent_of(call)
+    if isinstance(parent, ast.Expr):
+        return True                       # bare statement: discarded
+    if isinstance(parent, ast.Assign):
+        # plain store into names/subscripts: buffer[i] = dev.read(i)
+        return all(isinstance(t, (ast.Name, ast.Subscript, ast.Attribute))
+                   for t in parent.targets)
+    if isinstance(parent, ast.Call) and \
+            isinstance(parent.func, ast.Attribute) and \
+            parent.func.attr in _COLLECT_METHODS and \
+            call in parent.args:
+        grand = parent_of(parent)
+        return isinstance(grand, ast.Expr)  # results.append(dev.read(i))
+    if isinstance(parent, (ast.ListComp, ast.SetComp)) and \
+            call is getattr(parent, "elt", None):
+        return True                       # [dev[i].read(i) for i in ...]
+    return False
+
+
+def _assigned_names(call: ast.Call) -> set:
+    parent = parent_of(call)
+    if isinstance(parent, ast.Assign):
+        return {t.id for t in parent.targets if isinstance(t, ast.Name)}
+    return set()
+
+
+def _name_read_in(nodes: list, names: set, after_line: int) -> bool:
+    for node in nodes:
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load) \
+                and node.id in names and node.lineno > after_line:
+            return True
+    return False
+
+
+@rule("OOPP201", "sequential-remote-loop",
+      "loop of blocking remote calls whose results are never consumed "
+      "in the body",
+      "§4 — the compiler pipelines loops of remote calls")
+def check_sequential_loop(ctx) -> Iterator[LintFinding]:
+    for scope in ctx.scopes:
+        infer = Inference(scope)
+        loops: list = []
+        for node in walk_scope_expressions(scope.body):
+            if isinstance(node, (ast.For, ast.ListComp, ast.SetComp)) \
+                    and node not in loops:
+                loops.append(node)
+        for stmt in walk_scope_statements(scope.body):
+            if isinstance(stmt, ast.For) and stmt not in loops:
+                loops.append(stmt)
+        for loop in loops:
+            if in_autoparallel(loop):
+                continue
+            if any(isinstance(a, (ast.For, ast.While, ast.ListComp,
+                                  ast.SetComp)) for a in ancestors(loop)):
+                continue        # report the outermost loop only
+            body = list(_loop_body_nodes(loop))
+            sites = []
+            for node in body:
+                if isinstance(node, ast.Call):
+                    site = infer.remote_call(node)
+                    if site is not None and site.mode == "block":
+                        sites.append(site)
+            if not sites:
+                continue
+            consumed = False
+            for site in sites:
+                if not _is_collected(site.node):
+                    consumed = True
+                    break
+                names = _assigned_names(site.node)
+                if names and _name_read_in(body, names, site.node.lineno):
+                    consumed = True
+                    break
+            if consumed:
+                continue
+            stmt = statement_of(loop)
+            n = len(sites)
+            methods = ", ".join(sorted({s.method for s in sites}))
+            yield LintFinding(
+                code="OOPP201",
+                message=(f"sequential loop issues blocking remote call"
+                         f"{'s' if n > 1 else ''} ({methods}) and never "
+                         "consumes a result in the body; every iteration "
+                         "waits a full round-trip"),
+                path=ctx.path, line=loop.lineno, col=loop.col_offset,
+                symbol=scope.qualname,
+                suggestion="wrap in `with oopp.autoparallel():` to "
+                           "pipeline the loop (paper §4)",
+                alt_lines=(stmt.lineno,),
+            )
+
+
+# ---------------------------------------------------------------------------
+# OOPP202 — future forced inside its creating loop
+# ---------------------------------------------------------------------------
+
+
+def _creation_loops(scope, infer: Inference) -> dict:
+    """name -> the loop node in which it was bound to a FUTURE/DEFERRED."""
+    out: dict = {}
+    for stmt in walk_scope_statements(scope.body):
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)):
+            continue
+        if not isinstance(stmt.value, ast.Call):
+            continue
+        kind = infer.kind_of(stmt.value)
+        if kind not in (Kind.FUTURE, Kind.DEFERRED):
+            continue
+        loop = enclosing_loop(stmt)
+        if loop is not None:
+            out[stmt.targets[0].id] = (loop, kind)
+    return out
+
+
+def _loops_containing(node: ast.AST) -> list:
+    found = []
+    for anc in ancestors(node):
+        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef,
+                            ast.Lambda)):
+            break
+        if isinstance(anc, (ast.For, ast.While, ast.ListComp, ast.SetComp,
+                            ast.DictComp)):
+            found.append(anc)
+    return found
+
+
+@rule("OOPP202", "force-inside-creating-loop",
+      "future/deferred forced (.value/.result) inside the loop that "
+      "created it",
+      "§4 — forcing re-serializes the pipelined loop")
+def check_force_in_loop(ctx) -> Iterator[LintFinding]:
+    for scope in ctx.scopes:
+        infer = Inference(scope)
+        created = _creation_loops(scope, infer)
+        if not created:
+            continue
+        for node in walk_scope_expressions(scope.body):
+            name: Optional[str] = None
+            if isinstance(node, ast.Attribute) and \
+                    node.attr in _FORCE_ATTRS and \
+                    isinstance(node.value, ast.Name):
+                name = node.value.id
+                if node.attr == "result":
+                    # .result is forcing only as a call: fut.result()
+                    parent = parent_of(node)
+                    if not (isinstance(parent, ast.Call)
+                            and parent.func is node):
+                        continue
+            if name is None or name not in created:
+                continue
+            loop, kind = created[name]
+            if loop not in _loops_containing(node):
+                continue
+            what = "future" if kind is Kind.FUTURE else "deferred"
+            stmt = statement_of(node)
+            yield LintFinding(
+                code="OOPP202",
+                message=(f"{what} {name!r} is forced inside the loop that "
+                         "created it; each iteration now blocks on its own "
+                         "round-trip and the pipeline collapses"),
+                path=ctx.path, line=node.lineno, col=node.col_offset,
+                symbol=scope.qualname,
+                suggestion="collect futures in the loop and force after it",
+                alt_lines=(stmt.lineno,),
+            )
+
+
+# ---------------------------------------------------------------------------
+# OOPP203 — pending deferred shipped as an argument
+# ---------------------------------------------------------------------------
+
+
+def _deferred_args(arg: ast.expr, infer: Inference) -> Iterator[ast.AST]:
+    """Sub-expressions of *arg* that evaluate to a pending Deferred."""
+    for node in ast.walk(arg):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            parent = parent_of(node)
+            if isinstance(parent, ast.Attribute) and \
+                    parent.attr in ("value", "result", "done"):
+                continue        # first.value — forced, fine
+            if infer.kind_of(node) is Kind.DEFERRED:
+                yield node
+        elif isinstance(node, ast.Call):
+            if node is arg or parent_of(node) is not None:
+                site = infer.remote_call(node)
+                if site is not None and site.mode == "block" and \
+                        infer.kind_of(node) is Kind.DEFERRED:
+                    yield node
+
+
+@rule("OOPP203", "pending-deferred-argument",
+      "pending autoparallel Deferred passed as a remote-call argument",
+      "§4 — \"such parallelization may expose subtle programming bugs\"")
+def check_pending_deferred_arg(ctx) -> Iterator[LintFinding]:
+    for scope in ctx.scopes:
+        infer = Inference(scope)
+        for node in walk_scope_expressions(scope.body):
+            if not isinstance(node, ast.Call):
+                continue
+            if not in_autoparallel(node):
+                continue
+            shipped = infer.shipped_args(node)
+            if not shipped:
+                continue
+            stmt = statement_of(node)
+            seen: set = set()
+            for arg in shipped:
+                for bad in _deferred_args(arg, infer):
+                    if bad is node:
+                        continue
+                    key = (bad.lineno, bad.col_offset)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    label = bad.id if isinstance(bad, ast.Name) \
+                        else "a blocking remote call's deferred result"
+                    yield LintFinding(
+                        code="OOPP203",
+                        message=(f"pending deferred ({label}) passed as a "
+                                 "remote-call argument inside autoparallel; "
+                                 "it has no value yet and will raise at "
+                                 "pickle time"),
+                        path=ctx.path, line=bad.lineno, col=bad.col_offset,
+                        symbol=scope.qualname,
+                        suggestion="read `.value` first (forces the send "
+                                   "queue) or move the call out of the "
+                                   "autoparallel block",
+                        alt_lines=(node.lineno, stmt.lineno),
+                    )

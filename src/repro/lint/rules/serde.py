@@ -1,0 +1,132 @@
+"""OOPP1xx — protocol / serialization rules.
+
+The paper's model ships every argument across the wire: ``new(machine
+k)`` pickles constructor arguments, and each remote call pickles its
+argument tuple.  Three families of Python values never survive that
+trip, and each gets its own code so suppressions can be precise:
+
+* **OOPP101** — lambdas and locally-defined functions (pickle refuses
+  ``<lambda>`` and anything whose qualname contains ``<locals>``);
+* **OOPP102** — open OS handles (``open(...)`` files, sockets);
+* **OOPP103** — synchronization primitives (``threading.Lock`` & co.),
+  which are also *semantically* wrong to ship: a lock copy guards
+  nothing.
+
+Class-level variants of the same family (unpicklable constructor
+*defaults*) are the runtime check OOPP112 in
+:mod:`repro.lint.classlint`.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import LintFinding
+from ..infer import (
+    ORIGIN_LAMBDA,
+    ORIGIN_LOCAL_DEF,
+    ORIGIN_OPEN_HANDLE,
+    ORIGIN_SYNC_PRIMITIVE,
+    Inference,
+    expression_origin,
+    statement_of,
+    walk_scope_expressions,
+)
+from ..registry import rule
+
+_ORIGIN_CODE = {
+    ORIGIN_LAMBDA: "OOPP101",
+    ORIGIN_LOCAL_DEF: "OOPP101",
+    ORIGIN_OPEN_HANDLE: "OOPP102",
+    ORIGIN_SYNC_PRIMITIVE: "OOPP103",
+}
+
+_ORIGIN_WHAT = {
+    ORIGIN_LAMBDA: "a lambda",
+    ORIGIN_LOCAL_DEF: "a locally-defined function",
+    ORIGIN_OPEN_HANDLE: "an open OS handle",
+    ORIGIN_SYNC_PRIMITIVE: "a synchronization primitive",
+}
+
+_SUGGESTION = {
+    "OOPP101": "pass a module-level function or a FuncSpec instead",
+    "OOPP102": "pass the path/address and open on the remote side",
+    "OOPP103": "create the primitive inside the remote object",
+}
+
+
+def _arg_problem(arg: ast.expr, infer: Inference) -> Optional[tuple]:
+    """(origin, description) when *arg* provably cannot ship."""
+    origin = expression_origin(arg)
+    if origin is not None:
+        return origin, _ORIGIN_WHAT[origin]
+    if isinstance(arg, ast.Name):
+        tag = infer.scope.origins.get(arg.id)
+        if tag is not None:
+            return tag, f"{_ORIGIN_WHAT[tag]} (bound to {arg.id!r})"
+    if isinstance(arg, ast.Starred):
+        return _arg_problem(arg.value, infer)
+    return None
+
+
+def _ship_sites(infer: Inference) -> Iterator[tuple]:
+    for node in walk_scope_expressions(infer.scope.body):
+        if not isinstance(node, ast.Call):
+            continue
+        shipped = infer.shipped_args(node)
+        if shipped:
+            yield node, shipped
+
+
+def _check_scope(ctx, scope) -> Iterator[LintFinding]:
+    infer = Inference(scope)
+    for call, shipped in _ship_sites(infer):
+        callee = call.func.attr if isinstance(call.func, ast.Attribute) \
+            else "<call>"
+        stmt = statement_of(call)
+        for arg in shipped:
+            problem = _arg_problem(arg, infer)
+            if problem is None:
+                continue
+            origin, what = problem
+            code = _ORIGIN_CODE[origin]
+            yield LintFinding(
+                code=code,
+                message=(f"argument to remote {callee}() is {what}; "
+                         "it will not pickle onto the wire"),
+                path=ctx.path, line=arg.lineno, col=arg.col_offset,
+                symbol=scope.qualname,
+                suggestion=_SUGGESTION[code],
+                alt_lines=(call.lineno, stmt.lineno),
+            )
+
+
+@rule("OOPP101", "unpicklable-callable",
+      "lambda / local function shipped as a remote argument",
+      "§3 — `new(machine k)` ships constructor arguments by value")
+def check_unpicklable_callable(ctx) -> Iterator[LintFinding]:
+    for scope in ctx.scopes:
+        for f in _check_scope(ctx, scope):
+            if f.code == "OOPP101":
+                yield f
+
+
+@rule("OOPP102", "open-handle-argument",
+      "open file/socket handle shipped as a remote argument",
+      "§3 — arguments cross address spaces; OS handles do not")
+def check_open_handle(ctx) -> Iterator[LintFinding]:
+    for scope in ctx.scopes:
+        for f in _check_scope(ctx, scope):
+            if f.code == "OOPP102":
+                yield f
+
+
+@rule("OOPP103", "sync-primitive-argument",
+      "lock/thread/synchronization primitive shipped as a remote argument",
+      "§2 — objects synchronize via messages, not shared-memory locks")
+def check_sync_primitive(ctx) -> Iterator[LintFinding]:
+    for scope in ctx.scopes:
+        for f in _check_scope(ctx, scope):
+            if f.code == "OOPP103":
+                yield f

@@ -1,0 +1,66 @@
+"""``# oopp: ignore[...]`` suppression comments.
+
+Flake8's ``# noqa`` idea with an explicit namespace so the two tools
+never collide::
+
+    pages = [dev[i].read(i) for i in range(N)]  # oopp: ignore[OOPP201]
+    risky.call(x)   # oopp: ignore[OOPP101, OOPP103] — trailing prose ok
+    anything()      # oopp: ignore        (all codes on this line)
+
+Comments are found with :mod:`tokenize` (never inside strings).  A
+suppression applies to findings anchored on its line; findings inside
+multi-line statements also honour a suppression on the statement's
+first line (``LintFinding.alt_lines``).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Optional
+
+from .findings import LintFinding
+
+_IGNORE_RE = re.compile(
+    r"#\s*oopp:\s*ignore(?:\[(?P<codes>[A-Za-z0-9_,\s]*)\])?")
+
+
+def suppressions(source: str) -> dict[int, Optional[frozenset]]:
+    """Map line number -> suppressed codes (``None`` = every code)."""
+    out: dict[int, Optional[frozenset]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [(tok.start[0], tok.string) for tok in tokens
+                    if tok.type == tokenize.COMMENT]
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        # unparsable input is reported as OOPP900 elsewhere
+        return out
+    for line, text in comments:
+        m = _IGNORE_RE.search(text)
+        if not m:
+            continue
+        codes = m.group("codes")
+        if codes is None:
+            out[line] = None
+        else:
+            parsed = frozenset(c.strip().upper() for c in codes.split(",")
+                               if c.strip())
+            # `# oopp: ignore[]` suppresses nothing (explicit empty list)
+            out[line] = parsed if parsed else frozenset()
+    return out
+
+
+def is_suppressed(finding: LintFinding,
+                  supp: dict[int, Optional[frozenset]]) -> bool:
+    for line in (finding.line, *finding.alt_lines):
+        codes = supp.get(line, frozenset())
+        if codes is None or (codes and finding.code in codes):
+            return True
+    return False
+
+
+def filter_suppressed(findings, supp) -> tuple[list, int]:
+    """Split *findings* into (kept, number suppressed)."""
+    kept = [f for f in findings if not is_suppressed(f, supp)]
+    return kept, len(findings) - len(kept)

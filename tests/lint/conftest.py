@@ -1,0 +1,16 @@
+import os
+
+import pytest
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+
+@pytest.fixture
+def fixtures_dir() -> str:
+    return FIXTURES
+
+
+def fixture_path(name: str) -> str:
+    return os.path.join(FIXTURES, name)

@@ -1,0 +1,30 @@
+"""A realistic OOPP program with zero findings — the corpus control."""
+
+import repro as oopp
+
+
+class Grid:
+    __oopp_idempotent__ = frozenset({"cell"})
+
+    def __init__(self, n):
+        self.cells = [0] * n
+        self.version = 0
+
+    def set_cell(self, i, v):
+        self.cells[i] = v
+        self.version = self.version + 1
+
+    @oopp.readonly
+    def cell(self, i):
+        return self.cells[i]
+
+
+def run(cluster, n):
+    grid = cluster.new(Grid, n)
+    with oopp.autoparallel():
+        for i in range(n):
+            grid.set_cell(i, i * i)
+    total = 0
+    for i in range(n):
+        total += grid.cell(i)
+    return total

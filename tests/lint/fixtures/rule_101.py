@@ -1,0 +1,19 @@
+"""Seeded violations: OOPP101 (lambda / local function shipped remotely).
+
+Never imported — parsed by the lint suite.  `# seeded: CODE` marks the
+exact line each finding must anchor to.
+"""
+
+
+def ship(cluster):
+    w = cluster.on(0).new(Worker, lambda x: x + 1)  # seeded: OOPP101
+    w.apply(lambda v: v * 2)  # seeded: OOPP101
+    fn = lambda v: v - 1  # noqa: E731 — the binding itself is legal
+    w.apply(fn)  # seeded: OOPP101
+
+    def local_step(v):
+        return v + 1
+
+    w.apply(local_step)  # seeded: OOPP101
+    w.apply(abs)  # a module-level callable pickles fine: no finding
+    return w

@@ -1,0 +1,9 @@
+"""Seeded violations: OOPP102 (open OS handle shipped remotely)."""
+
+
+def ship(cluster):
+    w = cluster.new(Logger, open("/tmp/x.log", "w"))  # seeded: OOPP102
+    fh = open("data.bin", "rb")
+    w.consume(fh)  # seeded: OOPP102
+    w.consume("data.bin")  # shipping the *path* is the fix: no finding
+    return w

@@ -1,0 +1,13 @@
+"""Seeded violations: OOPP103 (synchronization primitive shipped)."""
+
+import threading
+
+
+def ship(cluster):
+    w = cluster.new(Guard, threading.Lock())  # seeded: OOPP103
+    lock = threading.RLock()
+    w.guard(lock)  # seeded: OOPP103
+    gate = threading.Event()
+    group = cluster.new_group(Guard, 4)
+    group.invoke("guard", gate)  # seeded: OOPP103
+    return w

@@ -1,0 +1,30 @@
+"""Seeded violations: OOPP201 (unpipelined sequential remote loop)."""
+
+
+def write_all(cluster, n, payload):
+    group = cluster.new_group(Device, n)
+    for i in range(n):  # seeded: OOPP201
+        group[i].write(i, payload)
+
+
+def read_all(cluster, n):
+    group = cluster.new_group(Device, n)
+    pages = [group[i].read(i) for i in range(n)]  # seeded: OOPP201
+    return pages
+
+
+def consuming_loop_is_fine(cluster, n):
+    dev = cluster.new(Device)
+    total = 0
+    for i in range(n):
+        total += dev.read(i)  # result consumed: no finding
+    return total
+
+
+def already_parallel_is_fine(cluster, n, payload):
+    import repro as oopp
+
+    dev = cluster.new(Device)
+    with oopp.autoparallel():
+        for i in range(n):
+            dev.write(i, payload)  # inside autoparallel: no finding

@@ -1,0 +1,39 @@
+"""Seeded violations: OOPP202 (future forced inside its creating loop)."""
+
+import repro as oopp
+
+
+def forced_future_value(cluster, n):
+    dev = cluster.new(Device)
+    total = 0
+    for i in range(n):
+        fut = dev.read.future(i)
+        total += fut.value  # seeded: OOPP202
+    return total
+
+
+def forced_future_result(cluster, n):
+    dev = cluster.new(Device)
+    out = []
+    for i in range(n):
+        fut = dev.read.future(i)
+        out.append(fut.result())  # seeded: OOPP202
+    return out
+
+
+def forced_deferred(cluster, n):
+    dev = cluster.new(Device)
+    hits = []
+    with oopp.autoparallel():
+        for i in range(n):
+            d = dev.read(i)
+            hits.append(d.value)  # seeded: OOPP202
+    return hits
+
+
+def forced_after_loop_is_fine(cluster, n):
+    dev = cluster.new(Device)
+    futures = []
+    for i in range(n):
+        futures.append(dev.read.future(i))
+    return [f.result() for f in futures]  # forced after: no finding

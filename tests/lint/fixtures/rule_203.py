@@ -1,0 +1,14 @@
+"""Seeded violations: OOPP203 (pending Deferred shipped as an argument)."""
+
+import repro as oopp
+
+
+def chained(cluster):
+    a = cluster.new(Stage)
+    b = cluster.new(Stage)
+    with oopp.autoparallel():
+        x = a.step(1)
+        b.step(x)  # seeded: OOPP203
+        b.step(a.step(2))  # seeded: OOPP203
+        b.step(x.value)  # forced first: no finding
+    b.step(x)  # after the block everything is flushed: no finding

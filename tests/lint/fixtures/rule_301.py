@@ -1,0 +1,29 @@
+"""Seeded violations: OOPP301 (retry-unsafe method declared idempotent)."""
+
+
+class Tally:
+    __oopp_idempotent__ = frozenset({
+        "bump", "log_event", "extend_log", "drop", "reset_to",
+    })
+
+    def __init__(self):
+        self.count = 0
+        self.events = []
+        self.state = {}
+
+    def bump(self):
+        self.count += 1  # seeded: OOPP301
+        return self.count
+
+    def log_event(self, e):
+        self.events.append(e)  # seeded: OOPP301
+
+    def extend_log(self, e):
+        self.events = self.events + [e]  # seeded: OOPP301
+
+    def drop(self, key):
+        del self.state[key]  # seeded: OOPP301
+
+    def reset_to(self, n):
+        self.count = n  # plain overwrite replays safely: no finding
+        return True

@@ -1,0 +1,31 @@
+"""Seeded violations: OOPP302 (provably-readonly method missing the
+@readonly marker)."""
+
+
+class Sensor:
+    def __init__(self, sid):
+        self.sid = sid
+        self.samples = []
+
+    def record(self, v):
+        self.samples.append(v)  # writes self: no finding
+
+    def last(self):  # seeded: OOPP302
+        return self.samples[-1]
+
+    def describe(self):  # seeded: OOPP302
+        return {"id": self.sid, "n": len(self.samples)}
+
+
+class PlainHelper:
+    """Not constructed remotely: held to no readonly contract."""
+
+    def __init__(self):
+        self.x = 1
+
+    def peek(self):
+        return self.x  # no finding
+
+
+def deploy(cluster):
+    return cluster.new(Sensor, 7)

@@ -1,0 +1,25 @@
+"""Seeded violations: OOPP401 (synchronous inter-class call cycle)."""
+
+
+class Ping:
+    def __init__(self, cluster):
+        self.peer = cluster.new(Pong, self)
+
+    def hit(self):
+        return self.peer.bounce()  # seeded: OOPP401
+
+
+class Pong:
+    def __init__(self, cluster):
+        self.peer = cluster.new(Ping, self)
+
+    def bounce(self):
+        return self.peer.hit()  # the cycle's other edge (reported once)
+
+
+class Safe:
+    def __init__(self, cluster):
+        self.peer = cluster.new(Pong, self)
+
+    def poke(self):
+        self.peer.bounce.oneway()  # oneway never blocks: no edge

@@ -1,0 +1,14 @@
+"""Seeded violations, every one silenced by `# oopp: ignore` comments.
+
+With suppressions honoured this file must lint clean; with
+``honor_suppressions=False`` (or ``--no-suppress``) the seeded
+findings reappear.
+"""
+
+
+def sweep(cluster, n, payload):
+    dev = cluster.new(Device)
+    for i in range(n):  # oopp: ignore[OOPP201]
+        dev.write(i, payload)
+    w = cluster.new(Worker, lambda x: x)  # oopp: ignore
+    return w

@@ -1,0 +1,103 @@
+"""The ``python -m repro.lint`` CLI: output formats, exit codes,
+selection flags, and the console-script entry point."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint.__main__ import main
+
+from .conftest import REPO_ROOT, fixture_path
+
+pytestmark = pytest.mark.lint
+
+
+def run_cli(*args: str):
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro.lint", *args],
+        capture_output=True, text=True, env=env, cwd=REPO_ROOT,
+        timeout=120)
+
+
+class TestExitCodes:
+    def test_findings_exit_nonzero(self):
+        proc = run_cli(fixture_path("rule_201.py"))
+        assert proc.returncode == 1
+        assert "OOPP201" in proc.stdout
+
+    def test_clean_file_exits_zero(self):
+        proc = run_cli(fixture_path("clean.py"))
+        assert proc.returncode == 0
+        assert proc.stdout == ""
+
+    def test_no_paths_is_usage_error(self):
+        proc = run_cli()
+        assert proc.returncode == 2
+
+    def test_shipped_tree_lints_clean(self):
+        proc = run_cli("examples/", "src/repro/apps/")
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+class TestOutput:
+    def test_flake8_style_lines(self):
+        proc = run_cli(fixture_path("rule_101.py"))
+        first = proc.stdout.splitlines()[0]
+        path, line, col, rest = first.split(":", 3)
+        assert path.endswith("rule_101.py")
+        assert int(line) == 9 and int(col) >= 1
+        assert rest.strip().startswith("OOPP101")
+
+    def test_json_output(self):
+        proc = run_cli("--json", fixture_path("rule_301.py"))
+        assert proc.returncode == 1
+        data = json.loads(proc.stdout)
+        assert [d["code"] for d in data] == ["OOPP301"] * 4
+        assert all(d["path"].endswith("rule_301.py") for d in data)
+        assert all("symbol" in d and "suggestion" in d for d in data)
+
+    def test_list_rules(self):
+        proc = run_cli("--list-rules")
+        assert proc.returncode == 0
+        for code in ("OOPP101", "OOPP201", "OOPP301", "OOPP401",
+                     "OOPP110", "OOPP900"):
+            assert code in proc.stdout
+
+
+class TestFlags:
+    def test_select_prefix(self):
+        assert main(["--select", "OOPP2", fixture_path("rule_101.py")]) == 0
+        assert main(["--select", "OOPP1", fixture_path("rule_101.py")]) == 1
+
+    def test_ignore_prefix(self):
+        assert main(["--ignore", "OOPP101",
+                     fixture_path("rule_101.py")]) == 0
+
+    def test_no_suppress_resurfaces_findings(self):
+        assert main([fixture_path("suppressed.py")]) == 0
+        assert main(["--no-suppress", fixture_path("suppressed.py")]) == 1
+
+    def test_directory_expansion(self, fixtures_dir):
+        # the whole corpus has findings: nonzero
+        assert main([fixtures_dir]) == 1
+
+
+class TestConsoleScript:
+    def test_pyproject_declares_oopp_lint(self):
+        text = open(os.path.join(REPO_ROOT, "pyproject.toml")).read()
+        assert 'oopp-lint = "repro.lint.__main__:run"' in text
+
+    def test_run_raises_systemexit(self, monkeypatch, capsys):
+        from repro.lint.__main__ import run
+
+        monkeypatch.setattr(sys, "argv", ["oopp-lint", "--list-rules"])
+        with pytest.raises(SystemExit) as exc:
+            run()
+        assert exc.value.code == 0
+        assert "OOPP201" in capsys.readouterr().out

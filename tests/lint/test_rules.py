@@ -1,0 +1,109 @@
+"""The seeded-violation corpus: every fixture must produce exactly the
+findings its ``# seeded: CODE`` comments declare — same code, same
+line, nothing extra."""
+
+import glob
+import os
+import re
+
+import pytest
+
+from repro.lint import LintFinding, all_rules, lint_paths, lint_source
+
+from .conftest import FIXTURES, fixture_path
+
+pytestmark = pytest.mark.lint
+
+_SEEDED = re.compile(r"# seeded: (OOPP\d+)")
+
+
+def seeded_expectations(path: str) -> list:
+    expected = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            for code in _SEEDED.findall(line):
+                expected.append((code, lineno))
+    return sorted(expected)
+
+
+_FIXTURES = sorted(
+    os.path.basename(p)
+    for p in glob.glob(os.path.join(FIXTURES, "rule_*.py")))
+
+
+def test_corpus_is_complete():
+    """One seeded fixture per static rule code."""
+    static_codes = {r.code for r in all_rules()
+                    if r.scope in ("module", "corpus")}
+    fixture_codes = {f"OOPP{name[5:8]}" for name in _FIXTURES}
+    assert fixture_codes == static_codes
+
+
+@pytest.mark.parametrize("name", _FIXTURES)
+def test_fixture_findings_match_seeded_markers(name):
+    path = fixture_path(name)
+    expected = seeded_expectations(path)
+    assert expected, f"{name} seeds nothing"
+    got = sorted((f.code, f.line) for f in lint_paths([path]))
+    assert got == expected
+
+
+def test_clean_fixture_has_zero_findings():
+    assert lint_paths([fixture_path("clean.py")]) == []
+
+
+def test_suppressed_fixture_is_silent_until_no_suppress():
+    path = fixture_path("suppressed.py")
+    assert lint_paths([path]) == []
+    loud = lint_paths([path], honor_suppressions=False)
+    assert sorted(f.code for f in loud) == ["OOPP101", "OOPP201"]
+
+
+def test_select_and_ignore_prefixes():
+    path = fixture_path("rule_101.py")
+    assert lint_paths([path], select=["OOPP2"]) == []
+    assert {f.code for f in lint_paths([path], select=["OOPP1"])} == \
+        {"OOPP101"}
+    assert lint_paths([path], ignore=["OOPP101"]) == []
+
+
+def test_findings_are_sorted_and_formatted():
+    path = fixture_path("rule_101.py")
+    findings = lint_paths([path])
+    lines = [f.line for f in findings]
+    assert lines == sorted(lines)
+    rendered = findings[0].format()
+    assert rendered.startswith(f"{path}:9:")
+    assert "OOPP101" in rendered
+    d = findings[0].to_dict()
+    assert d["code"] == "OOPP101" and d["line"] == 9
+
+
+def test_unparsable_source_reports_oopp900():
+    findings = lint_source("def broken(:\n", path="bad.py")
+    assert [f.code for f in findings] == ["OOPP900"]
+
+
+def test_lint_source_on_memory_text():
+    src = (
+        "def f(cluster, n, data):\n"
+        "    dev = cluster.new(Device)\n"
+        "    for i in range(n):\n"
+        "        dev.write(i, data)\n"
+    )
+    findings = lint_source(src)
+    assert [(f.code, f.line) for f in findings] == [("OOPP201", 3)]
+    assert isinstance(findings[0], LintFinding)
+
+
+def test_rule_catalog_metadata():
+    rules = all_rules()
+    codes = [r.code for r in rules]
+    for expected in ("OOPP101", "OOPP102", "OOPP103", "OOPP201",
+                     "OOPP202", "OOPP203", "OOPP301", "OOPP302",
+                     "OOPP401", "OOPP110", "OOPP111", "OOPP112",
+                     "OOPP113", "OOPP114", "OOPP900"):
+        assert expected in codes
+    assert codes == sorted(codes)
+    for r in rules:
+        assert r.summary and r.paper

@@ -1,0 +1,49 @@
+"""The shipped tree is the linter's own first customer: examples/ and
+the bundled apps must lint clean, and the suppressions they carry must
+be real findings underneath (not stale comments)."""
+
+import os
+
+import pytest
+
+from repro.lint import iter_python_files, lint_paths
+
+from .conftest import REPO_ROOT
+
+pytestmark = pytest.mark.lint
+
+EXAMPLES = os.path.join(REPO_ROOT, "examples")
+APPS = os.path.join(REPO_ROOT, "src", "repro", "apps")
+
+
+def test_examples_and_apps_have_zero_findings():
+    findings = lint_paths([EXAMPLES, APPS])
+    assert findings == [], "\n".join(f.format() for f in findings)
+
+
+def test_example_suppressions_cover_live_findings():
+    """`# oopp: ignore` in examples/ must hide real diagnostics —
+    with suppressions off, the intentional sequential baselines
+    resurface as OOPP201."""
+    loud = lint_paths([EXAMPLES], honor_suppressions=False)
+    assert any(
+        f.code == "OOPP201" and
+        f.path.endswith("autoparallel_loops.py")
+        for f in loud)
+    assert any(
+        f.code == "OOPP201" and
+        f.path.endswith("persistent_dataset.py")
+        for f in loud)
+
+
+def test_apps_carry_no_suppressions():
+    """The apps were *fixed* (@readonly added), not silenced."""
+    quiet = lint_paths([APPS])
+    loud = lint_paths([APPS], honor_suppressions=False)
+    assert quiet == loud == []
+
+
+def test_corpus_covers_every_shipped_python_file():
+    files = iter_python_files([EXAMPLES, APPS])
+    assert len(files) >= 10
+    assert all(f.endswith(".py") for f in files)
