@@ -54,6 +54,7 @@ from .config import (
     DiskModel,
     NetworkModel,
     RetryConfig,
+    ServeConfig,
     TraceConfig,
     WireConfig,
 )
@@ -68,6 +69,7 @@ from .errors import (
     MachineDownError,
     CallTimeoutError,
     ChannelTimeoutError,
+    ServerOverloadedError,
 )
 from .transport.faults import FaultPlan, FaultRule
 from .runtime import (
@@ -79,6 +81,7 @@ from .runtime import (
     wait_all,
     gather,
     as_completed,
+    yielding_wait,
     ObjectGroup,
     ObjectRef,
     Block,
@@ -129,6 +132,7 @@ __all__ = [
     "NetworkModel",
     "WireConfig",
     "RetryConfig",
+    "ServeConfig",
     "TraceConfig",
     "CheckConfig",
     "readonly",
@@ -141,6 +145,7 @@ __all__ = [
     "MachineDownError",
     "CallTimeoutError",
     "ChannelTimeoutError",
+    "ServerOverloadedError",
     "FaultPlan",
     "FaultRule",
     "Cluster",
@@ -151,6 +156,7 @@ __all__ = [
     "wait_all",
     "gather",
     "as_completed",
+    "yielding_wait",
     "ObjectGroup",
     "ObjectRef",
     "Block",

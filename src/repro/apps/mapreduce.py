@@ -33,11 +33,25 @@ import threading
 from collections import defaultdict
 from typing import Any, Callable, Iterable, Optional, Sequence
 
+from zlib import crc32
+
 from ..check.detector import readonly
 from ..errors import OoppError
 from ..runtime.futures import wait_all
 from ..runtime.group import ObjectGroup
 from .funcspec import func_spec, resolve_func
+
+
+def stable_key_hash(key: Any) -> int:
+    """Partition hash that is stable across processes and interpreter runs.
+
+    ``hash()`` is seeded per interpreter (PYTHONHASHSEED), so it only
+    partitions consistently when every machine process inherits the
+    driver's seed — true under fork, silently wrong under spawn or a
+    future multi-host backend, and a source of seed-dependent skew in
+    tests.  CRC32 over ``repr`` is deterministic everywhere.
+    """
+    return crc32(repr(key).encode("utf-8", "backslashreplace"))
 
 
 class Mapper:
@@ -69,7 +83,8 @@ class Mapper:
             self.records_mapped += 1
             for key, value in self._map_fn(record):
                 self.pairs_emitted += 1
-                partitions[hash(key) % n_reducers].append((key, value))
+                partitions[stable_key_hash(key) % n_reducers].append(
+                    (key, value))
         # the shuffle: pipelined pushes straight to the reducer objects
         futures = []
         for r, pairs in partitions.items():
@@ -157,10 +172,10 @@ class MapReduce:
     def run(self, records: Sequence[Any]) -> dict:
         """Execute one job; returns the merged key → result mapping.
 
-        Key partitioning uses ``hash(key)``, which the forked machines
-        share with the driver (same hash seed); the overlap check below
-        turns any inconsistency into a loud error rather than silent
-        double counting.
+        Key partitioning uses :func:`stable_key_hash`, which is
+        deterministic across processes regardless of hash seed; the
+        overlap check below still turns any inconsistency into a loud
+        error rather than silent double counting.
         """
         self.reducers.invoke("reset")
         chunks = _chunk(records, self.n_mappers)

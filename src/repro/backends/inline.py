@@ -24,7 +24,7 @@ from ..obs.tracer import make_tracer
 from ..runtime.context import fabric_scope
 from ..runtime.futures import RemoteFuture, completed_future, failed_future
 from ..runtime.oid import ObjectRef
-from ..runtime.server import Dispatcher, Kernel, ObjectTable
+from ..runtime.server import Dispatcher, Kernel, ObjectTable, ServePolicy
 from ..transport import serde
 from ..transport.message import ErrorResponse, Request
 from ..util.ids import IdAllocator
@@ -40,9 +40,12 @@ class _VirtualMachine:
         self.kernel = Kernel(machine_id, self.table)
         self.kernel.tracer = fabric.tracer
         self.kernel.checker = fabric.checker
+        self.policy = ServePolicy(fabric.config.serve, machine=machine_id)
+        self.kernel.policy = self.policy
         self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
                                      fabric, tracer=fabric.tracer,
-                                     checker=fabric.checker)
+                                     checker=fabric.checker,
+                                     policy=self.policy)
 
 
 class InlineFabric(Fabric):

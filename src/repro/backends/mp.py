@@ -36,6 +36,7 @@ from ..errors import (
     ChannelClosedError,
     ChannelTimeoutError,
     MachineDownError,
+    ServerOverloadedError,
     TransportError,
 )
 from ..obs.metrics import snapshot_process
@@ -44,8 +45,9 @@ from ..obs.tracer import current_span_id, make_tracer
 from ..runtime.context import RuntimeContext, context_scope, set_default_context
 from ..runtime.futures import RemoteFuture, completed_future, failed_future
 from ..runtime.oid import ObjectRef
-from ..runtime.server import Dispatcher, Kernel, ObjectTable
+from ..runtime.server import Dispatcher, Kernel, ObjectTable, ServePolicy
 from ..transport.message import (
+    KERNEL_OID,
     ErrorResponse,
     Goodbye,
     Hello,
@@ -61,6 +63,16 @@ from ..util.log import get_logger
 from .base import Fabric, exception_from_error
 
 log = get_logger("mp")
+
+#: historical per-machine thread-pool size, used when
+#: ``Config.serve.workers`` is None (the "auto" default).
+DEFAULT_MP_WORKERS = 8
+
+#: extra executor threads beyond ``serve.workers``: substrate for bodies
+#: that yielded their policy slot while parked on a remote future (see
+#: ``ServePolicy.yield_for_wait``).  Bounds the depth of re-entrant
+#: cross-machine call chains one machine can park concurrently.
+YIELD_THREAD_HEADROOM = 16
 
 # ---------------------------------------------------------------------------
 # Client side: request/response demultiplexing over cached connections
@@ -447,14 +459,30 @@ class MachineServer:
                                    config=config,
                                    tracer=self.tracer,
                                    checker=self.checker)
+        self.policy = ServePolicy(config.serve, machine=machine_id)
+        self.kernel.policy = self.policy
         self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
                                      self.fabric, tracer=self.tracer,
-                                     checker=self.checker)
+                                     checker=self.checker,
+                                     policy=self.policy)
         self.listener = listen_socket(DEFAULT_HOST, 0)
         self.port = self.listener.getsockname()[1]
+        # serve.workers caps *executing* bodies via the policy's slots;
+        # None keeps the historical 8-thread default as the effective
+        # limit.  The executor itself gets headroom beyond that: a body
+        # parked on a remote future yields its policy slot but still
+        # occupies its thread, so without spare threads a symmetric
+        # exchange (every worker parked, deposits queued behind them)
+        # would starve the pool the policy just freed up.
+        pool_size = (config.serve.workers if config.serve.workers is not None
+                     else DEFAULT_MP_WORKERS)
         self.executor = ThreadPoolExecutor(
-            max_workers=config.mp_workers_per_machine,
+            max_workers=pool_size + YIELD_THREAD_HEADROOM,
             thread_name_prefix=f"oopp-m{machine_id}")
+        # Kernel calls ride a dedicated lane so shutdown/quiesce/metric
+        # gathers land even when every worker is busy or blocked.
+        self.kernel_executor = ThreadPoolExecutor(
+            max_workers=2, thread_name_prefix=f"oopp-m{machine_id}-kernel")
         self._conn_channels: list[SocketChannel] = []
         self._conn_lock = threading.Lock()
 
@@ -479,6 +507,7 @@ class MachineServer:
         for ch in channels:
             ch.close()
         self.executor.shutdown(wait=False, cancel_futures=True)
+        self.kernel_executor.shutdown(wait=False, cancel_futures=True)
         self.outbound.close()
 
     def _accept_loop(self) -> None:
@@ -518,14 +547,55 @@ class MachineServer:
                         channel.close()
                         return
                     if isinstance(msg, Request):
-                        self.executor.submit(self._serve_request, reply_send,
-                                             msg)
+                        if msg.object_id == KERNEL_OID:
+                            self.kernel_executor.submit(
+                                self._serve_request, reply_send, msg)
+                            continue
+                        # Admission happens here, on the reader thread:
+                        # the worker pool's internal queue would
+                        # otherwise hide unbounded backlog from the
+                        # per-object depth bound.
+                        try:
+                            self.policy.admit(msg.object_id, msg.method)
+                        except ServerOverloadedError as exc:
+                            self._reply_shed(reply_send, msg, exc)
+                            continue
+                        try:
+                            self.executor.submit(self._serve_request,
+                                                 reply_send, msg, True)
+                        except RuntimeError:  # pool shut down mid-stream
+                            self.policy.cancel_admit(msg.object_id)
+                            raise
         finally:
             if sender is not None:
                 sender.close(timeout=1.0)
 
-    def _serve_request(self, reply_send, request: Request) -> None:
-        reply = self.dispatcher.execute(request)
+    def _reply_shed(self, reply_send, request: Request,
+                    exc: ServerOverloadedError) -> None:
+        """Reject an unadmitted request straight from the reader thread.
+
+        No worker, no span, no vector clock: the call never reached the
+        dispatch layer, which is the whole point of admission control.
+        """
+        self.kernel.count_call()
+        if request.oneway:
+            return
+        reply = ErrorResponse(
+            request_id=request.request_id,
+            type_name=f"{type(exc).__module__}.{type(exc).__qualname__}",
+            message=str(exc),
+            remote_traceback="",
+            exception=exc,
+            clock=None,
+        )
+        try:
+            reply_send(reply)
+        except (ChannelClosedError, TransportError, OSError):
+            pass
+
+    def _serve_request(self, reply_send, request: Request,
+                       preadmitted: bool = False) -> None:
+        reply = self.dispatcher.execute(request, preadmitted=preadmitted)
         if reply is None:
             return
         try:

@@ -29,9 +29,14 @@ from ..config import Config
 from ..errors import MachineDownError, SerializationError, SimulationError
 from ..obs.tracer import make_tracer
 from ..runtime.context import CostHooks, RuntimeContext, context_scope, current_context
-from ..runtime.futures import RemoteFuture, completed_future, failed_future
+from ..runtime.futures import (
+    RemoteFuture,
+    _YieldedLocks,
+    completed_future,
+    failed_future,
+)
 from ..runtime.oid import ObjectRef
-from ..runtime.server import Dispatcher, Kernel, ObjectTable
+from ..runtime.server import Dispatcher, Kernel, ObjectTable, ServePolicy
 from ..sim.engine import Engine, Trigger
 from ..sim.network import SimNetwork
 from ..sim.trace import TraceLog
@@ -98,21 +103,24 @@ class SimRemoteFuture(RemoteFuture):
         """
         if self.done():
             return True
-        if timeout is None:
-            self._engine.wait(self.trigger)
+        # Yield the waiting thread's object locks for the duration
+        # (monitor semantics) — same contract as the base class.
+        with _YieldedLocks():
+            if timeout is None:
+                self._engine.wait(self.trigger)
+                return self.done()
+            trigger = self.trigger
+
+            def guard() -> None:
+                # Runs with the engine lock held (scheduled action); a
+                # no-op when the real delivery won the race.
+                if not trigger.fired:
+                    self._engine._fire_locked(trigger, None, None)
+
+            event = self._engine.schedule(timeout, guard)
+            self._engine.wait(trigger)
+            self._engine.cancel(event)
             return self.done()
-        trigger = self.trigger
-
-        def guard() -> None:
-            # Runs with the engine lock held (scheduled action); a no-op
-            # when the real delivery won the race.
-            if not trigger.fired:
-                self._engine._fire_locked(trigger, None, None)
-
-        event = self._engine.schedule(timeout, guard)
-        self._engine.wait(trigger)
-        self._engine.cancel(event)
-        return self.done()
 
 
 class SimKernel(Kernel):
@@ -142,15 +150,25 @@ class SimKernel(Kernel):
 class _SimMachine:
     def __init__(self, machine_id: int, fabric: "SimFabric") -> None:
         self.machine_id = machine_id
-        self.table = ObjectTable()
-        self.kernel = SimKernel(machine_id, self.table, fabric.engine)
+        engine = fabric.engine
+        # Blocking (destroy drains, worker slots, the per-object
+        # read/write lock) must consume *simulated* time: a sim process
+        # parking on an OS condition variable would stall the clock, so
+        # the table and policy poll through engine.sleep instead.
+        self.table = ObjectTable(
+            yield_wait=lambda: engine.sleep(ServePolicy.SIM_POLL_S))
+        self.kernel = SimKernel(machine_id, self.table, engine)
         self.hooks = SimCostHooks(fabric, machine_id)
         self.kernel.tracer = fabric.tracer
         self.kernel.checker = fabric.checker
+        self.policy = ServePolicy(fabric.config.serve, machine=machine_id,
+                                  engine=engine)
+        self.kernel.policy = self.policy
         self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
                                      fabric, hooks=self.hooks,
                                      tracer=fabric.tracer,
-                                     checker=fabric.checker)
+                                     checker=fabric.checker,
+                                     policy=self.policy)
 
 
 class SimFabric(Fabric):

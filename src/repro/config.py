@@ -195,6 +195,43 @@ class CheckConfig:
             raise ConfigError("check.max_reports must be >= 1")
 
 
+@dataclass
+class ServeConfig:
+    """Per-machine concurrent serving (see ``docs/SERVING.md``).
+
+    Every machine dispatches requests through a :class:`~repro.runtime.server.ServePolicy`:
+    ``@oopp.readonly`` methods on one object run concurrently under a
+    per-object read/write lock, writers stay exclusive, and a bounded
+    per-object admission queue sheds load with a retryable
+    :class:`~repro.errors.ServerOverloadedError` once ``max_queue_depth``
+    calls are already admitted (queued or executing) on that object.
+    """
+
+    #: concurrent method executions per machine.  ``None`` = auto: the
+    #: mp backend keeps its historical 8-thread pool, sim/inline leave
+    #: concurrency unbounded.  An explicit int is enforced on every
+    #: backend via worker slots.  Must exceed the deepest chain of
+    #: nested blocking remote calls that re-enters one machine — a
+    #: cross-machine call cycle needs one slot per hop that lands here
+    #: (nested *local* calls ride their parent's slot).
+    workers: int | None = None
+    #: per-object bound on admitted (queued + executing) calls; beyond
+    #: it new calls are shed with ServerOverloadedError.  ``None`` =
+    #: unbounded (the paper's semantics: callers queue forever).
+    max_queue_depth: int | None = None
+    #: run ``@oopp.readonly`` methods concurrently on one object.
+    #: ``False`` serializes every method (one writer lock for all).
+    readonly_concurrency: bool = True
+
+    def validate(self) -> None:
+        if self.workers is not None and self.workers < 1:
+            raise ConfigError(
+                "serve.workers (legacy mp_workers_per_machine) must be "
+                ">= 1 or None")
+        if self.max_queue_depth is not None and self.max_queue_depth < 1:
+            raise ConfigError("serve.max_queue_depth must be >= 1 or None")
+
+
 #: legacy flat keyword → (nested group, attribute).
 _LEGACY_FIELDS: dict[str, tuple[str, str]] = {
     "wire_coalesce": ("wire", "coalesce"),
@@ -205,6 +242,7 @@ _LEGACY_FIELDS: dict[str, tuple[str, str]] = {
     "shm_threshold_bytes": ("wire", "shm_threshold_bytes"),
     "call_retries": ("retry", "retries"),
     "retry_backoff_s": ("retry", "backoff_s"),
+    "mp_workers_per_machine": ("serve", "workers"),
 }
 
 
@@ -293,10 +331,11 @@ class Config:
     #: so mutation semantics match a real process boundary.  Turning this
     #: off shares objects by reference (fast, but unfaithful).
     inline_copy: bool = True
-    #: mp backend: size of each machine's method-execution thread pool.
-    #: Must exceed the deepest chain of nested blocking remote calls a
-    #: single machine can serve at once.
-    mp_workers_per_machine: int = 8
+    #: per-machine concurrent serving: worker slots, per-object
+    #: read/write locks, bounded admission (see :class:`ServeConfig` /
+    #: docs/SERVING.md).  The legacy flat ``mp_workers_per_machine``
+    #: keyword forwards to ``serve.workers``.
+    serve: ServeConfig = field(default_factory=ServeConfig)
     #: mp backend: multiprocessing start method.  ``fork`` lets workers
     #: resolve classes defined in test files or __main__.
     mp_start_method: str = "fork"
@@ -322,7 +361,8 @@ class Config:
             raise ConfigError("n_machines must be >= 1")
         if self.call_timeout_s is not None and self.call_timeout_s <= 0:
             raise ConfigError("call_timeout_s must be positive or None")
-        for group in (self.wire, self.retry, self.trace, self.check):
+        for group in (self.wire, self.retry, self.trace, self.check,
+                      self.serve):
             if group is None:
                 continue
             validate = getattr(group, "validate", None)
@@ -344,8 +384,6 @@ class Config:
             raise ConfigError("timeouts must be positive")
         if self.sim_default_compute_s < 0:
             raise ConfigError("sim_default_compute_s must be >= 0")
-        if self.mp_workers_per_machine < 1:
-            raise ConfigError("mp_workers_per_machine must be >= 1")
         if self.mp_start_method not in ("fork", "spawn", "forkserver"):
             raise ConfigError(f"unknown start method {self.mp_start_method!r}")
         self.network.validate()

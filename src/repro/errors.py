@@ -105,6 +105,46 @@ class MachineDownError(RuntimeLayerError):
                 {"machine": self.machine, "oid": self.oid})
 
 
+class ServerOverloadedError(RuntimeLayerError):
+    """The hosting machine shed the call at admission.
+
+    Raised (and shipped back to the caller) when an object's admission
+    queue is already ``ServeConfig.max_queue_depth`` deep.  The call was
+    rejected *before* the method body ran, so re-sending is always safe
+    in principle — but the generic retry machinery still only retries it
+    for idempotent methods, because by the time the retry lands the
+    server may have partially executed a previous, genuinely ambiguous
+    attempt of the same request id chain.
+
+    Attributes
+    ----------
+    machine:
+        Index of the machine that shed the call, when known.
+    oid:
+        Object id whose admission queue was full.
+    method:
+        Method name of the rejected call.
+    depth:
+        Queue depth observed at rejection time.
+    """
+
+    def __init__(self, message: str = "", *, machine: int | None = None,
+                 oid: int | None = None, method: str | None = None,
+                 depth: int | None = None) -> None:
+        super().__init__(message)
+        self.machine = machine
+        self.oid = oid
+        self.method = method
+        self.depth = depth
+
+    def __reduce__(self):
+        # Same idea as MachineDownError: keep the diagnostic fields
+        # across the pickle round trip error responses take.
+        return (self.__class__, (self.args[0] if self.args else "",),
+                {"machine": self.machine, "oid": self.oid,
+                 "method": self.method, "depth": self.depth})
+
+
 class RemoteExecutionError(RuntimeLayerError):
     """An exception escaped a remote method body.
 

@@ -46,7 +46,7 @@ import numpy as np
 
 from ..array.partition import slab_bounds
 from ..errors import OoppError
-from ..runtime.futures import wait_all
+from ..runtime.futures import wait_all, yielding_wait
 from ..runtime.group import ObjectGroup
 from ..runtime.proxy import Proxy
 from .kernels import FFTError, fft_kernel
@@ -182,15 +182,21 @@ class FFT:
         self._slab = np.ascontiguousarray(np.concatenate(blocks, axis=0))
 
     def wait_and_assemble(self, phase: str, timeout: float = 120.0) -> None:
-        """Blocking assemble for the collective mode (inline/mp only)."""
+        """Blocking assemble for the collective mode (inline/mp only).
+
+        The wait yields this worker's object lock (monitor semantics):
+        the peers' ``deposit`` calls are writers on this same object and
+        would otherwise queue behind ``transform``'s held lock forever.
+        """
         N, _ = self._require_group()
-        with self._cond:
-            def have_all() -> bool:
-                return all((phase, s) in self._inbox for s in range(N))
-            if not self._cond.wait_for(have_all, timeout):
-                raise OoppError(
-                    f"worker {self.id}: transpose {phase!r} incomplete "
-                    f"after {timeout}s")
+        with yielding_wait():
+            with self._cond:
+                def have_all() -> bool:
+                    return all((phase, s) in self._inbox for s in range(N))
+                if not self._cond.wait_for(have_all, timeout):
+                    raise OoppError(
+                        f"worker {self.id}: transpose {phase!r} incomplete "
+                        f"after {timeout}s")
         self.assemble(phase)
 
     def fft_axis0(self, sign: int) -> None:
@@ -233,13 +239,14 @@ class FFT:
 
     def wait_and_assemble_back(self, phase: str, timeout: float = 120.0) -> None:
         N, _ = self._require_group()
-        with self._cond:
-            def have_all() -> bool:
-                return all((phase, s) in self._inbox for s in range(N))
-            if not self._cond.wait_for(have_all, timeout):
-                raise OoppError(
-                    f"worker {self.id}: transpose {phase!r} incomplete "
-                    f"after {timeout}s")
+        with yielding_wait():
+            with self._cond:
+                def have_all() -> bool:
+                    return all((phase, s) in self._inbox for s in range(N))
+                if not self._cond.wait_for(have_all, timeout):
+                    raise OoppError(
+                        f"worker {self.id}: transpose {phase!r} incomplete "
+                        f"after {timeout}s")
         self.assemble_back(phase)
 
     def normalize(self, factor: float) -> None:

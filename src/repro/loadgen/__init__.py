@@ -1,0 +1,36 @@
+"""Load generation and SLO gating for concurrent object servers.
+
+``python -m repro.loadgen`` drives N simulated clients — closed-loop
+(each client waits for its reply before issuing the next call) or
+open-loop (calls arrive on a fixed schedule regardless of completions)
+— against the sim or mp backend, computes latency and queue-time
+percentiles from the observability spans every call already records,
+and emits a JSON SLO report.  Gates (p99 ceiling, throughput floor,
+shed budget) turn the report into an exit code, which is what lets CI
+block a regression in the serving layer the same way it blocks a
+failing test.
+
+The interesting measurements come for free from the span model
+(:mod:`repro.obs.span`): a client span's ``t_replied - t_queued`` is
+the end-to-end latency the client saw, its ``t_sent - t_queued`` is
+sender-side queueing, and the matching server span's
+``t_executed - t_received`` is time spent on the machine — admission
+queue wait plus service.  On the sim backend all of these are
+*simulated* seconds, so a quick CI run measures contention effects
+(worker-pool scaling, admission sheds) without burning wall-clock.
+"""
+
+from .driver import LoadSpec, RunResult, run_load
+from .report import Gate, SLOReport, percentiles
+from .workload import KVService, digest_program
+
+__all__ = [
+    "Gate",
+    "KVService",
+    "LoadSpec",
+    "RunResult",
+    "SLOReport",
+    "digest_program",
+    "percentiles",
+    "run_load",
+]

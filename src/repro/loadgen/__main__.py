@@ -1,0 +1,203 @@
+"""``python -m repro.loadgen`` — load scenarios with SLO gates.
+
+Two modes:
+
+* the default runs ONE scenario described by the flags, prints the
+  JSON report, and applies whatever gates were requested
+  (``--p99-ms``, ``--min-rps``, ``--max-shed-fraction``);
+* ``--quick`` runs the CI gate suite on the sim backend (plus a small
+  mp smoke): worker-pool read scaling must beat ``--scale-gate`` (2x),
+  conformance digests must match across worker counts, the race
+  detector must stay silent, and admission control must account for
+  every issued call.  Simulated time keeps the whole suite in seconds
+  of wall-clock.
+
+Exit code 0 means every gate passed; 1 means a violation (the report
+says which); 2 means the harness itself failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..check.conformance import run_program
+from ..config import ServeConfig
+from .driver import LoadSpec, run_load
+from .report import SLOReport
+from .workload import digest_program
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="python -m repro.loadgen",
+        description="Load-generation + SLO harness for the object servers.")
+    p.add_argument("--quick", action="store_true",
+                   help="run the CI gate suite (sim + mp smoke) and exit "
+                        "nonzero on any violation")
+    p.add_argument("--no-mp", action="store_true",
+                   help="skip the mp smoke inside --quick (single-process "
+                        "environments)")
+    p.add_argument("--backend", default="sim", choices=("sim", "mp", "inline"))
+    p.add_argument("--machines", type=int, default=2)
+    p.add_argument("--objects", type=int, default=2)
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--requests", type=int, default=16,
+                   help="requests per client")
+    p.add_argument("--read-fraction", type=float, default=0.9)
+    p.add_argument("--service-ms", type=float, default=1.0)
+    p.add_argument("--mode", default="closed", choices=("closed", "open"))
+    p.add_argument("--rps", type=float, default=200.0,
+                   help="open-loop offered rate per client")
+    p.add_argument("--workers", type=int, default=8,
+                   help="serve.workers (0 = unbounded)")
+    p.add_argument("--max-queue-depth", type=int, default=0,
+                   help="serve.max_queue_depth (0 = unbounded)")
+    p.add_argument("--retries", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--check-races", action="store_true",
+                   help="run the race detector during the scenario and "
+                        "gate on zero reports")
+    p.add_argument("--p99-ms", type=float, default=None,
+                   help="gate: p99 latency ceiling, milliseconds")
+    p.add_argument("--min-rps", type=float, default=None,
+                   help="gate: throughput floor, requests/second")
+    p.add_argument("--max-shed-fraction", type=float, default=None,
+                   help="gate: shed/issued ceiling")
+    p.add_argument("--scale-gate", type=float, default=2.0,
+                   help="--quick gate: minimum pooled/serial readonly "
+                        "throughput ratio")
+    p.add_argument("--json", metavar="PATH", default=None,
+                   help="write the JSON report here (default: stdout only)")
+    return p
+
+
+def _single_run(args: argparse.Namespace, report: SLOReport) -> None:
+    spec = LoadSpec(
+        backend=args.backend, n_machines=args.machines,
+        objects=args.objects, clients=args.clients, requests=args.requests,
+        read_fraction=args.read_fraction, service_ms=args.service_ms,
+        mode=args.mode, offered_rps=args.rps,
+        workers=args.workers or None,
+        max_queue_depth=args.max_queue_depth or None,
+        retries=args.retries, seed=args.seed,
+        check_races=args.check_races)
+    result = run_load(spec)
+    report.add_scenario("single", result.to_dict())
+
+    report.gate("errors", result.errors, 0, "<=",
+                "non-shed remote failures")
+    if args.p99_ms is not None:
+        p99 = result.latency_s.get("p99")
+        report.gate("latency_p99_ms",
+                    None if p99 is None else p99 * 1e3,
+                    args.p99_ms, "<=")
+    if args.min_rps is not None:
+        report.gate("throughput_rps", result.throughput_rps,
+                    args.min_rps, ">=")
+    if args.max_shed_fraction is not None:
+        frac = result.shed / result.issued if result.issued else 0.0
+        report.gate("shed_fraction", frac, args.max_shed_fraction, "<=")
+    if args.check_races:
+        report.gate("race_reports", result.race_reports, 0, "<=")
+
+
+def _quick(args: argparse.Namespace, report: SLOReport) -> None:
+    """The CI suite: scaling, conformance, races, admission accounting."""
+    # 1. Readonly scaling: same read-only closed-loop burst, one worker
+    #    vs a pool.  Simulated service time makes the ratio exact.
+    base = dict(backend="sim", n_machines=2, objects=2, clients=16,
+                requests=4, read_fraction=1.0, service_ms=1.0,
+                mode="closed", seed=args.seed)
+    serial = run_load(LoadSpec(workers=1, **base))
+    pooled = run_load(LoadSpec(workers=8, **base))
+    report.add_scenario("scale_serial_w1", serial.to_dict())
+    report.add_scenario("scale_pooled_w8", pooled.to_dict())
+    ratio = (pooled.throughput_rps / serial.throughput_rps
+             if serial.throughput_rps else None)
+    report.gate("readonly_scaling_x", ratio, args.scale_gate, ">=",
+                "pooled (w=8) vs serial (w=1) readonly throughput")
+    report.gate("scaling_errors", serial.errors + pooled.errors, 0, "<=")
+
+    # 2. Conformance: the same concurrent program must produce the same
+    #    observable outcome whether the server pools or serializes.
+    digests = {}
+    for workers in (1, 8):
+        outcome = run_program(digest_program, "sim", n_machines=2,
+                              serve=ServeConfig(workers=workers))
+        digests[workers] = outcome.digest
+    report.add_scenario("conformance_digests", {
+        "digests": {str(k): v for k, v in digests.items()}})
+    report.gate("digest_match", len(set(digests.values())), 1, "<=",
+                "identical outcome digest across worker counts")
+
+    # 3. Races: the detector must stay silent under *correct* usage.
+    #    Two race-free-by-construction patterns: concurrent reads on
+    #    shared objects (reads never conflict), and a mixed read/write
+    #    load where each client owns its object (per-object access is
+    #    sequential).  The pooled server must not make either racy.
+    shared_reads = run_load(LoadSpec(
+        backend="sim", n_machines=2, objects=2, clients=8, requests=6,
+        read_fraction=1.0, service_ms=0.5, workers=8,
+        seed=args.seed, check_races=True))
+    private_mixed = run_load(LoadSpec(
+        backend="sim", n_machines=2, objects=8, clients=8, requests=6,
+        read_fraction=0.7, service_ms=0.5, workers=8,
+        seed=args.seed, check_races=True))
+    report.add_scenario("race_shared_reads", shared_reads.to_dict())
+    report.add_scenario("race_private_mixed", private_mixed.to_dict())
+    report.gate("race_reports",
+                shared_reads.race_reports + private_mixed.race_reports,
+                0, "<=", "detector silent on race-free load patterns")
+    report.gate("race_run_errors",
+                shared_reads.errors + private_mixed.errors, 0, "<=")
+
+    # 4. Admission accounting under overload: open-loop arrivals against
+    #    a depth-1 queue must shed, and ok + shed must cover every
+    #    issued call — nothing admitted may vanish.
+    over = run_load(LoadSpec(backend="sim", n_machines=1, objects=1,
+                             clients=8, requests=4, read_fraction=1.0,
+                             service_ms=2.0, mode="open", offered_rps=2000.0,
+                             workers=1, max_queue_depth=1, seed=args.seed))
+    report.add_scenario("admission_overload", over.to_dict())
+    report.gate("overload_sheds", over.shed, 1, ">=",
+                "bounded queue must shed under open-loop overload")
+    report.gate("overload_accounted",
+                over.issued - over.ok - over.shed - over.errors, 0, "<=",
+                "every issued call completes, sheds, or errors")
+    report.gate("overload_errors", over.errors, 0, "<=")
+
+    # 5. mp smoke: the same harness against real processes and sockets.
+    if not args.no_mp:
+        mp = run_load(LoadSpec(backend="mp", n_machines=2, objects=2,
+                               clients=6, requests=3, read_fraction=0.9,
+                               service_ms=5.0, workers=8, seed=args.seed))
+        report.add_scenario("mp_smoke", mp.to_dict())
+        report.gate("mp_errors", mp.errors + mp.shed, 0, "<=",
+                    "unbounded queue: nothing sheds, nothing fails")
+        report.gate("mp_completed", mp.ok, mp.issued, ">=")
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    report = SLOReport()
+    try:
+        if args.quick:
+            _quick(args, report)
+        else:
+            _single_run(args, report)
+    except Exception as exc:  # noqa: BLE001 - harness failure != gate failure
+        print(f"loadgen: harness error: {type(exc).__name__}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        report.write(args.json)
+        print(f"report written to {args.json}", file=sys.stderr)
+    else:
+        print(report.to_json())
+    print(report.summary(), file=sys.stderr)
+    return 1 if report.violated else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,242 @@
+"""Drive load at a cluster and measure it from its own spans.
+
+Two client models:
+
+* **closed-loop** — ``clients`` logical clients each keep exactly one
+  call outstanding: a client issues, waits for the reply (or the shed
+  error), then issues its next call.  Implemented as waves — every
+  round, each client contributes one future and the driver collects the
+  whole wave — so the same code drives every backend, including sim
+  where only the driver thread is a simulation process by default.
+* **open-loop** — arrivals follow a fixed schedule (``offered_rps`` per
+  client) whether or not earlier calls completed; this is the model
+  that exposes queue growth and admission sheds, because a slow server
+  cannot push back on the arrival process.  On sim each client is a
+  spawned simulation process sleeping *simulated* inter-arrival gaps;
+  on mp it is a driver thread sleeping wall-clock gaps.
+
+Both models measure the same way: the run enables tracing, drains
+``cluster.trace_spans()`` at the end, and reduces client spans to
+latency (``t_replied - t_queued``) and sender queue time
+(``t_sent - t_queued``), server spans to machine time
+(``t_executed - t_received`` = admission-queue wait + service).
+Shed calls are counted separately and excluded from the latency sample
+— a rejection in microseconds would *flatter* p99, not reflect it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..config import CheckConfig, Config, RetryConfig, ServeConfig, TraceConfig
+from ..errors import ServerOverloadedError
+from ..runtime.cluster import Cluster
+from .report import percentiles
+from .workload import KVService
+
+#: methods whose spans the harness reduces (everything else — kernel
+#: traffic, object creation — is control plane, not load).
+_LOAD_METHODS = frozenset({"get", "put", "add", "size"})
+
+
+@dataclass
+class LoadSpec:
+    """One load scenario, fully described."""
+
+    backend: str = "sim"
+    n_machines: int = 2
+    objects: int = 2                 # served objects, round-robin placed
+    clients: int = 8
+    requests: int = 16               # per client
+    read_fraction: float = 0.9
+    service_ms: float = 1.0
+    mode: str = "closed"             # "closed" | "open"
+    offered_rps: float = 200.0       # per client, open-loop only
+    workers: Optional[int] = 8
+    max_queue_depth: Optional[int] = None
+    retries: int = 0
+    seed: int = 0
+    check_races: bool = False
+
+    def to_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class RunResult:
+    """What one scenario measured."""
+
+    spec: LoadSpec
+    makespan_s: float = 0.0
+    issued: int = 0
+    ok: int = 0
+    shed: int = 0
+    errors: int = 0
+    latency_s: dict[str, float] = field(default_factory=dict)
+    send_queue_s: dict[str, float] = field(default_factory=dict)
+    server_time_s: dict[str, float] = field(default_factory=dict)
+    serve_stats: list[dict] = field(default_factory=list)
+    race_reports: int = 0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.ok / self.makespan_s if self.makespan_s > 0 else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "makespan_s": self.makespan_s,
+            "issued": self.issued,
+            "ok": self.ok,
+            "shed": self.shed,
+            "errors": self.errors,
+            "throughput_rps": self.throughput_rps,
+            "latency_s": self.latency_s,
+            "send_queue_s": self.send_queue_s,
+            "server_time_s": self.server_time_s,
+            "serve_stats": self.serve_stats,
+            "race_reports": self.race_reports,
+        }
+
+
+def _make_config(spec: LoadSpec) -> Config:
+    return Config(
+        backend=spec.backend,
+        n_machines=spec.n_machines,
+        serve=ServeConfig(workers=spec.workers,
+                          max_queue_depth=spec.max_queue_depth),
+        retry=RetryConfig(retries=spec.retries),
+        trace=TraceConfig(),
+        check=CheckConfig(race_detect=True) if spec.check_races else None,
+    )
+
+
+def run_load(spec: LoadSpec) -> RunResult:
+    """Run one scenario and reduce its spans to a :class:`RunResult`."""
+    result = RunResult(spec=spec)
+    config = _make_config(spec)
+    with Cluster(config=config) as cluster:
+        real_time = spec.backend != "sim"
+        stores = [
+            cluster.on(i % spec.n_machines).new(
+                KVService, service_s=spec.service_ms / 1e3,
+                real_time=real_time)
+            for i in range(spec.objects)
+        ]
+        # Seed the keyspace so reads have something to find.
+        for i, s in enumerate(stores):
+            s.put("key", i)
+
+        clock = ((lambda: cluster.fabric.now) if spec.backend == "sim"
+                 else time.monotonic)
+        # The warm-up puts above produced spans too; drain them away so
+        # the measurement window contains exactly the load.
+        cluster.trace_spans()
+
+        t0 = clock()
+        if spec.mode == "closed":
+            _closed_loop(spec, stores, result)
+        elif spec.mode == "open":
+            futures = _open_loop(spec, stores, cluster)
+            result.issued += len(futures)
+            _collect(futures, result)
+        else:
+            raise ValueError(f"unknown load mode {spec.mode!r}")
+        result.makespan_s = clock() - t0
+
+        _reduce_spans(cluster.trace_spans(), result)
+        result.serve_stats = [
+            {"machine": m, **cluster.on(m).stats().get("serve", {})}
+            for m in range(spec.n_machines)
+        ]
+        if spec.check_races:
+            result.race_reports = len(cluster.race_reports())
+    return result
+
+
+def _pick(rng: random.Random, spec: LoadSpec, store) -> Any:
+    """Issue one client call (async) according to the read/write mix."""
+    if rng.random() < spec.read_fraction:
+        return store.get.future("key")
+    return store.add.future("key", 1)
+
+
+def _closed_loop(spec: LoadSpec, stores, result: RunResult) -> None:
+    """Wave-based closed loop: one outstanding call per client."""
+    rngs = [random.Random(spec.seed * 100003 + cid) for cid in range(spec.clients)]
+    for _round in range(spec.requests):
+        wave = [
+            _pick(rngs[cid], spec, stores[cid % len(stores)])
+            for cid in range(spec.clients)
+        ]
+        result.issued += len(wave)
+        # The barrier between waves is what makes the loop closed: no
+        # client issues round N+1 before every round-N reply landed.
+        _collect(wave, result)
+
+
+def _open_loop(spec: LoadSpec, stores, cluster: Cluster) -> list:
+    """Fixed arrival schedule; completions do not pace arrivals."""
+    gap_s = 1.0 / spec.offered_rps
+    futures_per_client: list[list] = [[] for _ in range(spec.clients)]
+
+    def issue(cid: int, sleep) -> None:
+        rng = random.Random(spec.seed * 100003 + cid)
+        store = stores[cid % len(stores)]
+        for _ in range(spec.requests):
+            sleep(gap_s)
+            futures_per_client[cid].append(_pick(rng, spec, store))
+
+    if spec.backend == "sim":
+        engine = cluster.fabric.engine
+        for cid in range(spec.clients):
+            engine.spawn(issue, cid, engine.sleep)
+        # Issuers run as simulation processes; the drain below advances
+        # simulated time until they (and every reply) are done.
+        cluster.fabric.drain()
+    else:
+        threads = [
+            threading.Thread(target=issue, args=(cid, time.sleep),
+                             name=f"loadgen-c{cid}", daemon=True)
+            for cid in range(spec.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+    return [f for per_client in futures_per_client for f in per_client]
+
+
+def _collect(futures, result: RunResult) -> None:
+    for f in futures:
+        try:
+            f.result()
+            result.ok += 1
+        except ServerOverloadedError:
+            result.shed += 1
+        except Exception:  # noqa: BLE001 - tallied, reported via gates
+            result.errors += 1
+
+
+def _reduce_spans(spans, result: RunResult) -> None:
+    latency: list[float] = []
+    send_queue: list[float] = []
+    server_time: list[float] = []
+    for span in spans:
+        if span.method not in _LOAD_METHODS:
+            continue
+        if span.kind == "client" and span.error is None:
+            if span.t_replied is not None and span.t_queued is not None:
+                latency.append(span.t_replied - span.t_queued)
+            if span.t_sent is not None and span.t_queued is not None:
+                send_queue.append(span.t_sent - span.t_queued)
+        elif span.kind == "server" and span.error is None:
+            if span.t_executed is not None and span.t_received is not None:
+                server_time.append(span.t_executed - span.t_received)
+    result.latency_s = percentiles(latency)
+    result.send_queue_s = percentiles(send_queue)
+    result.server_time_s = percentiles(server_time)

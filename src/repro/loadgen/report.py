@@ -1,0 +1,113 @@
+"""SLO report: percentile math, gates, JSON serialization.
+
+Percentiles use the nearest-rank method on the raw sample — no
+interpolation, no dependency on numpy — because an SLO gate wants "a
+real observed latency at or above the target rank", not a synthetic
+value between two samples.  Gates are plain records: name, the measured
+value, the limit, a comparison direction; the report is *violated* when
+any gate fails, and ``__main__`` maps that straight onto the exit code.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+
+def percentiles(values: Sequence[float],
+                ranks: Sequence[float] = (50, 95, 99)) -> dict[str, float]:
+    """Nearest-rank percentiles as ``{"p50": ..., "p99": ...}``.
+
+    Empty input yields an empty dict (the caller decides whether a
+    missing percentile fails a gate).
+    """
+    if not values:
+        return {}
+    ordered = sorted(values)
+    n = len(ordered)
+    out: dict[str, float] = {}
+    for rank in ranks:
+        idx = max(1, min(n, math.ceil(rank / 100 * n)))  # 1-indexed
+        out[f"p{rank:g}"] = ordered[idx - 1]
+    return out
+
+
+@dataclass
+class Gate:
+    """One SLO constraint: ``actual`` must satisfy ``op`` vs ``limit``."""
+
+    name: str
+    actual: Optional[float]
+    limit: float
+    op: str = "<="          # "<=" ceiling, ">=" floor
+    detail: str = ""
+
+    @property
+    def ok(self) -> bool:
+        if self.actual is None:
+            return False
+        if self.op == "<=":
+            return self.actual <= self.limit
+        if self.op == ">=":
+            return self.actual >= self.limit
+        raise ValueError(f"unknown gate op {self.op!r}")
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "ok": self.ok, "actual": self.actual,
+                "limit": self.limit, "op": self.op, "detail": self.detail}
+
+    def describe(self) -> str:
+        status = "PASS" if self.ok else "FAIL"
+        actual = "n/a" if self.actual is None else f"{self.actual:g}"
+        line = f"[{status}] {self.name}: {actual} {self.op} {self.limit:g}"
+        return line + (f"  ({self.detail})" if self.detail else "")
+
+
+@dataclass
+class SLOReport:
+    """Everything one loadgen invocation measured, plus its gates."""
+
+    scenarios: list[dict] = field(default_factory=list)
+    gates: list[Gate] = field(default_factory=list)
+
+    def add_scenario(self, name: str, payload: dict) -> None:
+        self.scenarios.append({"scenario": name, **payload})
+
+    def gate(self, name: str, actual: Optional[float], limit: float,
+             op: str = "<=", detail: str = "") -> Gate:
+        g = Gate(name=name, actual=actual, limit=limit, op=op, detail=detail)
+        self.gates.append(g)
+        return g
+
+    @property
+    def violated(self) -> bool:
+        return any(not g.ok for g in self.gates)
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": not self.violated,
+            "gates": [g.to_dict() for g in self.gates],
+            "scenarios": self.scenarios,
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False,
+                          default=_jsonable)
+
+    def write(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json() + "\n")
+
+    def summary(self) -> str:
+        lines = [g.describe() for g in self.gates]
+        verdict = "SLO: all gates passed" if not self.violated \
+            else "SLO: GATE VIOLATION"
+        return "\n".join(lines + [verdict]) if lines else verdict
+
+
+def _jsonable(value: Any) -> Any:
+    if hasattr(value, "to_dict"):
+        return value.to_dict()
+    return repr(value)

@@ -1,0 +1,93 @@
+"""The object the load harness serves: a key-value store with knobs.
+
+One class covers every scenario the harness runs:
+
+* ``get``/``size`` are ``@readonly`` and listed in
+  ``__oopp_idempotent__`` — under the concurrent server they share the
+  object's read lock and may be retried after a shed;
+* ``put`` is a writer (exclusive lock);
+* ``add`` is a *commutative* writer — a wave of concurrent ``add`` calls
+  lands on the same final value under every legal schedule, which is
+  what makes the cross-worker-count conformance digest meaningful.
+
+Service time is modeled two ways, chosen at construction because the
+object itself cannot know which backend hosts it: ``real_time=False``
+charges simulated compute through the runtime hooks (advances the sim
+clock, no-op elsewhere), ``real_time=True`` sleeps wall-clock (releases
+the GIL, so the mp worker pool genuinely overlaps readonly calls).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any
+
+from ..check.detector import readonly
+from ..runtime.context import current_hooks
+
+
+class KVService:
+    """Key-value store with tunable per-call service time."""
+
+    __oopp_idempotent__ = ("get", "size")
+
+    def __init__(self, service_s: float = 0.0,
+                 real_time: bool = False) -> None:
+        self._data: dict[Any, Any] = {}
+        self._service_s = service_s
+        self._real_time = real_time
+
+    def _work(self) -> None:
+        if self._service_s <= 0:
+            return
+        if self._real_time:
+            time.sleep(self._service_s)
+        else:
+            current_hooks().charge_compute(self._service_s)
+
+    @readonly
+    def get(self, key: Any) -> Any:
+        self._work()
+        return self._data.get(key)
+
+    @readonly
+    def size(self) -> int:
+        self._work()
+        return len(self._data)
+
+    def put(self, key: Any, value: Any) -> None:
+        self._work()
+        self._data[key] = value
+
+    def add(self, key: Any, delta: float = 1) -> float:
+        self._work()
+        value = self._data.get(key, 0) + delta
+        self._data[key] = value
+        return value
+
+
+def digest_program(cluster) -> Any:
+    """Deterministic concurrent program for cross-config conformance.
+
+    Alternates *waves* of concurrent work with barriers: a wave of
+    commutative ``add`` calls, a barrier, a wave of concurrent reads,
+    a barrier, then an exclusive ``put``.  Within a wave the pooled
+    server may execute calls in any order — adds commute and reads all
+    observe the same post-barrier state, so the observable outcome is
+    identical whether the server runs one worker or eight.  Any
+    corruption from the read/write lock (a read overlapping a write, a
+    lost update between pooled workers) shows up as a digest mismatch.
+    """
+    stores = [cluster.on(m).new(KVService) for m in range(cluster.n_machines)]
+    results = []
+    for round_no in range(3):
+        adds = [s.add.future("hits", 1 + round_no) for s in stores
+                for _ in range(4)]
+        for f in adds:
+            f.result()
+        reads = [s.get.future("hits") for s in stores for _ in range(4)]
+        results.append(sorted(f.result() for f in reads))
+        for i, s in enumerate(stores):
+            s.put(f"round{round_no}", i)
+    results.append([s.size() for s in stores])
+    return results

@@ -33,6 +33,12 @@ class Counters:
         with self._lock:
             self._values[name] = self._values.get(name, 0) + amount
 
+    def record_max(self, name: str, value: float) -> None:
+        """Keep the running maximum under *name* (peak gauges)."""
+        with self._lock:
+            if value > self._values.get(name, float("-inf")):
+                self._values[name] = value
+
     def get(self, name: str, default: float = 0) -> float:
         with self._lock:
             return self._values.get(name, default)
@@ -71,8 +77,8 @@ def snapshot_process() -> dict:
     """Everything this process knows about its own transport activity.
 
     Always includes the ``coalesce`` / ``header_cache`` / ``shm`` /
-    ``retry`` / ``faults`` keys (empty-or-zero when the corresponding
-    path never ran) so consumers need no existence checks.
+    ``retry`` / ``faults`` / ``serve`` keys (empty-or-zero when the
+    corresponding path never ran) so consumers need no existence checks.
     """
     from ..runtime.protocol import call_header_cache
     from ..transport import shm
@@ -82,6 +88,7 @@ def snapshot_process() -> dict:
         "coalesce": grouped.get("coalesce", {}),
         "retry": grouped.get("retry", {}),
         "faults": grouped.get("faults", {}),
+        "serve": grouped.get("serve", {}),
         "header_cache": call_header_cache.stats(),
         "shm": shm.manager().stats(),
     }

@@ -35,7 +35,7 @@ This package is the paper's primary contribution.  The pieces:
 
 from .oid import ObjectRef, class_spec, resolve_class
 from .context import RuntimeContext, current_context, current_fabric, fabric_scope
-from .futures import RemoteFuture, wait_all, gather, as_completed
+from .futures import RemoteFuture, wait_all, gather, as_completed, yielding_wait
 from .proxy import Proxy, RemoteMethod, destroy, is_proxy, ref_of, remote_getattr, remote_setattr
 from .group import ObjectGroup
 from .remotedata import Block
@@ -56,6 +56,7 @@ __all__ = [
     "wait_all",
     "gather",
     "as_completed",
+    "yielding_wait",
     "Proxy",
     "RemoteMethod",
     "destroy",

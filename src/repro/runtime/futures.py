@@ -18,6 +18,7 @@ from ..errors import (
     CallTimeoutError,
     ChannelTimeoutError,
     MachineDownError,
+    ServerOverloadedError,
     TransportError,
 )
 
@@ -25,11 +26,16 @@ from ..errors import (
 #: executed (lost request, dead connection, stalled link).  A
 #: :class:`~repro.errors.MachineDownError` is included because the mp
 #: backend re-dials dead connections — a retry after a transient
-#: connection loss reaches the (still alive) machine again.
+#: connection loss reaches the (still alive) machine again.  A
+#: :class:`~repro.errors.ServerOverloadedError` is included because the
+#: server shed the call at admission, before any side effect — backing
+#: off and re-sending is exactly what admission control asks of the
+#: client.
 RETRYABLE_ERRORS: tuple[type[BaseException], ...] = (
     CallTimeoutError,
     ChannelTimeoutError,
     MachineDownError,
+    ServerOverloadedError,
     TransportError,
 )
 
@@ -65,6 +71,60 @@ def retry_call(attempt: Callable[[], Any], *, retries: int,
                 on_retry(i, exc)
         sleep(delay)
         delay *= 2
+
+
+#: per-thread lock yielder (monitor semantics, see docs/SERVING.md).
+#: When a method body blocks waiting on a remote future, the object
+#: server must release that thread's per-object locks and worker slot
+#: for the duration of the wait: the paper's apps hold an object while
+#: calling out to peers that call back in (the stencil's symmetric
+#: ghost exchange), and holding the lock across the wait deadlocks
+#: them.  The server registers itself here around each execution;
+#: driver threads have no yielder and waits are plain blocking.
+_yield_local = threading.local()
+
+
+def set_wait_yielder(yielder: Optional[Any]) -> Optional[Any]:
+    """Install *yielder* for this thread's blocking waits; returns the
+    previous one so nested executions can restore it."""
+    prev = getattr(_yield_local, "yielder", None)
+    _yield_local.yielder = yielder
+    return prev
+
+
+class _YieldedLocks:
+    """Releases the current thread's object locks around a blocking wait."""
+
+    __slots__ = ("_yielder", "_token")
+
+    def __enter__(self) -> "_YieldedLocks":
+        self._yielder = getattr(_yield_local, "yielder", None)
+        self._token = (None if self._yielder is None
+                       else self._yielder.yield_for_wait())
+        return self
+
+    def __exit__(self, *exc) -> None:
+        if self._yielder is not None:
+            self._yielder.unyield(self._token)
+
+
+def yielding_wait() -> _YieldedLocks:
+    """Release the calling method's object locks around a blocking wait.
+
+    Future waits yield automatically; a method body that instead parks
+    on its *own* synchronization — a condition variable filled in by
+    another remote call, like the FFT worker waiting for peer
+    ``deposit``s — must wrap that wait in this context manager, or the
+    depositors queue behind the waiter's own write lock forever::
+
+        with yielding_wait():
+            with self._cond:
+                self._cond.wait_for(have_all, timeout)
+
+    Outside a served method (driver code, inline execution) this is a
+    no-op.
+    """
+    return _YieldedLocks()
 
 
 #: one condition shared by every future.  A per-future Event + Lock
@@ -138,8 +198,9 @@ class RemoteFuture:
         """Block until complete; backends may interpose (sim time)."""
         if self._done:
             return True
-        with _COND:
-            return _COND.wait_for(lambda: self._done, timeout)
+        with _YieldedLocks():
+            with _COND:
+                return _COND.wait_for(lambda: self._done, timeout)
 
     def result(self, timeout: Optional[float] = None) -> Any:
         """Block for the reply; the *receive* half of a pipelined call.

@@ -1,11 +1,22 @@
 """The object server that runs on every machine.
 
-Three pieces:
+Four pieces:
 
 :class:`ObjectTable`
     oid → live instance, with per-object in-flight call counters (used
     by quiescence barriers and by destroy, which waits for running
     methods to drain before tearing the object down).
+    :meth:`ObjectTable.checkout` resolves the instance and registers
+    the call in one atomic step, so a concurrent destroy can never slip
+    between the lookup and the counter increment.
+
+:class:`ServePolicy`
+    Per-machine concurrency policy (see ``docs/SERVING.md``):
+    ``@oopp.readonly`` methods on one object run concurrently under a
+    per-object read/write lock, writers stay exclusive, a bounded pool
+    of worker slots caps concurrent executions, and a per-object
+    admission bound sheds excess load with
+    :class:`~repro.errors.ServerOverloadedError`.
 
 :class:`Kernel`
     The per-machine *kernel object*, installed at object id 0.  Object
@@ -25,12 +36,13 @@ from __future__ import annotations
 import threading
 import traceback
 from contextlib import ExitStack
-from typing import TYPE_CHECKING, Any, Iterable, Optional
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 from ..errors import (
     NoSuchObjectError,
     ObjectDestroyedError,
     RuntimeLayerError,
+    ServerOverloadedError,
 )
 from ..transport.message import KERNEL_OID, ErrorResponse, Request, Response
 from ..util.ids import IdAllocator
@@ -38,6 +50,7 @@ from ..util.log import get_logger
 
 log = get_logger("server")
 from .context import CostHooks, RuntimeContext, context_scope
+from .futures import set_wait_yielder
 from .oid import ObjectRef, class_spec, resolve_class
 from .proxy import GETATTR_METHOD, PING_METHOD, SETATTR_METHOD
 
@@ -52,14 +65,26 @@ DESTRUCTOR_HOOK = "oopp_destructor"
 
 
 class ObjectTable:
-    """Thread-safe registry of the objects hosted on one machine."""
+    """Thread-safe registry of the objects hosted on one machine.
 
-    def __init__(self) -> None:
+    *yield_wait*, when given, replaces condition-variable blocking in
+    :meth:`remove`'s drain wait: the lock is dropped, ``yield_wait()``
+    is called, and the wait loop re-checks.  The sim backend passes an
+    ``engine.sleep`` poll here so a destroy issued from a simulation
+    process blocks in *simulated* time instead of stalling the clock on
+    an OS condition variable.
+    """
+
+    def __init__(self, *, yield_wait: Optional[Callable[[], None]] = None) -> None:
         self._lock = threading.Lock()
         self._drained = threading.Condition(self._lock)
         self._objects: dict[int, Any] = {}
         self._pending: dict[int, int] = {}
         self._destroyed: set[int] = set()
+        #: oids whose destroy is waiting for in-flight calls: lookups
+        #: fail fast so the drain can actually finish.
+        self._draining: set[int] = set()
+        self._yield_wait = yield_wait
         self._ids = IdAllocator(start=KERNEL_OID + 1)
 
     def add(self, instance: Any, oid: Optional[int] = None) -> int:
@@ -75,27 +100,81 @@ class ObjectTable:
 
     def get(self, oid: int) -> Any:
         with self._lock:
-            try:
-                return self._objects[oid]
-            except KeyError:
-                if oid in self._destroyed:
-                    raise ObjectDestroyedError(
-                        f"object {oid} was destroyed; the pointer dangles"
-                    ) from None
-                raise NoSuchObjectError(f"no object with id {oid} here") from None
+            return self._get_locked(oid)
+
+    def _get_locked(self, oid: int) -> Any:
+        try:
+            return self._objects[oid]
+        except KeyError:
+            if oid in self._destroyed:
+                raise ObjectDestroyedError(
+                    f"object {oid} was destroyed; the pointer dangles"
+                ) from None
+            raise NoSuchObjectError(f"no object with id {oid} here") from None
+
+    def checkout(self, oid: int) -> Any:
+        """Resolve *oid* and register an in-flight call, atomically.
+
+        The separate ``get(oid)`` + ``enter_call(oid)`` two-step is a
+        race under concurrent dispatch: a destroy between the lookup and
+        the increment sees pending == 0, drops the object, and the call
+        then executes against a corpse.  Checkout holds the table lock
+        across both, and refuses oids whose destroy is already draining.
+        Pair every successful checkout with exactly one :meth:`checkin`.
+        """
+        with self._lock:
+            if oid in self._draining:
+                raise ObjectDestroyedError(
+                    f"object {oid} is being destroyed")
+            instance = self._get_locked(oid)
+            self._pending[oid] = self._pending.get(oid, 0) + 1
+            return instance
+
+    def checkin(self, oid: int) -> None:
+        """Release a call registered by :meth:`checkout`.
+
+        Unlike the historical ``exit_call``, a checkin racing a
+        completed remove never resurrects the oid's pending entry.
+        """
+        with self._lock:
+            n = self._pending.get(oid)
+            if n is None:  # removed while we ran; nothing to release
+                return
+            self._pending[oid] = n - 1
+            if n - 1 <= 0:
+                self._drained.notify_all()
 
     def remove(self, oid: int) -> Any:
-        """Remove and return the instance; waits for in-flight calls."""
+        """Remove and return the instance; waits for in-flight calls.
+
+        While the wait drains, the oid is marked *draining*: new
+        checkouts fail with :class:`ObjectDestroyedError` instead of
+        racing the teardown (without this, a steady stream of callers
+        could starve the destroy forever).
+        """
         with self._lock:
-            if oid not in self._objects:
-                if oid in self._destroyed:
+            if oid not in self._objects or oid in self._draining:
+                if oid in self._destroyed or oid in self._draining:
                     raise ObjectDestroyedError(f"object {oid} already destroyed")
                 raise NoSuchObjectError(f"no object with id {oid} here")
-            while self._pending.get(oid, 0) > 0:
-                self._drained.wait()
-            instance = self._objects.pop(oid)
-            self._pending.pop(oid, None)
-            self._destroyed.add(oid)
+            self._draining.add(oid)
+            try:
+                if self._yield_wait is None:
+                    while self._pending.get(oid, 0) > 0:
+                        self._drained.wait()
+                else:
+                    # sim: block in simulated time (lock dropped per poll)
+                    while self._pending.get(oid, 0) > 0:
+                        self._lock.release()
+                        try:
+                            self._yield_wait()
+                        finally:
+                            self._lock.acquire()
+                instance = self._objects.pop(oid)
+                self._pending.pop(oid, None)
+                self._destroyed.add(oid)
+            finally:
+                self._draining.discard(oid)
             return instance
 
     def enter_call(self, oid: int) -> None:
@@ -104,9 +183,11 @@ class ObjectTable:
 
     def exit_call(self, oid: int) -> None:
         with self._lock:
-            n = self._pending.get(oid, 1) - 1
-            self._pending[oid] = n
-            if n <= 0:
+            n = self._pending.get(oid)
+            if n is None:  # see checkin: never resurrect removed entries
+                return
+            self._pending[oid] = n - 1
+            if n - 1 <= 0:
                 self._drained.notify_all()
 
     def quiesce(self, oids: Optional[Iterable[int]] = None,
@@ -147,6 +228,401 @@ class ObjectTable:
             return len(self._objects)
 
 
+class _ObjectServeState:
+    """Lock + admission bookkeeping for one hosted object."""
+
+    __slots__ = ("depth", "readers", "writer", "writer_depth",
+                 "waiting_writers")
+
+    def __init__(self) -> None:
+        #: admitted calls: queued (waiting for a slot or the lock) plus
+        #: executing.  This is the quantity max_queue_depth bounds.
+        self.depth = 0
+        #: thread ident → read-lock hold count (reentrant).
+        self.readers: dict[int, int] = {}
+        #: thread ident holding the write lock, or None.
+        self.writer: Optional[int] = None
+        self.writer_depth = 0
+        #: writers blocked on the lock; readers defer to them so a
+        #: steady read stream cannot starve a writer.
+        self.waiting_writers = 0
+
+
+class _Grant:
+    """Token returned by :meth:`ServePolicy.enter`; closes the call."""
+
+    __slots__ = ("oid", "tid", "mode", "slot", "prev_yielder")
+
+    def __init__(self, oid: int, tid: int, mode: str, slot: bool) -> None:
+        self.oid = oid
+        self.tid = tid
+        self.mode = mode  # "r" | "w"
+        self.slot = slot  # True when this call took a worker slot
+        #: the thread's previous wait-yielder, restored at exit
+        self.prev_yielder = None
+
+
+class ServePolicy:
+    """One machine's concurrent-execution policy (``Config.serve``).
+
+    Three mechanisms, applied in admission → slot → lock order:
+
+    * **Admission**: at most ``max_queue_depth`` calls may be admitted
+      (queued + executing) per object; beyond that the call is shed
+      with :class:`~repro.errors.ServerOverloadedError` before any
+      side effect.  The kernel object is exempt — shutdown, quiesce
+      and metric gathers must land even on a saturated machine.
+    * **Worker slots**: at most ``workers`` threads execute method
+      bodies at once (``None`` = unbounded).  Slots are reentrant per
+      thread: a nested local call made *by* a method body rides its
+      parent's slot instead of deadlocking against it.
+    * **Per-object read/write lock**: ``@oopp.readonly`` methods (and
+      the implicit reads — getattr, ``__len__``, ...) share the
+      object; every other method is a writer and runs alone.  Both
+      sides are reentrant on the owning thread, and a reader may
+      upgrade to writer while it is the sole reader.
+
+    Locks are **yielded across blocking waits** (monitor semantics): a
+    method body that parks on a remote future releases its object locks
+    and worker slot for the duration of the wait and reacquires them
+    before resuming (:meth:`yield_for_wait` / :meth:`unyield`) — the
+    paper's symmetric call patterns (ghost exchange, FFT deposit rounds)
+    hold an object while calling peers that call back in, and holding
+    the lock across the wait would deadlock them.
+
+    Blocking is backend-aware: on thread-per-call backends waiters park
+    on a condition variable; on the sim backend (*engine* given) each
+    waiter parks on an engine :class:`~repro.sim.engine.Trigger` that
+    every release fires, so waiting blocks in *simulated* time — the
+    clock keeps advancing for everyone else, and a wait under a
+    zero-cost holder costs zero simulated seconds.
+    """
+
+    #: simulated seconds per poll for the coarse-grained sim waits that
+    #: still poll (ObjectTable's destroy drain).  Small next to the
+    #: network model's 25 us latency.
+    SIM_POLL_S = 5e-6
+
+    def __init__(self, serve, *, machine: Optional[int] = None,
+                 engine=None) -> None:
+        from ..check.detector import is_read  # late: check imports cluster
+        from ..obs.metrics import counters
+
+        self._serve = serve
+        self._is_read = is_read
+        self._machine = machine
+        self._engine = engine
+        # cached per-process registry (policies are built post-fork):
+        # saves the registry lock round trip on every admission.
+        self._counters = counters()
+        self._cond = threading.Condition()
+        #: sim waiters parked on engine triggers, fired by every release
+        self._trigger_waiters: list = []
+        self._states: dict[int, _ObjectServeState] = {}
+        self._local = threading.local()
+        #: threads currently holding a worker slot
+        self._active = 0
+        # peak gauges, exposed through Kernel.stats()["serve"]
+        self._active_peak = 0
+        self._depth_peak = 0
+        self._shed = 0
+        self._admitted = 0
+
+    # -- waiting ------------------------------------------------------------
+
+    def _wait_for(self, pred: Callable[[], bool]) -> None:
+        """Block (cond held) until *pred* holds; never busy-spins the CPU."""
+        if self._engine is None:
+            self._cond.wait_for(pred)
+            return
+        from ..sim.engine import Trigger
+
+        while not pred():
+            # Registered under the cond, fired by _notify under the
+            # cond: a release between our pred check and engine.wait
+            # already sees (and fires) this trigger, so the wakeup
+            # cannot be lost — engine.wait returns fired triggers
+            # immediately.
+            trigger = Trigger(label="serve-wait")
+            self._trigger_waiters.append(trigger)
+            self._cond.release()
+            try:
+                self._engine.wait(trigger)
+            finally:
+                self._cond.acquire()
+
+    def _notify(self) -> None:
+        """Wake every waiter to re-check its predicate (cond held)."""
+        if self._engine is None:
+            self._cond.notify_all()
+            return
+        waiters, self._trigger_waiters = self._trigger_waiters, []
+        for trigger in waiters:
+            self._engine.fire(trigger)
+
+    # -- admission / locking ------------------------------------------------
+
+    def _admit_locked(self, oid: int, method: str, *,
+                      held: bool) -> "_ObjectServeState":
+        st = self._states.setdefault(oid, _ObjectServeState())
+        serve = self._serve
+        if (serve.max_queue_depth is not None and not held
+                and st.depth >= serve.max_queue_depth):
+            self._shed += 1
+            self._counters.inc("serve.shed")
+            raise ServerOverloadedError(
+                f"object {oid} admission queue full "
+                f"({st.depth}/{serve.max_queue_depth}) for {method!r}",
+                machine=self._machine, oid=oid, method=method,
+                depth=st.depth)
+        st.depth += 1
+        self._admitted += 1
+        self._counters.inc("serve.admitted")
+        if st.depth > self._depth_peak:
+            self._depth_peak = st.depth
+            self._counters.record_max("serve.depth_peak", st.depth)
+        return st
+
+    def admit(self, oid: int, method: str) -> None:
+        """Admission-only half of :meth:`enter`, for transport enqueue.
+
+        The mp backend calls this on the connection reader thread
+        *before* handing the request to its worker pool, so the pool's
+        internal queue counts toward the object's depth and overload is
+        shed at the socket instead of hiding in the executor backlog.
+        A request admitted here must be dispatched with
+        ``preadmitted=True`` (and will be released by the normal
+        :meth:`exit`); a shed raises without any state to undo.  Kernel
+        requests are exempt and need no pre-admission.
+        """
+        if oid == KERNEL_OID:
+            return
+        with self._cond:
+            self._admit_locked(oid, method, held=False)
+
+    def cancel_admit(self, oid: int) -> None:
+        """Roll back an :meth:`admit` whose dispatch never happened."""
+        if oid == KERNEL_OID:
+            return
+        with self._cond:
+            st = self._states.get(oid)
+            if st is None:
+                return
+            st.depth -= 1
+            if st.depth <= 0 and not st.readers and st.writer is None:
+                del self._states[oid]
+            self._notify()
+
+    def enter(self, oid: int, instance: Any, method: str, *,
+              preadmitted: bool = False) -> Optional[_Grant]:
+        """Admit, take a slot, and lock *oid* for *method*; may shed.
+
+        Returns a grant to pass to :meth:`exit`, or ``None`` for calls
+        the policy does not govern (the kernel object).  Raises
+        :class:`~repro.errors.ServerOverloadedError` when the object's
+        admission queue is full.  *preadmitted* marks requests whose
+        depth was already counted by :meth:`admit` on the enqueue path.
+        """
+        if oid == KERNEL_OID:
+            return None
+        serve = self._serve
+        tid = threading.get_ident()
+        readonly = (serve.readonly_concurrency
+                    and self._is_read(instance, method))
+        with self._cond:
+            if preadmitted:
+                st = self._states.setdefault(oid, _ObjectServeState())
+            else:
+                st = self._states.get(oid)
+                # a thread already holding the object's lock (nested
+                # local call) is never shed: it must be able to finish.
+                held = (st is not None
+                        and (st.writer == tid or tid in st.readers))
+                st = self._admit_locked(oid, method, held=held)
+            slot = False
+            nested = getattr(self._local, "depth", 0)
+            try:
+                if serve.workers is not None and nested == 0:
+                    self._wait_for(lambda: self._active < serve.workers)
+                    self._active += 1
+                    slot = True
+                    if self._active > self._active_peak:
+                        self._active_peak = self._active
+                if readonly:
+                    if st.writer != tid and tid not in st.readers:
+                        # writer-preference; reentrant readers are exempt
+                        # (deferring would deadlock against the waiting
+                        # writer we ourselves block).
+                        self._wait_for(
+                            lambda: st.writer is None
+                            and st.waiting_writers == 0)
+                    st.readers[tid] = st.readers.get(tid, 0) + 1
+                    mode = "r"
+                else:
+                    if st.writer == tid:
+                        st.writer_depth += 1
+                    else:
+                        st.waiting_writers += 1
+                        try:
+                            # sole-reader upgrade allowed: readers - {tid}
+                            # must be empty, not readers itself.
+                            self._wait_for(
+                                lambda: st.writer is None
+                                and not (set(st.readers) - {tid}))
+                        finally:
+                            st.waiting_writers -= 1
+                        st.writer = tid
+                        st.writer_depth = 1
+                    mode = "w"
+            except BaseException:
+                st.depth -= 1
+                if slot:
+                    self._active -= 1
+                self._notify()
+                raise
+            self._local.depth = nested + 1
+            grant = _Grant(oid, tid, mode, slot)
+            grants = getattr(self._local, "grants", None)
+            if grants is None:
+                grants = self._local.grants = []
+            grants.append(grant)
+            # blocking future waits on this thread now yield the locks
+            # this policy granted (monitor semantics, docs/SERVING.md)
+            grant.prev_yielder = set_wait_yielder(self)
+            return grant
+
+    def exit(self, grant: Optional[_Grant]) -> None:
+        if grant is None:
+            return
+        grants = getattr(self._local, "grants", None)
+        if grants:
+            if grants[-1] is grant:
+                grants.pop()
+            else:  # defensive: out-of-order exits (direct policy driving)
+                try:
+                    grants.remove(grant)
+                except ValueError:
+                    pass
+        set_wait_yielder(grant.prev_yielder)
+        with self._cond:
+            st = self._states[grant.oid]
+            if grant.mode == "r":
+                n = st.readers.get(grant.tid, 1) - 1
+                if n <= 0:
+                    st.readers.pop(grant.tid, None)
+                else:
+                    st.readers[grant.tid] = n
+            else:
+                st.writer_depth -= 1
+                if st.writer_depth <= 0:
+                    st.writer = None
+            st.depth -= 1
+            self._local.depth = getattr(self._local, "depth", 1) - 1
+            if grant.slot:
+                self._active -= 1
+            # waiters have depth > 0, so nobody holds a reference to a
+            # state we drop here
+            if (st.depth == 0 and not st.readers and st.writer is None):
+                del self._states[grant.oid]
+            self._notify()
+
+    # -- lock yielding around blocking waits --------------------------------
+
+    def yield_for_wait(self) -> Optional[list]:
+        """Release this thread's locks + slots for a blocking future wait.
+
+        Monitor semantics: a method body that blocks waiting on a remote
+        reply is not *executing* — the object it serves must stay
+        callable, or the paper's symmetric patterns deadlock (the
+        stencil's ghost exchange holds every worker's write lock while
+        each waits on a ``deposit_ghost`` reply from a neighbour that is
+        queued behind that very lock).  Called by the futures layer
+        (:func:`~repro.runtime.futures.set_wait_yielder` wiring) just
+        before parking; returns a token for :meth:`unyield`.  Admission
+        depth is *kept* — a yielded call is still in flight and still
+        counts toward ``max_queue_depth``.
+        """
+        grants = getattr(self._local, "grants", None)
+        if not grants:
+            return None
+        token = list(grants)
+        with self._cond:
+            for g in reversed(token):
+                st = self._states[g.oid]
+                if g.mode == "r":
+                    n = st.readers.get(g.tid, 1) - 1
+                    if n <= 0:
+                        st.readers.pop(g.tid, None)
+                    else:
+                        st.readers[g.tid] = n
+                else:
+                    st.writer_depth -= 1
+                    if st.writer_depth <= 0:
+                        st.writer = None
+                if g.slot:
+                    self._active -= 1
+            self._notify()
+        return token
+
+    def unyield(self, token: Optional[list]) -> None:
+        """Reacquire the locks released by :meth:`yield_for_wait`.
+
+        Grants are retaken outermost-first, each with the same slot-
+        then-lock discipline as :meth:`enter`.  The method body resumes
+        only once every lock is back, so exclusivity holds again the
+        instant execution continues — but state *may* have been mutated
+        by other calls during the wait, exactly as under the paper's
+        free-running executor.
+        """
+        if not token:
+            return
+        serve = self._serve
+        with self._cond:
+            for g in token:
+                st = self._states.setdefault(g.oid, _ObjectServeState())
+                if g.slot and serve.workers is not None:
+                    self._wait_for(lambda: self._active < serve.workers)
+                    self._active += 1
+                    if self._active > self._active_peak:
+                        self._active_peak = self._active
+                if g.mode == "r":
+                    if st.writer != g.tid and g.tid not in st.readers:
+                        self._wait_for(
+                            lambda st=st: st.writer is None
+                            and st.waiting_writers == 0)
+                    st.readers[g.tid] = st.readers.get(g.tid, 0) + 1
+                else:
+                    if st.writer == g.tid:
+                        st.writer_depth += 1
+                    else:
+                        st.waiting_writers += 1
+                        try:
+                            self._wait_for(
+                                lambda st=st, tid=g.tid: st.writer is None
+                                and not (set(st.readers) - {tid}))
+                        finally:
+                            st.waiting_writers -= 1
+                        st.writer = g.tid
+                        st.writer_depth = 1
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Serving gauges for ``Kernel.stats()`` / ``cluster.metrics()``."""
+        serve = self._serve
+        with self._cond:
+            return {
+                "workers": serve.workers,
+                "max_queue_depth": serve.max_queue_depth,
+                "active": self._active,
+                "active_peak": self._active_peak,
+                "queued": sum(s.depth for s in self._states.values()),
+                "depth_peak": self._depth_peak,
+                "admitted": self._admitted,
+                "shed": self._shed,
+            }
+
+
 class Kernel:
     """The machine's object id 0: creation, destruction, introspection."""
 
@@ -166,6 +642,9 @@ class Kernel:
         #: the hosting backend when ``Config(check=...)`` enables
         #: detection; take_race_reports is the gather path.
         self.checker = None
+        #: the machine's :class:`ServePolicy`, set by the hosting
+        #: backend; stats() exposes its gauges (queue depth, sheds).
+        self.policy: Optional[ServePolicy] = None
 
     # -- observability --------------------------------------------------------
 
@@ -294,11 +773,14 @@ class Kernel:
     def stats(self) -> dict:
         with self._stats_lock:
             served = self.calls_served
-        return {
+        out = {
             "machine": self.machine_id,
             "objects": len(self.table),
             "calls_served": served,
         }
+        if self.policy is not None:
+            out["serve"] = self.policy.stats()
+        return out
 
     def count_call(self) -> None:
         with self._stats_lock:
@@ -317,12 +799,13 @@ class Dispatcher:
 
     def __init__(self, machine_id: int, table: ObjectTable, kernel: Kernel,
                  fabric: "Fabric", hooks=None, tracer=None,
-                 checker=None) -> None:
+                 checker=None, policy: Optional[ServePolicy] = None) -> None:
         self.machine_id = machine_id
         self.table = table
         self.kernel = kernel
         self.tracer = tracer
         self.checker = checker
+        self.policy = policy
         self._context = RuntimeContext(fabric=fabric, machine_id=machine_id,
                                        hooks=hooks or CostHooks())
 
@@ -330,8 +813,12 @@ class Dispatcher:
     def context(self) -> RuntimeContext:
         return self._context
 
-    def execute(self, request: Request) -> Response | ErrorResponse | None:
+    def execute(self, request: Request, *,
+                preadmitted: bool = False) -> Response | ErrorResponse | None:
         """Run one request; returns the reply (None for oneway).
+
+        *preadmitted* marks requests the transport already admitted
+        through :meth:`ServePolicy.admit` (the mp socket path).
 
         When tracing is on, the method body runs inside a *server span*
         scoped as the current span, so remote calls the body issues
@@ -360,11 +847,11 @@ class Dispatcher:
                         scopes.enter_context(tracer.scope(span))
                     if ctask is not None:
                         scopes.enter_context(checker.scope(ctask))
-                    value = self._run(request)
+                    value = self._run(request, preadmitted)
                 if span is not None:
                     span.t_executed = tracer.now()
             else:
-                value = self._run(request)
+                value = self._run(request, preadmitted)
         except BaseException as exc:  # noqa: BLE001 - everything crosses the wire
             log.debug("machine %d: %s.%s raised %r (caller %d)",
                       self.machine_id, request.object_id, request.method,
@@ -391,33 +878,53 @@ class Dispatcher:
             request_id=request.request_id, value=value,
             clock=None if ctask is None else checker.end_execution(ctask))
 
-    def _run(self, request: Request) -> Any:
+    def _run(self, request: Request, preadmitted: bool = False) -> Any:
         oid = request.object_id
-        instance = self.kernel if oid == KERNEL_OID else self.table.get(oid)
         name = request.method
-        if self.checker is not None:
-            # recorded before the body runs: a method that raises may
-            # already have mutated the object.
-            self.checker.record(request, instance, machine=self.machine_id)
-        self.table.enter_call(oid)
+        if oid == KERNEL_OID:
+            # the kernel is not table-hosted; it keeps the historical
+            # enter/exit accounting and bypasses the serve policy
+            # entirely (shutdown must land on a saturated machine).
+            instance = self.kernel
+            self.table.enter_call(oid)
+        else:
+            # atomic lookup + in-flight registration: a concurrent
+            # destroy either drains us or beats us, never interleaves.
+            instance = self.table.checkout(oid)
         try:
-            with context_scope(self._context):
-                if name == GETATTR_METHOD:
-                    return getattr(instance, *request.args)
-                if name == SETATTR_METHOD:
-                    attr, value = request.args
-                    setattr(instance, attr, value)
-                    return None
-                if name == PING_METHOD:
-                    return self.machine_id
-                method = getattr(instance, name, None)
-                if method is None or not callable(method):
-                    raise AttributeError(
-                        f"{type(instance).__name__} object {oid} has no "
-                        f"callable method {name!r}")
-                return method(*request.args, **request.kwargs)
+            grant = (None if self.policy is None
+                     else self.policy.enter(oid, instance, name,
+                                            preadmitted=preadmitted))
+            try:
+                if self.checker is not None:
+                    # recorded after admission (a shed call never runs)
+                    # but before the body: a method that raises may
+                    # already have mutated the object.
+                    self.checker.record(request, instance,
+                                        machine=self.machine_id)
+                with context_scope(self._context):
+                    if name == GETATTR_METHOD:
+                        return getattr(instance, *request.args)
+                    if name == SETATTR_METHOD:
+                        attr, value = request.args
+                        setattr(instance, attr, value)
+                        return None
+                    if name == PING_METHOD:
+                        return self.machine_id
+                    method = getattr(instance, name, None)
+                    if method is None or not callable(method):
+                        raise AttributeError(
+                            f"{type(instance).__name__} object {oid} has no "
+                            f"callable method {name!r}")
+                    return method(*request.args, **request.kwargs)
+            finally:
+                if self.policy is not None:
+                    self.policy.exit(grant)
         finally:
-            self.table.exit_call(oid)
+            if oid == KERNEL_OID:
+                self.table.exit_call(oid)
+            else:
+                self.table.checkin(oid)
 
 
 def _try_picklable(exc: BaseException) -> BaseException | None:

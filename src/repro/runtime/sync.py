@@ -5,12 +5,12 @@ These are ordinary classes meant to be *hosted* on a machine
 set of worker processes — the collective counterpart of the paper's
 compiler-supported ``fft->barrier()``.
 
-A blocking method occupies one server worker thread while it waits, so
-size ``Config.mp_workers_per_machine`` above the number of concurrent
-waiters a single machine may host.  The simulated backend executes
-methods one at a time under the event engine, so these blocking
-primitives are intended for the ``inline`` and ``mp`` backends;
-simulated experiments coordinate phases from the driver instead.
+A blocking method occupies one server worker slot while it waits, so
+size ``Config.serve.workers`` (legacy ``mp_workers_per_machine``) above
+the number of concurrent waiters a single machine may host — see
+``docs/SERVING.md``.  These blocking primitives are intended for the
+``inline`` and ``mp`` backends; simulated experiments coordinate
+phases from the driver instead.
 """
 
 from __future__ import annotations

@@ -23,7 +23,10 @@ class Stateful:
     def get_tag(self):
         return self.tag
 
+    @oopp.readonly
     def slow(self, seconds):
+        # readonly: concurrent calls share the object's read lock, so
+        # the pool (not the per-object writer lock) sets the makespan.
         time.sleep(seconds)
         return seconds
 

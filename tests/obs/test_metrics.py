@@ -14,7 +14,7 @@ import repro as oopp
 from repro.obs.metrics import Counters, counters, snapshot_process
 
 #: every snapshot must carry these groups, populated or not.
-GROUPS = ("coalesce", "retry", "faults", "header_cache", "shm")
+GROUPS = ("coalesce", "retry", "faults", "serve", "header_cache", "shm")
 
 
 class Echo:
@@ -29,6 +29,14 @@ class TestCounters:
         c.inc("x")
         c.inc("x", 4)
         assert c.get("x") == 5
+
+    def test_record_max_keeps_running_peak(self):
+        c = Counters()
+        c.record_max("serve.depth_peak", 3)
+        c.record_max("serve.depth_peak", 1)   # lower: ignored
+        assert c.get("serve.depth_peak") == 3
+        c.record_max("serve.depth_peak", 9)
+        assert c.get("serve.depth_peak") == 9
 
     def test_grouped_splits_on_first_dot(self):
         c = Counters()

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import threading
+import time
 
 import pytest
 
@@ -108,6 +109,88 @@ class TestObjectTable:
         table.exit_call(oid)
         t.join(timeout=5)
         assert done
+
+    def test_checkout_resolves_and_registers_atomically(self):
+        table = ObjectTable()
+        oid = table.add("x")
+        assert table.checkout(oid) == "x"
+        assert not table.quiesce([oid], timeout=0.01)
+        table.checkin(oid)
+        assert table.quiesce([oid], timeout=0.01)
+
+    def test_checkout_refused_while_destroy_drains(self):
+        # Regression: with the historical get() + enter_call() two-step
+        # a caller arriving during the drain could still register
+        # against the dying object — executing against a corpse, or
+        # (with a steady stream of callers) starving remove forever.
+        table = ObjectTable()
+        oid = table.add("x")
+        table.checkout(oid)
+        removed = []
+
+        def remover():
+            removed.append(table.remove(oid))
+
+        t = threading.Thread(target=remover, daemon=True)
+        t.start()
+        deadline = time.monotonic() + 5
+        while oid not in table._draining:  # wait for remove to block
+            assert time.monotonic() < deadline
+            time.sleep(0.001)
+        with pytest.raises(ObjectDestroyedError):
+            table.checkout(oid)
+        table.checkin(oid)
+        t.join(timeout=5)
+        assert removed == ["x"]
+
+    def test_late_checkin_does_not_resurrect(self):
+        table = ObjectTable()
+        oid = table.add("x")
+        table.checkout(oid)
+        table.checkin(oid)
+        table.remove(oid)
+        table.checkin(oid)  # late duplicate: must be a no-op
+        with pytest.raises(ObjectDestroyedError):
+            table.checkout(oid)
+        # a fresh object must not inherit a corrupted pending count
+        oid2 = table.add("y")
+        assert table.quiesce([oid2], timeout=0.01)
+
+    def test_checkout_storm_vs_destroy(self):
+        # The seed assumed single-threaded dispatch; under a worker
+        # pool, lookups race destroys.  Hammer one object from several
+        # threads while the main thread destroys it: the remove must
+        # finish (no starvation), every successful checkout must see
+        # the live instance, and refused checkouts must raise the
+        # destroyed error rather than NoSuchObjectError.
+        table = ObjectTable()
+        oid = table.add("x")
+        stop = threading.Event()
+        bad: list = []
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    got = table.checkout(oid)
+                except ObjectDestroyedError:
+                    return  # destroy won; correct refusal
+                except Exception as exc:  # noqa: BLE001
+                    bad.append(exc)
+                    return
+                if got != "x":
+                    bad.append(got)
+                table.checkin(oid)
+
+        threads = [threading.Thread(target=hammer, daemon=True)
+                   for _ in range(8)]
+        for t in threads:
+            t.start()
+        time.sleep(0.02)
+        assert table.remove(oid) == "x"
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert not bad
 
 
 class TestKernel:

@@ -1,0 +1,197 @@
+"""Property-based tests for admission control (``-m serve``).
+
+Three properties the serving layer promises:
+
+* the per-object admitted depth never exceeds ``max_queue_depth``, under
+  any interleaving of the admission API (including the mp backend's
+  pre-admission half);
+* every call a load run issues either completes or raises — admitted
+  work cannot vanish, and with an unbounded queue nothing sheds;
+* :class:`ServerOverloadedError` is retried only for methods marked
+  ``__oopp_idempotent__`` (or implicitly idempotent reads) — an
+  ambiguous failure of a writer must surface, not re-send.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.backends.base import Fabric
+from repro.config import Config, RetryConfig, ServeConfig
+from repro.errors import ServerOverloadedError
+from repro.loadgen.driver import LoadSpec, run_load
+from repro.loadgen.workload import KVService
+from repro.runtime.futures import (
+    RETRYABLE_ERRORS,
+    completed_future,
+    failed_future,
+)
+from repro.runtime.oid import ObjectRef, class_spec
+from repro.runtime.server import ServePolicy
+
+pytestmark = pytest.mark.serve
+
+OID = 7
+
+#: one step of the admission lifecycle, as the transports drive it:
+#: "enter" is the dispatcher's normal path, "admit" the mp socket-side
+#: pre-admission, "dispatch" converts a pre-admission into execution,
+#: "cancel" rolls back a pre-admission whose submit failed, "exit"
+#: releases a running call.
+OPS = st.lists(
+    st.sampled_from(["enter", "admit", "dispatch", "cancel", "exit"]),
+    max_size=60)
+
+
+class TestDepthBound:
+    @given(ops=OPS, bound=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=200, deadline=None)
+    def test_depth_never_exceeds_max_queue_depth(self, ops, bound):
+        policy = ServePolicy(ServeConfig(workers=None, max_queue_depth=bound))
+        instance = KVService()
+        grants: list = []
+        preadmitted = 0
+        model_depth = 0
+        for op in ops:
+            if op == "enter" and not grants:
+                # Top-level call on this thread.  (A thread already
+                # holding a grant is a *nested* call and is exempt from
+                # the bound by design — it must be able to finish — so
+                # the single-threaded model only enters when bare;
+                # cross-thread pressure is modeled by "admit".)
+                try:
+                    grants.append(policy.enter(OID, instance, "get"))
+                    model_depth += 1
+                except ServerOverloadedError:
+                    assert model_depth == bound
+            elif op == "admit":
+                try:
+                    policy.admit(OID, "get")
+                    preadmitted += 1
+                    model_depth += 1
+                except ServerOverloadedError:
+                    assert model_depth == bound
+            elif op == "dispatch" and preadmitted:
+                grants.append(
+                    policy.enter(OID, instance, "get", preadmitted=True))
+                preadmitted -= 1
+            elif op == "cancel" and preadmitted:
+                policy.cancel_admit(OID)
+                preadmitted -= 1
+                model_depth -= 1
+            elif op == "exit" and grants:
+                policy.exit(grants.pop())
+                model_depth -= 1
+            assert 0 <= model_depth <= bound
+            assert policy.stats()["queued"] == model_depth
+        assert policy.stats()["depth_peak"] <= bound
+
+    @given(ops=OPS)
+    @settings(max_examples=100, deadline=None)
+    def test_unbounded_depth_never_sheds(self, ops):
+        policy = ServePolicy(ServeConfig(workers=None, max_queue_depth=None))
+        instance = KVService()
+        grants: list = []
+        for op in ops:
+            if op in ("enter", "admit", "dispatch"):
+                grants.append(policy.enter(OID, instance, "get"))
+            elif op == "exit" and grants:
+                policy.exit(grants.pop())
+        assert policy.stats()["shed"] == 0
+
+
+class TestAdmittedCompletes:
+    @given(
+        clients=st.integers(min_value=1, max_value=6),
+        requests=st.integers(min_value=1, max_value=4),
+        read_fraction=st.sampled_from([0.0, 0.5, 1.0]),
+        workers=st.sampled_from([None, 1, 2, 8]),
+        depth=st.sampled_from([None, 1, 2]),
+        mode=st.sampled_from(["closed", "open"]),
+    )
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_every_issued_call_completes_or_sheds(
+            self, clients, requests, read_fraction, workers, depth, mode):
+        result = run_load(LoadSpec(
+            backend="sim", n_machines=2, objects=2,
+            clients=clients, requests=requests,
+            read_fraction=read_fraction, service_ms=0.5,
+            mode=mode, offered_rps=1000.0,
+            workers=workers, max_queue_depth=depth))
+        assert result.errors == 0
+        assert result.ok + result.shed == result.issued
+        if depth is None:
+            assert result.shed == 0
+        # post-drain: nothing may remain admitted
+        for machine_stats in result.serve_stats:
+            assert machine_stats["queued"] == 0
+
+
+class Target:
+    """Module-level so ``class_spec`` round-trips for is_idempotent."""
+
+    __oopp_idempotent__ = ("safe",)
+
+    def safe(self):  # pragma: no cover - never executed remotely here
+        return "ok"
+
+    def unsafe(self):  # pragma: no cover
+        return "ok"
+
+
+class _SheddingFabric(Fabric):
+    """Fails every call with ServerOverloadedError *fail_times* times."""
+
+    def __init__(self, config: Config, fail_times: int) -> None:
+        super().__init__(config)
+        self.fail_times = fail_times
+        self.attempts: dict[str, int] = {}
+
+    def call_async(self, ref, method, args, kwargs):
+        n = self.attempts.get(method, 0)
+        self.attempts[method] = n + 1
+        if n < self.fail_times:
+            return failed_future(
+                ServerOverloadedError(f"shed attempt {n}"), label=method)
+        return completed_future("ok", label=method)
+
+    def call_oneway(self, ref, method, args, kwargs):  # pragma: no cover
+        self.call_async(ref, method, args, kwargs)
+
+
+class TestOverloadRetry:
+    def test_overload_is_classified_retryable(self):
+        assert ServerOverloadedError in RETRYABLE_ERRORS
+
+    @given(fail_times=st.integers(min_value=1, max_value=3),
+           budget=st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_retried_only_for_marked_methods(self, fail_times, budget):
+        config = Config(backend="inline", n_machines=1,
+                        retry=RetryConfig(retries=budget, backoff_s=1e-4))
+        ref = ObjectRef(machine=0, oid=1, spec=class_spec(Target))
+
+        fabric = _SheddingFabric(config, fail_times)
+        if fail_times <= budget:
+            assert fabric.call(ref, "safe", (), {}) == "ok"
+            assert fabric.attempts["safe"] == fail_times + 1
+        else:
+            with pytest.raises(ServerOverloadedError):
+                fabric.call(ref, "safe", (), {})
+            assert fabric.attempts["safe"] == budget + 1
+
+        fabric = _SheddingFabric(config, fail_times)
+        with pytest.raises(ServerOverloadedError):
+            fabric.call(ref, "unsafe", (), {})
+        assert fabric.attempts["unsafe"] == 1  # never re-sent
+
+    def test_implicit_reads_retried_without_marking(self):
+        config = Config(backend="inline", n_machines=1,
+                        retry=RetryConfig(retries=2, backoff_s=1e-4))
+        ref = ObjectRef(machine=0, oid=1, spec=class_spec(Target))
+        fabric = _SheddingFabric(config, fail_times=1)
+        assert fabric.call(ref, "__len__", (), {}) == "ok"
+        assert fabric.attempts["__len__"] == 2

@@ -1,0 +1,367 @@
+"""Stress tests for the concurrent object server (``-m serve``).
+
+The sim backend makes concurrency *observable*: every call leaves a
+server span whose ``[t_received, t_executed]`` interval is in simulated
+seconds, so "these two readonly calls overlapped" is an exact statement
+about timestamps, not a probabilistic one about wall-clock scheduling.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro as oopp
+from repro.check.conformance import run_program
+from repro.config import CheckConfig, Config, ServeConfig, TraceConfig
+from repro.loadgen.workload import digest_program
+from repro.runtime.context import current_hooks
+
+pytestmark = pytest.mark.serve
+
+SERVICE_S = 1e-3
+
+
+class Store:
+    """One readonly method, one writer, both costing SERVICE_S."""
+
+    __oopp_idempotent__ = ("get",)
+
+    def __init__(self) -> None:
+        self._value = 0
+
+    @oopp.readonly
+    def get(self) -> int:
+        current_hooks().charge_compute(SERVICE_S)
+        return self._value
+
+    def add(self, delta: int = 1) -> int:
+        current_hooks().charge_compute(SERVICE_S)
+        self._value += delta
+        return self._value
+
+    def self_total(self, peer) -> int:
+        # nested remote call issued from inside a method body
+        return self._value + peer.get()
+
+
+def _sim_cluster(**serve_kwargs):
+    return oopp.Cluster(config=Config(
+        backend="sim", n_machines=1, trace=TraceConfig(),
+        serve=ServeConfig(**serve_kwargs)))
+
+
+def _server_spans(cluster, method):
+    return [s for s in cluster.trace_spans()
+            if s.kind == "server" and s.method == method and s.error is None]
+
+
+def _overlaps(a, b) -> bool:
+    # A server span's t_received marks *arrival* (queue wait included),
+    # so execution intervals are reconstructed from the known body cost:
+    # every Store method charges exactly SERVICE_S simulated seconds,
+    # ending at t_executed.  The epsilon keeps back-to-back serialized
+    # executions (end == next start) from reading as overlap.
+    eps = 1e-9
+    a0, a1 = a.t_executed - SERVICE_S + eps, a.t_executed - eps
+    b0, b1 = b.t_executed - SERVICE_S + eps, b.t_executed - eps
+    return a0 < b1 and b0 < a1
+
+
+def _any_overlap(spans) -> bool:
+    return any(_overlaps(a, b)
+               for i, a in enumerate(spans) for b in spans[i + 1:])
+
+
+class TestReadWriteLock:
+    def test_readonly_reads_overlap(self):
+        with _sim_cluster(workers=8) as c:
+            s = c.on(0).new(Store)
+            t0 = c.fabric.now
+            futs = [s.get.future() for _ in range(8)]
+            assert [f.result() for f in futs] == [0] * 8
+            makespan = c.fabric.now - t0
+            spans = _server_spans(c, "get")
+        assert len(spans) == 8
+        assert _any_overlap(spans)
+        # 8 concurrent 1 ms reads on 8 workers: ~1 ms, not ~8 ms.
+        assert makespan < 8 * SERVICE_S / 2
+
+    def test_single_worker_serializes_reads(self):
+        with _sim_cluster(workers=1) as c:
+            s = c.on(0).new(Store)
+            t0 = c.fabric.now
+            futs = [s.get.future() for _ in range(8)]
+            [f.result() for f in futs]
+            makespan = c.fabric.now - t0
+            spans = _server_spans(c, "get")
+        assert not _any_overlap(spans)
+        assert makespan >= 8 * SERVICE_S
+
+    def test_writers_mutually_exclusive(self):
+        with _sim_cluster(workers=8) as c:
+            s = c.on(0).new(Store)
+            futs = [s.add.future() for _ in range(8)]
+            [f.result() for f in futs]
+            assert s.get() == 8  # every increment landed
+            spans = _server_spans(c, "add")
+        assert len(spans) == 8
+        assert not _any_overlap(spans)
+
+    def test_write_excludes_reads(self):
+        with _sim_cluster(workers=8) as c:
+            s = c.on(0).new(Store)
+            futs = [s.get.future() for _ in range(4)]
+            futs.append(s.add.future())
+            futs += [s.get.future() for _ in range(4)]
+            for f in futs:
+                f.result()
+            # trace_spans() drains destructively: split one drain
+            spans = c.trace_spans()
+            reads = [s for s in spans
+                     if s.kind == "server" and s.method == "get"]
+            writes = [s for s in spans
+                      if s.kind == "server" and s.method == "add"]
+        assert len(writes) == 1
+        assert not any(_overlaps(writes[0], r) for r in reads)
+
+    def test_readonly_concurrency_flag_off_serializes(self):
+        with _sim_cluster(workers=8, readonly_concurrency=False) as c:
+            s = c.on(0).new(Store)
+            futs = [s.get.future() for _ in range(6)]
+            [f.result() for f in futs]
+            spans = _server_spans(c, "get")
+        assert not _any_overlap(spans)
+
+    def test_nested_local_call_rides_parent_slot(self):
+        # workers=1: the nested get() issued inside self_total's body
+        # must ride the parent's slot and read lock instead of
+        # deadlocking against them.
+        with _sim_cluster(workers=1) as c:
+            s = c.on(0).new(Store)
+            s.add(5)
+            assert s.self_total(s) == 10
+
+
+class TestAdmission:
+    def test_shed_accounting_matches_stats(self):
+        with _sim_cluster(workers=1, max_queue_depth=2) as c:
+            s = c.on(0).new(Store)
+            futs = [s.get.future() for _ in range(10)]
+            ok = shed = 0
+            for f in futs:
+                try:
+                    f.result()
+                    ok += 1
+                except oopp.ServerOverloadedError as exc:
+                    shed += 1
+                    assert exc.oid is not None and exc.depth == 2
+            stats = c.on(0).stats()["serve"]
+        assert ok + shed == 10
+        assert shed > 0
+        assert stats["shed"] == shed
+        assert stats["admitted"] == ok
+        assert stats["queued"] == 0            # all drained
+        assert stats["depth_peak"] <= 2
+
+    def test_unbounded_queue_never_sheds(self):
+        with _sim_cluster(workers=1, max_queue_depth=None) as c:
+            s = c.on(0).new(Store)
+            futs = [s.get.future() for _ in range(20)]
+            assert [f.result() for f in futs] == [0] * 20
+            assert c.on(0).stats()["serve"]["shed"] == 0
+
+    def test_kernel_exempt_from_admission(self):
+        # stats() is a kernel call: it must land even when the one
+        # hosted object is saturated past its queue bound.
+        with _sim_cluster(workers=1, max_queue_depth=1) as c:
+            s = c.on(0).new(Store)
+            futs = [s.get.future() for _ in range(6)]
+            stats = c.on(0).stats()       # must not shed or block
+            assert stats["serve"]["workers"] == 1
+            for f in futs:
+                try:
+                    f.result()
+                except oopp.ServerOverloadedError:
+                    pass
+
+
+class Peer:
+    """Symmetric exchange: the stencil's ghost-deposit call shape."""
+
+    def __init__(self) -> None:
+        self.inbox: list = []
+
+    def deposit(self, value) -> int:
+        self.inbox.append(value)
+        return len(self.inbox)
+
+    def exchange(self, peer, value) -> int:
+        # A writer that holds this object's lock while waiting on a
+        # peer whose own writer is waiting on *us* — deadlock unless
+        # the policy yields locks across the blocking wait.
+        return peer.deposit.future(value).result(10.0)
+
+    @oopp.readonly
+    def seen(self) -> list:
+        return list(self.inbox)
+
+
+class CondPeer:
+    """The collective-FFT shape: deposits land in an inbox guarded by
+    the object's own condition variable, and the exchanging writer
+    parks on that condition — a wait the futures layer cannot see."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self.inbox: list = []
+
+    def deposit(self, value) -> int:
+        with self._cond:
+            self.inbox.append(value)
+            self._cond.notify_all()
+            return len(self.inbox)
+
+    def exchange(self, peer, value, timeout=20.0) -> list:
+        fut = peer.deposit.future(value)
+        # oopp.yielding_wait() is the explicit escape hatch: without it
+        # the peer's deposit queues behind this writer's held lock.
+        with oopp.yielding_wait():
+            with self._cond:
+                if not self._cond.wait_for(lambda: self.inbox, timeout):
+                    raise RuntimeError("no deposit arrived")
+        fut.result(timeout)
+        return list(self.inbox)
+
+
+class TestLockYieldAcrossWaits:
+    """Locks release while a body is parked on a remote future."""
+
+    def test_symmetric_exchange_sim(self):
+        config = Config(backend="sim", n_machines=2,
+                        serve=ServeConfig(workers=1))
+        with oopp.Cluster(config=config) as c:
+            a, b = c.on(0).new(Peer), c.on(1).new(Peer)
+            fa = a.exchange.future(b, "from-a")
+            fb = b.exchange.future(a, "from-b")
+            assert fa.result(10.0) == 1
+            assert fb.result(10.0) == 1
+            assert a.seen() == ["from-b"]
+            assert b.seen() == ["from-a"]
+
+    def test_symmetric_exchange_mp_single_worker(self):
+        # workers=1 also proves the *slot* yields: each machine's only
+        # worker thread is parked in exchange() when the deposit lands.
+        config = Config(backend="mp", n_machines=2,
+                        serve=ServeConfig(workers=1))
+        with oopp.Cluster(config=config) as c:
+            a, b = c.on(0).new(Peer), c.on(1).new(Peer)
+            fa = a.exchange.future(b, "from-a")
+            fb = b.exchange.future(a, "from-b")
+            assert {fa.result(30.0), fb.result(30.0)} == {1}
+            assert a.seen() == ["from-b"]
+            assert b.seen() == ["from-a"]
+
+    def test_condition_wait_yields_with_yielding_wait(self):
+        # workers=1: the machine's only slot is parked in exchange()
+        # when the peer's deposit arrives, so both the slot and the
+        # write lock must have been yielded for this to complete.
+        config = Config(backend="mp", n_machines=2,
+                        serve=ServeConfig(workers=1))
+        with oopp.Cluster(config=config) as c:
+            a, b = c.on(0).new(CondPeer), c.on(1).new(CondPeer)
+            fa = a.exchange.future(b, "from-a")
+            fb = b.exchange.future(a, "from-b")
+            assert fa.result(30.0) == ["from-b"]
+            assert fb.result(30.0) == ["from-a"]
+
+    def test_writer_lock_retaken_after_wait(self):
+        # After the yielded wait the writer reacquires before resuming,
+        # so post-wait mutations are exclusive again: hammer exchanges
+        # and assert nothing is lost.
+        config = Config(backend="sim", n_machines=2,
+                        serve=ServeConfig(workers=4))
+        with oopp.Cluster(config=config) as c:
+            a, b = c.on(0).new(Peer), c.on(1).new(Peer)
+            futs = [a.exchange.future(b, i) for i in range(6)]
+            futs += [b.exchange.future(a, i) for i in range(6)]
+            [f.result(10.0) for f in futs]
+            assert sorted(a.seen()) == list(range(6))
+            assert sorted(b.seen()) == list(range(6))
+
+
+class TestConformance:
+    def test_digest_identical_across_worker_counts(self):
+        digests = {
+            workers: run_program(digest_program, "sim", n_machines=2,
+                                 serve=ServeConfig(workers=workers)).digest
+            for workers in (1, 4, 8)
+        }
+        assert len(set(digests.values())) == 1, digests
+
+    def test_race_detector_silent_under_pooled_reads(self):
+        config = Config(backend="sim", n_machines=1,
+                        serve=ServeConfig(workers=8),
+                        check=CheckConfig(race_detect=True))
+        with oopp.Cluster(config=config) as c:
+            s = c.on(0).new(Store)
+            s.add(1)                       # ordered before the reads
+            futs = [s.get.future() for _ in range(8)]
+            assert [f.result() for f in futs] == [1] * 8
+            assert c.race_reports() == []
+
+
+class TestMpPool:
+    def test_mp_readonly_throughput_scales(self):
+        sleep_s = 0.02
+
+        def run(workers):
+            config = Config(backend="mp", n_machines=1,
+                            serve=ServeConfig(workers=workers))
+            with oopp.Cluster(config=config) as c:
+                s = c.on(0).new(SleepStore, sleep_s)
+                s.get()                    # warm the connection
+                t0 = time.monotonic()
+                futs = [s.get.future() for _ in range(8)]
+                [f.result() for f in futs]
+                return time.monotonic() - t0
+
+        serial = run(1)
+        pooled = run(8)
+        assert serial >= 8 * sleep_s
+        assert pooled < serial / 2
+
+    def test_mp_sheds_at_socket_and_recovers(self):
+        config = Config(backend="mp", n_machines=1,
+                        serve=ServeConfig(workers=1, max_queue_depth=1))
+        with oopp.Cluster(config=config) as c:
+            s = c.on(0).new(SleepStore, 0.05)
+            futs = [s.get.future() for _ in range(6)]
+            outcomes = []
+            for f in futs:
+                try:
+                    f.result()
+                    outcomes.append("ok")
+                except oopp.ServerOverloadedError:
+                    outcomes.append("shed")
+            assert "shed" in outcomes
+            assert outcomes.count("ok") >= 1
+            # the shed was pre-execution: the server still works
+            assert s.get() == 0
+
+
+class SleepStore:
+    """Wall-clock service time: exercises the real mp thread pool."""
+
+    __oopp_idempotent__ = ("get",)
+
+    def __init__(self, sleep_s: float) -> None:
+        self._sleep_s = sleep_s
+        self._value = 0
+
+    @oopp.readonly
+    def get(self) -> int:
+        time.sleep(self._sleep_s)
+        return self._value
