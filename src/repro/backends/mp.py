@@ -45,6 +45,7 @@ from ..obs.tracer import current_span_id, make_tracer
 from ..runtime.context import RuntimeContext, context_scope, set_default_context
 from ..runtime.futures import RemoteFuture, completed_future, failed_future
 from ..runtime.oid import ObjectRef
+from ..runtime.proxy import PING_METHOD
 from ..runtime.server import Dispatcher, Kernel, ObjectTable, ServePolicy
 from ..transport.message import (
     KERNEL_OID,
@@ -68,11 +69,17 @@ log = get_logger("mp")
 #: ``Config.serve.workers`` is None (the "auto" default).
 DEFAULT_MP_WORKERS = 8
 
-#: extra executor threads beyond ``serve.workers``: substrate for bodies
-#: that yielded their policy slot while parked on a remote future (see
-#: ``ServePolicy.yield_for_wait``).  Bounds the depth of re-entrant
-#: cross-machine call chains one machine can park concurrently.
-YIELD_THREAD_HEADROOM = 16
+# Extra executor threads beyond ``serve.workers`` — substrate for bodies
+# that yielded their policy slot while parked on a remote future (see
+# ``ServePolicy.yield_for_wait``) — come from ``serve.yield_headroom``:
+# it bounds how many bodies one machine can park concurrently, so users
+# size it for their deepest symmetric exchange (docs/SERVING.md).
+
+#: kernel methods served inline on the connection reader thread instead
+#: of the kernel executor: guaranteed non-blocking, and they must land
+#: even when both kernel-lane threads are stuck in blocking kernel
+#: methods (a destroy draining in-flight calls, an untimed quiesce).
+_INLINE_KERNEL_METHODS = frozenset({"shutdown", "ping", PING_METHOD})
 
 # ---------------------------------------------------------------------------
 # Client side: request/response demultiplexing over cached connections
@@ -477,7 +484,7 @@ class MachineServer:
         pool_size = (config.serve.workers if config.serve.workers is not None
                      else DEFAULT_MP_WORKERS)
         self.executor = ThreadPoolExecutor(
-            max_workers=pool_size + YIELD_THREAD_HEADROOM,
+            max_workers=pool_size + config.serve.yield_headroom,
             thread_name_prefix=f"oopp-m{machine_id}")
         # Kernel calls ride a dedicated lane so shutdown/quiesce/metric
         # gathers land even when every worker is busy or blocked.
@@ -548,6 +555,17 @@ class MachineServer:
                         return
                     if isinstance(msg, Request):
                         if msg.object_id == KERNEL_OID:
+                            # shutdown and ping are non-blocking by
+                            # construction (set an event / return an
+                            # int), so they run inline on this reader
+                            # thread: the kernel lane's 2 threads may
+                            # both be parked in blocking kernel methods
+                            # (destroy's drain wait, an untimed
+                            # quiesce), and liveness + shutdown are the
+                            # calls the lane exists to guarantee.
+                            if msg.method in _INLINE_KERNEL_METHODS:
+                                self._serve_request(reply_send, msg)
+                                continue
                             self.kernel_executor.submit(
                                 self._serve_request, reply_send, msg)
                             continue

@@ -222,6 +222,14 @@ class ServeConfig:
     #: run ``@oopp.readonly`` methods concurrently on one object.
     #: ``False`` serializes every method (one writer lock for all).
     readonly_concurrency: bool = True
+    #: mp backend: executor threads *beyond* ``workers``.  A method body
+    #: parked on a remote future (or inside ``yielding_wait``) releases
+    #: its policy slot but still occupies an OS thread, so this bounds
+    #: how many bodies one machine can park concurrently — size it above
+    #: the deepest symmetric exchange (every party parked at once) the
+    #: application performs, or the pool has no thread left to run the
+    #: incoming calls that would unpark them (see docs/SERVING.md).
+    yield_headroom: int = 16
 
     def validate(self) -> None:
         if self.workers is not None and self.workers < 1:
@@ -230,6 +238,8 @@ class ServeConfig:
                 ">= 1 or None")
         if self.max_queue_depth is not None and self.max_queue_depth < 1:
             raise ConfigError("serve.max_queue_depth must be >= 1 or None")
+        if self.yield_headroom < 0:
+            raise ConfigError("serve.yield_headroom must be >= 0")
 
 
 #: legacy flat keyword → (nested group, attribute).

@@ -890,7 +890,16 @@ class Dispatcher:
         else:
             # atomic lookup + in-flight registration: a concurrent
             # destroy either drains us or beats us, never interleaves.
-            instance = self.table.checkout(oid)
+            try:
+                instance = self.table.checkout(oid)
+            except BaseException:
+                if preadmitted and self.policy is not None:
+                    # the reader thread already counted this call in the
+                    # object's depth; without the rollback a destroy
+                    # race leaks it forever and (under max_queue_depth)
+                    # eventually sheds every later call to the oid.
+                    self.policy.cancel_admit(oid)
+                raise
         try:
             grant = (None if self.policy is None
                      else self.policy.enter(oid, instance, name,

@@ -5,10 +5,17 @@ These are ordinary classes meant to be *hosted* on a machine
 set of worker processes — the collective counterpart of the paper's
 compiler-supported ``fft->barrier()``.
 
-A blocking method occupies one server worker slot while it waits, so
-size ``Config.serve.workers`` (legacy ``mp_workers_per_machine``) above
-the number of concurrent waiters a single machine may host — see
-``docs/SERVING.md``.  These blocking primitives are intended for the
+Every blocking wait here is wrapped in
+:func:`~repro.runtime.futures.yielding_wait`: under the
+:class:`~repro.runtime.server.ServePolicy` these methods are *writers*
+holding the hosted object's exclusive lock, and the remote call that
+would wake the waiter (``arrive`` / ``count_down`` / ``put``) is a
+writer on the same object — without the yield it queues behind the
+parked waiter's own lock forever.  Yielding also frees the waiter's
+worker slot, so parked parties do not starve other objects on the
+machine; a parked body still occupies an executor thread on the mp
+backend, bounded by ``Config.serve.yield_headroom`` (see
+``docs/SERVING.md``).  These blocking primitives are intended for the
 ``inline`` and ``mp`` backends; simulated experiments coordinate
 phases from the driver instead.
 """
@@ -18,6 +25,8 @@ from __future__ import annotations
 import threading
 from collections import defaultdict
 from typing import Any, Hashable
+
+from .futures import yielding_wait
 
 
 class Rendezvous:
@@ -37,19 +46,25 @@ class Rendezvous:
         self._generation = 0
 
     def arrive(self, timeout: float | None = None) -> int:
-        with self._cond:
-            gen = self._generation
-            self._count += 1
-            if self._count == self.n:
-                self._count = 0
-                self._generation += 1
-                self._cond.notify_all()
+        # yielding_wait wraps the whole critical section (not just the
+        # wait loop): unyield reacquires the object's write lock, and
+        # doing that while holding self._cond would deadlock against a
+        # peer arrive that owns the write lock and wants self._cond.
+        with yielding_wait():
+            with self._cond:
+                gen = self._generation
+                self._count += 1
+                if self._count == self.n:
+                    self._count = 0
+                    self._generation += 1
+                    self._cond.notify_all()
+                    return gen
+                while self._generation == gen:
+                    if not self._cond.wait(timeout):
+                        raise TimeoutError(
+                            f"rendezvous generation {gen} incomplete "
+                            f"after {timeout}s")
                 return gen
-            while self._generation == gen:
-                if not self._cond.wait(timeout):
-                    raise TimeoutError(
-                        f"rendezvous generation {gen} incomplete after {timeout}s")
-            return gen
 
     def waiting(self) -> int:
         with self._cond:
@@ -73,11 +88,12 @@ class Latch:
             return self._count
 
     def wait(self, timeout: float | None = None) -> bool:
-        with self._cond:
-            while self._count > 0:
-                if not self._cond.wait(timeout):
-                    return False
-            return True
+        with yielding_wait():  # see Rendezvous.arrive for the nesting
+            with self._cond:
+                while self._count > 0:
+                    if not self._cond.wait(timeout):
+                        return False
+                return True
 
     def remaining(self) -> int:
         with self._cond:
@@ -103,15 +119,17 @@ class Mailbox:
             self._cond.notify_all()
 
     def take(self, key: Hashable, timeout: float | None = None) -> Any:
-        with self._cond:
-            while not self._slots.get(key):
-                if not self._cond.wait(timeout):
-                    raise TimeoutError(f"mailbox key {key!r} never arrived")
-            values = self._slots[key]
-            value = values.pop(0)
-            if not values:
-                del self._slots[key]
-            return value
+        with yielding_wait():  # see Rendezvous.arrive for the nesting
+            with self._cond:
+                while not self._slots.get(key):
+                    if not self._cond.wait(timeout):
+                        raise TimeoutError(
+                            f"mailbox key {key!r} never arrived")
+                values = self._slots[key]
+                value = values.pop(0)
+                if not values:
+                    del self._slots[key]
+                return value
 
     def peek_keys(self) -> list:
         with self._cond:

@@ -8,14 +8,14 @@ import time
 import pytest
 
 from repro.backends.inline import InlineFabric
-from repro.config import Config
+from repro.config import Config, ServeConfig
 from repro.errors import (
     NoSuchObjectError,
     ObjectDestroyedError,
     RuntimeLayerError,
 )
 from repro.runtime.oid import class_spec
-from repro.runtime.server import Dispatcher, Kernel, ObjectTable
+from repro.runtime.server import Dispatcher, Kernel, ObjectTable, ServePolicy
 from repro.transport.message import ErrorResponse, Request, Response
 
 
@@ -292,6 +292,32 @@ class TestDispatcher:
         reply = dispatcher.execute(Request(
             request_id=3, object_id=ref.oid, method="hello"))
         assert reply.value == "hi-y"
+
+    def test_preadmitted_depth_rolled_back_on_checkout_failure(self):
+        # Regression: the mp reader thread admits (counting the call in
+        # the object's depth) before the executor dispatches it.  If a
+        # destroy wins the race, checkout raises — and the pre-admitted
+        # depth must be rolled back, or it leaks forever and (with
+        # max_queue_depth set) eventually converts every call to the
+        # oid into ServerOverloadedError instead of the correct
+        # ObjectDestroyedError.
+        table = ObjectTable()
+        kernel = Kernel(0, table)
+        fabric = InlineFabric(Config(backend="inline", n_machines=1))
+        policy = ServePolicy(ServeConfig(max_queue_depth=1))
+        dispatcher = Dispatcher(0, table, kernel, fabric, policy=policy)
+        ref = kernel.create(class_spec(Thing), (), {})
+        policy.admit(ref.oid, "hello")    # the reader-thread half
+        kernel.destroy(ref.oid)           # destroy beats the dispatch
+        reply = dispatcher.execute(
+            Request(request_id=1, object_id=ref.oid, method="hello"),
+            preadmitted=True)
+        assert isinstance(reply, ErrorResponse)
+        assert "ObjectDestroyedError" in reply.type_name
+        assert policy.stats()["queued"] == 0
+        # with max_queue_depth=1, a leaked depth would shed this admit
+        policy.admit(ref.oid, "hello")
+        policy.cancel_admit(ref.oid)
 
     def test_unpicklable_exception_still_reported(self, machine):
         class Unpicklable(Exception):

@@ -352,6 +352,32 @@ class TestMpPool:
             assert s.get() == 0
 
 
+class TestKernelLane:
+    def test_ping_lands_while_kernel_lane_blocked(self):
+        # Kernel methods may block indefinitely (an untimed quiesce, a
+        # destroy draining in-flight calls); two of them occupy both
+        # kernel-lane threads.  ping and shutdown are served inline on
+        # the connection reader thread, so liveness — the thing the
+        # lane exists to guarantee — survives a clogged lane.
+        config = Config(backend="mp", n_machines=1,
+                        serve=ServeConfig(workers=2))
+        with oopp.Cluster(config=config) as c:
+            s = c.on(0).new(SleepStore, 1.0)
+            slow = s.get.future()
+            time.sleep(0.2)        # let the body start sleeping
+            kref = c.fabric.kernel_ref(0)
+            quiesces = [
+                c.fabric.call_async(kref, "quiesce", (None, None), {})
+                for _ in range(2)
+            ]
+            time.sleep(0.2)        # let both occupy the kernel lane
+            t0 = time.monotonic()
+            assert c.fabric.ping(0) == 0
+            assert time.monotonic() - t0 < 0.5
+            assert slow.result(10.0) == 0
+            assert all(q.result(10.0) for q in quiesces)
+
+
 class SleepStore:
     """Wall-clock service time: exercises the real mp thread pool."""
 

@@ -1,0 +1,66 @@
+"""Hosted synchronization primitives under the concurrent server.
+
+Regression suite for the REVIEW deadlock: ``Rendezvous.arrive``,
+``Latch.wait`` and ``Mailbox.take`` park on the hosted object's own
+condition variable while (as writers under the ServePolicy) holding its
+exclusive lock — the remote ``arrive`` / ``count_down`` / ``put`` that
+would wake them is a writer on the same object and queues behind that
+lock forever unless the wait yields it.  ``workers=1`` additionally
+proves the parked call yields its worker slot: the machine's only slot
+must be free for the waking call to execute at all.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+from repro.config import Config, ServeConfig
+from repro.runtime.sync import Latch, Mailbox, Rendezvous
+
+pytestmark = pytest.mark.serve
+
+
+def _mp_cluster(**serve_kwargs):
+    return oopp.Cluster(config=Config(
+        backend="mp", n_machines=1, serve=ServeConfig(**serve_kwargs)))
+
+
+class TestHostedSync:
+    def test_rendezvous_parties_meet_single_worker(self):
+        with _mp_cluster(workers=1) as c:
+            r = c.on(0).new(Rendezvous, 3)
+            futs = [r.arrive.future(20.0) for _ in range(3)]
+            assert [f.result(30.0) for f in futs] == [0, 0, 0]
+            # reusable: the next generation completes too
+            futs = [r.arrive.future(20.0) for _ in range(3)]
+            assert [f.result(30.0) for f in futs] == [1, 1, 1]
+
+    def test_latch_wait_unblocked_by_remote_count_down(self):
+        with _mp_cluster(workers=1) as c:
+            latch = c.on(0).new(Latch, 2)
+            waiter = latch.wait.future(20.0)
+            assert latch.count_down.future(1).result(30.0) == 1
+            assert not waiter.done()      # one count still outstanding
+            assert latch.count_down.future(1).result(30.0) == 0
+            assert waiter.result(30.0) is True
+
+    def test_mailbox_take_blocks_until_put(self):
+        with _mp_cluster(workers=1) as c:
+            mb = c.on(0).new(Mailbox)
+            taker = mb.take.future("slab", 20.0)
+            mb.put("slab", b"payload")
+            assert taker.result(30.0) == b"payload"
+
+    def test_many_waiters_do_not_pin_worker_slots(self):
+        # Several parked arrives on one machine: every waiter yielded
+        # its slot, so an unrelated object stays callable while they
+        # park, and the final arrive still completes the barrier.
+        with _mp_cluster(workers=2) as c:
+            r = c.on(0).new(Rendezvous, 4)
+            mb = c.on(0).new(Mailbox)
+            futs = [r.arrive.future(20.0) for _ in range(3)]
+            mb.put("probe", 1)            # must not queue behind waiters
+            assert mb.take("probe", 10.0) == 1
+            futs.append(r.arrive.future(20.0))
+            assert [f.result(30.0) for f in futs] == [0, 0, 0, 0]

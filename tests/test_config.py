@@ -6,7 +6,7 @@ import os
 
 import pytest
 
-from repro.config import Config, DiskModel, NetworkModel
+from repro.config import Config, DiskModel, NetworkModel, ServeConfig
 from repro.errors import ConfigError
 
 
@@ -29,6 +29,12 @@ class TestValidation:
     def test_bad_values_rejected(self, field, value):
         with pytest.raises(ConfigError):
             Config(**{field: value}).validate()
+
+    def test_serve_yield_headroom(self):
+        assert ServeConfig().yield_headroom == 16
+        Config(serve=ServeConfig(yield_headroom=0)).validate()
+        with pytest.raises(ConfigError):
+            Config(serve=ServeConfig(yield_headroom=-1)).validate()
 
     def test_replace_returns_validated_copy(self):
         cfg = Config()
