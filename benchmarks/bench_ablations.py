@@ -39,3 +39,7 @@ def test_a4_cache_effect_shape(benchmark):
 
 def test_a5_wire_fastpath_shape(benchmark):
     run_experiment(benchmark, "A5")
+
+
+def test_a6_publication_shape(benchmark):
+    run_experiment(benchmark, "A6")

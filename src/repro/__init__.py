@@ -53,6 +53,7 @@ from .config import (
     Config,
     DiskModel,
     NetworkModel,
+    PubConfig,
     RetryConfig,
     ServeConfig,
     TraceConfig,
@@ -71,7 +72,9 @@ from .errors import (
     ChannelTimeoutError,
     ServerOverloadedError,
 )
+from .errors import PublicationError
 from .transport.faults import FaultPlan, FaultRule
+from .transport.pub import Publication
 from .runtime import (
     Cluster,
     current_cluster,
@@ -130,6 +133,7 @@ __all__ = [
     "Config",
     "DiskModel",
     "NetworkModel",
+    "PubConfig",
     "WireConfig",
     "RetryConfig",
     "ServeConfig",
@@ -148,6 +152,8 @@ __all__ = [
     "ServerOverloadedError",
     "FaultPlan",
     "FaultRule",
+    "Publication",
+    "PublicationError",
     "Cluster",
     "current_cluster",
     "Proxy",

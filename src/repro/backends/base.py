@@ -10,13 +10,39 @@ from __future__ import annotations
 
 from typing import Any, Optional
 
-from ..config import Config
-from ..errors import NoSuchMachineError, RemoteExecutionError
+from ..config import Config, ConfigError
+from ..errors import NoSuchMachineError, RemoteExecutionError, SerializationError
 from ..obs.metrics import counters, snapshot_process
 from ..runtime.futures import RemoteFuture, retry_call
 from ..runtime.oid import ObjectRef, class_spec
 from ..runtime.proxy import Proxy, is_idempotent
+from ..transport import pub, serde
 from ..transport.message import KERNEL_OID, ErrorResponse
+
+
+def _approx_nominal(value: Any, protocol: int) -> int:
+    """Cheap transported-size estimate for the auto-publish threshold.
+
+    Exact for declared nominals and raw byte containers; falls back to
+    the true encoded size (out-of-band buffers are counted as views, not
+    copied) for everything else.  Unpicklable values estimate as 0 —
+    they will fail later with a proper error on the call path.
+    """
+    declared = getattr(value, serde.NOMINAL_ATTR, None)
+    if declared is not None:
+        return int(declared)
+    if value is None or isinstance(value, (bool, int, float, complex)):
+        return 32
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, memoryview):
+        return value.nbytes
+    if isinstance(value, str):
+        return 2 * len(value)
+    try:
+        return serde.encoded_size(value, protocol)
+    except SerializationError:
+        return 0
 
 
 def exception_from_error(err: ErrorResponse) -> BaseException:
@@ -56,6 +82,8 @@ class Fabric:
         #: :func:`repro.check.make_checker` when ``config.check`` enables
         #: race detection (see :mod:`repro.check`).
         self.checker = None
+        #: publications pinned through this fabric, unpinned on close.
+        self._publications: dict[str, pub.Publication] = {}
 
     # -- topology ---------------------------------------------------------
 
@@ -138,6 +166,73 @@ class Fabric:
     def quiesce(self, machine: int, oids: Optional[list[int]] = None) -> bool:
         return self.kernel_call(machine, "quiesce", oids)
 
+    # -- publication (zero-copy broadcast) ------------------------------------
+
+    @property
+    def pub_backing(self) -> str:
+        """Payload backing for :meth:`publish`: ``"shm"`` pins a named
+        shared-memory segment (cross-process backends), ``"local"``
+        keeps the payload in driver memory (single-process backends
+        override)."""
+        return "shm"
+
+    def publish(self, obj: Any) -> pub.Publication:
+        """Pin one pickled copy of *obj* per host and return its handle.
+
+        While the publication is live, every call argument that contains
+        *obj* — or its :class:`~repro.transport.pub.Publication` handle —
+        ships a ~100-byte descriptor over the wire instead of the
+        payload; each receiving process attaches and decodes the pinned
+        copy once.  Call :meth:`~repro.transport.pub.Publication.unpublish`
+        to unpin early; anything still pinned is swept when the fabric
+        closes.  Published objects must be treated as read-only.
+        """
+        if self.config.pickle_protocol < 5:
+            raise ConfigError(
+                "publish() requires pickle_protocol >= 5 (publication "
+                "descriptors ride as out-of-band PickleBuffers)")
+        handle = pub.registry().publish(
+            obj, protocol=self.config.pickle_protocol,
+            backing=self.pub_backing)
+        self._publications[handle.name] = handle
+        return handle
+
+    def auto_publish_args(self, args: tuple, kwargs: dict
+                          ) -> tuple[tuple, dict]:
+        """Publish large fan-out arguments (opt-in via ``wire.pub``).
+
+        Top-level argument values whose transported size reaches
+        ``wire.pub.publish_threshold_bytes`` are published and replaced
+        with their handles, so an N-member group ships N descriptors and
+        one payload per host.  The handle unpickles to the published
+        value, so callee semantics are unchanged.  Values already
+        published ship their existing handle.  A no-op unless the config
+        opts in — and on the inline backend's no-copy debug mode, where
+        arguments never round-trip through the serializer.
+        """
+        pcfg = self.config.wire.pub
+        if pcfg is None or (not args and not kwargs):
+            return args, kwargs
+        if self.config.backend == "inline" and not self.config.inline_copy:
+            return args, kwargs
+        threshold = pcfg.publish_threshold_bytes
+        protocol = self.config.pickle_protocol
+
+        def maybe_publish(value: Any) -> Any:
+            if isinstance(value, (pub.Publication, serde.Prepickled)):
+                return value
+            reg = pub.registry()
+            if reg.is_published(value):
+                return reg.handle_for(value) or value
+            if _approx_nominal(value, protocol) >= threshold:
+                return self.publish(value)
+            return value
+
+        new_args = tuple(maybe_publish(v) for v in args)
+        new_kwargs = ({k: maybe_publish(v) for k, v in kwargs.items()}
+                      if kwargs else kwargs)
+        return new_args, new_kwargs
+
     # -- observability --------------------------------------------------------
 
     def trace_spans(self) -> list:
@@ -174,6 +269,9 @@ class Fabric:
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        publications, self._publications = self._publications, {}
+        for handle in publications.values():
+            handle.unpublish()
         self._closed = True
 
 

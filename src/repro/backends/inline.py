@@ -51,6 +51,10 @@ class _VirtualMachine:
 class InlineFabric(Fabric):
     """All machines virtual, all calls synchronous, full serde fidelity."""
 
+    #: publications stay in driver memory — every virtual machine shares
+    #: the process, so a shared-memory segment would add nothing.
+    pub_backing = "local"
+
     def __init__(self, config: Config) -> None:
         super().__init__(config)
         # One tracer/checker for the whole process: the virtual machines

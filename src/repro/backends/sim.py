@@ -52,6 +52,10 @@ MESSAGE_OVERHEAD_BYTES = 64
 #: polling quantum of the sim-aware quiesce (simulated seconds)
 QUIESCE_POLL_S = 1e-6
 
+#: modeled memory bandwidth of a publication first-attach (map + decode
+#: copy); simulated machines charge ``payload_bytes / bandwidth`` seconds
+PUB_ATTACH_BANDWIDTH = 8e9
+
 
 class SimCostHooks(CostHooks):
     """Cost hooks charging one simulated machine's hardware."""
@@ -79,6 +83,15 @@ class SimCostHooks(CostHooks):
                                   self._node_id, op="write", nbytes=nbytes,
                                   device=device_key)
         self._fabric.engine.wait(trigger)
+
+    def charge_shm_attach(self, nbytes: int) -> None:
+        # A first attach of a published payload is a map + one decode
+        # copy: memory-bandwidth work, not network traffic.  Subsequent
+        # uses hit the attach table and charge nothing.
+        if nbytes > 0:
+            self._fabric.trace.record(self._fabric.engine.now, "pub_attach",
+                                      self._node_id, nbytes=nbytes)
+            self._fabric.engine.sleep(nbytes / PUB_ATTACH_BANDWIDTH)
 
 
 class SimRemoteFuture(RemoteFuture):
@@ -173,6 +186,10 @@ class _SimMachine:
 
 class SimFabric(Fabric):
     """The runtime fabric over the simulated cluster."""
+
+    #: publications stay in driver memory — all simulated machines share
+    #: the process; the simulated attach cost is charged via hooks.
+    pub_backing = "local"
 
     def __init__(self, config: Config) -> None:
         super().__init__(config)

@@ -41,6 +41,9 @@ def main(argv=None) -> int:
                         help="write a Chrome-trace (Perfetto-loadable) file "
                              "of call spans, for experiments that support "
                              "tracing (currently A5)")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write machine-readable results, for "
+                             "experiments that support it (currently A6)")
     args = parser.parse_args(argv)
     if args.quick:
         if args.full:
@@ -52,6 +55,7 @@ def main(argv=None) -> int:
         else [_normalize(k) for k in args.ids]
     failed = []
     traced = False
+    dumped = False
     for key in ids:
         exp = EXPERIMENTS.get(key)
         if exp is None:
@@ -64,6 +68,10 @@ def main(argv=None) -> int:
                 and "trace_path" in inspect.signature(exp.run).parameters:
             kwargs["trace_path"] = args.trace
             traced = True
+        if args.json is not None \
+                and "json_path" in inspect.signature(exp.run).parameters:
+            kwargs["json_path"] = args.json
+            dumped = True
         table = exp.run(**kwargs)
         print()
         print(table.to_markdown() if args.markdown else table.render())
@@ -77,6 +85,9 @@ def main(argv=None) -> int:
     if args.trace is not None and not traced:
         print(f"\nnote: no selected experiment supports --trace; "
               f"{args.trace} was not written")
+    if args.json is not None and not dumped:
+        print(f"\nnote: no selected experiment supports --json; "
+              f"{args.json} was not written")
     if failed:
         print(f"\nFAILED shape checks: {failed}")
         return 1

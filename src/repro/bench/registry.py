@@ -71,6 +71,7 @@ def _load_all() -> None:
         a03_isolation_cost,
         a04_cache_effect,
         a05_wire_fastpath,
+        a06_publication,
     )
 
 

@@ -76,6 +76,30 @@ class DiskModel:
 
 
 @dataclass
+class PubConfig:
+    """Automatic zero-copy publication of broadcast arguments
+    (see the "Publication & broadcast" section of ``docs/WIRE.md``).
+
+    With ``Config(wire=WireConfig(pub=PubConfig()))``, group fan-outs
+    (:meth:`~repro.runtime.group.ObjectGroup.invoke` and
+    ``new_group`` argument fan-outs) automatically publish read-only
+    argument values whose nominal size is at least
+    ``publish_threshold_bytes``: the payload is pinned once per host and
+    every member's call ships a small ``BUF_PUB`` descriptor instead of
+    a fresh pickle.  Explicit ``cluster.publish(obj)`` works regardless
+    of this knob (the receive side always understands descriptors).
+    """
+
+    #: minimum nominal size of a top-level argument value for automatic
+    #: publication at group fan-outs, in bytes.
+    publish_threshold_bytes: int = 1 << 20
+
+    def validate(self) -> None:
+        if self.publish_threshold_bytes < 1:
+            raise ConfigError("pub.publish_threshold_bytes must be >= 1")
+
+
+@dataclass
 class WireConfig:
     """The mp backend's wire fast path (see ``docs/WIRE.md``).
 
@@ -99,6 +123,10 @@ class WireConfig:
     shm: bool = True
     #: minimum buffer size for the shared-memory path, in bytes.
     shm_threshold_bytes: int = 1 << 20
+    #: automatic broadcast publication (:class:`PubConfig`); ``None``
+    #: (the default) disables auto-publication — explicit
+    #: ``cluster.publish`` still works.
+    pub: PubConfig | None = None
 
     def validate(self) -> None:
         if self.coalesce_max_bytes < 1024:
@@ -107,6 +135,13 @@ class WireConfig:
             raise ConfigError("coalesce_max_msgs must be >= 1")
         if self.shm_threshold_bytes < 1:
             raise ConfigError("shm_threshold_bytes must be >= 1")
+        if self.pub is not None:
+            validate = getattr(self.pub, "validate", None)
+            if not callable(validate):
+                raise ConfigError(
+                    f"wire.pub must be a PubConfig, got "
+                    f"{type(self.pub).__name__}")
+            validate()
 
 
 @dataclass
@@ -390,6 +425,10 @@ class Config:
             validate()
         if not (2 <= self.pickle_protocol <= 5):
             raise ConfigError("pickle_protocol must be in [2, 5]")
+        if self.wire.pub is not None and self.pickle_protocol < 5:
+            raise ConfigError(
+                "wire.pub requires pickle_protocol >= 5 (publication "
+                "descriptors ride as out-of-band PickleBuffers)")
         if self.startup_timeout_s <= 0 or self.shutdown_timeout_s <= 0:
             raise ConfigError("timeouts must be positive")
         if self.sim_default_compute_s < 0:

@@ -54,6 +54,18 @@ class ProtocolError(TransportError):
     """A well-formed frame violated the request/response protocol."""
 
 
+class PublicationError(TransportError):
+    """A published-object descriptor could not be resolved.
+
+    Raised when attaching a :class:`~repro.transport.pub.Publication`
+    fails: the shared segment is gone (publisher unpublished or died),
+    the descriptor is malformed, or the payload digest does not match
+    the descriptor (corruption).  The call that carried the descriptor
+    provably never executed, so — like every :class:`TransportError` —
+    it is retryable for idempotent methods (see ``docs/FAILURES.md``).
+    """
+
+
 # ---------------------------------------------------------------------------
 # Runtime layer
 # ---------------------------------------------------------------------------

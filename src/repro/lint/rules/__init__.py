@@ -4,4 +4,4 @@ checkers via the ``@rule`` decorator at import time."""
 
 from __future__ import annotations
 
-from . import serde, pipeline, idempotency, callgraph  # noqa: F401
+from . import serde, pipeline, publication, idempotency, callgraph  # noqa: F401

@@ -1,0 +1,203 @@
+"""OOPP204 — publication rule (zero-copy broadcast).
+
+A name provably bound to bulk data (megabyte-scale ``bytes``, a file
+``read()``, an array factory) that ships as a remote-call argument
+*repeatedly* — inside a loop, or once to every member of a group
+fan-out — re-pickles and re-transmits the full payload per send.
+``cluster.publish`` pins the payload once per host and ships a
+~100-byte descriptor instead; the rule finds the spots where that swap
+is mechanical.
+
+The analyzer prefers silence to false positives: only provably-bulk
+bindings fire, a single point-to-point send never fires, and a name
+that was handed to ``cluster.publish`` (or whose handle ships in its
+place) is considered migrated.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import LintFinding
+from ..infer import (
+    GROUP_SHIP_METHODS,
+    Inference,
+    Kind,
+    enclosing_loop,
+    parent_of,
+    statement_of,
+    walk_scope_expressions,
+    walk_scope_statements,
+)
+from ..registry import rule
+
+#: a statically-sized payload below this never fires (descriptors cost
+#: ~100 bytes; publishing tiny values is noise)
+_BULK_BYTES = 64 * 1024
+
+#: method calls that produce bulk data no matter the receiver
+_BULK_PRODUCERS = frozenset({"read", "tobytes", "getvalue", "read_bytes"})
+
+#: array-module factories (numpy-style) whose results are typically large
+_ARRAY_FACTORIES = frozenset({
+    "zeros", "ones", "empty", "full", "arange", "linspace", "frombuffer",
+    "fromfile", "load", "loadtxt", "rand", "randn",
+})
+
+
+def _const_int(expr: ast.expr) -> Optional[int]:
+    """Fold a compile-time integer expression (``1 << 20``), else None."""
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, int) \
+            and not isinstance(expr.value, bool):
+        return expr.value
+    if isinstance(expr, ast.BinOp):
+        left, right = _const_int(expr.left), _const_int(expr.right)
+        if left is None or right is None:
+            return None
+        if isinstance(expr.op, ast.Mult):
+            return left * right
+        if isinstance(expr.op, ast.Add):
+            return left + right
+        if isinstance(expr.op, ast.Sub):
+            return left - right
+        if isinstance(expr.op, ast.LShift) and 0 <= right < 64:
+            return left << right
+        if isinstance(expr.op, ast.Pow) and 0 <= right < 64:
+            return left ** right
+    return None
+
+
+def _static_size(expr: ast.expr) -> Optional[int]:
+    """Best-effort byte size of *expr* when statically evaluable."""
+    if isinstance(expr, ast.Constant) and \
+            isinstance(expr.value, (bytes, str)):
+        return len(expr.value)
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Name) \
+            and expr.func.id in ("bytes", "bytearray") and \
+            len(expr.args) == 1:
+        return _const_int(expr.args[0])
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Mult):
+        for unit, count in ((expr.left, expr.right),
+                            (expr.right, expr.left)):
+            base = _static_size(unit)
+            n = _const_int(count)
+            if base is not None and n is not None:
+                return base * n
+    return None
+
+
+def _is_bulk(expr: ast.expr) -> bool:
+    """True when *expr* provably constructs payload-sized data."""
+    size = _static_size(expr)
+    if size is not None:
+        return size >= _BULK_BYTES
+    if isinstance(expr, ast.Call) and isinstance(expr.func, ast.Attribute):
+        if expr.func.attr in _BULK_PRODUCERS:
+            return True
+        if expr.func.attr in _ARRAY_FACTORIES:
+            return True
+    return False
+
+
+def _bulk_bindings(scope) -> dict:
+    """name -> binding statement, for names provably bound to bulk data."""
+    out: dict = {}
+    for stmt in walk_scope_statements(scope.body):
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name):
+            name = stmt.targets[0].id
+        elif isinstance(stmt, ast.AnnAssign) and \
+                isinstance(stmt.target, ast.Name) and stmt.value is not None:
+            name = stmt.target.id
+        else:
+            continue
+        if _is_bulk(stmt.value):
+            out[name] = stmt
+        else:
+            out.pop(name, None)   # re-bound to something non-bulk
+    return out
+
+
+def _published_names(scope) -> set:
+    """Names that already went through ``cluster.publish`` — either the
+    published value or the handle bound from the call."""
+    names: set = set()
+    for node in walk_scope_expressions(scope.body):
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "publish":
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    names.add(arg.id)
+            parent = parent_of(node)
+            if isinstance(parent, ast.Assign):
+                for t in parent.targets:
+                    if isinstance(t, ast.Name):
+                        names.add(t.id)
+    return names
+
+
+def _is_fanout(call: ast.Call, infer: Inference) -> bool:
+    """A single call that ships its arguments to N members."""
+    f = call.func
+    if not isinstance(f, ast.Attribute):
+        return False
+    base = infer.kind_of(f.value)
+    if base is Kind.REMOTE_SEQ and f.attr in GROUP_SHIP_METHODS:
+        return True
+    return base is Kind.CLUSTER and f.attr == "new_group"
+
+
+@rule("OOPP204", "unpublished-broadcast-payload",
+      "bulk data shipped as a remote argument across a loop or group "
+      "fan-out; every send re-pickles and re-transmits the payload",
+      "§5 — distributed objects share state by reference, not N copies")
+def check_unpublished_broadcast(ctx) -> Iterator[LintFinding]:
+    for scope in ctx.scopes:
+        infer = Inference(scope)
+        bulk = _bulk_bindings(scope)
+        if not bulk:
+            continue
+        published = _published_names(scope)
+        reported: set = set()
+        for node in walk_scope_expressions(scope.body):
+            if not isinstance(node, ast.Call):
+                continue
+            shipped = infer.shipped_args(node)
+            if not shipped:
+                continue
+            fanout = _is_fanout(node, infer)
+            loop = enclosing_loop(node)
+            if not fanout and loop is None:
+                continue        # one point-to-point send: fine
+            for arg in shipped:
+                for sub in ast.walk(arg):
+                    if not (isinstance(sub, ast.Name) and
+                            isinstance(sub.ctx, ast.Load)):
+                        continue
+                    name = sub.id
+                    if name not in bulk or name in published or \
+                            name in reported:
+                        continue
+                    if loop is not None and \
+                            enclosing_loop(bulk[name]) is loop:
+                        continue    # re-bound every iteration: new data
+                    reported.add(name)
+                    how = "to every member of a group fan-out" \
+                        if fanout else "on every iteration of a loop"
+                    stmt = statement_of(node)
+                    yield LintFinding(
+                        code="OOPP204",
+                        message=(f"bulk value {name!r} is shipped as a "
+                                 f"remote argument {how}; each send "
+                                 "re-pickles and re-transmits the full "
+                                 "payload"),
+                        path=ctx.path, line=sub.lineno, col=sub.col_offset,
+                        symbol=scope.qualname,
+                        suggestion=(f"pin it once with `handle = "
+                                    f"cluster.publish({name})` and pass "
+                                    "the handle — a ~100-byte descriptor "
+                                    "ships instead of the payload"),
+                        alt_lines=(node.lineno, stmt.lineno),
+                    )

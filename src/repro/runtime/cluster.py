@@ -26,6 +26,8 @@ from typing import Any, Callable, Optional, Sequence
 from ..backends.base import Fabric, make_fabric
 from ..config import Config
 from ..errors import ConfigError
+from ..transport import serde
+from ..transport.pub import Publication
 from .context import RuntimeContext, set_default_context
 from .group import ObjectGroup
 from .naming import ObjectAddress, parse_address
@@ -35,6 +37,21 @@ from .remotedata import Block
 
 _cluster_stack: list["Cluster"] = []
 _stack_lock = threading.Lock()
+
+
+def _same_argset(x: tuple[tuple, dict], y: tuple[tuple, dict]) -> bool:
+    """Conservative equality for per-member ``(args, kwargs)`` pairs.
+
+    Anything that is not provably equal (raising comparisons, truthy
+    non-bool results from exotic ``__eq__``) counts as different — the
+    memoization must never merge argument sets that could differ.
+    """
+    if x is y or (x[0] is y[0] and x[1] is y[1]):
+        return True
+    try:
+        return (x[0] == y[0]) is True and (x[1] == y[1]) is True
+    except Exception:
+        return False
 
 
 def current_cluster() -> Optional["Cluster"]:
@@ -184,12 +201,43 @@ class Cluster:
         from .oid import class_spec
 
         spec = class_spec(cls)
-        futures = []
-        for i, m in enumerate(machines):
-            a = argfn(i) if argfn is not None else args
+        pairs: list[tuple[tuple, dict]] = []
+        for i in range(len(machines)):
+            a = tuple(argfn(i)) if argfn is not None else tuple(args)
             kw = kwargfn(i) if kwargfn is not None else kwargs
-            futures.append(self.fabric.call_async(
-                self.fabric.kernel_ref(m), "create", (spec, tuple(a), kw), {}))
+            # Large shared values are pinned once per host (a no-op
+            # unless ``wire.pub`` opts in) — the registry dedupes by
+            # identity, so a value shared across members publishes once.
+            a, kw = self.fabric.auto_publish_args(a, kw)
+            pairs.append((a, kw))
+        # Members with identical argument sets share one frozen pickle:
+        # the argument graph is encoded once and replayed per member
+        # instead of re-pickled N times.  (The no-copy inline debug mode
+        # skips the serializer entirely, so the wrapper would leak into
+        # the constructor there.)
+        no_copy = (self.config.backend == "inline"
+                   and not self.config.inline_copy)
+        groups: list[tuple[tuple[tuple, dict], list[int]]] = []
+        for idx, pair in enumerate(pairs):
+            for rep, idxs in groups:
+                if _same_argset(rep, pair):
+                    idxs.append(idx)
+                    break
+            else:
+                groups.append((pair, [idx]))
+        payloads: list[Any] = [None] * len(pairs)
+        for (a, kw), idxs in groups:
+            payload: Any = (spec, a, kw)
+            if len(idxs) > 1 and not no_copy:
+                payload = serde.prepickle(payload,
+                                          self.config.pickle_protocol)
+            for idx in idxs:
+                payloads[idx] = payload
+        futures = [
+            self.fabric.call_async(self.fabric.kernel_ref(m), "create",
+                                   payloads[i], {})
+            for i, m in enumerate(machines)
+        ]
         refs = [f.result(self.config.call_timeout_s) for f in futures]
         return ObjectGroup([Proxy(r, self.fabric) for r in refs])
 
@@ -197,6 +245,25 @@ class Cluster:
                   fill: float | int | None = 0) -> Proxy:
         """Alias for ``cluster.on(machine).new_block(n, dtype, fill=fill)``."""
         return self.on(machine).new_block(n, dtype, fill=fill)
+
+    # -- publication (zero-copy broadcast) ------------------------------------
+
+    def publish(self, obj: Any) -> Publication:
+        """Pin one pickled copy of *obj* per host for zero-copy broadcast.
+
+        While the publication is live, any call argument containing
+        *obj* (or the returned handle) ships a ~100-byte descriptor over
+        the wire instead of the payload; each receiving process attaches
+        the pinned copy once and reuses it for every call.  Broadcast to
+        an N-member group therefore costs one payload per host instead
+        of N pickles.  Published objects must be treated as read-only.
+
+        The handle's :meth:`~repro.transport.pub.Publication.unpublish`
+        unpins early; anything still pinned is swept at shutdown.  See
+        ``docs/WIRE.md`` ("Publication & broadcast").
+        """
+        self._require_open()
+        return self.fabric.publish(obj)
 
     # -- remote procedure execution -----------------------------------------
 

@@ -42,6 +42,10 @@ class CostHooks:
     def charge_disk_write(self, device_key: str, nbytes: int) -> None:
         """Account a write of *nbytes* to the named disk."""
 
+    def charge_shm_attach(self, nbytes: int) -> None:
+        """Account a first attach of an *nbytes* publication payload
+        (mapping + decode copy) on the current machine."""
+
 
 @dataclass
 class RuntimeContext:

@@ -48,8 +48,17 @@ class ObjectGroup:
 
     # -- pipelined invocation (the compiler's transformed loop) ----------------
 
+    def _auto_publish(self, args: tuple, kwargs: dict) -> tuple[tuple, dict]:
+        """Pin large broadcast arguments once per host (no-op unless
+        ``wire.pub`` opts in, or for single-member groups)."""
+        if len(self._proxies) > 1:
+            fabric = self._proxies[0]._bound_fabric()
+            return fabric.auto_publish_args(args, kwargs)
+        return args, kwargs
+
     def futures(self, method: str, *args: Any, **kwargs: Any) -> list[RemoteFuture]:
         """The send-loop: issue ``method(*args)`` on every member."""
+        args, kwargs = self._auto_publish(args, kwargs)
         return [getattr(p, method).future(*args, **kwargs) for p in self._proxies]
 
     def invoke(self, method: str, *args: Any, **kwargs: Any) -> list:
@@ -86,6 +95,7 @@ class ObjectGroup:
 
     def invoke_sequential(self, method: str, *args: Any, **kwargs: Any) -> list:
         """One complete round trip per member, in order."""
+        args, kwargs = self._auto_publish(args, kwargs)
         return [getattr(p, method)(*args, **kwargs) for p in self._proxies]
 
     def invoke_each_sequential(self, method: str,

@@ -44,8 +44,45 @@ if TYPE_CHECKING:  # pragma: no cover
 ACTIONS = ("drop", "delay", "corrupt", "close")
 DIRECTIONS = ("send", "recv", "both")
 #: message kinds a rule may match; ``"batch"`` matches a whole coalesced
-#: BATCH frame on channels that batch sends (the entire envelope is hit).
-KINDS = ("req", "res", "err", "hi", "bye", "batch")
+#: BATCH frame on channels that batch sends (the entire envelope is hit);
+#: ``"pub"`` matches requests whose arguments carry a publication handle
+#: (:mod:`repro.transport.pub`) — i.e. frames shipping a ``BUF_PUB``
+#: descriptor — so chaos plans can target the broadcast path.
+KINDS = ("req", "res", "err", "hi", "bye", "batch", "pub")
+
+#: how deep :func:`_carries_publication` looks into argument containers —
+#: matches where descriptors realistically ride (args / nested tuple /
+#: kwargs values), without walking arbitrary object graphs per message.
+_PUB_SCAN_DEPTH = 2
+
+
+def _carries_publication(msg: Request) -> bool:
+    """Shallowly scan a request's arguments for publication handles.
+
+    Registered published/attached objects count too: the simulated wire
+    resolves descriptors *before* faults are consulted, so by the time a
+    sim request reaches the injector the handle has already become the
+    payload object — identity against the registry still spots it.
+    """
+    from .pub import Publication, descriptors_possible, registry
+
+    reg = registry() if descriptors_possible() else None
+
+    def scan(value, depth: int) -> bool:
+        if isinstance(value, Publication):
+            return True
+        if reg is not None and reg.is_published(value):
+            return True
+        if depth <= 0:
+            return False
+        if isinstance(value, (tuple, list)):
+            return any(scan(v, depth - 1) for v in value)
+        if isinstance(value, dict):
+            return any(scan(v, depth - 1) for v in value.values())
+        return False
+
+    return (scan(msg.args, _PUB_SCAN_DEPTH)
+            or scan(msg.kwargs, _PUB_SCAN_DEPTH))
 
 
 @dataclass(frozen=True)
@@ -67,7 +104,9 @@ class FaultRule:
         the rule watches.
     kinds:
         Restrict to message kinds (``"req"``, ``"res"``, ``"err"``,
-        ``"hi"``, ``"bye"``); ``None`` matches all.
+        ``"hi"``, ``"bye"``, ``"batch"`` for whole coalesced envelopes,
+        ``"pub"`` for requests carrying publication descriptors);
+        ``None`` matches all.
     methods:
         Restrict to :class:`~repro.transport.message.Request` messages
         calling one of these methods; ``None`` matches any message.
@@ -115,10 +154,16 @@ class FaultRule:
         if self.max_fires is not None and self.max_fires < 1:
             raise ConfigError("max_fires must be >= 1 or None")
 
-    def matches(self, direction: str, kind: str, method: str | None) -> bool:
+    def matches(self, direction: str, kind: "str | tuple[str, ...]",
+                method: str | None) -> bool:
+        """*kind* may be one kind or every kind the message presents —
+        a request carrying a publication handle is both ``"req"`` and
+        ``"pub"``, and a rule restricted to either matches it."""
         if self.direction != "both" and self.direction != direction:
             return False
-        if self.kinds is not None and kind not in self.kinds:
+        present = (kind,) if isinstance(kind, str) else kind
+        if self.kinds is not None \
+                and not any(k in self.kinds for k in present):
             return False
         if self.methods is not None and method not in self.methods:
             return False
@@ -190,14 +235,20 @@ class FaultInjector:
     def decide(self, direction: str, msg: Message) -> Optional[FaultRule]:
         """Return the rule to apply to *msg*, or ``None`` to pass it through."""
         kind, _ = message_to_payload(msg)
-        method = msg.method if isinstance(msg, Request) else None
-        return self.decide_kind(direction, kind, method)
+        method = None
+        kinds: str | tuple[str, ...] = kind
+        if isinstance(msg, Request):
+            method = msg.method
+            if _carries_publication(msg):
+                kinds = (kind, "pub")
+        return self.decide_kind(direction, kinds, method)
 
-    def decide_kind(self, direction: str, kind: str,
+    def decide_kind(self, direction: str, kind: "str | tuple[str, ...]",
                     method: str | None = None) -> Optional[FaultRule]:
         """Like :meth:`decide` for a bare ``(kind, method)`` — used for
         envelope-level events (``kind="batch"``) that have no single
         backing :class:`Message`."""
+        kind_label = kind if isinstance(kind, str) else "+".join(kind)
         with self._lock:
             self._seq += 1
             for i, rule in enumerate(self.plan.rules):
@@ -212,7 +263,7 @@ class FaultInjector:
                     fire = self._rng.random() < rule.probability
                 if fire:
                     self._fires[i] += 1
-                    self.log.append(f"{self._seq}:{direction}:{kind}:"
+                    self.log.append(f"{self._seq}:{direction}:{kind_label}:"
                                     f"{method or '-'}:{rule.action}")
                     counters().inc(f"faults.{rule.action}")
                     return rule

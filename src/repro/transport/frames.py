@@ -40,6 +40,12 @@ Buffer flags
     The section holds a shared-memory descriptor
     (:mod:`repro.transport.shm`); the payload lives in a named segment
     on the same host and is never copied through the socket.
+``BUF_PUB``
+    The section holds a *publication* descriptor
+    (:mod:`repro.transport.pub`): name, generation and digest of a
+    pinned read-only object published once per host.  Unlike
+    ``BUF_SHM``, the segment is publisher-owned — receivers attach and
+    cache the mapping but never unlink it.
 """
 
 from __future__ import annotations
@@ -62,7 +68,8 @@ _KNOWN_KINDS = (KIND_MSG, KIND_BATCH, KIND_CALL)
 #: per-buffer flags
 BUF_INLINE = 0
 BUF_SHM = 1
-_KNOWN_FLAGS = (BUF_INLINE, BUF_SHM)
+BUF_PUB = 2
+_KNOWN_FLAGS = (BUF_INLINE, BUF_SHM, BUF_PUB)
 
 _PREFIX = struct.Struct("<IBBHQ")  # magic, version, kind, nbuf, hlen
 

@@ -24,13 +24,46 @@ clock charges do.
 
 from __future__ import annotations
 
+import io
 import pickle
-from typing import Any, Sequence
+from typing import Any, Callable, Optional, Sequence
 
 from ..errors import SerializationError
 
 #: Attribute a value may define to declare a pretend wire size (int bytes).
 NOMINAL_ATTR = "__oopp_nominal_bytes__"
+
+#: Hook installed by :mod:`repro.transport.pub`: returns a per-object
+#: reducer (``obj -> reduce-tuple | NotImplemented``) when the current
+#: process has live publications, else ``None``.  Kept as a late-bound
+#: hook so serde never imports the publication layer (which imports us).
+_pub_hook: Optional[Callable[[], Optional[Callable]]] = None
+
+
+def set_publication_hook(hook: Optional[Callable[[], Optional[Callable]]]) -> None:
+    """Install the publication-layer reducer hook (see :mod:`..pub`)."""
+    global _pub_hook
+    _pub_hook = hook
+
+
+class _PublicationPickler(pickle.Pickler):
+    """Pickler that ships *published* objects as tiny descriptors.
+
+    ``reducer_override`` consults the publication registry for every
+    object: anything published in this process pickles as its
+    ``BUF_PUB`` descriptor instead of its payload, no matter how deeply
+    nested in the argument graph it appears.  Everything else falls back
+    to the normal machinery (the override returns ``NotImplemented``).
+    """
+
+    def __init__(self, file, protocol: int, buffer_callback,
+                 reducer: Callable) -> None:
+        super().__init__(file, protocol=protocol,
+                         buffer_callback=buffer_callback)
+        self._reduce_published = reducer
+
+    def reducer_override(self, obj):
+        return self._reduce_published(obj)
 
 
 def dumps(obj: Any, protocol: int = 5) -> tuple[bytes, list[memoryview]]:
@@ -52,8 +85,15 @@ def dumps(obj: Any, protocol: int = 5) -> tuple[bytes, list[memoryview]]:
     buffers: list[pickle.PickleBuffer] = []
     try:
         if protocol >= 5:
-            header = pickle.dumps(obj, protocol=protocol,
-                                  buffer_callback=buffers.append)
+            reducer = _pub_hook() if _pub_hook is not None else None
+            if reducer is None:
+                header = pickle.dumps(obj, protocol=protocol,
+                                      buffer_callback=buffers.append)
+            else:
+                sink = io.BytesIO()
+                _PublicationPickler(sink, protocol, buffers.append,
+                                    reducer).dump(obj)
+                header = sink.getvalue()
         else:
             header = pickle.dumps(obj, protocol=protocol)
     except (pickle.PicklingError, TypeError, AttributeError) as exc:
@@ -111,3 +151,43 @@ def nominal_size_of(obj: Any, protocol: int = 5) -> int:
         else:
             plain.append(el)
     return total + encoded_size(plain, protocol)
+
+
+class Prepickled:
+    """A value frozen to its encoded form exactly once.
+
+    Pickling the wrapper replays the frozen ``(header, buffers)`` —
+    the object graph is never walked again — and unpickling yields the
+    **original value**, not the wrapper, so it substitutes transparently
+    anywhere a value would cross a process boundary.  ``new_group`` uses
+    this to ship identical per-member argument tuples with one graph
+    pickle instead of N (see :meth:`repro.runtime.cluster.Cluster.new_group`).
+
+    The wrapper carries ``__oopp_nominal_bytes__`` so the simulated
+    network charges it like the value it stands for.
+    """
+
+    __slots__ = ("header", "buffers", NOMINAL_ATTR)
+
+    def __init__(self, header: bytes, buffers: tuple[bytes, ...],
+                 nominal: int) -> None:
+        self.header = header
+        self.buffers = buffers
+        setattr(self, NOMINAL_ATTR, nominal)
+
+    def __reduce_ex__(self, protocol: int):
+        return (loads, (self.header, self.buffers))
+
+
+def prepickle(obj: Any, protocol: int = 5,
+              nominal: int | None = None) -> Prepickled:
+    """Freeze *obj* to a :class:`Prepickled` replaying its encoding.
+
+    Out-of-band buffers are copied to ``bytes`` here (once), so the
+    frozen form is immutable and safe to ship any number of times.
+    """
+    header, raw = dumps(obj, protocol)
+    frozen = tuple(bytes(b) for b in raw)
+    if nominal is None:
+        nominal = len(header) + sum(len(b) for b in frozen)
+    return Prepickled(header, frozen, int(nominal))

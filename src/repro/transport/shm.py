@@ -208,13 +208,18 @@ def export_buffer(view: memoryview) -> OutboundSegment:
 
 
 class _Entry:
-    __slots__ = ("seg", "view", "refs")
+    __slots__ = ("seg", "view", "refs", "unlink")
 
     def __init__(self, seg: shared_memory.SharedMemory,
-                 view: memoryview) -> None:
+                 view: memoryview, unlink: bool = True) -> None:
         self.seg = seg
         self.view = view
         self.refs = 0
+        #: whether this process unlinks the segment at refcount zero.
+        #: Per-call transfers are receiver-owned (True); *publication*
+        #: segments (:mod:`repro.transport.pub`) are publisher-owned —
+        #: an attaching process only ever closes its mapping.
+        self.unlink = unlink
 
 
 class ShmManager:
@@ -238,8 +243,15 @@ class ShmManager:
 
     # -- attach / release --------------------------------------------------
 
-    def attach(self, name: str, size: int) -> memoryview:
-        """Map *name* (or find it already mapped) and take one reference."""
+    def attach(self, name: str, size: int, *,
+               unlink_on_release: bool = True) -> memoryview:
+        """Map *name* (or find it already mapped) and take one reference.
+
+        ``unlink_on_release=False`` marks the segment publisher-owned:
+        at refcount zero (and at shutdown) this process only closes its
+        mapping — the ``/dev/shm`` name is the publisher's to unlink
+        (the publication layer's lifecycle, see :mod:`..pub`).
+        """
         with self._lock:
             entry = self._entries.get(name)
             if entry is None:
@@ -254,7 +266,8 @@ class ShmManager:
                         f"shm segment {name!r} is {seg.size} B, descriptor "
                         f"claims {size} B")
                 view = seg.buf[:size]
-                entry = self._entries[name] = _Entry(seg, view)
+                entry = self._entries[name] = _Entry(
+                    seg, view, unlink=unlink_on_release)
                 self._by_view[id(view)] = name
                 self._attached_total += 1
             entry.refs += 1
@@ -285,10 +298,13 @@ class ShmManager:
     def _reap(self, entry: _Entry) -> None:
         # Unlink first: the /dev/shm name must go even if views pin the
         # mapping (POSIX keeps the memory alive until the last unmap).
-        try:
-            _unlink_quiet(entry.seg)
-        except OSError:  # pragma: no cover - concurrent unlink
-            pass
+        # Publisher-owned segments (entry.unlink False) are never ours
+        # to unlink — just drop the mapping.
+        if entry.unlink:
+            try:
+                _unlink_quiet(entry.seg)
+            except OSError:  # pragma: no cover - concurrent unlink
+                pass
         try:
             entry.view.release()
             entry.seg.close()

@@ -30,10 +30,11 @@ from ..errors import (
     SerializationError,
     TransportError,
 )
-from . import serde, shm
+from . import pub, serde, shm
 from .channel import Channel
 from .frames import (
     BUF_INLINE,
+    BUF_PUB,
     BUF_SHM,
     KIND_BATCH,
     KIND_CALL,
@@ -159,21 +160,32 @@ class SocketChannel(Channel):
 
     def _stage_buffers(self, buffers: Sequence
                        ) -> tuple[list, list[int], list[shm.OutboundSegment]]:
-        """Offload big buffers to shared memory.
+        """Offload big buffers to shared memory and tag descriptors.
 
         Returns ``(wire_buffers, flags, segments)``; the caller must
         :meth:`~repro.transport.shm.OutboundSegment.commit` the segments
         after a successful send or ``abort`` them on failure.
+
+        Publication descriptors (:mod:`repro.transport.pub`) are lifted
+        out of band by the encoder; they ship inline — they are ~100
+        bytes — but carry the ``BUF_PUB`` flag so traffic tools can tell
+        a broadcast descriptor from payload bytes.  The per-buffer sniff
+        runs only once this process has emitted a descriptor, so the
+        common no-publication path pays nothing.
         """
         opts = self._options
-        if not opts.shm_enabled:
+        sniff_pub = pub.descriptors_possible()
+        if not opts.shm_enabled and not sniff_pub:
             return list(buffers), [BUF_INLINE] * len(buffers), []
         wire: list = []
         flags: list[int] = []
         segments: list[shm.OutboundSegment] = []
         for buf in buffers:
             view = buf if isinstance(buf, memoryview) else memoryview(buf)
-            if view.nbytes >= opts.shm_threshold:
+            if sniff_pub and pub.is_descriptor(view):
+                wire.append(buf)
+                flags.append(BUF_PUB)
+            elif opts.shm_enabled and view.nbytes >= opts.shm_threshold:
                 seg = shm.export_buffer(view)
                 segments.append(seg)
                 wire.append(seg.descriptor)

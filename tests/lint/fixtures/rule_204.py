@@ -1,0 +1,56 @@
+"""Seeded violations: OOPP204 (unpublished bulk broadcast payload)."""
+
+
+def loop_reships_weights(cluster, n):
+    weights = bytes(1 << 20)
+    group = cluster.new_group(Worker, n)
+    total = 0
+    for i in range(n):
+        total += group[i].load(weights)  # seeded: OOPP204
+    return total
+
+
+def fanout_reships_table(cluster, n):
+    table = b"\x00" * (1 << 22)
+    group = cluster.new_group(Worker, n)
+    group.invoke("load", table)  # seeded: OOPP204
+
+
+def constructor_fanout_reships(cluster, n):
+    corpus = open("corpus.bin", "rb").read()
+    cluster.new_group(Indexer, n, corpus)  # seeded: OOPP204
+
+
+def published_handle_is_fine(cluster, n):
+    weights = bytes(1 << 20)
+    handle = cluster.publish(weights)
+    group = cluster.new_group(Worker, n)
+    group.invoke("load", handle)  # migrated: no finding
+
+
+def published_by_value_is_fine(cluster, n):
+    weights = bytes(1 << 20)
+    cluster.publish(weights)
+    group = cluster.new_group(Worker, n)
+    group.invoke("load", weights)  # registry substitutes: no finding
+
+
+def single_send_is_fine(cluster):
+    blob = bytes(1 << 20)
+    dev = cluster.new(Device)
+    return dev.write(0, blob)  # one point-to-point send: no finding
+
+
+def small_payload_is_fine(cluster, n):
+    tag = b"hdr" * 4
+    group = cluster.new_group(Worker, n)
+    group.invoke("load", tag)  # 12 bytes: no finding
+
+
+def rebound_per_iteration_is_fine(cluster, n):
+    dev = cluster.new(Device)
+    total = 0
+    for i in range(n):
+        page = bytes(1 << 20)
+        total += dev.write(i, page)  # fresh data each send: no finding
+    return total
