@@ -31,7 +31,10 @@ Public surface:
   :class:`DistributedFFT3D` facade);
 * **backends** — ``inline`` (in-process virtual machines), ``mp`` (one
   OS process per machine, socket RPC), ``sim`` (discrete-event cluster
-  simulator; see :mod:`repro.sim`);
+  simulator; see :mod:`repro.sim`), ``tcp`` (daemon-bootstrapped
+  multi-host clusters, ``Cluster(hosts=[...])``; see
+  ``docs/BACKENDS.md``); third-party backends plug in through
+  :func:`register_backend`;
 * **observability** — causal call tracing (:class:`Span`,
   ``Config(trace=...)``, ``cluster.trace_spans()`` /
   ``cluster.write_trace()``) and always-on transport counters
@@ -52,10 +55,12 @@ from .config import (
     CheckConfig,
     Config,
     DiskModel,
+    HostSpec,
     NetworkModel,
     PubConfig,
     RetryConfig,
     ServeConfig,
+    TopologyConfig,
     TraceConfig,
     WireConfig,
 )
@@ -72,7 +77,7 @@ from .errors import (
     ChannelTimeoutError,
     ServerOverloadedError,
 )
-from .errors import PublicationError
+from .errors import HandshakeError, PublicationError
 from .transport.faults import FaultPlan, FaultRule
 from .transport.pub import Publication
 from .runtime import (
@@ -106,6 +111,7 @@ from .runtime import (
     validate_remote_class,
 )
 from .runtime.sync import Rendezvous, Latch, Mailbox
+from .backends import available_backends, register_backend
 from .storage import (
     Page,
     ArrayPage,
@@ -139,6 +145,10 @@ __all__ = [
     "ServeConfig",
     "TraceConfig",
     "CheckConfig",
+    "HostSpec",
+    "TopologyConfig",
+    "register_backend",
+    "available_backends",
     "readonly",
     "Span",
     "errors",
@@ -154,6 +164,7 @@ __all__ = [
     "FaultRule",
     "Publication",
     "PublicationError",
+    "HandshakeError",
     "Cluster",
     "current_cluster",
     "Proxy",

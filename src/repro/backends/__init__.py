@@ -15,9 +15,73 @@
     Objects live in the driver process but every call is costed on a
     discrete-event cluster simulator (latency, bandwidth, disks), which
     provides the petascale-shaped measurements of EXPERIMENTS.md.
+
+``tcp``
+    Machines on *other hosts*: the driver bootstraps an object-server
+    daemon per host (ssh spawn, loopback subprocess, or a pre-started
+    daemon), handshakes, and talks the same socket protocol as mp.
+    See ``docs/BACKENDS.md``.
+
+Backends are registry entries (:func:`register_backend` /
+:func:`available_backends`); ``make_fabric`` and ``Config.validate``
+resolve names through the registry, so third-party fabrics plug in
+without touching this package.
 """
 
 from .base import Fabric, make_fabric
-from .inline import InlineFabric
+from .registry import (available_backends, is_registered, register_backend,
+                       unregister_backend)
 
-__all__ = ["Fabric", "make_fabric", "InlineFabric"]
+__all__ = [
+    "Fabric",
+    "make_fabric",
+    "register_backend",
+    "unregister_backend",
+    "available_backends",
+    "is_registered",
+    "InlineFabric",
+]
+
+
+# The built-ins register through lazy factories so that importing
+# repro.backends (which Config.validate does) never drags in
+# multiprocessing / simulator machinery the program will not use.
+def _inline_factory(config):
+    from .inline import InlineFabric
+
+    return InlineFabric(config)
+
+
+def _mp_factory(config):
+    from .mp import MpFabric
+
+    return MpFabric(config)
+
+
+def _sim_factory(config):
+    from .sim import SimFabric
+
+    return SimFabric(config)
+
+
+def _tcp_factory(config):
+    from .tcp import TcpFabric
+
+    return TcpFabric(config)
+
+
+for _name, _factory in (("inline", _inline_factory), ("mp", _mp_factory),
+                        ("sim", _sim_factory), ("tcp", _tcp_factory)):
+    if not is_registered(_name):
+        register_backend(_name, _factory)
+del _name, _factory
+
+
+def __getattr__(name):
+    # InlineFabric stays importable from the package for backwards
+    # compatibility without paying for the import on every validate().
+    if name == "InlineFabric":
+        from .inline import InlineFabric
+
+        return InlineFabric
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

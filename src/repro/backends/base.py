@@ -102,6 +102,39 @@ class Fabric:
                 f"(cluster has machines 0..{self.machine_count - 1})")
         return machine
 
+    def host_of(self, machine: int) -> str:
+        """The address of the host carrying *machine*.  Single-host
+        backends (inline, mp, sim) run everything locally; the tcp
+        backend overrides this with the topology's placement."""
+        self.check_machine(machine)
+        return "localhost"
+
+    def resolve_machine(self, spec: "int | str") -> int:
+        """Resolve a machine designator to its integer id.
+
+        Plain ints pass through (range-checked).  ``"addr"`` /
+        ``"addr/k"`` strings name the k-th machine on the host at
+        *addr* (default k=0); only host-aware backends carry the
+        placement needed to resolve them, so the base implementation
+        accepts strings solely for the single-host case where every
+        machine lives on ``localhost``.
+        """
+        if isinstance(spec, int):
+            return self.check_machine(spec)
+        addr, _, index_s = str(spec).partition("/")
+        try:
+            index = int(index_s) if index_s else 0
+        except ValueError:
+            raise NoSuchMachineError(
+                f"bad machine spec {spec!r}: index {index_s!r} is not an "
+                f"integer") from None
+        local = ("localhost", "127.0.0.1", "::1", "loopback")
+        if addr not in local:
+            raise NoSuchMachineError(
+                f"host {addr!r} is not part of this cluster (backend "
+                f"{self.config.backend!r} runs every machine on localhost)")
+        return self.check_machine(index)
+
     # -- core calling convention (backends implement call_async) -----------
 
     def call_async(self, ref: ObjectRef, method: str, args: tuple,
@@ -276,18 +309,9 @@ class Fabric:
 
 
 def make_fabric(config: Config) -> Fabric:
-    """Instantiate the backend named by ``config.backend``."""
+    """Instantiate the backend named by ``config.backend``, resolved
+    through the pluggable registry (:mod:`repro.backends.registry`)."""
+    from .registry import resolve_backend
+
     config.validate()
-    if config.backend == "inline":
-        from .inline import InlineFabric
-
-        return InlineFabric(config)
-    if config.backend == "mp":
-        from .mp import MpFabric
-
-        return MpFabric(config)
-    if config.backend == "sim":
-        from .sim import SimFabric
-
-        return SimFabric(config)
-    raise AssertionError(f"unreachable backend {config.backend!r}")
+    return resolve_backend(config.backend)(config)

@@ -22,6 +22,7 @@ dispatcher, as any production runtime would.
 
 from __future__ import annotations
 
+import dataclasses
 import multiprocessing
 import os
 import socket
@@ -59,6 +60,7 @@ from ..transport.channel import Channel
 from ..transport.coalesce import CoalescingSender
 from ..transport.faults import FaultPlan
 from ..transport.socket_channel import SocketChannel, WireOptions, listen_socket
+from ..util.hostid import host_fingerprint
 from ..util.ids import IdAllocator
 from ..util.log import get_logger
 from .base import Fabric, exception_from_error
@@ -203,13 +205,16 @@ class PeerClient:
     def __init__(self, caller: int, decode_context: RuntimeContext,
                  fault_plan: Optional[FaultPlan] = None,
                  config: Optional[Config] = None, tracer=None,
-                 checker=None) -> None:
+                 checker=None, wire_options_for=None) -> None:
         self.caller = caller
         self.decode_context = decode_context
         self.fault_plan = fault_plan
         self.config = config
         self.tracer = tracer
         self.checker = checker
+        #: optional ``machine -> WireOptions`` hook; host-aware backends
+        #: use it to downgrade shm/pub for peers on other hosts.
+        self.wire_options_for = wire_options_for
         self._addrs: dict[int, tuple[str, int]] = {}
         self._conns: dict[int, _Connection] = {}
         #: machines declared dead by the liveness monitor: fail fast
@@ -240,6 +245,12 @@ class PeerClient:
             conn._fail_all(MachineDownError(reason, machine=machine))
             conn.channel.close()
 
+    def mark_up(self, machine: int) -> None:
+        """Clear a down mark after the backend restarted the machine's
+        host (the next call dials the new address)."""
+        with self._lock:
+            self._down.pop(machine, None)
+
     def _check_down(self, machine: int, oid: Optional[int] = None) -> None:
         reason = self._down.get(machine)
         if reason is not None:
@@ -259,8 +270,11 @@ class PeerClient:
         if addr is None:
             raise MachineDownError(f"no address known for machine {machine}",
                                    machine=machine)
-        options = (WireOptions.from_config(self.config)
-                   if self.config is not None else None)
+        if self.wire_options_for is not None:
+            options = self.wire_options_for(machine)
+        else:
+            options = (WireOptions.from_config(self.config)
+                       if self.config is not None else None)
         try:
             channel: Channel = SocketChannel.connect(addr[0], addr[1],
                                                      timeout=10.0,
@@ -365,9 +379,17 @@ class MachineKernel(Kernel):
         super().__init__(machine_id, table)
         self._server = server
 
-    def set_peers(self, addrs: dict[int, tuple[str, int]]) -> bool:
-        """Install the cluster address table (driver calls this once)."""
+    def set_peers(self, addrs: dict[int, tuple[str, int]],
+                  fingerprints: Optional[dict[int, str]] = None) -> bool:
+        """Install the cluster address table (driver calls this once).
+
+        *fingerprints* (tcp backend) maps each machine to its host's
+        fingerprint so machine→machine calls toward a *foreign* host
+        downgrade shm/pub to inline payloads, same as the driver does.
+        """
         self._server.outbound.set_addrs(addrs)
+        if fingerprints:
+            self._server.peer_fingerprints.update(fingerprints)
         self._server.peer_count = max(self._server.peer_count,
                                       1 + max(addrs, default=-1))
         return True
@@ -437,10 +459,16 @@ class MachineFabric(Fabric):
 class MachineServer:
     """The object server of one machine process."""
 
-    def __init__(self, machine_id: int, config: Config) -> None:
+    def __init__(self, machine_id: int, config: Config,
+                 bind_host: str = DEFAULT_HOST) -> None:
         self.machine_id = machine_id
         self.config = config
         self.peer_count = config.n_machines
+        #: machine id -> host fingerprint of the box it runs on (tcp
+        #: backend; empty on mp, where every peer is local by
+        #: construction).  Consulted when dialing a peer to decide
+        #: whether shm/pub descriptors may cross that connection.
+        self.peer_fingerprints: dict[int, str] = {}
         #: this process's span recorder (None when tracing is off); the
         #: driver collects it through the kernel's take_spans method.
         self.tracer = make_tracer(config, node=machine_id)
@@ -465,14 +493,15 @@ class MachineServer:
                                    fault_plan=config.fault_plan,
                                    config=config,
                                    tracer=self.tracer,
-                                   checker=self.checker)
+                                   checker=self.checker,
+                                   wire_options_for=self.options_for_peer)
         self.policy = ServePolicy(config.serve, machine=machine_id)
         self.kernel.policy = self.policy
         self.dispatcher = Dispatcher(machine_id, self.table, self.kernel,
                                      self.fabric, tracer=self.tracer,
                                      checker=self.checker,
                                      policy=self.policy)
-        self.listener = listen_socket(DEFAULT_HOST, 0)
+        self.listener = listen_socket(bind_host, 0)
         self.port = self.listener.getsockname()[1]
         # serve.workers caps *executing* bodies via the policy's slots;
         # None keeps the historical 8-thread default as the effective
@@ -492,6 +521,17 @@ class MachineServer:
             max_workers=2, thread_name_prefix=f"oopp-m{machine_id}-kernel")
         self._conn_channels: list[SocketChannel] = []
         self._conn_lock = threading.Lock()
+
+    def options_for_peer(self, machine: int) -> WireOptions:
+        """Wire options for dialing *machine*: the config's fast path,
+        minus shm/pub descriptors when the peer lives on another host
+        (its fingerprint from set_peers differs from ours)."""
+        base = WireOptions.from_config(self.config)
+        fp = self.peer_fingerprints.get(machine)
+        if fp is not None and fp != host_fingerprint():
+            return dataclasses.replace(base, shm_enabled=False,
+                                       pub_descriptors=False)
+        return base
 
     # -- serving ------------------------------------------------------------
 

@@ -1,0 +1,74 @@
+"""The pluggable backend registry.
+
+Backends are named factories: ``register_backend("tcp", TcpFabric)``
+makes ``Config(backend="tcp")`` resolvable by :func:`make_fabric` and
+by ``Config.validate()``.  The built-ins (inline, mp, sim, tcp)
+register lazily in :mod:`repro.backends` so importing the registry
+never drags in multiprocessing or socket machinery; third-party code
+can add its own fabric the same way:
+
+    from repro.backends import register_backend
+    register_backend("myfabric", MyFabric)
+    Cluster(n_machines=4, backend="myfabric")
+
+A factory is any callable taking a :class:`~repro.config.Config` and
+returning a :class:`~repro.backends.base.Fabric`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TYPE_CHECKING
+
+from ..config import Config, ConfigError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .base import Fabric
+
+BackendFactory = Callable[["Config"], "Fabric"]
+
+_registry: dict[str, BackendFactory] = {}
+
+
+def register_backend(name: str, factory: BackendFactory, *,
+                     replace: bool = False) -> None:
+    """Register *factory* under *name*.
+
+    Re-registering an existing name raises unless ``replace=True`` —
+    shadowing a built-in silently is almost always a bug; replacing one
+    deliberately (e.g. a test double) is fine.
+    """
+    if not isinstance(name, str) or not name:
+        raise ConfigError("backend name must be a non-empty string")
+    if not callable(factory):
+        raise ConfigError(f"backend factory for {name!r} is not callable")
+    if name in _registry and not replace:
+        raise ConfigError(
+            f"backend {name!r} is already registered; pass replace=True "
+            f"to override it")
+    _registry[name] = factory
+
+
+def unregister_backend(name: str) -> None:
+    """Remove *name* from the registry (no-op if absent)."""
+    _registry.pop(name, None)
+
+
+def available_backends() -> tuple[str, ...]:
+    """The registered backend names, sorted."""
+    return tuple(sorted(_registry))
+
+
+def is_registered(name: str) -> bool:
+    return name in _registry
+
+
+def resolve_backend(name: str) -> BackendFactory:
+    """Look up *name*, raising a :class:`ConfigError` that lists what
+    is actually registered when it is unknown."""
+    try:
+        return _registry[name]
+    except KeyError:
+        known = ", ".join(available_backends()) or "<none>"
+        raise ConfigError(
+            f"unknown backend {name!r}; registered backends: {known}"
+        ) from None

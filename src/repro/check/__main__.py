@@ -61,10 +61,13 @@ def cmd_replay(args) -> int:
 
 
 def cmd_conform(args) -> int:
-    from .conformance import conformance
+    from .conformance import ALL_BACKENDS, conformance
 
     program = resolve_program(args.program)
-    report = conformance(program, n_machines=args.machines)
+    backends = (tuple(b.strip() for b in args.backends.split(",") if b.strip())
+                if args.backends else ALL_BACKENDS)
+    report = conformance(program, backends=backends,
+                         n_machines=args.machines)
     print(report.summary())
     return 0 if report.consistent else 1
 
@@ -98,6 +101,10 @@ def main(argv=None) -> int:
 
     p_conform = sub.add_parser("conform",
                                help="run on every backend, diff outcomes")
+    p_conform.add_argument("--backends", default="",
+                           help="comma-separated backend subset "
+                                "(default: every registered semantics, "
+                                "inline,sim,mp,tcp)")
     p_conform.set_defaults(fn=cmd_conform)
 
     args = parser.parse_args(argv)

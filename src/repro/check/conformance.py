@@ -1,12 +1,12 @@
-"""Cross-backend conformance: one program, three backends, one outcome.
+"""Cross-backend conformance: one program, every backend, one outcome.
 
-The repo's standing promise is that ``inline``, ``sim`` and ``mp`` are
-*the same machine* at the semantic level — a program sees identical
-results, identical raised exception types, and the same objects end up
-hosted on the same machines.  :func:`conformance` turns that promise
-into an executable contract: it runs a program spec (``fn(cluster) ->
-result``, see :mod:`repro.check.examples`) once per backend and diffs
-the observable outcomes.
+The repo's standing promise is that ``inline``, ``sim``, ``mp`` and
+``tcp`` are *the same machine* at the semantic level — a program sees
+identical results, identical raised exception types, and the same
+objects end up hosted on the same machines.  :func:`conformance` turns
+that promise into an executable contract: it runs a program spec
+(``fn(cluster) -> result``, see :mod:`repro.check.examples`) once per
+backend and diffs the observable outcomes.
 
 What is compared:
 
@@ -28,8 +28,10 @@ from typing import Callable, Optional, Sequence
 from ..config import Config
 from .explore import canonical_repr, digest_of
 
-#: the three implementations of the one semantics.
-ALL_BACKENDS = ("inline", "sim", "mp")
+#: the four implementations of the one semantics.  ``tcp`` runs here as
+#: a loopback cluster (one daemon hosting every machine), so the check
+#: covers the real network wire without needing a second box.
+ALL_BACKENDS = ("inline", "sim", "mp", "tcp")
 
 
 @dataclass

@@ -277,6 +277,124 @@ class ServeConfig:
             raise ConfigError("serve.yield_headroom must be >= 0")
 
 
+@dataclass
+class HostSpec:
+    """One host in a multi-host (tcp backend) topology.
+
+    ``addr`` is how the driver reaches the box (a hostname/IP for ssh
+    spawn, or ``"localhost"``/``"127.0.0.1"`` for loopback daemons);
+    ``machines`` is how many machine processes it hosts.  ``python``
+    and ``env`` control the spawned daemon's interpreter and extra
+    environment.  Set ``port`` to attach to a pre-started daemon
+    (``python -m repro.backends.tcp --daemon``) instead of spawning one.
+    """
+
+    addr: str = "localhost"
+    machines: int = 1
+    #: interpreter used to spawn the daemon (``None`` = driver's own
+    #: ``sys.executable`` locally, ``"python3"`` over ssh).
+    python: str | None = None
+    #: extra environment variables for the spawned daemon.
+    env: dict | None = None
+    #: control port of an already-running daemon; ``None`` spawns one.
+    port: int | None = None
+
+    @classmethod
+    def parse(cls, spec: "HostSpec | str") -> "HostSpec":
+        """Accept ``HostSpec`` instances or ``"addr"`` / ``"addr/N"`` /
+        ``"addr:port/N"`` strings (``N`` machines, default 1)."""
+        if isinstance(spec, cls):
+            return spec
+        if not isinstance(spec, str):
+            raise ConfigError(
+                f"host spec must be a HostSpec or string, got "
+                f"{type(spec).__name__}")
+        addr, _, count = spec.partition("/")
+        machines = 1
+        if count:
+            try:
+                machines = int(count)
+            except ValueError:
+                raise ConfigError(
+                    f"bad host spec {spec!r}: machine count {count!r} "
+                    f"is not an integer") from None
+        port = None
+        if ":" in addr:
+            addr, _, port_s = addr.rpartition(":")
+            try:
+                port = int(port_s)
+            except ValueError:
+                raise ConfigError(
+                    f"bad host spec {spec!r}: port {port_s!r} "
+                    f"is not an integer") from None
+        if not addr:
+            raise ConfigError(f"bad host spec {spec!r}: empty address")
+        return cls(addr=addr, machines=machines, port=port)
+
+    @property
+    def is_local(self) -> bool:
+        return self.addr in ("localhost", "127.0.0.1", "::1", "loopback")
+
+    def validate(self) -> None:
+        if not self.addr or not isinstance(self.addr, str):
+            raise ConfigError("HostSpec.addr must be a non-empty string")
+        if self.machines < 1:
+            raise ConfigError("HostSpec.machines must be >= 1")
+        if self.port is not None and not (0 < self.port < 65536):
+            raise ConfigError("HostSpec.port must be in (0, 65536)")
+
+
+@dataclass
+class TopologyConfig:
+    """Multi-host layout for the tcp backend (see ``docs/BACKENDS.md``).
+
+    ``hosts`` places ``n_machines`` machine processes across boxes;
+    empty (the default) means one loopback host carrying every machine,
+    so ``Config(backend="tcp", n_machines=4)`` works with no topology
+    at all.  The heartbeat knobs drive the per-host liveness monitor: a
+    host that misses ``heartbeat_misses`` consecutive heartbeats is
+    declared dead and every machine it hosts raises
+    :class:`~repro.errors.MachineDownError`.
+    """
+
+    hosts: list = field(default_factory=list)
+    #: seconds between heartbeat pings on each host's control channel.
+    heartbeat_interval_s: float = 0.25
+    #: consecutive missed heartbeats before the host is declared dead.
+    heartbeat_misses: int = 3
+    #: seconds to wait for a spawned daemon's ready line + handshake.
+    daemon_ready_timeout_s: float = 30.0
+    #: argv prefix used to reach non-local hosts.
+    ssh: tuple = ("ssh", "-o", "BatchMode=yes")
+
+    def validate(self) -> None:
+        for spec in self.hosts:
+            if not isinstance(spec, HostSpec):
+                raise ConfigError(
+                    f"topology.hosts entries must be HostSpec, got "
+                    f"{type(spec).__name__} (use HostSpec.parse for "
+                    f"'addr/N' strings)")
+            spec.validate()
+        if self.heartbeat_interval_s <= 0:
+            raise ConfigError("topology.heartbeat_interval_s must be > 0")
+        if self.heartbeat_misses < 1:
+            raise ConfigError("topology.heartbeat_misses must be >= 1")
+        if self.daemon_ready_timeout_s <= 0:
+            raise ConfigError("topology.daemon_ready_timeout_s must be > 0")
+
+    def resolved_hosts(self, n_machines: int) -> list:
+        """The concrete host list: explicit hosts checked against
+        ``n_machines``, or a single loopback host carrying all of them."""
+        if not self.hosts:
+            return [HostSpec(addr="localhost", machines=n_machines)]
+        total = sum(h.machines for h in self.hosts)
+        if total != n_machines:
+            raise ConfigError(
+                f"topology.hosts place {total} machines but n_machines="
+                f"{n_machines}; they must agree")
+        return list(self.hosts)
+
+
 #: legacy flat keyword → (nested group, attribute).
 _LEGACY_FIELDS: dict[str, tuple[str, str]] = {
     "wire_coalesce": ("wire", "coalesce"),
@@ -288,6 +406,9 @@ _LEGACY_FIELDS: dict[str, tuple[str, str]] = {
     "call_retries": ("retry", "retries"),
     "retry_backoff_s": ("retry", "backoff_s"),
     "mp_workers_per_machine": ("serve", "workers"),
+    "hosts": ("topology", "hosts"),
+    "heartbeat_interval_s": ("topology", "heartbeat_interval_s"),
+    "heartbeat_misses": ("topology", "heartbeat_misses"),
 }
 
 
@@ -384,6 +505,11 @@ class Config:
     #: mp backend: multiprocessing start method.  ``fork`` lets workers
     #: resolve classes defined in test files or __main__.
     mp_start_method: str = "fork"
+    #: tcp backend: host placement + heartbeat knobs (see
+    #: :class:`TopologyConfig` / docs/BACKENDS.md).  The legacy flat
+    #: ``hosts`` / ``heartbeat_interval_s`` / ``heartbeat_misses``
+    #: keywords forward here.
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
 
     def __getattr__(self, name: str):
         # Only called for names regular lookup misses: the legacy flat
@@ -399,15 +525,23 @@ class Config:
         return getattr(getattr(self, pair[0]), pair[1])
 
     def validate(self) -> None:
-        if self.backend not in ("inline", "mp", "sim"):
+        # Resolved through the pluggable registry (lazy import: the
+        # registry module imports this one).  Importing repro.backends
+        # registers the built-ins, so the error message below always
+        # lists at least inline|mp|sim|tcp.
+        from .backends.registry import is_registered, available_backends
+
+        if not is_registered(self.backend):
+            known = ", ".join(available_backends()) or "<none>"
             raise ConfigError(
-                f"unknown backend {self.backend!r}; expected inline|mp|sim")
+                f"unknown backend {self.backend!r}; registered backends: "
+                f"{known} (repro.backends.register_backend adds more)")
         if self.n_machines < 1:
             raise ConfigError("n_machines must be >= 1")
         if self.call_timeout_s is not None and self.call_timeout_s <= 0:
             raise ConfigError("call_timeout_s must be positive or None")
         for group in (self.wire, self.retry, self.trace, self.check,
-                      self.serve):
+                      self.serve, self.topology):
             if group is None:
                 continue
             validate = getattr(group, "validate", None)

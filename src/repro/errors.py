@@ -66,6 +66,16 @@ class PublicationError(TransportError):
     """
 
 
+class HandshakeError(TransportError):
+    """A tcp-backend daemon handshake failed.
+
+    Raised at bootstrap when the daemon speaks a different protocol
+    revision, its config digest does not match the driver's, or the
+    welcome is malformed — the cluster never comes up, rather than
+    failing obscurely on the first call (see ``docs/BACKENDS.md``).
+    """
+
+
 # ---------------------------------------------------------------------------
 # Runtime layer
 # ---------------------------------------------------------------------------

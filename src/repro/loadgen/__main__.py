@@ -6,7 +6,8 @@ Two modes:
   JSON report, and applies whatever gates were requested
   (``--p99-ms``, ``--min-rps``, ``--max-shed-fraction``);
 * ``--quick`` runs the CI gate suite on the sim backend (plus a small
-  mp smoke): worker-pool read scaling must beat ``--scale-gate`` (2x),
+  mp smoke, and a two-daemon tcp smoke with ``--tcp``): worker-pool
+  read scaling must beat ``--scale-gate`` (2x),
   conformance digests must match across worker counts, the race
   detector must stay silent, and admission control must account for
   every issued call.  Simulated time keeps the whole suite in seconds
@@ -38,7 +39,14 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-mp", action="store_true",
                    help="skip the mp smoke inside --quick (single-process "
                         "environments)")
-    p.add_argument("--backend", default="sim", choices=("sim", "mp", "inline"))
+    p.add_argument("--tcp", action="store_true",
+                   help="add a tcp smoke to --quick: the same harness "
+                        "against a two-daemon loopback cluster")
+    p.add_argument("--backend", default="sim",
+                   choices=("sim", "mp", "inline", "tcp"))
+    p.add_argument("--hosts", type=int, default=0,
+                   help="tcp backend only: spread machines over this many "
+                        "loopback daemons (0 = one daemon)")
     p.add_argument("--machines", type=int, default=2)
     p.add_argument("--objects", type=int, default=2)
     p.add_argument("--clients", type=int, default=8)
@@ -81,7 +89,7 @@ def _single_run(args: argparse.Namespace, report: SLOReport) -> None:
         workers=args.workers or None,
         max_queue_depth=args.max_queue_depth or None,
         retries=args.retries, seed=args.seed,
-        check_races=args.check_races)
+        check_races=args.check_races, hosts=args.hosts)
     result = run_load(spec)
     report.add_scenario("single", result.to_dict())
 
@@ -176,6 +184,18 @@ def _quick(args: argparse.Namespace, report: SLOReport) -> None:
         report.gate("mp_errors", mp.errors + mp.shed, 0, "<=",
                     "unbounded queue: nothing sheds, nothing fails")
         report.gate("mp_completed", mp.ok, mp.issued, ">=")
+
+    # 6. tcp smoke (opt-in): the same harness against daemon-bootstrapped
+    #    machines — two loopback daemons, so calls cross the host wire.
+    if args.tcp:
+        tcp = run_load(LoadSpec(backend="tcp", n_machines=2, hosts=2,
+                                objects=2, clients=6, requests=3,
+                                read_fraction=0.9, service_ms=5.0,
+                                workers=8, seed=args.seed))
+        report.add_scenario("tcp_smoke", tcp.to_dict())
+        report.gate("tcp_errors", tcp.errors + tcp.shed, 0, "<=",
+                    "two-daemon loopback cluster: nothing fails")
+        report.gate("tcp_completed", tcp.ok, tcp.issued, ">=")
 
 
 def main(argv: list[str] | None = None) -> int:

@@ -32,7 +32,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from ..config import CheckConfig, Config, RetryConfig, ServeConfig, TraceConfig
+from ..config import (CheckConfig, Config, HostSpec, RetryConfig,
+                      ServeConfig, TopologyConfig, TraceConfig)
 from ..errors import ServerOverloadedError
 from ..runtime.cluster import Cluster
 from .report import percentiles
@@ -61,6 +62,9 @@ class LoadSpec:
     retries: int = 0
     seed: int = 0
     check_races: bool = False
+    #: tcp backend only: spread the machines over this many loopback
+    #: daemons (0 = the backend's default single daemon).
+    hosts: int = 0
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)
@@ -104,6 +108,14 @@ class RunResult:
 
 
 def _make_config(spec: LoadSpec) -> Config:
+    kwargs: dict[str, Any] = {}
+    if spec.backend == "tcp" and spec.hosts:
+        base, extra = divmod(spec.n_machines, spec.hosts)
+        placement = [HostSpec("localhost",
+                              machines=base + (1 if i < extra else 0))
+                     for i in range(spec.hosts)]
+        kwargs["topology"] = TopologyConfig(
+            hosts=[h for h in placement if h.machines])
     return Config(
         backend=spec.backend,
         n_machines=spec.n_machines,
@@ -112,6 +124,7 @@ def _make_config(spec: LoadSpec) -> Config:
         retry=RetryConfig(retries=spec.retries),
         trace=TraceConfig(),
         check=CheckConfig(race_detect=True) if spec.check_races else None,
+        **kwargs,
     )
 
 

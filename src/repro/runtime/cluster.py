@@ -12,6 +12,13 @@ constructor, exactly as in the paper's syntax::
 
 (``cluster.new(Cls, ..., machine=k)`` remains as a thin alias.)
 
+Multi-box clusters name their hosts instead of a machine count — this
+implies the tcp backend, and machines can be addressed by host::
+
+    with Cluster(hosts=["hostA/2", "hostB/2"]) as cluster:
+        fft = cluster.on("hostB/1").new(FFT, 2)
+        print(cluster.on(3).host)        # "hostB"
+
 A cluster installs itself as the process-default runtime context so
 that proxies unpickled in the driver re-attach automatically.  Clusters
 nest (tests create several): the previous default is restored on
@@ -20,11 +27,12 @@ shutdown.
 
 from __future__ import annotations
 
+import dataclasses
 import threading
 from typing import Any, Callable, Optional, Sequence
 
 from ..backends.base import Fabric, make_fabric
-from ..config import Config
+from ..config import Config, HostSpec
 from ..errors import ConfigError
 from ..transport import serde
 from ..transport.pub import Publication
@@ -103,6 +111,12 @@ class MachineHandle:
     def stats(self) -> dict:
         return self.cluster.fabric.stats(self.id)
 
+    @property
+    def host(self) -> str:
+        """Address of the box carrying this machine (``"localhost"`` on
+        the single-host backends; the host's configured address on tcp)."""
+        return self.cluster.fabric.host_of(self.id)
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"<machine {self.id}>"
 
@@ -115,17 +129,42 @@ class Cluster:
     n_machines:
         Number of machines (``machine 0 .. n-1``).
     backend:
-        ``"inline"``, ``"mp"`` or ``"sim"`` (see :mod:`repro.backends`).
+        A registered backend name — ``"inline"``, ``"mp"``, ``"sim"``,
+        ``"tcp"`` or anything added via
+        :func:`repro.backends.register_backend`.
+    hosts:
+        Host topology for multi-box clusters: a sequence of
+        :class:`~repro.config.HostSpec` or ``"addr"`` / ``"addr/N"`` /
+        ``"addr:port/N"`` strings (``N`` machines on that box, default
+        1).  Machine ids are assigned host by host in order, so
+        ``hosts=["a/2", "b/2"]`` puts machines 0-1 on ``a`` and 2-3 on
+        ``b``; address them as ints or as ``cluster.on("b/1")``.
+        Implies ``backend="tcp"`` unless a backend is named explicitly,
+        and fixes ``n_machines`` to the topology's total.
     config:
         A full :class:`~repro.config.Config`; keyword overrides win.
     """
 
     def __init__(self, n_machines: int | None = None,
                  backend: str | None = None,
-                 config: Config | None = None, **overrides: Any) -> None:
+                 config: Config | None = None,
+                 hosts: Sequence["HostSpec | str"] | None = None,
+                 **overrides: Any) -> None:
         cfg = config or Config()
         fields: dict[str, Any] = dict(overrides)
-        if n_machines is not None:
+        if hosts is not None:
+            specs = [HostSpec.parse(h) for h in hosts]
+            total = sum(spec.machines for spec in specs)
+            if n_machines is not None and n_machines != total:
+                raise ConfigError(
+                    f"n_machines={n_machines} disagrees with hosts= "
+                    f"(the topology carries {total} machines)")
+            fields["n_machines"] = total
+            fields["topology"] = dataclasses.replace(cfg.topology,
+                                                     hosts=specs)
+            if backend is None and "backend" not in fields:
+                backend = "tcp" if config is None else cfg.backend
+        elif n_machines is not None:
             fields["n_machines"] = n_machines
         if backend is not None:
             fields["backend"] = backend
@@ -151,11 +190,14 @@ class Cluster:
     def machines(self) -> list[MachineHandle]:
         return [MachineHandle(self, i) for i in range(self.n_machines)]
 
-    def on(self, machine: int) -> MachineHandle:
+    def on(self, machine: "int | str") -> MachineHandle:
         """The handle for *machine* — ``cluster.on(k).new(Cls, ...)`` is
-        the paper's ``new(machine k) Cls(...)``."""
-        self.fabric.check_machine(machine)
-        return MachineHandle(self, machine)
+        the paper's ``new(machine k) Cls(...)``.
+
+        *machine* is an integer id, or — on host-aware backends — an
+        ``"addr"`` / ``"addr/k"`` string naming the k-th machine on
+        that host (``cluster.on("host1/2")``)."""
+        return MachineHandle(self, self.fabric.resolve_machine(machine))
 
     def ping_all(self) -> list[int]:
         """Round-trip every machine; returns their ids (health check)."""

@@ -42,9 +42,21 @@ def resolve_class(spec: tuple[str, str]) -> type:
     worker inherits the parent's loaded modules, which makes classes
     defined in test files or ``__main__`` resolvable without being
     importable by path.  Falls back to a real import.
+
+    A module another thread is still executing (``__spec__._initializing``)
+    is treated as absent: peeking at :data:`sys.modules` bypasses the
+    per-module import lock, so a daemon hosting several machine servers
+    could otherwise see a half-initialized test module when concurrent
+    creates race on the first import.  ``import_module`` waits on the
+    lock and returns the finished module.
     """
     module_name, qualname = spec
     module = sys.modules.get(module_name)
+    if module is not None:
+        module_spec = getattr(module, "__spec__", None)
+        if module_spec is not None and getattr(module_spec, "_initializing",
+                                               False):
+            module = None
     if module is None:
         try:
             module = importlib.import_module(module_name)

@@ -37,6 +37,7 @@ hands every call on one machine the same decoded instance.
 from __future__ import annotations
 
 import atexit
+import contextlib
 import hashlib
 import os
 import pickle
@@ -47,6 +48,7 @@ from typing import Any, Optional
 
 from ..errors import PublicationError
 from ..obs.metrics import counters
+from ..util.hostid import fingerprint_bytes, host_fingerprint
 from ..util.log import get_logger
 from . import serde, shm
 
@@ -57,6 +59,12 @@ PUB_MAGIC = b"OOPPPUB1"
 
 #: descriptor after the magic: payload size, generation, digest prefix.
 _DESC_FIXED = struct.Struct("<QQ16s")
+
+#: wire descriptors additionally carry the publisher's 16-char host
+#: fingerprint after the fixed fields (the pinned *payload* trailer does
+#: not — it never leaves the host).  A receiver on another box refuses
+#: the descriptor instead of attaching a nonexistent segment.
+_DESC_FP = struct.Struct("<16s")
 
 #: payload index after magic + generation + digest: buffer count, header
 #: length, then one u64 length per out-of-band buffer.
@@ -73,8 +81,9 @@ ATTACH_NOMINAL_BYTES = len(PUB_MAGIC) + _DESC_FIXED.size + 32
 
 def pack_pub_descriptor(name: str, size: int, generation: int,
                         digest: bytes) -> bytes:
-    return PUB_MAGIC + _DESC_FIXED.pack(size, generation,
-                                        digest) + name.encode("ascii")
+    return (PUB_MAGIC + _DESC_FP.pack(fingerprint_bytes())
+            + _DESC_FIXED.pack(size, generation, digest)
+            + name.encode("ascii"))
 
 
 def unpack_pub_descriptor(data: bytes) -> tuple[str, int, int, bytes]:
@@ -83,15 +92,25 @@ def unpack_pub_descriptor(data: bytes) -> tuple[str, int, int, bytes]:
     if not data.startswith(PUB_MAGIC):
         raise PublicationError("malformed publication descriptor (bad magic)")
     try:
-        size, generation, digest = _DESC_FIXED.unpack_from(data,
-                                                           len(PUB_MAGIC))
-        name = data[len(PUB_MAGIC) + _DESC_FIXED.size:].decode("ascii")
+        (fp,) = _DESC_FP.unpack_from(data, len(PUB_MAGIC))
+        fp_str = fp.decode("ascii")
+        size, generation, digest = _DESC_FIXED.unpack_from(
+            data, len(PUB_MAGIC) + _DESC_FP.size)
+        name = data[len(PUB_MAGIC) + _DESC_FP.size
+                    + _DESC_FIXED.size:].decode("ascii")
     except (struct.error, UnicodeDecodeError) as exc:
         raise PublicationError(
             f"malformed publication descriptor: {exc}") from exc
     if not name.startswith(shm.SHM_NAME_PREFIX):
         raise PublicationError(
             f"publication descriptor names foreign segment {name!r}")
+    local = host_fingerprint()
+    if fp_str != local:
+        raise PublicationError(
+            f"publication {name!r} was pinned on host {fp_str} but this "
+            f"process runs on host {local}; publications do not cross "
+            f"hosts (the sender should inline the payload — see "
+            f"docs/BACKENDS.md)")
     return name, size, generation, digest
 
 
@@ -150,6 +169,12 @@ class Publication:
         return registry().unpublish(self.name)
 
     def __reduce_ex__(self, protocol: int):
+        if _suppressed():
+            # Descriptor-free encode (a cross-host peer cannot attach
+            # our segments): ship the resolved value itself.  The
+            # recursive pickle of the value also sees the suppression,
+            # so the published object inside encodes fully inline.
+            return (_inline_value, (self.get(),))
         _mark_emitted()
         if protocol >= 5:
             return (_resolve_from_wire, (pickle.PickleBuffer(self._descriptor),))
@@ -521,6 +546,40 @@ def descriptors_possible() -> bool:
     return _emitted
 
 
+_suppress = threading.local()
+
+
+def _suppressed() -> bool:
+    return getattr(_suppress, "depth", 0) > 0
+
+
+@contextlib.contextmanager
+def suppress_descriptors():
+    """Encode publications *by value* on this thread while active.
+
+    The tcp backend wraps message encoding for non-local peers in this
+    context: a ``BUF_PUB``/``BUF_SHM`` descriptor names segments in the
+    sender host's ``/dev/shm``, which a foreign host cannot attach, so
+    the wire must carry the payload itself.  Both the serde
+    reducer-override (published objects found inside arguments) and
+    :meth:`Publication.__reduce_ex__` (explicit handles) honor it.
+    Reentrant; per-thread, so local peers on other threads keep the
+    zero-copy path.
+    """
+    _suppress.depth = getattr(_suppress, "depth", 0) + 1
+    try:
+        yield
+    finally:
+        _suppress.depth -= 1
+
+
+def _inline_value(value: Any) -> Any:
+    """Reconstructor for publications encoded by value (see
+    :func:`suppress_descriptors`); the identity function, but importable
+    on any receiving host."""
+    return value
+
+
 def registry() -> PubRegistry:
     """The process-wide registry (recreated after fork)."""
     global _registry
@@ -532,7 +591,7 @@ def registry() -> PubRegistry:
 
 def _serde_hook():
     """Per-``dumps`` gate: the published-object reducer, or None."""
-    if not _emitted:
+    if not _emitted or _suppressed():
         return None
     reg = _registry
     if reg is None or reg.pid != os.getpid() or not reg._by_id:

@@ -47,6 +47,7 @@ from multiprocessing import shared_memory
 from typing import Optional
 
 from ..errors import TransportError
+from ..util.hostid import fingerprint_bytes, host_fingerprint
 from ..util.log import get_logger
 
 log = get_logger("shm")
@@ -54,8 +55,12 @@ log = get_logger("shm")
 #: all segment names carry this prefix — /dev/shm stays auditable.
 SHM_NAME_PREFIX = "oopp-"
 
-#: wire descriptor: segment payload size, then the ascii name.
-_DESC = struct.Struct("<Q")
+#: wire descriptor: segment payload size + exporter host fingerprint,
+#: then the ascii name.  The fingerprint makes locality explicit: a
+#: descriptor names pages in the *exporting host's* /dev/shm, so a
+#: receiver on any other box must refuse it rather than attach a
+#: nonexistent (or unrelated same-named) segment.
+_DESC = struct.Struct("<Q16s")
 
 
 _tracker_lock = threading.Lock()
@@ -99,17 +104,25 @@ def _unlink_quiet(seg: shared_memory.SharedMemory) -> None:
 
 
 def pack_descriptor(name: str, size: int) -> bytes:
-    return _DESC.pack(size) + name.encode("ascii")
+    return _DESC.pack(size, fingerprint_bytes()) + name.encode("ascii")
 
 
 def unpack_descriptor(data: bytes) -> tuple[str, int]:
     try:
-        (size,) = _DESC.unpack_from(bytes(data), 0)
+        size, fp = _DESC.unpack_from(bytes(data), 0)
         name = bytes(data[_DESC.size:]).decode("ascii")
+        fp_str = fp.decode("ascii")
     except (struct.error, UnicodeDecodeError) as exc:
         raise TransportError(f"malformed shm descriptor: {exc}") from exc
     if not name.startswith(SHM_NAME_PREFIX):
         raise TransportError(f"shm descriptor names foreign segment {name!r}")
+    local = host_fingerprint()
+    if fp_str != local:
+        raise TransportError(
+            f"shm descriptor {name!r} was exported on host {fp_str} but "
+            f"this process runs on host {local}; shared memory does not "
+            f"cross hosts (the sender should downgrade to inline payloads "
+            f"— see docs/BACKENDS.md)")
     return name, size
 
 

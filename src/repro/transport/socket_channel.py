@@ -71,6 +71,11 @@ class WireOptions:
     header_cache: bool = False
     shm_enabled: bool = False
     shm_threshold: int = 1 << 20
+    #: allow BUF_PUB publication descriptors on this channel.  False for
+    #: peers on *other hosts* (the tcp backend keys this off the
+    #: handshake fingerprint): descriptors name segments in the sender
+    #: host's /dev/shm, so a foreign peer must receive payloads inline.
+    pub_descriptors: bool = True
 
     @classmethod
     def from_config(cls, cfg) -> "WireOptions":
@@ -198,7 +203,14 @@ class SocketChannel(Channel):
     def _prepare(self, msg: Message
                  ) -> tuple[int, bytes, list, list[int],
                             list[shm.OutboundSegment]]:
-        kind, header, buffers = self._encode_wire(msg)
+        if not self._options.pub_descriptors:
+            # Cross-host peer: publications encode by value (their
+            # descriptors name this host's /dev/shm), and _stage_buffers
+            # below keeps everything inline via shm_enabled=False.
+            with pub.suppress_descriptors():
+                kind, header, buffers = self._encode_wire(msg)
+        else:
+            kind, header, buffers = self._encode_wire(msg)
         wire, flags, segments = self._stage_buffers(buffers)
         return kind, header, wire, flags, segments
 

@@ -1,0 +1,67 @@
+"""Stable host fingerprint: which box is this process running on?
+
+Shared-memory segments and publication pins are *per host* resources:
+a ``BUF_SHM``/``BUF_PUB`` descriptor names a segment that exists only
+in the exporting host's ``/dev/shm``.  Every descriptor therefore
+embeds the exporter's fingerprint, and attach paths refuse descriptors
+minted elsewhere instead of attaching a nonexistent (or, worse, an
+unrelated same-named) segment.
+
+The fingerprint is 16 hex characters — the truncated SHA-256 of the
+most stable host identity available (``/etc/machine-id`` when present,
+the hostname otherwise).  It is deliberately *not* per process: two
+machine processes forked on the same box must agree so that local shm
+hand-off keeps working.
+
+``OOPP_HOST_FINGERPRINT`` overrides the identity source (the override
+string is hashed the same way), which lets tests simulate a foreign
+host without a second box.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import socket
+
+FINGERPRINT_LEN = 16  # hex chars; 8 bytes of sha256
+
+_cached: str | None = None
+_cached_pid: int | None = None
+
+
+def _identity_source() -> str:
+    override = os.environ.get("OOPP_HOST_FINGERPRINT")
+    if override:
+        return override
+    for path in ("/etc/machine-id", "/var/lib/dbus/machine-id"):
+        try:
+            with open(path, "r", encoding="ascii") as fh:
+                text = fh.read().strip()
+            if text:
+                return text
+        except OSError:
+            continue
+    return socket.gethostname()
+
+
+def host_fingerprint() -> str:
+    """Return this host's 16-hex-char fingerprint (cached per process).
+
+    The cache is keyed on pid so a forked child re-reads the
+    environment: the mp backend forks workers *after* config setup, and
+    a test that sets ``OOPP_HOST_FINGERPRINT`` for a spawned daemon
+    must not inherit the parent's cached value.
+    """
+    global _cached, _cached_pid
+    pid = os.getpid()
+    if _cached is None or _cached_pid != pid:
+        digest = hashlib.sha256(_identity_source().encode("utf-8"))
+        _cached = digest.hexdigest()[:FINGERPRINT_LEN]
+        _cached_pid = pid
+    return _cached
+
+
+def fingerprint_bytes() -> bytes:
+    """The fingerprint as exactly 16 ASCII bytes (for struct packing)."""
+    return host_fingerprint().encode("ascii")

@@ -53,3 +53,24 @@ class TestClassSpec:
     def test_non_class_rejected(self):
         with pytest.raises(RuntimeLayerError, match="not a class"):
             resolve_class(("math", "pi"))
+
+    def test_half_initialized_module_reimported(self, monkeypatch):
+        """A module another thread is mid-import must not be trusted:
+        the sys.modules fast path would expose a namespace missing the
+        class (seen as concurrent creates raced in a tcp daemon), so
+        resolve_class must fall through to import_module and wait."""
+        import importlib
+        import sys
+        import types
+
+        partial = types.ModuleType("fake_mod_under_import")
+        partial.__spec__ = importlib.machinery.ModuleSpec(
+            "fake_mod_under_import", loader=None)
+        partial.__spec__._initializing = True     # class stmt not run yet
+        monkeypatch.setitem(sys.modules, "fake_mod_under_import", partial)
+
+        finished = types.ModuleType("fake_mod_under_import")
+        finished.Worker = Sample
+        monkeypatch.setattr(importlib, "import_module",
+                            lambda name: finished)
+        assert resolve_class(("fake_mod_under_import", "Worker")) is Sample

@@ -1,0 +1,26 @@
+"""Fixtures for the tcp-backend suite: loopback daemon clusters."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro as oopp
+
+
+@pytest.fixture
+def tcp_cluster(tmp_path):
+    """One loopback daemon hosting three machines."""
+    with oopp.Cluster(n_machines=3, backend="tcp", call_timeout_s=60.0,
+                      storage_root=str(tmp_path / "root")) as cluster:
+        yield cluster
+
+
+@pytest.fixture
+def two_host_cluster(tmp_path):
+    """Two loopback daemons (separate OS processes), two machines each —
+    the smallest cluster where host-level failure is distinct from
+    machine-level failure."""
+    with oopp.Cluster(hosts=["localhost/2", "localhost/2"],
+                      call_timeout_s=60.0,
+                      storage_root=str(tmp_path / "root")) as cluster:
+        yield cluster

@@ -1,0 +1,34 @@
+"""tcp is the fourth implementation of the one semantics: the examples
+corpus must digest identically across inline/sim/mp/tcp."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.check.conformance import ALL_BACKENDS, conformance, run_program
+from repro.check.examples import atomic_increments, safe_increments
+
+pytestmark = pytest.mark.tcp
+
+KW = {"call_timeout_s": 60.0}
+
+
+def test_tcp_is_in_the_default_backend_set():
+    assert ALL_BACKENDS == ("inline", "sim", "mp", "tcp")
+
+
+@pytest.mark.parametrize("program", [safe_increments, atomic_increments])
+def test_examples_corpus_digests_match(program):
+    report = conformance(program, **KW)
+    assert report.consistent, report.summary()
+    digests = {o.digest for o in report.outcomes}
+    assert len(digests) == 1
+    assert [o.backend for o in report.outcomes] == list(ALL_BACKENDS)
+
+
+def test_tcp_outcome_matches_inline_outcome():
+    tcp = run_program(safe_increments, "tcp", **KW)
+    inline = run_program(safe_increments, "inline", **KW)
+    assert tcp.digest == inline.digest
+    assert tcp.result_repr == "2"
+    assert tcp.objects_per_machine == [1, 1, 1]
