@@ -56,6 +56,7 @@ from .config import (
     Config,
     DiskModel,
     HostSpec,
+    MigrateConfig,
     NetworkModel,
     PubConfig,
     RetryConfig,
@@ -71,6 +72,7 @@ from .errors import (
     OoppError,
     NoSuchObjectError,
     ObjectDestroyedError,
+    ObjectMovedError,
     RemoteExecutionError,
     MachineDownError,
     CallTimeoutError,
@@ -92,6 +94,8 @@ from .runtime import (
     yielding_wait,
     ObjectGroup,
     ObjectRef,
+    Move,
+    Rebalancer,
     Block,
     destroy,
     is_proxy,
@@ -147,6 +151,7 @@ __all__ = [
     "CheckConfig",
     "HostSpec",
     "TopologyConfig",
+    "MigrateConfig",
     "register_backend",
     "available_backends",
     "readonly",
@@ -155,6 +160,7 @@ __all__ = [
     "OoppError",
     "NoSuchObjectError",
     "ObjectDestroyedError",
+    "ObjectMovedError",
     "RemoteExecutionError",
     "MachineDownError",
     "CallTimeoutError",
@@ -176,6 +182,8 @@ __all__ = [
     "yielding_wait",
     "ObjectGroup",
     "ObjectRef",
+    "Move",
+    "Rebalancer",
     "Block",
     "destroy",
     "is_proxy",

@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Any, Optional
 
 from ..config import Config, ConfigError
-from ..errors import NoSuchMachineError, RemoteExecutionError, SerializationError
+from ..errors import (NoSuchMachineError, ObjectMovedError,
+                      RemoteExecutionError, SerializationError)
 from ..obs.metrics import counters, snapshot_process
 from ..runtime.futures import RemoteFuture, retry_call
 from ..runtime.oid import ObjectRef, class_spec
@@ -145,8 +146,26 @@ class Fabric:
                     kwargs: dict) -> None:
         raise NotImplementedError
 
+    def forwarded_ref(self, ref: ObjectRef,
+                      exc: ObjectMovedError) -> Optional[ObjectRef]:
+        """Rebuild *ref* from a forwarding error raised against it.
+
+        Returns the object's new address, or ``None`` when the error
+        does not describe *ref* (wrong oid/machine) or carries no
+        forward — in which case the error must surface to the caller.
+        """
+        if exc.oid != ref.oid:
+            return None
+        if exc.machine is not None and exc.machine != ref.machine:
+            return None
+        if exc.new_machine is None or exc.new_oid is None:
+            return None
+        return ObjectRef(machine=exc.new_machine, oid=exc.new_oid,
+                         spec=ref.spec or exc.spec)
+
     def call(self, ref: ObjectRef, method: str, args: tuple,
-             kwargs: dict, timeout: Optional[float] = None) -> Any:
+             kwargs: dict, timeout: Optional[float] = None, *,
+             on_move=None) -> Any:
         """Synchronous remote execution — the paper's default semantics.
 
         When ``config.retry.retries > 0`` and *method* is idempotent
@@ -154,9 +173,35 @@ class Fabric:
         ``__oopp_idempotent__``), a timed-out or transport-failed call
         is re-sent with exponential backoff.  Non-idempotent methods
         are never retried: an ambiguous failure must surface.
+
+        A call that lands on a *migrated* object is re-issued at its
+        new home: :class:`~repro.errors.ObjectMovedError` certifies
+        the call never executed (the source table rejected it before
+        any side effect), so the re-issue is safe even for
+        non-idempotent methods — the same contract that makes
+        ``PublicationError`` retryable.  Each call takes at most
+        ``config.migrate.max_hops`` hops; *on_move* (if given) is
+        called with each forwarded ref so proxies can rebind and skip
+        the hop next time.
         """
         timeout = (timeout if timeout is not None
                    else self.config.call_timeout_s)
+        hops_left = self.config.migrate.max_hops
+        while True:
+            try:
+                return self._call_once(ref, method, args, kwargs, timeout)
+            except ObjectMovedError as exc:
+                fwd = self.forwarded_ref(ref, exc)
+                if fwd is None or hops_left <= 0:
+                    raise
+                hops_left -= 1
+                counters().inc("migrate.hops")
+                ref = fwd
+                if on_move is not None:
+                    on_move(ref)
+
+    def _call_once(self, ref: ObjectRef, method: str, args: tuple,
+                   kwargs: dict, timeout: Optional[float]) -> Any:
         retry = self.config.retry
         if retry.retries <= 0 or not is_idempotent(ref, method):
             return self.call_async(ref, method, args, kwargs).result(timeout)
@@ -170,6 +215,20 @@ class Fabric:
             lambda: self.call_async(ref, method, args, kwargs).result(timeout),
             retries=retry.retries, backoff_s=retry.backoff_s,
             on_retry=on_retry)
+
+    def call_forwarded_async(self, ref: ObjectRef, method: str, args: tuple,
+                             kwargs: dict, *, on_move=None) -> RemoteFuture:
+        """:meth:`call_async` with the migration forwarding hop.
+
+        The returned future's ``result()`` transparently re-issues the
+        call at the object's new home when the reply is an
+        :class:`~repro.errors.ObjectMovedError` (bounded by
+        ``config.migrate.max_hops``) — proxies route ``.future()``
+        through here so pipelined fan-outs survive a concurrent
+        migration just like synchronous calls do.
+        """
+        return _ForwardedCall(self, ref, method, args, kwargs,
+                              on_move=on_move)
 
     # -- conveniences built on the calling convention -------------------------
 
@@ -188,7 +247,25 @@ class Fabric:
         return Proxy(ref, self)
 
     def destroy(self, ref: ObjectRef) -> None:
-        self.kernel_call(ref.machine, "destroy", ref.oid)
+        """Destroy the object, following migration forwards.
+
+        A destroy addressed to an object's old home raises
+        :class:`~repro.errors.ObjectMovedError` from the source table;
+        like any call, it is re-issued at the new address (bounded by
+        ``config.migrate.max_hops``) so exactly one replica dies.
+        """
+        hops_left = self.config.migrate.max_hops
+        while True:
+            try:
+                self.kernel_call(ref.machine, "destroy", ref.oid)
+                return
+            except ObjectMovedError as exc:
+                fwd = self.forwarded_ref(ref, exc)
+                if fwd is None or hops_left <= 0:
+                    raise
+                hops_left -= 1
+                counters().inc("migrate.hops")
+                ref = fwd
 
     def ping(self, machine: int) -> int:
         return self.kernel_call(machine, "ping")
@@ -306,6 +383,77 @@ class Fabric:
         for handle in publications.values():
             handle.unpublish()
         self._closed = True
+
+
+class _ForwardedCall(RemoteFuture):
+    """A future that re-issues its call after an ObjectMovedError.
+
+    Wraps the backend's real future and delegates blocking to it, so
+    backend-specific wait semantics (sim time, timeout units) are
+    preserved.  The hop happens at *consumption*: ``result()`` catching
+    a forwarding error re-sends the request to the new address and
+    waits on the fresh inner future.  ``done()`` and callbacks reflect
+    the current inner future — a callback may fire for an attempt whose
+    ``result()`` then transparently hops; consumers that only ever read
+    ``result()``/``exception()`` (wait_all, gather, group fan-outs)
+    never observe the difference.
+    """
+
+    def __init__(self, fabric: Fabric, ref: ObjectRef, method: str,
+                 args: tuple, kwargs: dict, *, on_move=None) -> None:
+        super().__init__(label=f"fwd:{method}")
+        self._fabric = fabric
+        self._target = ref
+        self._method = method
+        self._args = args
+        self._kwargs = kwargs
+        self._on_move = on_move
+        self._hops_left = fabric.config.migrate.max_hops
+        self._inner = fabric.call_async(ref, method, args, kwargs)
+
+    def _hop(self, exc: ObjectMovedError) -> bool:
+        """Re-issue at the forwarded address; False when exc must surface."""
+        fwd = self._fabric.forwarded_ref(self._target, exc)
+        if fwd is None or self._hops_left <= 0:
+            return False
+        self._hops_left -= 1
+        counters().inc("migrate.hops")
+        self._target = fwd
+        if self._on_move is not None:
+            self._on_move(fwd)
+        self._inner = self._fabric.call_async(
+            fwd, self._method, self._args, self._kwargs)
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        while True:
+            try:
+                return self._inner.result(timeout)
+            except ObjectMovedError as exc:
+                if not self._hop(exc):
+                    raise
+
+    def exception(self, timeout: Optional[float] = None
+                  ) -> Optional[BaseException]:
+        while True:
+            exc = self._inner.exception(timeout)
+            if isinstance(exc, ObjectMovedError) and self._hop(exc):
+                continue
+            return exc
+
+    def done(self) -> bool:
+        return self._inner.done()
+
+    def add_done_callback(self, cb) -> None:
+        self._inner.add_done_callback(lambda _inner: cb(self))
+
+    def set_result(self, value: Any) -> None:  # pragma: no cover
+        raise RuntimeError("forwarded futures are completed by their "
+                           "inner future, not directly")
+
+    def set_exception(self, exc: BaseException) -> None:  # pragma: no cover
+        raise RuntimeError("forwarded futures are completed by their "
+                           "inner future, not directly")
 
 
 def make_fabric(config: Config) -> Fabric:

@@ -36,7 +36,8 @@ class _VirtualMachine:
 
     def __init__(self, machine_id: int, fabric: "InlineFabric") -> None:
         self.machine_id = machine_id
-        self.table = ObjectTable()
+        self.table = ObjectTable(
+            forward_buffer=fabric.config.migrate.forward_buffer)
         self.kernel = Kernel(machine_id, self.table)
         self.kernel.tracer = fabric.tracer
         self.kernel.checker = fabric.checker

@@ -480,7 +480,8 @@ class MachineServer:
         #: request ids for locally short-circuited calls (no wire, but
         #: race reports still want a distinguishable id).
         self.local_ids = IdAllocator()
-        self.table = ObjectTable()
+        self.table = ObjectTable(
+            forward_buffer=config.migrate.forward_buffer)
         self.kernel = MachineKernel(machine_id, self.table, self)
         self.kernel.tracer = self.tracer
         self.kernel.checker = self.checker

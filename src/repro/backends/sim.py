@@ -169,7 +169,8 @@ class _SimMachine:
         # parking on an OS condition variable would stall the clock, so
         # the table and policy poll through engine.sleep instead.
         self.table = ObjectTable(
-            yield_wait=lambda: engine.sleep(ServePolicy.SIM_POLL_S))
+            yield_wait=lambda: engine.sleep(ServePolicy.SIM_POLL_S),
+            forward_buffer=fabric.config.migrate.forward_buffer)
         self.kernel = SimKernel(machine_id, self.table, engine)
         self.hooks = SimCostHooks(fabric, machine_id)
         self.kernel.tracer = fabric.tracer

@@ -33,6 +33,11 @@ from .conformance import (
     run_program,
 )
 from .detector import Access, RaceDetector, RaceReport, readonly
+from .migrate import (
+    MigrateOutcome,
+    MigrateReport,
+    migrate_conformance,
+)
 from .explore import (
     ZERO_COST_NETWORK,
     ExploreReport,
@@ -57,6 +62,9 @@ __all__ = [
     "RaceDetector",
     "RaceReport",
     "readonly",
+    "MigrateOutcome",
+    "MigrateReport",
+    "migrate_conformance",
     "ZERO_COST_NETWORK",
     "ExploreReport",
     "ScheduleRun",

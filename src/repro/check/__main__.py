@@ -20,6 +20,8 @@ import sys
 from typing import Callable
 
 DEFAULT_PROGRAM = "repro.check.examples:racy_increments"
+#: deterministic, call-dense workload for ``conform --migrations N``
+DEFAULT_MIGRATE_PROGRAM = "repro.check.examples:counter_farm"
 
 
 def resolve_program(spec: str) -> Callable:
@@ -63,9 +65,23 @@ def cmd_replay(args) -> int:
 def cmd_conform(args) -> int:
     from .conformance import ALL_BACKENDS, conformance
 
-    program = resolve_program(args.program)
     backends = (tuple(b.strip() for b in args.backends.split(",") if b.strip())
                 if args.backends else ALL_BACKENDS)
+    if args.migrations > 0:
+        from .migrate import migrate_conformance
+
+        spec = args.program
+        if spec == DEFAULT_PROGRAM:
+            # the racy default is for schedule exploration; the
+            # migration gate needs a schedule-deterministic workload
+            spec = DEFAULT_MIGRATE_PROGRAM
+        report = migrate_conformance(
+            resolve_program(spec), backends=backends,
+            seeds=tuple(range(args.seeds)), migrations=args.migrations,
+            n_machines=args.machines)
+        print(report.summary())
+        return 0 if report.consistent else 1
+    program = resolve_program(args.program)
     report = conformance(program, backends=backends,
                          n_machines=args.machines)
     print(report.summary())
@@ -105,6 +121,13 @@ def main(argv=None) -> int:
                            help="comma-separated backend subset "
                                 "(default: every registered semantics, "
                                 "inline,sim,mp,tcp)")
+    p_conform.add_argument("--migrations", type=int, default=0,
+                           help="inject N seeded live migrations per run "
+                                "and require digests identical to the "
+                                "unmigrated baseline (default 0: off)")
+    p_conform.add_argument("--seeds", type=int, default=5,
+                           help="seeded migration schedules per backend "
+                                "(default 5; only with --migrations)")
     p_conform.set_defaults(fn=cmd_conform)
 
     args = parser.parse_args(argv)

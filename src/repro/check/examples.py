@@ -73,6 +73,22 @@ def safe_increments(cluster):
     return counter.get()
 
 
+def counter_farm(cluster):
+    """A grid of counters poked round-robin, then read back.
+
+    Deterministic on every backend and heavy on driver-issued calls —
+    the default workload for the migration-interleaved conformance gate
+    (:mod:`repro.check.migrate`): with many small objects and many call
+    boundaries, injected migrations land all over the schedule and
+    every one must stay invisible.
+    """
+    counters = [cluster.on(i % cluster.n_machines).new(SharedCounter)
+                for i in range(4)]
+    for step in range(12):
+        counters[step % 4].add(step)
+    return [c.get() for c in counters]
+
+
 def atomic_increments(cluster):
     """Outcome-stable but still *flagged*: the read-modify-write is one
     method, so pipelining cannot lose an update and every schedule

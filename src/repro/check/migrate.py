@@ -1,0 +1,249 @@
+"""Migration-interleaved conformance: moves must be invisible.
+
+Live migration's contract is *transparency*: a program that runs while
+its objects are being moved around the cluster must produce exactly the
+outcome it produces when nothing moves.  This module turns that into an
+executable gate:
+
+1. run the program once per backend with a counting interposer on the
+   fabric — the baseline outcome plus the number of driver-issued
+   object calls;
+2. draw a seeded migration schedule: *k* trigger indices sampled from
+   the call counter, each paired with a seeded pick of a live object
+   and a destination machine;
+3. run the program again with the injector live — immediately before
+   the *n*-th driver call, a random object is migrated to a random
+   other machine;
+4. digest both runs with a **placement-independent** outcome (result
+   repr, raised error, and the multiset of every object's snapshot
+   state across the cluster — per-machine counts would legitimately
+   differ once objects move) and require every digest to agree across
+   seeds *and* backends.
+
+::
+
+    python -m repro.check conform --migrations 3 --seeds 5
+
+Any divergence — a lost update during the quiesce window, a call that
+executed twice across the forwarding hop, a replica left behind — shows
+up as a digest mismatch.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..config import Config
+from ..errors import (
+    MachineDownError,
+    NoSuchObjectError,
+    ObjectDestroyedError,
+    ObjectMovedError,
+)
+from ..transport.message import KERNEL_OID
+from .conformance import ALL_BACKENDS
+from .explore import canonical_repr, digest_of
+
+
+@dataclass
+class MigrateOutcome:
+    """Placement-independent outcome of one (possibly migrated) run."""
+
+    backend: str
+    seed: Optional[int] = None        #: None marks the unmigrated baseline
+    migrations: int = 0               #: moves actually performed
+    result_repr: Optional[str] = None
+    error_type: Optional[str] = None
+    error_message: Optional[str] = None
+    objects_total: int = 0            #: live objects, cluster-wide
+    state_repr: str = ""              #: sorted multiset of (spec, state)
+
+    @property
+    def digest(self) -> str:
+        return digest_of(
+            self.result_repr or "",
+            self.error_type or "",
+            self.error_message or "",
+            str(self.objects_total),
+            self.state_repr,
+        )
+
+    def describe(self) -> str:
+        run = ("baseline" if self.seed is None
+               else f"seed={self.seed} moves={self.migrations}")
+        outcome = (f"raised {self.error_type}: {self.error_message}"
+                   if self.error_type else f"returned {self.result_repr}")
+        return (f"{self.backend} [{run}]: {outcome}, "
+                f"objects={self.objects_total}, digest={self.digest[:12]}")
+
+
+@dataclass
+class MigrateReport:
+    """Digest diff across backends × seeds (baseline included)."""
+
+    outcomes: list = field(default_factory=list)
+    program_name: str = ""
+
+    @property
+    def consistent(self) -> bool:
+        return len({o.digest for o in self.outcomes}) <= 1
+
+    def summary(self) -> str:
+        lines = [f"migration conformance of "
+                 f"{self.program_name or '<program>'}:"]
+        lines += [f"  {o.describe()}" for o in self.outcomes]
+        if self.consistent:
+            lines.append("CONSISTENT: migrations are transparent")
+        else:
+            digests = sorted({o.digest for o in self.outcomes})
+            lines.append(f"DIVERGENT: {len(digests)} distinct outcomes")
+        return "\n".join(lines)
+
+
+class _Interposer:
+    """Counts driver-issued object calls; fires a hook before each.
+
+    Installed by shadowing the fabric instance's ``call_async`` /
+    ``call_oneway`` attributes — every calling convention (synchronous
+    ``call``, ``.future()`` pipelining, forwarding re-issues) funnels
+    through these two, so one seam sees the whole program.  Kernel
+    traffic (object id 0: creation, stats, the migrations we inject
+    ourselves) is never counted.
+    """
+
+    def __init__(self, fabric, hook: Callable[[int], None]) -> None:
+        self._fabric = fabric
+        self._hook = hook
+        self._orig_async = fabric.call_async
+        self._orig_oneway = fabric.call_oneway
+        self._lock = threading.Lock()
+        self._in_hook = False
+        self.count = 0
+        fabric.call_async = self._call_async
+        fabric.call_oneway = self._call_oneway
+
+    def _tick(self, ref) -> None:
+        if ref.oid == KERNEL_OID:
+            return
+        with self._lock:
+            if self._in_hook:
+                return
+            self.count += 1
+            n = self.count
+            self._in_hook = True
+        try:
+            self._hook(n)
+        finally:
+            with self._lock:
+                self._in_hook = False
+
+    def _call_async(self, ref, method, args, kwargs):
+        self._tick(ref)
+        return self._orig_async(ref, method, args, kwargs)
+
+    def _call_oneway(self, ref, method, args, kwargs):
+        self._tick(ref)
+        return self._orig_oneway(ref, method, args, kwargs)
+
+    def remove(self) -> None:
+        for name in ("call_async", "call_oneway"):
+            try:
+                delattr(self._fabric, name)
+            except AttributeError:
+                pass
+
+
+def _inject_migration(cluster, rng: random.Random) -> bool:
+    """Move one seeded-random live object to a seeded-random machine."""
+    from ..runtime.oid import ObjectRef
+
+    live: list[tuple[int, int]] = []
+    for m in range(cluster.n_machines):
+        try:
+            for oid, _spec in cluster.fabric.kernel_call(m, "list_objects"):
+                live.append((m, oid))
+        except MachineDownError:
+            continue
+    if not live or cluster.n_machines < 2:
+        return False
+    live.sort()
+    src, oid = live[rng.randrange(len(live))]
+    dests = [d for d in range(cluster.n_machines) if d != src]
+    dest = dests[rng.randrange(len(dests))]
+    try:
+        cluster.migrate(ObjectRef(machine=src, oid=oid, spec=None), dest)
+    except (NoSuchObjectError, ObjectDestroyedError, ObjectMovedError):
+        return False  # racing destroy/move in the program itself
+    return True
+
+
+def _run_once(program: Callable, backend: str, *, n_machines: int,
+              seed: Optional[int], triggers: frozenset,
+              config_kwargs: dict) -> tuple[MigrateOutcome, int]:
+    """One run; migrations fire before the trigger-indexed calls."""
+    from ..runtime.cluster import Cluster
+
+    config = Config(n_machines=n_machines, backend=backend, **config_kwargs)
+    outcome = MigrateOutcome(backend=backend, seed=seed)
+    rng = random.Random(seed)
+    with Cluster(config=config) as cluster:
+
+        def hook(n: int) -> None:
+            if n in triggers and _inject_migration(cluster, rng):
+                outcome.migrations += 1
+
+        seam = _Interposer(cluster.fabric, hook)
+        try:
+            result = program(cluster)
+        except Exception as exc:  # noqa: BLE001 - the outcome IS the data
+            outcome.error_type = type(exc).__name__
+            outcome.error_message = str(exc)
+        else:
+            outcome.result_repr = canonical_repr(result)
+        finally:
+            seam.remove()
+        if backend == "sim":
+            cluster.fabric.drain()
+        states: list[str] = []
+        for m in range(cluster.n_machines):
+            for spec, state in cluster.fabric.kernel_call(m, "snapshot_all"):
+                states.append(canonical_repr((spec, state)))
+        states.sort()
+        outcome.objects_total = len(states)
+        outcome.state_repr = canonical_repr(states)
+    return outcome, seam.count
+
+
+def migrate_conformance(program: Callable, *,
+                        backends: Sequence[str] = ALL_BACKENDS,
+                        seeds: Sequence[int] = (0, 1, 2, 3, 4),
+                        migrations: int = 3,
+                        n_machines: int = 3,
+                        **config_kwargs) -> MigrateReport:
+    """The gate: baseline and every seeded migrated run must digest equal.
+
+    Per backend: one unmigrated baseline (which also measures the
+    program's call count), then one run per seed with *migrations*
+    moves injected at seeded call indices.  ``consistent`` is True only
+    when every outcome — across backends and seeds — is identical.
+    """
+    report = MigrateReport(
+        program_name=(getattr(program, "__module__", "")
+                      + ":" + getattr(program, "__qualname__", "")))
+    for backend in backends:
+        baseline, n_calls = _run_once(
+            program, backend, n_machines=n_machines, seed=None,
+            triggers=frozenset(), config_kwargs=config_kwargs)
+        report.outcomes.append(baseline)
+        for seed in seeds:
+            k = min(migrations, n_calls)
+            triggers = (frozenset(random.Random(seed).sample(
+                range(1, n_calls + 1), k)) if k else frozenset())
+            migrated, _ = _run_once(
+                program, backend, n_machines=n_machines, seed=seed,
+                triggers=triggers, config_kwargs=config_kwargs)
+            report.outcomes.append(migrated)
+    return report

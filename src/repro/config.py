@@ -278,6 +278,36 @@ class ServeConfig:
 
 
 @dataclass
+class MigrateConfig:
+    """Live object migration (see ``docs/MIGRATION.md``).
+
+    ``cluster.migrate(handle, dest)`` quiesces the object on its source
+    machine, snapshots it through the persistence encoder, installs it
+    at *dest* and leaves a forwarding entry behind.  Calls that land on
+    the source **during** the freeze window park in a bounded buffer
+    (``forward_buffer`` per object) until the move commits or aborts;
+    beyond the bound they are shed with a retryable
+    :class:`~repro.errors.ServerOverloadedError`.  Stale proxies that
+    arrive **after** the commit get one retryable
+    :class:`~repro.errors.ObjectMovedError` hop per call, bounded by
+    ``max_hops`` for chained migrations.
+    """
+
+    #: per-object bound on calls parked while the object is frozen
+    #: mid-migration; beyond it new arrivals are shed (retryable).
+    forward_buffer: int = 64
+    #: bound on ObjectMovedError forwarding hops one call may take
+    #: (an object migrated N times leaves a chain of N entries).
+    max_hops: int = 8
+
+    def validate(self) -> None:
+        if self.forward_buffer < 1:
+            raise ConfigError("migrate.forward_buffer must be >= 1")
+        if self.max_hops < 1:
+            raise ConfigError("migrate.max_hops must be >= 1")
+
+
+@dataclass
 class HostSpec:
     """One host in a multi-host (tcp backend) topology.
 
@@ -510,6 +540,9 @@ class Config:
     #: ``hosts`` / ``heartbeat_interval_s`` / ``heartbeat_misses``
     #: keywords forward here.
     topology: TopologyConfig = field(default_factory=TopologyConfig)
+    #: live object migration: freeze-window buffering + forwarding-hop
+    #: bounds (see :class:`MigrateConfig` / docs/MIGRATION.md).
+    migrate: MigrateConfig = field(default_factory=MigrateConfig)
 
     def __getattr__(self, name: str):
         # Only called for names regular lookup misses: the legacy flat
@@ -541,7 +574,7 @@ class Config:
         if self.call_timeout_s is not None and self.call_timeout_s <= 0:
             raise ConfigError("call_timeout_s must be positive or None")
         for group in (self.wire, self.retry, self.trace, self.check,
-                      self.serve, self.topology):
+                      self.serve, self.topology, self.migrate):
             if group is None:
                 continue
             validate = getattr(group, "validate", None)

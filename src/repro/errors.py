@@ -102,6 +102,50 @@ class ObjectDestroyedError(NoSuchObjectError):
     """The object was explicitly destroyed; the proxy is dangling."""
 
 
+class ObjectMovedError(RuntimeLayerError):
+    """The object migrated to another machine; the proxy is stale.
+
+    Raised by the *source* machine's object table when a call lands on
+    an oid whose instance was moved by ``cluster.migrate``.  The table
+    rejects the call **before** any side effect — same contract as
+    :class:`PublicationError`: the call provably never executed, so the
+    caller may re-issue it (even a non-idempotent one) at the forwarded
+    location.  The fabric does exactly that: one bounded forwarding hop
+    per call, rebuilding the ref from ``new_machine``/``new_oid`` and
+    rebinding the proxy so later calls go straight to the new home
+    (see ``docs/MIGRATION.md``).
+
+    Attributes
+    ----------
+    machine / oid:
+        The stale location the call was addressed to.
+    new_machine / new_oid:
+        The object's current home, as recorded in the source table's
+        forwarding entry.
+    spec:
+        The object's class spec, for rebuilding full refs.
+    """
+
+    def __init__(self, message: str = "", *, machine: int | None = None,
+                 oid: int | None = None, new_machine: int | None = None,
+                 new_oid: int | None = None,
+                 spec: tuple | None = None) -> None:
+        super().__init__(message)
+        self.machine = machine
+        self.oid = oid
+        self.new_machine = new_machine
+        self.new_oid = new_oid
+        self.spec = spec
+
+    def __reduce__(self):
+        # Keep the forwarding fields across the pickle round trip error
+        # responses take between processes (same idea as MachineDownError).
+        return (self.__class__, (self.args[0] if self.args else "",),
+                {"machine": self.machine, "oid": self.oid,
+                 "new_machine": self.new_machine, "new_oid": self.new_oid,
+                 "spec": self.spec})
+
+
 class MachineDownError(RuntimeLayerError):
     """The hosting machine process died or is unreachable.
 

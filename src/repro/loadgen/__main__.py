@@ -62,6 +62,9 @@ def _build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-queue-depth", type=int, default=0,
                    help="serve.max_queue_depth (0 = unbounded)")
     p.add_argument("--retries", type=int, default=0)
+    p.add_argument("--migrate-every", type=int, default=0,
+                   help="closed-loop only: live-migrate one object to the "
+                        "next machine every N waves (0 = off)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--check-races", action="store_true",
                    help="run the race detector during the scenario and "
@@ -89,7 +92,8 @@ def _single_run(args: argparse.Namespace, report: SLOReport) -> None:
         workers=args.workers or None,
         max_queue_depth=args.max_queue_depth or None,
         retries=args.retries, seed=args.seed,
-        check_races=args.check_races, hosts=args.hosts)
+        check_races=args.check_races, hosts=args.hosts,
+        migrate_every=args.migrate_every)
     result = run_load(spec)
     report.add_scenario("single", result.to_dict())
 
@@ -184,6 +188,24 @@ def _quick(args: argparse.Namespace, report: SLOReport) -> None:
         report.gate("mp_errors", mp.errors + mp.shed, 0, "<=",
                     "unbounded queue: nothing sheds, nothing fails")
         report.gate("mp_completed", mp.ok, mp.issued, ">=")
+
+    # 6b. Migration smoke: a closed loop that live-migrates one store
+    #     every 3rd wave.  Every call must still land (the freeze parks
+    #     arrivals, the forwarding hop re-issues them) and p99 must stay
+    #     within a generous SLO while objects move.
+    mig = run_load(LoadSpec(backend="sim", n_machines=3, objects=3,
+                            clients=8, requests=12, read_fraction=0.8,
+                            service_ms=1.0, workers=8, seed=args.seed,
+                            migrate_every=3))
+    report.add_scenario("migrate_smoke", mig.to_dict())
+    report.gate("migrate_moves", mig.migrations, 3, ">=",
+                "the loop actually migrated objects mid-load")
+    report.gate("migrate_errors", mig.errors + mig.shed, 0, "<=",
+                "no call lost or shed across a live migration")
+    report.gate("migrate_completed", mig.ok, mig.issued, ">=")
+    p99 = mig.latency_s.get("p99")
+    report.gate("migrate_p99_ms", None if p99 is None else p99 * 1e3,
+                50.0, "<=", "p99 within SLO while objects move")
 
     # 6. tcp smoke (opt-in): the same harness against daemon-bootstrapped
     #    machines — two loopback daemons, so calls cross the host wire.

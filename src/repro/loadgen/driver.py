@@ -65,6 +65,11 @@ class LoadSpec:
     #: tcp backend only: spread the machines over this many loopback
     #: daemons (0 = the backend's default single daemon).
     hosts: int = 0
+    #: closed-loop only: every N waves, live-migrate one served object
+    #: to the next machine round-robin (0 = objects never move).  The
+    #: load keeps flowing while objects move — the SLO smoke uses this
+    #: to prove migration stays inside the latency budget.
+    migrate_every: int = 0
 
     def to_dict(self) -> dict:
         return dict(self.__dict__)
@@ -85,6 +90,7 @@ class RunResult:
     server_time_s: dict[str, float] = field(default_factory=dict)
     serve_stats: list[dict] = field(default_factory=list)
     race_reports: int = 0
+    migrations: int = 0
 
     @property
     def throughput_rps(self) -> float:
@@ -104,6 +110,7 @@ class RunResult:
             "server_time_s": self.server_time_s,
             "serve_stats": self.serve_stats,
             "race_reports": self.race_reports,
+            "migrations": self.migrations,
         }
 
 
@@ -152,7 +159,7 @@ def run_load(spec: LoadSpec) -> RunResult:
 
         t0 = clock()
         if spec.mode == "closed":
-            _closed_loop(spec, stores, result)
+            _closed_loop(spec, stores, result, cluster)
         elif spec.mode == "open":
             futures = _open_loop(spec, stores, cluster)
             result.issued += len(futures)
@@ -178,10 +185,26 @@ def _pick(rng: random.Random, spec: LoadSpec, store) -> Any:
     return store.add.future("key", 1)
 
 
-def _closed_loop(spec: LoadSpec, stores, result: RunResult) -> None:
-    """Wave-based closed loop: one outstanding call per client."""
+def _closed_loop(spec: LoadSpec, stores, result: RunResult,
+                 cluster: Optional[Cluster] = None) -> None:
+    """Wave-based closed loop: one outstanding call per client.
+
+    With ``migrate_every=N`` (and >1 machine), every N-th wave boundary
+    live-migrates one store to the next machine round-robin — the load
+    itself never pauses, so the reduced spans price the quiesce window
+    and the forwarding hop into the latency sample.
+    """
     rngs = [random.Random(spec.seed * 100003 + cid) for cid in range(spec.clients)]
+    migrate = (cluster is not None and spec.migrate_every > 0
+               and spec.n_machines > 1)
     for _round in range(spec.requests):
+        if migrate and _round > 0 and _round % spec.migrate_every == 0:
+            from ..runtime.proxy import ref_of
+
+            store = stores[result.migrations % len(stores)]
+            dest = (ref_of(store).machine + 1) % spec.n_machines
+            cluster.migrate(store, dest)
+            result.migrations += 1
         wave = [
             _pick(rngs[cid], spec, stores[cid % len(stores)])
             for cid in range(spec.clients)

@@ -77,9 +77,9 @@ def snapshot_process() -> dict:
     """Everything this process knows about its own transport activity.
 
     Always includes the ``coalesce`` / ``header_cache`` / ``shm`` /
-    ``pub`` / ``retry`` / ``faults`` / ``serve`` keys (empty-or-zero
-    when the corresponding path never ran) so consumers need no
-    existence checks.
+    ``pub`` / ``retry`` / ``faults`` / ``serve`` / ``migrate`` keys
+    (empty-or-zero when the corresponding path never ran) so consumers
+    need no existence checks.
     """
     from ..runtime.protocol import call_header_cache
     from ..transport import shm
@@ -91,6 +91,7 @@ def snapshot_process() -> dict:
         "faults": grouped.get("faults", {}),
         "serve": grouped.get("serve", {}),
         "pub": grouped.get("pub", {}),
+        "migrate": grouped.get("migrate", {}),
         "header_cache": call_header_cache.stats(),
         "shm": shm.manager().stats(),
     }

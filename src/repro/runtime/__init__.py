@@ -40,6 +40,7 @@ from .proxy import Proxy, RemoteMethod, destroy, is_proxy, ref_of, remote_getatt
 from .group import ObjectGroup
 from .remotedata import Block
 from .cluster import Cluster, current_cluster
+from .rebalance import Move, Rebalancer
 from .naming import ObjectAddress, parse_address, format_address
 from .autopar import autoparallel, Deferred, CallBatch, DeferredError
 from .protocol import Protocol, describe_protocol, protocol_of, validate_remote_class
@@ -68,6 +69,8 @@ __all__ = [
     "Block",
     "Cluster",
     "current_cluster",
+    "Move",
+    "Rebalancer",
     "ObjectAddress",
     "parse_address",
     "format_address",

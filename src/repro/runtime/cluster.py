@@ -353,6 +353,108 @@ class Cluster:
         for f in futures:
             f.result(self.config.call_timeout_s)
 
+    # -- migration ------------------------------------------------------------
+
+    def migrate(self, handle: "Proxy | Any", dest: "int | str") -> Proxy:
+        """Move a live object to machine *dest*, transparently.
+
+        The source machine quiesces the object (in-flight calls drain,
+        new arrivals park in a bounded forwarding buffer), its state is
+        snapshotted through the persistence encoder, re-installed at
+        *dest*, and a forwarding entry is left behind so stale proxies
+        re-resolve on their next call — callers never observe the move
+        beyond latency.
+
+        Accepts a :class:`Proxy` (rebound in place to the new address
+        and returned) or a bare :class:`~repro.runtime.oid.ObjectRef`.
+        ``dest`` is a machine id or, on host-aware backends, an
+        ``"addr"`` / ``"addr/k"`` string.
+
+        Failure contract: if installation at *dest* fails the migration
+        aborts and the object keeps serving at the source; if the source
+        dies after installation the object lives at *dest* (stale
+        proxies on the dead source surface a retryable
+        :class:`~repro.errors.MachineDownError`).  There is never a
+        moment with two live replicas.
+        """
+        from ..errors import MachineDownError, ObjectMovedError
+        from ..obs.metrics import counters
+        from ..transport.message import KERNEL_OID
+        from .oid import ObjectRef
+        from .proxy import is_proxy, ref_of
+
+        self._require_open()
+        proxy: Optional[Proxy] = None
+        if is_proxy(handle):
+            proxy = handle
+            ref = ref_of(handle)
+        elif isinstance(handle, ObjectRef):
+            ref = handle
+        else:
+            raise TypeError(
+                f"expected a Proxy or ObjectRef, got {type(handle).__name__}")
+        if ref.oid == KERNEL_OID:
+            raise ConfigError("machine kernels cannot migrate")
+        dest_id = self.fabric.resolve_machine(dest)
+        fabric = self.fabric
+        hops_left = self.config.migrate.max_hops
+        while True:
+            if ref.machine == dest_id:
+                # Already there (possibly after following a forward).
+                if proxy is not None:
+                    proxy._rebind(ref)
+                    return proxy
+                return Proxy(ref, fabric)
+            try:
+                spec, state = fabric.kernel_call(ref.machine, "migrate_out",
+                                                 ref.oid)
+                break
+            except ObjectMovedError as exc:
+                # Someone migrated it first — chase the forward.
+                fwd = fabric.forwarded_ref(ref, exc)
+                if fwd is None or hops_left <= 0:
+                    raise
+                hops_left -= 1
+                counters().inc("migrate.hops")
+                ref = fwd
+        try:
+            new_ref = fabric.kernel_call(dest_id, "restore", spec, state)
+        except BaseException:
+            # Install failed: put the object back in service at the source.
+            try:
+                fabric.kernel_call(ref.machine, "migrate_abort", ref.oid)
+            except Exception:  # noqa: BLE001 - source may have died too
+                counters().inc("migrate.abort_lost")
+            raise
+        new_ref = ObjectRef(machine=new_ref.machine, oid=new_ref.oid,
+                            spec=new_ref.spec or ref.spec)
+        try:
+            fabric.kernel_call(ref.machine, "migrate_commit", ref.oid, new_ref)
+        except MachineDownError:
+            # The source died after install: the object is live (only) at
+            # dest; stale proxies get MachineDownError, which is
+            # retryable once they are rebound or the machine restarts.
+            counters().inc("migrate.commit_lost")
+        counters().inc("migrate.moves")
+        with self._stores_lock:
+            stores = list(self._stores.values())
+        for st in stores:
+            st.rebind(ref, new_ref)
+        if proxy is not None:
+            proxy._rebind(new_ref)
+            return proxy
+        return Proxy(new_ref, fabric)
+
+    def rebalancer(self, **kwargs: Any) -> "Rebalancer":
+        """A :class:`~repro.runtime.rebalance.Rebalancer` for this cluster.
+
+        Reads per-object serve gauges from :meth:`metrics` and proposes
+        moves from hot machines to cold ones; see ``docs/MIGRATION.md``.
+        """
+        from .rebalance import Rebalancer
+
+        return Rebalancer(self, **kwargs)
+
     # -- observability --------------------------------------------------------
 
     def metrics(self) -> dict:

@@ -180,6 +180,21 @@ class PersistentStore:
             self._active[addr] = ref
         return Proxy(ref, self._fabric)
 
+    def rebind(self, old_ref: ObjectRef, new_ref: ObjectRef) -> int:
+        """Repoint active registrations after a migration.
+
+        Every address registered to *old_ref* now resolves to *new_ref*;
+        returns the number of addresses rebound (0 when the object was
+        never persisted — the common case).
+        """
+        n = 0
+        with self._lock:
+            for addr, ref in list(self._active.items()):
+                if ref == old_ref:
+                    self._active[addr] = new_ref
+                    n += 1
+        return n
+
     # -- destruction ---------------------------------------------------------------
 
     def delete(self, addr: "ObjectAddress | str") -> None:

@@ -93,15 +93,23 @@ class RemoteMethod:
         batch = active_batch()
         if batch is not None:
             check_args_for_pending(args, kwargs)
-            future = p._bound_fabric().call_async(p._ref, self._name, args,
-                                                  kwargs)
+            future = p._bound_fabric().call_forwarded_async(
+                p._ref, self._name, args, kwargs, on_move=p._rebind)
             return batch.add(future)
-        return p._bound_fabric().call(p._ref, self._name, args, kwargs)
+        return p._bound_fabric().call(p._ref, self._name, args, kwargs,
+                                      on_move=p._rebind)
 
     def future(self, *args: Any, **kwargs: Any) -> RemoteFuture:
-        """Send the request and return immediately with a future."""
+        """Send the request and return immediately with a future.
+
+        The future transparently follows a migration forward: if the
+        object moved while the call was in flight, consuming the result
+        re-issues the call at the new address (the send provably never
+        executed, same contract as :class:`~repro.errors.PublicationError`).
+        """
         p = self._proxy
-        return p._bound_fabric().call_async(p._ref, self._name, args, kwargs)
+        return p._bound_fabric().call_forwarded_async(
+            p._ref, self._name, args, kwargs, on_move=p._rebind)
 
     def oneway(self, *args: Any, **kwargs: Any) -> None:
         """Send with no reply channel (fire-and-forget)."""
@@ -127,6 +135,17 @@ class Proxy:
     def __init__(self, ref: ObjectRef, fabric: "Fabric | None") -> None:
         object.__setattr__(self, "_ref", ref)
         object.__setattr__(self, "_fabric", fabric)
+
+    # -- migration rebinding ----------------------------------------------
+
+    def _rebind(self, ref: ObjectRef) -> None:
+        """Point this proxy at the object's new home after a migration.
+
+        Called by the fabric's forwarding hop so later calls through the
+        same proxy go straight to the new machine instead of paying the
+        forward every time.
+        """
+        object.__setattr__(self, "_ref", ref)
 
     # -- fabric binding ----------------------------------------------------
 
@@ -163,22 +182,28 @@ class Proxy:
     # -- subscription / container protocol -------------------------------
 
     def __getitem__(self, key: Any) -> Any:
-        return self._bound_fabric().call(self._ref, "__getitem__", (key,), {})
+        return self._bound_fabric().call(self._ref, "__getitem__", (key,), {},
+                                         on_move=self._rebind)
 
     def __setitem__(self, key: Any, value: Any) -> None:
-        self._bound_fabric().call(self._ref, "__setitem__", (key, value), {})
+        self._bound_fabric().call(self._ref, "__setitem__", (key, value), {},
+                                  on_move=self._rebind)
 
     def __delitem__(self, key: Any) -> None:
-        self._bound_fabric().call(self._ref, "__delitem__", (key,), {})
+        self._bound_fabric().call(self._ref, "__delitem__", (key,), {},
+                                  on_move=self._rebind)
 
     def __len__(self) -> int:
-        return self._bound_fabric().call(self._ref, "__len__", (), {})
+        return self._bound_fabric().call(self._ref, "__len__", (), {},
+                                         on_move=self._rebind)
 
     def __contains__(self, item: Any) -> bool:
-        return self._bound_fabric().call(self._ref, "__contains__", (item,), {})
+        return self._bound_fabric().call(self._ref, "__contains__", (item,), {},
+                                         on_move=self._rebind)
 
     def __call__(self, *args: Any, **kwargs: Any) -> Any:
-        return self._bound_fabric().call(self._ref, "__call__", args, kwargs)
+        return self._bound_fabric().call(self._ref, "__call__", args, kwargs,
+                                         on_move=self._rebind)
 
     # -- identity ---------------------------------------------------------
 
@@ -236,14 +261,17 @@ def destroy(proxy: Proxy) -> None:
 
 def remote_getattr(proxy: Proxy, name: str) -> Any:
     """Read a data attribute of the remote instance (one round trip)."""
-    return proxy._bound_fabric().call(proxy._ref, GETATTR_METHOD, (name,), {})
+    return proxy._bound_fabric().call(proxy._ref, GETATTR_METHOD, (name,), {},
+                                      on_move=proxy._rebind)
 
 
 def remote_setattr(proxy: Proxy, name: str, value: Any) -> None:
     """Set a data attribute on the remote instance (one round trip)."""
-    proxy._bound_fabric().call(proxy._ref, SETATTR_METHOD, (name, value), {})
+    proxy._bound_fabric().call(proxy._ref, SETATTR_METHOD, (name, value), {},
+                               on_move=proxy._rebind)
 
 
 def ping(proxy: Proxy) -> int:
     """Round-trip to the hosting machine; returns its machine id."""
-    return proxy._bound_fabric().call(proxy._ref, PING_METHOD, (), {})
+    return proxy._bound_fabric().call(proxy._ref, PING_METHOD, (), {},
+                                      on_move=proxy._rebind)

@@ -1,0 +1,195 @@
+"""Load-driven object rebalancing on top of live migration.
+
+A :class:`Rebalancer` watches the per-object serving gauges every
+machine's :class:`~repro.runtime.server.ServePolicy` maintains
+(``stats()["serve"]["per_object"]``) and proposes migrations that move
+the hottest objects off the most loaded machine onto the least loaded
+one.  Proposals are plain data — callers inspect them and invoke
+:meth:`Rebalancer.apply`, or opt into the background loop with
+:meth:`start` for hands-off rebalancing::
+
+    rb = cluster.rebalancer(min_calls=32)
+    moves = rb.propose()          # look before you leap
+    rb.apply(moves)               # cluster.migrate() per move
+
+    rb.start(interval_s=2.0)      # or: continuous, until stop()/shutdown
+    ...
+    rb.stop()
+
+Load is measured as the *delta* of admitted calls per object since the
+previous observation, so long-lived but idle objects do not pin their
+machine as "hot" forever.  See ``docs/MIGRATION.md`` for the knobs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from ..errors import (
+    MachineDownError,
+    NoSuchObjectError,
+    ObjectDestroyedError,
+    ObjectMovedError,
+    RuntimeLayerError,
+)
+from .oid import ObjectRef
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .cluster import Cluster
+
+
+@dataclasses.dataclass(frozen=True)
+class Move:
+    """One proposed migration: object *oid* from *src* to *dest*.
+
+    ``load`` is the object's admitted-call delta over the observation
+    window — the weight the move shifts between machines.
+    """
+
+    oid: int
+    src: int
+    dest: int
+    load: int
+
+
+class Rebalancer:
+    """Propose and apply migrations that even out per-machine load.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster to watch and rebalance.
+    threshold:
+        Imbalance ratio that triggers a proposal: the hottest machine
+        must carry more than ``threshold ×`` the coldest machine's load
+        (default 1.5).
+    min_calls:
+        Ignore machines whose window load is below this many admitted
+        calls (default 16) — tiny samples produce noise, not hot spots.
+    max_moves:
+        Upper bound on proposals per :meth:`propose` round (default 1;
+        moving one object and re-observing beats a speculative shuffle).
+    """
+
+    def __init__(self, cluster: "Cluster", *, threshold: float = 1.5,
+                 min_calls: int = 16, max_moves: int = 1) -> None:
+        if threshold < 1.0:
+            raise ValueError("threshold must be >= 1.0")
+        if min_calls < 1 or max_moves < 1:
+            raise ValueError("min_calls and max_moves must be >= 1")
+        self.cluster = cluster
+        self.threshold = threshold
+        self.min_calls = min_calls
+        self.max_moves = max_moves
+        self._last: dict[tuple[int, int], int] = {}
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+
+    # -- observation -------------------------------------------------------
+
+    def observe(self) -> dict[int, dict[int, int]]:
+        """Per-machine ``{oid: admitted-call delta}`` since last call.
+
+        Machines that are down (mp kill, tcp host loss) contribute an
+        empty window — they cannot serve, so they cannot be hot.
+        """
+        window: dict[int, dict[int, int]] = {}
+        with self._lock:
+            for m in range(self.cluster.n_machines):
+                window[m] = {}
+                try:
+                    serve = self.cluster.on(m).stats().get("serve") or {}
+                except (MachineDownError, RuntimeLayerError):
+                    continue
+                for oid, gauges in (serve.get("per_object") or {}).items():
+                    admitted = int(gauges.get("admitted", 0))
+                    prev = self._last.get((m, oid), 0)
+                    self._last[(m, oid)] = admitted
+                    if admitted > prev:
+                        window[m][oid] = admitted - prev
+        return window
+
+    # -- planning ----------------------------------------------------------
+
+    def propose(self) -> list[Move]:
+        """Moves that would reduce the current imbalance (maybe empty)."""
+        window = self.observe()
+        loads = {m: sum(per.values()) for m, per in window.items()}
+        moves: list[Move] = []
+        for _ in range(self.max_moves):
+            src = max(loads, key=lambda m: loads[m])
+            dest = min(loads, key=lambda m: loads[m])
+            if src == dest or loads[src] < self.min_calls:
+                break
+            if loads[src] <= self.threshold * max(loads[dest], 1):
+                break
+            candidates = {oid: n for oid, n in window[src].items()
+                          if not any(mv.oid == oid for mv in moves)}
+            if not candidates:
+                break
+            # Hottest object first, but never one so hot that moving it
+            # just swaps which machine is overloaded.
+            gap = loads[src] - loads[dest]
+            oid = min(candidates,
+                      key=lambda o: (abs(candidates[o] - gap // 2),
+                                     -candidates[o], o))
+            load = candidates.pop(oid)
+            moves.append(Move(oid=oid, src=src, dest=dest, load=load))
+            loads[src] -= load
+            loads[dest] += load
+        return moves
+
+    # -- execution ---------------------------------------------------------
+
+    def apply(self, moves: Optional[Sequence[Move]] = None) -> list[Move]:
+        """Execute *moves* (default: a fresh :meth:`propose` round).
+
+        Races are tolerated: an object destroyed or already migrated
+        between propose and apply is skipped, not an error.  Returns the
+        moves that actually happened.
+        """
+        if moves is None:
+            moves = self.propose()
+        applied: list[Move] = []
+        for mv in moves:
+            ref = ObjectRef(machine=mv.src, oid=mv.oid, spec=None)
+            try:
+                self.cluster.migrate(ref, mv.dest)
+            except (NoSuchObjectError, ObjectDestroyedError,
+                    ObjectMovedError, MachineDownError):
+                continue
+            applied.append(mv)
+        return applied
+
+    # -- background loop ---------------------------------------------------
+
+    def start(self, interval_s: float = 1.0) -> None:
+        """Rebalance every *interval_s* seconds until :meth:`stop`."""
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if self._thread is not None and self._thread.is_alive():
+            raise RuntimeLayerError("rebalancer already running")
+        self._stop.clear()
+
+        def loop() -> None:
+            while not self._stop.wait(interval_s):
+                try:
+                    self.apply()
+                except Exception:  # noqa: BLE001 - keep the loop alive
+                    if self._stop.is_set():
+                        return
+
+        self._thread = threading.Thread(target=loop, name="oopp-rebalancer",
+                                        daemon=True)
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the background loop (idempotent)."""
+        self._stop.set()
+        t = self._thread
+        if t is not None:
+            t.join(timeout)
+            self._thread = None

@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 from ..errors import (
     NoSuchObjectError,
     ObjectDestroyedError,
+    ObjectMovedError,
     RuntimeLayerError,
     ServerOverloadedError,
 )
@@ -75,7 +76,12 @@ class ObjectTable:
     an OS condition variable.
     """
 
-    def __init__(self, *, yield_wait: Optional[Callable[[], None]] = None) -> None:
+    #: default per-object bound on calls parked during a migration
+    #: freeze window (overridden from ``Config.migrate.forward_buffer``).
+    DEFAULT_FORWARD_BUFFER = 64
+
+    def __init__(self, *, yield_wait: Optional[Callable[[], None]] = None,
+                 forward_buffer: Optional[int] = None) -> None:
         self._lock = threading.Lock()
         self._drained = threading.Condition(self._lock)
         self._objects: dict[int, Any] = {}
@@ -84,6 +90,19 @@ class ObjectTable:
         #: oids whose destroy is waiting for in-flight calls: lookups
         #: fail fast so the drain can actually finish.
         self._draining: set[int] = set()
+        #: oids frozen by an in-progress migration: lookups park in a
+        #: bounded buffer until the move commits or aborts.
+        self._migrating: set[int] = set()
+        #: oid → parked-lookup count during its freeze window.
+        self._forward_waiters: dict[int, int] = {}
+        #: oid → new ObjectRef after a committed migration; lookups
+        #: raise ObjectMovedError carrying the forward (retryable hop).
+        self._forwards: dict[int, "ObjectRef"] = {}
+        self._forward_buffer = (self.DEFAULT_FORWARD_BUFFER
+                                if forward_buffer is None else forward_buffer)
+        #: set by the hosting Kernel so table-raised errors can name
+        #: their machine (ObjectMovedError's stale side).
+        self.machine_id: Optional[int] = None
         self._yield_wait = yield_wait
         self._ids = IdAllocator(start=KERNEL_OID + 1)
 
@@ -100,17 +119,65 @@ class ObjectTable:
 
     def get(self, oid: int) -> Any:
         with self._lock:
+            self._await_migration_locked(oid)
             return self._get_locked(oid)
 
     def _get_locked(self, oid: int) -> Any:
         try:
             return self._objects[oid]
         except KeyError:
+            fwd = self._forwards.get(oid)
+            if fwd is not None:
+                raise ObjectMovedError(
+                    f"object {oid} migrated to machine {fwd.machine} "
+                    f"(oid {fwd.oid})", machine=self.machine_id, oid=oid,
+                    new_machine=fwd.machine, new_oid=fwd.oid,
+                    spec=fwd.spec) from None
             if oid in self._destroyed:
                 raise ObjectDestroyedError(
                     f"object {oid} was destroyed; the pointer dangles"
                 ) from None
             raise NoSuchObjectError(f"no object with id {oid} here") from None
+
+    def _await_migration_locked(self, oid: int) -> None:
+        """Park (lock held on entry/exit) while *oid* is frozen mid-move.
+
+        This is the migration "forwarding buffer": calls that land
+        during the freeze window wait here — without registering in
+        ``_pending``, so the freeze's own drain is never starved — and
+        re-resolve once the move commits (→ ObjectMovedError hop from
+        the forwarding entry) or aborts (→ normal execution).  At most
+        ``forward_buffer`` callers may park per object; beyond that the
+        call is shed with a retryable ServerOverloadedError, exactly
+        like an admission-queue overflow.
+        """
+        if oid not in self._migrating:
+            return
+        n = self._forward_waiters.get(oid, 0)
+        if n >= self._forward_buffer:
+            raise ServerOverloadedError(
+                f"object {oid} is mid-migration and its forwarding "
+                f"buffer is full ({n}/{self._forward_buffer})",
+                machine=self.machine_id, oid=oid, depth=n)
+        self._forward_waiters[oid] = n + 1
+        try:
+            if self._yield_wait is None:
+                while oid in self._migrating:
+                    self._drained.wait()
+            else:
+                # sim: park in simulated time (lock dropped per poll)
+                while oid in self._migrating:
+                    self._lock.release()
+                    try:
+                        self._yield_wait()
+                    finally:
+                        self._lock.acquire()
+        finally:
+            left = self._forward_waiters.get(oid, 1) - 1
+            if left <= 0:
+                self._forward_waiters.pop(oid, None)
+            else:
+                self._forward_waiters[oid] = left
 
     def checkout(self, oid: int) -> Any:
         """Resolve *oid* and register an in-flight call, atomically.
@@ -123,6 +190,9 @@ class ObjectTable:
         Pair every successful checkout with exactly one :meth:`checkin`.
         """
         with self._lock:
+            # Order matters: a migration freeze parks the call (it will
+            # re-resolve), a destroy drain fails it fast (it never will).
+            self._await_migration_locked(oid)
             if oid in self._draining:
                 raise ObjectDestroyedError(
                     f"object {oid} is being destroyed")
@@ -151,9 +221,22 @@ class ObjectTable:
         checkouts fail with :class:`ObjectDestroyedError` instead of
         racing the teardown (without this, a steady stream of callers
         could starve the destroy forever).
+
+        A destroy that lands during a migration freeze parks with the
+        other buffered calls: once the move commits it raises
+        :class:`ObjectMovedError` (the fabric re-issues the destroy at
+        the new home); if the move aborts it proceeds normally.
         """
         with self._lock:
+            self._await_migration_locked(oid)
             if oid not in self._objects or oid in self._draining:
+                fwd = self._forwards.get(oid)
+                if fwd is not None and oid not in self._draining:
+                    raise ObjectMovedError(
+                        f"object {oid} migrated to machine {fwd.machine} "
+                        f"(oid {fwd.oid})", machine=self.machine_id,
+                        oid=oid, new_machine=fwd.machine, new_oid=fwd.oid,
+                        spec=fwd.spec)
                 if oid in self._destroyed or oid in self._draining:
                     raise ObjectDestroyedError(f"object {oid} already destroyed")
                 raise NoSuchObjectError(f"no object with id {oid} here")
@@ -176,6 +259,75 @@ class ObjectTable:
             finally:
                 self._draining.discard(oid)
             return instance
+
+    # -- migration (see docs/MIGRATION.md) ----------------------------------
+
+    def begin_migrate(self, oid: int) -> Any:
+        """Freeze *oid* for migration: drain in-flight calls, detach it.
+
+        Returns the live instance (for snapshotting / abort restore).
+        During the drain the oid sits in the same ``_draining`` set
+        destroy uses, so a concurrent destroy cannot slip between the
+        drain and the detach and execute against a corpse — it parks in
+        :meth:`_await_migration_locked` and re-resolves after the move.
+        From here until :meth:`finish_migrate` or :meth:`abort_migrate`
+        the oid is *migrating*: new lookups park in the bounded
+        forwarding buffer instead of failing.
+        """
+        with self._lock:
+            if oid in self._draining or oid in self._migrating:
+                raise RuntimeLayerError(
+                    f"object {oid} is already draining or migrating")
+            instance = self._get_locked(oid)
+            self._migrating.add(oid)
+            self._draining.add(oid)
+            try:
+                if self._yield_wait is None:
+                    while self._pending.get(oid, 0) > 0:
+                        self._drained.wait()
+                else:
+                    # sim: drain in simulated time (lock dropped per poll)
+                    while self._pending.get(oid, 0) > 0:
+                        self._lock.release()
+                        try:
+                            self._yield_wait()
+                        finally:
+                            self._lock.acquire()
+                self._objects.pop(oid)
+                self._pending.pop(oid, None)
+            except BaseException:
+                self._migrating.discard(oid)
+                self._drained.notify_all()
+                raise
+            finally:
+                self._draining.discard(oid)
+            return instance
+
+    def finish_migrate(self, oid: int, new_ref: "ObjectRef") -> None:
+        """Commit a migration: install the forwarding entry, wake parkers."""
+        with self._lock:
+            if oid not in self._migrating:
+                raise RuntimeLayerError(
+                    f"object {oid} has no migration in progress")
+            self._forwards[oid] = new_ref
+            self._migrating.discard(oid)
+            self._drained.notify_all()
+
+    def abort_migrate(self, oid: int, instance: Any) -> None:
+        """Undo a :meth:`begin_migrate`: reinstall the instance in place."""
+        with self._lock:
+            if oid not in self._migrating:
+                raise RuntimeLayerError(
+                    f"object {oid} has no migration in progress")
+            self._objects[oid] = instance
+            self._pending.setdefault(oid, 0)
+            self._migrating.discard(oid)
+            self._drained.notify_all()
+
+    def forward_of(self, oid: int) -> Optional["ObjectRef"]:
+        """The forwarding entry left by a committed migration, if any."""
+        with self._lock:
+            return self._forwards.get(oid)
 
     def enter_call(self, oid: int) -> None:
         with self._lock:
@@ -327,6 +479,11 @@ class ServePolicy:
         self._depth_peak = 0
         self._shed = 0
         self._admitted = 0
+        #: oid → monotone per-object gauges (admitted/shed/depth_peak).
+        #: Kept after the object's _ObjectServeState is dropped — the
+        #: Rebalancer reads these through cluster.metrics() to find hot
+        #: objects, and hotness must survive idle gaps.
+        self._per_object: dict[int, dict[str, int]] = {}
 
     # -- waiting ------------------------------------------------------------
 
@@ -366,9 +523,14 @@ class ServePolicy:
                       held: bool) -> "_ObjectServeState":
         st = self._states.setdefault(oid, _ObjectServeState())
         serve = self._serve
+        gauges = self._per_object.get(oid)
+        if gauges is None:
+            gauges = self._per_object[oid] = {
+                "admitted": 0, "shed": 0, "depth_peak": 0}
         if (serve.max_queue_depth is not None and not held
                 and st.depth >= serve.max_queue_depth):
             self._shed += 1
+            gauges["shed"] += 1
             self._counters.inc("serve.shed")
             raise ServerOverloadedError(
                 f"object {oid} admission queue full "
@@ -377,7 +539,10 @@ class ServePolicy:
                 depth=st.depth)
         st.depth += 1
         self._admitted += 1
+        gauges["admitted"] += 1
         self._counters.inc("serve.admitted")
+        if st.depth > gauges["depth_peak"]:
+            gauges["depth_peak"] = st.depth
         if st.depth > self._depth_peak:
             self._depth_peak = st.depth
             self._counters.record_max("serve.depth_peak", st.depth)
@@ -620,6 +785,9 @@ class ServePolicy:
                 "depth_peak": self._depth_peak,
                 "admitted": self._admitted,
                 "shed": self._shed,
+                # per-oid gauges for the Rebalancer (hot-spot detection)
+                "per_object": {oid: dict(g)
+                               for oid, g in self._per_object.items()},
             }
 
 
@@ -629,6 +797,10 @@ class Kernel:
     def __init__(self, machine_id: int, table: ObjectTable) -> None:
         self.machine_id = machine_id
         self.table = table
+        # table-raised ObjectMovedError names the stale machine with this
+        table.machine_id = machine_id
+        #: instances detached by migrate_out, parked until commit/abort
+        self._migrating_out: dict[int, Any] = {}
         self.calls_served = 0
         self._stats_lock = threading.Lock()
         #: set by the hosting backend; kernel.shutdown() fires it.
@@ -665,7 +837,14 @@ class Kernel:
         from ..obs.metrics import snapshot_process
 
         out = self.stats()
+        serve = out.get("serve")
         out.update(snapshot_process())
+        if serve is not None:
+            # the process-wide "serve" counter group must not clobber
+            # the policy gauges (per_object feeds the Rebalancer)
+            merged = dict(out.get("serve") or {})
+            merged.update(serve)
+            out["serve"] = merged
         return out
 
     # -- liveness ----------------------------------------------------------
@@ -757,7 +936,9 @@ class Kernel:
         setter = getattr(instance, "__setstate__", None)
         if callable(setter):
             setter(state)
-        else:
+        elif state is not None:
+            # pickle's contract: object.__getstate__ returns None for a
+            # stateless instance, meaning "nothing to apply".
             instance.__dict__.update(state)
         oid = self.table.add(instance)
         return ObjectRef(machine=self.machine_id, oid=oid, spec=spec)
@@ -767,6 +948,84 @@ class Kernel:
         snap = self.snapshot(oid)
         self.table.remove(oid)
         return snap
+
+    # -- live migration (see docs/MIGRATION.md) -----------------------------
+
+    def migrate_out(self, oid: int) -> tuple[tuple[str, str], Any]:
+        """Freeze *oid* and return its ``(spec, state)`` snapshot.
+
+        Drains in-flight calls through the table's migration gate (new
+        arrivals park in the bounded forwarding buffer), detaches the
+        instance and snapshots it with the same encoder the persistence
+        layer uses.  The instance is parked locally until the driver
+        calls :meth:`migrate_commit` (install succeeded at the dest) or
+        :meth:`migrate_abort` (it did not; the object is reinstalled
+        here and keeps serving).
+        """
+        from ..obs.metrics import counters
+
+        if oid == KERNEL_OID:
+            raise RuntimeLayerError("cannot migrate the kernel object")
+        instance = self.table.begin_migrate(oid)
+        try:
+            getter = getattr(instance, "__getstate__", None)
+            state = getter() if callable(getter) else dict(instance.__dict__)
+            spec = class_spec(type(instance))
+        except BaseException:
+            self.table.abort_migrate(oid, instance)
+            raise
+        self._migrating_out[oid] = instance
+        counters().inc("migrate.out")
+        return spec, state
+
+    def migrate_commit(self, oid: int, new_ref: ObjectRef) -> bool:
+        """Flip the forwarding entry: *oid* now lives at *new_ref*."""
+        from ..obs.metrics import counters
+
+        self._migrating_out.pop(oid, None)
+        self.table.finish_migrate(oid, new_ref)
+        if self.checker is not None:
+            # the oid's access history must not pair with its new life
+            self.checker.forget(self.machine_id, oid)
+        counters().inc("migrate.committed")
+        return True
+
+    def migrate_abort(self, oid: int) -> bool:
+        """Reinstall a frozen instance after a failed move."""
+        from ..obs.metrics import counters
+
+        instance = self._migrating_out.pop(oid, None)
+        if instance is None:
+            return False
+        self.table.abort_migrate(oid, instance)
+        counters().inc("migrate.aborted")
+        return True
+
+    def list_objects(self) -> list[tuple[int, tuple[str, str]]]:
+        """``(oid, class spec)`` of every live hosted object."""
+        out = []
+        for oid in self.table.oids():
+            try:
+                instance = self.table.get(oid)
+            except (NoSuchObjectError, ObjectMovedError):
+                continue
+            out.append((oid, class_spec(type(instance))))
+        return out
+
+    def snapshot_all(self) -> list[tuple[tuple[str, str], Any]]:
+        """``(spec, state)`` snapshots of every live hosted object.
+
+        The migration-aware conformance harness digests these across
+        the whole cluster: the multiset of object states is placement-
+        independent, unlike the per-machine object counts.
+        """
+        out = []
+        for oid in self.table.oids():
+            try:
+                out.append(self.snapshot(oid))
+            except (NoSuchObjectError, ObjectMovedError):
+                continue
+        return out
 
     # -- introspection --------------------------------------------------------
 

@@ -47,8 +47,15 @@ DIRECTIONS = ("send", "recv", "both")
 #: BATCH frame on channels that batch sends (the entire envelope is hit);
 #: ``"pub"`` matches requests whose arguments carry a publication handle
 #: (:mod:`repro.transport.pub`) — i.e. frames shipping a ``BUF_PUB``
-#: descriptor — so chaos plans can target the broadcast path.
-KINDS = ("req", "res", "err", "hi", "bye", "batch", "pub")
+#: descriptor — so chaos plans can target the broadcast path;
+#: ``"migrate"`` matches the kernel requests of the live-migration
+#: protocol (``migrate_out`` / ``migrate_commit`` / ``migrate_abort``)
+#: so chaos plans can kill a move at any protocol step.
+KINDS = ("req", "res", "err", "hi", "bye", "batch", "pub", "migrate")
+
+#: kernel verbs of the migration protocol (see ``docs/MIGRATION.md``)
+_MIGRATE_METHODS = frozenset({"migrate_out", "migrate_commit",
+                              "migrate_abort"})
 
 #: how deep :func:`_carries_publication` looks into argument containers —
 #: matches where descriptors realistically ride (args / nested tuple /
@@ -239,8 +246,13 @@ class FaultInjector:
         kinds: str | tuple[str, ...] = kind
         if isinstance(msg, Request):
             method = msg.method
+            extra = []
             if _carries_publication(msg):
-                kinds = (kind, "pub")
+                extra.append("pub")
+            if method in _MIGRATE_METHODS:
+                extra.append("migrate")
+            if extra:
+                kinds = (kind, *extra)
         return self.decide_kind(direction, kinds, method)
 
     def decide_kind(self, direction: str, kind: "str | tuple[str, ...]",

@@ -1,0 +1,170 @@
+"""Chaos × migration: a move may die at any protocol step — the object
+may not.
+
+The invariants (see ``docs/MIGRATION.md`` and ``docs/FAILURES.md``):
+whatever step of ``migrate_out → restore → migrate_commit`` a machine
+death or wire fault lands on, the cluster is left with **at most one**
+live replica, the failure surfaces as an error (never as a silently
+forked or half-moved object), and when the source survives the object
+keeps serving there.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro as oopp
+from repro.errors import ChannelClosedError, MachineDownError
+from repro.transport.faults import FaultInjector, FaultPlan, FaultRule
+from repro.transport.message import KERNEL_OID, Request
+
+
+class TestFaultClassification:
+    """The injector must present migration kernel verbs as kind
+    ``"migrate"`` so plans can target the protocol by name."""
+
+    def _decide(self, rule, method):
+        injector = FaultInjector(FaultPlan(seed=0, rules=[rule]), 0)
+        msg = Request(request_id=1, object_id=KERNEL_OID, method=method,
+                      args=(7,))
+        return injector.decide("send", msg)
+
+    @pytest.mark.parametrize("method", ["migrate_out", "migrate_commit",
+                                        "migrate_abort"])
+    def test_protocol_verbs_match_kind_migrate(self, method):
+        rule = FaultRule(action="drop", kinds=("migrate",), nth=1)
+        assert self._decide(rule, method) is rule
+
+    def test_plain_kernel_verbs_do_not_match(self):
+        rule = FaultRule(action="drop", kinds=("migrate",),
+                         probability=1.0, max_fires=None)
+        for method in ("restore", "stats", "destroy", "list_objects"):
+            assert self._decide(rule, method) is None
+
+    def test_migrate_requests_still_match_kind_req(self):
+        rule = FaultRule(action="drop", kinds=("req",), nth=1)
+        assert self._decide(rule, "migrate_out") is rule
+
+
+SNAPSHOT_STALL_S = 30.0
+INSTALL_STALL_S = 30.0
+
+
+class SlowSnapshot:
+    """``__getstate__`` stalls: the source is mid-snapshot for long
+    enough to be killed there."""
+
+    def __init__(self):
+        self.n = 0
+
+    def bump(self):
+        self.n += 1
+        return self.n
+
+    def __getstate__(self):
+        time.sleep(SNAPSHOT_STALL_S)
+        return dict(self.__dict__)
+
+
+class SlowInstall:
+    """``__setstate__`` stalls: the destination is mid-install for long
+    enough to be killed there.  ``migrate_abort`` reinstalls the parked
+    source instance directly, so the stall never runs at the source."""
+
+    def __init__(self):
+        self.n = 0
+
+    def bump(self):
+        self.n += 1
+        return self.n
+
+    def __setstate__(self, state):
+        time.sleep(INSTALL_STALL_S)
+        self.__dict__.update(state or {})
+
+
+def _replicas(cluster, skip=()):
+    """Live hosted objects across every machine still standing."""
+    total = 0
+    for m in range(cluster.n_machines):
+        if m in skip:
+            continue
+        total += len(cluster.fabric.kernel_call(m, "list_objects"))
+    return total
+
+
+def _migrate_in_thread(cluster, proxy, dest):
+    box = {}
+
+    def run():
+        try:
+            cluster.migrate(proxy, dest)
+        except BaseException as exc:  # noqa: BLE001 - recorded for asserts
+            box["error"] = exc
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread, box
+
+
+class TestKillMidMigration:
+    def test_source_killed_mid_snapshot_never_forks(self, tmp_path):
+        """The only replica dies with the source — an error, not a copy:
+        the destination must not have installed anything."""
+        with oopp.Cluster(n_machines=3, backend="mp", call_timeout_s=60.0,
+                          storage_root=str(tmp_path / "r")) as cluster:
+            victim = cluster.new(SlowSnapshot, machine=1)
+            assert victim.bump() == 1
+            thread, box = _migrate_in_thread(cluster, victim, 2)
+            time.sleep(0.5)  # migrate_out is now stalled in __getstate__
+            cluster.fabric.kill_machine(1, hard=True)
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            assert isinstance(box.get("error"), MachineDownError)
+            # no half-move: the survivors host zero replicas, and the
+            # destination machine itself is healthy.
+            assert _replicas(cluster, skip=(1,)) == 0
+            probe = cluster.new(SlowInstall, machine=2)
+            assert probe.bump() == 1
+
+    def test_dest_killed_mid_install_aborts_to_source(self, tmp_path):
+        """Install fails → the move aborts → the *source* copy is the
+        one live replica and it keeps serving."""
+        with oopp.Cluster(n_machines=3, backend="mp", call_timeout_s=60.0,
+                          storage_root=str(tmp_path / "r")) as cluster:
+            roamer = cluster.new(SlowInstall, machine=0)
+            assert roamer.bump() == 1
+            thread, box = _migrate_in_thread(cluster, roamer, 1)
+            time.sleep(0.5)  # restore is now stalled in __setstate__
+            cluster.fabric.kill_machine(1, hard=True)
+            thread.join(timeout=30.0)
+            assert not thread.is_alive()
+            assert isinstance(box.get("error"), MachineDownError)
+            # exactly one replica, back in service at the source:
+            assert _replicas(cluster, skip=(1,)) == 1
+            assert oopp.ref_of(roamer).machine == 0
+            assert roamer.bump() == 2  # state survived the failed move
+
+
+class TestWireFaults:
+    def test_closed_channel_during_migrate_out_leaves_source_serving(
+            self, tmp_path):
+        """The migrate_out request never reaches the source: nothing was
+        frozen, so the object just keeps serving where it is."""
+        plan = FaultPlan(seed=11, rules=[
+            FaultRule(action="close", direction="send", kinds=("migrate",),
+                      methods=("migrate_out",), nth=1)])
+        with oopp.Cluster(n_machines=2, backend="mp", call_timeout_s=10.0,
+                          fault_plan=plan,
+                          storage_root=str(tmp_path / "r")) as cluster:
+            stayer = cluster.new(SlowInstall, machine=0)
+            assert stayer.bump() == 1
+            with pytest.raises((ChannelClosedError, MachineDownError,
+                                oopp.errors.TransportError)):
+                cluster.migrate(stayer, 1)
+            assert oopp.ref_of(stayer).machine == 0
+            assert _replicas(cluster) == 1
+            assert stayer.bump() == 2

@@ -1,0 +1,19 @@
+"""Every test under tests/migrate/ carries the ``migrate`` marker.
+
+Run only the live-migration suite with ``pytest -m migrate``, or
+exclude it from a quick pass with ``pytest -m "not migrate"``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_MIGRATE_DIR = pathlib.Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    for item in items:
+        if _MIGRATE_DIR in pathlib.Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.migrate)

@@ -1,0 +1,56 @@
+"""The migration-interleaved conformance gate, as a pytest.
+
+CI also runs the CLI form (``python -m repro.check conform
+--migrations N``) against mp and loopback tcp; here the cheap backends
+prove the harness itself — including that it *can* fail: a program
+that leaks placement into its result must diverge from baseline.
+"""
+
+from __future__ import annotations
+
+import repro as oopp
+from repro.check.examples import counter_farm, safe_increments
+from repro.check.migrate import migrate_conformance
+
+
+class TestGate:
+    def test_counter_farm_consistent(self):
+        report = migrate_conformance(
+            counter_farm, backends=("inline", "sim"), seeds=(0, 1),
+            migrations=3)
+        assert report.consistent, report.summary()
+        migrated = [o for o in report.outcomes if o.seed is not None]
+        assert migrated and all(o.migrations == 3 for o in migrated)
+
+    def test_safe_increments_consistent(self):
+        report = migrate_conformance(
+            safe_increments, backends=("inline",), seeds=(0, 1, 2),
+            migrations=2)
+        assert report.consistent, report.summary()
+
+    def test_baseline_measures_call_count(self):
+        # counter_farm: 12 adds + 4 gets = 16 driver object calls, so
+        # requesting more migrations than calls clamps, not crashes.
+        report = migrate_conformance(
+            counter_farm, backends=("inline",), seeds=(0,),
+            migrations=99)
+        assert report.consistent, report.summary()
+        migrated = [o for o in report.outcomes if o.seed is not None]
+        assert migrated[0].migrations > 3
+
+
+def placement_leaker(cluster):
+    """Anti-program: returns *where* the object lives — the one thing
+    migration legitimately changes."""
+    p = cluster.on(0).new(oopp.Block, 4, "float64", 0)
+    for _ in range(4):
+        len(p)
+    return oopp.ref_of(p).machine
+
+
+class TestGateCanFail:
+    def test_placement_leak_diverges(self):
+        report = migrate_conformance(
+            placement_leaker, backends=("inline",), seeds=(0, 1, 2, 3),
+            migrations=3)
+        assert not report.consistent, report.summary()

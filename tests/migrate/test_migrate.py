@@ -1,0 +1,175 @@
+"""Live migration: quiesce-drain, forwarding hops, group fan-out.
+
+The contract under test (docs/MIGRATION.md): ``cluster.migrate`` moves
+an object between machines while calls are in flight, and no caller
+can tell — in-flight calls drain before the snapshot, calls landing in
+the freeze window park and re-resolve, stale proxies pay one
+forwarding hop and rebind.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+import repro as oopp
+from repro.errors import (
+    ConfigError,
+    NoSuchObjectError,
+    ObjectDestroyedError,
+)
+
+
+class Counter:
+    def __init__(self, n=0):
+        self.n = n
+
+    def add(self, d=1):
+        self.n += d
+        return self.n
+
+    def get(self):
+        return self.n
+
+
+class SlowCounter(Counter):
+    def add(self, d=1):
+        time.sleep(0.05)
+        self.n += d
+        return self.n
+
+
+class TestTransparency:
+    def test_migrate_preserves_state_and_rebinds(self, any_cluster):
+        p = any_cluster.on(0).new(Counter, 10)
+        p.add(5)
+        q = any_cluster.migrate(p, 2)
+        assert q is p  # the passed proxy is rebound in place
+        assert oopp.ref_of(p).machine == 2
+        assert p.get() == 15
+        p.add(1)
+        assert p.get() == 16
+
+    def test_stale_proxy_pays_one_hop_then_rebinds(self, any_cluster):
+        p = any_cluster.on(0).new(Counter)
+        stale = oopp.Proxy(oopp.ref_of(p), any_cluster.fabric)
+        any_cluster.migrate(p, 1)
+        assert oopp.ref_of(stale).machine == 0  # not rebound yet
+        assert stale.add(7) == 7                # hop re-resolves the call
+        assert oopp.ref_of(stale).machine == 1  # and rebinds the proxy
+        assert p.get() == 7
+
+    def test_stale_future_re_resolves(self, any_cluster):
+        p = any_cluster.on(0).new(Counter)
+        stale = oopp.Proxy(oopp.ref_of(p), any_cluster.fabric)
+        any_cluster.migrate(p, 2)
+        f = stale.add.future(3)
+        assert f.result() == 3
+        assert oopp.ref_of(stale).machine == 2
+
+    def test_migrate_to_same_machine_is_noop(self, any_cluster):
+        p = any_cluster.on(1).new(Counter, 4)
+        assert any_cluster.migrate(p, 1) is p
+        assert oopp.ref_of(p).machine == 1
+        assert p.get() == 4
+
+    def test_chained_migrations_bounded_hops(self, any_cluster):
+        p = any_cluster.on(0).new(Counter)
+        stale = oopp.Proxy(oopp.ref_of(p), any_cluster.fabric)
+        # two moves: the stale proxy must chase a two-entry forward chain
+        any_cluster.migrate(p, 1)
+        any_cluster.migrate(p, 2)
+        assert stale.add(1) == 1
+        assert oopp.ref_of(stale).machine == 2
+
+    def test_destroy_follows_forward(self, any_cluster):
+        p = any_cluster.on(0).new(Counter)
+        stale = oopp.Proxy(oopp.ref_of(p), any_cluster.fabric)
+        any_cluster.migrate(p, 1)
+        oopp.destroy(stale)  # addressed to the old home; must hop
+        with pytest.raises(ObjectDestroyedError):
+            p.get()
+
+    def test_migrate_by_bare_ref(self, any_cluster):
+        p = any_cluster.on(0).new(Counter, 1)
+        ref = oopp.ref_of(p)
+        bare = oopp.ObjectRef(machine=ref.machine, oid=ref.oid, spec=None)
+        q = any_cluster.migrate(bare, 2)
+        assert oopp.ref_of(q).machine == 2
+        assert q.get() == 1
+
+
+class TestQuiesce:
+    def test_inflight_writers_land_exactly_once(self, mp_cluster):
+        """Racing writers across two migrations: every add lands once."""
+        p = mp_cluster.on(0).new(SlowCounter)
+        errors = []
+
+        def writer():
+            prox = oopp.Proxy(oopp.ref_of(p), mp_cluster.fabric)
+            try:
+                for _ in range(8):
+                    prox.add()
+            except Exception as exc:  # noqa: BLE001 - asserted below
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.1)  # land some calls mid-flight
+        mp_cluster.migrate(p, 1)
+        mp_cluster.migrate(p, 2)
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert p.get() == 32
+
+    def test_migrate_during_group_fanout(self, mp_cluster):
+        """A pipelined group fan-out survives a member migrating away."""
+        group = mp_cluster.new_group(SlowCounter, 6)
+        futures = group.futures("add", 5)
+        # move the machine-0 members while their adds are in flight
+        for member in list(group):
+            if oopp.ref_of(member).machine == 0:
+                mp_cluster.migrate(member, 1)
+        assert [f.result() for f in futures] == [5] * 6
+        assert group.invoke("get") == [5] * 6
+
+
+class TestErrors:
+    def test_kernel_cannot_migrate(self, any_cluster):
+        with pytest.raises(ConfigError):
+            any_cluster.migrate(any_cluster.fabric.kernel_ref(0), 1)
+
+    def test_unknown_oid(self, any_cluster):
+        with pytest.raises(NoSuchObjectError):
+            any_cluster.migrate(
+                oopp.ObjectRef(machine=0, oid=999999, spec=None), 1)
+
+    def test_destroyed_object_cannot_migrate(self, any_cluster):
+        p = any_cluster.on(0).new(Counter)
+        ref = oopp.ref_of(p)
+        oopp.destroy(p)
+        with pytest.raises(ObjectDestroyedError):
+            any_cluster.migrate(ref, 1)
+
+    def test_migrate_counters_surface(self, any_cluster):
+        p = any_cluster.on(0).new(Counter)
+        stale = oopp.Proxy(oopp.ref_of(p), any_cluster.fabric)
+        any_cluster.migrate(p, 1)
+        stale.get()
+        metrics = any_cluster.metrics()
+        driver = metrics.get("driver", {})
+        assert driver.get("migrate", {}).get("moves", 0) >= 1
+
+
+class TestPersistence:
+    def test_persisted_object_follows_migration(self, any_cluster):
+        p = any_cluster.on(0).new(Counter, 9)
+        addr = any_cluster.persist(p, "roaming")
+        any_cluster.migrate(p, 2)
+        again = any_cluster.lookup(addr)
+        assert oopp.ref_of(again).machine == 2
+        assert again.get() == 9

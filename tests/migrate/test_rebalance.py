@@ -1,0 +1,129 @@
+"""The Rebalancer: per-object gauges in, hot-spot moves out."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+import repro as oopp
+from repro.runtime.rebalance import Move, Rebalancer
+
+
+class Worker:
+    def __init__(self):
+        self.calls = 0
+
+    def work(self):
+        self.calls += 1
+        return self.calls
+
+
+def _hammer(proxy, n):
+    for _ in range(n):
+        proxy.work()
+
+
+class TestGauges:
+    def test_per_object_gauges_reach_stats(self, any_cluster):
+        p = any_cluster.on(0).new(Worker)
+        oid = oopp.ref_of(p).oid
+        _hammer(p, 5)
+        serve = any_cluster.on(0).stats().get("serve") or {}
+        gauges = (serve.get("per_object") or {}).get(oid)
+        assert gauges is not None
+        assert gauges["admitted"] >= 5
+        assert gauges["shed"] == 0
+
+    def test_observe_returns_deltas(self, inline_cluster):
+        p = inline_cluster.on(0).new(Worker)
+        rb = inline_cluster.rebalancer()
+        _hammer(p, 4)
+        first = rb.observe()
+        assert sum(first[0].values()) >= 4
+        # no traffic since: the next window must be empty for machine 0
+        assert sum(rb.observe()[0].values()) == 0
+
+
+class TestProposals:
+    def test_hot_machine_sheds_an_object(self, inline_cluster):
+        hot_a = inline_cluster.on(0).new(Worker)
+        hot_b = inline_cluster.on(0).new(Worker)
+        inline_cluster.on(1).new(Worker)  # idle elsewhere
+        rb = inline_cluster.rebalancer(min_calls=8, threshold=1.5)
+        _hammer(hot_a, 20)
+        _hammer(hot_b, 10)
+        moves = rb.propose()
+        assert len(moves) == 1
+        mv = moves[0]
+        assert mv.src == 0 and mv.dest != 0
+        assert mv.oid in {oopp.ref_of(hot_a).oid, oopp.ref_of(hot_b).oid}
+
+    def test_balanced_load_proposes_nothing(self, inline_cluster):
+        workers = [inline_cluster.on(m).new(Worker)
+                   for m in range(inline_cluster.n_machines)]
+        rb = inline_cluster.rebalancer(min_calls=8)
+        for w in workers:
+            _hammer(w, 10)
+        assert rb.propose() == []
+
+    def test_tiny_samples_ignored(self, inline_cluster):
+        p = inline_cluster.on(0).new(Worker)
+        rb = inline_cluster.rebalancer(min_calls=50)
+        _hammer(p, 10)  # hot in ratio, but under the sample floor
+        assert rb.propose() == []
+
+    def test_apply_moves_the_object(self, inline_cluster):
+        hot = inline_cluster.on(0).new(Worker)
+        rb = inline_cluster.rebalancer(min_calls=4)
+        _hammer(hot, 12)
+        applied = rb.apply()
+        assert len(applied) == 1
+        table = inline_cluster.fabric.table_of(applied[0].dest)
+        assert applied[0].oid in table.oids()
+        # the stale driver proxy still works, via the forwarding hop
+        assert hot.work() == 13
+
+    def test_apply_tolerates_vanished_object(self, inline_cluster):
+        applied = inline_cluster.rebalancer().apply(
+            [Move(oid=424242, src=0, dest=1, load=99)])
+        assert applied == []
+
+
+class TestBackgroundLoop:
+    def test_start_stop(self, mp_cluster):
+        def moves() -> int:
+            driver = mp_cluster.metrics().get("driver") or {}
+            return int((driver.get("migrate") or {}).get("moves", 0))
+
+        hot = mp_cluster.on(0).new(Worker)
+        rb = mp_cluster.rebalancer(min_calls=4)
+        rb.start(interval_s=0.1)
+        try:
+            _hammer(hot, 20)
+            deadline = time.time() + 5.0
+            while time.time() < deadline and moves() < 1:
+                hot.work()  # keep the object hot until the loop fires
+                time.sleep(0.02)
+            assert moves() >= 1
+            assert hot.work() > 20  # still serving, wherever it lives
+        finally:
+            rb.stop()
+        assert rb._thread is None
+
+    def test_double_start_rejected(self, inline_cluster):
+        rb = inline_cluster.rebalancer()
+        rb.start(interval_s=10.0)
+        try:
+            with pytest.raises(oopp.errors.RuntimeLayerError):
+                rb.start(interval_s=10.0)
+        finally:
+            rb.stop()
+
+    def test_bad_knobs_rejected(self, inline_cluster):
+        with pytest.raises(ValueError):
+            inline_cluster.rebalancer(threshold=0.5)
+        with pytest.raises(ValueError):
+            inline_cluster.rebalancer(min_calls=0)
+        with pytest.raises(ValueError):
+            Rebalancer(inline_cluster, max_moves=0)

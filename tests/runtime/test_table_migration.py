@@ -1,0 +1,229 @@
+"""ObjectTable migration gate: freeze, forward, abort — vs destroy.
+
+Tier-1 regression coverage for the table-level half of live migration
+(the protocol above it lives in ``tests/migrate/``): the freeze drains
+in-flight calls, parked lookups re-resolve when the move commits or
+aborts, the bounded forwarding buffer sheds instead of queueing without
+limit, and — the race this file exists for — a destroy landing inside
+the freeze window parks and re-resolves rather than slipping between
+the drain and the detach to execute against a corpse.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    NoSuchObjectError,
+    ObjectDestroyedError,
+    ObjectMovedError,
+    RuntimeLayerError,
+    ServerOverloadedError,
+)
+from repro.runtime.oid import ObjectRef
+from repro.runtime.server import ObjectTable
+
+
+class Cell:
+    def __init__(self):
+        self.n = 0
+
+
+def _ref(machine=1, oid=77):
+    return ObjectRef(machine=machine, oid=oid, spec=None)
+
+
+def _start(fn):
+    t = threading.Thread(target=fn, daemon=True)
+    t.start()
+    return t
+
+
+class TestFreezeLifecycle:
+    def test_begin_detaches_and_finish_forwards(self):
+        table = ObjectTable()
+        table.machine_id = 0
+        cell = Cell()
+        oid = table.add(cell)
+        assert table.begin_migrate(oid) is cell
+        table.finish_migrate(oid, _ref())
+        with pytest.raises(ObjectMovedError) as excinfo:
+            table.get(oid)
+        assert excinfo.value.new_machine == 1
+        assert excinfo.value.new_oid == 77
+        assert table.forward_of(oid) == _ref()
+        assert oid not in table.oids()
+
+    def test_abort_reinstalls_in_place(self):
+        table = ObjectTable()
+        cell = Cell()
+        oid = table.add(cell)
+        instance = table.begin_migrate(oid)
+        table.abort_migrate(oid, instance)
+        assert table.get(oid) is cell
+        assert table.forward_of(oid) is None
+        # the reinstalled object is fully serviceable:
+        assert table.checkout(oid) is cell
+        table.checkin(oid)
+
+    def test_begin_refuses_unknown_and_double_migrate(self):
+        table = ObjectTable()
+        oid = table.add(Cell())
+        with pytest.raises(NoSuchObjectError):
+            table.begin_migrate(oid + 1)
+        table.begin_migrate(oid)
+        with pytest.raises(RuntimeLayerError):
+            table.begin_migrate(oid)
+
+    def test_finish_and_abort_require_a_migration(self):
+        table = ObjectTable()
+        oid = table.add(Cell())
+        with pytest.raises(RuntimeLayerError):
+            table.finish_migrate(oid, _ref())
+        with pytest.raises(RuntimeLayerError):
+            table.abort_migrate(oid, Cell())
+
+    def test_begin_drains_inflight_calls_first(self):
+        table = ObjectTable()
+        oid = table.add(Cell())
+        table.checkout(oid)  # an in-flight call
+        frozen = threading.Event()
+
+        def migrate():
+            table.begin_migrate(oid)
+            frozen.set()
+
+        thread = _start(migrate)
+        time.sleep(0.1)
+        assert not frozen.is_set()  # the drain must wait for us
+        table.checkin(oid)
+        thread.join(timeout=5.0)
+        assert frozen.is_set()
+
+
+class TestParkedLookups:
+    def test_checkout_parks_until_commit_then_forwards(self):
+        table = ObjectTable()
+        oid = table.add(Cell())
+        table.begin_migrate(oid)
+        outcome = {}
+
+        def caller():
+            try:
+                table.checkout(oid)
+            except ObjectMovedError as exc:
+                outcome["moved_to"] = exc.new_machine
+
+        thread = _start(caller)
+        time.sleep(0.1)
+        assert not outcome  # parked, not failed
+        table.finish_migrate(oid, _ref(machine=2))
+        thread.join(timeout=5.0)
+        assert outcome == {"moved_to": 2}
+
+    def test_checkout_parks_until_abort_then_executes(self):
+        table = ObjectTable()
+        cell = Cell()
+        oid = table.add(cell)
+        instance = table.begin_migrate(oid)
+        outcome = {}
+
+        def caller():
+            outcome["instance"] = table.checkout(oid)
+            table.checkin(oid)
+
+        thread = _start(caller)
+        time.sleep(0.1)
+        table.abort_migrate(oid, instance)
+        thread.join(timeout=5.0)
+        assert outcome["instance"] is cell
+
+    def test_forward_buffer_sheds_beyond_bound(self):
+        table = ObjectTable(forward_buffer=2)
+        oid = table.add(Cell())
+        table.begin_migrate(oid)
+        parked = []
+        threads = [_start(lambda: parked.append(
+            pytest.raises(ObjectMovedError, table.checkout, oid)))
+            for _ in range(2)]
+        deadline = time.time() + 5.0
+        while time.time() < deadline \
+                and table._forward_waiters.get(oid, 0) < 2:
+            time.sleep(0.01)
+        # buffer full: the next arrival is shed, retryably, right away
+        with pytest.raises(ServerOverloadedError) as excinfo:
+            table.checkout(oid)
+        assert excinfo.value.depth == 2
+        table.finish_migrate(oid, _ref())
+        for t in threads:
+            t.join(timeout=5.0)
+        assert len(parked) == 2
+
+
+class TestDestroyVsMigrate:
+    """The regression this file gates: destroy inside the freeze window."""
+
+    def test_destroy_during_freeze_parks_then_follows_forward(self):
+        table = ObjectTable()
+        table.machine_id = 0
+        oid = table.add(Cell())
+        table.begin_migrate(oid)
+        outcome = {}
+
+        def destroyer():
+            try:
+                table.remove(oid)
+                outcome["removed"] = True
+            except ObjectMovedError as exc:
+                outcome["moved_to"] = exc.new_machine
+
+        thread = _start(destroyer)
+        time.sleep(0.1)
+        assert not outcome  # parked in the freeze, not racing the detach
+        table.finish_migrate(oid, _ref(machine=2))
+        thread.join(timeout=5.0)
+        # the destroy re-resolves to the new home instead of killing a
+        # corpse (the fabric re-issues it there via the forward):
+        assert outcome == {"moved_to": 2}
+        assert table.forward_of(oid) is not None
+
+    def test_destroy_during_freeze_proceeds_after_abort(self):
+        table = ObjectTable()
+        cell = Cell()
+        oid = table.add(cell)
+        instance = table.begin_migrate(oid)
+        outcome = {}
+
+        def destroyer():
+            outcome["instance"] = table.remove(oid)
+
+        thread = _start(destroyer)
+        time.sleep(0.1)
+        table.abort_migrate(oid, instance)
+        thread.join(timeout=5.0)
+        assert outcome["instance"] is cell
+        with pytest.raises(ObjectDestroyedError):
+            table.get(oid)
+
+    def test_migrate_refused_while_destroy_drains(self):
+        table = ObjectTable()
+        oid = table.add(Cell())
+        table.checkout(oid)  # keeps the destroy draining
+        started = threading.Event()
+
+        def destroyer():
+            started.set()
+            table.remove(oid)
+
+        thread = _start(destroyer)
+        started.wait(5.0)
+        time.sleep(0.1)  # destroyer is now parked in the drain
+        with pytest.raises(RuntimeLayerError):
+            table.begin_migrate(oid)
+        table.checkin(oid)
+        thread.join(timeout=5.0)
+        with pytest.raises(ObjectDestroyedError):
+            table.get(oid)
