@@ -10,7 +10,12 @@ call sites inside ``with oopp.autoparallel():``.
 This example runs the *same loop body* three ways on the simulated
 cluster and prints the simulated cost of each:
 
-1. plain sequential calls (the untransformed program);
+1. plain sequential calls (the untransformed program) — the two
+   baseline loops below are deliberately sequential and suppressed
+   with ``# oopp: ignore[OOPP201]``; they are also the corpus the
+   automatic rewriter is verified against (``oopp-lint --fix
+   --no-suppress`` turns them into form 2 with identical results —
+   see docs/AUTOPAR.md and tests/check/test_transform_conform.py);
 2. the same loop inside ``autoparallel()`` (the compiler's output);
 3. a loop with a genuine data dependency, where reading ``.value``
    degrades exactly one call to sequential — the "subtle bugs" the
@@ -26,6 +31,34 @@ N = 16
 NOMINAL = 16 << 20  # pretend pages of 16 MiB
 
 
+def sequential_reads(device: "ObjectGroup", page_address, n):
+    """The paper's §4 read loop, one blocking round-trip per page."""
+    buffer = [device[i].read_page(page_address[i]) for i in range(n)]  # oopp: ignore[OOPP201] — the sequential baseline this example measures
+    return [p.nbytes for p in buffer]
+
+
+def sequential_sums(device: "ObjectGroup", n):
+    """A second sequential baseline: at-the-data reductions, collected
+    one reply at a time."""
+    sums = []
+    for i in range(n):  # oopp: ignore[OOPP201] — sequential baseline, rewritten by oopp-lint --fix
+        sums.append(device[i].sum(0))
+    return sums
+
+
+def demo_program(cluster, prefix="autopar-demo", n=3):
+    """Both baselines as one conformance program (``fn(cluster)``):
+    the rewritten example must produce identical outcomes on every
+    backend (tests/check/test_transform_conform.py)."""
+    storage = oopp.create_block_storage(
+        cluster, n, NumberOfPages=2, n1=8, n2=8, n3=8,
+        nominal_page_size=NOMINAL, filename_prefix=prefix)
+    device = storage.devices
+    page_address = [i % 2 for i in range(n)]
+    return (sequential_reads(device, page_address, n),
+            sequential_sums(device, n))
+
+
 def main() -> None:
     with oopp.Cluster(n_machines=N, backend="sim") as cluster:
         engine = cluster.fabric.engine
@@ -35,19 +68,23 @@ def main() -> None:
         device = storage.devices
         page_address = [i % 4 for i in range(N)]
 
-        # --- 1: the paper's sequential loop --------------------------------
+        # --- 1: the paper's sequential loops --------------------------------
         t0 = engine.now
-        buffer = [device[i].read_page(page_address[i]) for i in range(N)]  # oopp: ignore[OOPP201] — the sequential baseline this example measures
+        sizes = sequential_reads(device, page_address, N)
+        sequential_sums(device, N)
         t_seq = engine.now - t0
-        print(f"sequential loop          : {format_seconds(t_seq)} simulated")
+        assert all(nbytes == 4096 for nbytes in sizes)
+        print(f"sequential loops         : {format_seconds(t_seq)} simulated")
 
         # --- 2: the same statements, automatically parallelized -------------
         t0 = engine.now
         with oopp.autoparallel():
             buffer = [device[i].read_page(page_address[i]) for i in range(N)]
+            sums = [device[i].sum(0) for i in range(N)]
         t_par = engine.now - t0
         pages = [b.value for b in buffer]
         assert all(p.nbytes == 4096 for p in pages)
+        assert len(sums) == N
         print(f"with oopp.autoparallel() : {format_seconds(t_par)} simulated "
               f"({t_seq / t_par:.1f}x)")
 

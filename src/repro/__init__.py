@@ -106,6 +106,7 @@ from .runtime import (
     parse_address,
     format_address,
     autoparallel,
+    force,
     Deferred,
     CallBatch,
     DeferredError,
@@ -194,6 +195,7 @@ __all__ = [
     "parse_address",
     "format_address",
     "autoparallel",
+    "force",
     "Deferred",
     "CallBatch",
     "DeferredError",

@@ -72,6 +72,7 @@ def _load_all() -> None:
         a04_cache_effect,
         a05_wire_fastpath,
         a06_publication,
+        a07_autopar_transform,
     )
 
 

@@ -37,7 +37,7 @@ import os
 from typing import Iterable, Optional
 
 from .classlint import lint_class
-from .findings import LintFinding
+from .findings import Edit, Fix, LintFinding
 from .registry import RULES, Rule, all_rules, matches, register_meta, \
     rules_for
 from .suppress import filter_suppressed, suppressions
@@ -48,9 +48,11 @@ register_meta("OOPP900", "unparsable-source",
               "— (analyzer self-diagnostic)", scope="file")
 
 __all__ = [
-    "LintFinding", "Rule", "RULES", "all_rules",
+    "LintFinding", "Edit", "Fix", "Rule", "RULES", "all_rules",
     "lint_class", "lint_source", "lint_paths", "iter_python_files",
 ]
+# the rewriter lives in repro.lint.transform (imported lazily by the
+# CLI — it consumes lint_source, so a top-level import would be cyclic)
 
 
 def _selected(code: str, select: Optional[Iterable[str]],

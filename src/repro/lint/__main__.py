@@ -32,7 +32,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*",
                         help="files and/or directories to lint")
     parser.add_argument("--json", action="store_true", dest="as_json",
-                        help="emit findings as a JSON array")
+                        help="emit findings as a JSON array (OOPP201/202 "
+                             "findings carry verified `fix` edits or a "
+                             "typed `fix_refusal`)")
+    parser.add_argument("--fix", action="store_true",
+                        help="apply verified OOPP201/202 rewrites in "
+                             "place before reporting (paper §4; see "
+                             "docs/AUTOPAR.md)")
     parser.add_argument("--select", action="append", default=None,
                         metavar="PREFIX",
                         help="only run codes matching PREFIX "
@@ -67,10 +73,23 @@ def main(argv: Optional[list] = None) -> int:
         print("error: no paths given (or use --list-rules)",
               file=sys.stderr)
         return 2
+    if args.fix:
+        from .transform import fix_paths
+
+        plans = fix_paths(args.paths,
+                          honor_suppressions=not args.no_suppress)
+        for plan in plans:
+            if plan.changed:
+                print(f"{plan.path}: applied {len(plan.fixes)} fix(es)",
+                      file=sys.stderr)
     findings = lint_paths(
         args.paths, select=args.select, ignore=args.ignore,
         honor_suppressions=not args.no_suppress)
     if args.as_json:
+        from .transform import attach_fixes
+
+        findings = attach_fixes(
+            findings, honor_suppressions=not args.no_suppress)
         print(json.dumps([f.to_dict() for f in findings], indent=2))
     else:
         for f in findings:

@@ -1,0 +1,624 @@
+"""Per-loop dependence analysis for the automatic §4 rewrite.
+
+The paper's compiler splits a loop of blocking remote calls into a send
+phase and a receive phase so round-trips overlap.  That reordering is
+only *observation-equivalent* when nothing in the loop couples one
+iteration's receive to a later iteration's send.  This module is the
+proof obligation: given a loop the pipelining rules flagged (OOPP201 /
+OOPP202, see :mod:`repro.lint.rules.pipeline`), it either produces a
+structured rewrite plan (:class:`WrapPlan` / :class:`SplitPlan`) or a
+:class:`Refusal` carrying a *typed* machine-readable reason — the
+rewriter (:mod:`repro.lint.transform`) never applies an unproven fix.
+
+The refusal catalog (see ``docs/AUTOPAR.md`` for prose and examples):
+
+==========================  =============================================
+``control-flow``            body contains try/return/yield/await/with/
+                            nested defs — reordering changes visibility
+``break-continue``          a split would reorder sends around the jump
+``while-loop``              the send/receive split handles ``for`` only
+``complex-target``          loop target is not names/tuples of names
+``remote-iterable``         a blocking remote call feeds the iterable or
+                            a comprehension condition
+``opaque-store``            a call result lands where no receive phase
+                            can force it (subscript/attribute/return)
+``overwritten-binding``     ``x = call`` rebinds every iteration with no
+                            collector to force afterwards
+``unknown-collector``       the ``.append`` target is not provably a
+                            list bound before the loop
+``receiver-escapes``        a remote receiver is read outside its call
+                            position while a send may be in flight
+``ambiguous-creation``      the future is not bound exactly once, as a
+                            direct unconditional statement of the body
+``cross-iteration-force``   the force precedes the creation in the body
+                            (it reads the *previous* iteration's value)
+``loop-carried-value``      the receive phase writes a name the send
+                            phase reads — a loop-carried dependence
+``order-sensitive-effect``  send and receive phases mutate the same
+                            target, so the s1 r1 s2 r2 → s1 s2 r1 r2
+                            interleaving is observable
+``remote-call-in-receive-phase``  moving the statement would reorder
+                            remote sends
+``captured-mutation``       a per-iteration capture would snapshot a
+                            value the loop later mutates
+``multiline-string``        re-indenting the body would corrupt a
+                            multi-line string literal (applier-level)
+``overlapping-fix``         another planned rewrite already covers
+                            these lines (applier-level)
+``post-verify-failed``      the rewritten source failed re-parse/re-lint
+                            (applier-level; never expected)
+==========================  =============================================
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..check.detector import PURE_CONTAINER_METHODS
+from .infer import Inference, Kind, parent_of, statement_of
+
+#: forcing/introspection attributes on futures & deferreds — pure on
+#: the driver side (the wait is the point of the receive phase)
+FORCE_ATTRS = frozenset({"value", "result", "done", "exception"})
+
+#: builtins whose calls neither mutate their arguments nor carry
+#: externally visible effects
+PURE_BUILTINS = frozenset({
+    "len", "str", "int", "float", "bool", "bytes", "repr", "format",
+    "sorted", "list", "tuple", "dict", "set", "frozenset", "min", "max",
+    "sum", "abs", "round", "divmod", "enumerate", "range", "zip", "map",
+    "filter", "reversed", "isinstance", "issubclass", "hash", "id",
+    "type", "any", "all", "iter", "next",
+})
+
+#: pseudo effect targets
+STDOUT = "<stdout>"
+EXTERN = "<extern>"
+
+
+@dataclass(frozen=True)
+class Refusal:
+    """Why a flagged loop was *not* rewritten."""
+
+    reason: str     #: typed slug from the catalog above
+    detail: str     #: human-readable specifics
+    line: int = 0   #: anchor line of the offending construct
+
+    def format(self) -> str:
+        return f"{self.reason}: {self.detail}"
+
+
+@dataclass
+class WrapPlan:
+    """OOPP201: wrap the loop in ``with autoparallel():`` + receive."""
+
+    loop: ast.AST                 #: the For / ListComp / SetComp node
+    stmt: ast.stmt                #: enclosing statement (loop or Assign)
+    #: receive-phase instructions: ("comprehension"|"set"|"append", name)
+    collectors: list = field(default_factory=list)
+    #: loop-invariant receiver expressions worth hoisting (For only)
+    hoists: list = field(default_factory=list)
+
+
+@dataclass
+class SplitPlan:
+    """OOPP202: split the loop into send + receive loops."""
+
+    loop: ast.For
+    prefix: list                  #: send-phase body statements
+    suffix: list                  #: receive-phase body statements
+    target_text: str              #: loop target, unparsed
+    captures: list                #: prefix-written names the suffix reads
+
+
+# ---------------------------------------------------------------------------
+# read/write/effect extraction
+# ---------------------------------------------------------------------------
+
+
+def _walk_stmts(stmts) -> list:
+    out = []
+    for s in stmts:
+        out.extend(ast.walk(s))
+    return out
+
+
+def names_read(stmts) -> set:
+    return {n.id for n in _walk_stmts(stmts)
+            if isinstance(n, ast.Name) and isinstance(n.ctx, ast.Load)}
+
+
+def names_written(stmts) -> set:
+    out = set()
+    for node in _walk_stmts(stmts):
+        if isinstance(node, ast.Name) and \
+                isinstance(node.ctx, (ast.Store, ast.Del)):
+            out.add(node.id)
+    return out
+
+
+def _base_name(expr: ast.expr) -> Optional[str]:
+    """The root Name of an attribute/subscript chain, if any."""
+    while isinstance(expr, (ast.Attribute, ast.Subscript)):
+        expr = expr.value
+    return expr.id if isinstance(expr, ast.Name) else None
+
+
+def effect_targets(stmts) -> set:
+    """Names (plus pseudo-targets) whose observable state the
+    statements may change: rebinding does not count, mutation does."""
+    out: set = set()
+    for node in _walk_stmts(stmts):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) \
+                else [node.target]
+            for t in targets:
+                if isinstance(t, (ast.Subscript, ast.Attribute)):
+                    base = _base_name(t)
+                    if base:
+                        out.add(base)
+        elif isinstance(node, ast.Call):
+            f = node.func
+            if isinstance(f, ast.Attribute):
+                if f.attr in PURE_CONTAINER_METHODS or f.attr in FORCE_ATTRS:
+                    continue
+                base = _base_name(f.value)
+                if base:
+                    out.add(base)
+                else:
+                    out.add(EXTERN)
+            elif isinstance(f, ast.Name):
+                if f.id == "print":
+                    out.add(STDOUT)
+                elif f.id not in PURE_BUILTINS:
+                    out.add(EXTERN)
+            else:
+                out.add(EXTERN)
+    return out
+
+
+def target_names(target: ast.expr) -> Optional[list]:
+    """Flat name list of a for-loop target, or ``None`` if unsupported."""
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, ast.Tuple):
+        out = []
+        for elt in target.elts:
+            inner = target_names(elt)
+            if inner is None:
+                return None
+            out.extend(inner)
+        return out
+    return None
+
+
+# ---------------------------------------------------------------------------
+# shared structural checks
+# ---------------------------------------------------------------------------
+
+_FORBIDDEN_BODY = (
+    (ast.Try, "try/except changes where a remote error surfaces"),
+    (ast.Return, "return may leave unforced results to the caller"),
+    (ast.Yield, "generator suspension interleaves with the pipeline"),
+    (ast.YieldFrom, "generator suspension interleaves with the pipeline"),
+    (ast.Await, "await suspension interleaves with the pipeline"),
+    (ast.With, "a context manager may order effects across iterations"),
+    (ast.FunctionDef, "a nested def captures loop state by reference"),
+    (ast.AsyncFunctionDef, "a nested def captures loop state by reference"),
+    (ast.ClassDef, "a nested class body executes arbitrary statements"),
+    (ast.Global, "global rebinding is not tracked"),
+    (ast.Nonlocal, "nonlocal rebinding is not tracked"),
+)
+
+
+def _control_flow_refusal(stmts) -> Optional[Refusal]:
+    for node in _walk_stmts(stmts):
+        for bad, why in _FORBIDDEN_BODY:
+            if isinstance(node, bad):
+                return Refusal("control-flow", why,
+                               getattr(node, "lineno", 0))
+    return None
+
+
+def _blocking_site_in(infer: Inference, expr: ast.expr) -> Optional[ast.Call]:
+    for node in ast.walk(expr):
+        if isinstance(node, ast.Call):
+            site = infer.remote_call(node)
+            if site is not None and site.mode == "block":
+                return node
+    return None
+
+
+def _is_list_expr(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.List, ast.ListComp)):
+        return True
+    if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Mult):
+        return _is_list_expr(expr.left) or _is_list_expr(expr.right)
+    return (isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id == "list")
+
+
+def _list_bound_before(scope, name: str, before_line: int) -> bool:
+    """True when *name* is provably a plain list at loop entry: bound to
+    a list display / ``[x] * n`` / ``list(...)`` before the loop and
+    never rebound to anything else in the scope."""
+    from .infer import walk_scope_statements
+
+    bound = False
+    for stmt in walk_scope_statements(scope.body):
+        if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == name):
+            continue
+        if not _is_list_expr(stmt.value):
+            return False
+        if stmt.lineno < before_line:
+            bound = True
+    return bound
+
+
+# ---------------------------------------------------------------------------
+# OOPP201 — wrap analysis
+# ---------------------------------------------------------------------------
+
+
+def analyze_wrap(scope, infer: Inference, loop, sites):
+    """Prove the autoparallel wrap safe, or refuse.
+
+    Returns ``(WrapPlan, None)`` or ``(None, Refusal)``.
+    """
+    is_comp = isinstance(loop, (ast.ListComp, ast.SetComp))
+    # a For is itself the statement; statement_of scans *ancestors*
+    stmt = statement_of(loop) if is_comp else loop
+
+    # --- where does the collected value land? --------------------------
+    collectors: list = []
+    #: Name nodes (by id()) that are *part of* a collector position —
+    #: any other Load of a collector/store base reads a pending
+    #: Deferred back inside the block and is refused below
+    collector_name_ids: set = set()
+    store_bases: set = set()
+    if is_comp:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and \
+                isinstance(stmt.targets[0], ast.Name):
+            kind = "set" if isinstance(loop, ast.SetComp) else "comprehension"
+            collectors.append((kind, stmt.targets[0].id))
+        elif isinstance(stmt, ast.Expr):
+            pass        # bare comprehension: results discarded
+        else:
+            return None, Refusal(
+                "opaque-store",
+                "comprehension result does not land in a plain name; no "
+                "receive phase can force the deferred values",
+                stmt.lineno)
+        body_stmts = [stmt]
+    else:
+        body_stmts = list(loop.body) + list(loop.orelse)
+        refusal = _control_flow_refusal(loop.body)
+        if refusal is not None:
+            return None, refusal
+        for site in sites:
+            parent = parent_of(site.node)
+            if isinstance(parent, ast.Expr):
+                continue                      # discarded: nothing to force
+            if isinstance(parent, ast.Assign):
+                if all(isinstance(t, ast.Name) for t in parent.targets):
+                    return None, Refusal(
+                        "overwritten-binding",
+                        f"`{ast.unparse(parent.targets[0])} = "
+                        f"{site.method}(...)` rebinds every iteration; "
+                        "collect into a list so a receive phase can force it",
+                        parent.lineno)
+                target = parent.targets[0]
+                if len(parent.targets) == 1 and \
+                        isinstance(target, ast.Subscript) and \
+                        isinstance(target.value, ast.Name):
+                    # the paper's shape: buffer[k[i]] = device[i].read(...)
+                    base = target.value.id
+                    if not _list_bound_before(scope, base, loop.lineno):
+                        return None, Refusal(
+                            "unknown-collector",
+                            f"{base!r} is not provably a list bound before "
+                            "the loop; cannot force its cells in place",
+                            parent.lineno)
+                    if ("inplace", base) not in collectors:
+                        collectors.append(("inplace", base))
+                    store_bases.add(base)
+                    for n in ast.walk(target):
+                        if isinstance(n, ast.Name):
+                            collector_name_ids.add(id(n))
+                    continue
+                return None, Refusal(
+                    "opaque-store",
+                    "call result stored through a subscript/attribute; the "
+                    "receive phase cannot re-visit the cells to force them",
+                    parent.lineno)
+            if isinstance(parent, ast.Call) and \
+                    isinstance(parent.func, ast.Attribute):
+                if parent.func.attr != "append" or \
+                        not isinstance(parent.func.value, ast.Name):
+                    return None, Refusal(
+                        "unknown-collector",
+                        f".{parent.func.attr}(...) collector is not a plain "
+                        "list append; cannot force in place afterwards",
+                        parent.lineno)
+                list_name = parent.func.value.id
+                if not _list_bound_before(scope, list_name, loop.lineno):
+                    return None, Refusal(
+                        "unknown-collector",
+                        f"{list_name!r} is not provably a list bound before "
+                        "the loop; cannot force its elements in place",
+                        parent.lineno)
+                if ("append", list_name) not in collectors:
+                    collectors.append(("append", list_name))
+                store_bases.add(list_name)
+                collector_name_ids.add(id(parent.func.value))
+            elif isinstance(parent, (ast.ListComp, ast.SetComp)):
+                # nested comprehension inside a for body — handled by
+                # the comprehension's own candidate loop; refuse here
+                return None, Refusal(
+                    "opaque-store",
+                    "call collected by a nested comprehension inside the "
+                    "loop body", site.node.lineno)
+
+    # --- collectors hold pending Deferreds; reading them back inside
+    # --- the block would observe placeholders where values once were
+    if store_bases:
+        for node in _walk_stmts(body_stmts):
+            if isinstance(node, ast.Name) and \
+                    isinstance(node.ctx, ast.Load) and \
+                    node.id in store_bases and \
+                    id(node) not in collector_name_ids:
+                return None, Refusal(
+                    "loop-carried-value",
+                    f"{node.id!r} collects pipelined results but is also "
+                    "read inside the loop; the body would observe pending "
+                    "Deferreds where the original saw values", node.lineno)
+
+    # --- iterable / conditions must stay blocking-free -----------------
+    if is_comp:
+        for gen in loop.generators:
+            for expr in [gen.iter] + list(gen.ifs):
+                bad = _blocking_site_in(infer, expr)
+                if bad is not None:
+                    where = ("comprehension condition"
+                             if expr in gen.ifs else "iterable")
+                    return None, Refusal(
+                        "remote-iterable",
+                        f"blocking remote call in the {where} would become "
+                        "a Deferred and change the iteration itself",
+                        bad.lineno)
+    else:
+        bad = _blocking_site_in(infer, loop.iter)
+        if bad is not None:
+            return None, Refusal(
+                "remote-iterable",
+                "blocking remote call in the iterable would become a "
+                "Deferred and change the iteration itself", bad.lineno)
+
+    # --- receivers must not escape their call position ------------------
+    roots: set = set()
+    receiver_names: set = set()      # id() of Name nodes in receiver exprs
+    for site in sites:
+        root = _base_name(site.receiver)
+        if root is not None and infer.scope.env.get(root) in (
+                Kind.REMOTE, Kind.REMOTE_SEQ, Kind.STORAGE, Kind.MACHINE):
+            roots.add(root)
+        for node in ast.walk(site.receiver):
+            if isinstance(node, ast.Name):
+                receiver_names.add(id(node))
+        # `.future` / `.oneway` receivers share the chain shape
+    if roots:
+        for node in _walk_stmts(body_stmts):
+            if isinstance(node, ast.Call):
+                site2 = infer.remote_call(node)
+                if site2 is not None:
+                    for sub in ast.walk(site2.receiver):
+                        if isinstance(sub, ast.Name):
+                            receiver_names.add(id(sub))
+        for node in _walk_stmts(body_stmts):
+            if isinstance(node, ast.Name) and \
+                    isinstance(node.ctx, ast.Load) and \
+                    node.id in roots and id(node) not in receiver_names:
+                return None, Refusal(
+                    "receiver-escapes",
+                    f"{node.id!r} receives a pipelined call but is also "
+                    "read elsewhere in the body; the observer could see "
+                    "state racing the in-flight sends", node.lineno)
+
+    # --- loop-invariant receiver hoisting (For only) --------------------
+    hoists: list = []
+    if not is_comp and _provably_iterates(loop.iter):
+        tnames = set(target_names(loop.target) or [])
+        assigned = names_written(loop.body)
+        seen_texts = set()
+        for site in sites:
+            recv = site.receiver
+            if isinstance(recv, ast.Name):
+                continue                      # nothing to hoist
+            if recv.lineno != recv.end_lineno:
+                continue                      # single-line splices only
+            if any(isinstance(n, ast.Call) for n in ast.walk(recv)):
+                continue                      # never change call counts
+            used = {n.id for n in ast.walk(recv) if isinstance(n, ast.Name)}
+            if used & (tnames | assigned):
+                continue                      # iteration-dependent
+            text = ast.unparse(recv)
+            if text not in seen_texts:
+                seen_texts.add(text)
+                hoists.append(recv)
+
+    return WrapPlan(loop=loop, stmt=stmt, collectors=collectors,
+                    hoists=hoists), None
+
+
+def _provably_iterates(iter_expr: ast.expr) -> bool:
+    """True when the loop provably runs at least once, so hoisting a
+    receiver cannot introduce an evaluation the original never did."""
+    if isinstance(iter_expr, (ast.List, ast.Tuple)) and iter_expr.elts:
+        return True
+    if isinstance(iter_expr, ast.Call) and \
+            isinstance(iter_expr.func, ast.Name) and \
+            iter_expr.func.id == "range" and len(iter_expr.args) == 1:
+        arg = iter_expr.args[0]
+        return isinstance(arg, ast.Constant) and \
+            isinstance(arg.value, int) and arg.value > 0
+    return False
+
+
+# ---------------------------------------------------------------------------
+# OOPP202 — split analysis
+# ---------------------------------------------------------------------------
+
+
+def _toplevel_stmt(loop: ast.For, node: ast.AST) -> Optional[ast.stmt]:
+    """The direct element of ``loop.body`` containing *node*."""
+    cur: Optional[ast.AST] = node
+    while cur is not None:
+        parent = parent_of(cur)
+        if parent is loop:
+            return cur if cur in loop.body else None
+        cur = parent
+    return None
+
+
+def analyze_split(scope, infer: Inference, loop, creations, forces):
+    """Prove the send/receive split safe, or refuse.
+
+    *creations*: ``{name: creation_stmt}``; *forces*: list of force
+    nodes (``name.value`` / ``name.result()``) inside the loop.
+    Returns ``(SplitPlan, None)`` or ``(None, Refusal)``.
+    """
+    if isinstance(loop, ast.While):
+        return None, Refusal(
+            "while-loop",
+            "the send/receive split handles `for` loops only (a while "
+            "condition may read receive-phase state)", loop.lineno)
+    if not isinstance(loop, ast.For):
+        return None, Refusal(
+            "control-flow", "force inside a comprehension cannot be "
+            "split into phases", getattr(loop, "lineno", 0))
+    if loop.orelse:
+        return None, Refusal(
+            "control-flow", "for-else coupling between loop and epilogue",
+            loop.lineno)
+
+    tnames = target_names(loop.target)
+    if tnames is None:
+        return None, Refusal(
+            "complex-target",
+            "loop target is not a name or tuple of names; per-iteration "
+            "capture cannot re-destructure it", loop.lineno)
+
+    refusal = _control_flow_refusal(loop.body)
+    if refusal is not None:
+        return None, refusal
+    for node in _walk_stmts(loop.body):
+        if isinstance(node, (ast.Break, ast.Continue)):
+            return None, Refusal(
+                "break-continue",
+                "the split would keep sending after the jump the original "
+                "loop took", node.lineno)
+
+    # creation statements must be direct, unconditional, and unique
+    for name, creation in creations.items():
+        if creation not in loop.body:
+            return None, Refusal(
+                "ambiguous-creation",
+                f"{name!r} is bound conditionally (not a direct statement "
+                "of the loop body)", creation.lineno)
+        stores = [n for n in _walk_stmts(loop.body)
+                  if isinstance(n, ast.Name) and n.id == name
+                  and isinstance(n.ctx, (ast.Store, ast.Del))]
+        if len(stores) != 1:
+            return None, Refusal(
+                "ambiguous-creation",
+                f"{name!r} is bound more than once per iteration",
+                creation.lineno)
+
+    # split point: the first top-level statement containing a force
+    force_stmts = []
+    for node in forces:
+        top = _toplevel_stmt(loop, node)
+        if top is None:
+            return None, Refusal(
+                "ambiguous-creation",
+                "force is not reachable from the loop body", node.lineno)
+        force_stmts.append(top)
+    split_idx = min(loop.body.index(s) for s in force_stmts)
+    for name, creation in creations.items():
+        if loop.body.index(creation) >= split_idx:
+            return None, Refusal(
+                "cross-iteration-force",
+                f"{name!r} is forced before it is re-bound — the loop "
+                "reads the previous iteration's value, a deliberate "
+                "hand pipeline the rewriter must not touch",
+                creation.lineno)
+
+    prefix = loop.body[:split_idx]
+    suffix = loop.body[split_idx:]
+
+    prefix_reads = names_read(prefix)
+    prefix_writes = names_written(prefix)
+    suffix_reads = names_read(suffix)
+    suffix_writes = names_written(suffix)
+
+    carried = (suffix_writes & prefix_reads) | (suffix_writes & set(tnames))
+    # names both phases rebind are per-iteration temporaries only if the
+    # prefix never reads them back; anything read by the send phase is a
+    # genuine loop-carried dependence
+    if carried:
+        name = sorted(carried)[0]
+        return None, Refusal(
+            "loop-carried-value",
+            f"the receive phase writes {name!r} which the send phase "
+            "reads — value flows from receive k into send k+1",
+            loop.lineno)
+
+    # remote sends must all stay in the send phase
+    for node in _walk_stmts(suffix):
+        if isinstance(node, ast.Call):
+            site = infer.remote_call(node)
+            if site is not None:
+                return None, Refusal(
+                    "remote-call-in-receive-phase",
+                    f"moving `{site.method}` into the receive phase would "
+                    "reorder remote sends", node.lineno)
+
+    # captures: per-iteration prefix state the receive phase consumes
+    captures = sorted((suffix_reads & prefix_writes) - set(tnames))
+    fresh = set()
+    for cap in captures:
+        for s in prefix:
+            if isinstance(s, ast.Assign) and any(
+                    isinstance(t, ast.Name) and t.id == cap
+                    for t in s.targets):
+                fresh.add(cap)
+                break
+
+    body_effects_prefix = effect_targets(prefix)
+    body_effects_suffix = effect_targets(suffix)
+    for cap in captures:
+        mutated = cap in body_effects_prefix or cap in body_effects_suffix
+        if mutated and cap not in fresh:
+            return None, Refusal(
+                "captured-mutation",
+                f"capturing {cap!r} would snapshot an object the loop "
+                "mutates in place", loop.lineno)
+
+    shared = (body_effects_prefix & body_effects_suffix) - fresh
+    if shared:
+        target = sorted(shared)[0]
+        label = {STDOUT: "stdout", EXTERN: "an opaque callee"}.get(
+            target, repr(target))
+        return None, Refusal(
+            "order-sensitive-effect",
+            f"both phases touch {label}; the sequential s1 r1 s2 r2 "
+            "interleaving is observable", loop.lineno)
+
+    return SplitPlan(loop=loop, prefix=prefix, suffix=suffix,
+                     target_text=ast.unparse(loop.target),
+                     captures=captures), None

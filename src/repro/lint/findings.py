@@ -5,11 +5,51 @@ renders it flake8-style (``path:line:col: CODE message``) or as JSON,
 and :func:`repro.lint.lint_class` returns the same type for runtime
 class checks (where the location is derived from ``inspect`` when the
 source is available).
+
+Findings for the rewritable pipelining rules (OOPP201/202) can carry a
+:class:`Fix` — the machine-applicable replacement the automatic
+rewriter (:mod:`repro.lint.transform`) verified safe — or, when the
+dependence checker could *not* prove send/receive reordering
+observation-equivalent, a typed ``fix_refusal`` reason (see
+``docs/AUTOPAR.md`` for the catalog).  Editors and CI consume both
+through ``--json``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class Edit:
+    """One contiguous line-range replacement (1-based, inclusive)."""
+
+    start_line: int
+    end_line: int
+    replacement: str      #: full replacement text (may be many lines)
+
+    def to_dict(self) -> dict:
+        return {"start_line": self.start_line, "end_line": self.end_line,
+                "replacement": self.replacement}
+
+
+@dataclass(frozen=True)
+class Fix:
+    """A verified machine-applicable rewrite for one finding.
+
+    ``edits`` are non-overlapping and ordered by ``start_line``; an
+    import insertion (``import repro as oopp``) rides along as a
+    zero-width edit (``end_line == start_line - 1``) when the module
+    does not already bind the runtime.
+    """
+
+    edits: tuple          #: tuple[Edit, ...]
+    description: str = ""  #: one-liner, e.g. "wrap loop in autoparallel"
+
+    def to_dict(self) -> dict:
+        return {"description": self.description,
+                "edits": [e.to_dict() for e in self.edits]}
 
 
 @dataclass(frozen=True)
@@ -26,6 +66,11 @@ class LintFinding:
     #: extra lines where a ``# oopp: ignore[...]`` suppression also
     #: applies (e.g. the first line of a multi-line statement).
     alt_lines: tuple = field(default=(), compare=False)
+    #: verified automatic rewrite, when the transform proved one safe.
+    fix: Optional[Fix] = field(default=None, compare=False)
+    #: typed refusal slug (+ detail after ``": "``) when the rewrite
+    #: was considered but could not be proven observation-equivalent.
+    fix_refusal: str = field(default="", compare=False)
 
     def format(self) -> str:
         """flake8-style rendering (column shown 1-based)."""
@@ -35,7 +80,7 @@ class LintFinding:
         return text
 
     def to_dict(self) -> dict:
-        return {
+        out = {
             "code": self.code,
             "message": self.message,
             "path": self.path,
@@ -44,6 +89,11 @@ class LintFinding:
             "symbol": self.symbol,
             "suggestion": self.suggestion,
         }
+        if self.fix is not None:
+            out["fix"] = self.fix.to_dict()
+        if self.fix_refusal:
+            out["fix_refusal"] = self.fix_refusal
+        return out
 
     def __str__(self) -> str:  # pragma: no cover - convenience
         return self.format()

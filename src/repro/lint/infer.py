@@ -120,17 +120,43 @@ def in_autoparallel(node: ast.AST) -> bool:
     return False
 
 
-def enclosing_loop(node: ast.AST) -> Optional[ast.AST]:
-    """The innermost For/While/comprehension containing *node* within
-    its function (``None`` at function/module level)."""
+def _in_loop_else(loop: ast.AST, child: ast.AST) -> bool:
+    """True when *child* (a direct AST child of *loop*) sits in the
+    loop's ``else:`` clause — code that runs once, *after* the loop
+    completes, and therefore is not "inside the loop" for any
+    iteration-repetition reasoning."""
+    return child in (getattr(loop, "orelse", None) or [])
+
+
+def loops_containing(node: ast.AST) -> list:
+    """Every For/While/comprehension whose *repeated region* contains
+    *node*, innermost first, stopping at the function boundary.
+
+    A node in a loop's ``else:`` clause executes exactly once, after
+    the final iteration — such a loop is excluded (the source of the
+    historical OOPP202 false positive on ``for ... else`` consumers).
+    """
+    found = []
+    prev: ast.AST = node
     for anc in ancestors(node):
         if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef,
                             ast.Lambda)):
-            return None
-        if isinstance(anc, (ast.For, ast.While, ast.ListComp, ast.SetComp,
-                            ast.DictComp)):
-            return anc
-    return None
+            break
+        if isinstance(anc, (ast.For, ast.While)):
+            if not _in_loop_else(anc, prev):
+                found.append(anc)
+        elif isinstance(anc, (ast.ListComp, ast.SetComp, ast.DictComp)):
+            found.append(anc)
+        prev = anc
+    return found
+
+
+def enclosing_loop(node: ast.AST) -> Optional[ast.AST]:
+    """The innermost For/While/comprehension whose repeated region
+    contains *node* within its function (``None`` at function/module
+    level, and for nodes only reached via a loop's ``else:`` clause)."""
+    loops = loops_containing(node)
+    return loops[0] if loops else None
 
 
 def statement_of(node: ast.AST) -> ast.AST:

@@ -29,6 +29,7 @@ from ..infer import (
     ancestors,
     enclosing_loop,
     in_autoparallel,
+    loops_containing,
     parent_of,
     statement_of,
     walk_scope_expressions,
@@ -96,11 +97,10 @@ def _name_read_in(nodes: list, names: set, after_line: int) -> bool:
     return False
 
 
-@rule("OOPP201", "sequential-remote-loop",
-      "loop of blocking remote calls whose results are never consumed "
-      "in the body",
-      "§4 — the compiler pipelines loops of remote calls")
-def check_sequential_loop(ctx) -> Iterator[LintFinding]:
+def iter_sequential_loops(ctx) -> Iterator[tuple]:
+    """OOPP201 candidates: ``(scope, infer, loop, sites)`` per loop of
+    unconsumed blocking remote calls.  Shared by the rule below and the
+    automatic rewriter (:mod:`repro.lint.transform`)."""
     for scope in ctx.scopes:
         infer = Inference(scope)
         loops: list = []
@@ -137,21 +137,30 @@ def check_sequential_loop(ctx) -> Iterator[LintFinding]:
                     break
             if consumed:
                 continue
-            stmt = statement_of(loop)
-            n = len(sites)
-            methods = ", ".join(sorted({s.method for s in sites}))
-            yield LintFinding(
-                code="OOPP201",
-                message=(f"sequential loop issues blocking remote call"
-                         f"{'s' if n > 1 else ''} ({methods}) and never "
-                         "consumes a result in the body; every iteration "
-                         "waits a full round-trip"),
-                path=ctx.path, line=loop.lineno, col=loop.col_offset,
-                symbol=scope.qualname,
-                suggestion="wrap in `with oopp.autoparallel():` to "
-                           "pipeline the loop (paper §4)",
-                alt_lines=(stmt.lineno,),
-            )
+            yield scope, infer, loop, sites
+
+
+@rule("OOPP201", "sequential-remote-loop",
+      "loop of blocking remote calls whose results are never consumed "
+      "in the body",
+      "§4 — the compiler pipelines loops of remote calls")
+def check_sequential_loop(ctx) -> Iterator[LintFinding]:
+    for scope, infer, loop, sites in iter_sequential_loops(ctx):
+        stmt = statement_of(loop)
+        n = len(sites)
+        methods = ", ".join(sorted({s.method for s in sites}))
+        yield LintFinding(
+            code="OOPP201",
+            message=(f"sequential loop issues blocking remote call"
+                     f"{'s' if n > 1 else ''} ({methods}) and never "
+                     "consumes a result in the body; every iteration "
+                     "waits a full round-trip"),
+            path=ctx.path, line=loop.lineno, col=loop.col_offset,
+            symbol=scope.qualname,
+            suggestion="wrap in `with oopp.autoparallel():` to "
+                       "pipeline the loop (paper §4)",
+            alt_lines=(stmt.lineno,),
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -160,7 +169,8 @@ def check_sequential_loop(ctx) -> Iterator[LintFinding]:
 
 
 def _creation_loops(scope, infer: Inference) -> dict:
-    """name -> the loop node in which it was bound to a FUTURE/DEFERRED."""
+    """name -> (loop, kind, stmt) for names bound to a FUTURE/DEFERRED
+    inside a loop's repeated region."""
     out: dict = {}
     for stmt in walk_scope_statements(scope.body):
         if not (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
@@ -173,27 +183,20 @@ def _creation_loops(scope, infer: Inference) -> dict:
             continue
         loop = enclosing_loop(stmt)
         if loop is not None:
-            out[stmt.targets[0].id] = (loop, kind)
+            out[stmt.targets[0].id] = (loop, kind, stmt)
     return out
 
 
 def _loops_containing(node: ast.AST) -> list:
-    found = []
-    for anc in ancestors(node):
-        if isinstance(anc, (ast.FunctionDef, ast.AsyncFunctionDef,
-                            ast.Lambda)):
-            break
-        if isinstance(anc, (ast.For, ast.While, ast.ListComp, ast.SetComp,
-                            ast.DictComp)):
-            found.append(anc)
-    return found
+    # orelse-aware: a `for ... else` consumer runs after the loop, so
+    # the creating loop must not count (see infer.loops_containing)
+    return loops_containing(node)
 
 
-@rule("OOPP202", "force-inside-creating-loop",
-      "future/deferred forced (.value/.result) inside the loop that "
-      "created it",
-      "§4 — forcing re-serializes the pipelined loop")
-def check_force_in_loop(ctx) -> Iterator[LintFinding]:
+def iter_forced_in_loop(ctx) -> Iterator[tuple]:
+    """OOPP202 candidates: ``(scope, infer, loop, creation_stmt, name,
+    kind, force_node)`` per force of a future/deferred inside the loop
+    that created it.  Shared by the rule below and the rewriter."""
     for scope in ctx.scopes:
         infer = Inference(scope)
         created = _creation_loops(scope, infer)
@@ -213,21 +216,31 @@ def check_force_in_loop(ctx) -> Iterator[LintFinding]:
                         continue
             if name is None or name not in created:
                 continue
-            loop, kind = created[name]
+            loop, kind, creation = created[name]
             if loop not in _loops_containing(node):
                 continue
-            what = "future" if kind is Kind.FUTURE else "deferred"
-            stmt = statement_of(node)
-            yield LintFinding(
-                code="OOPP202",
-                message=(f"{what} {name!r} is forced inside the loop that "
-                         "created it; each iteration now blocks on its own "
-                         "round-trip and the pipeline collapses"),
-                path=ctx.path, line=node.lineno, col=node.col_offset,
-                symbol=scope.qualname,
-                suggestion="collect futures in the loop and force after it",
-                alt_lines=(stmt.lineno,),
-            )
+            yield scope, infer, loop, creation, name, kind, node
+
+
+@rule("OOPP202", "force-inside-creating-loop",
+      "future/deferred forced (.value/.result) inside the loop that "
+      "created it",
+      "§4 — forcing re-serializes the pipelined loop")
+def check_force_in_loop(ctx) -> Iterator[LintFinding]:
+    for scope, infer, loop, creation, name, kind, node in \
+            iter_forced_in_loop(ctx):
+        what = "future" if kind is Kind.FUTURE else "deferred"
+        stmt = statement_of(node)
+        yield LintFinding(
+            code="OOPP202",
+            message=(f"{what} {name!r} is forced inside the loop that "
+                     "created it; each iteration now blocks on its own "
+                     "round-trip and the pipeline collapses"),
+            path=ctx.path, line=node.lineno, col=node.col_offset,
+            symbol=scope.qualname,
+            suggestion="collect futures in the loop and force after it",
+            alt_lines=(stmt.lineno,),
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,583 @@
+"""``oopp-lint --fix`` — the automatic §4 loop-pipelining rewriter.
+
+The paper presents loop pipelining as a *compiler* transformation: the
+compiler splits a loop of remote calls into a send phase and a receive
+phase so round-trips overlap.  The lint rules OOPP201/OOPP202 *detect*
+loops where that transformation applies; this module *performs* it as a
+source-to-source rewrite:
+
+* **OOPP201** (sequential loop of unconsumed blocking calls) — wrap the
+  loop in ``with oopp.autoparallel():`` and, when results are collected,
+  emit a receive phase after the block that forces them in place::
+
+      buffer = [None] * N                     buffer = [None] * N
+      for i in range(N):                 →    with oopp.autoparallel():
+          buffer[i] = dev[i].read(i)              for i in range(N):
+                                                      buffer[i] = dev[i].read(i)
+                                              buffer[:] = [oopp.force(v) for v in buffer]
+
+* **OOPP202** (future forced inside its creating loop) — split the loop
+  into a send loop that queues per-iteration state and a receive loop
+  that consumes it::
+
+      for i in range(N):                      __oopp_pending = []
+          f = dev.read.future(i)         →    for i in range(N):
+          total += f.value                        f = dev.read.future(i)
+                                                  __oopp_pending.append(f)
+                                              for f in __oopp_pending:
+                                                  total += f.value
+
+Every rewrite is gated by the static dependence checker
+(:mod:`repro.lint.deps`): if send/receive reordering cannot be proven
+observation-equivalent the loop is **refused** with a typed reason and
+the file left byte-identical.  Applied files are re-parsed and
+re-linted (the fixed findings must be gone and no new OOPP203 may
+appear) before anything is written back.
+
+CLI::
+
+    python -m repro.lint.transform --diff examples/      # preview
+    python -m repro.lint.transform --fix  examples/      # rewrite
+    python -m repro.lint.transform --json prog.py        # plans as JSON
+    python -m repro.lint.transform --gate --no-suppress paths...  # CI
+
+``--gate`` applies fixes in memory and asserts convergence: rewritten
+sources re-lint clean of the fixed findings, a second planning pass
+finds nothing left to do (idempotency), and refused files are
+byte-identical.  Suppressed loops (``# oopp: ignore[OOPP201]``) are
+never rewritten unless ``--no-suppress`` is given.
+
+See ``docs/AUTOPAR.md`` for the safety conditions and refusal catalog.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import dataclasses
+import difflib
+import json
+import re
+import sys
+from dataclasses import dataclass, field
+from typing import Optional
+
+from . import iter_python_files, lint_source
+from .deps import Refusal, SplitPlan, WrapPlan, analyze_split, analyze_wrap
+from .findings import Edit, Fix, LintFinding
+from .infer import ModuleCtx
+from .rules.pipeline import iter_forced_in_loop, iter_sequential_loops
+
+#: codes the rewriter can fix
+FIXABLE = ("OOPP201", "OOPP202")
+
+_IGNORE_COMMENT_RE = re.compile(
+    r"\s*#\s*oopp:\s*ignore\[(?P<codes>[A-Za-z0-9_,\s]*)\].*$")
+
+
+@dataclass
+class PlannedFix:
+    """One verified rewrite covering one loop."""
+
+    code: str            #: the rule being fixed (OOPP201 / OOPP202)
+    lines: tuple         #: anchor lines of every finding this resolves
+    span: tuple          #: (first, last) source line replaced
+    fix: Fix
+
+
+@dataclass
+class PlannedRefusal:
+    """One loop the checker declined to rewrite."""
+
+    code: str
+    lines: tuple         #: anchor lines of the findings left standing
+    refusal: Refusal
+
+
+@dataclass
+class FilePlan:
+    """The rewrite decision for one source file."""
+
+    path: str
+    source: str
+    fixes: list = field(default_factory=list)
+    refusals: list = field(default_factory=list)
+    new_source: str = ""          #: == source when nothing was applied
+    verify_error: str = ""        #: non-empty → fixes were rolled back
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.fixes) and self.new_source != self.source
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "fixes": [{"code": f.code, "lines": list(f.lines),
+                       **f.fix.to_dict()} for f in self.fixes],
+            "refusals": [{"code": r.code, "lines": list(r.lines),
+                          "reason": r.refusal.reason,
+                          "detail": r.refusal.detail,
+                          "line": r.refusal.line} for r in self.refusals],
+            "changed": self.changed,
+            "verify_error": self.verify_error,
+        }
+
+
+# ---------------------------------------------------------------------------
+# the runtime alias (`import repro as oopp`)
+# ---------------------------------------------------------------------------
+
+
+def _runtime_alias(tree: ast.Module) -> Optional[str]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for a in node.names:
+                if a.name == "repro":
+                    return a.asname or "repro"
+    return None
+
+
+def _import_insert_line(tree: ast.Module) -> int:
+    """1-based line *before* which ``import repro as oopp`` goes: after
+    the module docstring and any ``__future__`` imports."""
+    line = 1
+    for stmt in tree.body:
+        is_doc = isinstance(stmt, ast.Expr) and \
+            isinstance(stmt.value, ast.Constant) and \
+            isinstance(stmt.value.value, str)
+        is_future = isinstance(stmt, ast.ImportFrom) and \
+            stmt.module == "__future__"
+        if is_doc or is_future:
+            line = (stmt.end_lineno or stmt.lineno) + 1
+        else:
+            break
+    return line
+
+
+# ---------------------------------------------------------------------------
+# edit generation
+# ---------------------------------------------------------------------------
+
+
+def _indent_of(line: str) -> str:
+    return line[:len(line) - len(line.lstrip())]
+
+
+def _strip_ignores(line: str) -> str:
+    """Drop a trailing ``# oopp: ignore[...]`` whose codes are all
+    fixable — the finding it silenced no longer exists after the
+    rewrite.  Mixed-code and bare suppressions are left alone."""
+    m = _IGNORE_COMMENT_RE.search(line)
+    if not m:
+        return line
+    codes = {c.strip().upper() for c in m.group("codes").split(",")
+             if c.strip()}
+    if codes and codes <= set(FIXABLE):
+        return line[:m.start()].rstrip()
+    return line
+
+
+def _has_multiline_string(stmt: ast.stmt) -> bool:
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Constant, ast.JoinedStr)) and \
+                getattr(node, "lineno", 0) != getattr(node, "end_lineno", 0):
+            if isinstance(node, ast.JoinedStr) or \
+                    isinstance(node.value, (str, bytes)):
+                return True
+    return False
+
+
+def _wrap_replacement(plan: WrapPlan, sites, alias: str,
+                      lines: list) -> tuple:
+    """Replacement text for an OOPP201 wrap.  Returns
+    ``(span, replacement)``."""
+    stmt = plan.stmt
+    start, end = stmt.lineno, stmt.end_lineno or stmt.lineno
+    region = [lines[i] for i in range(start - 1, end)]
+    ind = _indent_of(region[0])
+
+    # hoist loop-invariant receivers: bind once, splice the name into
+    # every occurrence (right-to-left so column offsets stay valid)
+    hoist_lines = []
+    splices = []            # (lineno, col, end_col, name)
+    for i, recv in enumerate(plan.hoists):
+        text = ast.unparse(recv)
+        name = f"__oopp_recv{i}"
+        hoist_lines.append(f"{ind}{name} = {text}")
+        seen = set()
+        for site in sites:
+            r = site.receiver
+            if r.lineno == r.end_lineno and ast.unparse(r) == text and \
+                    (r.lineno, r.col_offset) not in seen:
+                seen.add((r.lineno, r.col_offset))
+                splices.append((r.lineno, r.col_offset,
+                                r.end_col_offset, name))
+    for lineno, col, end_col, name in sorted(
+            splices, key=lambda s: (s[0], -s[1])):
+        idx = lineno - start
+        region[idx] = region[idx][:col] + name + region[idx][end_col:]
+
+    body = [_strip_ignores("    " + ln) if ln.strip() else ln
+            for ln in region]
+    out = hoist_lines + [f"{ind}with {alias}.autoparallel():"] + body
+    for kind, name in plan.collectors:
+        force = f"{alias}.force(__oopp_v) for __oopp_v in {name}"
+        if kind == "set":
+            out.append(f"{ind}{name} = {{{force}}}")
+        elif kind == "comprehension":
+            out.append(f"{ind}{name} = [{force}]")
+        else:  # "append" / "inplace": force the cells without rebinding
+            out.append(f"{ind}{name}[:] = [{force}]")
+    return (start, end), "\n".join(out)
+
+
+def _split_replacement(plan: SplitPlan, lines: list) -> tuple:
+    """Replacement text for an OOPP202 send/receive split."""
+    loop = plan.loop
+    start, end = loop.lineno, loop.end_lineno or loop.lineno
+    ind = _indent_of(lines[start - 1])
+    body_ind = _indent_of(lines[loop.body[0].lineno - 1])
+
+    header = lines[start - 1:loop.body[0].lineno - 1]
+    suffix_start = plan.suffix[0].lineno
+    prefix = lines[loop.body[0].lineno - 1:suffix_start - 1]
+    suffix = [_strip_ignores(ln) for ln in lines[suffix_start - 1:end]]
+
+    target = plan.target_text
+    if "," in target:
+        target = f"({target})"
+    items = [target] + list(plan.captures)
+    if len(items) == 1:
+        append_arg = for_target = items[0]
+    else:
+        append_arg = f"({', '.join(items)})"
+        for_target = ", ".join(items)
+
+    out = [f"{ind}__oopp_pending = []"]
+    out.extend(header)
+    out.extend(prefix)
+    out.append(f"{body_ind}__oopp_pending.append({append_arg})")
+    out.append(f"{ind}for {for_target} in __oopp_pending:")
+    out.extend(suffix)
+    return (start, end), "\n".join(out)
+
+
+def apply_edits(source: str, edits) -> str:
+    """Apply non-overlapping line edits (insertion = zero-width edit
+    with ``end_line == start_line - 1``), bottom-up."""
+    lines = source.split("\n")
+    seen_inserts = set()
+    for e in sorted(edits, key=lambda e: (e.start_line, e.end_line),
+                    reverse=True):
+        if e.end_line < e.start_line:       # insertion; dedupe repeats
+            key = (e.start_line, e.replacement)
+            if key in seen_inserts:
+                continue
+            seen_inserts.add(key)
+        lines[e.start_line - 1:e.end_line] = e.replacement.split("\n")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# planning
+# ---------------------------------------------------------------------------
+
+
+def plan_source(source: str, path: str = "<memory>", *,
+                honor_suppressions: bool = True) -> FilePlan:
+    """Decide, loop by loop, between a verified rewrite and a typed
+    refusal.  The returned plan's ``new_source`` already passed the
+    re-parse + re-lint gate (or equals ``source``)."""
+    plan = FilePlan(path=path, source=source, new_source=source)
+    try:
+        ctx = ModuleCtx(path, source)
+    except (SyntaxError, ValueError):
+        return plan                 # OOPP900 territory; nothing to fix
+
+    surviving = {
+        (f.code, f.line)
+        for f in lint_source(source, path=path, select=FIXABLE,
+                             honor_suppressions=honor_suppressions)}
+    lines = source.split("\n")
+    alias = _runtime_alias(ctx.tree)
+    emit_alias = alias or "oopp"
+    candidates = []         # (code, finding_lines, loop, plan-or-refusal)
+
+    # ---- OOPP201: wrap candidates -------------------------------------
+    for scope, infer, loop, sites in iter_sequential_loops(ctx):
+        if ("OOPP201", loop.lineno) not in surviving:
+            continue                        # suppressed: never rewritten
+        wrap, refusal = analyze_wrap(scope, infer, loop, sites)
+        if wrap is not None and _has_multiline_string(wrap.stmt):
+            wrap, refusal = None, Refusal(
+                "multiline-string",
+                "re-indenting the loop would corrupt a multi-line "
+                "string literal", wrap.stmt.lineno)
+        if refusal is not None:
+            plan.refusals.append(PlannedRefusal(
+                "OOPP201", (loop.lineno,), refusal))
+            continue
+        span, replacement = _wrap_replacement(wrap, sites, emit_alias,
+                                              lines)
+        candidates.append(("OOPP201", (loop.lineno,), span, replacement))
+
+    # ---- OOPP202: split candidates ------------------------------------
+    by_loop: dict = {}
+    for scope, infer, loop, creation, name, kind, node in \
+            iter_forced_in_loop(ctx):
+        entry = by_loop.setdefault(
+            id(loop), {"scope": scope, "infer": infer, "loop": loop,
+                       "creations": {}, "forces": []})
+        entry["creations"][name] = creation
+        entry["forces"].append(node)
+    for entry in by_loop.values():
+        loop = entry["loop"]
+        force_lines = tuple(sorted({n.lineno for n in entry["forces"]}))
+        if not all(("OOPP202", ln) in surviving for ln in force_lines):
+            continue                        # any suppression wins
+        split, refusal = analyze_split(
+            entry["scope"], entry["infer"], loop,
+            entry["creations"], entry["forces"])
+        if split is not None and _has_multiline_string(loop):
+            split, refusal = None, Refusal(
+                "multiline-string",
+                "the loop contains a multi-line string literal",
+                loop.lineno)
+        if refusal is not None:
+            plan.refusals.append(PlannedRefusal(
+                "OOPP202", force_lines, refusal))
+            continue
+        span, replacement = _split_replacement(split, lines)
+        candidates.append(("OOPP202", force_lines, span, replacement))
+
+    # ---- overlap guard ------------------------------------------------
+    candidates.sort(key=lambda c: c[2])
+    covered_to = 0
+    need_import = False
+    for code, flines, span, replacement in candidates:
+        if span[0] <= covered_to:
+            plan.refusals.append(PlannedRefusal(code, flines, Refusal(
+                "overlapping-fix",
+                "another planned rewrite already covers these lines",
+                span[0])))
+            continue
+        covered_to = span[1]
+        edits = [Edit(span[0], span[1], replacement)]
+        if alias is None:
+            need_import = True
+            ins = _import_insert_line(ctx.tree)
+            edits.insert(0, Edit(ins, ins - 1, "import repro as oopp"))
+        what = ("wrap loop in autoparallel and force results after "
+                "the block" if code == "OOPP201"
+                else "split loop into send and receive phases")
+        plan.fixes.append(PlannedFix(
+            code, flines, span, Fix(edits=tuple(edits), description=what)))
+
+    if not plan.fixes:
+        return plan
+
+    # ---- apply + verify -----------------------------------------------
+    all_edits = [e for f in plan.fixes for e in f.fix.edits]
+    new_source = apply_edits(source, all_edits)
+    err = _verify(source, new_source, path, plan,
+                  honor_suppressions=honor_suppressions)
+    if err:
+        plan.verify_error = err
+        for f in plan.fixes:
+            plan.refusals.append(PlannedRefusal(
+                f.code, f.lines, Refusal("post-verify-failed", err,
+                                         f.span[0])))
+        plan.fixes = []
+        plan.new_source = source
+        return plan
+    plan.new_source = new_source
+    return plan
+
+
+def _verify(old: str, new: str, path: str, plan: FilePlan, *,
+            honor_suppressions: bool) -> str:
+    """The applier's gate: rewritten source must parse, the fixed
+    findings must be gone, and no new OOPP203 may appear."""
+    try:
+        ast.parse(new)
+    except (SyntaxError, ValueError) as exc:
+        return f"rewritten source does not parse: {exc}"
+
+    def counts(src):
+        fs = lint_source(src, path=path, select=FIXABLE + ("OOPP203",),
+                         honor_suppressions=honor_suppressions)
+        fixable = sum(1 for f in fs if f.code in FIXABLE)
+        f203 = sum(1 for f in fs if f.code == "OOPP203")
+        return fixable, f203
+
+    old_fix, old_203 = counts(old)
+    new_fix, new_203 = counts(new)
+    n_resolved = sum(len(f.lines) for f in plan.fixes)
+    if new_fix > old_fix - n_resolved:
+        return (f"rewrite left {new_fix} OOPP201/202 finding(s); "
+                f"expected at most {old_fix - n_resolved}")
+    if new_203 > old_203:
+        return (f"rewrite introduced {new_203 - old_203} new OOPP203 "
+                "finding(s)")
+    return ""
+
+
+# ---------------------------------------------------------------------------
+# public API: files and findings
+# ---------------------------------------------------------------------------
+
+
+def plan_paths(paths, *, honor_suppressions: bool = True) -> list:
+    """One :class:`FilePlan` per Python file under *paths*."""
+    plans = []
+    for fname in iter_python_files(paths):
+        try:
+            with open(fname, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError:
+            continue
+        plans.append(plan_source(source, path=fname,
+                                 honor_suppressions=honor_suppressions))
+    return plans
+
+
+def fix_paths(paths, *, honor_suppressions: bool = True,
+              write: bool = True) -> list:
+    """Plan and (by default) write every verified rewrite in place."""
+    plans = plan_paths(paths, honor_suppressions=honor_suppressions)
+    if write:
+        for plan in plans:
+            if plan.changed:
+                with open(plan.path, "w", encoding="utf-8") as fh:
+                    fh.write(plan.new_source)
+    return plans
+
+
+def attach_fixes(findings, *, honor_suppressions: bool = True) -> list:
+    """Return *findings* with ``fix`` / ``fix_refusal`` metadata filled
+    in for the fixable codes (``oopp-lint --json``)."""
+    paths = {f.path for f in findings
+             if f.code in FIXABLE and f.path != "<memory>"}
+    decisions: dict = {}
+    for path in sorted(paths):
+        try:
+            with open(path, encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError:
+            continue
+        plan = plan_source(source, path=path,
+                           honor_suppressions=honor_suppressions)
+        for pf in plan.fixes:
+            for ln in pf.lines:
+                decisions[(path, pf.code, ln)] = ("fix", pf.fix)
+        for pr in plan.refusals:
+            for ln in pr.lines:
+                decisions[(path, pr.code, ln)] = \
+                    ("refusal", pr.refusal.format())
+    out = []
+    for f in findings:
+        hit = decisions.get((f.path, f.code, f.line))
+        if hit is None:
+            out.append(f)
+        elif hit[0] == "fix":
+            out.append(dataclasses.replace(f, fix=hit[1]))
+        else:
+            out.append(dataclasses.replace(f, fix_refusal=hit[1]))
+    return out
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _gate(plans, *, honor_suppressions: bool) -> list:
+    """CI-gate checks; returns a list of failure messages."""
+    failures = []
+    for plan in plans:
+        if plan.verify_error:
+            failures.append(f"{plan.path}: post-verify failed: "
+                            f"{plan.verify_error}")
+            continue
+        if not plan.fixes:
+            if plan.new_source != plan.source:
+                failures.append(f"{plan.path}: refused file was modified")
+            continue
+        again = plan_source(plan.new_source, path=plan.path,
+                            honor_suppressions=honor_suppressions)
+        if again.fixes:
+            failures.append(
+                f"{plan.path}: not idempotent — second pass still plans "
+                f"{len(again.fixes)} fix(es)")
+    return failures
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint.transform",
+        description="Rewrite OOPP201/OOPP202 loops into verified "
+                    "autoparallel form (the paper's §4 transformation); "
+                    "unprovable loops are refused with typed reasons.")
+    parser.add_argument("paths", nargs="*",
+                        help="files and/or directories to rewrite")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--fix", action="store_true",
+                      help="write verified rewrites in place")
+    mode.add_argument("--diff", action="store_true",
+                      help="print unified diffs without writing (default)")
+    mode.add_argument("--json", action="store_true", dest="as_json",
+                      help="print the per-file plans as JSON")
+    mode.add_argument("--gate", action="store_true",
+                      help="CI mode: apply in memory, assert re-lint "
+                           "convergence, idempotency, and byte-identical "
+                           "refusals")
+    parser.add_argument("--no-suppress", action="store_true",
+                        help="also rewrite loops silenced with "
+                             "`# oopp: ignore[...]` (and strip the stale "
+                             "comments)")
+    args = parser.parse_args(argv)
+    if not args.paths:
+        parser.print_usage(sys.stderr)
+        print("error: no paths given", file=sys.stderr)
+        return 2
+
+    honor = not args.no_suppress
+    plans = fix_paths(args.paths, honor_suppressions=honor,
+                      write=args.fix)
+
+    if args.as_json:
+        print(json.dumps([p.to_dict() for p in plans], indent=2))
+        return 0
+    if args.gate:
+        failures = _gate(plans, honor_suppressions=honor)
+        n_fix = sum(len(p.fixes) for p in plans)
+        n_ref = sum(len(p.refusals) for p in plans)
+        for msg in failures:
+            print(f"GATE FAIL: {msg}", file=sys.stderr)
+        print(f"transform gate: {len(plans)} file(s), {n_fix} fix(es) "
+              f"converged, {n_ref} refusal(s), "
+              f"{len(failures)} failure(s)")
+        return 1 if failures else 0
+
+    any_verify_error = False
+    for plan in plans:
+        if args.diff or not args.fix:
+            if plan.changed:
+                diff = difflib.unified_diff(
+                    plan.source.splitlines(keepends=True),
+                    plan.new_source.splitlines(keepends=True),
+                    fromfile=plan.path, tofile=f"{plan.path} (fixed)")
+                sys.stdout.writelines(diff)
+        for pr in plan.refusals:
+            lines = ",".join(str(n) for n in pr.lines)
+            print(f"{plan.path}:{lines}: {pr.code} not rewritten — "
+                  f"{pr.refusal.format()}", file=sys.stderr)
+        if plan.verify_error:
+            any_verify_error = True
+        if args.fix and plan.changed:
+            print(f"{plan.path}: applied {len(plan.fixes)} fix(es)")
+    return 1 if any_verify_error else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

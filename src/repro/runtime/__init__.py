@@ -42,7 +42,7 @@ from .remotedata import Block
 from .cluster import Cluster, current_cluster
 from .rebalance import Move, Rebalancer
 from .naming import ObjectAddress, parse_address, format_address
-from .autopar import autoparallel, Deferred, CallBatch, DeferredError
+from .autopar import autoparallel, Deferred, CallBatch, DeferredError, force
 from .protocol import Protocol, describe_protocol, protocol_of, validate_remote_class
 
 __all__ = [
@@ -75,6 +75,7 @@ __all__ = [
     "parse_address",
     "format_address",
     "autoparallel",
+    "force",
     "Deferred",
     "CallBatch",
     "DeferredError",

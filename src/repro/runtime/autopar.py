@@ -158,6 +158,22 @@ def autoparallel(timeout: Optional[float] = None) -> _AutoparScope:
     return _AutoparScope(timeout)
 
 
+def force(value: Any) -> Any:
+    """Resolve *value* if it is a :class:`Deferred` or
+    :class:`RemoteFuture`; return it unchanged otherwise.
+
+    The receive-phase primitive the automatic rewriter
+    (:mod:`repro.lint.transform`) emits: a collector list may mix
+    pre-loop plain values with pipelined placeholders, and ``force``
+    normalizes both without caring which is which.
+    """
+    if isinstance(value, Deferred):
+        return value.value
+    if isinstance(value, RemoteFuture):
+        return value.result()
+    return value
+
+
 def active_batch() -> Optional[CallBatch]:
     """The innermost autoparallel batch of this thread, if any."""
     stack = getattr(_tls, "stack", None)

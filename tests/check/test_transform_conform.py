@@ -1,0 +1,75 @@
+"""The rewriter's dynamic acceptance gate: transformed programs must
+*run* the same, not just lint clean.
+
+``oopp-lint --fix --no-suppress`` rewrites the two sequential-baseline
+loops shipped in ``examples/autoparallel_loops.py``.  Executing the
+original and the rewritten module must produce identical conformance
+digests (result repr + error + objects-per-machine, see
+:mod:`repro.check.conformance`) on every in-process backend — the §4
+send/receive reordering is observation-equivalent or it does not ship.
+
+The genuinely order-dependent loop in ``examples/persistent_dataset.py``
+must keep being refused, byte-identical.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.check.conformance import run_program
+from repro.lint.transform import plan_source
+
+pytestmark = pytest.mark.check
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+EXAMPLE = os.path.join(REPO_ROOT, "examples", "autoparallel_loops.py")
+BACKENDS = ("inline", "sim", "mp")
+MP_KWARGS = {"call_timeout_s": 60.0}
+
+
+def _load(source: str) -> dict:
+    ns: dict = {}
+    exec(compile(source, EXAMPLE, "exec"), ns)
+    return ns
+
+
+@pytest.fixture(scope="module")
+def variants():
+    with open(EXAMPLE, encoding="utf-8") as fh:
+        source = fh.read()
+    plan = plan_source(source, path=EXAMPLE, honor_suppressions=False)
+    assert len(plan.fixes) >= 2, \
+        [r.refusal.format() for r in plan.refusals]
+    assert plan.verify_error == ""
+    assert "with oopp.autoparallel():" in plan.new_source
+    return _load(source), _load(plan.new_source)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_rewritten_baselines_conform(backend, variants):
+    orig, fixed = variants
+    kwargs = MP_KWARGS if backend == "mp" else {}
+    before = run_program(
+        lambda c: orig["demo_program"](c, prefix=f"apo_{backend}"),
+        backend, **kwargs)
+    after = run_program(
+        lambda c: fixed["demo_program"](c, prefix=f"apf_{backend}"),
+        backend, **kwargs)
+    assert before.error_type is None, before.describe()
+    assert after.error_type is None, after.describe()
+    assert before.digest == after.digest, \
+        (before.describe(), after.describe())
+
+
+def test_order_dependent_example_stays_sequential():
+    path = os.path.join(REPO_ROOT, "examples", "persistent_dataset.py")
+    with open(path, encoding="utf-8") as fh:
+        source = fh.read()
+    plan = plan_source(source, path=path, honor_suppressions=False)
+    assert plan.fixes == []
+    assert [r.refusal.reason for r in plan.refusals] == \
+        ["receiver-escapes"]
+    assert plan.new_source == source

@@ -37,3 +37,29 @@ def forced_after_loop_is_fine(cluster, n):
     for i in range(n):
         futures.append(dev.read.future(i))
     return [f.result() for f in futures]  # forced after: no finding
+
+
+def forced_in_separate_loop_is_fine(cluster, n):
+    dev = cluster.new(Device)
+    futs = []
+    for i in range(n):
+        fut = dev.read.future(i)
+        futs.append(fut)
+    total = 0
+    for fut in futs:
+        total += fut.value  # consumed in a later loop: no finding
+    return total
+
+
+def forced_in_loop_else_is_fine(cluster, n):
+    # the for-else clause runs once, AFTER the loop completes; the
+    # historical false positive counted it as inside the creating loop
+    dev = cluster.new(Device)
+    futs = []
+    for i in range(n):
+        fut = dev.read.future(i)
+        futs.append(fut)
+    else:
+        for fut in futs:
+            total = fut.value  # after the creating loop: no finding
+    return total

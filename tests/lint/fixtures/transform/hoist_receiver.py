@@ -1,0 +1,12 @@
+"""Rewriter corpus: loop-invariant receiver hoisting (OOPP201).
+
+``group[0]`` resolves a remote pointer every iteration; the loop
+provably runs (``range(8)``), so the rewrite binds it once.
+"""
+
+import repro as oopp
+
+
+def pings(cluster, group: "ObjectGroup"):
+    for i in range(8):
+        group[0].ping(i)

@@ -1,0 +1,22 @@
+"""Rewriter corpus: send/receive splits of in-loop forces (OOPP202)."""
+
+import repro as oopp
+
+
+def totals(cluster, n):
+    dev = cluster.new(Device)
+    total = 0
+    for i in range(n):
+        fut = dev.read.future(i)
+        total += fut.value
+    return total
+
+
+def forced_deferred(cluster, n):
+    dev = cluster.new(Device)
+    hits = []
+    with oopp.autoparallel():
+        for i in range(n):
+            d = dev.read(i)
+            hits.append(d.value)
+    return hits

@@ -1,0 +1,17 @@
+"""Rewriter corpus: suppressed loops are NEVER rewritten by default.
+
+Under ``--no-suppress`` both loops are rewritten and the stale
+``# oopp: ignore[...]`` comments stripped.
+"""
+
+import repro as oopp
+
+
+def silent(cluster, group: "ObjectGroup"):
+    for i in range(8):  # oopp: ignore[OOPP201] keep sequential
+        group[0].ping(i)
+
+
+def silent_comp(cluster, device: "ObjectGroup", n):
+    pages = [device[i].read_page(i) for i in range(n)]  # oopp: ignore[OOPP201] baseline
+    return pages

@@ -1,0 +1,57 @@
+"""Rewriter corpus: flagged loops the dependence checker must REFUSE.
+
+Every function here trips OOPP201 or OOPP202, but none can be proven
+observation-equivalent under send/receive reordering — the transform
+must leave this file byte-identical and give each loop a typed reason.
+"""
+
+import repro as oopp
+
+
+def receiver_escape(cluster, n):
+    # `dev` is both pipelined receiver and `persist` argument: an
+    # observer could see persistence racing the in-flight writes
+    dev = cluster.new(Device)
+    for i in range(n):
+        dev.write_page(i)
+        cluster.persist(dev, str(i))
+
+
+def loop_carried(cluster, dev: "Proxy", n):
+    # receive k feeds send k+1
+    total = 0
+    for i in range(n):
+        fut = dev.read.future(total)
+        total = fut.value
+
+
+def cross_iteration(cluster, dev: "Proxy", n):
+    # a deliberate hand pipeline: forces the PREVIOUS iteration's value
+    fut = None
+    for i in range(n):
+        if fut is not None:
+            _ = fut.value
+        fut = dev.read.future(i)
+
+
+def order_sensitive(cluster, dev: "Proxy", n):
+    # both phases write stdout; s1 r1 s2 r2 interleaving is observable
+    for i in range(n):
+        fut = dev.read.future(i)
+        print("sending", i)
+        print(fut.value)
+
+
+def error_visibility(cluster, dev: "Proxy", n):
+    # try/except changes where a remote error surfaces
+    for i in range(n):
+        try:
+            dev.ping(i)
+        except Exception:
+            pass
+
+
+def rebinds(cluster, dev: "Proxy", n):
+    # `page = call` rebinds every iteration; no collector to force
+    for i in range(n):
+        page = dev.read_page(i)

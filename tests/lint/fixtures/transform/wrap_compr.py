@@ -1,0 +1,19 @@
+"""Rewriter corpus: comprehension and subscript-store loops (OOPP201).
+
+``read_into`` is the paper's §4 shape verbatim:
+``device[i]->read(buffer[...], page_address[i])``.
+"""
+
+import repro as oopp
+
+
+def read_all(cluster, device: "ObjectGroup", n):
+    pages = [device[i].read_page(i) for i in range(n)]
+    return pages
+
+
+def read_into(cluster, device: "ObjectGroup", page_address):
+    buffer = [None] * 4
+    for i in range(4):
+        buffer[i] = device[i].read_page(page_address[i])
+    return buffer

@@ -1,0 +1,10 @@
+"""Rewriter corpus: a wrappable append-collector loop (OOPP201)."""
+
+import repro as oopp
+
+
+def gather(cluster, device: "ObjectGroup", n):
+    out = []
+    for i in range(n):
+        out.append(device[i].read_page(i))
+    return out

@@ -1,0 +1,313 @@
+"""The automatic §4 rewriter: exact before/after corpus, idempotency,
+typed refusals, suppression interplay, and the CLI modes.
+
+Every ``fixtures/transform/<name>.py`` with a ``<name>.expected``
+sibling must rewrite to *exactly* that text; ``unsafe.py`` must come
+back byte-identical with one typed refusal per flagged loop; the
+suppressed corpus is only rewritten under ``--no-suppress``.
+"""
+
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import lint_source
+from repro.lint.transform import (
+    FIXABLE,
+    apply_edits,
+    attach_fixes,
+    fix_paths,
+    main,
+    plan_source,
+)
+
+from .conftest import FIXTURES, REPO_ROOT
+
+pytestmark = pytest.mark.lint
+
+TRANSFORM = os.path.join(FIXTURES, "transform")
+
+#: fixture name -> honor_suppressions while planning
+PAIRS = [
+    ("wrap_for", True),
+    ("wrap_compr", True),
+    ("hoist_receiver", True),
+    ("split_future", True),
+    ("suppressed_loop", False),
+]
+
+
+def read(name: str) -> str:
+    with open(os.path.join(TRANSFORM, name), encoding="utf-8") as fh:
+        return fh.read()
+
+
+# ---------------------------------------------------------------------------
+# exact rewrites
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name,honor", PAIRS)
+def test_rewrite_matches_expected_exactly(name, honor):
+    before = read(f"{name}.py")
+    expected = read(f"{name}.expected")
+    plan = plan_source(before, path=f"{name}.py",
+                       honor_suppressions=honor)
+    assert not plan.refusals, [r.refusal.format() for r in plan.refusals]
+    assert plan.verify_error == ""
+    assert plan.fixes
+    assert plan.new_source == expected
+
+
+@pytest.mark.parametrize("name,honor", PAIRS)
+def test_rewrite_is_idempotent(name, honor):
+    """--fix twice == --fix once: the second pass plans nothing."""
+    first = plan_source(read(f"{name}.py"), honor_suppressions=honor)
+    second = plan_source(first.new_source, honor_suppressions=honor)
+    assert second.fixes == []
+    assert second.new_source == first.new_source
+
+
+@pytest.mark.parametrize("name,honor", PAIRS)
+def test_rewritten_source_lints_clean_of_fixed_codes(name, honor):
+    plan = plan_source(read(f"{name}.py"), honor_suppressions=honor)
+    left = lint_source(plan.new_source, select=FIXABLE,
+                       honor_suppressions=honor)
+    assert left == []
+
+
+# ---------------------------------------------------------------------------
+# refusals
+# ---------------------------------------------------------------------------
+
+
+def test_unsafe_corpus_is_refused_byte_identical():
+    before = read("unsafe.py")
+    plan = plan_source(before, path="unsafe.py",
+                       honor_suppressions=True)
+    assert plan.fixes == []
+    assert plan.new_source == before
+    reasons = sorted(r.refusal.reason for r in plan.refusals)
+    assert reasons == sorted([
+        "receiver-escapes", "loop-carried-value", "cross-iteration-force",
+        "order-sensitive-effect", "control-flow", "overwritten-binding",
+    ])
+    for r in plan.refusals:
+        assert r.refusal.detail            # every reason carries prose
+        assert r.code in FIXABLE
+
+
+def test_refusals_are_typed_not_freeform():
+    """Refusal slugs are stable machine-readable identifiers."""
+    plan = plan_source(read("unsafe.py"))
+    for r in plan.refusals:
+        slug = r.refusal.reason
+        assert slug == slug.lower() and " " not in slug
+        assert r.refusal.format().startswith(slug + ": ")
+
+
+# ---------------------------------------------------------------------------
+# suppression interplay
+# ---------------------------------------------------------------------------
+
+
+def test_suppressed_loops_are_never_rewritten_by_default():
+    before = read("suppressed_loop.py")
+    plan = plan_source(before, honor_suppressions=True)
+    assert plan.fixes == [] and plan.refusals == []
+    assert plan.new_source == before
+
+
+def test_no_suppress_rewrites_and_strips_stale_comments():
+    plan = plan_source(read("suppressed_loop.py"),
+                       honor_suppressions=False)
+    assert len(plan.fixes) == 2
+    assert "ignore[OOPP201]" not in plan.new_source
+
+
+def test_mixed_code_suppressions_survive_the_rewrite():
+    src = (
+        "import repro as oopp\n"
+        "\n"
+        "\n"
+        "def f(cluster, device: 'ObjectGroup', n):\n"
+        "    pages = [device[i].read_page(i) for i in range(n)]"
+        "  # oopp: ignore[OOPP201, OOPP101]\n"
+        "    return pages\n"
+    )
+    plan = plan_source(src, honor_suppressions=False)
+    assert len(plan.fixes) == 1
+    # the comment also silences a non-fixable code: left in place
+    assert "oopp: ignore[OOPP201, OOPP101]" in plan.new_source
+
+
+# ---------------------------------------------------------------------------
+# plumbing: imports, edits, metadata
+# ---------------------------------------------------------------------------
+
+
+def test_missing_runtime_import_is_inserted_once():
+    src = (
+        '"""doc."""\n'
+        "\n"
+        "\n"
+        "def a(cluster, g: 'ObjectGroup', n):\n"
+        "    for i in range(n):\n"
+        "        g[i].ping(i)\n"
+        "\n"
+        "\n"
+        "def b(cluster, g: 'ObjectGroup', n):\n"
+        "    for i in range(n):\n"
+        "        g[i].ping(i)\n"
+    )
+    plan = plan_source(src)
+    assert len(plan.fixes) == 2
+    assert plan.new_source.count("import repro as oopp") == 1
+    assert plan.new_source.splitlines()[1] == "import repro as oopp"
+
+
+def test_existing_alias_is_reused():
+    src = (
+        "import repro as rt\n"
+        "\n"
+        "\n"
+        "def a(cluster, g: 'ObjectGroup', n):\n"
+        "    for i in range(n):\n"
+        "        g[i].ping(i)\n"
+    )
+    plan = plan_source(src)
+    assert "with rt.autoparallel():" in plan.new_source
+    assert "import repro as oopp" not in plan.new_source
+
+
+def test_apply_edits_is_bottom_up_and_dedupes_insertions():
+    from repro.lint.findings import Edit
+
+    src = "a\nb\nc\n"
+    out = apply_edits(src, [
+        Edit(1, 0, "I"),          # insertion before line 1
+        Edit(1, 0, "I"),          # duplicate: applied once
+        Edit(2, 2, "B1\nB2"),
+    ])
+    assert out == "I\na\nB1\nB2\nc\n"
+
+
+def test_fix_metadata_attaches_to_findings(tmp_path):
+    target = tmp_path / "prog.py"
+    target.write_text(read("wrap_for.py"))
+    findings = lint_source(read("wrap_for.py"), path=str(target))
+    enriched = attach_fixes(findings)
+    (f201,) = [f for f in enriched if f.code == "OOPP201"]
+    assert f201.fix is not None
+    d = f201.to_dict()
+    assert d["fix"]["edits"][0]["start_line"] >= 1
+    assert "autoparallel" in d["fix"]["edits"][-1]["replacement"]
+
+    target.write_text(read("unsafe.py"))
+    findings = lint_source(read("unsafe.py"), path=str(target))
+    enriched = attach_fixes(findings)
+    refused = [f for f in enriched if f.code in FIXABLE]
+    assert refused and all(f.fix_refusal for f in refused)
+    assert any("receiver-escapes" in f.fix_refusal for f in refused)
+    assert all("fix_refusal" in f.to_dict() for f in refused)
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def _copy_corpus(tmp_path):
+    for name in os.listdir(TRANSFORM):
+        if name.endswith(".py"):
+            shutil.copy(os.path.join(TRANSFORM, name), tmp_path / name)
+    return tmp_path
+
+
+def test_fix_paths_writes_and_converges(tmp_path):
+    _copy_corpus(tmp_path)
+    plans = fix_paths([str(tmp_path)], honor_suppressions=False)
+    changed = {os.path.basename(p.path) for p in plans if p.changed}
+    assert changed == {"wrap_for.py", "wrap_compr.py",
+                       "hoist_receiver.py", "split_future.py",
+                       "suppressed_loop.py"}
+    assert (tmp_path / "wrap_for.py").read_text() == \
+        read("wrap_for.expected")
+    assert (tmp_path / "unsafe.py").read_text() == read("unsafe.py")
+    # a second --fix run changes nothing on disk
+    again = fix_paths([str(tmp_path)], honor_suppressions=False)
+    assert not any(p.changed for p in again)
+
+
+def test_cli_gate_passes_on_corpus(tmp_path, capsys):
+    _copy_corpus(tmp_path)
+    rc = main(["--gate", "--no-suppress", str(tmp_path)])
+    out = capsys.readouterr().out
+    assert rc == 0, out
+    assert "0 failure(s)" in out
+    # gate mode never writes
+    assert (tmp_path / "wrap_for.py").read_text() == read("wrap_for.py")
+
+
+def test_cli_json_reports_plans(tmp_path, capsys):
+    _copy_corpus(tmp_path)
+    rc = main(["--json", "--no-suppress", str(tmp_path)])
+    assert rc == 0
+    data = json.loads(capsys.readouterr().out)
+    by_name = {os.path.basename(d["path"]): d for d in data}
+    assert by_name["wrap_for.py"]["changed"] is True   # plan, not written
+    assert by_name["wrap_for.py"]["fixes"]
+    # --json never writes
+    assert (tmp_path / "wrap_for.py").read_text() == read("wrap_for.py")
+    assert {r["reason"] for r in by_name["unsafe.py"]["refusals"]} >= \
+        {"receiver-escapes", "loop-carried-value"}
+
+
+def test_cli_diff_mode_prints_unified_diff(tmp_path, capsys):
+    _copy_corpus(tmp_path)
+    rc = main(["--diff", str(tmp_path / "wrap_for.py")])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert out.startswith("---")
+    assert "+    with oopp.autoparallel():" in out
+    assert (tmp_path / "wrap_for.py").read_text() == read("wrap_for.py")
+
+
+def test_oopp_lint_fix_flag_applies_rewrites(tmp_path):
+    target = tmp_path / "prog.py"
+    target.write_text(read("wrap_for.py"))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + os.pathsep + \
+        env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.lint", "--fix", str(target)],
+        capture_output=True, text=True, env=env, timeout=120)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "applied 1 fix(es)" in proc.stderr
+    assert target.read_text() == read("wrap_for.expected")
+
+
+def test_shipped_baselines_are_rewritable():
+    """The acceptance criterion's subjects: at least two suppressed
+    sequential-baseline loops in the shipped examples rewrite under
+    --no-suppress, and the order-dependent one refuses."""
+    example = os.path.join(REPO_ROOT, "examples", "autoparallel_loops.py")
+    with open(example, encoding="utf-8") as fh:
+        source = fh.read()
+    plan = plan_source(source, path=example, honor_suppressions=False)
+    assert len(plan.fixes) >= 2, \
+        [r.refusal.format() for r in plan.refusals]
+    assert plan.verify_error == ""
+
+    dataset = os.path.join(REPO_ROOT, "examples", "persistent_dataset.py")
+    with open(dataset, encoding="utf-8") as fh:
+        source = fh.read()
+    plan = plan_source(source, path=dataset, honor_suppressions=False)
+    assert plan.fixes == []
+    assert [r.refusal.reason for r in plan.refusals] == \
+        ["receiver-escapes"]
+    assert plan.new_source == source
